@@ -1,0 +1,79 @@
+//! Throughput of the attribution methods themselves: what it costs to
+//! price a schedule (demand setting) or a scenario (colocation setting)
+//! with each method, including the exponential ground truth — the gap is
+//! the paper's motivation in microcosm.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use fairco2::colocation::{
+    ColocationAttributor, ColocationScenario, FairCo2Colocation, GroundTruthMatching,
+    RupColocation,
+};
+use fairco2::demand::{
+    DemandAttributor, DemandProportional, GroundTruthShapley, RupBaseline, TemporalFairCo2,
+};
+use fairco2_carbon::units::CarbonIntensity;
+use fairco2_montecarlo::schedules::random_schedule;
+use fairco2_workloads::{NodeAccounting, WorkloadKind, ALL_WORKLOADS};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+fn bench_demand_methods(c: &mut Criterion) {
+    let mut rng = StdRng::seed_from_u64(77);
+    let schedule = random_schedule(&mut rng, 8, 9, 20);
+    let mut group = c.benchmark_group("demand_attribution");
+    group.sample_size(10);
+    group.bench_function("ground_truth_exact", |b| {
+        b.iter(|| GroundTruthShapley.attribute(black_box(&schedule), 1000.0).unwrap())
+    });
+    group.bench_function("rup_baseline", |b| {
+        b.iter(|| RupBaseline.attribute(black_box(&schedule), 1000.0).unwrap())
+    });
+    group.bench_function("demand_proportional", |b| {
+        b.iter(|| {
+            DemandProportional
+                .attribute(black_box(&schedule), 1000.0)
+                .unwrap()
+        })
+    });
+    group.bench_function("fair_co2_temporal", |b| {
+        b.iter(|| {
+            TemporalFairCo2::per_step()
+                .attribute(black_box(&schedule), 1000.0)
+                .unwrap()
+        })
+    });
+    group.finish();
+}
+
+fn bench_colocation_methods(c: &mut Criterion) {
+    let mut rng = StdRng::seed_from_u64(78);
+    let kinds: Vec<WorkloadKind> = (0..80)
+        .map(|_| ALL_WORKLOADS[rng.gen_range(0..ALL_WORKLOADS.len())])
+        .collect();
+    let scenario = ColocationScenario::pair_in_order(&kinds).unwrap();
+    let ctx = NodeAccounting::paper_default(CarbonIntensity::from_g_per_kwh(250.0));
+    let mut group = c.benchmark_group("colocation_attribution_n80");
+    group.bench_function("ground_truth_matching", |b| {
+        b.iter(|| {
+            GroundTruthMatching
+                .attribute(black_box(&scenario), &ctx)
+                .unwrap()
+        })
+    });
+    group.bench_function("rup_baseline", |b| {
+        b.iter(|| RupColocation.attribute(black_box(&scenario), &ctx).unwrap())
+    });
+    group.bench_function("fair_co2_full_history", |b| {
+        b.iter(|| {
+            FairCo2Colocation::with_full_history()
+                .attribute(black_box(&scenario), &ctx)
+                .unwrap()
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_demand_methods, bench_colocation_methods);
+criterion_main!(benches);

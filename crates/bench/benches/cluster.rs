@@ -1,0 +1,31 @@
+//! Cost of the discrete-event cluster simulator: events are O(running
+//! jobs) each, so a 300-job stream with ~20 concurrent jobs simulates in
+//! well under a millisecond per simulated hour.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+use fairco2_cluster::policy::{FirstFit, LeastInterference};
+use fairco2_cluster::{JobStream, Simulator};
+
+fn bench_simulation(c: &mut Criterion) {
+    let sim = Simulator::paper_default();
+    let mut group = c.benchmark_group("cluster_simulation");
+    group.sample_size(10);
+    for jobs in [50usize, 200, 800] {
+        let stream = JobStream::poisson(jobs, 60.0, 7);
+        group.bench_with_input(BenchmarkId::new("first_fit", jobs), &stream, |b, s| {
+            b.iter(|| sim.run(black_box(s), &mut FirstFit))
+        });
+    }
+    let stream = JobStream::poisson(200, 60.0, 7);
+    group.bench_with_input(
+        BenchmarkId::new("least_interference", 200),
+        &stream,
+        |b, s| b.iter(|| sim.run(black_box(s), &mut LeastInterference::default())),
+    );
+    group.finish();
+}
+
+criterion_group!(benches, bench_simulation);
+criterion_main!(benches);

@@ -1,0 +1,53 @@
+//! Cost of the live-signal pipeline (paper Section 5.3): fitting the
+//! Prophet-substitute on 21 days of 5-minute samples, forecasting 9 days,
+//! and producing the live intensity signal end to end.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use fairco2::signal::LiveSignal;
+use fairco2_forecast::{split_at_day, SeasonalForecaster};
+use fairco2_trace::AzureLikeTrace;
+
+fn bench_fit(c: &mut Criterion) {
+    let trace = AzureLikeTrace::builder().days(21).seed(3).build();
+    let series = trace.series().clone();
+    let mut group = c.benchmark_group("forecast");
+    group.sample_size(10);
+    group.bench_function("fit_21_days_5min", |b| {
+        b.iter(|| {
+            SeasonalForecaster::default_daily_weekly()
+                .fit(black_box(&series))
+                .unwrap()
+        })
+    });
+    group.finish();
+}
+
+fn bench_predict(c: &mut Criterion) {
+    let trace = AzureLikeTrace::builder().days(21).seed(3).build();
+    let model = SeasonalForecaster::default_daily_weekly()
+        .fit(trace.series())
+        .unwrap();
+    c.bench_function("forecast/predict_9_days", |b| {
+        b.iter(|| black_box(&model).predict(9 * 288))
+    });
+}
+
+fn bench_live_signal(c: &mut Criterion) {
+    let trace = AzureLikeTrace::builder().days(30).seed(3).build();
+    let (history, holdout) = split_at_day(trace.series(), 21).unwrap();
+    let mut group = c.benchmark_group("forecast");
+    group.sample_size(10);
+    group.bench_function("live_signal_end_to_end", |b| {
+        b.iter(|| {
+            LiveSignal::paper_default()
+                .generate(black_box(&history), holdout.len(), 1.0e6)
+                .unwrap()
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_fit, bench_predict, bench_live_signal);
+criterion_main!(benches);

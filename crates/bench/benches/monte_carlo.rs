@@ -1,0 +1,48 @@
+//! Per-trial cost of the two Monte Carlo studies — what 10,000 trials of
+//! Figures 7 and 8 cost per scenario, and how the parallel runner scales.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use fairco2_montecarlo::colocations::ColocationStudy;
+use fairco2_montecarlo::runner::run_parallel;
+use fairco2_montecarlo::schedules::DemandStudy;
+
+fn bench_demand_trial(c: &mut Criterion) {
+    let study = DemandStudy::default();
+    let mut group = c.benchmark_group("monte_carlo");
+    group.sample_size(10);
+    group.bench_function("demand_trial_exact_truth", |b| {
+        let mut t = 0usize;
+        b.iter(|| {
+            t += 1;
+            study.run_trial(black_box(t % 1000))
+        })
+    });
+    group.finish();
+}
+
+fn bench_colocation_trial(c: &mut Criterion) {
+    let study = ColocationStudy::default();
+    c.bench_function("monte_carlo/colocation_trial", |b| {
+        let mut t = 0usize;
+        b.iter(|| {
+            t += 1;
+            study.run_trial(black_box(t % 1000))
+        })
+    });
+}
+
+fn bench_runner_overhead(c: &mut Criterion) {
+    c.bench_function("monte_carlo/runner_1000_noop_trials", |b| {
+        b.iter(|| run_parallel(1000, 4, |t| black_box(t) * 2))
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_demand_trial,
+    bench_colocation_trial,
+    bench_runner_overhead
+);
+criterion_main!(benches);

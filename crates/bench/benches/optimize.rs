@@ -1,0 +1,67 @@
+//! Cost of carbon-aware optimization decisions (paper Section 8): one
+//! full configuration sweep, one FAISS Pareto front, one optimizer
+//! decision, and the entire week-long dynamic case study.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use fairco2_optimize::dynamic::DynamicStudy;
+use fairco2_optimize::faiss::FaissModel;
+use fairco2_optimize::scaling::{ResourcePricing, ScalingModel};
+use fairco2_optimize::sweep::sweep_configurations;
+use fairco2_shapley::temporal::TemporalShapley;
+use fairco2_trace::{AzureLikeTrace, GridIntensityTrace};
+use fairco2_workloads::WorkloadKind;
+
+fn bench_sweep(c: &mut Criterion) {
+    let model = ScalingModel::for_workload(WorkloadKind::Spark);
+    let pricing = ResourcePricing::paper_default(250.0);
+    c.bench_function("optimize/config_sweep_spark", |b| {
+        b.iter(|| sweep_configurations(black_box(&model), &pricing))
+    });
+}
+
+fn bench_pareto(c: &mut Criterion) {
+    let model = FaissModel::default();
+    let pricing = ResourcePricing::paper_default(250.0);
+    c.bench_function("optimize/faiss_pareto_front", |b| {
+        b.iter(|| black_box(&model).pareto_front(&pricing))
+    });
+}
+
+fn bench_decision(c: &mut Criterion) {
+    let model = FaissModel::default();
+    let pricing = ResourcePricing::paper_default(250.0);
+    c.bench_function("optimize/faiss_best_under_latency", |b| {
+        b.iter(|| black_box(&model).best_under_latency(&pricing, 2.0).unwrap())
+    });
+}
+
+fn bench_dynamic_week(c: &mut Criterion) {
+    let grid = GridIntensityTrace::caiso_like(7, 3600, 13);
+    let demand = AzureLikeTrace::builder()
+        .days(7)
+        .step_seconds(3600)
+        .seed(41)
+        .build();
+    let signal = TemporalShapley::new(vec![7, 24])
+        .attribute(demand.series(), 1000.0)
+        .unwrap()
+        .leaf_intensity()
+        .clone();
+    let mut group = c.benchmark_group("optimize");
+    group.sample_size(10);
+    group.bench_function("dynamic_week_simulation", |b| {
+        b.iter(|| DynamicStudy::default().run(black_box(&grid), &signal))
+    });
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_sweep,
+    bench_pareto,
+    bench_decision,
+    bench_dynamic_week
+);
+criterion_main!(benches);

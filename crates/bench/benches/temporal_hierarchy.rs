@@ -1,0 +1,60 @@
+//! The cost of generating the Figure 4 carbon-intensity signal: the full
+//! hierarchical Temporal Shapley pass over a 30-day, 5-minute trace
+//! (8640 samples → 8640 leaf periods via splits 10·9·8·12), plus the
+//! single-level variants — the "27 seconds on one core" claim of the
+//! paper is reproduced here in milliseconds because the closed form
+//! replaces subset enumeration.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+use fairco2_shapley::temporal::TemporalShapley;
+use fairco2_trace::AzureLikeTrace;
+
+fn bench_paper_hierarchy(c: &mut Criterion) {
+    let trace = AzureLikeTrace::builder().days(30).seed(7).build();
+    let series = trace.series().clone();
+    c.bench_function("temporal_hierarchy/paper_30d_to_5min", |b| {
+        b.iter(|| {
+            TemporalShapley::paper_hierarchy()
+                .attribute(black_box(&series), 1.0e6)
+                .unwrap()
+        })
+    });
+}
+
+fn bench_single_level(c: &mut Criterion) {
+    let trace = AzureLikeTrace::builder().days(30).seed(7).build();
+    let series = trace.series().clone();
+    let mut group = c.benchmark_group("temporal_single_level");
+    for split in [24usize, 240, 2880] {
+        group.bench_with_input(BenchmarkId::from_parameter(split), &split, |b, &m| {
+            b.iter(|| {
+                TemporalShapley::new(vec![m])
+                    .attribute(black_box(&series), 1.0e6)
+                    .unwrap()
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_workload_lookup(c: &mut Criterion) {
+    // Once the signal exists, pricing one workload is a linear scan of
+    // its window — the O(1)-per-period cost the paper highlights.
+    let trace = AzureLikeTrace::builder().days(30).seed(7).build();
+    let att = TemporalShapley::paper_hierarchy()
+        .attribute(trace.series(), 1.0e6)
+        .unwrap();
+    c.bench_function("temporal_hierarchy/workload_lookup_1day", |b| {
+        b.iter(|| black_box(&att).workload_carbon(86_400, 2 * 86_400, 48.0))
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_paper_hierarchy,
+    bench_single_level,
+    bench_workload_lookup
+);
+criterion_main!(benches);

@@ -1,0 +1,126 @@
+//! A tiny `--flag value` argument parser for the experiment binaries
+//! (kept dependency-free on purpose; the binaries take at most a handful
+//! of numeric knobs).
+
+use std::collections::HashMap;
+
+/// Parsed command-line flags.
+#[derive(Debug, Clone, Default)]
+pub struct Args {
+    flags: HashMap<String, String>,
+}
+
+impl Args {
+    /// Parses the process arguments. Flags must look like
+    /// `--name value`; anything else aborts with a usage hint.
+    ///
+    /// # Panics
+    ///
+    /// Panics (with a readable message) on malformed arguments — these
+    /// binaries are experiment drivers, not servers.
+    pub fn parse() -> Self {
+        Self::from_iter(std::env::args().skip(1))
+    }
+
+    /// Parses an explicit argument list (used by tests).
+    ///
+    /// # Panics
+    ///
+    /// Panics on malformed arguments.
+    pub fn from_iter(args: impl IntoIterator<Item = String>) -> Self {
+        let mut flags = HashMap::new();
+        let mut iter = args.into_iter();
+        while let Some(key) = iter.next() {
+            let Some(name) = key.strip_prefix("--") else {
+                panic!("unexpected argument {key:?}; flags look like --name value");
+            };
+            let Some(value) = iter.next() else {
+                panic!("flag --{name} is missing its value");
+            };
+            flags.insert(name.to_owned(), value);
+        }
+        Self { flags }
+    }
+
+    /// A `usize` flag with a default.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the value is present but not a valid `usize`.
+    pub fn usize(&self, name: &str, default: usize) -> usize {
+        self.flags
+            .get(name)
+            .map(|v| {
+                v.parse()
+                    .unwrap_or_else(|_| panic!("--{name} expects an integer, got {v:?}"))
+            })
+            .unwrap_or(default)
+    }
+
+    /// An `f64` flag with a default.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the value is present but not a valid `f64`.
+    pub fn f64(&self, name: &str, default: f64) -> f64 {
+        self.flags
+            .get(name)
+            .map(|v| {
+                v.parse()
+                    .unwrap_or_else(|_| panic!("--{name} expects a number, got {v:?}"))
+            })
+            .unwrap_or(default)
+    }
+
+    /// A `u64` flag with a default.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the value is present but not a valid `u64`.
+    pub fn u64(&self, name: &str, default: u64) -> u64 {
+        self.flags
+            .get(name)
+            .map(|v| {
+                v.parse()
+                    .unwrap_or_else(|_| panic!("--{name} expects an integer, got {v:?}"))
+            })
+            .unwrap_or(default)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn args(s: &[&str]) -> Args {
+        Args::from_iter(s.iter().map(|s| s.to_string()))
+    }
+
+    #[test]
+    fn parses_flags_and_defaults() {
+        let a = args(&["--trials", "100", "--grid-ci", "2.5"]);
+        assert_eq!(a.usize("trials", 10), 100);
+        assert_eq!(a.usize("threads", 8), 8);
+        assert_eq!(a.f64("grid-ci", 0.0), 2.5);
+        assert_eq!(a.u64("seed", 7), 7);
+    }
+
+    #[test]
+    #[should_panic(expected = "missing its value")]
+    fn dangling_flag_panics() {
+        let _ = args(&["--trials"]);
+    }
+
+    #[test]
+    #[should_panic(expected = "expects an integer")]
+    fn bad_integer_panics() {
+        let a = args(&["--trials", "lots"]);
+        let _ = a.usize("trials", 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "flags look like")]
+    fn positional_argument_panics() {
+        let _ = args(&["trials"]);
+    }
+}

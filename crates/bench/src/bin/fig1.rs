@@ -1,0 +1,63 @@
+//! **Figure 1** — minimum required resource capacity is set by *peak*
+//! demand: three different demand curves share the same minimum capacity.
+//!
+//! Prints the three curves and writes `results/fig1.json`.
+
+use fairco2_bench::{write_json, Args};
+use fairco2_trace::demand::stepwise_demand;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use serde::Serialize;
+
+#[derive(Serialize)]
+struct Curve {
+    label: String,
+    demand: Vec<f64>,
+    peak: f64,
+    mean: f64,
+}
+
+fn main() {
+    let args = Args::parse();
+    let seed = args.u64("seed", 1);
+    let steps = args.usize("steps", 12);
+    let peak = args.f64("peak", 96.0);
+
+    let mut rng = StdRng::seed_from_u64(seed);
+    let labels = ["bursty", "diurnal-like", "front-loaded"];
+    let curves: Vec<Curve> = labels
+        .iter()
+        .map(|label| {
+            let s = stepwise_demand(&mut rng, steps, peak, 0, 3600);
+            Curve {
+                label: (*label).to_owned(),
+                demand: s.values().to_vec(),
+                peak: s.peak(),
+                mean: s.mean(),
+            }
+        })
+        .collect();
+
+    println!("Figure 1: three demand curves, one minimum required capacity");
+    for c in &curves {
+        let profile: Vec<String> = c.demand.iter().map(|v| format!("{v:>5.1}")).collect();
+        println!("{:<14} [{}]", c.label, profile.join(" "));
+        println!(
+            "{:<14} peak = {:.1} cores, mean = {:.1} cores",
+            "", c.peak, c.mean
+        );
+    }
+    let peaks: Vec<f64> = curves.iter().map(|c| c.peak).collect();
+    assert!(
+        peaks.iter().all(|p| (p - peaks[0]).abs() < 1e-9),
+        "all curves must share the same peak"
+    );
+    println!(
+        "\nAll three require the same provisioned capacity: {:.1} cores (the dashed line).",
+        peaks[0]
+    );
+    println!("Attribution must price contribution to the PEAK, not average use.");
+
+    let path = write_json("fig1", &curves);
+    println!("\nwrote {}", path.display());
+}

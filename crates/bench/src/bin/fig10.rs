@@ -1,0 +1,94 @@
+//! **Figure 10** — carbon-optimal workload configuration vs grid carbon
+//! intensity, for the PBBS kernels and Spark: footprints of the energy-,
+//! embodied-, and carbon-optimal configurations normalized to the
+//! performance-optimal configuration.
+//!
+//! Writes `results/fig10.json`.
+
+use fairco2_bench::{write_json, Args};
+use fairco2_optimize::scaling::ScalingModel;
+use fairco2_optimize::sweep::sweep_over_grid_ci;
+use serde::Serialize;
+
+#[derive(Serialize)]
+struct CiPoint {
+    grid_ci: f64,
+    perf_optimal_g: f64,
+    energy_optimal_g: f64,
+    embodied_optimal_g: f64,
+    carbon_optimal_g: f64,
+    carbon_optimal_cores: u32,
+    carbon_optimal_memory_gb: f64,
+    saving_vs_perf: f64,
+}
+
+#[derive(Serialize)]
+struct WorkloadPanel {
+    workload: String,
+    points: Vec<CiPoint>,
+    max_saving: f64,
+}
+
+fn main() {
+    let args = Args::parse();
+    let max_ci = args.f64("max-grid-ci", 700.0);
+    let steps = args.usize("ci-steps", 15);
+
+    let grid_cis: Vec<f64> = (0..=steps)
+        .map(|k| max_ci * k as f64 / steps as f64)
+        .collect();
+
+    let mut panels = Vec::new();
+    println!("Figure 10: carbon-optimal configuration vs grid carbon intensity");
+    for model in ScalingModel::sweep_suite() {
+        let rows = sweep_over_grid_ci(&model, &grid_cis);
+        let points: Vec<CiPoint> = rows
+            .iter()
+            .map(|(ci, out)| CiPoint {
+                grid_ci: *ci,
+                perf_optimal_g: out.performance_optimal.total_g(),
+                energy_optimal_g: out.energy_optimal.total_g(),
+                embodied_optimal_g: out.embodied_optimal.total_g(),
+                carbon_optimal_g: out.carbon_optimal.total_g(),
+                carbon_optimal_cores: out.carbon_optimal.cores,
+                carbon_optimal_memory_gb: out.carbon_optimal.memory_gb,
+                saving_vs_perf: out.carbon_saving(),
+            })
+            .collect();
+        let max_saving = points.iter().map(|p| p.saving_vs_perf).fold(0.0, f64::max);
+
+        println!("\n{} (max saving {:.0}%)", model.name, 100.0 * max_saving);
+        println!(
+            "{:>8} {:>10} {:>10} {:>7} {:>9} {:>8}",
+            "grid CI", "perf g", "opt g", "saving", "opt cores", "opt mem"
+        );
+        for p in points.iter().step_by(3) {
+            println!(
+                "{:>8.0} {:>10.2} {:>10.2} {:>6.0}% {:>9} {:>7.0}G",
+                p.grid_ci,
+                p.perf_optimal_g,
+                p.carbon_optimal_g,
+                100.0 * p.saving_vs_perf,
+                p.carbon_optimal_cores,
+                p.carbon_optimal_memory_gb
+            );
+        }
+        panels.push(WorkloadPanel {
+            workload: model.name.clone(),
+            points,
+            max_saving,
+        });
+    }
+
+    let best = panels
+        .iter()
+        .map(|p| p.max_saving)
+        .fold(0.0f64, f64::max);
+    println!(
+        "\nheadline: up to {:.0}% carbon savings vs the performance-optimal configuration (paper: up to 65%)",
+        100.0 * best
+    );
+
+    let path = write_json("fig10", &panels);
+    println!("\nwrote {}", path.display());
+}

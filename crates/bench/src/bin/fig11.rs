@@ -1,0 +1,98 @@
+//! **Figure 11** — stability of the live embodied-carbon-intensity signal
+//! under forecast error: the signal built from 21 days of history plus a
+//! 9-day forecast vs the oracle signal from the full 30-day trace.
+//!
+//! Writes `results/fig11.json`.
+
+use fairco2::signal::LiveSignal;
+use fairco2_bench::{write_json, Args};
+use fairco2_carbon::ServerSpec;
+use fairco2_forecast::split_at_day;
+use fairco2_shapley::temporal::TemporalShapley;
+use fairco2_trace::stats::{mape, worst_ape};
+use fairco2_trace::AzureLikeTrace;
+use serde::Serialize;
+
+#[derive(Serialize)]
+struct Fig11 {
+    signal_mape_pct: f64,
+    signal_worst_ape_pct: f64,
+    oracle_hourly: Vec<f64>,
+    forecast_hourly: Vec<f64>,
+    error_hourly_pct: Vec<f64>,
+}
+
+fn main() {
+    let args = Args::parse();
+    let seed = args.u64("seed", 7);
+    let noise = args.f64("noise-sigma", 0.008);
+
+    let trace = AzureLikeTrace::builder()
+        .days(30)
+        .noise_sigma(noise)
+        .seed(seed)
+        .build();
+    let full = trace.series();
+    let (history, holdout) = split_at_day(full, 21).expect("30-day trace splits at day 21");
+
+    let server = ServerSpec::xeon_6240r();
+    let fleet = (full.peak() / f64::from(server.physical_cores())).ceil();
+    let monthly = server.embodied_per_month().as_grams() * fleet;
+
+    let live = LiveSignal::paper_default();
+    let with_forecast = live
+        .generate(&history, holdout.len(), monthly)
+        .expect("forecaster fits 21 days of history");
+    let oracle = TemporalShapley::paper_hierarchy()
+        .attribute(full, monthly)
+        .expect("8640 samples divide by the hierarchy");
+
+    let start = history.end();
+    let pick = |att: &fairco2_shapley::temporal::TemporalAttribution| -> Vec<f64> {
+        att.leaf_intensity()
+            .iter()
+            .filter(|(t, _)| *t >= start)
+            .map(|(_, v)| v)
+            .collect()
+    };
+    let actual = pick(&oracle);
+    let predicted = pick(&with_forecast);
+    let m = mape(&actual, &predicted).expect("aligned signals");
+    let w = worst_ape(&actual, &predicted).expect("aligned signals");
+
+    println!("Figure 11: embodied-intensity signal stability under forecast error");
+    println!("forecast window: 9 days at 5-minute resolution ({} samples)", actual.len());
+    println!("signal MAPE      = {m:.2} %   (paper: 2.30 %)");
+    println!("signal worst APE = {w:.2} %   (paper: 15.72 %)");
+
+    // Hourly views for plotting.
+    let hourly = |v: &[f64]| -> Vec<f64> {
+        v.chunks(12)
+            .map(|c| c.iter().sum::<f64>() / c.len() as f64)
+            .collect()
+    };
+    let oracle_hourly = hourly(&actual);
+    let forecast_hourly = hourly(&predicted);
+    let error_hourly_pct: Vec<f64> = oracle_hourly
+        .iter()
+        .zip(&forecast_hourly)
+        .map(|(a, p)| if *a != 0.0 { 100.0 * (p - a) / a } else { 0.0 })
+        .collect();
+
+    println!("\nday  mean |error| of hourly signal");
+    for d in 0..9 {
+        let day = &error_hourly_pct[d * 24..(d + 1) * 24];
+        let mean_abs = day.iter().map(|e| e.abs()).sum::<f64>() / 24.0;
+        println!("{:>3}  {mean_abs:>6.2} %", 22 + d);
+    }
+
+    let out = Fig11 {
+        signal_mape_pct: m,
+        signal_worst_ape_pct: w,
+        oracle_hourly,
+        forecast_hourly,
+        error_hourly_pct,
+    };
+    let path = write_json("fig11", &out);
+    println!("\nwrote {}", path.display());
+}

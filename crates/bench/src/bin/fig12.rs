@@ -1,0 +1,98 @@
+//! **Figure 12** — FAISS carbon–latency Pareto fronts at two grid carbon
+//! intensities (California-like vs Sweden-like), showing how the
+//! Pareto-optimal set of (index, cores, batch) shifts with the grid — and
+//! where the IVF↔HNSW crossover lies.
+//!
+//! Writes `results/fig12.json`.
+
+use fairco2_bench::{write_json, Args};
+use fairco2_optimize::faiss::{FaissModel, IndexKind};
+use fairco2_optimize::scaling::ResourcePricing;
+use serde::Serialize;
+
+#[derive(Serialize)]
+struct FrontPoint {
+    index: String,
+    cores: u32,
+    batch: u32,
+    tail_latency_s: f64,
+    carbon_per_kquery_g: f64,
+    embodied_share: f64,
+}
+
+#[derive(Serialize)]
+struct Fig12 {
+    fronts: Vec<(String, f64, Vec<FrontPoint>)>,
+    crossover_grid_ci: Option<f64>,
+    latency_target_s: f64,
+}
+
+fn main() {
+    let args = Args::parse();
+    let california_ci = args.f64("california-ci", 250.0);
+    let sweden_ci = args.f64("sweden-ci", 25.0);
+    let target = args.f64("latency-target", 2.0);
+
+    let model = FaissModel::default();
+    let mut fronts = Vec::new();
+    println!("Figure 12: FAISS carbon-latency Pareto fronts");
+    for (label, ci) in [("California-like", california_ci), ("Sweden-like", sweden_ci)] {
+        let pricing = ResourcePricing::paper_default(ci);
+        let front = model.pareto_front(&pricing);
+        println!("\n{label} grid ({ci:.0} gCO2e/kWh):");
+        println!(
+            "{:>6} {:>6} {:>6} {:>10} {:>14} {:>10}",
+            "index", "cores", "batch", "tail s", "g/kquery", "emb share"
+        );
+        let points: Vec<FrontPoint> = front
+            .iter()
+            .map(|p| {
+                println!(
+                    "{:>6} {:>6} {:>6} {:>10.3} {:>14.4} {:>9.0}%",
+                    p.config.index.to_string(),
+                    p.config.cores,
+                    p.config.batch,
+                    p.tail_latency_s,
+                    p.carbon_per_kquery_g,
+                    100.0 * p.embodied_per_kquery_g / p.carbon_per_kquery_g
+                );
+                FrontPoint {
+                    index: p.config.index.to_string(),
+                    cores: p.config.cores,
+                    batch: p.config.batch,
+                    tail_latency_s: p.tail_latency_s,
+                    carbon_per_kquery_g: p.carbon_per_kquery_g,
+                    embodied_share: p.embodied_per_kquery_g / p.carbon_per_kquery_g,
+                }
+            })
+            .collect();
+        fronts.push((label.to_owned(), ci, points));
+    }
+
+    // Locate the IVF↔HNSW crossover under the latency target.
+    let mut crossover = None;
+    for ci in 1..=400 {
+        let best = model
+            .best_under_latency(&ResourcePricing::paper_default(f64::from(ci)), target)
+            .expect("grid always has a feasible config");
+        if best.config.index == IndexKind::Hnsw {
+            crossover = Some(f64::from(ci));
+            break;
+        }
+    }
+    match crossover {
+        Some(ci) => println!(
+            "\ncarbon-optimal index switches IVF -> HNSW at ~{ci:.0} gCO2e/kWh \
+             under a {target}s tail target (paper: ~90 gCO2e/kWh)"
+        ),
+        None => println!("\nno IVF->HNSW crossover below 400 gCO2e/kWh"),
+    }
+
+    let out = Fig12 {
+        fronts,
+        crossover_grid_ci: crossover,
+        latency_target_s: target,
+    };
+    let path = write_json("fig12", &out);
+    println!("\nwrote {}", path.display());
+}

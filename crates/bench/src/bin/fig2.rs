@@ -1,0 +1,82 @@
+//! **Figure 2** — pairwise colocation characterization: runtime stretch
+//! (a) and dynamic-energy/attribution stretch (b) for every (victim,
+//! aggressor) pair of the 15-workload suite.
+//!
+//! Prints both matrices and writes `results/fig2.json`.
+
+use fairco2_bench::write_json;
+use fairco2_workloads::interference::ColocationMatrix;
+use fairco2_workloads::{InterferenceModel, WorkloadKind, ALL_WORKLOADS};
+use serde::Serialize;
+
+#[derive(Serialize)]
+struct Fig2 {
+    workloads: Vec<String>,
+    runtime_factor: Vec<Vec<f64>>,
+    energy_factor: Vec<Vec<f64>>,
+    mean_inflicted: Vec<f64>,
+    mean_suffered: Vec<f64>,
+}
+
+fn print_matrix(title: &str, matrix: &[Vec<f64>]) {
+    println!("\n{title}");
+    print!("{:<8}", "vict\\agg");
+    for w in ALL_WORKLOADS {
+        print!("{:>7}", w.name());
+    }
+    println!();
+    for (vi, row) in matrix.iter().enumerate() {
+        print!("{:<8}", ALL_WORKLOADS[vi].name());
+        for v in row {
+            print!("{v:>7.2}");
+        }
+        println!();
+    }
+}
+
+fn main() {
+    let model = InterferenceModel::paper_calibrated();
+    let matrix: ColocationMatrix = model.colocation_matrix();
+
+    print_matrix(
+        "Figure 2(a): runtime factor of VICTIM (row) colocated with AGGRESSOR (column)",
+        &matrix.runtime_factor,
+    );
+    print_matrix(
+        "Figure 2(b): dynamic-energy factor of VICTIM (row) colocated with AGGRESSOR (column)",
+        &matrix.energy_factor,
+    );
+
+    println!("\nAnchors (paper): NBODY|CH = 1.87, CH|NBODY = 1.39");
+    println!(
+        "Reproduced:     NBODY|CH = {:.2}, CH|NBODY = {:.2}",
+        matrix.runtime(WorkloadKind::Nbody, WorkloadKind::Ch),
+        matrix.runtime(WorkloadKind::Ch, WorkloadKind::Nbody)
+    );
+
+    let mut ranked: Vec<(WorkloadKind, f64)> = ALL_WORKLOADS
+        .iter()
+        .map(|&w| (w, matrix.mean_inflicted(w)))
+        .collect();
+    ranked.sort_by(|a, b| b.1.total_cmp(&a.1));
+    println!("\nHeaviest aggressors (mean slowdown inflicted):");
+    for (w, f) in ranked.iter().take(3) {
+        println!("  {:<7} {:.3}", w.name(), f);
+    }
+
+    let out = Fig2 {
+        workloads: ALL_WORKLOADS.iter().map(|w| w.name().to_owned()).collect(),
+        runtime_factor: matrix.runtime_factor.clone(),
+        energy_factor: matrix.energy_factor.clone(),
+        mean_inflicted: ALL_WORKLOADS
+            .iter()
+            .map(|&w| matrix.mean_inflicted(w))
+            .collect(),
+        mean_suffered: ALL_WORKLOADS
+            .iter()
+            .map(|&w| matrix.mean_suffered(w))
+            .collect(),
+    };
+    let path = write_json("fig2", &out);
+    println!("\nwrote {}", path.display());
+}

@@ -1,0 +1,99 @@
+//! **Figure 4** — hierarchical Temporal Shapley: a 30-day, 5-minute
+//! embodied-carbon-intensity signal from aggregate demand, refined
+//! 30 d → 3 d → 8 h → 1 h → 5 min (split ratios 10·9·8·12), plus the
+//! computational-cost comparison behind the paper's ">600 000×" claim.
+//!
+//! Writes `results/fig4.json`.
+
+use std::time::Instant;
+
+use fairco2_bench::{write_json, Args};
+use fairco2_carbon::ServerSpec;
+use fairco2_shapley::temporal::TemporalShapley;
+use fairco2_trace::AzureLikeTrace;
+use serde::Serialize;
+
+#[derive(Serialize)]
+struct Fig4 {
+    level_labels: Vec<String>,
+    /// Per-level intensity signal (gCO₂e per core-second), sampled hourly
+    /// for compactness.
+    level_intensity_hourly: Vec<Vec<f64>>,
+    monthly_embodied_g: f64,
+    closed_form_operations: u64,
+    naive_subset_evaluations: f64,
+    elapsed_ms: f64,
+    ground_truth_log2_coalitions: f64,
+}
+
+fn main() {
+    let args = Args::parse();
+    let seed = args.u64("seed", 7);
+
+    let trace = AzureLikeTrace::builder().days(30).seed(seed).build();
+    let server = ServerSpec::xeon_6240r();
+    // A fleet of servers sized to the synthetic demand peak; carbon scales
+    // linearly so the signal shape is fleet-size invariant.
+    let fleet_servers = (trace.series().peak() / f64::from(server.physical_cores())).ceil();
+    let monthly = server.embodied_per_month().as_grams() * fleet_servers;
+
+    let hierarchy = TemporalShapley::paper_hierarchy();
+    let start = Instant::now();
+    let att = hierarchy
+        .attribute(trace.series(), monthly)
+        .expect("8640 samples divide by 10*9*8*12");
+    let elapsed = start.elapsed().as_secs_f64() * 1000.0;
+
+    let labels = ["30 d", "3 d", "8 h", "1 h", "5 min"];
+    println!("Figure 4: Temporal Shapley embodied carbon intensity (30-day Azure-like trace)");
+    println!(
+        "fleet = {fleet_servers} servers, monthly embodied = {:.1} kgCO2e",
+        monthly / 1000.0
+    );
+    println!("\nlevel   min intensity    mean intensity   max intensity  (g / core-s)");
+    let mut hourly = Vec::new();
+    for (label, signal) in labels.iter().zip(att.level_intensity()) {
+        println!(
+            "{label:>6}   {:>12.3e}    {:>12.3e}    {:>12.3e}",
+            signal.min(),
+            signal.mean(),
+            signal.peak()
+        );
+        hourly.push(
+            signal
+                .downsample_mean(12)
+                .expect("12 five-minute samples per hour")
+                .into_values(),
+        );
+    }
+
+    // The scalability claim: the trace aggregates ~2M VMs; the ground
+    // truth would enumerate 2^(2e6) coalitions.
+    let vms = 2_000_000f64;
+    println!("\ncomputational cost:");
+    println!(
+        "  closed form            : {:>12} marginal updates in {elapsed:.1} ms",
+        att.closed_form_operations()
+    );
+    println!(
+        "  naive per-level subsets: {:>12.3e} coalition evaluations",
+        att.naive_subset_evaluations()
+    );
+    println!("  ground-truth Shapley   : 2^{vms:.0} coalitions (log2 = {vms:.0})");
+    println!(
+        "  Temporal Shapley is ~{:.0e}x cheaper than even the naive per-level enumeration",
+        att.naive_subset_evaluations() / att.closed_form_operations() as f64
+    );
+
+    let out = Fig4 {
+        level_labels: labels.iter().map(|s| s.to_string()).collect(),
+        level_intensity_hourly: hourly,
+        monthly_embodied_g: monthly,
+        closed_form_operations: att.closed_form_operations(),
+        naive_subset_evaluations: att.naive_subset_evaluations(),
+        elapsed_ms: elapsed,
+        ground_truth_log2_coalitions: vms,
+    };
+    let path = write_json("fig4", &out);
+    println!("\nwrote {}", path.display());
+}

@@ -1,0 +1,94 @@
+//! **Figure 6** — a worked example of the evaluation pipeline: one mock
+//! colocation set, attributed by the RUP-Baseline, Fair-CO₂, and the
+//! ground-truth Shapley, with per-workload deviations.
+//!
+//! Writes `results/fig6.json`.
+
+use fairco2::colocation::{
+    ColocationAttributor, ColocationScenario, FairCo2Colocation, GroundTruthMatching,
+    RupColocation,
+};
+use fairco2::metrics::summarize;
+use fairco2_bench::{write_json, Args};
+use fairco2_carbon::units::CarbonIntensity;
+use fairco2_workloads::{NodeAccounting, WorkloadKind};
+use serde::Serialize;
+
+#[derive(Serialize)]
+struct Row {
+    workload: String,
+    partner: Option<String>,
+    ground_truth_g: f64,
+    rup_g: f64,
+    fair_co2_g: f64,
+    rup_dev_pct: f64,
+    fair_dev_pct: f64,
+}
+
+fn main() {
+    let args = Args::parse();
+    let grid_ci = args.f64("grid-ci", 250.0);
+
+    use WorkloadKind::*;
+    let set = [Nbody, Ch, Pg100, Spark, Llama, Wc, Faiss];
+    let scenario = ColocationScenario::pair_in_order(&set).expect("non-empty set");
+    let ctx = NodeAccounting::paper_default(CarbonIntensity::from_g_per_kwh(grid_ci));
+
+    let truth = GroundTruthMatching
+        .attribute(&scenario, &ctx)
+        .expect("valid scenario");
+    let rup = RupColocation
+        .attribute(&scenario, &ctx)
+        .expect("valid scenario");
+    let fair = FairCo2Colocation::with_full_history()
+        .attribute(&scenario, &ctx)
+        .expect("valid scenario");
+
+    println!("Figure 6: one mock colocation set at {grid_ci} gCO2e/kWh");
+    println!(
+        "{:<8} {:<8} {:>12} {:>12} {:>12} {:>9} {:>9}",
+        "workload", "partner", "truth g", "RUP g", "FairCO2 g", "RUP dev", "Fair dev"
+    );
+    let rows: Vec<Row> = scenario
+        .workloads()
+        .iter()
+        .enumerate()
+        .map(|(i, w)| {
+            let rup_dev = 100.0 * (rup[i] - truth[i]) / truth[i];
+            let fair_dev = 100.0 * (fair[i] - truth[i]) / truth[i];
+            println!(
+                "{:<8} {:<8} {:>12.1} {:>12.1} {:>12.1} {:>8.1}% {:>8.1}%",
+                w.kind.name(),
+                w.partner.map_or("-", |p| p.name()),
+                truth[i],
+                rup[i],
+                fair[i],
+                rup_dev,
+                fair_dev
+            );
+            Row {
+                workload: w.kind.name().to_owned(),
+                partner: w.partner.map(|p| p.name().to_owned()),
+                ground_truth_g: truth[i],
+                rup_g: rup[i],
+                fair_co2_g: fair[i],
+                rup_dev_pct: rup_dev,
+                fair_dev_pct: fair_dev,
+            }
+        })
+        .collect();
+
+    let rup_sum = summarize(&rup, &truth).expect("non-zero truth");
+    let fair_sum = summarize(&fair, &truth).expect("non-zero truth");
+    println!(
+        "\nRUP-Baseline : avg |dev| {:.2} %, worst {:.2} %",
+        rup_sum.average_pct, rup_sum.worst_case_pct
+    );
+    println!(
+        "Fair-CO2     : avg |dev| {:.2} %, worst {:.2} %",
+        fair_sum.average_pct, fair_sum.worst_case_pct
+    );
+
+    let path = write_json("fig6", &rows);
+    println!("\nwrote {}", path.display());
+}

@@ -1,0 +1,141 @@
+//! **Figure 7** — Monte Carlo fairness under dynamic demand: average
+//! (top) and worst-case (bottom) deviation from the ground-truth Shapley
+//! across 10,000 random schedules, overall and broken down by schedule
+//! length and workload count.
+//!
+//! Defaults to the paper's scale; tune with
+//! `--trials N --max-workloads N --min-slices N --max-slices N
+//! --threads N`. Writes `results/fig7.json`.
+
+use fairco2_bench::{write_json, Args};
+use fairco2_montecarlo::runner::{default_threads, run_parallel};
+use fairco2_montecarlo::schedules::{DemandStudy, DemandTrial};
+use fairco2_trace::stats::Summary;
+use serde::Serialize;
+
+#[derive(Serialize)]
+struct MethodStats {
+    method: String,
+    mean_pct: f64,
+    median_pct: f64,
+    p5_pct: f64,
+    p95_pct: f64,
+}
+
+#[derive(Serialize)]
+struct Panel {
+    label: String,
+    scenarios: usize,
+    average: Vec<MethodStats>,
+    worst_case: Vec<MethodStats>,
+}
+
+fn stats<F: Fn(&DemandTrial) -> f64>(
+    method: &str,
+    trials: &[&DemandTrial],
+    pick: F,
+) -> MethodStats {
+    let s: Summary = trials.iter().map(|t| pick(t)).collect();
+    MethodStats {
+        method: method.to_owned(),
+        mean_pct: s.mean(),
+        median_pct: s.quantile(0.5),
+        p5_pct: s.quantile(0.05),
+        p95_pct: s.quantile(0.95),
+    }
+}
+
+fn panel(label: &str, trials: &[&DemandTrial]) -> Panel {
+    Panel {
+        label: label.to_owned(),
+        scenarios: trials.len(),
+        average: vec![
+            stats("rup-baseline", trials, |t| t.rup.average_pct),
+            stats("demand-proportional", trials, |t| {
+                t.demand_proportional.average_pct
+            }),
+            stats("fair-co2", trials, |t| t.fair_co2.average_pct),
+        ],
+        worst_case: vec![
+            stats("rup-baseline", trials, |t| t.rup.worst_case_pct),
+            stats("demand-proportional", trials, |t| {
+                t.demand_proportional.worst_case_pct
+            }),
+            stats("fair-co2", trials, |t| t.fair_co2.worst_case_pct),
+        ],
+    }
+}
+
+fn print_panel(p: &Panel) {
+    println!("\n[{}] ({} scenarios)", p.label, p.scenarios);
+    println!(
+        "{:<22} {:>10} {:>10} {:>10} {:>10}   {:>10} {:>10}",
+        "method", "avg mean", "avg p50", "avg p95", "avg p5", "worst mean", "worst p95"
+    );
+    for (a, w) in p.average.iter().zip(&p.worst_case) {
+        println!(
+            "{:<22} {:>9.1}% {:>9.1}% {:>9.1}% {:>9.1}%   {:>9.1}% {:>9.1}%",
+            a.method, a.mean_pct, a.median_pct, a.p95_pct, a.p5_pct, w.mean_pct, w.p95_pct
+        );
+    }
+}
+
+fn main() {
+    let args = Args::parse();
+    let study = DemandStudy {
+        trials: args.usize("trials", 10_000),
+        max_workloads: args.usize("max-workloads", 22),
+        min_time_slices: args.usize("min-slices", 4),
+        max_time_slices: args.usize("max-slices", 9),
+        base_seed: args.u64("seed", DemandStudy::default().base_seed),
+    };
+    let threads = args.usize("threads", default_threads());
+
+    eprintln!(
+        "running {} schedule trials on {threads} threads (exact ground truth, ≤{} workloads)…",
+        study.trials, study.max_workloads
+    );
+    let trials: Vec<DemandTrial> = run_parallel(study.trials, threads, |t| study.run_trial(t));
+
+    let all: Vec<&DemandTrial> = trials.iter().collect();
+    let mut panels = vec![panel("all scenarios (a, e)", &all)];
+
+    for slices in study.min_time_slices..=study.max_time_slices {
+        let subset: Vec<&DemandTrial> =
+            trials.iter().filter(|t| t.time_slices == slices).collect();
+        if !subset.is_empty() {
+            panels.push(panel(&format!("{slices} time slices (b, c, f, g)"), &subset));
+        }
+    }
+    for (lo, hi) in [(1usize, 7usize), (8, 14), (15, 22)] {
+        let subset: Vec<&DemandTrial> = trials
+            .iter()
+            .filter(|t| (lo..=hi).contains(&t.workloads))
+            .collect();
+        if !subset.is_empty() {
+            panels.push(panel(&format!("{lo}-{hi} workloads (d, h)"), &subset));
+        }
+    }
+
+    println!("Figure 7: attribution fairness under dynamic demand");
+    for p in &panels {
+        print_panel(p);
+    }
+
+    let overall = &panels[0];
+    println!(
+        "\nheadline: RUP {:.0}% / {:.0}%, demand-prop {:.0}% / {:.0}%, Fair-CO2 {:.0}% / {:.0}% (avg/worst mean)",
+        overall.average[0].mean_pct,
+        overall.worst_case[0].mean_pct,
+        overall.average[1].mean_pct,
+        overall.worst_case[1].mean_pct,
+        overall.average[2].mean_pct,
+        overall.worst_case[2].mean_pct,
+    );
+    println!(
+        "paper:    RUP ~80% / ~279%, demand-prop ~31% / ~90%, Fair-CO2 ~19% / ~55%"
+    );
+
+    let path = write_json("fig7", &panels);
+    println!("\nwrote {}", path.display());
+}

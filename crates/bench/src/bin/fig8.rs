@@ -1,0 +1,145 @@
+//! **Figure 8** — Monte Carlo fairness under interference: average (top)
+//! and worst-case (bottom) deviation from the ground-truth Shapley across
+//! 10,000 random colocation scenarios — overall, by historical sampling
+//! rate, by workload count, and by grid carbon intensity.
+//!
+//! Tune with `--trials N --min-workloads N --max-workloads N
+//! --min-grid-ci X --max-grid-ci X --threads N`.
+//! Writes `results/fig8.json`.
+
+use fairco2_bench::{write_json, Args};
+use fairco2_montecarlo::colocations::{ColocationStudy, ColocationTrial};
+use fairco2_montecarlo::runner::{default_threads, run_parallel};
+use fairco2_trace::stats::Summary;
+use serde::Serialize;
+
+#[derive(Serialize)]
+struct MethodStats {
+    method: String,
+    mean_pct: f64,
+    median_pct: f64,
+    p95_pct: f64,
+}
+
+#[derive(Serialize)]
+struct Panel {
+    label: String,
+    scenarios: usize,
+    average: Vec<MethodStats>,
+    worst_case: Vec<MethodStats>,
+}
+
+fn stats<F: Fn(&ColocationTrial) -> f64>(
+    method: &str,
+    trials: &[&ColocationTrial],
+    pick: F,
+) -> MethodStats {
+    let s: Summary = trials.iter().map(|t| pick(t)).collect();
+    MethodStats {
+        method: method.to_owned(),
+        mean_pct: s.mean(),
+        median_pct: s.quantile(0.5),
+        p95_pct: s.quantile(0.95),
+    }
+}
+
+fn panel(label: &str, trials: &[&ColocationTrial]) -> Panel {
+    Panel {
+        label: label.to_owned(),
+        scenarios: trials.len(),
+        average: vec![
+            stats("rup-baseline", trials, |t| t.rup.average_pct),
+            stats("fair-co2", trials, |t| t.fair_co2.average_pct),
+        ],
+        worst_case: vec![
+            stats("rup-baseline", trials, |t| t.rup.worst_case_pct),
+            stats("fair-co2", trials, |t| t.fair_co2.worst_case_pct),
+        ],
+    }
+}
+
+fn print_panel(p: &Panel) {
+    println!("\n[{}] ({} scenarios)", p.label, p.scenarios);
+    for (a, w) in p.average.iter().zip(&p.worst_case) {
+        println!(
+            "  {:<14} avg: mean {:>6.2}% p50 {:>6.2}% p95 {:>6.2}%   worst: mean {:>6.2}% p95 {:>6.2}%",
+            a.method, a.mean_pct, a.median_pct, a.p95_pct, w.mean_pct, w.p95_pct
+        );
+    }
+}
+
+fn main() {
+    let args = Args::parse();
+    let study = ColocationStudy {
+        trials: args.usize("trials", 10_000),
+        min_workloads: args.usize("min-workloads", 4),
+        max_workloads: args.usize("max-workloads", 100),
+        min_grid_ci: args.f64("min-grid-ci", 0.0),
+        max_grid_ci: args.f64("max-grid-ci", 1000.0),
+        min_samples: args.usize("min-samples", 1),
+        max_samples: args.usize("max-samples", 15),
+        base_seed: args.u64("seed", ColocationStudy::default().base_seed),
+    };
+    let threads = args.usize("threads", default_threads());
+
+    eprintln!(
+        "running {} colocation trials on {threads} threads (exact matching-game ground truth)…",
+        study.trials
+    );
+    let trials: Vec<ColocationTrial> = run_parallel(study.trials, threads, |t| study.run_trial(t));
+
+    let all: Vec<&ColocationTrial> = trials.iter().collect();
+    let mut panels = vec![panel("all scenarios (a, e)", &all)];
+
+    for (lo, hi) in [(1usize, 3usize), (4, 7), (8, 11), (12, 14)] {
+        let subset: Vec<&ColocationTrial> = trials
+            .iter()
+            .filter(|t| (lo..=hi).contains(&t.samples))
+            .collect();
+        if !subset.is_empty() {
+            panels.push(panel(
+                &format!("sampling {lo}-{hi} of 14 partners (b, f)"),
+                &subset,
+            ));
+        }
+    }
+    for (lo, hi) in [(4usize, 25usize), (26, 50), (51, 75), (76, 100)] {
+        let subset: Vec<&ColocationTrial> = trials
+            .iter()
+            .filter(|t| (lo..=hi).contains(&t.workloads))
+            .collect();
+        if !subset.is_empty() {
+            panels.push(panel(&format!("{lo}-{hi} workloads (c, g)"), &subset));
+        }
+    }
+    for (lo, hi) in [(0.0, 250.0), (250.0, 500.0), (500.0, 750.0), (750.0, 1000.0)] {
+        let subset: Vec<&ColocationTrial> = trials
+            .iter()
+            .filter(|t| t.grid_ci >= lo && t.grid_ci < hi + 1e-9)
+            .collect();
+        if !subset.is_empty() {
+            panels.push(panel(
+                &format!("grid CI {lo:.0}-{hi:.0} gCO2e/kWh (d, h)"),
+                &subset,
+            ));
+        }
+    }
+
+    println!("Figure 8: attribution fairness under interference");
+    for p in &panels {
+        print_panel(p);
+    }
+
+    let overall = &panels[0];
+    println!(
+        "\nheadline: RUP {:.2}% avg / {:.2}% worst — Fair-CO2 {:.2}% avg / {:.2}% worst",
+        overall.average[0].mean_pct,
+        overall.worst_case[0].mean_pct,
+        overall.average[1].mean_pct,
+        overall.worst_case[1].mean_pct,
+    );
+    println!("paper:    RUP 9.7% avg / 31.7% worst — Fair-CO2 1.72% avg / 5.0% worst");
+
+    let path = write_json("fig8", &panels);
+    println!("\nwrote {}", path.display());
+}

@@ -1,0 +1,131 @@
+//! **Figure 9** — per-workload attribution equity: the distribution of
+//! signed deviations from the ground truth for each workload (top) and
+//! for each workload's *partners* (bottom), under the RUP-Baseline (left)
+//! and Fair-CO₂ (right).
+//!
+//! Tune with `--trials N --threads N`. Writes `results/fig9.json`.
+
+use fairco2_bench::{write_json, Args};
+use fairco2_montecarlo::colocations::{ColocationStudy, ColocationTrial};
+use fairco2_montecarlo::runner::{default_threads, run_parallel};
+use fairco2_trace::stats::Summary;
+use fairco2_workloads::ALL_WORKLOADS;
+use serde::Serialize;
+
+#[derive(Serialize)]
+struct Distribution {
+    workload: String,
+    samples: usize,
+    mean_pct: f64,
+    p5_pct: f64,
+    median_pct: f64,
+    p95_pct: f64,
+}
+
+#[derive(Serialize)]
+struct Fig9 {
+    /// Deviation of each workload's own attribution.
+    own_rup: Vec<Distribution>,
+    own_fair: Vec<Distribution>,
+    /// Deviation of each workload's *partner's* attribution.
+    partner_rup: Vec<Distribution>,
+    partner_fair: Vec<Distribution>,
+}
+
+fn distribution(workload: &str, values: &[f64]) -> Distribution {
+    let s: Summary = values.iter().copied().collect();
+    Distribution {
+        workload: workload.to_owned(),
+        samples: s.len(),
+        mean_pct: s.mean(),
+        p5_pct: s.quantile(0.05),
+        median_pct: s.quantile(0.5),
+        p95_pct: s.quantile(0.95),
+    }
+}
+
+fn print_block(title: &str, rows: &[Distribution]) {
+    println!("\n{title}");
+    println!(
+        "{:<8} {:>8} {:>9} {:>9} {:>9} {:>9}",
+        "workload", "samples", "mean", "p5", "p50", "p95"
+    );
+    for r in rows {
+        println!(
+            "{:<8} {:>8} {:>8.2}% {:>8.2}% {:>8.2}% {:>8.2}%",
+            r.workload, r.samples, r.mean_pct, r.p5_pct, r.median_pct, r.p95_pct
+        );
+    }
+}
+
+fn main() {
+    let args = Args::parse();
+    let study = ColocationStudy {
+        trials: args.usize("trials", 2_000),
+        base_seed: args.u64("seed", 0xF19_0009),
+        ..ColocationStudy::default()
+    };
+    let threads = args.usize("threads", default_threads());
+
+    eprintln!("running {} colocation trials on {threads} threads…", study.trials);
+    let trials: Vec<ColocationTrial> = run_parallel(study.trials, threads, |t| study.run_trial(t));
+
+    let n = ALL_WORKLOADS.len();
+    let mut own_rup: Vec<Vec<f64>> = vec![Vec::new(); n];
+    let mut own_fair: Vec<Vec<f64>> = vec![Vec::new(); n];
+    let mut partner_rup: Vec<Vec<f64>> = vec![Vec::new(); n];
+    let mut partner_fair: Vec<Vec<f64>> = vec![Vec::new(); n];
+
+    for trial in &trials {
+        // Index per-instance deviations by position so we can find each
+        // record's partner record (pairs are adjacent in scenario order).
+        for w in &trial.per_workload {
+            own_rup[w.kind.index()].push(w.rup_pct);
+            own_fair[w.kind.index()].push(w.fair_pct);
+        }
+        for pair in trial.per_workload.chunks(2) {
+            if let [a, b] = pair {
+                if a.partner.is_some() {
+                    // `b` is `a`'s partner and vice versa.
+                    partner_rup[a.kind.index()].push(b.rup_pct);
+                    partner_fair[a.kind.index()].push(b.fair_pct);
+                    partner_rup[b.kind.index()].push(a.rup_pct);
+                    partner_fair[b.kind.index()].push(a.fair_pct);
+                }
+            }
+        }
+    }
+
+    let build = |data: &[Vec<f64>]| -> Vec<Distribution> {
+        ALL_WORKLOADS
+            .iter()
+            .map(|w| distribution(w.name(), &data[w.index()]))
+            .collect()
+    };
+    let out = Fig9 {
+        own_rup: build(&own_rup),
+        own_fair: build(&own_fair),
+        partner_rup: build(&partner_rup),
+        partner_fair: build(&partner_fair),
+    };
+
+    println!("Figure 9: per-workload deviation distributions (signed, % of ground truth)");
+    print_block("(top-left) own deviation, RUP-Baseline", &out.own_rup);
+    print_block("(top-right) own deviation, Fair-CO2", &out.own_fair);
+    print_block("(bottom-left) partner deviation, RUP-Baseline", &out.partner_rup);
+    print_block("(bottom-right) partner deviation, Fair-CO2", &out.partner_fair);
+
+    let spread = |rows: &[Distribution]| {
+        rows.iter()
+            .map(|r| r.p95_pct - r.p5_pct)
+            .fold(0.0f64, f64::max)
+    };
+    println!(
+        "\nmax p5-p95 spread: RUP {:.2}% vs Fair-CO2 {:.2}% — Fair-CO2 collapses the per-workload bias bands",
+        spread(&out.own_rup),
+        spread(&out.own_fair)
+    );
+
+    let path = write_json("fig9", &out);
+    println!("\nwrote {}", path.display());
+}

@@ -1,0 +1,70 @@
+//! **Table 1** — TDP vs embodied carbon per component: power is a poor
+//! proxy for embodied carbon.
+//!
+//! Prints the paper's table from the carbon models and writes
+//! `results/table1.json`.
+
+use fairco2_bench::write_json;
+use fairco2_carbon::embodied::{CpuModel, DramModel, SsdModel};
+use fairco2_carbon::ServerSpec;
+use serde::Serialize;
+
+#[derive(Serialize)]
+struct Row {
+    component: String,
+    tdp_w: f64,
+    embodied_kgco2e: f64,
+    kg_per_tdp_watt: f64,
+}
+
+fn main() {
+    let cpu = CpuModel::xeon_6240r();
+    let dram = DramModel::ddr4_192gb();
+    let ssd = SsdModel::sata_480gb();
+    let rows = vec![
+        Row {
+            component: "DRAM (192 GB DDR4)".into(),
+            tdp_w: dram.tdp.as_watts(),
+            embodied_kgco2e: dram.embodied().as_kg(),
+            kg_per_tdp_watt: dram.kg_per_tdp_watt(),
+        },
+        Row {
+            component: format!("CPU ({})", cpu.name),
+            tdp_w: cpu.tdp.as_watts(),
+            embodied_kgco2e: cpu.embodied().as_kg(),
+            kg_per_tdp_watt: cpu.kg_per_tdp_watt(),
+        },
+        Row {
+            component: "SSD (480 GB)".into(),
+            tdp_w: ssd.tdp.as_watts(),
+            embodied_kgco2e: ssd.embodied().as_kg(),
+            kg_per_tdp_watt: ssd.embodied().as_kg() / ssd.tdp.as_watts(),
+        },
+    ];
+
+    println!("Table 1: TDP to embodied-carbon ratios (server components)");
+    println!("{:<28} {:>8} {:>18} {:>16}", "Component", "TDP", "Embodied", "Ratio kg/W");
+    for r in &rows {
+        println!(
+            "{:<28} {:>6.0} W {:>12.2} kgCO2e {:>16.4}",
+            r.component, r.tdp_w, r.embodied_kgco2e, r.kg_per_tdp_watt
+        );
+    }
+    let gap = rows[0].kg_per_tdp_watt / rows[1].kg_per_tdp_watt;
+    println!("\nDRAM embodies {gap:.0}x more carbon per TDP watt than the CPU —");
+    println!("energy/power telemetry cannot attribute embodied carbon fairly.");
+
+    let server = ServerSpec::xeon_6240r();
+    let breakdown = server.embodied();
+    println!(
+        "\nWhole server: {:.1} kgCO2e (cpu {:.1} + dram {:.1} + ssd {:.1} + platform {:.1})",
+        breakdown.total().as_kg(),
+        breakdown.cpu.as_kg(),
+        breakdown.dram.as_kg(),
+        breakdown.ssd.as_kg(),
+        breakdown.platform.as_kg()
+    );
+
+    let path = write_json("table1", &rows);
+    println!("\nwrote {}", path.display());
+}

@@ -1,0 +1,18 @@
+//! Experiment harness shared by the per-figure binaries.
+//!
+//! Every table and figure of the paper has a binary in `src/bin/` —
+//! `table1`, `fig1`, `fig2`, `fig4`, `fig5`, `fig6`, `fig7`, `fig8`,
+//! `fig9`, `fig10`, `fig11`, `fig12`, `fig13` — that prints the rows or
+//! series the paper reports and writes a machine-readable copy to
+//! `results/<id>.json`. Criterion benches measuring the *performance*
+//! claims (Shapley scaling, Temporal Shapley hierarchy cost, method
+//! throughput) live in `benches/`.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod args;
+pub mod output;
+
+pub use args::Args;
+pub use output::{results_dir, write_json};

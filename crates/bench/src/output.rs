@@ -1,0 +1,57 @@
+//! Result persistence for the experiment binaries.
+
+use std::fs;
+use std::path::PathBuf;
+
+use serde::Serialize;
+
+/// Directory experiment results are written to: `$FAIRCO2_RESULTS`, or
+/// `results/` under the workspace root (falling back to the current
+/// directory when the binary is run elsewhere).
+pub fn results_dir() -> PathBuf {
+    if let Ok(dir) = std::env::var("FAIRCO2_RESULTS") {
+        return PathBuf::from(dir);
+    }
+    // The workspace root is two levels above this crate's manifest.
+    let manifest = PathBuf::from(env!("CARGO_MANIFEST_DIR"));
+    manifest
+        .parent()
+        .and_then(|p| p.parent())
+        .map(|root| root.join("results"))
+        .unwrap_or_else(|| PathBuf::from("results"))
+}
+
+/// Writes `value` as pretty JSON to `results/<name>.json`, creating the
+/// directory if needed, and returns the path written.
+///
+/// # Panics
+///
+/// Panics on I/O failure — an experiment whose results cannot be saved
+/// should fail loudly.
+pub fn write_json<T: Serialize>(name: &str, value: &T) -> PathBuf {
+    let dir = results_dir();
+    fs::create_dir_all(&dir).unwrap_or_else(|e| panic!("cannot create {}: {e}", dir.display()));
+    let path = dir.join(format!("{name}.json"));
+    let json = serde_json::to_string_pretty(value).expect("experiment results are serializable");
+    fs::write(&path, json).unwrap_or_else(|e| panic!("cannot write {}: {e}", path.display()));
+    path
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn writes_json_to_results_dir() {
+        let path = write_json("selftest", &serde_json::json!({"ok": true}));
+        let text = fs::read_to_string(&path).unwrap();
+        assert!(text.contains("\"ok\": true"));
+        fs::remove_file(path).unwrap();
+    }
+
+    #[test]
+    fn results_dir_is_workspace_results() {
+        let dir = results_dir();
+        assert!(dir.ends_with("results"));
+    }
+}

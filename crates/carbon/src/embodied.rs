@@ -1,0 +1,266 @@
+//! ACT-style embodied-carbon models for server components.
+//!
+//! The paper estimates component footprints with imec.netzero and ACT
+//! (logic), ACT (DRAM), Tannu & Nair's 0.16 kgCO₂e/GB rate (SSD), and the
+//! Dell R740 LCA with TDP scaling (mainboard/chassis/power/cooling). The
+//! models here follow the same structure, with constants calibrated so the
+//! paper's reference server reproduces **Table 1 exactly**:
+//!
+//! | Component | TDP | Embodied | Ratio |
+//! |---|---|---|---|
+//! | DRAM (192 GB) | 25 W | 146.87 kgCO₂e | 1 W : 9.7943 kg |
+//! | CPU (per socket) | 165 W | 10.27 kgCO₂e | 1 W : 0.0622 kg |
+
+use serde::{Deserialize, Serialize};
+
+use crate::units::{Carbon, Power};
+
+/// Logic process node, selecting the fab carbon-per-area intensity.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum ProcessNode {
+    /// 7 nm class (EUV-heavy, highest per-area footprint).
+    Nm7,
+    /// 10 nm class.
+    Nm10,
+    /// 14 nm class (Cascade Lake generation).
+    Nm14,
+    /// 22 nm class.
+    Nm22,
+}
+
+impl ProcessNode {
+    /// Fab carbon intensity in kgCO₂e per cm² of good die, ACT-style
+    /// (typical fab energy mix, gas abatement included). The 14 nm value
+    /// is calibrated so a 680 mm² Cascade Lake die at 85 % yield plus
+    /// packaging reproduces the paper's 10.27 kgCO₂e per socket.
+    pub fn kg_per_cm2(self) -> f64 {
+        match self {
+            ProcessNode::Nm7 => 1.80,
+            ProcessNode::Nm10 => 1.45,
+            ProcessNode::Nm14 => 1.221_125,
+            ProcessNode::Nm22 => 0.90,
+        }
+    }
+}
+
+/// Embodied-carbon model of a CPU package: die fabrication (area over
+/// yield times process intensity) plus packaging overhead.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CpuModel {
+    /// Marketing name, e.g. `"Intel Xeon Gold 6240R"`.
+    pub name: String,
+    /// Die area in mm².
+    pub die_area_mm2: f64,
+    /// Process node of the die.
+    pub process: ProcessNode,
+    /// Fab yield in `(0, 1]`.
+    pub fab_yield: f64,
+    /// Packaging and substrate overhead in kgCO₂e.
+    pub packaging_kg: f64,
+    /// Thermal design power of the package.
+    pub tdp: Power,
+    /// Physical core count of the package.
+    pub physical_cores: u32,
+}
+
+impl CpuModel {
+    /// The paper's Intel Xeon Gold 6240R (Cascade Lake, 24 cores, 165 W).
+    pub fn xeon_6240r() -> Self {
+        Self {
+            name: "Intel Xeon Gold 6240R".to_owned(),
+            die_area_mm2: 680.0,
+            process: ProcessNode::Nm14,
+            fab_yield: 0.85,
+            packaging_kg: 0.5,
+            tdp: Power::from_watts(165.0),
+            physical_cores: 24,
+        }
+    }
+
+    /// Embodied carbon of one package.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the yield is not in `(0, 1]` — dividing by a zero or
+    /// negative yield is meaningless.
+    pub fn embodied(&self) -> Carbon {
+        assert!(
+            self.fab_yield > 0.0 && self.fab_yield <= 1.0,
+            "yield must be in (0, 1]"
+        );
+        let die_cm2 = self.die_area_mm2 / 100.0;
+        Carbon::from_kg(die_cm2 / self.fab_yield * self.process.kg_per_cm2() + self.packaging_kg)
+    }
+
+    /// Ratio of embodied carbon (kg) to TDP (W) — the paper's Table 1
+    /// "Ratio" column.
+    pub fn kg_per_tdp_watt(&self) -> f64 {
+        self.embodied().as_kg() / self.tdp.as_watts()
+    }
+}
+
+/// Embodied-carbon model of a DRAM population.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct DramModel {
+    /// Installed capacity in GB.
+    pub capacity_gb: f64,
+    /// Embodied kgCO₂e per GB. The DDR4 default (0.764948) makes 192 GB
+    /// come out at the paper's 146.87 kgCO₂e.
+    pub kg_per_gb: f64,
+    /// Aggregate TDP of the installed DIMMs.
+    pub tdp: Power,
+}
+
+impl DramModel {
+    /// The paper's 192 GB DDR4 configuration (25 W aggregate TDP).
+    pub fn ddr4_192gb() -> Self {
+        Self {
+            capacity_gb: 192.0,
+            kg_per_gb: 0.764_947_916_666_666_7,
+            tdp: Power::from_watts(25.0),
+        }
+    }
+
+    /// Embodied carbon of the whole population.
+    pub fn embodied(&self) -> Carbon {
+        Carbon::from_kg(self.capacity_gb * self.kg_per_gb)
+    }
+
+    /// Ratio of embodied carbon (kg) to TDP (W).
+    pub fn kg_per_tdp_watt(&self) -> f64 {
+        self.embodied().as_kg() / self.tdp.as_watts()
+    }
+}
+
+/// Embodied-carbon model of SSD storage, using Tannu & Nair's
+/// capacity-proportional rate.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct SsdModel {
+    /// Installed capacity in GB.
+    pub capacity_gb: f64,
+    /// Embodied kgCO₂e per GB (the paper uses 0.16).
+    pub kg_per_gb: f64,
+    /// Aggregate TDP of the drives.
+    pub tdp: Power,
+}
+
+impl SsdModel {
+    /// The paper's 480 GB SSD at 0.16 kgCO₂e/GB.
+    pub fn sata_480gb() -> Self {
+        Self {
+            capacity_gb: 480.0,
+            kg_per_gb: 0.16,
+            tdp: Power::from_watts(10.0),
+        }
+    }
+
+    /// Embodied carbon of the drives.
+    pub fn embodied(&self) -> Carbon {
+        Carbon::from_kg(self.capacity_gb * self.kg_per_gb)
+    }
+}
+
+/// Platform overheads — mainboard, chassis, and power-delivery/cooling —
+/// with the power/cooling share scaled by system TDP as the paper does
+/// with the Dell R740 LCA reference values.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct PlatformModel {
+    /// Mainboard embodied carbon in kgCO₂e.
+    pub mainboard_kg: f64,
+    /// Chassis (sheet metal, rails) embodied carbon in kgCO₂e.
+    pub chassis_kg: f64,
+    /// Power-delivery + cooling embodied carbon at the reference TDP.
+    pub power_cooling_ref_kg: f64,
+    /// Reference system TDP the LCA's power/cooling figure corresponds to.
+    pub reference_tdp: Power,
+}
+
+impl PlatformModel {
+    /// Dell R740-derived reference values.
+    pub fn dell_r740() -> Self {
+        Self {
+            mainboard_kg: 145.0,
+            chassis_kg: 90.0,
+            power_cooling_ref_kg: 150.0,
+            reference_tdp: Power::from_watts(500.0),
+        }
+    }
+
+    /// Embodied carbon for a system with the given total component TDP.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the reference TDP is not positive.
+    pub fn embodied(&self, system_tdp: Power) -> Carbon {
+        assert!(
+            self.reference_tdp.as_watts() > 0.0,
+            "reference TDP must be positive"
+        );
+        let scale = system_tdp.as_watts() / self.reference_tdp.as_watts();
+        Carbon::from_kg(self.mainboard_kg + self.chassis_kg + self.power_cooling_ref_kg * scale)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table1_cpu_value() {
+        let cpu = CpuModel::xeon_6240r();
+        let kg = cpu.embodied().as_kg();
+        assert!((kg - 10.27).abs() < 0.005, "CPU embodied {kg} kg");
+        assert!((cpu.kg_per_tdp_watt() - 0.0622).abs() < 0.0005);
+    }
+
+    #[test]
+    fn table1_dram_value() {
+        let dram = DramModel::ddr4_192gb();
+        let kg = dram.embodied().as_kg();
+        assert!((kg - 146.87).abs() < 0.005, "DRAM embodied {kg} kg");
+        // Table 1 prints the ratio as 9.7943 kg/W, which is inconsistent
+        // with its own 146.87 kg / 25 W row; we assert the self-consistent
+        // value (146.87 / 25 = 5.8748). The qualitative claim — DRAM's
+        // ratio dwarfs the CPU's — is unaffected.
+        assert!((dram.kg_per_tdp_watt() - 5.8748).abs() < 0.001);
+    }
+
+    #[test]
+    fn table1_ratio_gap_is_two_orders_of_magnitude() {
+        // The point of Table 1: power is a poor proxy for embodied carbon.
+        let cpu = CpuModel::xeon_6240r();
+        let dram = DramModel::ddr4_192gb();
+        let gap = dram.kg_per_tdp_watt() / cpu.kg_per_tdp_watt();
+        assert!(gap > 50.0, "ratio gap {gap}");
+    }
+
+    #[test]
+    fn ssd_uses_capacity_rate() {
+        let ssd = SsdModel::sata_480gb();
+        assert!((ssd.embodied().as_kg() - 76.8).abs() < 1e-9);
+    }
+
+    #[test]
+    fn platform_scales_power_cooling_with_tdp() {
+        let p = PlatformModel::dell_r740();
+        let at_ref = p.embodied(Power::from_watts(500.0)).as_kg();
+        let at_half = p.embodied(Power::from_watts(250.0)).as_kg();
+        assert!((at_ref - 385.0).abs() < 1e-9);
+        assert!((at_half - 310.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn smaller_process_nodes_cost_more_per_area() {
+        assert!(ProcessNode::Nm7.kg_per_cm2() > ProcessNode::Nm10.kg_per_cm2());
+        assert!(ProcessNode::Nm10.kg_per_cm2() > ProcessNode::Nm14.kg_per_cm2());
+        assert!(ProcessNode::Nm14.kg_per_cm2() > ProcessNode::Nm22.kg_per_cm2());
+    }
+
+    #[test]
+    #[should_panic(expected = "yield")]
+    fn zero_yield_is_rejected() {
+        let mut cpu = CpuModel::xeon_6240r();
+        cpu.fab_yield = 0.0;
+        let _ = cpu.embodied();
+    }
+}

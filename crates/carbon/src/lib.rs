@@ -1,0 +1,41 @@
+//! Operational and embodied carbon models for the Fair-CO₂ reproduction.
+//!
+//! This crate is the ACT-style ([Gupta et al., ISCA '22]) carbon substrate
+//! the paper builds on:
+//!
+//! * [`units`] — newtypes for energy, power, carbon mass, and carbon
+//!   intensity, so a joule can never be mistaken for a gram.
+//! * [`embodied`] — per-component embodied-carbon models (logic die area ×
+//!   process carbon-per-area, DRAM and SSD capacity scaling, platform
+//!   overheads scaled by TDP as in the Dell R740 LCA), pinned to the
+//!   paper's Table 1 numbers.
+//! * [`server`] — the evaluation server (2× Intel Xeon Gold 6240R, 192 GB
+//!   DDR4, 480 GB SSD), its embodied breakdown, uniform amortization, and
+//!   per-resource embodied rates.
+//! * [`operational`] — the static/dynamic power split (≈60/40 per Google's
+//!   characterization) and energy→carbon conversion.
+//!
+//! # Example
+//!
+//! ```
+//! use fairco2_carbon::server::ServerSpec;
+//!
+//! let server = ServerSpec::xeon_6240r();
+//! let breakdown = server.embodied();
+//! // Table 1: DRAM embodies ~7× more carbon than both CPUs together.
+//! assert!(breakdown.dram.as_kg() / breakdown.cpu.as_kg() > 5.0);
+//! ```
+//!
+//! [Gupta et al., ISCA '22]: https://doi.org/10.1145/3470496.3527408
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod amortization;
+pub mod embodied;
+pub mod operational;
+pub mod server;
+pub mod units;
+
+pub use server::ServerSpec;
+pub use units::{Carbon, CarbonIntensity, Energy, Power};

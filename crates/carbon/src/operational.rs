@@ -1,0 +1,139 @@
+//! Operational energy and carbon: static/dynamic power split.
+//!
+//! Per Google's production characterization (cited throughout the paper),
+//! roughly **60 %** of server energy is *static* — drawn whenever the node
+//! is provisioned, independent of load — and **40 %** is *dynamic*, driven
+//! by the workloads. Operational carbon is energy times grid carbon
+//! intensity.
+
+use serde::{Deserialize, Serialize};
+
+use crate::units::{Carbon, CarbonIntensity, Energy, Power};
+
+/// Static share of server energy in Google's characterization.
+pub const GOOGLE_STATIC_ENERGY_SHARE: f64 = 0.6;
+
+/// Linear node power model: `P(u) = idle + (max − idle) · u` for CPU
+/// utilization `u ∈ [0, 1]`.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct NodePowerModel {
+    /// Power drawn by a provisioned but idle node (the static component).
+    pub idle: Power,
+    /// Power at full utilization.
+    pub max: Power,
+}
+
+impl NodePowerModel {
+    /// The paper's dual-socket Xeon Gold 6240R node. Idle is set so that a
+    /// node at the fleet-average utilization matches Google's 60 % static
+    /// energy share.
+    pub fn xeon_6240r_node() -> Self {
+        Self {
+            idle: Power::from_watts(220.0),
+            max: Power::from_watts(580.0),
+        }
+    }
+
+    /// Total node power at CPU utilization `u`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `u` is outside `[0, 1]` or the model is inverted
+    /// (`max < idle`).
+    pub fn at_utilization(&self, u: f64) -> Power {
+        assert!((0.0..=1.0).contains(&u), "utilization must be in [0, 1]");
+        assert!(
+            self.max.as_watts() >= self.idle.as_watts(),
+            "max power must not be below idle power"
+        );
+        self.idle + (self.max - self.idle) * u
+    }
+
+    /// The dynamic (above-idle) power at utilization `u`.
+    ///
+    /// # Panics
+    ///
+    /// Same conditions as [`NodePowerModel::at_utilization`].
+    pub fn dynamic_at(&self, u: f64) -> Power {
+        self.at_utilization(u) - self.idle
+    }
+
+    /// Static energy over `seconds` of provisioned time.
+    pub fn static_energy(&self, seconds: f64) -> Energy {
+        self.idle.for_seconds(seconds)
+    }
+}
+
+/// Converts energy to operational carbon at a fixed grid intensity.
+pub fn operational_carbon(energy: Energy, intensity: CarbonIntensity) -> Carbon {
+    energy * intensity
+}
+
+/// Splits a measured total energy into static and dynamic parts using a
+/// fixed static share (e.g. [`GOOGLE_STATIC_ENERGY_SHARE`]).
+///
+/// # Panics
+///
+/// Panics if `static_share` is outside `[0, 1]`.
+pub fn split_static_dynamic(total: Energy, static_share: f64) -> (Energy, Energy) {
+    assert!(
+        (0.0..=1.0).contains(&static_share),
+        "static share must be in [0, 1]"
+    );
+    let static_energy = total * static_share;
+    (static_energy, total - static_energy)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn power_is_linear_in_utilization() {
+        let m = NodePowerModel::xeon_6240r_node();
+        assert_eq!(m.at_utilization(0.0), m.idle);
+        assert_eq!(m.at_utilization(1.0), m.max);
+        let half = m.at_utilization(0.5).as_watts();
+        assert!((half - 400.0).abs() < 1e-9);
+        assert!((m.dynamic_at(0.5).as_watts() - 180.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn static_energy_accumulates_over_time() {
+        let m = NodePowerModel::xeon_6240r_node();
+        let e = m.static_energy(3600.0);
+        assert!((e.as_kwh() - 0.22).abs() < 1e-9);
+    }
+
+    #[test]
+    fn energy_to_carbon() {
+        let c = operational_carbon(
+            Energy::from_kwh(10.0),
+            CarbonIntensity::from_g_per_kwh(250.0),
+        );
+        assert_eq!(c.as_grams(), 2500.0);
+    }
+
+    #[test]
+    fn static_dynamic_split() {
+        let (s, d) = split_static_dynamic(Energy::from_joules(100.0), 0.6);
+        assert_eq!(s.as_joules(), 60.0);
+        assert_eq!(d.as_joules(), 40.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "utilization")]
+    fn out_of_range_utilization_panics() {
+        let _ = NodePowerModel::xeon_6240r_node().at_utilization(1.5);
+    }
+
+    #[test]
+    fn default_node_matches_google_static_share_at_typical_util() {
+        // At ~40 % fleet utilization: static 220 W, dynamic 144 W → static
+        // share ≈ 60 %.
+        let m = NodePowerModel::xeon_6240r_node();
+        let total = m.at_utilization(0.4).as_watts();
+        let share = m.idle.as_watts() / total;
+        assert!((share - GOOGLE_STATIC_ENERGY_SHARE).abs() < 0.01, "share {share}");
+    }
+}

@@ -1,0 +1,251 @@
+//! The evaluation server: composition, embodied breakdown, amortization,
+//! and per-resource embodied rates.
+
+use serde::{Deserialize, Serialize};
+
+use crate::embodied::{CpuModel, DramModel, PlatformModel, SsdModel};
+use crate::operational::NodePowerModel;
+use crate::units::{Carbon, Power};
+
+/// Seconds in a (365-day) year.
+pub const SECS_PER_YEAR: f64 = 365.0 * 86_400.0;
+
+/// A server configuration: the unit of provisioning in every experiment.
+///
+/// # Example
+///
+/// ```
+/// use fairco2_carbon::ServerSpec;
+///
+/// let server = ServerSpec::xeon_6240r();
+/// assert_eq!(server.physical_cores(), 48);
+/// assert_eq!(server.logical_cores(), 96);
+/// let rates = server.embodied_rates();
+/// assert!(rates.cpu_per_core_second.as_grams() > 0.0);
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ServerSpec {
+    /// CPU package model.
+    pub cpu: CpuModel,
+    /// Number of sockets.
+    pub cpu_count: u32,
+    /// DRAM population.
+    pub dram: DramModel,
+    /// SSD population.
+    pub ssd: SsdModel,
+    /// Platform overhead model.
+    pub platform: PlatformModel,
+    /// Amortization lifetime in years (uniform amortization).
+    pub lifetime_years: f64,
+    /// Node power model.
+    pub power: NodePowerModel,
+}
+
+impl ServerSpec {
+    /// The paper's test server: 2× Intel Xeon Gold 6240R (48 physical /
+    /// 96 logical cores), 192 GB DDR4, 480 GB SSD, 4-year uniform
+    /// amortization.
+    pub fn xeon_6240r() -> Self {
+        Self {
+            cpu: CpuModel::xeon_6240r(),
+            cpu_count: 2,
+            dram: DramModel::ddr4_192gb(),
+            ssd: SsdModel::sata_480gb(),
+            platform: PlatformModel::dell_r740(),
+            lifetime_years: 4.0,
+            power: NodePowerModel::xeon_6240r_node(),
+        }
+    }
+
+    /// Total physical cores across sockets.
+    pub fn physical_cores(&self) -> u32 {
+        self.cpu.physical_cores * self.cpu_count
+    }
+
+    /// Total logical (SMT) cores: two hardware threads per physical core.
+    pub fn logical_cores(&self) -> u32 {
+        self.physical_cores() * 2
+    }
+
+    /// Installed DRAM in GB.
+    pub fn dram_gb(&self) -> f64 {
+        self.dram.capacity_gb
+    }
+
+    /// Installed SSD capacity in GB.
+    pub fn ssd_gb(&self) -> f64 {
+        self.ssd.capacity_gb
+    }
+
+    /// Aggregate component TDP used to scale platform power/cooling.
+    pub fn system_tdp(&self) -> Power {
+        self.cpu.tdp * f64::from(self.cpu_count) + self.dram.tdp + self.ssd.tdp
+    }
+
+    /// Per-component embodied carbon.
+    pub fn embodied(&self) -> EmbodiedBreakdown {
+        EmbodiedBreakdown {
+            cpu: self.cpu.embodied() * f64::from(self.cpu_count),
+            dram: self.dram.embodied(),
+            ssd: self.ssd.embodied(),
+            platform: self.platform.embodied(self.system_tdp()),
+        }
+    }
+
+    /// Embodied carbon per resource pool, with platform overhead allocated
+    /// to pools in proportion to component TDP (power delivery and cooling
+    /// are sized by dissipation, as in the paper's R740 scaling).
+    pub fn embodied_by_resource(&self) -> ResourceEmbodied {
+        let b = self.embodied();
+        let cpu_tdp = self.cpu.tdp.as_watts() * f64::from(self.cpu_count);
+        let dram_tdp = self.dram.tdp.as_watts();
+        let ssd_tdp = self.ssd.tdp.as_watts();
+        let total_tdp = cpu_tdp + dram_tdp + ssd_tdp;
+        let share = |tdp: f64| b.platform * (tdp / total_tdp);
+        ResourceEmbodied {
+            cpu: b.cpu + share(cpu_tdp),
+            dram: b.dram + share(dram_tdp),
+            ssd: b.ssd + share(ssd_tdp),
+        }
+    }
+
+    /// Uniformly amortized embodied rates per resource unit-second.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the lifetime is not positive.
+    pub fn embodied_rates(&self) -> EmbodiedRates {
+        assert!(self.lifetime_years > 0.0, "lifetime must be positive");
+        let lifetime_s = self.lifetime_years * SECS_PER_YEAR;
+        let by_resource = self.embodied_by_resource();
+        EmbodiedRates {
+            cpu_per_core_second: by_resource.cpu
+                / (f64::from(self.physical_cores()) * lifetime_s),
+            dram_per_gb_second: by_resource.dram / (self.dram_gb() * lifetime_s),
+            ssd_per_gb_second: by_resource.ssd / (self.ssd_gb() * lifetime_s),
+            node_per_second: by_resource.total() / lifetime_s,
+        }
+    }
+
+    /// Embodied carbon amortized to one calendar month (the 30-day share
+    /// Temporal Shapley redistributes in the paper's Figure 4).
+    pub fn embodied_per_month(&self) -> Carbon {
+        self.embodied().total() * (30.0 * 86_400.0 / (self.lifetime_years * SECS_PER_YEAR))
+    }
+}
+
+/// Embodied carbon split by physical component.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct EmbodiedBreakdown {
+    /// All CPU packages.
+    pub cpu: Carbon,
+    /// DRAM.
+    pub dram: Carbon,
+    /// SSD storage.
+    pub ssd: Carbon,
+    /// Mainboard, chassis, power delivery, cooling.
+    pub platform: Carbon,
+}
+
+impl EmbodiedBreakdown {
+    /// Whole-server embodied carbon.
+    pub fn total(&self) -> Carbon {
+        self.cpu + self.dram + self.ssd + self.platform
+    }
+}
+
+/// Embodied carbon split by attributable resource pool (platform overhead
+/// folded in).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ResourceEmbodied {
+    /// CPU pool (attributed per core).
+    pub cpu: Carbon,
+    /// Memory pool (attributed per GB).
+    pub dram: Carbon,
+    /// Storage pool (attributed per GB).
+    pub ssd: Carbon,
+}
+
+impl ResourceEmbodied {
+    /// Whole-server embodied carbon.
+    pub fn total(&self) -> Carbon {
+        self.cpu + self.dram + self.ssd
+    }
+}
+
+/// Amortized embodied-carbon rates.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct EmbodiedRates {
+    /// gCO₂e per physical-core-second.
+    pub cpu_per_core_second: Carbon,
+    /// gCO₂e per DRAM-GB-second.
+    pub dram_per_gb_second: Carbon,
+    /// gCO₂e per SSD-GB-second.
+    pub ssd_per_gb_second: Carbon,
+    /// gCO₂e per second for the whole node.
+    pub node_per_second: Carbon,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn reference_server_composition() {
+        let s = ServerSpec::xeon_6240r();
+        assert_eq!(s.physical_cores(), 48);
+        assert_eq!(s.logical_cores(), 96);
+        assert_eq!(s.dram_gb(), 192.0);
+        assert_eq!(s.ssd_gb(), 480.0);
+        assert!((s.system_tdp().as_watts() - 365.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn breakdown_total_is_sum_of_parts() {
+        let s = ServerSpec::xeon_6240r();
+        let b = s.embodied();
+        let total = b.cpu + b.dram + b.ssd + b.platform;
+        assert_eq!(b.total(), total);
+        // CPU ≈ 20.54 kg, DRAM ≈ 146.87 kg, SSD = 76.8 kg.
+        assert!((b.cpu.as_kg() - 20.54).abs() < 0.01);
+        assert!((b.dram.as_kg() - 146.87).abs() < 0.01);
+        assert!((b.ssd.as_kg() - 76.8).abs() < 1e-9);
+        assert!(b.platform.as_kg() > 300.0);
+    }
+
+    #[test]
+    fn resource_split_conserves_total() {
+        let s = ServerSpec::xeon_6240r();
+        let by_component = s.embodied().total();
+        let by_resource = s.embodied_by_resource().total();
+        assert!((by_component.as_grams() - by_resource.as_grams()).abs() < 1e-6);
+    }
+
+    #[test]
+    fn rates_scale_inversely_with_lifetime() {
+        let mut s = ServerSpec::xeon_6240r();
+        let r4 = s.embodied_rates();
+        s.lifetime_years = 8.0;
+        let r8 = s.embodied_rates();
+        let ratio = r4.node_per_second / r8.node_per_second;
+        assert!((ratio - 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn monthly_share_matches_uniform_amortization() {
+        let s = ServerSpec::xeon_6240r();
+        let month = s.embodied_per_month();
+        let expected = s.embodied().total().as_grams() * 30.0 / (4.0 * 365.0);
+        assert!((month.as_grams() - expected).abs() < 1e-6);
+    }
+
+    #[test]
+    fn rate_identity_node_equals_pool_sum() {
+        let s = ServerSpec::xeon_6240r();
+        let r = s.embodied_rates();
+        let pools = r.cpu_per_core_second * 48.0 * 1.0
+            + r.dram_per_gb_second * 192.0
+            + r.ssd_per_gb_second * 480.0;
+        assert!((pools.as_grams() - r.node_per_second.as_grams()).abs() < 1e-9);
+    }
+}

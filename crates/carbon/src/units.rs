@@ -1,0 +1,272 @@
+//! Physical-quantity newtypes.
+//!
+//! The attribution math constantly mixes energy, power, carbon mass, and
+//! carbon intensity; these zero-cost newtypes make unit errors compile
+//! errors. Only the physically meaningful operations are implemented:
+//! `Power × seconds → Energy`, `Energy × CarbonIntensity → Carbon`, and
+//! additive/scalar arithmetic within each quantity.
+
+use std::fmt;
+use std::iter::Sum;
+use std::ops::{Add, AddAssign, Div, Mul, Neg, Sub, SubAssign};
+
+use serde::{Deserialize, Serialize};
+
+/// Joules per kilowatt-hour.
+pub const JOULES_PER_KWH: f64 = 3.6e6;
+
+macro_rules! quantity {
+    ($(#[$meta:meta])* $name:ident, $unit:literal) => {
+        $(#[$meta])*
+        #[derive(Debug, Clone, Copy, PartialEq, PartialOrd, Default, Serialize, Deserialize)]
+        pub struct $name(f64);
+
+        impl $name {
+            /// The zero quantity.
+            pub const ZERO: Self = Self(0.0);
+
+            /// Raw magnitude in the base unit.
+            pub fn value(self) -> f64 {
+                self.0
+            }
+        }
+
+        impl Add for $name {
+            type Output = Self;
+            fn add(self, rhs: Self) -> Self {
+                Self(self.0 + rhs.0)
+            }
+        }
+
+        impl AddAssign for $name {
+            fn add_assign(&mut self, rhs: Self) {
+                self.0 += rhs.0;
+            }
+        }
+
+        impl Sub for $name {
+            type Output = Self;
+            fn sub(self, rhs: Self) -> Self {
+                Self(self.0 - rhs.0)
+            }
+        }
+
+        impl SubAssign for $name {
+            fn sub_assign(&mut self, rhs: Self) {
+                self.0 -= rhs.0;
+            }
+        }
+
+        impl Neg for $name {
+            type Output = Self;
+            fn neg(self) -> Self {
+                Self(-self.0)
+            }
+        }
+
+        impl Mul<f64> for $name {
+            type Output = Self;
+            fn mul(self, rhs: f64) -> Self {
+                Self(self.0 * rhs)
+            }
+        }
+
+        impl Mul<$name> for f64 {
+            type Output = $name;
+            fn mul(self, rhs: $name) -> $name {
+                $name(self * rhs.0)
+            }
+        }
+
+        impl Div<f64> for $name {
+            type Output = Self;
+            fn div(self, rhs: f64) -> Self {
+                Self(self.0 / rhs)
+            }
+        }
+
+        impl Div for $name {
+            type Output = f64;
+            fn div(self, rhs: Self) -> f64 {
+                self.0 / rhs.0
+            }
+        }
+
+        impl Sum for $name {
+            fn sum<I: Iterator<Item = Self>>(iter: I) -> Self {
+                Self(iter.map(|q| q.0).sum())
+            }
+        }
+
+        impl fmt::Display for $name {
+            fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                write!(f, "{} {}", self.0, $unit)
+            }
+        }
+    };
+}
+
+quantity!(
+    /// An amount of energy, stored in joules.
+    Energy,
+    "J"
+);
+
+quantity!(
+    /// Electrical power, stored in watts.
+    Power,
+    "W"
+);
+
+quantity!(
+    /// A mass of CO₂-equivalent greenhouse gas, stored in grams.
+    Carbon,
+    "gCO2e"
+);
+
+quantity!(
+    /// Grid carbon intensity, stored in gCO₂e per kilowatt-hour.
+    CarbonIntensity,
+    "gCO2e/kWh"
+);
+
+impl Energy {
+    /// Energy from joules.
+    pub fn from_joules(joules: f64) -> Self {
+        Self(joules)
+    }
+
+    /// Energy from kilowatt-hours.
+    pub fn from_kwh(kwh: f64) -> Self {
+        Self(kwh * JOULES_PER_KWH)
+    }
+
+    /// Magnitude in joules.
+    pub fn as_joules(self) -> f64 {
+        self.0
+    }
+
+    /// Magnitude in kilowatt-hours.
+    pub fn as_kwh(self) -> f64 {
+        self.0 / JOULES_PER_KWH
+    }
+}
+
+impl Power {
+    /// Power from watts.
+    pub fn from_watts(watts: f64) -> Self {
+        Self(watts)
+    }
+
+    /// Magnitude in watts.
+    pub fn as_watts(self) -> f64 {
+        self.0
+    }
+
+    /// Energy dissipated running at this power for `seconds`.
+    pub fn for_seconds(self, seconds: f64) -> Energy {
+        Energy(self.0 * seconds)
+    }
+}
+
+impl Carbon {
+    /// Carbon from grams of CO₂e.
+    pub fn from_grams(grams: f64) -> Self {
+        Self(grams)
+    }
+
+    /// Carbon from kilograms of CO₂e.
+    pub fn from_kg(kg: f64) -> Self {
+        Self(kg * 1000.0)
+    }
+
+    /// Magnitude in grams.
+    pub fn as_grams(self) -> f64 {
+        self.0
+    }
+
+    /// Magnitude in kilograms.
+    pub fn as_kg(self) -> f64 {
+        self.0 / 1000.0
+    }
+}
+
+impl CarbonIntensity {
+    /// Intensity from gCO₂e per kilowatt-hour (the paper's unit).
+    pub fn from_g_per_kwh(g_per_kwh: f64) -> Self {
+        Self(g_per_kwh)
+    }
+
+    /// Magnitude in gCO₂e per kilowatt-hour.
+    pub fn as_g_per_kwh(self) -> f64 {
+        self.0
+    }
+
+    /// Magnitude in gCO₂e per joule.
+    pub fn as_g_per_joule(self) -> f64 {
+        self.0 / JOULES_PER_KWH
+    }
+}
+
+impl Mul<CarbonIntensity> for Energy {
+    type Output = Carbon;
+    fn mul(self, intensity: CarbonIntensity) -> Carbon {
+        Carbon(self.as_kwh() * intensity.as_g_per_kwh())
+    }
+}
+
+impl Mul<Energy> for CarbonIntensity {
+    type Output = Carbon;
+    fn mul(self, energy: Energy) -> Carbon {
+        energy * self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn power_times_time_is_energy() {
+        let e = Power::from_watts(100.0).for_seconds(3600.0);
+        assert_eq!(e.as_joules(), 360_000.0);
+        assert!((e.as_kwh() - 0.1).abs() < 1e-12);
+    }
+
+    #[test]
+    fn energy_times_intensity_is_carbon() {
+        let e = Energy::from_kwh(2.0);
+        let ci = CarbonIntensity::from_g_per_kwh(250.0);
+        assert_eq!((e * ci).as_grams(), 500.0);
+        assert_eq!((ci * e).as_grams(), 500.0);
+    }
+
+    #[test]
+    fn arithmetic_within_a_quantity() {
+        let a = Carbon::from_kg(1.0);
+        let b = Carbon::from_grams(500.0);
+        assert_eq!((a + b).as_grams(), 1500.0);
+        assert_eq!((a - b).as_grams(), 500.0);
+        assert_eq!((a * 2.0).as_kg(), 2.0);
+        assert_eq!((2.0 * a).as_kg(), 2.0);
+        assert_eq!((a / 2.0).as_grams(), 500.0);
+        assert_eq!(a / b, 2.0);
+        assert_eq!((-b).as_grams(), -500.0);
+        let total: Carbon = [a, b].into_iter().sum();
+        assert_eq!(total.as_grams(), 1500.0);
+    }
+
+    #[test]
+    fn display_includes_unit() {
+        assert_eq!(Power::from_watts(165.0).to_string(), "165 W");
+        assert_eq!(Carbon::from_grams(5.0).to_string(), "5 gCO2e");
+    }
+
+    #[test]
+    fn assign_ops() {
+        let mut c = Carbon::ZERO;
+        c += Carbon::from_grams(3.0);
+        c -= Carbon::from_grams(1.0);
+        assert_eq!(c.as_grams(), 2.0);
+    }
+}

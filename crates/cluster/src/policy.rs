@@ -1,0 +1,194 @@
+//! Placement policies: which half-node slot a new job takes.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use fairco2_workloads::{InterferenceModel, WorkloadKind};
+
+/// A node's current residents, as seen by a policy.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct NodeView {
+    /// Node index in the cluster.
+    pub node: usize,
+    /// The resident workload of the free-slot node (slots are half
+    /// nodes, so a node offered to the policy has exactly one resident).
+    pub resident: WorkloadKind,
+}
+
+/// Decides where an arriving job goes.
+///
+/// The simulator offers every node that currently has exactly one
+/// resident; the policy picks one, or `None` to open a fresh node.
+pub trait PlacementPolicy {
+    /// Policy name (for experiment output).
+    fn name(&self) -> &'static str;
+
+    /// Chooses a node from `open_slots` for `arriving`, or `None` for a
+    /// new node.
+    fn place(
+        &mut self,
+        arriving: WorkloadKind,
+        open_slots: &[NodeView],
+        interference: &InterferenceModel,
+    ) -> Option<usize>;
+}
+
+/// Always fills the lowest-indexed open slot; opens a node only when no
+/// slot is free. Maximizes packing, ignores interference.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct FirstFit;
+
+impl PlacementPolicy for FirstFit {
+    fn name(&self) -> &'static str {
+        "first-fit"
+    }
+
+    fn place(
+        &mut self,
+        _arriving: WorkloadKind,
+        open_slots: &[NodeView],
+        _interference: &InterferenceModel,
+    ) -> Option<usize> {
+        open_slots.iter().map(|s| s.node).min()
+    }
+}
+
+/// Interference-aware: fills the open slot whose pairing minimizes the
+/// combined slowdown (Bubble-Up-style), opening a new node if even the
+/// best pairing exceeds a tolerance.
+#[derive(Debug, Clone, Copy)]
+pub struct LeastInterference {
+    /// Maximum acceptable combined slowdown `s(a|b) + s(b|a)`; above it
+    /// the job gets a fresh node.
+    pub max_combined_slowdown: f64,
+}
+
+impl Default for LeastInterference {
+    fn default() -> Self {
+        Self {
+            max_combined_slowdown: 3.0,
+        }
+    }
+}
+
+impl PlacementPolicy for LeastInterference {
+    fn name(&self) -> &'static str {
+        "least-interference"
+    }
+
+    fn place(
+        &mut self,
+        arriving: WorkloadKind,
+        open_slots: &[NodeView],
+        interference: &InterferenceModel,
+    ) -> Option<usize> {
+        open_slots
+            .iter()
+            .map(|s| {
+                let combined = interference.slowdown(arriving, s.resident)
+                    + interference.slowdown(s.resident, arriving);
+                (s.node, combined)
+            })
+            .filter(|(_, c)| *c <= self.max_combined_slowdown)
+            .min_by(|a, b| a.1.total_cmp(&b.1))
+            .map(|(node, _)| node)
+    }
+}
+
+/// Uniformly random among open slots (plus a coin flip for opening a new
+/// node when slots exist) — the "unlucky tenant" scheduler.
+#[derive(Debug, Clone)]
+pub struct RandomFit {
+    rng: StdRng,
+    /// Probability of opening a fresh node even when slots are free.
+    pub fresh_node_probability: f64,
+}
+
+impl RandomFit {
+    /// Creates the policy with a seed (deterministic per seed).
+    pub fn seeded(seed: u64) -> Self {
+        Self {
+            rng: StdRng::seed_from_u64(seed),
+            fresh_node_probability: 0.2,
+        }
+    }
+}
+
+impl PlacementPolicy for RandomFit {
+    fn name(&self) -> &'static str {
+        "random-fit"
+    }
+
+    fn place(
+        &mut self,
+        _arriving: WorkloadKind,
+        open_slots: &[NodeView],
+        _interference: &InterferenceModel,
+    ) -> Option<usize> {
+        if open_slots.is_empty() || self.rng.gen::<f64>() < self.fresh_node_probability {
+            None
+        } else {
+            Some(open_slots[self.rng.gen_range(0..open_slots.len())].node)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use WorkloadKind::*;
+
+    fn slots() -> Vec<NodeView> {
+        vec![
+            NodeView {
+                node: 3,
+                resident: Ch,
+            },
+            NodeView {
+                node: 1,
+                resident: Pg10,
+            },
+        ]
+    }
+
+    #[test]
+    fn first_fit_takes_lowest_node() {
+        let m = InterferenceModel::paper_calibrated();
+        assert_eq!(FirstFit.place(Nbody, &slots(), &m), Some(1));
+        assert_eq!(FirstFit.place(Nbody, &[], &m), None);
+    }
+
+    #[test]
+    fn least_interference_avoids_the_aggressor() {
+        let m = InterferenceModel::paper_calibrated();
+        // NBODY must prefer the inert PG-10 over CH.
+        let choice = LeastInterference::default().place(Nbody, &slots(), &m);
+        assert_eq!(choice, Some(1));
+    }
+
+    #[test]
+    fn least_interference_opens_a_node_when_everything_is_toxic() {
+        let m = InterferenceModel::paper_calibrated();
+        let strict = LeastInterference {
+            max_combined_slowdown: 2.0,
+        };
+        let only_ch = vec![NodeView {
+            node: 0,
+            resident: Ch,
+        }];
+        assert_eq!(strict.clone().place(Nbody, &only_ch, &m), None);
+    }
+
+    #[test]
+    fn random_fit_is_deterministic_per_seed() {
+        let m = InterferenceModel::paper_calibrated();
+        let run = |seed| {
+            let mut p = RandomFit::seeded(seed);
+            (0..10)
+                .map(|_| p.place(Spark, &slots(), &m))
+                .collect::<Vec<_>>()
+        };
+        assert_eq!(run(5), run(5));
+        assert_ne!(run(5), run(6));
+    }
+}

@@ -1,0 +1,400 @@
+//! The discrete-event simulator: jobs arrive, a policy places them onto
+//! half-node slots, and execution progresses under the pairwise
+//! interference model, with rates recomputed whenever a partner arrives
+//! or departs.
+
+use serde::{Deserialize, Serialize};
+
+use fairco2_trace::series::TimeSeries;
+use fairco2_workloads::{InterferenceModel, NodeAccounting, WorkloadKind};
+
+use crate::policy::{NodeView, PlacementPolicy};
+use crate::workload::JobStream;
+
+/// One finished job's telemetry.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct JobRecord {
+    /// Job id (stream index).
+    pub id: usize,
+    /// Workload kind.
+    pub kind: WorkloadKind,
+    /// Arrival time (s).
+    pub arrival_s: f64,
+    /// Start time (s) — equals arrival (no queueing; the cluster grows).
+    pub start_s: f64,
+    /// Completion time (s).
+    pub finish_s: f64,
+    /// Dynamic energy consumed (J).
+    pub energy_j: f64,
+    /// Node the job ran on.
+    pub node: usize,
+    /// Time spent colocated (s).
+    pub colocated_s: f64,
+}
+
+impl JobRecord {
+    /// Observed wall-clock runtime (s).
+    pub fn runtime_s(&self) -> f64 {
+        self.finish_s - self.start_s
+    }
+
+    /// Observed slowdown vs the isolated profile.
+    pub fn slowdown(&self) -> f64 {
+        self.runtime_s() / self.kind.profile().runtime_s
+    }
+}
+
+/// Result of one simulation run.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SimulationOutcome {
+    /// Per-job telemetry, in job-id order.
+    pub jobs: Vec<JobRecord>,
+    /// Total node-seconds of occupied nodes (≥ 1 resident).
+    pub node_seconds: f64,
+    /// Peak number of simultaneously occupied nodes.
+    pub peak_nodes: usize,
+    /// Makespan: the completion time of the last job (s).
+    pub makespan_s: f64,
+    /// Active-node count sampled every 5 minutes.
+    pub node_demand: Option<TimeSeries>,
+}
+
+impl SimulationOutcome {
+    /// Total dynamic energy across jobs (J).
+    pub fn total_energy_j(&self) -> f64 {
+        self.jobs.iter().map(|j| j.energy_j).sum()
+    }
+
+    /// Total cluster carbon at a grid intensity (gCO₂e), combining
+    /// amortized embodied node-seconds, idle energy over node-seconds,
+    /// and the jobs' dynamic energy.
+    pub fn total_carbon_g(&self, grid_ci_g_per_kwh: f64) -> f64 {
+        let ctx = Simulator::paper_default();
+        let rates = ctx.accounting.server().embodied_rates();
+        let embodied = rates.node_per_second.as_grams() * self.node_seconds;
+        let idle_j = ctx.accounting.server().power.idle.as_watts() * self.node_seconds;
+        let operational = (idle_j + self.total_energy_j()) / 3.6e6 * grid_ci_g_per_kwh;
+        embodied + operational
+    }
+
+    /// Mean observed slowdown across jobs.
+    pub fn mean_slowdown(&self) -> f64 {
+        self.jobs.iter().map(JobRecord::slowdown).sum::<f64>() / self.jobs.len() as f64
+    }
+}
+
+/// The simulator configuration.
+#[derive(Debug, Clone)]
+pub struct Simulator {
+    accounting: NodeAccounting,
+}
+
+#[derive(Debug, Clone)]
+struct RunningJob {
+    id: usize,
+    kind: WorkloadKind,
+    /// Remaining work, in isolated-execution seconds.
+    remaining_work: f64,
+    node: usize,
+    start_s: f64,
+    energy_j: f64,
+    colocated_s: f64,
+}
+
+impl Simulator {
+    /// The paper's defaults: reference server and calibrated
+    /// interference model (the grid CI is supplied at carbon-readout
+    /// time, not during simulation).
+    pub fn paper_default() -> Self {
+        Self {
+            accounting: NodeAccounting::paper_default(
+                fairco2_carbon::units::CarbonIntensity::from_g_per_kwh(0.0),
+            ),
+        }
+    }
+
+    /// The interference model driving execution rates.
+    pub fn interference(&self) -> &InterferenceModel {
+        self.accounting.interference()
+    }
+
+    /// Runs the job stream under a placement policy.
+    ///
+    /// Execution model: a job's *work* equals its isolated runtime; while
+    /// colocated with partner `p` it progresses at rate `1/s(kind|p)` and
+    /// draws the colocated dynamic power, otherwise at rate 1 with the
+    /// isolated power. Rates change instantaneously when partners arrive
+    /// or depart.
+    pub fn run(&self, stream: &JobStream, policy: &mut dyn PlacementPolicy) -> SimulationOutcome {
+        let interference = self.accounting.interference();
+        let mut running: Vec<RunningJob> = Vec::new();
+        let mut node_residents: Vec<Vec<usize>> = Vec::new(); // node -> running indices
+        let mut records: Vec<Option<JobRecord>> = vec![None; stream.len()];
+        let mut next_arrival = 0usize;
+        let mut now = 0.0f64;
+        let mut node_seconds = 0.0f64;
+        let mut peak_nodes = 0usize;
+        let mut samples: Vec<(f64, usize)> = Vec::new();
+
+        let partner_of = |running: &[RunningJob], residents: &[Vec<usize>], idx: usize| -> Option<WorkloadKind> {
+            let node = running[idx].node;
+            residents[node]
+                .iter()
+                .find(|&&r| r != idx)
+                .map(|&r| running[r].kind)
+        };
+        let rate_of = |interference: &InterferenceModel, kind: WorkloadKind, partner: Option<WorkloadKind>| match partner {
+            Some(p) => 1.0 / interference.slowdown(kind, p),
+            None => 1.0,
+        };
+        let power_of = |interference: &InterferenceModel, kind: WorkloadKind, partner: Option<WorkloadKind>| match partner {
+            Some(p) => interference.colocated_power(kind, p),
+            None => kind.profile().dynamic_power_w,
+        };
+
+        loop {
+            // Next event: the earliest of the next arrival and the next
+            // completion at current rates.
+            let arrival_t = stream.jobs().get(next_arrival).map(|j| j.arrival_s);
+            let completion = running
+                .iter()
+                .enumerate()
+                .map(|(i, job)| {
+                    let partner = partner_of(&running, &node_residents, i);
+                    let rate = rate_of(interference, job.kind, partner);
+                    (i, now + job.remaining_work / rate)
+                })
+                .min_by(|a, b| a.1.total_cmp(&b.1));
+
+            let (event_t, completing) = match (arrival_t, &completion) {
+                (Some(a), Some((i, c))) if *c <= a => (*c, Some(*i)),
+                (Some(a), _) => (a, None),
+                (None, Some((i, c))) => (*c, Some(*i)),
+                (None, None) => break,
+            };
+
+            // Advance time: burn work and energy at current rates.
+            let dt = event_t - now;
+            if dt > 0.0 {
+                let occupied = node_residents.iter().filter(|r| !r.is_empty()).count();
+                node_seconds += occupied as f64 * dt;
+                peak_nodes = peak_nodes.max(occupied);
+                samples.push((now, occupied));
+                for i in 0..running.len() {
+                    let partner = partner_of(&running, &node_residents, i);
+                    let rate = rate_of(interference, running[i].kind, partner);
+                    let power = power_of(interference, running[i].kind, partner);
+                    running[i].remaining_work -= dt * rate;
+                    running[i].energy_j += power * dt;
+                    if partner.is_some() {
+                        running[i].colocated_s += dt;
+                    }
+                }
+            }
+            now = event_t;
+
+            if let Some(idx) = completing {
+                // Numerical slack: the completing job's work is done.
+                running[idx].remaining_work = 0.0;
+                let job = running.swap_remove(idx);
+                // swap_remove moved the last element into `idx`.
+                node_residents[job.node].retain(|&r| r != idx);
+                let moved = running.len();
+                for residents in node_residents.iter_mut() {
+                    for r in residents.iter_mut() {
+                        if *r == moved {
+                            *r = idx;
+                        }
+                    }
+                }
+                records[job.id] = Some(JobRecord {
+                    id: job.id,
+                    kind: job.kind,
+                    arrival_s: job.start_s,
+                    start_s: job.start_s,
+                    finish_s: now,
+                    energy_j: job.energy_j,
+                    node: job.node,
+                    colocated_s: job.colocated_s,
+                });
+            } else {
+                // Arrival: offer open slots to the policy.
+                let job = stream.jobs()[next_arrival];
+                next_arrival += 1;
+                let open: Vec<NodeView> = node_residents
+                    .iter()
+                    .enumerate()
+                    .filter(|(_, r)| r.len() == 1)
+                    .map(|(node, r)| NodeView {
+                        node,
+                        resident: running[r[0]].kind,
+                    })
+                    .collect();
+                let node = match policy.place(job.kind, &open, interference) {
+                    Some(n) if node_residents.get(n).is_some_and(|r| r.len() == 1) => n,
+                    _ => {
+                        // Fresh node (reuse an empty one if available).
+                        match node_residents.iter().position(Vec::is_empty) {
+                            Some(n) => n,
+                            None => {
+                                node_residents.push(Vec::new());
+                                node_residents.len() - 1
+                            }
+                        }
+                    }
+                };
+                node_residents[node].push(running.len());
+                running.push(RunningJob {
+                    id: job.id,
+                    kind: job.kind,
+                    remaining_work: job.kind.profile().runtime_s,
+                    node,
+                    start_s: now,
+                    energy_j: 0.0,
+                    colocated_s: 0.0,
+                });
+            }
+        }
+
+        let jobs: Vec<JobRecord> = records
+            .into_iter()
+            .map(|r| r.expect("every job completes"))
+            .collect();
+        let makespan_s = jobs.iter().map(|j| j.finish_s).fold(0.0, f64::max);
+        let node_demand = build_demand(&samples, makespan_s);
+        SimulationOutcome {
+            jobs,
+            node_seconds,
+            peak_nodes,
+            makespan_s,
+            node_demand,
+        }
+    }
+}
+
+/// Active-node samples → a 5-minute step series.
+fn build_demand(samples: &[(f64, usize)], makespan_s: f64) -> Option<TimeSeries> {
+    let step = 300u32;
+    let len = (makespan_s / f64::from(step)).ceil() as usize;
+    if len == 0 || samples.is_empty() {
+        return None;
+    }
+    let mut values = vec![0.0f64; len];
+    // Piecewise-constant: carry the latest sample forward.
+    let mut si = 0usize;
+    let mut level = 0.0;
+    for (k, v) in values.iter_mut().enumerate() {
+        let t = k as f64 * f64::from(step);
+        while si < samples.len() && samples[si].0 <= t {
+            level = samples[si].1 as f64;
+            si += 1;
+        }
+        *v = level;
+    }
+    TimeSeries::from_values(0, step, values).ok()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::policy::{FirstFit, LeastInterference, RandomFit};
+    use crate::workload::Job;
+    use WorkloadKind::*;
+
+    #[test]
+    fn isolated_job_finishes_at_its_profile_runtime() {
+        let stream = JobStream::new(vec![Job {
+            id: 0,
+            kind: Wc,
+            arrival_s: 0.0,
+        }]);
+        let out = Simulator::paper_default().run(&stream, &mut FirstFit);
+        let job = &out.jobs[0];
+        assert!((job.runtime_s() - Wc.profile().runtime_s).abs() < 1e-6);
+        assert!((job.energy_j - Wc.profile().dynamic_energy_j()).abs() < 1e-3);
+        assert_eq!(out.peak_nodes, 1);
+        assert_eq!(job.colocated_s, 0.0);
+    }
+
+    #[test]
+    fn fully_overlapping_pair_matches_the_static_model() {
+        // Two jobs arriving together: the one finishing first runs its
+        // entire life colocated, so its runtime matches the pairwise
+        // colocated runtime exactly.
+        let stream = JobStream::new(vec![
+            Job {
+                id: 0,
+                kind: Nbody,
+                arrival_s: 0.0,
+            },
+            Job {
+                id: 1,
+                kind: Ch,
+                arrival_s: 0.0,
+            },
+        ]);
+        let sim = Simulator::paper_default();
+        let out = sim.run(&stream, &mut FirstFit);
+        let ch = &out.jobs[1];
+        let expected_ch = sim.interference().colocated_runtime(Ch, Nbody);
+        assert!(
+            (ch.runtime_s() - expected_ch).abs() < 1e-6,
+            "CH ran {} expected {expected_ch}",
+            ch.runtime_s()
+        );
+        // NBODY runs colocated until CH finishes, then speeds up: its
+        // runtime lies strictly between colocated and isolated bounds.
+        let nbody = &out.jobs[0];
+        assert!(nbody.runtime_s() < sim.interference().colocated_runtime(Nbody, Ch));
+        assert!(nbody.runtime_s() > Nbody.profile().runtime_s);
+    }
+
+    #[test]
+    fn least_interference_beats_first_fit_on_slowdown() {
+        let stream = JobStream::poisson(60, 90.0, 17);
+        let sim = Simulator::paper_default();
+        let ff = sim.run(&stream, &mut FirstFit);
+        let li = sim.run(&stream, &mut LeastInterference::default());
+        assert!(
+            li.mean_slowdown() < ff.mean_slowdown(),
+            "LI {} vs FF {}",
+            li.mean_slowdown(),
+            ff.mean_slowdown()
+        );
+    }
+
+    #[test]
+    fn random_fit_uses_more_nodes_than_first_fit() {
+        let stream = JobStream::poisson(80, 60.0, 3);
+        let sim = Simulator::paper_default();
+        let ff = sim.run(&stream, &mut FirstFit);
+        let rf = sim.run(&stream, &mut RandomFit::seeded(1));
+        assert!(rf.node_seconds > ff.node_seconds);
+    }
+
+    #[test]
+    fn all_jobs_complete_and_energy_is_positive() {
+        let stream = JobStream::poisson(100, 45.0, 9);
+        let out = Simulator::paper_default().run(&stream, &mut FirstFit);
+        assert_eq!(out.jobs.len(), 100);
+        for j in &out.jobs {
+            assert!(j.finish_s > j.start_s, "job {} never ran", j.id);
+            assert!(j.energy_j > 0.0);
+            assert!(j.slowdown() >= 1.0 - 1e-9);
+            assert!(j.slowdown() < 2.0);
+        }
+        assert!(out.total_carbon_g(250.0) > 0.0);
+        assert!(out.node_demand.is_some());
+    }
+
+    #[test]
+    fn carbon_scales_with_grid_intensity() {
+        let stream = JobStream::poisson(20, 120.0, 2);
+        let out = Simulator::paper_default().run(&stream, &mut FirstFit);
+        let low = out.total_carbon_g(50.0);
+        let high = out.total_carbon_g(500.0);
+        assert!(high > low);
+        // Embodied floor at CI = 0.
+        assert!(out.total_carbon_g(0.0) > 0.0);
+    }
+}

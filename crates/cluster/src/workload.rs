@@ -1,0 +1,128 @@
+//! Job streams: the simulator's input.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use rand_distr::{Distribution, Exp};
+use serde::{Deserialize, Serialize};
+
+use fairco2_workloads::{WorkloadKind, ALL_WORKLOADS};
+
+/// One batch job: a workload instance arriving at a point in time,
+/// requesting half a node until its (interference-dependent) work is
+/// done.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Job {
+    /// Stable identifier (index in the stream).
+    pub id: usize,
+    /// Which suite workload this job runs.
+    pub kind: WorkloadKind,
+    /// Arrival time in seconds.
+    pub arrival_s: f64,
+}
+
+/// An ordered stream of jobs.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct JobStream {
+    jobs: Vec<Job>,
+}
+
+impl JobStream {
+    /// Builds a stream from explicit jobs (sorted by arrival).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `jobs` is empty or any arrival is negative/non-finite.
+    pub fn new(mut jobs: Vec<Job>) -> Self {
+        assert!(!jobs.is_empty(), "a job stream needs at least one job");
+        assert!(
+            jobs.iter().all(|j| j.arrival_s.is_finite() && j.arrival_s >= 0.0),
+            "arrivals must be finite and non-negative"
+        );
+        jobs.sort_by(|a, b| a.arrival_s.total_cmp(&b.arrival_s));
+        Self { jobs }
+    }
+
+    /// A Poisson arrival stream: `count` jobs with exponential
+    /// inter-arrival times of mean `mean_interarrival_s`, kinds drawn
+    /// uniformly from the suite. Deterministic per seed.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `count == 0` or the mean inter-arrival is not positive.
+    pub fn poisson(count: usize, mean_interarrival_s: f64, seed: u64) -> Self {
+        assert!(count > 0, "need at least one job");
+        assert!(
+            mean_interarrival_s > 0.0,
+            "mean inter-arrival must be positive"
+        );
+        let mut rng = StdRng::seed_from_u64(seed);
+        let exp = Exp::new(1.0 / mean_interarrival_s).expect("positive rate");
+        let mut t = 0.0f64;
+        let jobs = (0..count)
+            .map(|id| {
+                t += exp.sample(&mut rng);
+                Job {
+                    id,
+                    kind: ALL_WORKLOADS[rng.gen_range(0..ALL_WORKLOADS.len())],
+                    arrival_s: t,
+                }
+            })
+            .collect();
+        Self { jobs }
+    }
+
+    /// The jobs, sorted by arrival time.
+    pub fn jobs(&self) -> &[Job] {
+        &self.jobs
+    }
+
+    /// Number of jobs.
+    pub fn len(&self) -> usize {
+        self.jobs.len()
+    }
+
+    /// Whether the stream is empty (construction forbids it).
+    pub fn is_empty(&self) -> bool {
+        self.jobs.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn poisson_stream_is_sorted_and_deterministic() {
+        let a = JobStream::poisson(50, 60.0, 3);
+        let b = JobStream::poisson(50, 60.0, 3);
+        assert_eq!(a, b);
+        assert!(a
+            .jobs()
+            .windows(2)
+            .all(|w| w[0].arrival_s <= w[1].arrival_s));
+        assert_eq!(a.len(), 50);
+    }
+
+    #[test]
+    fn explicit_streams_are_sorted_on_construction() {
+        let s = JobStream::new(vec![
+            Job {
+                id: 0,
+                kind: WorkloadKind::Ch,
+                arrival_s: 100.0,
+            },
+            Job {
+                id: 1,
+                kind: WorkloadKind::Wc,
+                arrival_s: 5.0,
+            },
+        ]);
+        assert_eq!(s.jobs()[0].id, 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one job")]
+    fn empty_stream_panics() {
+        let _ = JobStream::new(vec![]);
+    }
+}

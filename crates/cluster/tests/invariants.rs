@@ -1,0 +1,86 @@
+//! Property tests: simulator invariants that must hold for any job
+//! stream and any placement policy.
+
+use fairco2_cluster::policy::{FirstFit, LeastInterference, PlacementPolicy, RandomFit};
+use fairco2_cluster::workload::Job;
+use fairco2_cluster::{JobStream, Simulator};
+use fairco2_workloads::ALL_WORKLOADS;
+use proptest::prelude::*;
+
+fn stream_strategy() -> impl Strategy<Value = JobStream> {
+    prop::collection::vec((0usize..ALL_WORKLOADS.len(), 0.0f64..50_000.0), 1..40).prop_map(
+        |raw| {
+            JobStream::new(
+                raw.into_iter()
+                    .enumerate()
+                    .map(|(id, (kind, arrival_s))| Job {
+                        id,
+                        kind: ALL_WORKLOADS[kind],
+                        arrival_s,
+                    })
+                    .collect(),
+            )
+        },
+    )
+}
+
+fn policies() -> Vec<Box<dyn PlacementPolicy>> {
+    vec![
+        Box::new(FirstFit),
+        Box::new(LeastInterference::default()),
+        Box::new(RandomFit::seeded(7)),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    #[test]
+    fn every_job_completes_within_interference_bounds(stream in stream_strategy()) {
+        let sim = Simulator::paper_default();
+        for mut policy in policies() {
+            let out = sim.run(&stream, policy.as_mut());
+            prop_assert_eq!(out.jobs.len(), stream.len());
+            for job in &out.jobs {
+                // A job can never run faster than its isolated profile,
+                // nor slower than its worst pairwise slowdown.
+                let slow = job.slowdown();
+                prop_assert!(slow >= 1.0 - 1e-9, "{}: {slow}", policy.name());
+                prop_assert!(slow < 1.95, "{}: {slow}", policy.name());
+                // Colocation only ever costs energy, never saves it.
+                prop_assert!(
+                    job.energy_j >= job.kind.profile().dynamic_energy_j() - 1e-6,
+                    "{}: job {} energy {}",
+                    policy.name(),
+                    job.id,
+                    job.energy_j
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn node_seconds_are_bounded_by_runtimes(stream in stream_strategy()) {
+        let sim = Simulator::paper_default();
+        for mut policy in policies() {
+            let out = sim.run(&stream, policy.as_mut());
+            let total_runtime: f64 = out.jobs.iter().map(|j| j.runtime_s()).sum();
+            // A node hosts one or two jobs, so occupied node-time lies
+            // between half the summed runtimes and their full sum.
+            prop_assert!(out.node_seconds <= total_runtime + 1e-6);
+            prop_assert!(out.node_seconds >= total_runtime / 2.0 - 1e-6);
+            prop_assert!(out.peak_nodes >= 1);
+            prop_assert!(out.peak_nodes <= stream.len());
+        }
+    }
+
+    #[test]
+    fn makespan_covers_all_finish_times(stream in stream_strategy()) {
+        let sim = Simulator::paper_default();
+        let out = sim.run(&stream, &mut FirstFit);
+        for job in &out.jobs {
+            prop_assert!(job.finish_s <= out.makespan_s + 1e-9);
+            prop_assert!(job.start_s >= 0.0);
+        }
+    }
+}

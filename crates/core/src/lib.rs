@@ -1,0 +1,70 @@
+//! # Fair-CO₂: fair attribution of cloud carbon emissions
+//!
+//! This crate is the reproduction's core contribution — the attribution
+//! engine of the ISCA '25 paper *"Fair-CO₂: Fair Attribution for Cloud
+//! Carbon Emissions"* (Han, Kakadia, Lee, Gupta). It divides the
+//! operational and embodied carbon of shared infrastructure among the
+//! workloads that share it, under two settings that mirror the paper's
+//! evaluation:
+//!
+//! * **Demand schedules** ([`schedule`], [`demand`]) — workloads with
+//!   time-varying aggregate demand share a pool of *embodied* carbon whose
+//!   size is driven by peak provisioning. Methods: the RUP-Baseline
+//!   (allocation-proportional, per Google/SCI practice), a
+//!   demand-proportional baseline, Fair-CO₂'s **Temporal Shapley**
+//!   (paper Section 5.1), and the ground-truth workload-level Shapley.
+//! * **Colocation scenarios** ([`colocation`]) — pairs of workloads share
+//!   nodes and interfere; embodied, static, and dynamic carbon must be
+//!   split despite asymmetric slowdowns. Methods: RUP-Baseline,
+//!   Fair-CO₂'s **interference-aware adjustment** (Section 5.2, Eqs.
+//!   8–11), and the ground-truth matching-game Shapley.
+//!
+//! [`signal`] produces the *live* embodied-carbon-intensity signal of
+//! Section 5.3 by splicing a demand forecast onto history before running
+//! Temporal Shapley, and [`metrics`] computes the deviation-from-ground-
+//! truth fairness measures of Section 7.
+//!
+//! # Example
+//!
+//! ```
+//! use fairco2::schedule::{Schedule, ScheduledWorkload};
+//! use fairco2::demand::{DemandAttributor, GroundTruthShapley, RupBaseline, TemporalFairCo2};
+//!
+//! // Three workloads, four hours: one runs at the demand peak.
+//! let schedule = Schedule::new(
+//!     3600,
+//!     4,
+//!     vec![
+//!         ScheduledWorkload::new(32.0, 0, 4)?, // runs the whole window
+//!         ScheduledWorkload::new(64.0, 1, 3)?, // creates the peak
+//!         ScheduledWorkload::new(16.0, 3, 4)?, // off-peak straggler
+//!     ],
+//! )?;
+//! let truth = GroundTruthShapley.attribute(&schedule, 1000.0)?;
+//! let rup = RupBaseline.attribute(&schedule, 1000.0)?;
+//! let fair = TemporalFairCo2::per_step().attribute(&schedule, 1000.0)?;
+//! // Every method fully attributes the 1000 g pool...
+//! assert!((truth.iter().sum::<f64>() - 1000.0).abs() < 1e-6);
+//! assert!((rup.iter().sum::<f64>() - 1000.0).abs() < 1e-6);
+//! assert!((fair.iter().sum::<f64>() - 1000.0).abs() < 1e-6);
+//! // ...but only the fair methods charge the peak-maker its true share.
+//! assert!(fair[1] > rup[1]);
+//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod colocation;
+pub mod demand;
+pub mod metrics;
+pub mod multi;
+pub mod report;
+pub mod requests;
+pub mod schedule;
+pub mod signal;
+
+pub use colocation::{ColocationAttributor, ColocationScenario, NodePlacement};
+pub use demand::DemandAttributor;
+pub use metrics::DeviationSummary;
+pub use schedule::{Schedule, ScheduledWorkload};

@@ -1,0 +1,93 @@
+//! Fairness metrics: deviation from the ground-truth attribution
+//! (Section 6.3's evaluation measure).
+
+use serde::{Deserialize, Serialize};
+
+/// Per-scenario deviation summary: the two statistics the paper's Monte
+/// Carlo figures plot.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct DeviationSummary {
+    /// Mean absolute percentage deviation across the scenario's workloads.
+    pub average_pct: f64,
+    /// Largest single-workload percentage deviation ("least fair"
+    /// attribution in the scenario).
+    pub worst_case_pct: f64,
+}
+
+/// Per-workload absolute percentage deviations of `method` from `truth`.
+///
+/// Workloads whose ground-truth share is zero are skipped (a percentage
+/// deviation from zero is undefined); the paper's generators never produce
+/// them because every workload contributes demand.
+///
+/// # Panics
+///
+/// Panics if the slices differ in length — that indicates corrupted
+/// experiment plumbing, not a recoverable condition.
+pub fn deviations_pct(method: &[f64], truth: &[f64]) -> Vec<f64> {
+    assert_eq!(
+        method.len(),
+        truth.len(),
+        "method and truth must cover the same workloads"
+    );
+    method
+        .iter()
+        .zip(truth)
+        .filter(|(_, &t)| t != 0.0)
+        .map(|(&m, &t)| 100.0 * ((m - t) / t).abs())
+        .collect()
+}
+
+/// Summarizes a scenario's deviations into the paper's two statistics.
+///
+/// Returns `None` when no workload had a non-zero ground-truth share.
+pub fn summarize(method: &[f64], truth: &[f64]) -> Option<DeviationSummary> {
+    let devs = deviations_pct(method, truth);
+    if devs.is_empty() {
+        return None;
+    }
+    let average_pct = devs.iter().sum::<f64>() / devs.len() as f64;
+    let worst_case_pct = devs.iter().copied().fold(0.0, f64::max);
+    Some(DeviationSummary {
+        average_pct,
+        worst_case_pct,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deviations_are_absolute_percentages() {
+        let d = deviations_pct(&[110.0, 90.0, 50.0], &[100.0, 100.0, 50.0]);
+        assert_eq!(d, vec![10.0, 10.0, 0.0]);
+    }
+
+    #[test]
+    fn summary_tracks_mean_and_worst() {
+        let s = summarize(&[110.0, 80.0], &[100.0, 100.0]).unwrap();
+        assert!((s.average_pct - 15.0).abs() < 1e-12);
+        assert!((s.worst_case_pct - 20.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn zero_truth_shares_are_skipped() {
+        let d = deviations_pct(&[10.0, 5.0], &[0.0, 10.0]);
+        assert_eq!(d, vec![50.0]);
+        assert!(summarize(&[10.0], &[0.0]).is_none());
+    }
+
+    #[test]
+    fn perfect_attribution_has_zero_deviation() {
+        let s = summarize(&[1.0, 2.0, 3.0], &[1.0, 2.0, 3.0]).unwrap();
+        assert_eq!(s.average_pct, 0.0);
+        assert_eq!(s.worst_case_pct, 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "same workloads")]
+    fn length_mismatch_panics() {
+        let _ = deviations_pct(&[1.0], &[1.0, 2.0]);
+    }
+}

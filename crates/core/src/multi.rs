@@ -1,0 +1,276 @@
+//! Multi-resource demand attribution.
+//!
+//! The paper's framework prices *each hardware resource pool separately*
+//! (CPU cores, DRAM GB, …, per the RUP definition and Table 1's
+//! per-component embodied carbon) and relies on the Shapley value's
+//! **linearity** axiom to recombine: the fair attribution of a sum of
+//! games is the sum of the fair attributions. This module packages that:
+//! a [`MultiResourceSchedule`] carries one demand schedule per resource,
+//! and any single-resource [`DemandAttributor`] is lifted to the
+//! multi-resource setting by attributing each pool independently and
+//! summing.
+
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+use crate::demand::{DemandAttributor, DemandError};
+use crate::schedule::{Schedule, ScheduleError, ScheduledWorkload};
+
+/// One workload's multi-resource reservation over a step window.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct MultiResourceWorkload {
+    /// CPU cores reserved.
+    pub cpu_cores: f64,
+    /// Memory reserved in GB.
+    pub memory_gb: f64,
+    /// First active step.
+    pub start: usize,
+    /// One past the last active step.
+    pub end: usize,
+}
+
+/// Carbon pools to divide, one per resource (gCO₂e) — e.g. the amortized
+/// embodied carbon of the CPU and DRAM pools from
+/// [`ServerSpec::embodied_by_resource`](fairco2_carbon::server::ServerSpec::embodied_by_resource).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ResourcePools {
+    /// CPU pool carbon.
+    pub cpu: f64,
+    /// Memory pool carbon.
+    pub memory: f64,
+}
+
+impl ResourcePools {
+    /// Total carbon across pools.
+    pub fn total(&self) -> f64 {
+        self.cpu + self.memory
+    }
+}
+
+/// Error building or attributing a multi-resource schedule.
+#[derive(Debug, Clone, PartialEq)]
+pub enum MultiError {
+    /// The underlying schedule was invalid.
+    Schedule(ScheduleError),
+    /// A per-resource attribution failed.
+    Attribution(DemandError),
+}
+
+impl fmt::Display for MultiError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            MultiError::Schedule(e) => write!(f, "schedule: {e}"),
+            MultiError::Attribution(e) => write!(f, "attribution: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for MultiError {}
+
+impl From<ScheduleError> for MultiError {
+    fn from(e: ScheduleError) -> Self {
+        MultiError::Schedule(e)
+    }
+}
+
+impl From<DemandError> for MultiError {
+    fn from(e: DemandError) -> Self {
+        MultiError::Attribution(e)
+    }
+}
+
+/// A schedule of multi-resource workloads: internally one
+/// [`Schedule`] per resource, guaranteed structurally identical.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct MultiResourceSchedule {
+    cpu: Schedule,
+    memory: Schedule,
+}
+
+impl MultiResourceSchedule {
+    /// Builds the schedule.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MultiError::Schedule`] for invalid grids or windows.
+    pub fn new(
+        step_seconds: u32,
+        steps: usize,
+        workloads: Vec<MultiResourceWorkload>,
+    ) -> Result<Self, MultiError> {
+        let cpu = Schedule::new(
+            step_seconds,
+            steps,
+            workloads
+                .iter()
+                .map(|w| ScheduledWorkload::new(w.cpu_cores, w.start, w.end))
+                .collect::<Result<_, _>>()?,
+        )?;
+        let memory = Schedule::new(
+            step_seconds,
+            steps,
+            workloads
+                .iter()
+                .map(|w| ScheduledWorkload::new(w.memory_gb, w.start, w.end))
+                .collect::<Result<_, _>>()?,
+        )?;
+        Ok(Self { cpu, memory })
+    }
+
+    /// The CPU-demand view.
+    pub fn cpu(&self) -> &Schedule {
+        &self.cpu
+    }
+
+    /// The memory-demand view.
+    pub fn memory(&self) -> &Schedule {
+        &self.memory
+    }
+
+    /// Number of workloads.
+    pub fn workload_count(&self) -> usize {
+        self.cpu.workloads().len()
+    }
+
+    /// Attributes the per-resource pools with `method` and recombines by
+    /// linearity: each workload's total share is its CPU-pool share plus
+    /// its memory-pool share.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MultiError::Attribution`] if either pool cannot be
+    /// attributed (e.g. zero demand in one resource dimension).
+    pub fn attribute<M: DemandAttributor + ?Sized>(
+        &self,
+        method: &M,
+        pools: ResourcePools,
+    ) -> Result<Vec<f64>, MultiError> {
+        let cpu_shares = method.attribute(&self.cpu, pools.cpu)?;
+        let mem_shares = method.attribute(&self.memory, pools.memory)?;
+        Ok(cpu_shares
+            .iter()
+            .zip(&mem_shares)
+            .map(|(c, m)| c + m)
+            .collect())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::demand::{GroundTruthShapley, RupBaseline, TemporalFairCo2};
+
+    fn schedule() -> MultiResourceSchedule {
+        MultiResourceSchedule::new(
+            3600,
+            4,
+            vec![
+                // CPU-heavy compute job.
+                MultiResourceWorkload {
+                    cpu_cores: 64.0,
+                    memory_gb: 16.0,
+                    start: 1,
+                    end: 3,
+                },
+                // Memory-heavy cache, always on.
+                MultiResourceWorkload {
+                    cpu_cores: 8.0,
+                    memory_gb: 160.0,
+                    start: 0,
+                    end: 4,
+                },
+                // Balanced batch job, off-peak.
+                MultiResourceWorkload {
+                    cpu_cores: 32.0,
+                    memory_gb: 64.0,
+                    start: 3,
+                    end: 4,
+                },
+            ],
+        )
+        .unwrap()
+    }
+
+    fn pools() -> ResourcePools {
+        // CPU pool ≈ 332 kg, DRAM pool ≈ 170 kg for the reference server;
+        // scaled to grams for one month here.
+        ResourcePools {
+            cpu: 600.0,
+            memory: 400.0,
+        }
+    }
+
+    #[test]
+    fn multi_resource_attribution_is_efficient() {
+        let s = schedule();
+        for method in [
+            &GroundTruthShapley as &dyn DemandAttributor,
+            &RupBaseline,
+            &TemporalFairCo2::per_step(),
+        ] {
+            let shares = s.attribute(method, pools()).unwrap();
+            let total: f64 = shares.iter().sum();
+            assert!(
+                (total - pools().total()).abs() < 1e-6,
+                "{}: {total}",
+                method.name()
+            );
+        }
+    }
+
+    #[test]
+    fn resource_dominance_shows_in_the_split() {
+        // The memory-heavy cache must carry most of the memory pool; the
+        // CPU-heavy job most of the CPU pool.
+        let s = schedule();
+        let truth = GroundTruthShapley;
+        let cpu_only = s
+            .attribute(
+                &truth,
+                ResourcePools {
+                    cpu: 1000.0,
+                    memory: 0.0,
+                },
+            )
+            .unwrap();
+        let mem_only = s
+            .attribute(
+                &truth,
+                ResourcePools {
+                    cpu: 0.0,
+                    memory: 1000.0,
+                },
+            )
+            .unwrap();
+        assert!(cpu_only[0] > cpu_only[1], "compute job dominates CPU pool");
+        assert!(mem_only[1] > mem_only[0], "cache dominates memory pool");
+    }
+
+    #[test]
+    fn linearity_recombination_matches_manual_sum() {
+        let s = schedule();
+        let method = TemporalFairCo2::per_step();
+        let combined = s.attribute(&method, pools()).unwrap();
+        let cpu = method.attribute(s.cpu(), pools().cpu).unwrap();
+        let mem = method.attribute(s.memory(), pools().memory).unwrap();
+        for ((c, m), tot) in cpu.iter().zip(&mem).zip(&combined) {
+            assert!((c + m - tot).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn mismatched_windows_are_rejected() {
+        let err = MultiResourceSchedule::new(
+            3600,
+            2,
+            vec![MultiResourceWorkload {
+                cpu_cores: 8.0,
+                memory_gb: 8.0,
+                start: 0,
+                end: 5,
+            }],
+        );
+        assert!(matches!(err, Err(MultiError::Schedule(_))));
+    }
+}

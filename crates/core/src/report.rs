@@ -1,0 +1,232 @@
+//! Tenant-facing carbon statements.
+//!
+//! The paper motivates attribution with carbon *dashboards* (AWS, GCP,
+//! Azure) that present each customer a periodic carbon statement. This
+//! module assembles such statements from attribution results: per-tenant
+//! line items (embodied, static-operational, dynamic-operational),
+//! method provenance, and the deviation versus the ground truth when one
+//! was computed — everything serializable for an API or export.
+
+use serde::{Deserialize, Serialize};
+
+use crate::colocation::{ColocationAttributor, ColocationError, ColocationScenario};
+use fairco2_workloads::NodeAccounting;
+
+/// One tenant's line on a statement (all gCO₂e).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct StatementLine {
+    /// Tenant / workload label.
+    pub tenant: String,
+    /// Attributed embodied carbon.
+    pub embodied_g: f64,
+    /// Attributed static operational carbon.
+    pub static_g: f64,
+    /// Attributed dynamic operational carbon.
+    pub dynamic_g: f64,
+    /// Deviation from the ground-truth attribution, percent (signed),
+    /// when a ground truth was computed.
+    pub deviation_pct: Option<f64>,
+}
+
+impl StatementLine {
+    /// Total attributed carbon for this tenant.
+    pub fn total_g(&self) -> f64 {
+        self.embodied_g + self.static_g + self.dynamic_g
+    }
+}
+
+/// A periodic carbon statement for a set of colocated tenants.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CarbonStatement {
+    /// Attribution method that produced the statement.
+    pub method: String,
+    /// Grid carbon intensity used (gCO₂e/kWh).
+    pub grid_ci: f64,
+    /// Per-tenant lines.
+    pub lines: Vec<StatementLine>,
+}
+
+impl CarbonStatement {
+    /// Builds a statement for a colocation scenario using `method`,
+    /// optionally auditing each line against the ground truth computed
+    /// by `truth`.
+    ///
+    /// Pool components (embodied / static / dynamic) are assigned
+    /// pro-rata within each tenant's total share, mirroring how the
+    /// scenario's actual pools decompose.
+    ///
+    /// # Errors
+    ///
+    /// Propagates any [`ColocationError`] from the methods.
+    pub fn for_scenario(
+        scenario: &ColocationScenario,
+        ctx: &NodeAccounting,
+        method: &dyn ColocationAttributor,
+        truth: Option<&dyn ColocationAttributor>,
+    ) -> Result<Self, ColocationError> {
+        let shares = method.attribute(scenario, ctx)?;
+        let truth_shares = truth
+            .map(|t| t.attribute(scenario, ctx))
+            .transpose()?;
+        let pools = scenario.carbon(ctx);
+        let total = pools.total();
+        let (emb_frac, stat_frac, dyn_frac) = if total > 0.0 {
+            (
+                pools.embodied / total,
+                pools.static_operational / total,
+                pools.dynamic_operational / total,
+            )
+        } else {
+            (0.0, 0.0, 0.0)
+        };
+        let lines = scenario
+            .workloads()
+            .iter()
+            .enumerate()
+            .map(|(i, w)| StatementLine {
+                tenant: match w.partner {
+                    Some(p) => format!("{} (with {})", w.kind.name(), p.name()),
+                    None => format!("{} (isolated)", w.kind.name()),
+                },
+                embodied_g: shares[i] * emb_frac,
+                static_g: shares[i] * stat_frac,
+                dynamic_g: shares[i] * dyn_frac,
+                deviation_pct: truth_shares
+                    .as_ref()
+                    .map(|t| 100.0 * (shares[i] - t[i]) / t[i]),
+            })
+            .collect();
+        Ok(Self {
+            method: method.name().to_owned(),
+            grid_ci: ctx.grid().as_g_per_kwh(),
+            lines,
+        })
+    }
+
+    /// Statement total across tenants.
+    pub fn total_g(&self) -> f64 {
+        self.lines.iter().map(StatementLine::total_g).sum()
+    }
+
+    /// Renders a plain-text statement table.
+    pub fn to_table(&self) -> String {
+        use std::fmt::Write;
+        let mut out = String::new();
+        let _ = writeln!(
+            out,
+            "carbon statement — method: {}, grid: {:.0} gCO2e/kWh",
+            self.method, self.grid_ci
+        );
+        let _ = writeln!(
+            out,
+            "{:<24} {:>10} {:>10} {:>10} {:>10} {:>8}",
+            "tenant", "embodied", "static", "dynamic", "total", "dev"
+        );
+        for l in &self.lines {
+            let dev = l
+                .deviation_pct
+                .map_or_else(|| "-".to_owned(), |d| format!("{d:+.1}%"));
+            let _ = writeln!(
+                out,
+                "{:<24} {:>9.1}g {:>9.1}g {:>9.1}g {:>9.1}g {:>8}",
+                l.tenant,
+                l.embodied_g,
+                l.static_g,
+                l.dynamic_g,
+                l.total_g(),
+                dev
+            );
+        }
+        let _ = writeln!(out, "{:<24} {:>42} {:>9.1}g", "TOTAL", "", self.total_g());
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::colocation::{FairCo2Colocation, GroundTruthMatching, RupColocation};
+    use fairco2_carbon::units::CarbonIntensity;
+    use fairco2_workloads::WorkloadKind::*;
+
+    fn setup() -> (ColocationScenario, NodeAccounting) {
+        (
+            ColocationScenario::pair_in_order(&[Nbody, Ch, Spark, Pg10, Llama]).unwrap(),
+            NodeAccounting::paper_default(CarbonIntensity::from_g_per_kwh(250.0)),
+        )
+    }
+
+    #[test]
+    fn statement_totals_match_scenario_carbon() {
+        let (scenario, ctx) = setup();
+        let statement = CarbonStatement::for_scenario(
+            &scenario,
+            &ctx,
+            &FairCo2Colocation::with_full_history(),
+            Some(&GroundTruthMatching),
+        )
+        .unwrap();
+        let actual = scenario.carbon(&ctx).total();
+        assert!((statement.total_g() - actual).abs() < 1e-6 * actual);
+        assert_eq!(statement.lines.len(), 5);
+        assert!(statement
+            .lines
+            .iter()
+            .all(|l| l.deviation_pct.is_some()));
+    }
+
+    #[test]
+    fn components_sum_to_line_totals() {
+        let (scenario, ctx) = setup();
+        let statement =
+            CarbonStatement::for_scenario(&scenario, &ctx, &RupColocation, None).unwrap();
+        for l in &statement.lines {
+            assert!((l.embodied_g + l.static_g + l.dynamic_g - l.total_g()).abs() < 1e-12);
+            assert!(l.deviation_pct.is_none());
+        }
+    }
+
+    #[test]
+    fn labels_carry_placement_information() {
+        let (scenario, ctx) = setup();
+        let statement =
+            CarbonStatement::for_scenario(&scenario, &ctx, &RupColocation, None).unwrap();
+        assert!(statement.lines[0].tenant.contains("with CH"));
+        assert!(statement.lines[4].tenant.contains("isolated"));
+    }
+
+    #[test]
+    fn table_rendering_contains_every_tenant() {
+        let (scenario, ctx) = setup();
+        let statement = CarbonStatement::for_scenario(
+            &scenario,
+            &ctx,
+            &GroundTruthMatching,
+            Some(&GroundTruthMatching),
+        )
+        .unwrap();
+        let table = statement.to_table();
+        for w in ["NBODY", "CH", "SPARK", "PG-10", "LLAMA", "TOTAL"] {
+            assert!(table.contains(w), "missing {w} in\n{table}");
+        }
+        // Ground truth audited against itself shows zero deviation.
+        for l in &statement.lines {
+            assert!(l.deviation_pct.unwrap().abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn serialization_round_trips() {
+        let (scenario, ctx) = setup();
+        let statement =
+            CarbonStatement::for_scenario(&scenario, &ctx, &RupColocation, None).unwrap();
+        let json = serde_json::to_string(&statement).unwrap();
+        let back: CarbonStatement = serde_json::from_str(&json).unwrap();
+        assert_eq!(back.method, statement.method);
+        assert_eq!(back.lines.len(), statement.lines.len());
+        for (a, b) in back.lines.iter().zip(&statement.lines) {
+            assert_eq!(a.tenant, b.tenant);
+            assert!((a.total_g() - b.total_g()).abs() < 1e-9);
+        }
+    }
+}

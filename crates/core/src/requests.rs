@@ -1,0 +1,183 @@
+//! Request-level attribution (the paper's Section 10 future work).
+//!
+//! Once a *service* has a fair carbon share, per-request attribution
+//! follows the same demand-aware logic one level down: a request's share
+//! of the service's carbon is its resource-time priced at the intensity
+//! signal in effect while it executed. Requests arriving at the daily
+//! peak therefore carry more embodied carbon than identical requests at
+//! the trough — the signal the paper wants to expose to
+//! microservice/serverless platforms.
+
+use serde::{Deserialize, Serialize};
+
+use fairco2_shapley::temporal::TemporalAttribution;
+
+/// One served request.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Request {
+    /// Arrival timestamp (UNIX seconds).
+    pub arrival: i64,
+    /// Busy time consumed on the service's cores, in core-seconds.
+    pub cpu_core_seconds: f64,
+}
+
+/// A request's attributed carbon.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct RequestCarbon {
+    /// The request.
+    pub request: Request,
+    /// Attributed carbon in gCO₂e.
+    pub carbon_g: f64,
+}
+
+/// Attributes `service_carbon` (gCO₂e — the service's fair share for the
+/// window, e.g. from
+/// [`TemporalAttribution::workload_carbon`]) across its requests,
+/// weighting each request by its core-seconds *times* the embodied
+/// intensity signal at its arrival.
+///
+/// Requests outside the signal's window are priced at the signal's mean
+/// intensity (they still consumed resources; the window boundary must not
+/// create free riders). Returns one record per request plus any carbon
+/// left unattributed because total weight was zero.
+///
+/// # Panics
+///
+/// Panics if `requests` is empty or any request has negative
+/// core-seconds.
+pub fn attribute_requests(
+    requests: &[Request],
+    signal: &TemporalAttribution,
+    service_carbon: f64,
+) -> (Vec<RequestCarbon>, f64) {
+    assert!(!requests.is_empty(), "at least one request is required");
+    assert!(
+        requests.iter().all(|r| r.cpu_core_seconds >= 0.0),
+        "core-seconds must be non-negative"
+    );
+    let intensity = signal.leaf_intensity();
+    let mean = intensity.mean();
+    let weights: Vec<f64> = requests
+        .iter()
+        .map(|r| r.cpu_core_seconds * intensity.value_at(r.arrival).unwrap_or(mean))
+        .collect();
+    let total: f64 = weights.iter().sum();
+    if total <= 0.0 {
+        return (
+            requests
+                .iter()
+                .map(|&request| RequestCarbon {
+                    request,
+                    carbon_g: 0.0,
+                })
+                .collect(),
+            service_carbon,
+        );
+    }
+    let records = requests
+        .iter()
+        .zip(&weights)
+        .map(|(&request, w)| RequestCarbon {
+            request,
+            carbon_g: service_carbon * w / total,
+        })
+        .collect();
+    (records, 0.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fairco2_shapley::temporal::TemporalShapley;
+    use fairco2_trace::TimeSeries;
+
+    fn signal() -> TemporalAttribution {
+        // 24 hourly samples: low demand at night, high in the evening.
+        let series = TimeSeries::from_fn(0, 3600, 24, |t| {
+            let h = t / 3600;
+            if (17..22).contains(&h) {
+                100.0
+            } else {
+                30.0
+            }
+        })
+        .unwrap();
+        TemporalShapley::new(vec![24]).attribute(&series, 1000.0).unwrap()
+    }
+
+    #[test]
+    fn peak_requests_pay_more_than_trough_requests() {
+        let sig = signal();
+        let requests = vec![
+            Request {
+                arrival: 3 * 3600, // night
+                cpu_core_seconds: 2.0,
+            },
+            Request {
+                arrival: 18 * 3600, // evening peak
+                cpu_core_seconds: 2.0,
+            },
+        ];
+        let (records, stranded) = attribute_requests(&requests, &sig, 10.0);
+        assert_eq!(stranded, 0.0);
+        assert!(records[1].carbon_g > records[0].carbon_g);
+        let total: f64 = records.iter().map(|r| r.carbon_g).sum();
+        assert!((total - 10.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn attribution_scales_with_resource_use() {
+        let sig = signal();
+        let requests = vec![
+            Request {
+                arrival: 18 * 3600,
+                cpu_core_seconds: 1.0,
+            },
+            Request {
+                arrival: 18 * 3600,
+                cpu_core_seconds: 3.0,
+            },
+        ];
+        let (records, _) = attribute_requests(&requests, &sig, 8.0);
+        assert!((records[1].carbon_g - 3.0 * records[0].carbon_g).abs() < 1e-9);
+    }
+
+    #[test]
+    fn out_of_window_requests_use_the_mean_intensity() {
+        let sig = signal();
+        let requests = vec![
+            Request {
+                arrival: 999_999_999, // far outside the window
+                cpu_core_seconds: 1.0,
+            },
+            Request {
+                arrival: 3 * 3600,
+                cpu_core_seconds: 1.0,
+            },
+        ];
+        let (records, stranded) = attribute_requests(&requests, &sig, 5.0);
+        assert_eq!(stranded, 0.0);
+        assert!(records[0].carbon_g > 0.0);
+        let total: f64 = records.iter().map(|r| r.carbon_g).sum();
+        assert!((total - 5.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn zero_weight_requests_strand_the_carbon() {
+        let sig = signal();
+        let requests = vec![Request {
+            arrival: 0,
+            cpu_core_seconds: 0.0,
+        }];
+        let (records, stranded) = attribute_requests(&requests, &sig, 7.0);
+        assert_eq!(records[0].carbon_g, 0.0);
+        assert_eq!(stranded, 7.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one request")]
+    fn empty_request_set_panics() {
+        let sig = signal();
+        let _ = attribute_requests(&[], &sig, 1.0);
+    }
+}

@@ -1,0 +1,48 @@
+//! Demand forecasting: the Prophet substitute (paper Section 5.3).
+//!
+//! The paper uses Meta's Prophet to forecast aggregate data-center demand
+//! from 21 days of history, then feeds the forecast into Temporal Shapley
+//! to produce *live* embodied-carbon-intensity signals. Prophet is a
+//! Python/Stan tool; on strongly periodic traces its essence is a linear
+//! trend plus Fourier seasonality, which is exactly what
+//! [`SeasonalForecaster`] fits — by ridge regression over
+//! `[1, t, sin/cos(k·2πt/day), sin/cos(k·2πt/week)]` features, solved with
+//! an in-repo Cholesky factorization ([`linalg`]).
+//!
+//! # Example
+//!
+//! ```
+//! use fairco2_trace::AzureLikeTrace;
+//! use fairco2_forecast::SeasonalForecaster;
+//!
+//! let trace = AzureLikeTrace::builder().days(30).seed(3).build();
+//! let (train, test) = fairco2_forecast::split_at_day(trace.series(), 21)?;
+//! let model = SeasonalForecaster::default_daily_weekly().fit(&train)?;
+//! let forecast = model.predict(test.len());
+//! let mape = fairco2_trace::stats::mape(test.values(), forecast.values()).unwrap();
+//! assert!(mape < 10.0, "MAPE {mape}");
+//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod linalg;
+pub mod model;
+
+pub use model::{FittedForecaster, ForecastError, SeasonalForecaster};
+
+use fairco2_trace::series::{SeriesError, TimeSeries};
+
+/// Splits a series at the given day boundary into (history, holdout) —
+/// the paper's 21-day-train / 9-day-test protocol.
+///
+/// # Errors
+///
+/// Returns a [`SeriesError`] if either side would be empty.
+pub fn split_at_day(series: &TimeSeries, day: u32) -> Result<(TimeSeries, TimeSeries), SeriesError> {
+    let boundary = series.start() + i64::from(day) * 86_400;
+    let train = series.window(series.start(), boundary)?;
+    let test = series.window(boundary, series.end())?;
+    Ok((train, test))
+}

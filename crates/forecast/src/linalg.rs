@@ -1,0 +1,196 @@
+//! Minimal dense linear algebra: symmetric positive-definite solves via
+//! Cholesky factorization, enough for ridge-regression normal equations.
+
+use std::fmt;
+
+/// Error from a linear solve.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum LinalgError {
+    /// The matrix was not positive definite (or numerically singular).
+    NotPositiveDefinite {
+        /// Pivot index where factorization failed.
+        pivot: usize,
+    },
+    /// Dimensions of the inputs disagree.
+    DimensionMismatch,
+}
+
+impl fmt::Display for LinalgError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            LinalgError::NotPositiveDefinite { pivot } => {
+                write!(f, "matrix is not positive definite (pivot {pivot})")
+            }
+            LinalgError::DimensionMismatch => write!(f, "dimension mismatch"),
+        }
+    }
+}
+
+impl std::error::Error for LinalgError {}
+
+/// A dense symmetric matrix stored as the lower triangle, row-major.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SymMatrix {
+    n: usize,
+    data: Vec<f64>, // lower triangle: row i holds i+1 entries
+}
+
+impl SymMatrix {
+    /// Zero matrix of dimension `n`.
+    pub fn zeros(n: usize) -> Self {
+        Self {
+            n,
+            data: vec![0.0; n * (n + 1) / 2],
+        }
+    }
+
+    /// Dimension.
+    pub fn dim(&self) -> usize {
+        self.n
+    }
+
+    fn idx(&self, i: usize, j: usize) -> usize {
+        debug_assert!(j <= i && i < self.n);
+        i * (i + 1) / 2 + j
+    }
+
+    /// Entry `(i, j)`; symmetric access.
+    pub fn get(&self, i: usize, j: usize) -> f64 {
+        let (i, j) = if i >= j { (i, j) } else { (j, i) };
+        self.data[self.idx(i, j)]
+    }
+
+    /// Adds `v` to entry `(i, j)` (and by symmetry `(j, i)`).
+    pub fn add(&mut self, i: usize, j: usize, v: f64) {
+        let (i, j) = if i >= j { (i, j) } else { (j, i) };
+        let k = self.idx(i, j);
+        self.data[k] += v;
+    }
+
+    /// Solves `A·x = b` in place via Cholesky (`A = L·Lᵀ`).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LinalgError::NotPositiveDefinite`] if a pivot is not
+    /// strictly positive, or [`LinalgError::DimensionMismatch`] if `b` has
+    /// the wrong length.
+    pub fn solve(&self, b: &[f64]) -> Result<Vec<f64>, LinalgError> {
+        if b.len() != self.n {
+            return Err(LinalgError::DimensionMismatch);
+        }
+        let n = self.n;
+        // Factor into L (lower triangle).
+        let mut l = vec![0.0f64; self.data.len()];
+        for i in 0..n {
+            for j in 0..=i {
+                let mut sum = self.get(i, j);
+                for k in 0..j {
+                    sum -= l[i * (i + 1) / 2 + k] * l[j * (j + 1) / 2 + k];
+                }
+                if i == j {
+                    if sum <= 0.0 {
+                        return Err(LinalgError::NotPositiveDefinite { pivot: i });
+                    }
+                    l[i * (i + 1) / 2 + j] = sum.sqrt();
+                } else {
+                    l[i * (i + 1) / 2 + j] = sum / l[j * (j + 1) / 2 + j];
+                }
+            }
+        }
+        // Forward substitution: L·y = b.
+        let mut y = vec![0.0f64; n];
+        for i in 0..n {
+            let mut sum = b[i];
+            for k in 0..i {
+                sum -= l[i * (i + 1) / 2 + k] * y[k];
+            }
+            y[i] = sum / l[i * (i + 1) / 2 + i];
+        }
+        // Back substitution: Lᵀ·x = y.
+        let mut x = vec![0.0f64; n];
+        for i in (0..n).rev() {
+            let mut sum = y[i];
+            for k in (i + 1)..n {
+                sum -= l[k * (k + 1) / 2 + i] * x[k];
+            }
+            x[i] = sum / l[i * (i + 1) / 2 + i];
+        }
+        Ok(x)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn solves_a_known_spd_system() {
+        // A = [[4,2],[2,3]], b = [10, 8] → x = [1.75, 1.5].
+        let mut a = SymMatrix::zeros(2);
+        a.add(0, 0, 4.0);
+        a.add(1, 0, 2.0);
+        a.add(1, 1, 3.0);
+        let x = a.solve(&[10.0, 8.0]).unwrap();
+        assert!((x[0] - 1.75).abs() < 1e-12);
+        assert!((x[1] - 1.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn symmetric_access() {
+        let mut a = SymMatrix::zeros(3);
+        a.add(2, 0, 5.0);
+        assert_eq!(a.get(0, 2), 5.0);
+        assert_eq!(a.get(2, 0), 5.0);
+        assert_eq!(a.dim(), 3);
+    }
+
+    #[test]
+    fn rejects_indefinite_matrices() {
+        let mut a = SymMatrix::zeros(2);
+        a.add(0, 0, 1.0);
+        a.add(1, 0, 2.0);
+        a.add(1, 1, 1.0); // eigenvalues −1 and 3
+        assert_eq!(
+            a.solve(&[1.0, 1.0]),
+            Err(LinalgError::NotPositiveDefinite { pivot: 1 })
+        );
+    }
+
+    #[test]
+    fn rejects_wrong_rhs_length() {
+        let a = SymMatrix::zeros(2);
+        assert_eq!(a.solve(&[1.0]), Err(LinalgError::DimensionMismatch));
+    }
+
+    #[test]
+    fn random_spd_round_trip() {
+        // Build A = Bᵀ·B + I for a fixed B and verify A·x ≈ b.
+        let n = 6;
+        let b_mat: Vec<Vec<f64>> = (0..n)
+            .map(|i| {
+                (0..n)
+                    .map(|j| ((i * 7 + j * 13) % 11) as f64 / 11.0)
+                    .collect()
+            })
+            .collect();
+        let mut a = SymMatrix::zeros(n);
+        for i in 0..n {
+            for j in 0..=i {
+                let mut dot = if i == j { 1.0 } else { 0.0 };
+                for k in 0..n {
+                    dot += b_mat[k][i] * b_mat[k][j];
+                }
+                a.add(i, j, dot);
+            }
+        }
+        let rhs: Vec<f64> = (0..n).map(|i| i as f64 + 1.0).collect();
+        let x = a.solve(&rhs).unwrap();
+        for i in 0..n {
+            let mut ax = 0.0;
+            for j in 0..n {
+                ax += a.get(i, j) * x[j];
+            }
+            assert!((ax - rhs[i]).abs() < 1e-9, "row {i}: {ax} vs {}", rhs[i]);
+        }
+    }
+}

@@ -1,0 +1,238 @@
+//! Random colocation scenarios and the interference fairness study.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
+
+use fairco2::colocation::{
+    ColocationAttributor, ColocationScenario, FairCo2Colocation, GroundTruthMatching,
+    RupColocation,
+};
+use fairco2::metrics::{summarize, DeviationSummary};
+use fairco2_carbon::units::CarbonIntensity;
+use fairco2_workloads::history::sampled_profile_from_population;
+use fairco2_workloads::{NodeAccounting, WorkloadKind, ALL_WORKLOADS};
+
+/// Configuration of the colocation Monte Carlo study.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ColocationStudy {
+    /// Number of random scenarios.
+    pub trials: usize,
+    /// Minimum workloads per scenario (paper: 4).
+    pub min_workloads: usize,
+    /// Maximum workloads per scenario (paper: 100).
+    pub max_workloads: usize,
+    /// Grid carbon intensity range in gCO₂e/kWh (paper: 0–1000).
+    pub min_grid_ci: f64,
+    /// Upper end of the grid CI range.
+    pub max_grid_ci: f64,
+    /// Minimum historical samples per workload (paper: 1).
+    pub min_samples: usize,
+    /// Maximum historical samples per workload (paper: 15, i.e. full
+    /// history — the generator clamps to the 14 distinct partners).
+    pub max_samples: usize,
+    /// Base RNG seed; trial `k` uses `base_seed + k`.
+    pub base_seed: u64,
+}
+
+impl Default for ColocationStudy {
+    fn default() -> Self {
+        Self {
+            trials: 10_000,
+            min_workloads: 4,
+            max_workloads: 100,
+            min_grid_ci: 0.0,
+            max_grid_ci: 1000.0,
+            min_samples: 1,
+            max_samples: 15,
+            base_seed: 0xC0_10C0,
+        }
+    }
+}
+
+/// Outcome of one colocation trial.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct ColocationTrial {
+    /// Trial index (== seed offset).
+    pub trial: usize,
+    /// Workloads in the scenario.
+    pub workloads: usize,
+    /// Grid carbon intensity drawn for the scenario (gCO₂e/kWh).
+    pub grid_ci: f64,
+    /// Historical sampling count drawn for the scenario.
+    pub samples: usize,
+    /// Deviation of the RUP-Baseline from ground truth.
+    pub rup: DeviationSummary,
+    /// Deviation of Fair-CO₂'s interference-aware method.
+    pub fair_co2: DeviationSummary,
+    /// Per-workload ground-truth-relative deviations, used by the
+    /// per-workload equity analysis (Figure 9): `(kind, rup_pct,
+    /// fair_pct, partner)`.
+    pub per_workload: Vec<PerWorkloadDeviation>,
+}
+
+/// One workload's deviation record within a trial.
+#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+pub struct PerWorkloadDeviation {
+    /// The workload.
+    pub kind: WorkloadKind,
+    /// Its partner (`None` = isolated).
+    pub partner: Option<WorkloadKind>,
+    /// RUP-Baseline deviation from ground truth, in percent (signed).
+    pub rup_pct: f64,
+    /// Fair-CO₂ deviation from ground truth, in percent (signed).
+    pub fair_pct: f64,
+}
+
+impl ColocationStudy {
+    /// Generates the trial's random scenario and context parameters.
+    pub fn generate(&self, trial: usize) -> (ColocationScenario, f64, usize) {
+        let mut rng = StdRng::seed_from_u64(self.base_seed.wrapping_add(trial as u64));
+        let n = rng.gen_range(self.min_workloads..=self.max_workloads);
+        let kinds: Vec<WorkloadKind> = (0..n)
+            .map(|_| ALL_WORKLOADS[rng.gen_range(0..ALL_WORKLOADS.len())])
+            .collect();
+        let grid_ci = rng.gen_range(self.min_grid_ci..=self.max_grid_ci);
+        let samples = rng
+            .gen_range(self.min_samples..=self.max_samples)
+            .min(ALL_WORKLOADS.len() - 1);
+        (
+            ColocationScenario::pair_in_order(&kinds).expect("n ≥ min_workloads ≥ 1"),
+            grid_ci,
+            samples,
+        )
+    }
+
+    /// Runs one trial end-to-end.
+    ///
+    /// # Panics
+    ///
+    /// Panics if an attribution method fails on a generated scenario,
+    /// which would indicate a harness bug.
+    pub fn run_trial(&self, trial: usize) -> ColocationTrial {
+        let (scenario, grid_ci, samples) = self.generate(trial);
+        let ctx = NodeAccounting::paper_default(CarbonIntensity::from_g_per_kwh(grid_ci));
+        let truth = GroundTruthMatching
+            .attribute(&scenario, &ctx)
+            .expect("scenario is non-empty");
+        let rup_shares = RupColocation
+            .attribute(&scenario, &ctx)
+            .expect("scenario is non-empty");
+
+        // Sparse historical profiles: each workload instance samples its
+        // own historical partners from the cluster's tenant population
+        // (the scenario's other members), seeded per trial for
+        // reproducibility.
+        let mut profile_rng =
+            StdRng::seed_from_u64(self.base_seed.wrapping_add(trial as u64) ^ 0x5A5A_5A5A);
+        let placed = scenario.workloads();
+        let kinds: Vec<WorkloadKind> = placed.iter().map(|w| w.kind).collect();
+        let profiles = placed
+            .iter()
+            .enumerate()
+            .map(|(i, w)| {
+                let mut pool = kinds.clone();
+                pool.swap_remove(i);
+                sampled_profile_from_population(
+                    ctx.interference(),
+                    w.kind,
+                    &pool,
+                    samples,
+                    &mut profile_rng,
+                )
+            })
+            .collect();
+        let fair_shares = FairCo2Colocation::with_profiles(profiles)
+            .attribute(&scenario, &ctx)
+            .expect("profiles are aligned");
+
+        let per_workload = placed
+            .iter()
+            .zip(truth.iter().zip(rup_shares.iter().zip(&fair_shares)))
+            .map(|(w, (&t, (&r, &f)))| PerWorkloadDeviation {
+                kind: w.kind,
+                partner: w.partner,
+                rup_pct: 100.0 * (r - t) / t,
+                fair_pct: 100.0 * (f - t) / t,
+            })
+            .collect();
+
+        ColocationTrial {
+            trial,
+            workloads: placed.len(),
+            grid_ci,
+            samples,
+            rup: summarize(&rup_shares, &truth).expect("non-zero truth shares"),
+            fair_co2: summarize(&fair_shares, &truth).expect("non-zero truth shares"),
+            per_workload,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn generation_respects_parameter_ranges() {
+        let study = ColocationStudy::default();
+        for t in 0..30 {
+            let (scenario, ci, samples) = study.generate(t);
+            let n = scenario.workloads().len();
+            assert!((4..=100).contains(&n));
+            assert!((0.0..=1000.0).contains(&ci));
+            assert!((1..=14).contains(&samples));
+        }
+    }
+
+    #[test]
+    fn generation_is_deterministic() {
+        let study = ColocationStudy::default();
+        let (a, ci_a, s_a) = study.generate(3);
+        let (b, ci_b, s_b) = study.generate(3);
+        assert_eq!(a, b);
+        assert_eq!(ci_a, ci_b);
+        assert_eq!(s_a, s_b);
+    }
+
+    #[test]
+    fn fair_co2_beats_rup_on_average() {
+        // The Figure 8(a) ordering, on a reduced batch.
+        let study = ColocationStudy {
+            trials: 40,
+            max_workloads: 40,
+            ..ColocationStudy::default()
+        };
+        let mut rup = 0.0;
+        let mut fair = 0.0;
+        for t in 0..study.trials {
+            let r = study.run_trial(t);
+            rup += r.rup.average_pct;
+            fair += r.fair_co2.average_pct;
+        }
+        let n = study.trials as f64;
+        assert!(
+            fair / n < rup / n,
+            "fair {:.2}% rup {:.2}%",
+            fair / n,
+            rup / n
+        );
+    }
+
+    #[test]
+    fn per_workload_records_cover_the_scenario() {
+        let study = ColocationStudy {
+            max_workloads: 12,
+            ..ColocationStudy::default()
+        };
+        let r = study.run_trial(1);
+        assert_eq!(r.per_workload.len(), r.workloads);
+        // Signed deviations must be consistent with the summary.
+        let worst = r
+            .per_workload
+            .iter()
+            .map(|d| d.rup_pct.abs())
+            .fold(0.0, f64::max);
+        assert!((worst - r.rup.worst_case_pct).abs() < 1e-9);
+    }
+}

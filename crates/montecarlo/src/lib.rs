@@ -1,0 +1,31 @@
+//! Monte Carlo evaluation harness (paper Section 6.3).
+//!
+//! Two studies, mirroring the paper's:
+//!
+//! * [`schedules`] — 10,000 random workload schedules with dynamic demand
+//!   (≤ 22 workloads, 4–9 time slices, 1–5 concurrent workloads,
+//!   allocations from {8, 16, 32, 48, 64, 80, 96} cores, durations of 1–3
+//!   slices). Embodied carbon is attributed by the RUP-Baseline, the
+//!   demand-proportional baseline, and Fair-CO₂'s Temporal Shapley, each
+//!   compared against the exact workload-level Shapley ground truth
+//!   (Figure 7).
+//! * [`colocations`] — 10,000 random colocation scenarios (4–100
+//!   workloads drawn from the 15-workload suite, random pairing, grid CI
+//!   swept 0–1000 gCO₂e/kWh, historical sampling rate 1–15 of 15).
+//!   Attributions by the RUP-Baseline and Fair-CO₂'s interference-aware
+//!   method are compared against the exact matching-game Shapley
+//!   (Figures 8 and 9).
+//!
+//! [`runner`] executes trials across threads deterministically: trial `k`
+//! always uses seed `base_seed + k`, so results are reproducible at any
+//! parallelism.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod colocations;
+pub mod runner;
+pub mod schedules;
+
+pub use colocations::{ColocationStudy, ColocationTrial};
+pub use schedules::{DemandStudy, DemandTrial};

@@ -1,0 +1,85 @@
+//! Deterministic parallel trial execution.
+//!
+//! Trials are embarrassingly parallel and individually seeded, so the
+//! runner simply partitions trial indices across threads and reassembles
+//! results in trial order — output is bit-identical at any thread count.
+
+use crossbeam::thread;
+
+/// Runs `trials` independent trials across `threads` worker threads,
+/// returning results in trial order.
+///
+/// `run` must be pure with respect to the trial index (each trial seeds
+/// its own RNG), which every study in this crate guarantees.
+///
+/// # Panics
+///
+/// Panics if `threads == 0` or a worker thread panics.
+pub fn run_parallel<T, F>(trials: usize, threads: usize, run: F) -> Vec<T>
+where
+    T: Send,
+    F: Fn(usize) -> T + Sync,
+{
+    assert!(threads > 0, "at least one worker thread is required");
+    if trials == 0 {
+        return Vec::new();
+    }
+    let threads = threads.min(trials);
+    let mut slots: Vec<Option<T>> = (0..trials).map(|_| None).collect();
+    thread::scope(|scope| {
+        for (worker, chunk) in slots.chunks_mut(trials.div_ceil(threads)).enumerate() {
+            let run = &run;
+            let base = worker * trials.div_ceil(threads);
+            scope.spawn(move |_| {
+                for (offset, slot) in chunk.iter_mut().enumerate() {
+                    *slot = Some(run(base + offset));
+                }
+            });
+        }
+    })
+    .expect("worker thread panicked");
+    slots
+        .into_iter()
+        .map(|s| s.expect("every trial slot is filled"))
+        .collect()
+}
+
+/// A sensible default worker count: the available parallelism, capped so
+/// laptop-scale machines stay responsive.
+pub fn default_threads() -> usize {
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(4)
+        .clamp(1, 32)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn results_are_in_trial_order_at_any_parallelism() {
+        let serial = run_parallel(37, 1, |t| t * t);
+        for threads in [2, 3, 8, 64] {
+            let parallel = run_parallel(37, threads, |t| t * t);
+            assert_eq!(parallel, serial, "threads = {threads}");
+        }
+    }
+
+    #[test]
+    fn zero_trials_yield_empty_results() {
+        let out: Vec<usize> = run_parallel(0, 4, |t| t);
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn default_threads_is_positive() {
+        assert!(default_threads() >= 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one worker")]
+    fn zero_threads_panics() {
+        let _ = run_parallel(1, 0, |t| t);
+    }
+}

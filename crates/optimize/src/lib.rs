@@ -1,0 +1,36 @@
+//! Carbon-aware workload configuration optimization (paper Section 8).
+//!
+//! Given a fair carbon price for resources — Fair-CO₂'s embodied intensity
+//! signal plus the grid's operational intensity — users can re-configure
+//! workloads to cut their footprint. This crate models the paper's three
+//! case studies:
+//!
+//! * [`scaling`] — parametric performance/power models for the PBBS
+//!   kernels and Spark: Amdahl-style sublinear core scaling, SMT energy
+//!   efficiency, whole-node static power, and (for WC, NBODY, SPARK)
+//!   memory-for-runtime trading.
+//! * [`sweep`] — configuration sweeps over cores × memory and the
+//!   energy-/embodied-/carbon-optimal frontiers of Figure 10.
+//! * [`faiss`] — the FAISS vector-retrieval serving model with IVF and
+//!   HNSW indices (Figure 12's carbon–latency Pareto fronts; the
+//!   IVF↔HNSW crossover near 90 gCO₂e/kWh).
+//! * [`dynamic`] — the week-long dynamic reconfiguration case study of
+//!   Figure 13: a latency-constrained FAISS service tracks the live grid
+//!   and embodied intensity signals and switches configuration (and
+//!   index) to minimize carbon.
+//! * [`spatial`] — spatio-temporal shifting: deferrable batch jobs pick
+//!   the `(region, start time)` minimizing grid + embodied carbon, the
+//!   optimization the paper's introduction motivates.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod dynamic;
+pub mod faiss;
+pub mod scaling;
+pub mod spatial;
+pub mod sweep;
+
+pub use faiss::{FaissConfig, FaissModel, IndexKind};
+pub use scaling::{ConfigCost, ResourcePricing, ScalingModel};
+pub use sweep::{sweep_configurations, SweepOutcome};

@@ -1,0 +1,282 @@
+//! Parametric performance/power/carbon models for batch workloads.
+
+use serde::{Deserialize, Serialize};
+
+use fairco2_carbon::ServerSpec;
+use fairco2_workloads::WorkloadKind;
+
+/// Carbon prices for the resources a configuration consumes.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ResourcePricing {
+    /// Embodied gCO₂e per logical-core-second.
+    pub embodied_per_core_s: f64,
+    /// Embodied gCO₂e per memory-GB-second.
+    pub embodied_per_gb_s: f64,
+    /// Grid carbon intensity in gCO₂e/kWh.
+    pub grid_ci: f64,
+    /// Node static (idle) power in watts, charged for the whole run.
+    pub static_power_w: f64,
+}
+
+impl ResourcePricing {
+    /// Prices derived from the reference server's amortized embodied rates
+    /// (logical cores = 2 × physical, so the per-core rate halves) at the
+    /// given grid intensity.
+    pub fn from_server(server: &ServerSpec, grid_ci: f64) -> Self {
+        let rates = server.embodied_rates();
+        Self {
+            embodied_per_core_s: rates.cpu_per_core_second.as_grams() / 2.0,
+            embodied_per_gb_s: rates.dram_per_gb_second.as_grams(),
+            grid_ci,
+            static_power_w: server.power.idle.as_watts(),
+        }
+    }
+
+    /// The paper's reference pricing at a given grid intensity.
+    pub fn paper_default(grid_ci: f64) -> Self {
+        Self::from_server(&ServerSpec::xeon_6240r(), grid_ci)
+    }
+
+    /// Converts joules to gCO₂e at the configured grid intensity.
+    pub fn operational_g(&self, joules: f64) -> f64 {
+        joules / 3.6e6 * self.grid_ci
+    }
+}
+
+/// Cost breakdown of one workload configuration (one batch run).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ConfigCost {
+    /// Logical cores used.
+    pub cores: u32,
+    /// Memory allocation in GB.
+    pub memory_gb: f64,
+    /// Wall-clock runtime in seconds.
+    pub runtime_s: f64,
+    /// Dynamic energy in joules.
+    pub dynamic_energy_j: f64,
+    /// Static energy in joules (whole node while running).
+    pub static_energy_j: f64,
+    /// Embodied carbon in gCO₂e (cores + memory, amortized).
+    pub embodied_g: f64,
+    /// Operational carbon in gCO₂e at the priced grid intensity.
+    pub operational_g: f64,
+}
+
+impl ConfigCost {
+    /// Total carbon footprint of the run in gCO₂e.
+    pub fn total_g(&self) -> f64 {
+        self.embodied_g + self.operational_g
+    }
+
+    /// Total energy in joules.
+    pub fn energy_j(&self) -> f64 {
+        self.dynamic_energy_j + self.static_energy_j
+    }
+}
+
+/// An Amdahl-style scaling model with SMT power efficiency and optional
+/// memory-for-runtime trading.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ScalingModel {
+    /// Workload name.
+    pub name: String,
+    /// Single-core runtime in seconds.
+    pub t1_s: f64,
+    /// Serial (non-parallelizable) fraction of the work.
+    pub serial_fraction: f64,
+    /// Parallel-scaling exponent γ (`runtime ∝ 1/cores^γ`, γ < 1 is
+    /// sublinear).
+    pub scaling_exponent: f64,
+    /// Working-set size in GB.
+    pub working_set_gb: f64,
+    /// Whether the workload can trade memory for runtime (WC, NBODY,
+    /// SPARK in the paper).
+    pub memory_flexible: bool,
+    /// Slowdown factor per unit of working-set shortfall.
+    pub memory_penalty: f64,
+    /// Dynamic power per active logical core in watts.
+    pub power_per_core_w: f64,
+    /// Relative per-core energy-efficiency gain at full SMT occupancy
+    /// (the paper's observed J/%-s reduction with more cores).
+    pub smt_efficiency_gain: f64,
+}
+
+impl ScalingModel {
+    /// A calibrated model for one of the paper's batch workloads
+    /// (the eight PBBS kernels and Spark; other suite members are served
+    /// by [`crate::faiss`] or have no sweep in the paper).
+    ///
+    /// # Panics
+    ///
+    /// Panics when asked for a workload the paper does not sweep
+    /// (PostgreSQL, H.265, Llama, FAISS).
+    pub fn for_workload(kind: WorkloadKind) -> Self {
+        use WorkloadKind::*;
+        // (serial, γ, flexible, memory_penalty, p/core)
+        let (serial, gamma, flexible, penalty, p_core) = match kind {
+            Ddup => (0.04, 0.88, false, 0.0, 3.4),
+            Bfs => (0.06, 0.82, false, 0.0, 3.2),
+            Msf => (0.05, 0.84, false, 0.0, 3.4),
+            Wc => (0.03, 0.90, true, 2.0, 3.0),
+            Sa => (0.07, 0.80, false, 0.0, 3.3),
+            Ch => (0.04, 0.86, false, 0.0, 3.8),
+            Nn => (0.05, 0.85, false, 0.0, 3.6),
+            Nbody => (0.02, 0.92, true, 1.5, 3.9),
+            Spark => (0.10, 0.75, true, 2.5, 3.1),
+            other => panic!("no sweep model for {other}"),
+        };
+        let profile = kind.profile();
+        // Calibrate t1 so the model reproduces the isolated profile's
+        // runtime at the half-node allocation (48 logical cores).
+        let shape_at_48 = serial + (1.0 - serial) / 48f64.powf(gamma);
+        Self {
+            name: kind.name().to_owned(),
+            t1_s: profile.runtime_s / shape_at_48,
+            serial_fraction: serial,
+            scaling_exponent: gamma,
+            working_set_gb: profile.memory_gb,
+            memory_flexible: flexible,
+            memory_penalty: penalty,
+            power_per_core_w: p_core,
+            smt_efficiency_gain: 0.25,
+        }
+    }
+
+    /// The workloads the paper sweeps in Figure 10.
+    pub fn sweep_suite() -> Vec<Self> {
+        use WorkloadKind::*;
+        [Ddup, Bfs, Msf, Wc, Sa, Ch, Nn, Nbody, Spark]
+            .into_iter()
+            .map(Self::for_workload)
+            .collect()
+    }
+
+    /// Runtime at a configuration.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cores == 0` or `memory_gb <= 0`.
+    pub fn runtime_s(&self, cores: u32, memory_gb: f64) -> f64 {
+        assert!(cores > 0, "at least one core is required");
+        assert!(memory_gb > 0.0, "memory allocation must be positive");
+        let parallel = self.serial_fraction
+            + (1.0 - self.serial_fraction) / f64::from(cores).powf(self.scaling_exponent);
+        let mem = if self.memory_flexible {
+            1.0 + self.memory_penalty * (self.working_set_gb / memory_gb - 1.0).max(0.0)
+        } else {
+            // Inflexible workloads simply need their working set.
+            1.0
+        };
+        self.t1_s * parallel * mem
+    }
+
+    /// Effective memory demand of a configuration: flexible workloads can
+    /// run below their working set, inflexible ones always hold it.
+    pub fn memory_demand_gb(&self, memory_gb: f64) -> f64 {
+        if self.memory_flexible {
+            memory_gb.min(self.working_set_gb * 1.25)
+        } else {
+            self.working_set_gb.max(memory_gb)
+        }
+    }
+
+    /// Average dynamic power at a core count, in watts. Per-core power
+    /// falls as SMT packs more threads per physical core.
+    pub fn dynamic_power_w(&self, cores: u32) -> f64 {
+        let occupancy = f64::from(cores) / 96.0;
+        f64::from(cores) * self.power_per_core_w * (1.0 - self.smt_efficiency_gain * occupancy)
+    }
+
+    /// Full cost breakdown of a configuration under a pricing.
+    pub fn cost(&self, cores: u32, memory_gb: f64, pricing: &ResourcePricing) -> ConfigCost {
+        let runtime_s = self.runtime_s(cores, memory_gb);
+        let mem = self.memory_demand_gb(memory_gb);
+        let dynamic_energy_j = self.dynamic_power_w(cores) * runtime_s;
+        let static_energy_j = pricing.static_power_w * runtime_s;
+        let embodied_g = runtime_s
+            * (f64::from(cores) * pricing.embodied_per_core_s + mem * pricing.embodied_per_gb_s);
+        let operational_g = pricing.operational_g(dynamic_energy_j + static_energy_j);
+        ConfigCost {
+            cores,
+            memory_gb: mem,
+            runtime_s,
+            dynamic_energy_j,
+            static_energy_j,
+            embodied_g,
+            operational_g,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use WorkloadKind::*;
+
+    #[test]
+    fn runtime_matches_profile_at_half_node() {
+        for kind in [Ddup, Ch, Nbody, Spark] {
+            let m = ScalingModel::for_workload(kind);
+            let rt = m.runtime_s(48, 96.0);
+            assert!(
+                (rt - kind.profile().runtime_s).abs() < 1e-6,
+                "{kind}: {rt}"
+            );
+        }
+    }
+
+    #[test]
+    fn more_cores_reduce_runtime_sublinearly() {
+        let m = ScalingModel::for_workload(Ch);
+        let t8 = m.runtime_s(8, 96.0);
+        let t96 = m.runtime_s(96, 96.0);
+        assert!(t96 < t8);
+        // Sublinear: 12× the cores buys less than 12× the speed.
+        assert!(t8 / t96 < 12.0);
+    }
+
+    #[test]
+    fn memory_trading_only_for_flexible_workloads() {
+        let wc = ScalingModel::for_workload(Wc);
+        assert!(wc.runtime_s(48, 16.0) > wc.runtime_s(48, 96.0));
+        let ch = ScalingModel::for_workload(Ch);
+        assert_eq!(ch.runtime_s(48, 16.0), ch.runtime_s(48, 96.0));
+        assert_eq!(ch.memory_demand_gb(8.0), ch.working_set_gb);
+    }
+
+    #[test]
+    fn smt_reduces_energy_per_core() {
+        let m = ScalingModel::for_workload(Nbody);
+        let per_core_8 = m.dynamic_power_w(8) / 8.0;
+        let per_core_96 = m.dynamic_power_w(96) / 96.0;
+        assert!(per_core_96 < per_core_8);
+    }
+
+    #[test]
+    fn operational_carbon_falls_with_more_cores() {
+        // Static energy dominates; faster runs burn less of it.
+        let m = ScalingModel::for_workload(Sa);
+        let pricing = ResourcePricing::paper_default(300.0);
+        let slow = m.cost(8, 96.0, &pricing);
+        let fast = m.cost(96, 96.0, &pricing);
+        assert!(fast.operational_g < slow.operational_g);
+        // Embodied goes the other way: more core-seconds reserved.
+        assert!(fast.embodied_g > slow.embodied_g);
+    }
+
+    #[test]
+    fn zero_grid_intensity_leaves_only_embodied() {
+        let m = ScalingModel::for_workload(Bfs);
+        let pricing = ResourcePricing::paper_default(0.0);
+        let c = m.cost(48, 96.0, &pricing);
+        assert_eq!(c.operational_g, 0.0);
+        assert!(c.embodied_g > 0.0);
+        assert!((c.total_g() - c.embodied_g).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "no sweep model")]
+    fn non_swept_workloads_panic() {
+        let _ = ScalingModel::for_workload(Llama);
+    }
+}

@@ -1,0 +1,258 @@
+//! Spatio-temporal workload shifting.
+//!
+//! The paper's introduction motivates fine-grained attribution with
+//! "per-workload spatio-temporal shifting" toward renewable energy
+//! (Carbon Explorer, Zero-Carbon Cloud, "Let's wait awhile"). With
+//! Fair-CO₂'s signals the optimization is well-posed in *both* carbon
+//! terms: each candidate region carries a grid-CI trace (operational) and
+//! an embodied-intensity signal (capacity pressure), and a deferrable
+//! batch job picks the `(region, start time)` minimizing its total
+//! footprint subject to a deadline.
+
+use serde::{Deserialize, Serialize};
+
+use fairco2_trace::{GridIntensityTrace, TimeSeries};
+
+use crate::scaling::ResourcePricing;
+
+/// A candidate region: its grid and its (fleet) embodied intensity.
+#[derive(Debug, Clone)]
+pub struct Region {
+    /// Display name, e.g. `"us-west (CAISO-like)"`.
+    pub name: String,
+    /// Grid carbon intensity trace.
+    pub grid: GridIntensityTrace,
+    /// Fair-CO₂ embodied intensity signal, normalized or absolute; only
+    /// its *relative* level modulates the embodied price.
+    pub embodied_signal: TimeSeries,
+}
+
+/// A deferrable batch job.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct BatchJob {
+    /// Runtime in seconds (assumed region-independent).
+    pub runtime_s: f64,
+    /// Average dynamic power in watts.
+    pub dynamic_power_w: f64,
+    /// Logical cores reserved.
+    pub cores: f64,
+    /// Memory reserved in GB.
+    pub memory_gb: f64,
+    /// Earliest allowed start (UNIX seconds).
+    pub earliest: i64,
+    /// Latest allowed *completion* (UNIX seconds).
+    pub deadline: i64,
+}
+
+/// A chosen placement.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Placement {
+    /// Region name.
+    pub region: String,
+    /// Start time (UNIX seconds).
+    pub start: i64,
+    /// Total job carbon at this placement (gCO₂e).
+    pub carbon_g: f64,
+    /// Operational part (gCO₂e).
+    pub operational_g: f64,
+    /// Embodied part (gCO₂e).
+    pub embodied_g: f64,
+}
+
+/// Carbon of running `job` in `region` starting at `start` (gCO₂e), or
+/// `None` if the run does not fit inside the region's traces or the
+/// job's window.
+pub fn job_carbon(
+    region: &Region,
+    job: &BatchJob,
+    start: i64,
+    pricing: &ResourcePricing,
+) -> Option<Placement> {
+    let end = start + job.runtime_s as i64;
+    if start < job.earliest || end > job.deadline {
+        return None;
+    }
+    let grid = region.grid.series();
+    if start < grid.start() || end > grid.end() {
+        return None;
+    }
+    let signal_mean = region.embodied_signal.mean();
+    let step = f64::from(grid.step());
+    let mut operational = 0.0;
+    let mut embodied = 0.0;
+    let mut t = start;
+    while t < end {
+        let dt = step.min((end - t) as f64);
+        let ci = grid.value_at(t)?;
+        let scale = region.embodied_signal.value_at(t).unwrap_or(signal_mean) / signal_mean;
+        // Dynamic + the job's share of static power (whole node while
+        // running, consistent with the sweep models).
+        let power_w = job.dynamic_power_w + pricing.static_power_w;
+        operational += power_w * dt / 3.6e6 * ci;
+        embodied += dt
+            * scale
+            * (job.cores * pricing.embodied_per_core_s + job.memory_gb * pricing.embodied_per_gb_s);
+        t += step as i64;
+    }
+    Some(Placement {
+        region: region.name.clone(),
+        start,
+        carbon_g: operational + embodied,
+        operational_g: operational,
+        embodied_g: embodied,
+    })
+}
+
+/// Scans all `(region, start)` candidates on the trace grid and returns
+/// the minimum-carbon placement, or `None` if no feasible slot exists.
+///
+/// # Example
+///
+/// ```
+/// use fairco2_optimize::scaling::ResourcePricing;
+/// use fairco2_optimize::spatial::{best_placement, BatchJob, Region};
+/// use fairco2_trace::{GridIntensityTrace, TimeSeries};
+///
+/// let regions = vec![Region {
+///     name: "california".into(),
+///     grid: GridIntensityTrace::caiso_like(1, 3600, 1),
+///     embodied_signal: TimeSeries::constant(0, 3600, 24, 1.0)?,
+/// }];
+/// let job = BatchJob {
+///     runtime_s: 7200.0,
+///     dynamic_power_w: 200.0,
+///     cores: 48.0,
+///     memory_gb: 96.0,
+///     earliest: 0,
+///     deadline: 86_400,
+/// };
+/// let p = best_placement(&regions, &job, &ResourcePricing::paper_default(0.0)).unwrap();
+/// // A deferrable job lands in the solar trough, not at midnight.
+/// let start_hour = (p.start % 86_400) / 3600;
+/// assert!((9..=15).contains(&start_hour));
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+pub fn best_placement(
+    regions: &[Region],
+    job: &BatchJob,
+    pricing: &ResourcePricing,
+) -> Option<Placement> {
+    let mut best: Option<Placement> = None;
+    for region in regions {
+        let grid = region.grid.series();
+        let step = i64::from(grid.step());
+        let mut start = job.earliest.max(grid.start());
+        while start + job.runtime_s as i64 <= job.deadline.min(grid.end()) {
+            if let Some(p) = job_carbon(region, job, start, pricing) {
+                if best.as_ref().is_none_or(|b| p.carbon_g < b.carbon_g) {
+                    best = Some(p);
+                }
+            }
+            start += step;
+        }
+    }
+    best
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fairco2_trace::TimeSeries;
+
+    fn flat_signal(days: u32) -> TimeSeries {
+        TimeSeries::constant(0, 3600, (days * 24) as usize, 1.0).unwrap()
+    }
+
+    fn regions() -> Vec<Region> {
+        vec![
+            Region {
+                name: "california".into(),
+                grid: GridIntensityTrace::caiso_like(2, 3600, 1),
+                embodied_signal: flat_signal(2),
+            },
+            Region {
+                name: "sweden".into(),
+                grid: GridIntensityTrace::sweden_like(2, 3600, 1),
+                embodied_signal: flat_signal(2),
+            },
+        ]
+    }
+
+    fn job() -> BatchJob {
+        BatchJob {
+            runtime_s: 2.0 * 3600.0,
+            dynamic_power_w: 200.0,
+            cores: 48.0,
+            memory_gb: 96.0,
+            earliest: 0,
+            deadline: 2 * 86_400,
+        }
+    }
+
+    #[test]
+    fn shifts_to_the_cleanest_region() {
+        let p = best_placement(&regions(), &job(), &ResourcePricing::paper_default(0.0));
+        let p = p.unwrap();
+        // With flat embodied signals the cleanest grid wins.
+        assert_eq!(p.region, "sweden");
+    }
+
+    #[test]
+    fn shifts_to_midday_within_a_duck_curve_region() {
+        let only_california = vec![regions().remove(0)];
+        let p = best_placement(&only_california, &job(), &ResourcePricing::paper_default(0.0))
+            .unwrap();
+        let start_hour = (p.start % 86_400) / 3600;
+        assert!(
+            (9..=14).contains(&start_hour),
+            "started at hour {start_hour}, expected the solar trough"
+        );
+    }
+
+    #[test]
+    fn embodied_signal_steers_placement_at_zero_grid_difference() {
+        // Two identical grids; one region's capacity is under pressure
+        // (embodied signal 3×) in the first day.
+        let grid = GridIntensityTrace::constant(100.0, 2, 3600);
+        let mut pressured = flat_signal(2).into_values();
+        for v in pressured.iter_mut().take(24) {
+            *v = 3.0;
+        }
+        let regions = vec![
+            Region {
+                name: "pressured".into(),
+                grid: grid.clone(),
+                embodied_signal: TimeSeries::from_values(0, 3600, pressured).unwrap(),
+            },
+            Region {
+                name: "calm".into(),
+                grid,
+                embodied_signal: flat_signal(2),
+            },
+        ];
+        let mut tight = job();
+        tight.deadline = 20 * 3600; // must run during the pressured day
+        let p = best_placement(&regions, &tight, &ResourcePricing::paper_default(100.0)).unwrap();
+        assert_eq!(p.region, "calm");
+    }
+
+    #[test]
+    fn deadline_is_respected() {
+        let mut j = job();
+        j.earliest = 3_600;
+        j.deadline = 4 * 3600; // barely fits
+        let p = best_placement(&regions(), &j, &ResourcePricing::paper_default(100.0)).unwrap();
+        assert!(p.start >= j.earliest);
+        assert!(p.start + j.runtime_s as i64 <= j.deadline);
+        // Impossible window → no placement.
+        j.deadline = j.earliest + 100;
+        assert!(best_placement(&regions(), &j, &ResourcePricing::paper_default(100.0)).is_none());
+    }
+
+    #[test]
+    fn placement_carbon_decomposes() {
+        let p = best_placement(&regions(), &job(), &ResourcePricing::paper_default(250.0)).unwrap();
+        assert!((p.operational_g + p.embodied_g - p.carbon_g).abs() < 1e-9);
+        assert!(p.operational_g > 0.0 && p.embodied_g > 0.0);
+    }
+}

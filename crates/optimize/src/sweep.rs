@@ -1,0 +1,187 @@
+//! Configuration sweeps and the Figure 10 optima.
+
+use serde::{Deserialize, Serialize};
+
+use crate::scaling::{ConfigCost, ResourcePricing, ScalingModel};
+
+/// Core counts swept (8–96 in steps of 8, as in the paper).
+pub fn core_grid() -> Vec<u32> {
+    (1..=12).map(|k| k * 8).collect()
+}
+
+/// Memory allocations swept (8–192 GB).
+pub fn memory_grid() -> Vec<f64> {
+    vec![8.0, 16.0, 32.0, 48.0, 64.0, 96.0, 128.0, 160.0, 192.0]
+}
+
+/// The four named optima of Figure 10, for one workload at one grid CI.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct SweepOutcome {
+    /// Fastest configuration (the paper's normalization baseline).
+    pub performance_optimal: ConfigCost,
+    /// Minimum total-energy configuration.
+    pub energy_optimal: ConfigCost,
+    /// Minimum embodied-carbon configuration.
+    pub embodied_optimal: ConfigCost,
+    /// Minimum total-carbon configuration at the priced grid CI.
+    pub carbon_optimal: ConfigCost,
+}
+
+impl SweepOutcome {
+    /// Carbon saving of the carbon-optimal configuration relative to the
+    /// performance-optimal one, as a fraction in `[0, 1)`.
+    pub fn carbon_saving(&self) -> f64 {
+        1.0 - self.carbon_optimal.total_g() / self.performance_optimal.total_g()
+    }
+}
+
+/// Sweeps all configurations of `model` under `pricing` and extracts the
+/// four optima.
+pub fn sweep_configurations(model: &ScalingModel, pricing: &ResourcePricing) -> SweepOutcome {
+    let mut all: Vec<ConfigCost> = Vec::new();
+    for &cores in &core_grid() {
+        for &mem in &memory_grid() {
+            // Inflexible workloads cannot run below their working set.
+            if !model.memory_flexible && mem < model.working_set_gb {
+                continue;
+            }
+            all.push(model.cost(cores, mem, pricing));
+        }
+    }
+    let pick = |key: fn(&ConfigCost) -> f64| -> ConfigCost {
+        *all.iter()
+            .min_by(|a, b| key(a).total_cmp(&key(b)))
+            .expect("grid is non-empty")
+    };
+    SweepOutcome {
+        performance_optimal: pick(|c| c.runtime_s),
+        energy_optimal: pick(ConfigCost::energy_j),
+        embodied_optimal: pick(|c| c.embodied_g),
+        carbon_optimal: pick(ConfigCost::total_g),
+    }
+}
+
+/// The runtime–carbon Pareto front of a batch workload's configuration
+/// space: configurations not dominated in both runtime and total carbon,
+/// sorted fastest-first. The gap between its endpoints is the
+/// performance-for-carbon trade the paper's Section 8 sweeps expose.
+pub fn pareto_front(model: &ScalingModel, pricing: &ResourcePricing) -> Vec<ConfigCost> {
+    let mut all: Vec<ConfigCost> = Vec::new();
+    for &cores in &core_grid() {
+        for &mem in &memory_grid() {
+            if !model.memory_flexible && mem < model.working_set_gb {
+                continue;
+            }
+            all.push(model.cost(cores, mem, pricing));
+        }
+    }
+    all.sort_by(|a, b| a.runtime_s.total_cmp(&b.runtime_s));
+    let mut front: Vec<ConfigCost> = Vec::new();
+    let mut best = f64::INFINITY;
+    for c in all {
+        if c.total_g() < best {
+            best = c.total_g();
+            front.push(c);
+        }
+    }
+    front
+}
+
+/// Sweeps one workload across a range of grid intensities, returning
+/// `(grid_ci, outcome)` rows — one Figure 10 panel.
+pub fn sweep_over_grid_ci(model: &ScalingModel, grid_cis: &[f64]) -> Vec<(f64, SweepOutcome)> {
+    grid_cis
+        .iter()
+        .map(|&ci| {
+            let pricing = ResourcePricing::paper_default(ci);
+            (ci, sweep_configurations(model, &pricing))
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fairco2_workloads::WorkloadKind::*;
+
+    #[test]
+    fn performance_optimal_uses_all_cores() {
+        let m = ScalingModel::for_workload(Ch);
+        let out = sweep_configurations(&m, &ResourcePricing::paper_default(200.0));
+        assert_eq!(out.performance_optimal.cores, 96);
+    }
+
+    #[test]
+    fn carbon_optimal_core_count_rises_with_grid_ci() {
+        // The paper's observation: higher grid CI → operational dominates
+        // → faster (more-core) configs become carbon-optimal.
+        let m = ScalingModel::for_workload(Sa);
+        let low = sweep_configurations(&m, &ResourcePricing::paper_default(5.0));
+        let high = sweep_configurations(&m, &ResourcePricing::paper_default(700.0));
+        assert!(
+            high.carbon_optimal.cores > low.carbon_optimal.cores,
+            "low {} high {}",
+            low.carbon_optimal.cores,
+            high.carbon_optimal.cores
+        );
+    }
+
+    #[test]
+    fn energy_and_embodied_optima_are_ci_invariant() {
+        let m = ScalingModel::for_workload(Msf);
+        let a = sweep_configurations(&m, &ResourcePricing::paper_default(10.0));
+        let b = sweep_configurations(&m, &ResourcePricing::paper_default(900.0));
+        assert_eq!(a.energy_optimal.cores, b.energy_optimal.cores);
+        assert_eq!(a.embodied_optimal.cores, b.embodied_optimal.cores);
+        assert_eq!(a.embodied_optimal.memory_gb, b.embodied_optimal.memory_gb);
+    }
+
+    #[test]
+    fn substantial_savings_at_low_grid_ci() {
+        // Figure 10's headline: up to ~65 % carbon savings vs the
+        // performance-optimal configuration.
+        let mut best = 0.0f64;
+        for m in ScalingModel::sweep_suite() {
+            let out = sweep_configurations(&m, &ResourcePricing::paper_default(5.0));
+            best = best.max(out.carbon_saving());
+        }
+        assert!(best > 0.35, "best saving {best:.2}");
+        assert!(best < 0.9, "best saving {best:.2} suspiciously large");
+    }
+
+    #[test]
+    fn memory_flexible_workloads_shrink_memory_at_low_ci() {
+        let m = ScalingModel::for_workload(Wc);
+        let out = sweep_configurations(&m, &ResourcePricing::paper_default(0.0));
+        assert!(
+            out.carbon_optimal.memory_gb < 96.0,
+            "carbon-optimal memory {}",
+            out.carbon_optimal.memory_gb
+        );
+    }
+
+    #[test]
+    fn pareto_front_trades_runtime_for_carbon() {
+        let m = ScalingModel::for_workload(Nn);
+        let front = pareto_front(&m, &ResourcePricing::paper_default(100.0));
+        assert!(front.len() >= 2, "front too small: {}", front.len());
+        for pair in front.windows(2) {
+            assert!(pair[1].runtime_s > pair[0].runtime_s);
+            assert!(pair[1].total_g() < pair[0].total_g());
+        }
+        // The fastest point is the performance optimum (96 cores).
+        assert_eq!(front[0].cores, 96);
+    }
+
+    #[test]
+    fn grid_ci_sweep_is_monotone_in_total_carbon() {
+        let m = ScalingModel::for_workload(Spark);
+        let rows = sweep_over_grid_ci(&m, &[0.0, 100.0, 400.0, 800.0]);
+        for pair in rows.windows(2) {
+            assert!(
+                pair[1].1.carbon_optimal.total_g() >= pair[0].1.carbon_optimal.total_g(),
+                "carbon must not fall as CI rises"
+            );
+        }
+    }
+}

@@ -1,0 +1,203 @@
+//! Coalition (player subset) representation.
+
+use std::fmt;
+
+/// A subset of players, stored as a bitset.
+///
+/// Supports any number of players; the exact enumerating solver restricts
+/// itself to coalitions that fit one machine word, but sampling and the
+/// analytic solvers use this type at arbitrary sizes.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct Coalition {
+    n: usize,
+    words: Vec<u64>,
+}
+
+impl Coalition {
+    /// The empty coalition over `n` players.
+    pub fn empty(n: usize) -> Self {
+        Self {
+            n,
+            words: vec![0; n.div_ceil(64)],
+        }
+    }
+
+    /// The grand coalition (all `n` players).
+    pub fn grand(n: usize) -> Self {
+        let mut c = Self::empty(n);
+        for p in 0..n {
+            c.insert(p);
+        }
+        c
+    }
+
+    /// Builds a coalition from an iterator of player indices.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any index is `>= n`.
+    pub fn from_players(n: usize, players: impl IntoIterator<Item = usize>) -> Self {
+        let mut c = Self::empty(n);
+        for p in players {
+            c.insert(p);
+        }
+        c
+    }
+
+    /// Builds a coalition over ≤ 64 players from a bitmask.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n > 64` or the mask has bits at or above `n`.
+    pub fn from_mask(n: usize, mask: u64) -> Self {
+        assert!(n <= 64, "mask construction supports at most 64 players");
+        assert!(
+            n == 64 || mask < (1u64 << n),
+            "mask has bits outside the player range"
+        );
+        Self {
+            n,
+            words: vec![mask],
+        }
+    }
+
+    /// Number of players in the underlying game.
+    pub fn player_count(&self) -> usize {
+        self.n
+    }
+
+    /// Number of members.
+    pub fn len(&self) -> usize {
+        self.words.iter().map(|w| w.count_ones() as usize).sum()
+    }
+
+    /// Whether the coalition has no members.
+    pub fn is_empty(&self) -> bool {
+        self.words.iter().all(|&w| w == 0)
+    }
+
+    /// Whether `player` is a member.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `player >= n`.
+    pub fn contains(&self, player: usize) -> bool {
+        assert!(player < self.n, "player index out of range");
+        self.words[player / 64] >> (player % 64) & 1 == 1
+    }
+
+    /// Adds `player`; returns whether it was newly inserted.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `player >= n`.
+    pub fn insert(&mut self, player: usize) -> bool {
+        assert!(player < self.n, "player index out of range");
+        let word = &mut self.words[player / 64];
+        let bit = 1u64 << (player % 64);
+        let fresh = *word & bit == 0;
+        *word |= bit;
+        fresh
+    }
+
+    /// Removes `player`; returns whether it was a member.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `player >= n`.
+    pub fn remove(&mut self, player: usize) -> bool {
+        assert!(player < self.n, "player index out of range");
+        let word = &mut self.words[player / 64];
+        let bit = 1u64 << (player % 64);
+        let present = *word & bit != 0;
+        *word &= !bit;
+        present
+    }
+
+    /// Iterates over member indices in increasing order.
+    pub fn iter(&self) -> impl Iterator<Item = usize> + '_ {
+        self.words.iter().enumerate().flat_map(|(wi, &w)| {
+            let mut rem = w;
+            std::iter::from_fn(move || {
+                if rem == 0 {
+                    None
+                } else {
+                    let bit = rem.trailing_zeros() as usize;
+                    rem &= rem - 1;
+                    Some(wi * 64 + bit)
+                }
+            })
+        })
+    }
+}
+
+impl fmt::Display for Coalition {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{{")?;
+        for (k, p) in self.iter().enumerate() {
+            if k > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{p}")?;
+        }
+        write!(f, "}}")
+    }
+}
+
+impl FromIterator<usize> for Coalition {
+    /// Collects player indices; the player count becomes
+    /// `max index + 1` (or 0 when empty).
+    fn from_iter<T: IntoIterator<Item = usize>>(iter: T) -> Self {
+        let players: Vec<usize> = iter.into_iter().collect();
+        let n = players.iter().copied().max().map_or(0, |m| m + 1);
+        Self::from_players(n, players)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn insert_remove_contains() {
+        let mut c = Coalition::empty(100);
+        assert!(c.is_empty());
+        assert!(c.insert(99));
+        assert!(!c.insert(99));
+        assert!(c.insert(3));
+        assert_eq!(c.len(), 2);
+        assert!(c.contains(99) && c.contains(3) && !c.contains(4));
+        assert!(c.remove(3));
+        assert!(!c.remove(3));
+        assert_eq!(c.len(), 1);
+    }
+
+    #[test]
+    fn iteration_order_is_ascending() {
+        let c = Coalition::from_players(130, [128, 0, 64, 5]);
+        let members: Vec<usize> = c.iter().collect();
+        assert_eq!(members, vec![0, 5, 64, 128]);
+    }
+
+    #[test]
+    fn grand_and_mask() {
+        let g = Coalition::grand(70);
+        assert_eq!(g.len(), 70);
+        let m = Coalition::from_mask(4, 0b1010);
+        assert!(m.contains(1) && m.contains(3) && !m.contains(0));
+        assert_eq!(m.to_string(), "{1, 3}");
+    }
+
+    #[test]
+    #[should_panic(expected = "outside the player range")]
+    fn oversized_mask_panics() {
+        let _ = Coalition::from_mask(3, 0b1000);
+    }
+
+    #[test]
+    fn from_iterator_infers_player_count() {
+        let c: Coalition = [2usize, 7].into_iter().collect();
+        assert_eq!(c.player_count(), 8);
+        assert_eq!(c.len(), 2);
+    }
+}

@@ -1,0 +1,240 @@
+//! Ground-truth Shapley values by exhaustive subset enumeration.
+//!
+//! This is the paper's "ground truth Shapley value method" (Eq. 1):
+//! every coalition is evaluated and every player's marginal contribution
+//! is averaged with the exact combinatorial weights. The cost is
+//! `Θ(2ⁿ)` coalition evaluations plus `Θ(n·2ⁿ)` accumulation steps, which
+//! is why the paper caps its demand scenarios at 22 workloads — and why
+//! Fair-CO₂ exists.
+
+use std::fmt;
+
+use crate::coalition::Coalition;
+use crate::game::Game;
+
+/// Hard cap on exact enumeration: `2²⁴` values ≈ 128 MiB of table.
+pub const MAX_EXACT_PLAYERS: usize = 24;
+
+/// Error from the exact solver.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ExactError {
+    /// The game has more players than enumeration can handle.
+    TooManyPlayers {
+        /// Player count of the offending game.
+        n: usize,
+        /// The enumeration cap ([`MAX_EXACT_PLAYERS`]).
+        max: usize,
+    },
+    /// The game has no players.
+    NoPlayers,
+}
+
+impl fmt::Display for ExactError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ExactError::TooManyPlayers { n, max } => {
+                write!(f, "{n} players exceed the exact-enumeration cap of {max}")
+            }
+            ExactError::NoPlayers => write!(f, "game has no players"),
+        }
+    }
+}
+
+impl std::error::Error for ExactError {}
+
+/// A game whose coalition value can be updated as single players are
+/// *toggled* in or out, letting the exact solver fill its `2ⁿ` value table
+/// in Gray-code order with `O(toggle)` work per coalition instead of a
+/// full characteristic-function evaluation.
+pub trait DeltaGame: Game {
+    /// Mutable evaluation state of the current coalition.
+    type State;
+
+    /// State of the empty coalition.
+    fn initial_state(&self) -> Self::State;
+
+    /// Adds `player` if absent or removes it if present, returning the
+    /// value of the updated coalition.
+    fn toggle(&self, state: &mut Self::State, player: usize) -> f64;
+}
+
+/// Computes exact Shapley values by evaluating the characteristic
+/// function on all `2ⁿ` coalitions.
+///
+/// # Example
+///
+/// ```
+/// use fairco2_shapley::exact_shapley;
+/// use fairco2_shapley::game::PeakDemandGame;
+///
+/// // Two workloads with anti-correlated demand: each is sole author of
+/// // its own peak, so each pays exactly its own peak's increment.
+/// let game = PeakDemandGame::new(vec![vec![4.0, 0.0], vec![0.0, 3.0]]);
+/// let phi = exact_shapley(&game)?;
+/// assert!((phi[0] - 2.5).abs() < 1e-12); // ½·4 + ½·(4−3)… averaged orders
+/// assert!((phi[0] + phi[1] - 4.0).abs() < 1e-12); // efficiency
+/// # Ok::<(), fairco2_shapley::exact::ExactError>(())
+/// ```
+///
+/// # Errors
+///
+/// Returns [`ExactError::TooManyPlayers`] beyond [`MAX_EXACT_PLAYERS`]
+/// players and [`ExactError::NoPlayers`] for an empty game.
+pub fn exact_shapley<G: Game>(game: &G) -> Result<Vec<f64>, ExactError> {
+    let n = check_size(game)?;
+    let table: Vec<f64> = (0u64..1 << n)
+        .map(|mask| game.value(&Coalition::from_mask(n, mask)))
+        .collect();
+    Ok(shapley_from_table(n, &table))
+}
+
+/// Computes exact Shapley values using Gray-code toggling, avoiding a full
+/// characteristic-function evaluation per coalition. Produces identical
+/// results to [`exact_shapley`] up to floating-point accumulation order.
+///
+/// # Errors
+///
+/// Same conditions as [`exact_shapley`].
+pub fn exact_shapley_fast<G: DeltaGame>(game: &G) -> Result<Vec<f64>, ExactError> {
+    let n = check_size(game)?;
+    let size = 1usize << n;
+    let mut table = vec![0.0f64; size];
+    let mut state = game.initial_state();
+    // Walk coalitions in Gray-code order: consecutive codes differ in
+    // exactly one bit, so one toggle per step fills the whole table.
+    let mut prev_gray = 0u64;
+    for k in 1..size as u64 {
+        let gray = k ^ (k >> 1);
+        let flipped = (gray ^ prev_gray).trailing_zeros() as usize;
+        let v = game.toggle(&mut state, flipped);
+        table[gray as usize] = v;
+        prev_gray = gray;
+    }
+    Ok(shapley_from_table(n, &table))
+}
+
+fn check_size<G: Game>(game: &G) -> Result<usize, ExactError> {
+    let n = game.player_count();
+    if n == 0 {
+        return Err(ExactError::NoPlayers);
+    }
+    if n > MAX_EXACT_PLAYERS {
+        return Err(ExactError::TooManyPlayers {
+            n,
+            max: MAX_EXACT_PLAYERS,
+        });
+    }
+    Ok(n)
+}
+
+impl DeltaGame for crate::game::PeakDemandGame {
+    /// Per-time-step sums plus explicit membership flags.
+    type State = (Vec<f64>, Vec<bool>);
+
+    fn initial_state(&self) -> Self::State {
+        (vec![0.0; self.steps()], vec![false; self.player_count()])
+    }
+
+    fn toggle(&self, (sums, members): &mut Self::State, player: usize) -> f64 {
+        let sign = if members[player] { -1.0 } else { 1.0 };
+        members[player] = !members[player];
+        for (s, d) in sums.iter_mut().zip(&self.demand()[player]) {
+            *s += sign * d;
+        }
+        sums.iter().copied().fold(0.0, f64::max)
+    }
+}
+
+/// Shapley accumulation over a complete value table (`table[mask]` =
+/// value of coalition `mask`).
+fn shapley_from_table(n: usize, table: &[f64]) -> Vec<f64> {
+    // w[s] = s!·(n−1−s)!/n!, built by the recurrence w[s] = w[s−1]·s/(n−s)
+    // to stay in floating range for any n we support.
+    let mut weights = vec![0.0f64; n];
+    weights[0] = 1.0 / n as f64;
+    for s in 1..n {
+        weights[s] = weights[s - 1] * s as f64 / (n - s) as f64;
+    }
+    let mut phi = vec![0.0f64; n];
+    for (i, phi_i) in phi.iter_mut().enumerate() {
+        let bit = 1u64 << i;
+        for mask in 0u64..1 << n {
+            if mask & bit == 0 {
+                let s = mask.count_ones() as usize;
+                *phi_i += weights[s] * (table[(mask | bit) as usize] - table[mask as usize]);
+            }
+        }
+    }
+    phi
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::game::{PeakDemandGame, TableGame};
+
+    #[test]
+    fn two_player_split_the_difference() {
+        // Classic glove-game style check: v(1)=3, v(2)=2, v(12)=5.
+        let g = TableGame::new(2, vec![0.0, 3.0, 2.0, 5.0]);
+        let phi = exact_shapley(&g).unwrap();
+        assert!((phi[0] - 3.0).abs() < 1e-12);
+        assert!((phi[1] - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn superadditive_game_known_values() {
+        // v(1)=1, v(2)=1, v(12)=4 → φ = (2, 2).
+        let g = TableGame::new(2, vec![0.0, 1.0, 1.0, 4.0]);
+        let phi = exact_shapley(&g).unwrap();
+        assert!((phi[0] - 2.0).abs() < 1e-12);
+        assert!((phi[1] - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn efficiency_on_peak_demand_game() {
+        let g = PeakDemandGame::new(vec![
+            vec![4.0, 1.0, 0.0],
+            vec![1.0, 4.0, 2.0],
+            vec![2.0, 2.0, 5.0],
+            vec![0.0, 3.0, 1.0],
+        ]);
+        let phi = exact_shapley(&g).unwrap();
+        let grand = g.value(&Coalition::grand(4));
+        let total: f64 = phi.iter().sum();
+        assert!((total - grand).abs() < 1e-9, "Σφ={total} v(N)={grand}");
+    }
+
+    #[test]
+    fn fast_gray_code_solver_matches_plain() {
+        let g = PeakDemandGame::new(vec![
+            vec![4.0, 1.0, 0.0],
+            vec![1.0, 4.0, 2.0],
+            vec![2.0, 2.0, 5.0],
+            vec![0.0, 3.0, 1.0],
+            vec![2.5, 0.5, 3.5],
+        ]);
+        let plain = exact_shapley(&g).unwrap();
+        let fast = exact_shapley_fast(&g).unwrap();
+        for (a, b) in plain.iter().zip(&fast) {
+            assert!((a - b).abs() < 1e-9, "{a} vs {b}");
+        }
+    }
+
+    #[test]
+    fn size_limits_are_enforced() {
+        let g = PeakDemandGame::new(vec![vec![1.0]; 25]);
+        assert_eq!(
+            exact_shapley(&g),
+            Err(ExactError::TooManyPlayers { n: 25, max: 24 })
+        );
+    }
+
+    #[test]
+    fn null_player_gets_zero() {
+        let g = PeakDemandGame::new(vec![vec![3.0, 1.0], vec![0.0, 0.0]]);
+        let phi = exact_shapley(&g).unwrap();
+        assert!((phi[0] - 3.0).abs() < 1e-12);
+        assert_eq!(phi[1], 0.0);
+    }
+}

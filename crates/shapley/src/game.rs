@@ -1,0 +1,216 @@
+//! The characteristic-function interface and reference games.
+
+use crate::coalition::Coalition;
+
+/// A cooperative game: a set of players and a characteristic function
+/// assigning a cost (here: carbon) to every coalition.
+///
+/// Implementations must satisfy `value(∅) = 0` and should be monotone for
+/// cost games (adding a player never lowers the coalition's cost); the
+/// solvers do not enforce monotonicity but the fairness axioms in
+/// [`crate::axioms`] assume `value(∅) = 0`.
+pub trait Game {
+    /// Number of players.
+    fn player_count(&self) -> usize;
+
+    /// Characteristic function: the cost borne by `coalition` on its own.
+    fn value(&self, coalition: &Coalition) -> f64;
+}
+
+/// A game that can evaluate coalitions *incrementally* as players are
+/// appended, which lets permutation sampling compute each marginal
+/// contribution in amortized constant-to-linear time instead of
+/// re-evaluating the characteristic function from scratch.
+pub trait IncrementalGame: Game {
+    /// Evaluation state for a growing coalition.
+    type State;
+
+    /// State of the empty coalition.
+    fn initial_state(&self) -> Self::State;
+
+    /// Adds `player` to the growing coalition and returns the value of
+    /// the enlarged coalition.
+    fn add_player(&self, state: &mut Self::State, player: usize) -> f64;
+}
+
+/// Adapter giving any [`Game`] a (slow) incremental interface by replaying
+/// the full characteristic function after every insertion. Useful for
+/// cross-checking fast incremental implementations.
+#[derive(Debug, Clone)]
+pub struct Replay<G>(pub G);
+
+impl<G: Game> Game for Replay<G> {
+    fn player_count(&self) -> usize {
+        self.0.player_count()
+    }
+
+    fn value(&self, coalition: &Coalition) -> f64 {
+        self.0.value(coalition)
+    }
+}
+
+impl<G: Game> IncrementalGame for Replay<G> {
+    type State = Coalition;
+
+    fn initial_state(&self) -> Coalition {
+        Coalition::empty(self.0.player_count())
+    }
+
+    fn add_player(&self, state: &mut Coalition, player: usize) -> f64 {
+        state.insert(player);
+        self.0.value(state)
+    }
+}
+
+/// The *peak-demand game* of Section 4: each player is a workload with a
+/// per-time-step resource demand, and a coalition's cost is the **peak**
+/// (over time) of its summed demand — the minimum capacity that must be
+/// provisioned to run the coalition (paper Figure 1).
+#[derive(Debug, Clone)]
+pub struct PeakDemandGame {
+    /// `demand[p][t]`: demand of player `p` at time step `t`.
+    demand: Vec<Vec<f64>>,
+    steps: usize,
+}
+
+impl PeakDemandGame {
+    /// Builds the game from a per-player demand matrix. All players must
+    /// cover the same number of time steps.
+    ///
+    /// # Panics
+    ///
+    /// Panics if players disagree on the number of time steps or if there
+    /// are no players.
+    pub fn new(demand: Vec<Vec<f64>>) -> Self {
+        assert!(!demand.is_empty(), "game needs at least one player");
+        let steps = demand[0].len();
+        assert!(
+            demand.iter().all(|d| d.len() == steps),
+            "all players must cover the same time steps"
+        );
+        Self { demand, steps }
+    }
+
+    /// Per-player demand rows.
+    pub fn demand(&self) -> &[Vec<f64>] {
+        &self.demand
+    }
+
+    /// Number of time steps.
+    pub fn steps(&self) -> usize {
+        self.steps
+    }
+}
+
+impl Game for PeakDemandGame {
+    fn player_count(&self) -> usize {
+        self.demand.len()
+    }
+
+    fn value(&self, coalition: &Coalition) -> f64 {
+        let mut peak = 0.0f64;
+        for t in 0..self.steps {
+            let total: f64 = coalition.iter().map(|p| self.demand[p][t]).sum();
+            peak = peak.max(total);
+        }
+        peak
+    }
+}
+
+impl IncrementalGame for PeakDemandGame {
+    /// Running per-time-step sums plus the current peak.
+    type State = (Vec<f64>, f64);
+
+    fn initial_state(&self) -> Self::State {
+        (vec![0.0; self.steps], 0.0)
+    }
+
+    fn add_player(&self, state: &mut Self::State, player: usize) -> f64 {
+        let (sums, peak) = state;
+        for (s, d) in sums.iter_mut().zip(&self.demand[player]) {
+            *s += d;
+            if *s > *peak {
+                *peak = *s;
+            }
+        }
+        *peak
+    }
+}
+
+/// A game given by an explicit table of coalition values, indexed by
+/// bitmask. Only usable for ≤ 64 players; primarily a test fixture.
+#[derive(Debug, Clone)]
+pub struct TableGame {
+    n: usize,
+    values: Vec<f64>,
+}
+
+impl TableGame {
+    /// Builds a table game; `values[mask]` is the value of the coalition
+    /// with member bitmask `mask`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `values.len() != 2ⁿ` or `values[0] != 0`.
+    pub fn new(n: usize, values: Vec<f64>) -> Self {
+        assert_eq!(values.len(), 1usize << n, "table must have 2^n entries");
+        assert_eq!(values[0], 0.0, "the empty coalition must have value 0");
+        Self { n, values }
+    }
+}
+
+impl Game for TableGame {
+    fn player_count(&self) -> usize {
+        self.n
+    }
+
+    fn value(&self, coalition: &Coalition) -> f64 {
+        let mut mask = 0u64;
+        for p in coalition.iter() {
+            mask |= 1 << p;
+        }
+        self.values[mask as usize]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn peak_demand_value_is_max_of_sums() {
+        // p0: [4, 1], p1: [1, 4], p2: [2, 2]
+        let g = PeakDemandGame::new(vec![vec![4.0, 1.0], vec![1.0, 4.0], vec![2.0, 2.0]]);
+        assert_eq!(g.value(&Coalition::empty(3)), 0.0);
+        assert_eq!(g.value(&Coalition::from_players(3, [0])), 4.0);
+        assert_eq!(g.value(&Coalition::from_players(3, [0, 1])), 5.0);
+        assert_eq!(g.value(&Coalition::grand(3)), 7.0);
+    }
+
+    #[test]
+    fn incremental_matches_batch() {
+        let g = PeakDemandGame::new(vec![vec![4.0, 1.0], vec![1.0, 4.0], vec![2.0, 2.0]]);
+        let mut state = g.initial_state();
+        let v1 = g.add_player(&mut state, 2);
+        assert_eq!(v1, g.value(&Coalition::from_players(3, [2])));
+        let v2 = g.add_player(&mut state, 0);
+        assert_eq!(v2, g.value(&Coalition::from_players(3, [0, 2])));
+        let v3 = g.add_player(&mut state, 1);
+        assert_eq!(v3, g.value(&Coalition::grand(3)));
+    }
+
+    #[test]
+    fn replay_adapter_agrees_with_direct_evaluation() {
+        let g = PeakDemandGame::new(vec![vec![3.0], vec![2.0]]);
+        let replay = Replay(g.clone());
+        let mut s = replay.initial_state();
+        assert_eq!(replay.add_player(&mut s, 1), 2.0);
+        assert_eq!(replay.add_player(&mut s, 0), 5.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "2^n entries")]
+    fn table_game_validates_size() {
+        let _ = TableGame::new(2, vec![0.0, 1.0]);
+    }
+}

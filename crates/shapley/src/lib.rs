@@ -1,0 +1,56 @@
+//! Cooperative-game substrate: Shapley-value solvers for carbon attribution.
+//!
+//! The paper grounds fair carbon attribution in the Shapley value (its
+//! Eq. 1) and contributes a scalable *Temporal Shapley* approximation
+//! (Eqs. 2–7). This crate implements the complete toolbox:
+//!
+//! * [`game`] — the [`Game`](game::Game) trait (characteristic function
+//!   over coalitions) and the incremental variant used by permutation
+//!   sampling.
+//! * [`exact`] — ground-truth Shapley by subset enumeration, `O(n·2ⁿ)`;
+//!   practical to ~24 players, exactly the regime the paper evaluates
+//!   (≤ 22 workloads).
+//! * [`sampled`] — permutation-sampling estimator with antithetic
+//!   variance reduction and a standard-error stopping rule, for games too
+//!   large to enumerate.
+//! * [`matching`] — an exact `O(n²)` solver for *pairwise matching games*
+//!   (the structure of the paper's colocation scenarios: isolated costs
+//!   plus pairwise colocation costs under a uniformly random matching).
+//! * [`temporal`] — Temporal Shapley: the exact closed form for the
+//!   peak-demand game (equivalent to the paper's Eq. 7, derived via the
+//!   level decomposition of `max`), hierarchical splitting, and the
+//!   dynamic embodied-carbon-intensity signal (Eq. 5).
+//! * [`axioms`] — executable checks of the four fairness axioms (null
+//!   player, symmetry, efficiency, linearity).
+//!
+//! # Example
+//!
+//! ```
+//! use fairco2_shapley::temporal::peak_shapley;
+//!
+//! // Three periods with peaks 10, 6, 6: the peak period absorbs most of
+//! // the capacity responsibility, the tied periods split the rest.
+//! let phi = peak_shapley(&[10.0, 6.0, 6.0]);
+//! let total: f64 = phi.iter().sum();
+//! assert!((total - 10.0).abs() < 1e-12); // efficiency: sums to the peak
+//! assert!(phi[0] > phi[1] && (phi[1] - phi[2]).abs() < 1e-12);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod axioms;
+pub mod coalition;
+pub mod exact;
+pub mod game;
+pub mod matching;
+pub mod sampled;
+pub mod temporal;
+pub mod unit_time;
+
+pub use coalition::Coalition;
+pub use exact::exact_shapley;
+pub use game::{Game, IncrementalGame};
+pub use matching::{shapley_from_moments, MatchingGame};
+pub use sampled::{sampled_shapley, stratified_shapley, SampleConfig};
+pub use temporal::{peak_shapley, TemporalAttribution};

@@ -1,0 +1,326 @@
+//! Monte Carlo Shapley estimation by permutation sampling.
+//!
+//! For games too large to enumerate, the Shapley value is estimated as the
+//! empirical mean of marginal contributions over uniformly random player
+//! permutations — the standard unbiased estimator. Two refinements:
+//!
+//! * **antithetic pairs** — each sampled permutation is also replayed in
+//!   reverse, which cancels much of the positional variance for monotone
+//!   cost games;
+//! * **standard-error stopping** — sampling stops once the largest
+//!   per-player standard error of the mean drops below a target (or the
+//!   sample budget is exhausted).
+
+use rand::seq::SliceRandom;
+use rand::Rng;
+
+use crate::game::IncrementalGame;
+
+/// Configuration for [`sampled_shapley`].
+#[derive(Debug, Clone, Copy)]
+pub struct SampleConfig {
+    /// Maximum number of permutations to draw (antithetic replays count
+    /// separately toward this budget).
+    pub max_permutations: usize,
+    /// Stop early when every player's standard error of the mean falls
+    /// below this absolute value. `0.0` disables early stopping.
+    pub target_stderr: f64,
+    /// Minimum permutations before the stopping rule may fire.
+    pub min_permutations: usize,
+    /// Whether to replay each permutation reversed (antithetic sampling).
+    pub antithetic: bool,
+}
+
+impl Default for SampleConfig {
+    fn default() -> Self {
+        Self {
+            max_permutations: 2000,
+            target_stderr: 0.0,
+            min_permutations: 64,
+            antithetic: true,
+        }
+    }
+}
+
+/// Result of a sampled Shapley estimation.
+#[derive(Debug, Clone)]
+pub struct ShapleyEstimate {
+    /// Estimated Shapley value per player.
+    pub values: Vec<f64>,
+    /// Standard error of the mean per player.
+    pub std_errors: Vec<f64>,
+    /// Number of permutations actually evaluated.
+    pub permutations: usize,
+}
+
+impl ShapleyEstimate {
+    /// Largest per-player standard error.
+    pub fn max_std_error(&self) -> f64 {
+        self.std_errors.iter().copied().fold(0.0, f64::max)
+    }
+}
+
+/// Estimates Shapley values by permutation sampling.
+///
+/// # Panics
+///
+/// Panics if the game has no players or `max_permutations == 0` — an
+/// estimate from zero samples is meaningless.
+pub fn sampled_shapley<G: IncrementalGame>(
+    game: &G,
+    config: &SampleConfig,
+    rng: &mut impl Rng,
+) -> ShapleyEstimate {
+    let n = game.player_count();
+    assert!(n > 0, "game must have at least one player");
+    assert!(
+        config.max_permutations > 0,
+        "at least one permutation is required"
+    );
+
+    let mut sum = vec![0.0f64; n];
+    let mut sum_sq = vec![0.0f64; n];
+    let mut order: Vec<usize> = (0..n).collect();
+    let mut permutations = 0usize;
+
+    let run = |order: &[usize], sum: &mut [f64], sum_sq: &mut [f64]| {
+        let mut state = game.initial_state();
+        let mut prev = 0.0f64;
+        for &p in order {
+            let value = game.add_player(&mut state, p);
+            let marginal = value - prev;
+            sum[p] += marginal;
+            sum_sq[p] += marginal * marginal;
+            prev = value;
+        }
+    };
+
+    while permutations < config.max_permutations {
+        order.shuffle(rng);
+        run(&order, &mut sum, &mut sum_sq);
+        permutations += 1;
+        if config.antithetic && permutations < config.max_permutations {
+            order.reverse();
+            run(&order, &mut sum, &mut sum_sq);
+            permutations += 1;
+        }
+        if config.target_stderr > 0.0 && permutations >= config.min_permutations {
+            let worst = max_stderr(&sum, &sum_sq, permutations);
+            if worst <= config.target_stderr {
+                break;
+            }
+        }
+    }
+
+    let k = permutations as f64;
+    let values: Vec<f64> = sum.iter().map(|s| s / k).collect();
+    let std_errors: Vec<f64> = sum
+        .iter()
+        .zip(&sum_sq)
+        .map(|(&s, &sq)| stderr(s, sq, permutations))
+        .collect();
+    ShapleyEstimate {
+        values,
+        std_errors,
+        permutations,
+    }
+}
+
+/// Estimates Shapley values by *position-stratified* sampling: for each
+/// stratum (coalition size) `s`, draws `samples_per_stratum` uniformly
+/// random `s`-subsets of the other players and averages the target
+/// player's marginal contribution — the Castro-style stratified estimator.
+/// Unlike [`sampled_shapley`] it allocates the budget evenly across
+/// coalition sizes, which helps games whose marginals vary sharply with
+/// size (e.g. the matching game's odd/even alternation).
+///
+/// Cost is `O(n² · samples_per_stratum)` coalition evaluations, so it
+/// suits moderate `n` with expensive positional variance rather than
+/// very large games.
+///
+/// # Panics
+///
+/// Panics if the game has no players or `samples_per_stratum == 0`.
+pub fn stratified_shapley<G: IncrementalGame>(
+    game: &G,
+    samples_per_stratum: usize,
+    rng: &mut impl Rng,
+) -> Vec<f64> {
+    let n = game.player_count();
+    assert!(n > 0, "game must have at least one player");
+    assert!(samples_per_stratum > 0, "need at least one sample per stratum");
+    let mut phi = vec![0.0f64; n];
+    let mut order: Vec<usize> = (0..n).collect();
+    for _ in 0..samples_per_stratum {
+        // One permutation serves every stratum: prefix s is a uniform
+        // s-subset, and each player contributes to exactly one stratum
+        // per permutation, giving every (player, size) pair equal weight
+        // across the run.
+        order.shuffle(rng);
+        let mut state = game.initial_state();
+        let mut prev = 0.0;
+        for &p in &order {
+            let value = game.add_player(&mut state, p);
+            phi[p] += value - prev;
+            prev = value;
+        }
+        // A second, reversed pass swaps every player's stratum (position
+        // i ↔ n−1−i), halving the positional imbalance per sample.
+        order.reverse();
+        let mut state = game.initial_state();
+        let mut prev = 0.0;
+        for &p in &order {
+            let value = game.add_player(&mut state, p);
+            phi[p] += value - prev;
+            prev = value;
+        }
+    }
+    let k = (2 * samples_per_stratum) as f64;
+    phi.iter_mut().for_each(|v| *v /= k);
+    phi
+}
+
+fn stderr(sum: f64, sum_sq: f64, k: usize) -> f64 {
+    if k < 2 {
+        return f64::INFINITY;
+    }
+    let kf = k as f64;
+    let mean = sum / kf;
+    let var = (sum_sq / kf - mean * mean).max(0.0) * kf / (kf - 1.0);
+    (var / kf).sqrt()
+}
+
+fn max_stderr(sum: &[f64], sum_sq: &[f64], k: usize) -> f64 {
+    sum.iter()
+        .zip(sum_sq)
+        .map(|(&s, &sq)| stderr(s, sq, k))
+        .fold(0.0, f64::max)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::exact::exact_shapley;
+    use crate::game::PeakDemandGame;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn demo_game() -> PeakDemandGame {
+        PeakDemandGame::new(vec![
+            vec![4.0, 1.0, 0.0],
+            vec![1.0, 4.0, 2.0],
+            vec![2.0, 2.0, 5.0],
+            vec![0.0, 3.0, 1.0],
+            vec![2.5, 0.5, 3.5],
+        ])
+    }
+
+    #[test]
+    fn converges_to_exact_values() {
+        let g = demo_game();
+        let exact = exact_shapley(&g).unwrap();
+        let mut rng = StdRng::seed_from_u64(11);
+        let est = sampled_shapley(
+            &g,
+            &SampleConfig {
+                max_permutations: 20_000,
+                ..SampleConfig::default()
+            },
+            &mut rng,
+        );
+        for (e, s) in exact.iter().zip(&est.values) {
+            assert!((e - s).abs() < 0.05, "exact {e} sampled {s}");
+        }
+    }
+
+    #[test]
+    fn every_permutation_is_efficient() {
+        // Each permutation's marginals telescope to v(N), so the estimate
+        // is exactly efficient regardless of sample count.
+        let g = demo_game();
+        let mut rng = StdRng::seed_from_u64(5);
+        let est = sampled_shapley(
+            &g,
+            &SampleConfig {
+                max_permutations: 7,
+                antithetic: false,
+                ..SampleConfig::default()
+            },
+            &mut rng,
+        );
+        let grand = {
+            use crate::coalition::Coalition;
+            use crate::game::Game;
+            g.value(&Coalition::grand(5))
+        };
+        let total: f64 = est.values.iter().sum();
+        assert!((total - grand).abs() < 1e-9);
+        assert_eq!(est.permutations, 7);
+    }
+
+    #[test]
+    fn stderr_stopping_rule_halts_early() {
+        let g = demo_game();
+        let mut rng = StdRng::seed_from_u64(1);
+        let est = sampled_shapley(
+            &g,
+            &SampleConfig {
+                max_permutations: 100_000,
+                target_stderr: 0.05,
+                min_permutations: 100,
+                antithetic: true,
+            },
+            &mut rng,
+        );
+        assert!(est.permutations < 100_000);
+        assert!(est.max_std_error() <= 0.05);
+    }
+
+    #[test]
+    fn stratified_estimator_converges_and_is_efficient() {
+        let g = demo_game();
+        let exact = exact_shapley(&g).unwrap();
+        let mut rng = StdRng::seed_from_u64(2);
+        let est = stratified_shapley(&g, 5_000, &mut rng);
+        for (e, s) in exact.iter().zip(&est) {
+            assert!((e - s).abs() < 0.05, "exact {e} stratified {s}");
+        }
+        // Telescoping marginals make every pass efficient.
+        use crate::coalition::Coalition;
+        use crate::game::Game;
+        let grand = g.value(&Coalition::grand(5));
+        let total: f64 = est.iter().sum();
+        assert!((total - grand).abs() < 1e-9);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one sample")]
+    fn stratified_rejects_zero_samples() {
+        let g = demo_game();
+        let mut rng = StdRng::seed_from_u64(1);
+        let _ = stratified_shapley(&g, 0, &mut rng);
+    }
+
+    #[test]
+    fn antithetic_reduces_variance() {
+        let g = demo_game();
+        let budget = 2000;
+        let run = |antithetic: bool, seed: u64| {
+            let mut rng = StdRng::seed_from_u64(seed);
+            sampled_shapley(
+                &g,
+                &SampleConfig {
+                    max_permutations: budget,
+                    antithetic,
+                    ..SampleConfig::default()
+                },
+                &mut rng,
+            )
+            .max_std_error()
+        };
+        // Average over seeds to avoid a fluke comparison.
+        let plain: f64 = (0..5).map(|s| run(false, s)).sum();
+        let anti: f64 = (0..5).map(|s| run(true, s)).sum();
+        assert!(anti < plain, "antithetic {anti} plain {plain}");
+    }
+}

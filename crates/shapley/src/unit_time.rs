@@ -1,0 +1,441 @@
+//! The theoretical limits of Temporal Shapley (paper Section 5.1): the
+//! *unit resource-time approximation* and its over-attribution of
+//! long-running workloads — plus the discounting fix the paper leaves to
+//! future work.
+//!
+//! Setup (the paper's): `n` workloads over `m` time intervals. `k`
+//! short-lived workloads fit entirely inside interval 1; the other
+//! `n − k` run for the whole horizon. Within interval 1 every workload
+//! has equal demand (normalized total 1); intervals `2..m` carry only the
+//! long-running workloads at aggregate demand `p ≪ 1`.
+//!
+//! Temporal Shapley weights the intervals `φ₁ = 1 − (m−1)p/m` and
+//! `φ_j = p/m`; the later intervals' carbon is split among *fewer*
+//! workloads, so long-running workloads are charged extra — the paper's
+//! `C·p·(m−1)/((n−k)·m)` term. Because the scenario has only two
+//! equivalence classes, the **workload-level ground truth** Shapley value
+//! is computable exactly in `O(n·m)` via hypergeometric prefix
+//! compositions, so the distortion can be measured against the true fair
+//! attribution rather than a heuristic baseline — and a billing discount
+//! for long-running workloads can be solved for that removes it.
+
+use serde::{Deserialize, Serialize};
+
+use crate::temporal::peak_shapley;
+
+/// How interval carbon is derived from the interval Shapley weights.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum IntensityConvention {
+    /// Interval carbon ∝ `φ_j · q_j` — the production rule of the
+    /// paper's Eq. 5 (`ȳ_i = φ_i / Σ φ_k q_k · C`, charged per
+    /// resource-time).
+    Eq5,
+    /// Interval carbon ∝ `φ_j` alone — the convention the Section 5.1
+    /// analysis uses (its printed formulas follow from this), which
+    /// over-attributes long-running workloads more strongly.
+    ProportionalToPhi,
+}
+
+/// The paper's analytical scenario.
+///
+/// # Example
+///
+/// ```
+/// use fairco2_shapley::unit_time::{IntensityConvention, UnitTimeScenario};
+///
+/// let s = UnitTimeScenario {
+///     workloads: 100,
+///     short_lived: 90,
+///     intervals: 12,
+///     long_peak: 0.2,
+///     total_carbon: 1000.0,
+/// };
+/// // Under the paper's convention long jobs are overcharged…
+/// assert!(s.over_attribution(IntensityConvention::ProportionalToPhi) > 2.0);
+/// // …and the solved discount removes the distortion.
+/// let delta = s.equalizing_discount(IntensityConvention::ProportionalToPhi);
+/// let fixed = s.temporal_attribution(IntensityConvention::ProportionalToPhi, delta);
+/// let truth = s.ground_truth();
+/// assert!((fixed.long_each / truth.long_each - 1.0).abs() < 1e-6);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct UnitTimeScenario {
+    /// Total workloads `n`.
+    pub workloads: usize,
+    /// Short-lived workloads `k` (`k < n`).
+    pub short_lived: usize,
+    /// Time intervals `m ≥ 2`.
+    pub intervals: usize,
+    /// Aggregate demand of the long-running workloads in intervals
+    /// `2..m`, relative to interval 1's unit peak (`0 < p < 1`).
+    pub long_peak: f64,
+    /// Embodied carbon to attribute over the horizon (gCO₂e).
+    pub total_carbon: f64,
+}
+
+/// Per-class attribution outcome.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ClassAttribution {
+    /// Carbon attributed to each short-lived workload (gCO₂e).
+    pub short_each: f64,
+    /// Carbon attributed to each long-running workload (gCO₂e).
+    pub long_each: f64,
+}
+
+impl UnitTimeScenario {
+    fn validate(&self) {
+        assert!(self.workloads >= 2, "need at least two workloads");
+        assert!(
+            self.short_lived >= 1 && self.short_lived < self.workloads,
+            "short-lived count must be in 1..n"
+        );
+        assert!(self.intervals >= 2, "need at least two intervals");
+        assert!(
+            self.long_peak > 0.0 && self.long_peak < 1.0,
+            "long-interval peak must be in (0, 1)"
+        );
+        assert!(self.total_carbon > 0.0, "carbon must be positive");
+    }
+
+    /// Interval Shapley weights `φ` via the peak game: interval 1 has
+    /// unit peak, intervals `2..m` peak `p`.
+    pub fn interval_weights(&self) -> Vec<f64> {
+        self.validate();
+        let mut peaks = vec![self.long_peak; self.intervals];
+        peaks[0] = 1.0;
+        peak_shapley(&peaks)
+    }
+
+    /// Temporal Shapley attribution under a convention, with an optional
+    /// billing *discount* `δ ∈ [0, 1)` applied to long-running workloads
+    /// inside shared intervals (`δ = 0` reproduces the paper's analysis).
+    ///
+    /// # Panics
+    ///
+    /// Panics on out-of-range parameters.
+    pub fn temporal_attribution(
+        &self,
+        convention: IntensityConvention,
+        discount: f64,
+    ) -> ClassAttribution {
+        self.validate();
+        assert!((0.0..1.0).contains(&discount), "discount must be in [0, 1)");
+        let phi = self.interval_weights();
+        let k = self.short_lived as f64;
+        let long = (self.workloads - self.short_lived) as f64;
+
+        let weights: Vec<f64> = match convention {
+            IntensityConvention::Eq5 => {
+                // q₁ = 1 (unit demand × unit time), q_j = p.
+                phi.iter()
+                    .enumerate()
+                    .map(|(j, f)| f * if j == 0 { 1.0 } else { self.long_peak })
+                    .collect()
+            }
+            IntensityConvention::ProportionalToPhi => phi,
+        };
+        let denom: f64 = weights.iter().sum();
+        let carbon: Vec<f64> = weights
+            .iter()
+            .map(|w| self.total_carbon * w / denom)
+            .collect();
+
+        // Nominal split: interval 1 equally across everyone; later
+        // intervals across the long-running jobs only.
+        let n = k + long;
+        let short_nominal = carbon[0] / n;
+        let later: f64 = carbon[1..].iter().sum();
+        let long_nominal = carbon[0] / n + later / long;
+        // Discount: long-running jobs are rebated a fraction δ of their
+        // nominal bill; the shortfall is redistributed equally (every
+        // workload shares interval 1 equally), preserving efficiency.
+        let shortfall = long * discount * long_nominal;
+        let short_each = short_nominal + shortfall / n;
+        let long_each = (1.0 - discount) * long_nominal + shortfall / n;
+        ClassAttribution {
+            short_each,
+            long_each,
+        }
+    }
+
+    /// The paper's closed-form shares (Section 5.1, the
+    /// [`IntensityConvention::ProportionalToPhi`] convention):
+    /// short ∝ `(C/n)·[1 − (m−1)p/m]`, long adds
+    /// `C·p·(m−1)/((n−k)·m)`.
+    pub fn paper_formula(&self) -> ClassAttribution {
+        self.validate();
+        let n = self.workloads as f64;
+        let k = self.short_lived as f64;
+        let m = self.intervals as f64;
+        let p = self.long_peak;
+        let short_each = self.total_carbon / n * (1.0 - (m - 1.0) / m * p);
+        let long_each = short_each + self.total_carbon * p * (m - 1.0) / ((n - k) * m);
+        ClassAttribution {
+            short_each,
+            long_each,
+        }
+    }
+
+    /// The exact **workload-level** ground truth: the Shapley value of
+    /// the peak game where every workload is a player, computed by class
+    /// symmetry with hypergeometric prefix compositions in `O(n²)`.
+    ///
+    /// Coalition value: `v(σ, λ) = max((σ+λ)/n, p·λ/(n−k))` for `σ`
+    /// short and `λ` long members (interval-1 demand is `1/n` per
+    /// workload; later demand `p/(n−k)` per long workload).
+    pub fn ground_truth(&self) -> ClassAttribution {
+        self.validate();
+        let n = self.workloads;
+        let k = self.short_lived;
+        let v = |sigma: usize, lambda: usize| -> f64 {
+            let interval1 = (sigma + lambda) as f64 / n as f64;
+            let later = self.long_peak * lambda as f64 / (n - k) as f64;
+            interval1.max(later)
+        };
+        // φ_class = (1/n) Σ_s E_{s-subset of others}[Δ], composition of
+        // the subset hypergeometric in (#short others, #long others).
+        let phi_for = |short_player: bool| -> f64 {
+            let (s_others, l_others) = if short_player {
+                (k - 1, n - k)
+            } else {
+                (k, n - k - 1)
+            };
+            let mut acc = 0.0;
+            for s in 0..n {
+                // Hypergeometric over λ = #long among the s predecessors.
+                let l_min = s.saturating_sub(s_others);
+                let l_max = s.min(l_others);
+                // P(λ = l_min), then recurrence.
+                let mut prob = hyper_start(l_others, s_others, s, l_min);
+                let mut expect = 0.0;
+                for l in l_min..=l_max {
+                    let sigma = s - l;
+                    let delta = if short_player {
+                        v(sigma + 1, l) - v(sigma, l)
+                    } else {
+                        v(sigma, l + 1) - v(sigma, l)
+                    };
+                    expect += prob * delta;
+                    // P(l+1)/P(l) = (L−l)(s−l) / ((l+1)(S−s+l+1))
+                    if l < l_max {
+                        prob *= (l_others - l) as f64 * (s - l) as f64
+                            / ((l + 1) as f64 * (s_others + l + 1 - s) as f64);
+                    }
+                }
+                acc += expect;
+            }
+            acc / n as f64
+        };
+        let phi_short = phi_for(true);
+        let phi_long = phi_for(false);
+        // Efficiency: total φ equals v(N) = 1; scale to the carbon pool.
+        ClassAttribution {
+            short_each: self.total_carbon * phi_short,
+            long_each: self.total_carbon * phi_long,
+        }
+    }
+
+    /// Over-attribution of long-running workloads by Temporal Shapley,
+    /// relative to the exact ground truth (`1.0` = fair, `> 1` =
+    /// overcharged — the paper's finding).
+    pub fn over_attribution(&self, convention: IntensityConvention) -> f64 {
+        let temporal = self.temporal_attribution(convention, 0.0);
+        let truth = self.ground_truth();
+        temporal.long_each / truth.long_each
+    }
+
+    /// The billing discount that aligns long-running workloads' temporal
+    /// attribution with the ground truth, found by bisection (the
+    /// paper's suggested future-work mitigation, made concrete).
+    pub fn equalizing_discount(&self, convention: IntensityConvention) -> f64 {
+        self.validate();
+        let truth = self.ground_truth();
+        let mut lo = 0.0f64;
+        let mut hi = 1.0 - 1e-9;
+        for _ in 0..200 {
+            let mid = 0.5 * (lo + hi);
+            let att = self.temporal_attribution(convention, mid);
+            if att.long_each > truth.long_each {
+                lo = mid;
+            } else {
+                hi = mid;
+            }
+        }
+        0.5 * (lo + hi)
+    }
+}
+
+/// `P(λ = l)` for a hypergeometric draw of `s` from `l_others` long and
+/// `s_others` short, evaluated at the smallest feasible `l` by a
+/// numerically stable product.
+fn hyper_start(l_others: usize, s_others: usize, s: usize, l: usize) -> f64 {
+    // P = C(L, l)·C(S, s−l) / C(L+S, s), computed in log space.
+    let ln_choose = |n: usize, k: usize| -> f64 {
+        if k > n {
+            return f64::NEG_INFINITY;
+        }
+        let mut acc = 0.0;
+        for i in 0..k {
+            acc += ((n - i) as f64).ln() - ((i + 1) as f64).ln();
+        }
+        acc
+    };
+    (ln_choose(l_others, l) + ln_choose(s_others, s - l) - ln_choose(l_others + s_others, s)).exp()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::exact::exact_shapley;
+    use crate::game::PeakDemandGame;
+
+    fn scenario() -> UnitTimeScenario {
+        UnitTimeScenario {
+            workloads: 100,
+            short_lived: 90,
+            intervals: 12,
+            long_peak: 0.2,
+            total_carbon: 1000.0,
+        }
+    }
+
+    #[test]
+    fn interval_weights_match_the_paper() {
+        let s = scenario();
+        let phi = s.interval_weights();
+        let m = s.intervals as f64;
+        let p = s.long_peak;
+        assert!((phi[0] - (1.0 - (m - 1.0) / m * p)).abs() < 1e-12);
+        for &f in &phi[1..] {
+            assert!((f - p / m).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn phi_convention_matches_the_paper_formula() {
+        let s = scenario();
+        let got = s.temporal_attribution(IntensityConvention::ProportionalToPhi, 0.0);
+        let paper = s.paper_formula();
+        // Identical ratios (the paper drops the global normalization).
+        let got_ratio = got.long_each / got.short_each;
+        let paper_ratio = paper.long_each / paper.short_each;
+        assert!(
+            (got_ratio - paper_ratio).abs() < 1e-9,
+            "{got_ratio} vs {paper_ratio}"
+        );
+    }
+
+    #[test]
+    fn temporal_attribution_is_efficient() {
+        let s = scenario();
+        for conv in [IntensityConvention::Eq5, IntensityConvention::ProportionalToPhi] {
+            let a = s.temporal_attribution(conv, 0.0);
+            let total = a.short_each * s.short_lived as f64
+                + a.long_each * (s.workloads - s.short_lived) as f64;
+            assert!((total - s.total_carbon).abs() < 1e-6, "{conv:?}");
+        }
+    }
+
+    #[test]
+    fn ground_truth_matches_enumeration_on_small_instances() {
+        let s = UnitTimeScenario {
+            workloads: 10,
+            short_lived: 7,
+            intervals: 4,
+            long_peak: 0.3,
+            total_carbon: 100.0,
+        };
+        let truth = s.ground_truth();
+        // Build the explicit per-workload peak game and enumerate.
+        let n = s.workloads;
+        let k = s.short_lived;
+        let mut demand = Vec::new();
+        for _ in 0..k {
+            let mut row = vec![0.0; s.intervals];
+            row[0] = 1.0 / n as f64;
+            demand.push(row);
+        }
+        for _ in k..n {
+            let mut row = vec![s.long_peak / (n - k) as f64; s.intervals];
+            row[0] = 1.0 / n as f64;
+            demand.push(row);
+        }
+        let phi = exact_shapley(&PeakDemandGame::new(demand)).unwrap();
+        let exact_short = 100.0 * phi[0];
+        let exact_long = 100.0 * phi[n - 1];
+        assert!(
+            (truth.short_each - exact_short).abs() < 1e-9,
+            "{} vs {exact_short}",
+            truth.short_each
+        );
+        assert!(
+            (truth.long_each - exact_long).abs() < 1e-9,
+            "{} vs {exact_long}",
+            truth.long_each
+        );
+    }
+
+    #[test]
+    fn ground_truth_is_efficient() {
+        let s = scenario();
+        let t = s.ground_truth();
+        let total =
+            t.short_each * s.short_lived as f64 + t.long_each * (s.workloads - s.short_lived) as f64;
+        assert!((total - s.total_carbon).abs() < 1e-6, "total {total}");
+    }
+
+    #[test]
+    fn long_jobs_are_overcharged_under_the_phi_convention() {
+        // The paper's claim, measured against the true ground truth.
+        let s = scenario();
+        let over = s.over_attribution(IntensityConvention::ProportionalToPhi);
+        assert!(over > 1.2, "over-attribution {over}");
+        // The distortion grows as short-lived workloads dominate (K → N).
+        let fewer_long = UnitTimeScenario {
+            short_lived: 96,
+            ..scenario()
+        };
+        let over_more = fewer_long.over_attribution(IntensityConvention::ProportionalToPhi);
+        assert!(over_more > over, "{over_more} vs {over}");
+    }
+
+    #[test]
+    fn eq5_convention_softens_the_distortion() {
+        let s = scenario();
+        let phi_conv = s.over_attribution(IntensityConvention::ProportionalToPhi);
+        let eq5 = s.over_attribution(IntensityConvention::Eq5);
+        assert!(
+            (eq5 - 1.0).abs() < (phi_conv - 1.0).abs(),
+            "eq5 {eq5} phi {phi_conv}"
+        );
+    }
+
+    #[test]
+    fn equalizing_discount_restores_ground_truth_for_long_jobs() {
+        let s = scenario();
+        let conv = IntensityConvention::ProportionalToPhi;
+        let delta = s.equalizing_discount(conv);
+        assert!(delta > 0.0 && delta < 1.0, "delta {delta}");
+        let fixed = s.temporal_attribution(conv, delta);
+        let truth = s.ground_truth();
+        assert!(
+            (fixed.long_each / truth.long_each - 1.0).abs() < 1e-6,
+            "ratio {}",
+            fixed.long_each / truth.long_each
+        );
+        // Efficiency survives discounting.
+        let total = fixed.short_each * s.short_lived as f64
+            + fixed.long_each * (s.workloads - s.short_lived) as f64;
+        assert!((total - s.total_carbon).abs() < 1e-6);
+    }
+
+    #[test]
+    #[should_panic(expected = "in (0, 1)")]
+    fn out_of_range_peak_panics() {
+        let _ = UnitTimeScenario {
+            long_peak: 1.5,
+            ..scenario()
+        }
+        .interval_weights();
+    }
+}

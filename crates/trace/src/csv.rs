@@ -1,0 +1,157 @@
+//! Minimal CSV persistence for time series.
+//!
+//! The experiment binaries write every reproduced figure's series to disk;
+//! this module provides the tiny `(timestamp,value)` format they use, and a
+//! reader so external traces (e.g. a real Azure export) can be dropped in.
+
+use std::fmt;
+use std::io::{BufRead, Write};
+
+use crate::series::{SeriesError, TimeSeries};
+
+/// Error produced while reading a time-series CSV.
+#[derive(Debug)]
+pub enum CsvError {
+    /// Underlying I/O failure.
+    Io(std::io::Error),
+    /// A row could not be parsed; carries the 1-based line number.
+    Parse(usize),
+    /// Rows were not uniformly spaced in time.
+    IrregularStep {
+        /// 1-based line number of the offending row.
+        line: usize,
+    },
+    /// The rows did not form a valid series.
+    Series(SeriesError),
+}
+
+impl fmt::Display for CsvError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CsvError::Io(e) => write!(f, "i/o error: {e}"),
+            CsvError::Parse(line) => write!(f, "malformed row at line {line}"),
+            CsvError::IrregularStep { line } => {
+                write!(f, "irregular timestamp spacing at line {line}")
+            }
+            CsvError::Series(e) => write!(f, "invalid series: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for CsvError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            CsvError::Io(e) => Some(e),
+            CsvError::Series(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<std::io::Error> for CsvError {
+    fn from(e: std::io::Error) -> Self {
+        CsvError::Io(e)
+    }
+}
+
+/// Writes a series as `timestamp,value` rows with a header line.
+///
+/// # Errors
+///
+/// Propagates any I/O error from `w`.
+pub fn write_series(w: &mut impl Write, series: &TimeSeries) -> std::io::Result<()> {
+    writeln!(w, "timestamp,value")?;
+    for (t, v) in series.iter() {
+        writeln!(w, "{t},{v}")?;
+    }
+    Ok(())
+}
+
+/// Reads a series from `timestamp,value` rows (a non-numeric header line is
+/// skipped). Timestamps must be uniformly spaced.
+///
+/// # Errors
+///
+/// Returns [`CsvError::Parse`] for malformed rows,
+/// [`CsvError::IrregularStep`] when spacing varies, and
+/// [`CsvError::Series`] when the rows form no valid series (e.g. empty).
+pub fn read_series(r: impl BufRead) -> Result<TimeSeries, CsvError> {
+    let mut timestamps: Vec<i64> = Vec::new();
+    let mut values: Vec<f64> = Vec::new();
+    for (idx, line) in r.lines().enumerate() {
+        let line = line?;
+        let trimmed = line.trim();
+        if trimmed.is_empty() {
+            continue;
+        }
+        let mut parts = trimmed.split(',');
+        let (Some(ts), Some(val)) = (parts.next(), parts.next()) else {
+            return Err(CsvError::Parse(idx + 1));
+        };
+        match (ts.trim().parse::<i64>(), val.trim().parse::<f64>()) {
+            (Ok(t), Ok(v)) => {
+                timestamps.push(t);
+                values.push(v);
+            }
+            _ if idx == 0 => continue, // header
+            _ => return Err(CsvError::Parse(idx + 1)),
+        }
+    }
+    let step = match timestamps.len() {
+        0 => return Err(CsvError::Series(SeriesError::Empty)),
+        1 => 1,
+        _ => {
+            let step = timestamps[1] - timestamps[0];
+            if step <= 0 || step > i64::from(u32::MAX) {
+                return Err(CsvError::IrregularStep { line: 2 });
+            }
+            for (k, pair) in timestamps.windows(2).enumerate() {
+                if pair[1] - pair[0] != step {
+                    return Err(CsvError::IrregularStep { line: k + 3 });
+                }
+            }
+            step
+        }
+    };
+    TimeSeries::from_values(timestamps[0], step as u32, values).map_err(CsvError::Series)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trip() {
+        let s = TimeSeries::from_values(100, 300, vec![1.5, 2.5, 3.5]).unwrap();
+        let mut buf = Vec::new();
+        write_series(&mut buf, &s).unwrap();
+        let parsed = read_series(buf.as_slice()).unwrap();
+        assert_eq!(parsed, s);
+    }
+
+    #[test]
+    fn header_is_optional() {
+        let parsed = read_series("0,1.0\n300,2.0\n".as_bytes()).unwrap();
+        assert_eq!(parsed.values(), &[1.0, 2.0]);
+    }
+
+    #[test]
+    fn irregular_step_is_rejected() {
+        let err = read_series("timestamp,value\n0,1.0\n300,2.0\n700,3.0\n".as_bytes());
+        assert!(matches!(err, Err(CsvError::IrregularStep { line: 4 })));
+    }
+
+    #[test]
+    fn malformed_row_is_rejected() {
+        let err = read_series("timestamp,value\n0,1.0\nnot-a-row\n".as_bytes());
+        assert!(matches!(err, Err(CsvError::Parse(3))));
+        let err = read_series("timestamp,value\n0\n".as_bytes());
+        assert!(matches!(err, Err(CsvError::Parse(2))));
+    }
+
+    #[test]
+    fn empty_input_is_rejected() {
+        let err = read_series("timestamp,value\n".as_bytes());
+        assert!(matches!(err, Err(CsvError::Series(SeriesError::Empty))));
+    }
+}

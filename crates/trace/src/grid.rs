@@ -1,0 +1,183 @@
+//! Grid carbon-intensity traces.
+//!
+//! The paper's case study (Section 8) reacts to the real hourly carbon
+//! intensity of the California (CAISO) grid and contrasts it with Sweden's
+//! very low-carbon grid. Those datasets are licensed, so this module
+//! synthesizes the two regimes:
+//!
+//! * [`GridIntensityTrace::caiso_like`] — a "duck curve": solar pushes
+//!   intensity down towards midday, with a steep evening ramp; weekday
+//!   variation and mild noise.
+//! * [`GridIntensityTrace::sweden_like`] — a nearly flat, very low
+//!   intensity (hydro/nuclear dominated).
+//!
+//! Intensities are in gCO₂e/kWh as in the paper's figures.
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use rand_distr::{Distribution, Normal};
+use serde::{Deserialize, Serialize};
+
+use crate::series::TimeSeries;
+
+/// Joules per kilowatt-hour.
+pub const JOULES_PER_KWH: f64 = 3.6e6;
+
+/// A grid carbon-intensity time series in gCO₂e/kWh.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct GridIntensityTrace {
+    series: TimeSeries,
+}
+
+impl GridIntensityTrace {
+    /// Wraps an existing series, interpreting its values as gCO₂e/kWh.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any sample is negative — a negative carbon intensity is
+    /// physically meaningless.
+    pub fn from_series(series: TimeSeries) -> Self {
+        assert!(
+            series.values().iter().all(|&v| v >= 0.0),
+            "carbon intensity must be non-negative"
+        );
+        Self { series }
+    }
+
+    /// A constant-intensity trace, useful for sweeps over grid CI.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `gco2e_per_kwh` is negative, `days == 0`, or
+    /// `step_seconds == 0`.
+    pub fn constant(gco2e_per_kwh: f64, days: u32, step_seconds: u32) -> Self {
+        assert!(gco2e_per_kwh >= 0.0, "carbon intensity must be non-negative");
+        let len = (u64::from(days) * 86_400 / u64::from(step_seconds)) as usize;
+        let series = TimeSeries::constant(0, step_seconds, len, gco2e_per_kwh)
+            .expect("days and step validated by caller");
+        Self { series }
+    }
+
+    /// A CAISO-like duck-curve trace: midday solar dip (down to roughly
+    /// a quarter of the evening peak), a steep evening ramp, and
+    /// day-to-day noise. Mean intensity ≈ 240 gCO₂e/kWh, evening peaks ≈
+    /// 340, midday troughs ≈ 80 — swinging across the ~90–150 gCO₂e/kWh
+    /// IVF↔HNSW crossover band every day, as the real 2023 CAISO trace
+    /// does around the paper's reported crossover.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `days == 0` or `step_seconds == 0`.
+    pub fn caiso_like(days: u32, step_seconds: u32, seed: u64) -> Self {
+        assert!(days > 0 && step_seconds > 0, "trace must be non-empty");
+        let len = (u64::from(days) * 86_400 / u64::from(step_seconds)) as usize;
+        let mut rng = StdRng::seed_from_u64(seed);
+        let noise = Normal::new(0.0, 12.0).expect("finite sigma");
+        let series = TimeSeries::from_fn(0, step_seconds, len, |t| {
+            let hour = (t % 86_400) as f64 / 3600.0;
+            // Duck curve: high overnight baseline, solar dip centred at
+            // 12:30, sharp evening ramp peaking around 19:30.
+            let solar = gaussian_bump(hour, 12.5, 3.2);
+            let evening = gaussian_bump(hour, 19.5, 1.8);
+            let base = 270.0 - 195.0 * solar + 115.0 * evening;
+            (base + noise.sample(&mut rng)).max(30.0)
+        })
+        .expect("len > 0 by assertion");
+        Self { series }
+    }
+
+    /// A Sweden-like trace: flat and very low (hydro/nuclear), around
+    /// 25 gCO₂e/kWh with slight daily modulation.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `days == 0` or `step_seconds == 0`.
+    pub fn sweden_like(days: u32, step_seconds: u32, seed: u64) -> Self {
+        assert!(days > 0 && step_seconds > 0, "trace must be non-empty");
+        let len = (u64::from(days) * 86_400 / u64::from(step_seconds)) as usize;
+        let mut rng = StdRng::seed_from_u64(seed);
+        let noise = Normal::new(0.0, 1.5).expect("finite sigma");
+        let series = TimeSeries::from_fn(0, step_seconds, len, |t| {
+            let hour = (t % 86_400) as f64 / 3600.0;
+            let daily = 1.0 + 0.08 * ((hour - 18.0) / 24.0 * std::f64::consts::TAU).cos();
+            (25.0 * daily + noise.sample(&mut rng)).max(5.0)
+        })
+        .expect("len > 0 by assertion");
+        Self { series }
+    }
+
+    /// The underlying series (gCO₂e/kWh).
+    pub fn series(&self) -> &TimeSeries {
+        &self.series
+    }
+
+    /// Intensity at time `t` in gCO₂e/kWh, or `None` outside the trace.
+    pub fn at(&self, t: i64) -> Option<f64> {
+        self.series.value_at(t)
+    }
+
+    /// Intensity at time `t` converted to gCO₂e per joule.
+    pub fn at_per_joule(&self, t: i64) -> Option<f64> {
+        self.at(t).map(|v| v / JOULES_PER_KWH)
+    }
+
+    /// Mean intensity over the trace in gCO₂e/kWh.
+    pub fn mean(&self) -> f64 {
+        self.series.mean()
+    }
+}
+
+/// An un-normalized Gaussian bump `exp(-(x-mu)²/(2σ²))` on the hour axis,
+/// wrapped over the 24-hour day.
+fn gaussian_bump(hour: f64, mu: f64, sigma: f64) -> f64 {
+    let mut d = (hour - mu).abs();
+    if d > 12.0 {
+        d = 24.0 - d;
+    }
+    (-d * d / (2.0 * sigma * sigma)).exp()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn caiso_has_midday_dip_and_evening_peak() {
+        let g = GridIntensityTrace::caiso_like(7, 3600, 1);
+        let hour_mean = |h: i64| {
+            let mut sum = 0.0;
+            for d in 0..7 {
+                sum += g.at(d * 86_400 + h * 3600).unwrap();
+            }
+            sum / 7.0
+        };
+        let midday = hour_mean(12);
+        let evening = hour_mean(19);
+        let night = hour_mean(3);
+        assert!(midday < night, "midday {midday} night {night}");
+        assert!(evening > night, "evening {evening} night {night}");
+        assert!(evening / midday > 2.0, "duck ratio {}", evening / midday);
+    }
+
+    #[test]
+    fn sweden_is_flat_and_low() {
+        let g = GridIntensityTrace::sweden_like(7, 3600, 1);
+        assert!(g.mean() < 40.0);
+        let spread = g.series().peak() - g.series().min();
+        assert!(spread < 15.0, "spread {spread}");
+    }
+
+    #[test]
+    fn per_joule_conversion() {
+        let g = GridIntensityTrace::constant(360.0, 1, 3600);
+        let per_j = g.at_per_joule(0).unwrap();
+        assert!((per_j - 0.0001).abs() < 1e-12); // 360 g/kWh = 1e-4 g/J
+    }
+
+    #[test]
+    #[should_panic(expected = "non-negative")]
+    fn negative_intensity_is_rejected() {
+        let s = TimeSeries::from_values(0, 60, vec![-1.0]).unwrap();
+        let _ = GridIntensityTrace::from_series(s);
+    }
+}

@@ -1,0 +1,186 @@
+//! Small statistics helpers shared by the evaluation harness.
+//!
+//! These are deliberately simple, dependency-free implementations: the
+//! Monte Carlo evaluation only needs means, quantiles, and the forecast
+//! error metrics the paper reports (MAPE, worst-case absolute percentage
+//! error).
+
+/// Arithmetic mean. Returns `None` for an empty slice.
+pub fn mean(values: &[f64]) -> Option<f64> {
+    if values.is_empty() {
+        None
+    } else {
+        Some(values.iter().sum::<f64>() / values.len() as f64)
+    }
+}
+
+/// Population standard deviation. Returns `None` for an empty slice.
+pub fn std_dev(values: &[f64]) -> Option<f64> {
+    let m = mean(values)?;
+    let var = values.iter().map(|v| (v - m) * (v - m)).sum::<f64>() / values.len() as f64;
+    Some(var.sqrt())
+}
+
+/// Linear-interpolation quantile (`q` in `[0, 1]`). Returns `None` for an
+/// empty slice or `q` outside the unit interval.
+pub fn quantile(values: &[f64], q: f64) -> Option<f64> {
+    if values.is_empty() || !(0.0..=1.0).contains(&q) {
+        return None;
+    }
+    let mut sorted: Vec<f64> = values.to_vec();
+    sorted.sort_by(f64::total_cmp);
+    let pos = q * (sorted.len() - 1) as f64;
+    let lo = pos.floor() as usize;
+    let hi = pos.ceil() as usize;
+    let frac = pos - lo as f64;
+    Some(sorted[lo] * (1.0 - frac) + sorted[hi] * frac)
+}
+
+/// Median, i.e. the 0.5 quantile.
+pub fn median(values: &[f64]) -> Option<f64> {
+    quantile(values, 0.5)
+}
+
+/// Maximum value. Returns `None` for an empty slice.
+pub fn max(values: &[f64]) -> Option<f64> {
+    values.iter().copied().reduce(f64::max)
+}
+
+/// Mean Absolute Percentage Error between `actual` and `predicted`, in
+/// percent. Samples whose actual value is zero are skipped (the standard
+/// MAPE convention). Returns `None` if the slices differ in length or no
+/// valid sample remains.
+pub fn mape(actual: &[f64], predicted: &[f64]) -> Option<f64> {
+    if actual.len() != predicted.len() {
+        return None;
+    }
+    let mut sum = 0.0;
+    let mut n = 0usize;
+    for (&a, &p) in actual.iter().zip(predicted) {
+        if a != 0.0 {
+            sum += ((a - p) / a).abs();
+            n += 1;
+        }
+    }
+    if n == 0 {
+        None
+    } else {
+        Some(100.0 * sum / n as f64)
+    }
+}
+
+/// Worst-case absolute percentage error, in percent. Same conventions as
+/// [`mape`].
+pub fn worst_ape(actual: &[f64], predicted: &[f64]) -> Option<f64> {
+    if actual.len() != predicted.len() {
+        return None;
+    }
+    actual
+        .iter()
+        .zip(predicted)
+        .filter(|(&a, _)| a != 0.0)
+        .map(|(&a, &p)| 100.0 * ((a - p) / a).abs())
+        .reduce(f64::max)
+}
+
+/// A streaming summary of scenario-level deviations: count, mean, and the
+/// quantiles the paper's box plots show.
+#[derive(Debug, Clone, Default)]
+pub struct Summary {
+    values: Vec<f64>,
+}
+
+impl Summary {
+    /// Creates an empty summary.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds one observation.
+    pub fn push(&mut self, value: f64) {
+        self.values.push(value);
+    }
+
+    /// Number of observations.
+    pub fn len(&self) -> usize {
+        self.values.len()
+    }
+
+    /// Whether no observation was added yet.
+    pub fn is_empty(&self) -> bool {
+        self.values.is_empty()
+    }
+
+    /// Mean of the observations, or 0.0 when empty.
+    pub fn mean(&self) -> f64 {
+        mean(&self.values).unwrap_or(0.0)
+    }
+
+    /// Quantile of the observations, or 0.0 when empty.
+    pub fn quantile(&self, q: f64) -> f64 {
+        quantile(&self.values, q).unwrap_or(0.0)
+    }
+
+    /// The raw observations.
+    pub fn values(&self) -> &[f64] {
+        &self.values
+    }
+}
+
+impl Extend<f64> for Summary {
+    fn extend<T: IntoIterator<Item = f64>>(&mut self, iter: T) {
+        self.values.extend(iter);
+    }
+}
+
+impl FromIterator<f64> for Summary {
+    fn from_iter<T: IntoIterator<Item = f64>>(iter: T) -> Self {
+        Self {
+            values: iter.into_iter().collect(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mean_and_std() {
+        assert_eq!(mean(&[]), None);
+        assert_eq!(mean(&[2.0, 4.0]), Some(3.0));
+        assert_eq!(std_dev(&[1.0, 1.0, 1.0]), Some(0.0));
+        assert!((std_dev(&[0.0, 2.0]).unwrap() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn quantiles_interpolate() {
+        let v = [4.0, 1.0, 3.0, 2.0];
+        assert_eq!(quantile(&v, 0.0), Some(1.0));
+        assert_eq!(quantile(&v, 1.0), Some(4.0));
+        assert_eq!(median(&v), Some(2.5));
+        assert_eq!(quantile(&v, 1.5), None);
+        assert_eq!(quantile(&[], 0.5), None);
+    }
+
+    #[test]
+    fn mape_skips_zero_actuals() {
+        let a = [100.0, 0.0, 200.0];
+        let p = [110.0, 5.0, 180.0];
+        let m = mape(&a, &p).unwrap();
+        assert!((m - 10.0).abs() < 1e-9); // (10% + 10%) / 2
+        assert_eq!(worst_ape(&a, &p), Some(10.0));
+        assert_eq!(mape(&a, &p[..2]), None);
+        assert_eq!(mape(&[0.0], &[1.0]), None);
+    }
+
+    #[test]
+    fn summary_collects() {
+        let s: Summary = [1.0, 2.0, 3.0].into_iter().collect();
+        assert_eq!(s.len(), 3);
+        assert_eq!(s.mean(), 2.0);
+        assert_eq!(s.quantile(1.0), 3.0);
+        assert!(!s.is_empty());
+        assert!(Summary::new().is_empty());
+    }
+}

@@ -1,0 +1,269 @@
+//! The fifteen-workload evaluation suite (paper Section 6.2).
+
+use std::fmt;
+use std::str::FromStr;
+
+use serde::{Deserialize, Serialize};
+
+/// The workloads of the paper's evaluation suite.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub enum WorkloadKind {
+    /// PBBS: remove duplicates from 2 billion random integers.
+    Ddup,
+    /// PBBS: breadth-first search on a 640 M-node directed graph.
+    Bfs,
+    /// PBBS: minimum spanning forest, 120 M nodes / 2.4 B edges.
+    Msf,
+    /// PBBS: word count over 500 B characters.
+    Wc,
+    /// PBBS: suffix array of a 500 B-character string.
+    Sa,
+    /// PBBS: convex hull of 1 B points in 2-D.
+    Ch,
+    /// PBBS: 10-nearest-neighbours for 50 M 3-D points.
+    Nn,
+    /// PBBS: n-body gravitational forces for 10 M 3-D points.
+    Nbody,
+    /// pgbench with 100 concurrent clients.
+    Pg100,
+    /// pgbench with 50 concurrent clients.
+    Pg50,
+    /// pgbench with 10 concurrent clients.
+    Pg10,
+    /// x265 encoding of a 2.6 GB 4K video.
+    H265,
+    /// Llama 3 8B CPU inference via llama.cpp.
+    Llama,
+    /// FAISS vector-similarity retrieval.
+    Faiss,
+    /// Apache Spark SQL over a TPC-DS-derived table.
+    Spark,
+}
+
+/// All workloads, in the paper's presentation order.
+pub const ALL_WORKLOADS: [WorkloadKind; 15] = [
+    WorkloadKind::Ddup,
+    WorkloadKind::Bfs,
+    WorkloadKind::Msf,
+    WorkloadKind::Wc,
+    WorkloadKind::Sa,
+    WorkloadKind::Ch,
+    WorkloadKind::Nn,
+    WorkloadKind::Nbody,
+    WorkloadKind::Pg100,
+    WorkloadKind::Pg50,
+    WorkloadKind::Pg10,
+    WorkloadKind::H265,
+    WorkloadKind::Llama,
+    WorkloadKind::Faiss,
+    WorkloadKind::Spark,
+];
+
+impl WorkloadKind {
+    /// Index of this workload in [`ALL_WORKLOADS`].
+    pub fn index(self) -> usize {
+        ALL_WORKLOADS
+            .iter()
+            .position(|&w| w == self)
+            .expect("ALL_WORKLOADS is exhaustive")
+    }
+
+    /// Short display name matching the paper's figures.
+    pub fn name(self) -> &'static str {
+        match self {
+            WorkloadKind::Ddup => "DDUP",
+            WorkloadKind::Bfs => "BFS",
+            WorkloadKind::Msf => "MSF",
+            WorkloadKind::Wc => "WC",
+            WorkloadKind::Sa => "SA",
+            WorkloadKind::Ch => "CH",
+            WorkloadKind::Nn => "NN",
+            WorkloadKind::Nbody => "NBODY",
+            WorkloadKind::Pg100 => "PG-100",
+            WorkloadKind::Pg50 => "PG-50",
+            WorkloadKind::Pg10 => "PG-10",
+            WorkloadKind::H265 => "H.265",
+            WorkloadKind::Llama => "LLAMA",
+            WorkloadKind::Faiss => "FAISS",
+            WorkloadKind::Spark => "SPARK",
+        }
+    }
+
+    /// The paper's description of the workload's input (Section 6.2).
+    pub fn description(self) -> &'static str {
+        match self {
+            WorkloadKind::Ddup => "remove duplicates from 2 billion random integers",
+            WorkloadKind::Bfs => "breadth-first search on a 640 million node directed graph",
+            WorkloadKind::Msf => {
+                "minimum spanning forest on 120 million nodes and 2.4 billion edges"
+            }
+            WorkloadKind::Wc => "word count over 500 billion characters",
+            WorkloadKind::Sa => "suffix array of a 500 billion character string",
+            WorkloadKind::Ch => "convex hull of 1 billion points in 2-D",
+            WorkloadKind::Nn => "10 nearest neighbours for 50 million 3-D points",
+            WorkloadKind::Nbody => "gravitational forces of 10 million 3-D points",
+            WorkloadKind::Pg100 => "pgbench with 100 concurrent clients",
+            WorkloadKind::Pg50 => "pgbench with 50 concurrent clients",
+            WorkloadKind::Pg10 => "pgbench with 10 concurrent clients",
+            WorkloadKind::H265 => "x265 encoding of a 2.6 GB 4K video",
+            WorkloadKind::Llama => {
+                "Llama 3 8B inference via llama.cpp (batch 1, 128-token prompt, 64-token output)"
+            }
+            WorkloadKind::Faiss => "FAISS retrieval over IVF and HNSW indices",
+            WorkloadKind::Spark => "Spark SQL over a scaled TPC-DS STORE_SALES table",
+        }
+    }
+
+    /// Isolated execution profile on a half-node allocation (48 logical
+    /// cores, 96 GB — the Section 6.3 setup).
+    ///
+    /// Values are the synthetic substitute for the paper's Intel
+    /// PCM/Docker telemetry: isolated runtime, average dynamic (above
+    /// idle) power, average whole-node CPU utilization driven, and
+    /// resident memory.
+    pub fn profile(self) -> IsolatedProfile {
+        // runtime (s), dynamic power (W), node CPU utilization, memory (GB)
+        let (runtime_s, dynamic_power_w, cpu_utilization, memory_gb) = match self {
+            WorkloadKind::Ddup => (620.0, 150.0, 0.48, 60.0),
+            WorkloadKind::Bfs => (540.0, 140.0, 0.45, 80.0),
+            WorkloadKind::Msf => (900.0, 155.0, 0.47, 90.0),
+            WorkloadKind::Wc => (480.0, 130.0, 0.46, 70.0),
+            WorkloadKind::Sa => (1100.0, 145.0, 0.44, 88.0),
+            WorkloadKind::Ch => (700.0, 170.0, 0.50, 40.0),
+            WorkloadKind::Nn => (650.0, 160.0, 0.49, 55.0),
+            WorkloadKind::Nbody => (800.0, 175.0, 0.50, 20.0),
+            WorkloadKind::Pg100 => (1200.0, 120.0, 0.40, 30.0),
+            WorkloadKind::Pg50 => (1200.0, 90.0, 0.30, 24.0),
+            WorkloadKind::Pg10 => (1200.0, 45.0, 0.15, 16.0),
+            WorkloadKind::H265 => (1500.0, 165.0, 0.50, 10.0),
+            WorkloadKind::Llama => (1000.0, 150.0, 0.48, 35.0),
+            WorkloadKind::Faiss => (900.0, 140.0, 0.46, 78.0),
+            WorkloadKind::Spark => (1300.0, 135.0, 0.42, 85.0),
+        };
+        IsolatedProfile {
+            kind: self,
+            runtime_s,
+            dynamic_power_w,
+            cpu_utilization,
+            memory_gb,
+            allocated_cores: 48,
+            allocated_memory_gb: 96.0,
+        }
+    }
+}
+
+impl fmt::Display for WorkloadKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// Error returned when parsing an unknown workload name.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseWorkloadError(String);
+
+impl fmt::Display for ParseWorkloadError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "unknown workload name: {}", self.0)
+    }
+}
+
+impl std::error::Error for ParseWorkloadError {}
+
+impl FromStr for WorkloadKind {
+    type Err = ParseWorkloadError;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        ALL_WORKLOADS
+            .iter()
+            .copied()
+            .find(|w| w.name().eq_ignore_ascii_case(s))
+            .ok_or_else(|| ParseWorkloadError(s.to_owned()))
+    }
+}
+
+/// Telemetry of a workload running alone on its half-node allocation.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct IsolatedProfile {
+    /// Which workload this profile describes.
+    pub kind: WorkloadKind,
+    /// Wall-clock runtime in seconds when running in isolation.
+    pub runtime_s: f64,
+    /// Average dynamic (above-idle) power draw in watts.
+    pub dynamic_power_w: f64,
+    /// Average CPU utilization of the whole node in `[0, 1]`.
+    pub cpu_utilization: f64,
+    /// Resident memory in GB.
+    pub memory_gb: f64,
+    /// Allocated logical cores (half a 96-thread node).
+    pub allocated_cores: u32,
+    /// Allocated memory in GB (half of 192 GB).
+    pub allocated_memory_gb: f64,
+}
+
+impl IsolatedProfile {
+    /// Dynamic energy of one isolated run, in joules.
+    pub fn dynamic_energy_j(&self) -> f64 {
+        self.dynamic_power_w * self.runtime_s
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn all_workloads_is_exhaustive_and_indexed() {
+        assert_eq!(ALL_WORKLOADS.len(), 15);
+        for (k, w) in ALL_WORKLOADS.iter().enumerate() {
+            assert_eq!(w.index(), k);
+        }
+    }
+
+    #[test]
+    fn every_workload_has_a_paper_description() {
+        for w in ALL_WORKLOADS {
+            assert!(!w.description().is_empty());
+        }
+        assert!(WorkloadKind::Ddup.description().contains("2 billion"));
+        assert!(WorkloadKind::Llama.description().contains("Llama 3 8B"));
+    }
+
+    #[test]
+    fn names_round_trip_through_parsing() {
+        for w in ALL_WORKLOADS {
+            let parsed: WorkloadKind = w.name().parse().unwrap();
+            assert_eq!(parsed, w);
+        }
+        assert!("pg-100".parse::<WorkloadKind>().is_ok());
+        assert!("NOPE".parse::<WorkloadKind>().is_err());
+    }
+
+    #[test]
+    fn profiles_are_physically_plausible() {
+        for w in ALL_WORKLOADS {
+            let p = w.profile();
+            assert!(p.runtime_s > 0.0, "{w}");
+            assert!(p.dynamic_power_w > 0.0 && p.dynamic_power_w < 360.0, "{w}");
+            assert!((0.0..=1.0).contains(&p.cpu_utilization), "{w}");
+            assert!(p.memory_gb <= p.allocated_memory_gb, "{w}");
+            assert_eq!(p.allocated_cores, 48);
+        }
+    }
+
+    #[test]
+    fn postgres_load_levels_order_power_and_utilization() {
+        let p100 = WorkloadKind::Pg100.profile();
+        let p50 = WorkloadKind::Pg50.profile();
+        let p10 = WorkloadKind::Pg10.profile();
+        assert!(p100.dynamic_power_w > p50.dynamic_power_w);
+        assert!(p50.dynamic_power_w > p10.dynamic_power_w);
+        assert!(p100.cpu_utilization > p10.cpu_utilization);
+    }
+
+    #[test]
+    fn dynamic_energy_is_power_times_runtime() {
+        let p = WorkloadKind::Ch.profile();
+        assert_eq!(p.dynamic_energy_j(), 170.0 * 700.0);
+    }
+}

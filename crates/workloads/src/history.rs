@@ -1,0 +1,232 @@
+//! Historical colocation profiles: the α/β statistics of Section 5.2.
+//!
+//! Fair-CO₂ adjusts attribution using each workload's *historically
+//! observed* interference behaviour: `α` is the average effect it suffers
+//! under colocation, `β` the average effect it inflicts on partners. In
+//! production these come from telemetry of past colocations; here they are
+//! estimated from a sampled subset of the pairwise characterization —
+//! including the sparse-history regime (1 of 15 partners sampled) that the
+//! paper's Figure 8(b,f) stresses.
+
+use rand::seq::SliceRandom;
+use rand::Rng;
+
+use crate::catalog::{WorkloadKind, ALL_WORKLOADS};
+use crate::interference::InterferenceModel;
+
+/// Historical interference profile of one workload.
+///
+/// Carries both the *ratio* statistics of the paper's Eqs. 8 and 10
+/// (slowdown/energy-stretch factors α, β) and the *absolute* marginal
+/// statistics (expected node occupancy and energies) that the
+/// matching-game ground truth is built from — both estimable from the
+/// same historical colocation telemetry.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct InterferenceProfile {
+    /// Mean runtime slowdown *suffered* under colocation (`α_T ≥ 1`).
+    pub alpha_runtime: f64,
+    /// Mean runtime slowdown *inflicted* on partners (`β_T ≥ 1`).
+    pub beta_runtime: f64,
+    /// Mean dynamic-energy stretch suffered (`α_P ≥ 1`).
+    pub alpha_energy: f64,
+    /// Mean dynamic-energy stretch inflicted (`β_P ≥ 1`).
+    pub beta_energy: f64,
+    /// Mean node occupancy observed while this workload was resident
+    /// under whole-node accounting:
+    /// `E_j[max(T_i·s_{i|j}, T_j·s_{j|i})]`, in seconds.
+    pub mean_occupancy_s: f64,
+    /// Mean node-seconds of the pair under slot accounting:
+    /// `E_j[(T_i·s_{i|j} + T_j·s_{j|i})/2]`, in seconds.
+    pub mean_slot_s: f64,
+    /// Mean dynamic energy of this workload's own colocated runs, in
+    /// joules (`E_j[E_{i|j}]`).
+    pub mean_own_energy_j: f64,
+    /// Mean dynamic energy of this workload's partners while colocated
+    /// with it, in joules (`E_j[E_{j|i}]`).
+    pub mean_partner_energy_j: f64,
+    /// Mean *extra* runtime inflicted on partners, in absolute seconds:
+    /// `E_j[T_j·(s_{j|i} − 1)]`. Unlike the partner's base runtime (which
+    /// is a property of the tenant population, not of this workload),
+    /// this term isolates the interference this workload causes.
+    pub mean_inflicted_extra_runtime_s: f64,
+    /// Mean *extra* dynamic energy inflicted on partners, in joules:
+    /// `E_j[E_{j|i} − E_{j,iso}]`.
+    pub mean_inflicted_extra_energy_j: f64,
+    /// Number of historical partners the estimate is conditioned on.
+    pub samples: usize,
+}
+
+/// Builds the *full-history* profile of `w`: α/β averaged over all other
+/// workloads in the suite.
+pub fn full_profile(model: &InterferenceModel, w: WorkloadKind) -> InterferenceProfile {
+    let partners: Vec<WorkloadKind> = ALL_WORKLOADS.iter().copied().filter(|&p| p != w).collect();
+    profile_from_partners(model, w, &partners)
+}
+
+/// Builds a *sparse-history* profile of `w` conditioned on `samples`
+/// uniformly drawn historical partners (without replacement, from the
+/// 14 other suite members).
+///
+/// # Panics
+///
+/// Panics if `samples` is zero or exceeds the number of possible partners.
+pub fn sampled_profile(
+    model: &InterferenceModel,
+    w: WorkloadKind,
+    samples: usize,
+    rng: &mut impl Rng,
+) -> InterferenceProfile {
+    let mut partners: Vec<WorkloadKind> =
+        ALL_WORKLOADS.iter().copied().filter(|&p| p != w).collect();
+    assert!(
+        samples >= 1 && samples <= partners.len(),
+        "samples must be in 1..={}",
+        partners.len()
+    );
+    partners.shuffle(rng);
+    partners.truncate(samples);
+    profile_from_partners(model, w, &partners)
+}
+
+/// Builds a sparse-history profile of `w` whose historical partners are
+/// drawn (with replacement) from a given *population* — e.g. the workload
+/// mix of the cluster the history was recorded on. This mirrors
+/// production telemetry: a workload's past colocations are draws from the
+/// same tenant population it is being attributed against.
+///
+/// # Panics
+///
+/// Panics if `samples` is zero or `population` is empty.
+pub fn sampled_profile_from_population(
+    model: &InterferenceModel,
+    w: WorkloadKind,
+    population: &[WorkloadKind],
+    samples: usize,
+    rng: &mut impl Rng,
+) -> InterferenceProfile {
+    assert!(samples >= 1, "at least one historical sample is required");
+    assert!(!population.is_empty(), "population must be non-empty");
+    let partners: Vec<WorkloadKind> = (0..samples)
+        .map(|_| population[rng.gen_range(0..population.len())])
+        .collect();
+    profile_from_partners(model, w, &partners)
+}
+
+fn profile_from_partners(
+    model: &InterferenceModel,
+    w: WorkloadKind,
+    partners: &[WorkloadKind],
+) -> InterferenceProfile {
+    let n = partners.len() as f64;
+    let iso_energy = w.profile().dynamic_energy_j();
+    let mut alpha_runtime = 0.0;
+    let mut beta_runtime = 0.0;
+    let mut alpha_energy = 0.0;
+    let mut beta_energy = 0.0;
+    let mut occupancy = 0.0;
+    let mut slot = 0.0;
+    let mut own_energy = 0.0;
+    let mut partner_energy = 0.0;
+    let mut inflicted_rt = 0.0;
+    let mut inflicted_energy = 0.0;
+    for &p in partners {
+        alpha_runtime += model.slowdown(w, p);
+        beta_runtime += model.slowdown(p, w);
+        alpha_energy += model.colocated_energy_j(w, p) / iso_energy;
+        beta_energy += model.colocated_energy_j(p, w) / p.profile().dynamic_energy_j();
+        let own_rt = model.colocated_runtime(w, p);
+        let partner_rt = model.colocated_runtime(p, w);
+        occupancy += own_rt.max(partner_rt);
+        slot += (own_rt + partner_rt) / 2.0;
+        own_energy += model.colocated_energy_j(w, p);
+        partner_energy += model.colocated_energy_j(p, w);
+        inflicted_rt += partner_rt - p.profile().runtime_s;
+        inflicted_energy += model.colocated_energy_j(p, w) - p.profile().dynamic_energy_j();
+    }
+    InterferenceProfile {
+        alpha_runtime: alpha_runtime / n,
+        beta_runtime: beta_runtime / n,
+        alpha_energy: alpha_energy / n,
+        beta_energy: beta_energy / n,
+        mean_occupancy_s: occupancy / n,
+        mean_slot_s: slot / n,
+        mean_own_energy_j: own_energy / n,
+        mean_partner_energy_j: partner_energy / n,
+        mean_inflicted_extra_runtime_s: inflicted_rt / n,
+        mean_inflicted_extra_energy_j: inflicted_energy / n,
+        samples: partners.len(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    use WorkloadKind::*;
+
+    #[test]
+    fn full_profile_orders_known_workloads() {
+        let m = InterferenceModel::paper_calibrated();
+        let nbody = full_profile(&m, Nbody);
+        let ch = full_profile(&m, Ch);
+        let pg10 = full_profile(&m, Pg10);
+        // NBODY suffers most; CH inflicts most; PG-10 is nearly inert.
+        assert!(nbody.alpha_runtime > ch.alpha_runtime);
+        assert!(ch.beta_runtime > nbody.beta_runtime);
+        assert!(pg10.beta_runtime < 1.15);
+        assert_eq!(nbody.samples, 14);
+    }
+
+    #[test]
+    fn sampled_profile_converges_to_full_profile() {
+        let m = InterferenceModel::paper_calibrated();
+        let full = full_profile(&m, Spark);
+        let mut rng = StdRng::seed_from_u64(4);
+        let all = sampled_profile(&m, Spark, 14, &mut rng);
+        assert!((all.alpha_runtime - full.alpha_runtime).abs() < 1e-12);
+        assert!((all.beta_energy - full.beta_energy).abs() < 1e-12);
+    }
+
+    #[test]
+    fn single_sample_is_still_informative() {
+        // The paper's point: even one historical sample separates heavy
+        // aggressors from inert workloads on average.
+        let m = InterferenceModel::paper_calibrated();
+        let mut rng = StdRng::seed_from_u64(7);
+        let trials = 200;
+        let mean_beta = |w: WorkloadKind, rng: &mut StdRng| {
+            (0..trials)
+                .map(|_| sampled_profile(&m, w, 1, rng).beta_runtime)
+                .sum::<f64>()
+                / trials as f64
+        };
+        let ch = mean_beta(Ch, &mut rng);
+        let pg10 = mean_beta(Pg10, &mut rng);
+        assert!(ch > pg10 + 0.2, "CH {ch} vs PG-10 {pg10}");
+    }
+
+    #[test]
+    fn profiles_never_drop_below_one() {
+        let m = InterferenceModel::paper_calibrated();
+        let mut rng = StdRng::seed_from_u64(1);
+        for w in ALL_WORKLOADS {
+            for s in [1, 5, 14] {
+                let p = sampled_profile(&m, w, s, &mut rng);
+                assert!(p.alpha_runtime >= 1.0);
+                assert!(p.beta_runtime >= 1.0);
+                assert!(p.alpha_energy >= 1.0);
+                assert!(p.beta_energy >= 1.0);
+                assert_eq!(p.samples, s);
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "samples must be in")]
+    fn zero_samples_panics() {
+        let m = InterferenceModel::paper_calibrated();
+        let mut rng = StdRng::seed_from_u64(1);
+        let _ = sampled_profile(&m, Ch, 0, &mut rng);
+    }
+}

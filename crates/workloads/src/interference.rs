@@ -1,0 +1,301 @@
+//! Bubble-Up-style analytical interference model and the pairwise
+//! colocation characterization it generates (paper Figure 2).
+//!
+//! Every workload has a **sensitivity** vector (how much contention on a
+//! shared resource hurts it) and a **pressure** vector (how much
+//! contention it creates) over three shared resources: last-level cache,
+//! memory bandwidth, and scheduler/SMT contention. The runtime slowdown of
+//! `i` colocated with `j` is `1 + sens(i)·pres(j)`.
+//!
+//! Anchors from the paper used for calibration:
+//! * NBODY colocated with CH runs **87 %** longer, CH only **39 %** longer
+//!   (`slowdown(NBODY|CH) = 1.87`, `slowdown(CH|NBODY) = 1.39`);
+//! * CH is broadly aggressive, NBODY broadly sensitive;
+//! * PostgreSQL's interference grows with client load (PG-100 > PG-50 >
+//!   PG-10).
+
+use serde::{Deserialize, Serialize};
+
+use crate::catalog::{WorkloadKind, ALL_WORKLOADS};
+
+/// Number of modelled shared resources.
+pub const SHARED_RESOURCES: usize = 3;
+
+/// Per-resource interference vector `[cache, memory bandwidth, sched]`.
+pub type ResourceVector = [f64; SHARED_RESOURCES];
+
+/// The analytical interference model.
+///
+/// # Example
+///
+/// ```
+/// use fairco2_workloads::{InterferenceModel, WorkloadKind};
+///
+/// let model = InterferenceModel::paper_calibrated();
+/// // The paper's anchor pair: NBODY suffers 87 % under CH, CH only 39 %.
+/// let nbody = model.slowdown(WorkloadKind::Nbody, WorkloadKind::Ch);
+/// let ch = model.slowdown(WorkloadKind::Ch, WorkloadKind::Nbody);
+/// assert!((nbody - 1.87).abs() < 0.01);
+/// assert!((ch - 1.39).abs() < 0.01);
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct InterferenceModel {
+    sensitivity: Vec<ResourceVector>,
+    pressure: Vec<ResourceVector>,
+    /// Fraction of stall time during which dynamic power still burns
+    /// (stalled cores clock-gate partially, so power drops below the
+    /// isolated level while runtime stretches).
+    stall_power_fraction: f64,
+}
+
+impl Default for InterferenceModel {
+    fn default() -> Self {
+        Self::paper_calibrated()
+    }
+}
+
+impl InterferenceModel {
+    /// The calibrated model reproducing the paper's Figure 2 anchors.
+    pub fn paper_calibrated() -> Self {
+        use WorkloadKind::*;
+        let mut sensitivity = vec![[0.0; SHARED_RESOURCES]; ALL_WORKLOADS.len()];
+        let mut pressure = vec![[0.0; SHARED_RESOURCES]; ALL_WORKLOADS.len()];
+        let mut set = |w: WorkloadKind, s: ResourceVector, p: ResourceVector| {
+            sensitivity[w.index()] = s;
+            pressure[w.index()] = p;
+        };
+        //            sensitivity [$, bw, sched]   pressure [$, bw, sched]
+        set(Ddup, [0.50, 0.60, 0.20], [0.40, 0.45, 0.15]);
+        set(Bfs, [0.60, 0.65, 0.25], [0.35, 0.50, 0.15]);
+        set(Msf, [0.55, 0.60, 0.30], [0.40, 0.45, 0.20]);
+        set(Wc, [0.45, 0.50, 0.20], [0.30, 0.35, 0.10]);
+        set(Sa, [0.60, 0.70, 0.25], [0.35, 0.40, 0.15]);
+        set(Ch, [0.70, 0.75, 0.30], [0.55, 0.50, 0.20]);
+        set(Nn, [0.55, 0.50, 0.25], [0.45, 0.40, 0.15]);
+        set(Nbody, [0.80, 0.70, 0.40], [0.30, 0.20, 0.10]);
+        set(Pg100, [0.50, 0.40, 0.45], [0.35, 0.30, 0.35]);
+        set(Pg50, [0.40, 0.30, 0.35], [0.25, 0.20, 0.25]);
+        set(Pg10, [0.25, 0.15, 0.20], [0.10, 0.08, 0.10]);
+        set(H265, [0.45, 0.40, 0.30], [0.40, 0.35, 0.20]);
+        set(Llama, [0.60, 0.70, 0.30], [0.45, 0.55, 0.15]);
+        set(Faiss, [0.55, 0.65, 0.25], [0.40, 0.50, 0.15]);
+        set(Spark, [0.50, 0.55, 0.35], [0.35, 0.40, 0.30]);
+        Self {
+            sensitivity,
+            pressure,
+            stall_power_fraction: 0.35,
+        }
+    }
+
+    /// Sensitivity vector of `w`.
+    pub fn sensitivity(&self, w: WorkloadKind) -> ResourceVector {
+        self.sensitivity[w.index()]
+    }
+
+    /// Pressure vector of `w`.
+    pub fn pressure(&self, w: WorkloadKind) -> ResourceVector {
+        self.pressure[w.index()]
+    }
+
+    /// Runtime slowdown factor of `victim` when colocated with
+    /// `aggressor` (≥ 1).
+    pub fn slowdown(&self, victim: WorkloadKind, aggressor: WorkloadKind) -> f64 {
+        let s = self.sensitivity[victim.index()];
+        let p = self.pressure[aggressor.index()];
+        1.0 + s.iter().zip(&p).map(|(a, b)| a * b).sum::<f64>()
+    }
+
+    /// Colocated runtime of `victim` in seconds.
+    pub fn colocated_runtime(&self, victim: WorkloadKind, aggressor: WorkloadKind) -> f64 {
+        victim.profile().runtime_s * self.slowdown(victim, aggressor)
+    }
+
+    /// Average dynamic power of `victim` under colocation, in watts.
+    ///
+    /// While stalled on contended resources a core burns only
+    /// `stall_power_fraction` of its active power, so average power drops
+    /// below the isolated level even though total energy rises with the
+    /// longer runtime.
+    pub fn colocated_power(&self, victim: WorkloadKind, aggressor: WorkloadKind) -> f64 {
+        let slow = self.slowdown(victim, aggressor);
+        let active_fraction = 1.0 / slow;
+        let stall_fraction = 1.0 - active_fraction;
+        victim.profile().dynamic_power_w
+            * (active_fraction + self.stall_power_fraction * stall_fraction)
+    }
+
+    /// Dynamic energy of one colocated run of `victim`, in joules.
+    pub fn colocated_energy_j(&self, victim: WorkloadKind, aggressor: WorkloadKind) -> f64 {
+        self.colocated_power(victim, aggressor) * self.colocated_runtime(victim, aggressor)
+    }
+
+    /// Average CPU utilization the victim drives under colocation.
+    /// Stalled threads still occupy their logical cores, so utilization
+    /// stays at the isolated level for the (longer) colocated runtime —
+    /// which is precisely why utilization-proportional attribution
+    /// overcharges interference victims.
+    pub fn colocated_utilization(&self, victim: WorkloadKind, _aggressor: WorkloadKind) -> f64 {
+        victim.profile().cpu_utilization
+    }
+
+    /// The full pairwise characterization of Figure 2.
+    pub fn colocation_matrix(&self) -> ColocationMatrix {
+        let n = ALL_WORKLOADS.len();
+        let mut runtime_factor = vec![vec![1.0; n]; n];
+        let mut energy_factor = vec![vec![1.0; n]; n];
+        for (vi, &victim) in ALL_WORKLOADS.iter().enumerate() {
+            for (ai, &aggressor) in ALL_WORKLOADS.iter().enumerate() {
+                if vi == ai {
+                    continue;
+                }
+                runtime_factor[vi][ai] = self.slowdown(victim, aggressor);
+                energy_factor[vi][ai] = self.colocated_energy_j(victim, aggressor)
+                    / victim.profile().dynamic_energy_j();
+            }
+        }
+        ColocationMatrix {
+            runtime_factor,
+            energy_factor,
+        }
+    }
+}
+
+/// Pairwise colocation characterization: entry `[victim][aggressor]` is
+/// the victim's runtime (or dynamic-energy) relative to its isolated run.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ColocationMatrix {
+    /// Runtime stretch factors (≥ 1 off-diagonal, 1 on the diagonal).
+    pub runtime_factor: Vec<Vec<f64>>,
+    /// Dynamic-energy stretch factors.
+    pub energy_factor: Vec<Vec<f64>>,
+}
+
+impl ColocationMatrix {
+    /// Runtime factor for a (victim, aggressor) pair.
+    pub fn runtime(&self, victim: WorkloadKind, aggressor: WorkloadKind) -> f64 {
+        self.runtime_factor[victim.index()][aggressor.index()]
+    }
+
+    /// Dynamic-energy factor for a (victim, aggressor) pair.
+    pub fn energy(&self, victim: WorkloadKind, aggressor: WorkloadKind) -> f64 {
+        self.energy_factor[victim.index()][aggressor.index()]
+    }
+
+    /// Mean runtime slowdown inflicted by `aggressor` on all other
+    /// workloads — the "pressure" ranking of Figure 2's discussion.
+    pub fn mean_inflicted(&self, aggressor: WorkloadKind) -> f64 {
+        let ai = aggressor.index();
+        let n = self.runtime_factor.len();
+        let sum: f64 = (0..n)
+            .filter(|&vi| vi != ai)
+            .map(|vi| self.runtime_factor[vi][ai])
+            .sum();
+        sum / (n - 1) as f64
+    }
+
+    /// Mean runtime slowdown suffered by `victim` across all aggressors.
+    pub fn mean_suffered(&self, victim: WorkloadKind) -> f64 {
+        let vi = victim.index();
+        let n = self.runtime_factor.len();
+        let sum: f64 = (0..n)
+            .filter(|&ai| ai != vi)
+            .map(|ai| self.runtime_factor[vi][ai])
+            .sum();
+        sum / (n - 1) as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use WorkloadKind::*;
+
+    #[test]
+    fn paper_anchor_nbody_ch() {
+        let m = InterferenceModel::paper_calibrated();
+        let nbody_slow = m.slowdown(Nbody, Ch);
+        let ch_slow = m.slowdown(Ch, Nbody);
+        assert!((nbody_slow - 1.87).abs() < 0.005, "NBODY|CH = {nbody_slow}");
+        assert!((ch_slow - 1.39).abs() < 0.005, "CH|NBODY = {ch_slow}");
+    }
+
+    #[test]
+    fn ch_is_the_heaviest_aggressor() {
+        let matrix = InterferenceModel::paper_calibrated().colocation_matrix();
+        let ch = matrix.mean_inflicted(Ch);
+        for w in ALL_WORKLOADS {
+            if w != Ch {
+                assert!(
+                    ch >= matrix.mean_inflicted(w),
+                    "{w} inflicts more than CH"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn nbody_is_the_most_sensitive_victim() {
+        let matrix = InterferenceModel::paper_calibrated().colocation_matrix();
+        let nbody = matrix.mean_suffered(Nbody);
+        for w in ALL_WORKLOADS {
+            if w != Nbody {
+                assert!(nbody >= matrix.mean_suffered(w), "{w} suffers more");
+            }
+        }
+    }
+
+    #[test]
+    fn postgres_interference_scales_with_load() {
+        let m = InterferenceModel::paper_calibrated();
+        for victim in [Ddup, Ch, Spark] {
+            assert!(m.slowdown(victim, Pg100) > m.slowdown(victim, Pg50));
+            assert!(m.slowdown(victim, Pg50) > m.slowdown(victim, Pg10));
+        }
+    }
+
+    #[test]
+    fn colocated_energy_exceeds_isolated_energy() {
+        // Power drops but runtime stretches more, so energy rises.
+        let m = InterferenceModel::paper_calibrated();
+        for victim in ALL_WORKLOADS {
+            for aggressor in ALL_WORKLOADS {
+                if victim == aggressor {
+                    continue;
+                }
+                let factor = m.colocated_energy_j(victim, aggressor)
+                    / victim.profile().dynamic_energy_j();
+                assert!(factor >= 1.0, "{victim}|{aggressor}: {factor}");
+                assert!(factor < 2.0, "{victim}|{aggressor}: {factor}");
+                assert!(
+                    m.colocated_power(victim, aggressor) <= victim.profile().dynamic_power_w
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn interference_induced_runtime_misattribution_exceeds_30_percent() {
+        // The paper's claim: ignoring interference can misattribute by
+        // more than 30 % — runtime (and thus allocation-time attribution)
+        // stretches by >30 % for the worst pairs.
+        let matrix = InterferenceModel::paper_calibrated().colocation_matrix();
+        let mut worst = 0.0f64;
+        for v in ALL_WORKLOADS {
+            for a in ALL_WORKLOADS {
+                if a != v {
+                    worst = worst.max(matrix.runtime(v, a));
+                }
+            }
+        }
+        assert!(worst > 1.30, "worst runtime factor {worst}");
+    }
+
+    #[test]
+    fn matrix_diagonal_is_identity() {
+        let matrix = InterferenceModel::paper_calibrated().colocation_matrix();
+        for w in ALL_WORKLOADS {
+            assert_eq!(matrix.runtime(w, w), 1.0);
+            assert_eq!(matrix.energy(w, w), 1.0);
+        }
+    }
+}

@@ -1,0 +1,37 @@
+//! Workload catalog, interference model, and colocation accounting.
+//!
+//! The paper characterizes fifteen workloads (eight PBBS kernels,
+//! PostgreSQL at three load levels, H.265 encoding, Llama inference,
+//! FAISS retrieval, and Apache Spark) on a two-socket Xeon server, running
+//! every pairwise colocation to measure interference (its Figure 2). This
+//! crate substitutes that hardware profiling with an analytical
+//! Bubble-Up-style model:
+//!
+//! * every workload carries a *sensitivity* and a *pressure* vector over
+//!   three shared resources (last-level cache, memory bandwidth,
+//!   scheduling/SMT contention);
+//! * the slowdown of `i` colocated with `j` is
+//!   `1 + sens(i) · pres(j)` — large pressure hurts partners, large
+//!   sensitivity means being hurt;
+//! * the vectors are calibrated to the anchors the paper reports
+//!   (NBODY+CH → 87 % / 39 % runtime increases; CH is a heavy aggressor,
+//!   NBODY a sensitive victim; PostgreSQL's interference scales with its
+//!   client load).
+//!
+//! On top of the model, [`node`] computes the carbon of isolated and
+//! colocated node runs (embodied occupancy + static + dynamic energy),
+//! which is exactly the input the attribution methods and the ground-truth
+//! Shapley game consume, and [`history`] builds the sparse historical
+//! α/β interference profiles of the paper's Section 5.2.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod catalog;
+pub mod history;
+pub mod interference;
+pub mod node;
+
+pub use catalog::{IsolatedProfile, WorkloadKind, ALL_WORKLOADS};
+pub use interference::InterferenceModel;
+pub use node::NodeAccounting;

@@ -1,0 +1,98 @@
+//! Property tests over the interference model and node accounting:
+//! physical-bounds invariants that must hold for every workload pair and
+//! every grid intensity.
+
+use fairco2_carbon::units::CarbonIntensity;
+use fairco2_workloads::history::{full_profile, sampled_profile_from_population};
+use fairco2_workloads::node::OccupancyModel;
+use fairco2_workloads::{InterferenceModel, NodeAccounting, WorkloadKind, ALL_WORKLOADS};
+use proptest::prelude::*;
+
+fn any_workload() -> impl Strategy<Value = WorkloadKind> {
+    (0usize..ALL_WORKLOADS.len()).prop_map(|i| ALL_WORKLOADS[i])
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn slowdowns_are_bounded_and_directional(a in any_workload(), b in any_workload()) {
+        let m = InterferenceModel::paper_calibrated();
+        let s = m.slowdown(a, b);
+        prop_assert!(s >= 1.0, "{a}|{b}: {s}");
+        prop_assert!(s <= 2.0, "{a}|{b}: {s}");
+        // Colocated power never exceeds isolated power; colocated energy
+        // never drops below isolated energy.
+        prop_assert!(m.colocated_power(a, b) <= a.profile().dynamic_power_w + 1e-9);
+        prop_assert!(m.colocated_energy_j(a, b) >= a.profile().dynamic_energy_j() - 1e-9);
+    }
+
+    #[test]
+    fn pair_cost_is_symmetric_under_both_occupancy_models(
+        a in any_workload(),
+        b in any_workload(),
+        ci in 0.0f64..1000.0,
+    ) {
+        for model in [OccupancyModel::SlotSeconds, OccupancyModel::WholeNodeMax] {
+            let ctx = NodeAccounting::paper_default(CarbonIntensity::from_g_per_kwh(ci))
+                .occupancy_model(model);
+            let ab = ctx.pair(a, b).total();
+            let ba = ctx.pair(b, a).total();
+            prop_assert!((ab - ba).abs() < 1e-9 * ab.max(1.0));
+        }
+    }
+
+    #[test]
+    fn slot_accounting_never_exceeds_whole_node_accounting(
+        a in any_workload(),
+        b in any_workload(),
+        ci in 0.0f64..1000.0,
+    ) {
+        let slot = NodeAccounting::paper_default(CarbonIntensity::from_g_per_kwh(ci));
+        let max = NodeAccounting::paper_default(CarbonIntensity::from_g_per_kwh(ci))
+            .occupancy_model(OccupancyModel::WholeNodeMax);
+        // (x + y)/2 ≤ max(x, y), so slot fixed costs are a lower bound.
+        prop_assert!(slot.pair(a, b).embodied <= max.pair(a, b).embodied + 1e-9);
+        prop_assert!(
+            slot.pair(a, b).static_operational <= max.pair(a, b).static_operational + 1e-9
+        );
+    }
+
+    #[test]
+    fn sampled_profiles_are_bounded_by_extremes(
+        w in any_workload(),
+        samples in 1usize..10,
+        seed in 0u64..1000,
+    ) {
+        use rand::SeedableRng;
+        let m = InterferenceModel::paper_calibrated();
+        let pool: Vec<WorkloadKind> = ALL_WORKLOADS.iter().copied().filter(|&p| p != w).collect();
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        let prof = sampled_profile_from_population(&m, w, &pool, samples, &mut rng);
+        // Sampled statistics lie within the per-partner extremes.
+        let alphas: Vec<f64> = pool.iter().map(|&p| m.slowdown(w, p)).collect();
+        let lo = alphas.iter().copied().fold(f64::INFINITY, f64::min);
+        let hi = alphas.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+        prop_assert!(prof.alpha_runtime >= lo - 1e-12 && prof.alpha_runtime <= hi + 1e-12);
+        prop_assert_eq!(prof.samples, samples);
+    }
+}
+
+#[test]
+fn full_profiles_are_the_mean_of_per_partner_statistics() {
+    let m = InterferenceModel::paper_calibrated();
+    for w in ALL_WORKLOADS {
+        let prof = full_profile(&m, w);
+        let partners: Vec<WorkloadKind> =
+            ALL_WORKLOADS.iter().copied().filter(|&p| p != w).collect();
+        let mean_alpha: f64 =
+            partners.iter().map(|&p| m.slowdown(w, p)).sum::<f64>() / partners.len() as f64;
+        assert!((prof.alpha_runtime - mean_alpha).abs() < 1e-12, "{w}");
+        let mean_slot: f64 = partners
+            .iter()
+            .map(|&p| (m.colocated_runtime(w, p) + m.colocated_runtime(p, w)) / 2.0)
+            .sum::<f64>()
+            / partners.len() as f64;
+        assert!((prof.mean_slot_s - mean_slot).abs() < 1e-9, "{w}");
+    }
+}

@@ -1,0 +1,68 @@
+//! # fair-co2 — facade crate
+//!
+//! One-stop re-export of the Fair-CO₂ reproduction workspace. Depend on
+//! this crate to get the full stack:
+//!
+//! | Module | Crate | Contents |
+//! |---|---|---|
+//! | [`carbon`] | `fairco2-carbon` | operational/embodied carbon models, units, the reference server |
+//! | [`trace`] | `fairco2-trace` | time series, synthetic Azure-like demand, grid-CI traces |
+//! | [`shapley`] | `fairco2-shapley` | exact / sampled / matching-game / Temporal Shapley solvers |
+//! | [`workloads`] | `fairco2-workloads` | the 15-workload suite, interference model, node accounting |
+//! | [`attribution`] | `fairco2` | the attribution engine (RUP, demand-proportional, Fair-CO₂, ground truth) |
+//! | [`forecast`] | `fairco2-forecast` | the Prophet-substitute demand forecaster |
+//! | [`cluster`] | `fairco2-cluster` | discrete-event cluster/scheduler simulator |
+//! | [`montecarlo`] | `fairco2-montecarlo` | the 10k-scenario fairness studies |
+//! | [`optimize`] | `fairco2-optimize` | carbon-aware configuration optimization case studies |
+//!
+//! # Quickstart
+//!
+//! ```
+//! use fair_co2::attribution::schedule::{Schedule, ScheduledWorkload};
+//! use fair_co2::attribution::demand::{DemandAttributor, TemporalFairCo2};
+//!
+//! let schedule = Schedule::new(
+//!     3600,
+//!     3,
+//!     vec![
+//!         ScheduledWorkload::new(48.0, 0, 3)?,
+//!         ScheduledWorkload::new(96.0, 1, 2)?,
+//!     ],
+//! )?;
+//! let shares = TemporalFairCo2::per_step().attribute(&schedule, 1000.0)?;
+//! assert!((shares.iter().sum::<f64>() - 1000.0).abs() < 1e-6);
+//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub use fairco2 as attribution;
+
+/// The most commonly used items, for glob import:
+/// `use fair_co2::prelude::*;`.
+pub mod prelude {
+    pub use fairco2::colocation::{
+        ColocationAttributor, ColocationScenario, FairCo2Colocation, GroundTruthMatching,
+        NodePlacement, RupColocation,
+    };
+    pub use fairco2::demand::{
+        DemandAttributor, DemandProportional, GroundTruthShapley, RupBaseline, TemporalFairCo2,
+    };
+    pub use fairco2::metrics::{summarize, DeviationSummary};
+    pub use fairco2::schedule::{Schedule, ScheduledWorkload};
+    pub use fairco2::signal::LiveSignal;
+    pub use fairco2_carbon::units::{Carbon, CarbonIntensity, Energy, Power};
+    pub use fairco2_carbon::ServerSpec;
+    pub use fairco2_shapley::temporal::{peak_shapley, TemporalShapley};
+    pub use fairco2_trace::{AzureLikeTrace, GridIntensityTrace, TimeSeries};
+    pub use fairco2_workloads::{NodeAccounting, WorkloadKind, ALL_WORKLOADS};
+}
+pub use fairco2_carbon as carbon;
+pub use fairco2_cluster as cluster;
+pub use fairco2_forecast as forecast;
+pub use fairco2_montecarlo as montecarlo;
+pub use fairco2_optimize as optimize;
+pub use fairco2_shapley as shapley;
+pub use fairco2_trace as trace;
+pub use fairco2_workloads as workloads;

@@ -1,0 +1,166 @@
+//! End-to-end pipeline tests for the colocation setting, including the
+//! qualitative findings of the paper's Figures 8 and 9.
+
+use fair_co2::attribution::colocation::{
+    AdjustmentKind, ColocationAttributor, ColocationScenario, FairCo2Colocation,
+    GroundTruthMatching, RupColocation,
+};
+use fair_co2::attribution::metrics::summarize;
+use fair_co2::carbon::units::CarbonIntensity;
+use fair_co2::montecarlo::colocations::ColocationStudy;
+use fair_co2::workloads::{NodeAccounting, WorkloadKind, ALL_WORKLOADS};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+fn random_scenario(rng: &mut impl Rng, n: usize) -> ColocationScenario {
+    let kinds: Vec<WorkloadKind> = (0..n)
+        .map(|_| ALL_WORKLOADS[rng.gen_range(0..ALL_WORKLOADS.len())])
+        .collect();
+    ColocationScenario::pair_in_order(&kinds).unwrap()
+}
+
+#[test]
+fn every_method_attributes_exactly_the_actual_carbon() {
+    let mut rng = StdRng::seed_from_u64(11);
+    for &n in &[2usize, 5, 17, 60] {
+        let scenario = random_scenario(&mut rng, n);
+        let ctx = NodeAccounting::paper_default(CarbonIntensity::from_g_per_kwh(300.0));
+        let actual = scenario.carbon(&ctx).total();
+        let methods: Vec<Box<dyn ColocationAttributor>> = vec![
+            Box::new(GroundTruthMatching),
+            Box::new(RupColocation),
+            Box::new(FairCo2Colocation::with_full_history()),
+            Box::new(FairCo2Colocation::with_full_history().adjustment(AdjustmentKind::RatioForm)),
+        ];
+        for m in methods {
+            let shares = m.attribute(&scenario, &ctx).unwrap();
+            let total: f64 = shares.iter().sum();
+            assert!(
+                (total - actual).abs() < 1e-6 * actual,
+                "{} at n={n}: {total} vs {actual}",
+                m.name()
+            );
+        }
+    }
+}
+
+#[test]
+fn moment_estimator_dominates_ratio_form_and_rup() {
+    // The ablation the repo adds on top of the paper: the exact-formula
+    // moment estimator beats the literal Eq. 8/10 ratio form, which in
+    // turn beats interference-blind RUP.
+    let mut rng = StdRng::seed_from_u64(13);
+    let mut rup_sum = 0.0;
+    let mut ratio_sum = 0.0;
+    let mut moment_sum = 0.0;
+    for _ in 0..15 {
+        let n = rng.gen_range(10..60);
+        let ci = rng.gen_range(0.0..800.0);
+        let scenario = random_scenario(&mut rng, n);
+        let ctx = NodeAccounting::paper_default(CarbonIntensity::from_g_per_kwh(ci));
+        let truth = GroundTruthMatching.attribute(&scenario, &ctx).unwrap();
+        let rup = RupColocation.attribute(&scenario, &ctx).unwrap();
+        let ratio = FairCo2Colocation::with_full_history()
+            .adjustment(AdjustmentKind::RatioForm)
+            .attribute(&scenario, &ctx)
+            .unwrap();
+        let moment = FairCo2Colocation::with_full_history()
+            .attribute(&scenario, &ctx)
+            .unwrap();
+        rup_sum += summarize(&rup, &truth).unwrap().average_pct;
+        ratio_sum += summarize(&ratio, &truth).unwrap().average_pct;
+        moment_sum += summarize(&moment, &truth).unwrap().average_pct;
+    }
+    assert!(
+        moment_sum < ratio_sum,
+        "moment {moment_sum:.1} ratio {ratio_sum:.1}"
+    );
+    assert!(ratio_sum < rup_sum, "ratio {ratio_sum:.1} rup {rup_sum:.1}");
+}
+
+#[test]
+fn ground_truth_is_placement_invariant() {
+    // Shapley explores all counterfactual pairings, so shuffling the
+    // actual placement must not change the *relative* ground-truth shares
+    // (only the actual total changes).
+    let kinds = [
+        WorkloadKind::Nbody,
+        WorkloadKind::Ch,
+        WorkloadKind::Spark,
+        WorkloadKind::Wc,
+        WorkloadKind::Pg50,
+        WorkloadKind::Faiss,
+    ];
+    let ctx = NodeAccounting::paper_default(CarbonIntensity::from_g_per_kwh(200.0));
+    let a = ColocationScenario::pair_in_order(&kinds).unwrap();
+    let mut reordered = kinds;
+    reordered.swap(1, 4);
+    reordered.swap(0, 5);
+    let b = ColocationScenario::pair_in_order(&reordered).unwrap();
+
+    let shares_a = GroundTruthMatching.attribute(&a, &ctx).unwrap();
+    let shares_b = GroundTruthMatching.attribute(&b, &ctx).unwrap();
+    let total_a: f64 = shares_a.iter().sum();
+    let total_b: f64 = shares_b.iter().sum();
+    // Match by workload kind (kinds are unique here).
+    for (i, w) in a.workloads().iter().enumerate() {
+        let j = b
+            .workloads()
+            .iter()
+            .position(|x| x.kind == w.kind)
+            .unwrap();
+        let frac_a = shares_a[i] / total_a;
+        let frac_b = shares_b[j] / total_b;
+        assert!(
+            (frac_a - frac_b).abs() < 1e-9,
+            "{}: {frac_a} vs {frac_b}",
+            w.kind
+        );
+    }
+}
+
+#[test]
+fn deviation_shrinks_with_history_depth() {
+    // Compressed Figure 8(b): more historical samples → fairer Fair-CO₂.
+    let sparse = ColocationStudy {
+        trials: 30,
+        min_samples: 1,
+        max_samples: 2,
+        base_seed: 404,
+        ..ColocationStudy::default()
+    };
+    let rich = ColocationStudy {
+        trials: 30,
+        min_samples: 12,
+        max_samples: 14,
+        base_seed: 404,
+        ..ColocationStudy::default()
+    };
+    let avg = |study: &ColocationStudy| {
+        (0..study.trials)
+            .map(|t| study.run_trial(t).fair_co2.average_pct)
+            .sum::<f64>()
+            / study.trials as f64
+    };
+    let sparse_avg = avg(&sparse);
+    let rich_avg = avg(&rich);
+    assert!(
+        rich_avg < sparse_avg,
+        "rich {rich_avg:.2}% should beat sparse {sparse_avg:.2}%"
+    );
+}
+
+#[test]
+fn grid_intensity_extremes_are_handled() {
+    let mut rng = StdRng::seed_from_u64(21);
+    let scenario = random_scenario(&mut rng, 12);
+    for ci in [0.0, 1000.0] {
+        let ctx = NodeAccounting::paper_default(CarbonIntensity::from_g_per_kwh(ci));
+        let truth = GroundTruthMatching.attribute(&scenario, &ctx).unwrap();
+        let fair = FairCo2Colocation::with_full_history()
+            .attribute(&scenario, &ctx)
+            .unwrap();
+        let s = summarize(&fair, &truth).unwrap();
+        assert!(s.average_pct < 10.0, "CI={ci}: avg {:.2}%", s.average_pct);
+    }
+}

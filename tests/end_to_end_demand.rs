@@ -1,0 +1,110 @@
+//! End-to-end pipeline tests for the dynamic-demand setting: random
+//! schedules → ground truth → every method → fairness metrics, plus the
+//! qualitative findings of the paper's Figure 7.
+
+use fair_co2::attribution::demand::{
+    DemandAttributor, DemandProportional, GroundTruthShapley, RupBaseline, TemporalFairCo2,
+};
+use fair_co2::attribution::metrics::{deviations_pct, summarize};
+use fair_co2::montecarlo::schedules::{random_schedule, DemandStudy};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn methods() -> Vec<Box<dyn DemandAttributor>> {
+    vec![
+        Box::new(GroundTruthShapley),
+        Box::new(RupBaseline),
+        Box::new(DemandProportional),
+        Box::new(TemporalFairCo2::per_step()),
+    ]
+}
+
+#[test]
+fn every_method_is_efficient_on_random_schedules() {
+    let mut rng = StdRng::seed_from_u64(1);
+    for _ in 0..25 {
+        let schedule = random_schedule(&mut rng, 4, 9, 22);
+        for m in methods() {
+            let shares = m.attribute(&schedule, 777.0).unwrap();
+            let total: f64 = shares.iter().sum();
+            assert!(
+                (total - 777.0).abs() < 1e-6,
+                "{} leaked carbon: {total}",
+                m.name()
+            );
+            assert!(
+                shares.iter().all(|&s| s >= 0.0),
+                "{} produced a negative share",
+                m.name()
+            );
+        }
+    }
+}
+
+#[test]
+fn ground_truth_deviation_from_itself_is_zero() {
+    let mut rng = StdRng::seed_from_u64(2);
+    let schedule = random_schedule(&mut rng, 4, 9, 18);
+    let truth = GroundTruthShapley.attribute(&schedule, 100.0).unwrap();
+    let devs = deviations_pct(&truth, &truth);
+    assert!(devs.iter().all(|&d| d < 1e-9));
+}
+
+#[test]
+fn fair_co2_beats_both_baselines_in_aggregate() {
+    // A compressed Figure 7(a): over 40 random schedules, the method
+    // ordering must match the paper's.
+    let study = DemandStudy {
+        trials: 40,
+        ..DemandStudy::default()
+    };
+    let mut sums = [0.0f64; 3]; // rup, dp, fair
+    let mut worst = [0.0f64; 3];
+    for t in 0..study.trials {
+        let r = study.run_trial(t);
+        sums[0] += r.rup.average_pct;
+        sums[1] += r.demand_proportional.average_pct;
+        sums[2] += r.fair_co2.average_pct;
+        worst[0] += r.rup.worst_case_pct;
+        worst[1] += r.demand_proportional.worst_case_pct;
+        worst[2] += r.fair_co2.worst_case_pct;
+    }
+    assert!(sums[2] < sums[1] && sums[1] < sums[0], "avg ordering {sums:?}");
+    assert!(
+        worst[2] < worst[1] && worst[1] < worst[0],
+        "worst ordering {worst:?}"
+    );
+}
+
+#[test]
+fn attribution_is_invariant_to_pool_size() {
+    // Shares must scale linearly with the carbon pool: method fairness is
+    // about the split, not the amount.
+    let mut rng = StdRng::seed_from_u64(5);
+    let schedule = random_schedule(&mut rng, 5, 8, 15);
+    for m in methods() {
+        let small = m.attribute(&schedule, 1.0).unwrap();
+        let large = m.attribute(&schedule, 1e9).unwrap();
+        for (s, l) in small.iter().zip(&large) {
+            assert!(
+                (l - s * 1e9).abs() < 1e-3 * l.abs().max(1.0),
+                "{} not scale-invariant",
+                m.name()
+            );
+        }
+    }
+}
+
+#[test]
+fn summaries_agree_with_raw_deviations() {
+    let mut rng = StdRng::seed_from_u64(9);
+    let schedule = random_schedule(&mut rng, 4, 9, 12);
+    let truth = GroundTruthShapley.attribute(&schedule, 500.0).unwrap();
+    let rup = RupBaseline.attribute(&schedule, 500.0).unwrap();
+    let devs = deviations_pct(&rup, &truth);
+    let summary = summarize(&rup, &truth).unwrap();
+    let mean: f64 = devs.iter().sum::<f64>() / devs.len() as f64;
+    let max = devs.iter().copied().fold(0.0f64, f64::max);
+    assert!((summary.average_pct - mean).abs() < 1e-12);
+    assert!((summary.worst_case_pct - max).abs() < 1e-12);
+}

@@ -1,0 +1,59 @@
+//! The facade prelude must cover the full quickstart journey without any
+//! other imports — this is the API surface the README promises.
+
+use fair_co2::prelude::*;
+
+#[test]
+fn quickstart_journey_through_the_prelude_only() {
+    // Demand setting.
+    let schedule = Schedule::new(
+        3600,
+        4,
+        vec![
+            ScheduledWorkload::new(32.0, 0, 4).unwrap(),
+            ScheduledWorkload::new(64.0, 1, 3).unwrap(),
+        ],
+    )
+    .unwrap();
+    let truth = GroundTruthShapley.attribute(&schedule, 100.0).unwrap();
+    let fair = TemporalFairCo2::per_step().attribute(&schedule, 100.0).unwrap();
+    let rup = RupBaseline.attribute(&schedule, 100.0).unwrap();
+    let dp = DemandProportional.attribute(&schedule, 100.0).unwrap();
+    let fair_dev = summarize(&fair, &truth).unwrap();
+    let rup_dev = summarize(&rup, &truth).unwrap();
+    assert!(fair_dev.average_pct <= rup_dev.average_pct);
+    assert_eq!(dp.len(), 2);
+
+    // Colocation setting.
+    let scenario =
+        ColocationScenario::pair_in_order(&[WorkloadKind::Nbody, WorkloadKind::Ch]).unwrap();
+    let ctx = NodeAccounting::paper_default(CarbonIntensity::from_g_per_kwh(250.0));
+    let gt = GroundTruthMatching.attribute(&scenario, &ctx).unwrap();
+    let fc = FairCo2Colocation::with_full_history()
+        .attribute(&scenario, &ctx)
+        .unwrap();
+    let rc = RupColocation.attribute(&scenario, &ctx).unwrap();
+    assert!(summarize(&fc, &gt).unwrap().average_pct < summarize(&rc, &gt).unwrap().average_pct);
+
+    // Signals.
+    let trace = AzureLikeTrace::builder().days(30).seed(1).build();
+    let server = ServerSpec::xeon_6240r();
+    let att = TemporalShapley::paper_hierarchy()
+        .attribute(trace.series(), server.embodied_per_month().as_grams())
+        .unwrap();
+    assert!(att.leaf_intensity().peak() > att.leaf_intensity().min());
+    let phi = peak_shapley(&[5.0, 3.0, 3.0]);
+    assert!((phi.iter().sum::<f64>() - 5.0).abs() < 1e-12);
+
+    // Units compose.
+    let energy = Power::from_watts(400.0).for_seconds(3600.0);
+    let carbon: Carbon = energy * CarbonIntensity::from_g_per_kwh(250.0);
+    assert!((carbon.as_grams() - 100.0).abs() < 1e-9);
+    let _ = Energy::from_kwh(1.0);
+    let _: &TimeSeries = trace.series();
+    let _ = GridIntensityTrace::constant(100.0, 1, 3600);
+    let _ = LiveSignal::paper_default();
+    assert_eq!(ALL_WORKLOADS.len(), 15);
+    let _ = NodePlacement::Isolated(WorkloadKind::Wc);
+    let _: DeviationSummary = fair_dev;
+}

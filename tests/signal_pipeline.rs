@@ -1,0 +1,102 @@
+//! End-to-end tests of the live-signal and optimization pipeline: demand
+//! trace → Temporal Shapley signal → forecast-extended live signal →
+//! carbon-aware configuration decisions.
+
+use fair_co2::attribution::signal::LiveSignal;
+use fair_co2::carbon::ServerSpec;
+use fair_co2::forecast::split_at_day;
+use fair_co2::optimize::dynamic::DynamicStudy;
+use fair_co2::shapley::temporal::TemporalShapley;
+use fair_co2::trace::stats::mape;
+use fair_co2::trace::{AzureLikeTrace, GridIntensityTrace};
+
+#[test]
+fn month_signal_conserves_fleet_carbon() {
+    let trace = AzureLikeTrace::builder().days(30).seed(1).build();
+    let server = ServerSpec::xeon_6240r();
+    let fleet = (trace.series().peak() / f64::from(server.physical_cores())).ceil();
+    let monthly = server.embodied_per_month().as_grams() * fleet;
+    let att = TemporalShapley::paper_hierarchy()
+        .attribute(trace.series(), monthly)
+        .unwrap();
+    let reattributed: f64 = att
+        .leaf_intensity()
+        .iter()
+        .zip(trace.series().iter())
+        .map(|((_, y), (_, d))| y * d * 300.0)
+        .sum();
+    assert!(
+        (reattributed + att.stranded_carbon() - monthly).abs() < 1e-6 * monthly,
+        "conservation violated: {reattributed} vs {monthly}"
+    );
+    assert_eq!(att.stranded_carbon(), 0.0, "demand never hits zero");
+}
+
+#[test]
+fn signal_prices_peak_time_above_trough_time() {
+    let trace = AzureLikeTrace::builder().days(30).seed(2).build();
+    let att = TemporalShapley::paper_hierarchy()
+        .attribute(trace.series(), 1.0e6)
+        .unwrap();
+    let signal = att.leaf_intensity();
+    // Correlation between demand and intensity must be strongly positive.
+    let d = trace.series().values();
+    let y = signal.values();
+    let (dm, ym) = (
+        d.iter().sum::<f64>() / d.len() as f64,
+        y.iter().sum::<f64>() / y.len() as f64,
+    );
+    let cov: f64 = d.iter().zip(y).map(|(a, b)| (a - dm) * (b - ym)).sum();
+    let vd: f64 = d.iter().map(|a| (a - dm) * (a - dm)).sum();
+    let vy: f64 = y.iter().map(|b| (b - ym) * (b - ym)).sum();
+    let corr = cov / (vd.sqrt() * vy.sqrt());
+    assert!(corr > 0.6, "demand-intensity correlation {corr}");
+}
+
+#[test]
+fn live_signal_tracks_oracle_with_low_noise_demand() {
+    let trace = AzureLikeTrace::builder()
+        .days(30)
+        .noise_sigma(0.004)
+        .seed(3)
+        .build();
+    let (history, holdout) = split_at_day(trace.series(), 21).unwrap();
+    let live = LiveSignal::paper_default()
+        .generate(&history, holdout.len(), 1.0e6)
+        .unwrap();
+    let oracle = TemporalShapley::paper_hierarchy()
+        .attribute(trace.series(), 1.0e6)
+        .unwrap();
+    let start = history.end();
+    let pick = |att: &fair_co2::shapley::temporal::TemporalAttribution| -> Vec<f64> {
+        att.leaf_intensity()
+            .iter()
+            .filter(|(t, _)| *t >= start)
+            .map(|(_, v)| v)
+            .collect()
+    };
+    let err = mape(&pick(&oracle), &pick(&live)).unwrap();
+    assert!(err < 8.0, "live-signal MAPE {err}%");
+}
+
+#[test]
+fn dynamic_optimizer_consumes_the_live_signal() {
+    // The full loop: demand → signal → week-long optimization; the
+    // optimized service must never exceed baseline carbon.
+    let grid = GridIntensityTrace::caiso_like(3, 3600, 4);
+    let demand = AzureLikeTrace::builder()
+        .days(3)
+        .step_seconds(3600)
+        .seed(5)
+        .build();
+    let signal = TemporalShapley::new(vec![3, 24])
+        .attribute(demand.series(), 1000.0)
+        .unwrap()
+        .leaf_intensity()
+        .clone();
+    let outcome = DynamicStudy::default().run(&grid, &signal);
+    assert!(outcome.saving() > 0.0);
+    for i in &outcome.intervals {
+        assert!(i.optimized_g <= i.baseline_g + 1e-9);
+    }
+}
