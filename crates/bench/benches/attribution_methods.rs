@@ -7,8 +7,7 @@ use criterion::{criterion_group, criterion_main, Criterion};
 use std::hint::black_box;
 
 use fairco2::colocation::{
-    ColocationAttributor, ColocationScenario, FairCo2Colocation, GroundTruthMatching,
-    RupColocation,
+    ColocationAttributor, ColocationScenario, FairCo2Colocation, GroundTruthMatching, RupColocation,
 };
 use fairco2::demand::{
     DemandAttributor, DemandProportional, GroundTruthShapley, RupBaseline, TemporalFairCo2,
@@ -25,7 +24,11 @@ fn bench_demand_methods(c: &mut Criterion) {
     let mut group = c.benchmark_group("demand_attribution");
     group.sample_size(10);
     group.bench_function("ground_truth_exact", |b| {
-        b.iter(|| GroundTruthShapley.attribute(black_box(&schedule), 1000.0).unwrap())
+        b.iter(|| {
+            GroundTruthShapley
+                .attribute(black_box(&schedule), 1000.0)
+                .unwrap()
+        })
     });
     group.bench_function("rup_baseline", |b| {
         b.iter(|| RupBaseline.attribute(black_box(&schedule), 1000.0).unwrap())

@@ -1,0 +1,44 @@
+//! Scaling of the batched parallel Shapley engine with worker count.
+//!
+//! One fixed [`PeakDemandGame`] (a 60-workload random schedule), one fixed
+//! permutation budget, thread counts 1 / 2 / 8. The engine is bit-exact
+//! across thread counts, so the curves measure pure scheduling overhead;
+//! the acceptance bar is ≥2× at 8 threads over serial.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use fairco2_montecarlo::schedules::DemandStudy;
+use fairco2_shapley::game::PeakDemandGame;
+use fairco2_shapley::{parallel_sampled_shapley, ParallelConfig, SampleConfig};
+
+fn bench_thread_scaling(c: &mut Criterion) {
+    let study = DemandStudy {
+        max_workloads: 60,
+        min_time_slices: 8,
+        max_time_slices: 12,
+        ..DemandStudy::default()
+    };
+    let game = PeakDemandGame::new(study.generate_schedule(0).demand_matrix());
+
+    let mut group = c.benchmark_group("parallel_shapley");
+    group.sample_size(10);
+    for threads in [1usize, 2, 8] {
+        let config = ParallelConfig {
+            sample: SampleConfig {
+                max_permutations: 4096,
+                target_stderr: 0.0, // disable early stopping: fixed work
+                ..SampleConfig::default()
+            },
+            threads,
+            ..ParallelConfig::default()
+        };
+        group.bench_with_input(
+            BenchmarkId::new("threads", threads),
+            &config,
+            |b, config| b.iter(|| parallel_sampled_shapley(&game, config, 42)),
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_thread_scaling);
+criterion_main!(benches);

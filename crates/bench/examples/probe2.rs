@@ -1,23 +1,43 @@
 use fairco2::colocation::*;
 use fairco2_carbon::units::CarbonIntensity;
-use fairco2_workloads::{NodeAccounting, ALL_WORKLOADS, WorkloadKind};
-use rand::{Rng, SeedableRng, rngs::StdRng};
+use fairco2_workloads::{NodeAccounting, WorkloadKind, ALL_WORKLOADS};
+use rand::{rngs::StdRng, Rng, SeedableRng};
 
 fn main() {
     let mut rng = StdRng::seed_from_u64(5);
     let n = 40;
-    let kinds: Vec<WorkloadKind> = (0..n).map(|_| ALL_WORKLOADS[rng.gen_range(0..15)]).collect();
+    let kinds: Vec<WorkloadKind> = (0..n)
+        .map(|_| ALL_WORKLOADS[rng.gen_range(0..15)])
+        .collect();
     let scenario = ColocationScenario::pair_in_order(&kinds).unwrap();
     let ctx = NodeAccounting::paper_default(CarbonIntensity::from_g_per_kwh(100.0));
     let truth = GroundTruthMatching.attribute(&scenario, &ctx).unwrap();
-    let marg = FairCo2Colocation::with_full_history().attribute(&scenario, &ctx).unwrap();
-    let ratio = FairCo2Colocation::with_full_history().adjustment(AdjustmentKind::RatioForm).attribute(&scenario, &ctx).unwrap();
-    println!("{:<8}{:<8}{:>10}{:>10}{:>10}{:>8}{:>8}", "kind","partner","truth","marg","ratio","m dev%","r dev%");
+    let marg = FairCo2Colocation::with_full_history()
+        .attribute(&scenario, &ctx)
+        .unwrap();
+    let ratio = FairCo2Colocation::with_full_history()
+        .adjustment(AdjustmentKind::RatioForm)
+        .attribute(&scenario, &ctx)
+        .unwrap();
+    println!(
+        "{:<8}{:<8}{:>10}{:>10}{:>10}{:>8}{:>8}",
+        "kind", "partner", "truth", "marg", "ratio", "m dev%", "r dev%"
+    );
     for (i, w) in scenario.workloads().iter().enumerate() {
-        println!("{:<8}{:<8}{:>10.1}{:>10.1}{:>10.1}{:>8.2}{:>8.2}",
-            w.kind.name(), w.partner.map_or("-", |p| p.name()), truth[i], marg[i], ratio[i],
-            100.0*(marg[i]-truth[i])/truth[i], 100.0*(ratio[i]-truth[i])/truth[i]);
+        println!(
+            "{:<8}{:<8}{:>10.1}{:>10.1}{:>10.1}{:>8.2}{:>8.2}",
+            w.kind.name(),
+            w.partner.map_or("-", |p| p.name()),
+            truth[i],
+            marg[i],
+            ratio[i],
+            100.0 * (marg[i] - truth[i]) / truth[i],
+            100.0 * (ratio[i] - truth[i]) / truth[i]
+        );
     }
     let pools = scenario.carbon(&ctx);
-    println!("pools: emb {:.0} static {:.0} dyn {:.0}", pools.embodied, pools.static_operational, pools.dynamic_operational);
+    println!(
+        "pools: emb {:.0} static {:.0} dyn {:.0}",
+        pools.embodied, pools.static_operational, pools.dynamic_operational
+    );
 }

@@ -1,20 +1,35 @@
 use fairco2::colocation::*;
 use fairco2::metrics::summarize;
 use fairco2_carbon::units::CarbonIntensity;
-use fairco2_workloads::{NodeAccounting, ALL_WORKLOADS, WorkloadKind};
-use rand::{Rng, SeedableRng, rngs::StdRng};
+use fairco2_workloads::{NodeAccounting, WorkloadKind, ALL_WORKLOADS};
+use rand::{rngs::StdRng, Rng, SeedableRng};
 
 fn main() {
     let mut rng = StdRng::seed_from_u64(99);
     for &(n, ci) in &[(10usize, 250.0), (40, 100.0), (80, 500.0), (61, 20.0)] {
-        let kinds: Vec<WorkloadKind> = (0..n).map(|_| ALL_WORKLOADS[rng.gen_range(0..15)]).collect();
+        let kinds: Vec<WorkloadKind> = (0..n)
+            .map(|_| ALL_WORKLOADS[rng.gen_range(0..15)])
+            .collect();
         let scenario = ColocationScenario::pair_in_order(&kinds).unwrap();
         let ctx = NodeAccounting::paper_default(CarbonIntensity::from_g_per_kwh(ci));
         let truth = GroundTruthMatching.attribute(&scenario, &ctx).unwrap();
         let rup = RupColocation.attribute(&scenario, &ctx).unwrap();
-        let marg = FairCo2Colocation::with_full_history().attribute(&scenario, &ctx).unwrap();
-        let ratio = FairCo2Colocation::with_full_history().adjustment(AdjustmentKind::RatioForm).attribute(&scenario, &ctx).unwrap();
-        let s = |m: &Vec<f64>| { let d = summarize(m, &truth).unwrap(); format!("avg {:.2}% worst {:.2}%", d.average_pct, d.worst_case_pct) };
-        println!("n={n} ci={ci}: RUP [{}]  MARG [{}]  RATIO [{}]", s(&rup), s(&marg), s(&ratio));
+        let marg = FairCo2Colocation::with_full_history()
+            .attribute(&scenario, &ctx)
+            .unwrap();
+        let ratio = FairCo2Colocation::with_full_history()
+            .adjustment(AdjustmentKind::RatioForm)
+            .attribute(&scenario, &ctx)
+            .unwrap();
+        let s = |m: &Vec<f64>| {
+            let d = summarize(m, &truth).unwrap();
+            format!("avg {:.2}% worst {:.2}%", d.average_pct, d.worst_case_pct)
+        };
+        println!(
+            "n={n} ci={ci}: RUP [{}]  MARG [{}]  RATIO [{}]",
+            s(&rup),
+            s(&marg),
+            s(&ratio)
+        );
     }
 }

@@ -19,7 +19,7 @@ impl Args {
     /// Panics (with a readable message) on malformed arguments — these
     /// binaries are experiment drivers, not servers.
     pub fn parse() -> Self {
-        Self::from_iter(std::env::args().skip(1))
+        Self::parse_from(std::env::args().skip(1))
     }
 
     /// Parses an explicit argument list (used by tests).
@@ -27,7 +27,7 @@ impl Args {
     /// # Panics
     ///
     /// Panics on malformed arguments.
-    pub fn from_iter(args: impl IntoIterator<Item = String>) -> Self {
+    pub fn parse_from(args: impl IntoIterator<Item = String>) -> Self {
         let mut flags = HashMap::new();
         let mut iter = args.into_iter();
         while let Some(key) = iter.next() {
@@ -93,7 +93,7 @@ mod tests {
     use super::*;
 
     fn args(s: &[&str]) -> Args {
-        Args::from_iter(s.iter().map(|s| s.to_string()))
+        Args::parse_from(s.iter().map(|s| s.to_string()))
     }
 
     #[test]

@@ -59,7 +59,13 @@ fn run_config(
             .map(|(i, w)| {
                 let mut pool = kinds.clone();
                 pool.swap_remove(i);
-                sampled_profile_from_population(ctx.interference(), w.kind, &pool, samples, &mut rng)
+                sampled_profile_from_population(
+                    ctx.interference(),
+                    w.kind,
+                    &pool,
+                    samples,
+                    &mut rng,
+                )
             })
             .collect();
         let shares = FairCo2Colocation::with_profiles(profiles)

@@ -4,7 +4,7 @@
 //!
 //! Writes `results/convergence.json`.
 
-use fairco2_bench::{write_json, Args};
+use fairco2_bench::{print_report, sample_schedule, write_json, Args, SamplingReport};
 use fairco2_montecarlo::colocations::ColocationStudy;
 use fairco2_montecarlo::runner::{default_threads, run_parallel};
 use fairco2_montecarlo::schedules::DemandStudy;
@@ -21,6 +21,9 @@ struct Point {
 struct Convergence {
     demand: Vec<Point>,
     colocation: Vec<Point>,
+    /// Instrumented sampled-Shapley run on a representative schedule:
+    /// stderr-vs-permutations trace plus work counters.
+    shapley_sampling: SamplingReport,
 }
 
 fn main() {
@@ -46,10 +49,16 @@ fn main() {
     println!("{:>8} {:>10} {:>10}", "trials", "RUP avg", "Fair avg");
     let mut demand = Vec::new();
     for &c in &checkpoints {
-        let rup: f64 =
-            demand_trials[..c].iter().map(|t| t.rup.average_pct).sum::<f64>() / c as f64;
-        let fair: f64 =
-            demand_trials[..c].iter().map(|t| t.fair_co2.average_pct).sum::<f64>() / c as f64;
+        let rup: f64 = demand_trials[..c]
+            .iter()
+            .map(|t| t.rup.average_pct)
+            .sum::<f64>()
+            / c as f64;
+        let fair: f64 = demand_trials[..c]
+            .iter()
+            .map(|t| t.fair_co2.average_pct)
+            .sum::<f64>()
+            / c as f64;
         println!("{c:>8} {rup:>9.2}% {fair:>9.2}%");
         demand.push(Point {
             trials: c,
@@ -62,8 +71,11 @@ fn main() {
     println!("{:>8} {:>10} {:>10}", "trials", "RUP avg", "Fair avg");
     let mut colocation = Vec::new();
     for &c in &checkpoints {
-        let rup: f64 =
-            colocation_trials[..c].iter().map(|t| t.rup.average_pct).sum::<f64>() / c as f64;
+        let rup: f64 = colocation_trials[..c]
+            .iter()
+            .map(|t| t.rup.average_pct)
+            .sum::<f64>()
+            / c as f64;
         let fair: f64 = colocation_trials[..c]
             .iter()
             .map(|t| t.fair_co2.average_pct)
@@ -90,6 +102,24 @@ fn main() {
     );
     println!("≈1000 trials already reproduce the full-scale ordering and levels.");
 
-    let path = write_json("convergence", &Convergence { demand, colocation });
+    // Permutation-level convergence of the sampled engine itself, on the
+    // first generated schedule of the demand study.
+    let schedule = demand_study.generate_schedule(0);
+    let shapley_sampling = sample_schedule(
+        &schedule,
+        args.usize("permutations", 4096),
+        threads,
+        demand_study.base_seed,
+    );
+    print_report(&shapley_sampling);
+
+    let path = write_json(
+        "convergence",
+        &Convergence {
+            demand,
+            colocation,
+            shapley_sampling,
+        },
+    );
     println!("\nwrote {}", path.display());
 }

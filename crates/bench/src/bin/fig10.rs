@@ -80,10 +80,7 @@ fn main() {
         });
     }
 
-    let best = panels
-        .iter()
-        .map(|p| p.max_saving)
-        .fold(0.0f64, f64::max);
+    let best = panels.iter().map(|p| p.max_saving).fold(0.0f64, f64::max);
     println!(
         "\nheadline: up to {:.0}% carbon savings vs the performance-optimal configuration (paper: up to 65%)",
         100.0 * best

@@ -61,7 +61,10 @@ fn main() {
     let w = worst_ape(&actual, &predicted).expect("aligned signals");
 
     println!("Figure 11: embodied-intensity signal stability under forecast error");
-    println!("forecast window: 9 days at 5-minute resolution ({} samples)", actual.len());
+    println!(
+        "forecast window: 9 days at 5-minute resolution ({} samples)",
+        actual.len()
+    );
     println!("signal MAPE      = {m:.2} %   (paper: 2.30 %)");
     println!("signal worst APE = {w:.2} %   (paper: 15.72 %)");
 

@@ -36,7 +36,10 @@ fn main() {
     let model = FaissModel::default();
     let mut fronts = Vec::new();
     println!("Figure 12: FAISS carbon-latency Pareto fronts");
-    for (label, ci) in [("California-like", california_ci), ("Sweden-like", sweden_ci)] {
+    for (label, ci) in [
+        ("California-like", california_ci),
+        ("Sweden-like", sweden_ci),
+    ] {
         let pricing = ResourcePricing::paper_default(ci);
         let front = model.pareto_front(&pricing);
         println!("\n{label} grid ({ci:.0} gCO2e/kWh):");

@@ -89,7 +89,14 @@ fn main() {
     for h in hours.iter().take(48) {
         println!(
             "{:>5} {:>8.0} {:>9.2} {:>6} {:>6} {:>6} {:>10.1} {:>10.1}",
-            h.hour, h.grid_ci, h.embodied_scale, h.index, h.cores, h.batch, h.optimized_g, h.baseline_g
+            h.hour,
+            h.grid_ci,
+            h.embodied_scale,
+            h.index,
+            h.cores,
+            h.batch,
+            h.optimized_g,
+            h.baseline_g
         );
     }
 

@@ -26,7 +26,10 @@ fn main() {
     let train_days = args.usize("train-days", 21) as u32;
     let total_days = args.usize("days", 30) as u32;
 
-    let trace = AzureLikeTrace::builder().days(total_days).seed(seed).build();
+    let trace = AzureLikeTrace::builder()
+        .days(total_days)
+        .seed(seed)
+        .build();
     let (train, test) = split_at_day(trace.series(), train_days).expect("30-day trace splits");
     let model = SeasonalForecaster::default_daily_weekly()
         .fit(&train)
@@ -36,7 +39,10 @@ fn main() {
     let m = mape(test.values(), forecast.values()).expect("aligned series");
     let w = worst_ape(test.values(), forecast.values()).expect("aligned series");
 
-    println!("Figure 5: {train_days}-day history -> {}-day demand forecast", total_days - train_days);
+    println!(
+        "Figure 5: {train_days}-day history -> {}-day demand forecast",
+        total_days - train_days
+    );
     println!("demand forecast MAPE      = {m:.2} %");
     println!("demand forecast worst APE = {w:.2} %");
     println!("\nday  actual-mean  forecast-mean  (cores)");

@@ -5,8 +5,7 @@
 //! Writes `results/fig6.json`.
 
 use fairco2::colocation::{
-    ColocationAttributor, ColocationScenario, FairCo2Colocation, GroundTruthMatching,
-    RupColocation,
+    ColocationAttributor, ColocationScenario, FairCo2Colocation, GroundTruthMatching, RupColocation,
 };
 use fairco2::metrics::summarize;
 use fairco2_bench::{write_json, Args};

@@ -7,11 +7,20 @@
 //! `--trials N --max-workloads N --min-slices N --max-slices N
 //! --threads N`. Writes `results/fig7.json`.
 
-use fairco2_bench::{write_json, Args};
+use fairco2_bench::{print_report, sample_schedule, write_json, Args, SamplingReport};
 use fairco2_montecarlo::runner::{default_threads, run_parallel};
 use fairco2_montecarlo::schedules::{DemandStudy, DemandTrial};
 use fairco2_trace::stats::Summary;
 use serde::Serialize;
+
+#[derive(Serialize)]
+struct Fig7 {
+    panels: Vec<Panel>,
+    /// Convergence trace of the sampled engine on this study's first
+    /// schedule — how many permutations the sampling alternative to the
+    /// exact ground truth needs.
+    shapley_sampling: SamplingReport,
+}
 
 #[derive(Serialize)]
 struct MethodStats {
@@ -101,10 +110,12 @@ fn main() {
     let mut panels = vec![panel("all scenarios (a, e)", &all)];
 
     for slices in study.min_time_slices..=study.max_time_slices {
-        let subset: Vec<&DemandTrial> =
-            trials.iter().filter(|t| t.time_slices == slices).collect();
+        let subset: Vec<&DemandTrial> = trials.iter().filter(|t| t.time_slices == slices).collect();
         if !subset.is_empty() {
-            panels.push(panel(&format!("{slices} time slices (b, c, f, g)"), &subset));
+            panels.push(panel(
+                &format!("{slices} time slices (b, c, f, g)"),
+                &subset,
+            ));
         }
     }
     for (lo, hi) in [(1usize, 7usize), (8, 14), (15, 22)] {
@@ -132,10 +143,23 @@ fn main() {
         overall.average[2].mean_pct,
         overall.worst_case[2].mean_pct,
     );
-    println!(
-        "paper:    RUP ~80% / ~279%, demand-prop ~31% / ~90%, Fair-CO2 ~19% / ~55%"
-    );
+    println!("paper:    RUP ~80% / ~279%, demand-prop ~31% / ~90%, Fair-CO2 ~19% / ~55%");
 
-    let path = write_json("fig7", &panels);
+    let schedule = study.generate_schedule(0);
+    let shapley_sampling = sample_schedule(
+        &schedule,
+        args.usize("permutations", 4096),
+        threads,
+        study.base_seed,
+    );
+    print_report(&shapley_sampling);
+
+    let path = write_json(
+        "fig7",
+        &Fig7 {
+            panels,
+            shapley_sampling,
+        },
+    );
     println!("\nwrote {}", path.display());
 }

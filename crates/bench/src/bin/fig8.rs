@@ -7,11 +7,21 @@
 //! --min-grid-ci X --max-grid-ci X --threads N`.
 //! Writes `results/fig8.json`.
 
-use fairco2_bench::{write_json, Args};
+use fairco2_bench::{print_report, sample_schedule, write_json, Args, SamplingReport};
 use fairco2_montecarlo::colocations::{ColocationStudy, ColocationTrial};
 use fairco2_montecarlo::runner::{default_threads, run_parallel};
+use fairco2_montecarlo::schedules::DemandStudy;
 use fairco2_trace::stats::Summary;
 use serde::Serialize;
+
+#[derive(Serialize)]
+struct Fig8 {
+    panels: Vec<Panel>,
+    /// Convergence trace of the sampled engine on a peak game sized to
+    /// this study's workload counts — exact enumeration is intractable at
+    /// this scale, so sampling is the only ground-truth path.
+    shapley_sampling: SamplingReport,
+}
 
 #[derive(Serialize)]
 struct MethodStats {
@@ -112,7 +122,12 @@ fn main() {
             panels.push(panel(&format!("{lo}-{hi} workloads (c, g)"), &subset));
         }
     }
-    for (lo, hi) in [(0.0, 250.0), (250.0, 500.0), (500.0, 750.0), (750.0, 1000.0)] {
+    for (lo, hi) in [
+        (0.0, 250.0),
+        (250.0, 500.0),
+        (500.0, 750.0),
+        (750.0, 1000.0),
+    ] {
         let subset: Vec<&ColocationTrial> = trials
             .iter()
             .filter(|t| t.grid_ci >= lo && t.grid_ci < hi + 1e-9)
@@ -140,6 +155,25 @@ fn main() {
     );
     println!("paper:    RUP 9.7% avg / 31.7% worst — Fair-CO2 1.72% avg / 5.0% worst");
 
-    let path = write_json("fig8", &panels);
+    let probe = DemandStudy {
+        max_workloads: study.max_workloads,
+        ..DemandStudy::default()
+    };
+    let schedule = probe.generate_schedule(0);
+    let shapley_sampling = sample_schedule(
+        &schedule,
+        args.usize("permutations", 4096),
+        threads,
+        study.base_seed,
+    );
+    print_report(&shapley_sampling);
+
+    let path = write_json(
+        "fig8",
+        &Fig8 {
+            panels,
+            shapley_sampling,
+        },
+    );
     println!("\nwrote {}", path.display());
 }

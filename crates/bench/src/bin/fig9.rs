@@ -67,7 +67,10 @@ fn main() {
     };
     let threads = args.usize("threads", default_threads());
 
-    eprintln!("running {} colocation trials on {threads} threads…", study.trials);
+    eprintln!(
+        "running {} colocation trials on {threads} threads…",
+        study.trials
+    );
     let trials: Vec<ColocationTrial> = run_parallel(study.trials, threads, |t| study.run_trial(t));
 
     let n = ALL_WORKLOADS.len();
@@ -112,8 +115,14 @@ fn main() {
     println!("Figure 9: per-workload deviation distributions (signed, % of ground truth)");
     print_block("(top-left) own deviation, RUP-Baseline", &out.own_rup);
     print_block("(top-right) own deviation, Fair-CO2", &out.own_fair);
-    print_block("(bottom-left) partner deviation, RUP-Baseline", &out.partner_rup);
-    print_block("(bottom-right) partner deviation, Fair-CO2", &out.partner_fair);
+    print_block(
+        "(bottom-left) partner deviation, RUP-Baseline",
+        &out.partner_rup,
+    );
+    print_block(
+        "(bottom-right) partner deviation, Fair-CO2",
+        &out.partner_fair,
+    );
 
     let spread = |rows: &[Distribution]| {
         rows.iter()

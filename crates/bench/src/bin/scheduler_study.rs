@@ -82,9 +82,7 @@ fn main() {
         let rup_w: Vec<f64> = out
             .jobs
             .iter()
-            .map(|j| {
-                j.runtime_s() * (1.0 + j.kind.profile().cpu_utilization)
-            })
+            .map(|j| j.runtime_s() * (1.0 + j.kind.profile().cpu_utilization))
             .collect();
         let rup_total: f64 = rup_w.iter().sum();
         rup_fracs.push(rup_w.iter().map(|w| w / rup_total).collect());

@@ -85,12 +85,8 @@ fn main() {
             .expect("arrival is inside the trace");
         totals[0] += immediate.carbon_g;
         // 2. Temporal only (home region, deferred).
-        let temporal = best_placement(
-            &regions[home..=home],
-            &job_at(arrival, slack_h),
-            &pricing,
-        )
-        .expect("window is feasible");
+        let temporal = best_placement(&regions[home..=home], &job_at(arrival, slack_h), &pricing)
+            .expect("window is feasible");
         totals[1] += temporal.carbon_g;
         // 3. Spatial only (any region, immediate).
         let spatial = regions

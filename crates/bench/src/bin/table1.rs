@@ -43,7 +43,10 @@ fn main() {
     ];
 
     println!("Table 1: TDP to embodied-carbon ratios (server components)");
-    println!("{:<28} {:>8} {:>18} {:>16}", "Component", "TDP", "Embodied", "Ratio kg/W");
+    println!(
+        "{:<28} {:>8} {:>18} {:>16}",
+        "Component", "TDP", "Embodied", "Ratio kg/W"
+    );
     for r in &rows {
         println!(
             "{:<28} {:>6.0} W {:>12.2} kgCO2e {:>16.4}",

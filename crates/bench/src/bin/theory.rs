@@ -31,7 +31,14 @@ fn main() {
     println!("Section 5.1: over-attribution of long-running workloads (n={n}, m={m}, p={p})");
     println!(
         "{:>5} {:>11} {:>11} {:>11} {:>11} {:>9} {:>9} {:>9}",
-        "K", "paper shrt", "paper long", "eq5 long", "truth long", "over(phi)", "over(eq5)", "discount"
+        "K",
+        "paper shrt",
+        "paper long",
+        "eq5 long",
+        "truth long",
+        "over(phi)",
+        "over(eq5)",
+        "discount"
     );
     let mut rows = Vec::new();
     for k in [50usize, 70, 80, 90, 95, 98] {

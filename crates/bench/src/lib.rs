@@ -13,6 +13,8 @@
 
 pub mod args;
 pub mod output;
+pub mod sampling;
 
 pub use args::Args;
 pub use output::{results_dir, write_json};
+pub use sampling::{print_report, sample_schedule, SamplingReport};

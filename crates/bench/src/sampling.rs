@@ -1,0 +1,120 @@
+//! Shared sampled-Shapley instrumentation for the experiment binaries.
+//!
+//! The Monte Carlo figure bins (`convergence`, `fig7`, `fig8`) each attach
+//! an instrumented [`parallel_sampled_shapley`] run to their JSON output:
+//! the convergence trace (standard error versus permutation count), the
+//! work counters, and the final estimate quality on a representative
+//! peak-demand game. This module builds that report and renders it for
+//! the terminal.
+
+use fairco2::schedule::Schedule;
+use fairco2_shapley::game::PeakDemandGame;
+use fairco2_shapley::{
+    parallel_sampled_shapley, ConvergenceTrace, EvalCounters, ParallelConfig, SampleConfig,
+};
+use serde::Serialize;
+
+/// JSON-serializable record of one instrumented sampling run.
+#[derive(Debug, Clone, Serialize)]
+pub struct SamplingReport {
+    /// Players in the sampled game (workloads in the schedule).
+    pub players: usize,
+    /// Worker threads used (results are thread-count invariant).
+    pub threads: usize,
+    /// Permutations actually drawn before the stopping rule fired.
+    pub permutations: usize,
+    /// Largest per-player pair-aware standard error at the end.
+    pub max_std_error: f64,
+    /// Work performed: coalition evaluations, marginal updates, batches,
+    /// and summed per-batch busy time.
+    pub counters: EvalCounters,
+    /// Standard error versus permutation count, one point per round.
+    pub trace: ConvergenceTrace,
+}
+
+/// Runs the parallel sampling engine on `schedule`'s peak-demand game and
+/// packages the instrumentation.
+pub fn sample_schedule(
+    schedule: &Schedule,
+    max_permutations: usize,
+    threads: usize,
+    seed: u64,
+) -> SamplingReport {
+    let game = PeakDemandGame::new(schedule.demand_matrix());
+    let config = ParallelConfig {
+        sample: SampleConfig {
+            max_permutations,
+            ..SampleConfig::default()
+        },
+        threads,
+        ..ParallelConfig::default()
+    };
+    let run = parallel_sampled_shapley(&game, &config, seed);
+    SamplingReport {
+        players: schedule.workloads().len(),
+        threads,
+        permutations: run.estimate.permutations,
+        max_std_error: run.estimate.max_std_error(),
+        counters: run.estimate.counters,
+        trace: run.trace,
+    }
+}
+
+/// Prints the report as a small convergence table.
+pub fn print_report(report: &SamplingReport) {
+    println!(
+        "\nsampled Shapley convergence ({} players, {} threads):",
+        report.players, report.threads
+    );
+    println!(
+        "{:>8} {:>8} {:>12} {:>12} {:>10}",
+        "perms", "samples", "max stderr", "evals", "elapsed"
+    );
+    for p in &report.trace.points {
+        println!(
+            "{:>8} {:>8} {:>12.6} {:>12} {:>9.3}s",
+            p.permutations, p.samples, p.max_std_error, p.coalition_evals, p.elapsed_secs
+        );
+    }
+    println!(
+        "final: {} permutations, max stderr {:.6}, {} coalition evals in {} batches ({:.3}s busy)",
+        report.permutations,
+        report.max_std_error,
+        report.counters.coalition_evals,
+        report.counters.batches,
+        report.counters.wall_time_secs
+    );
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fairco2::schedule::ScheduledWorkload;
+
+    fn demo_schedule() -> Schedule {
+        let workloads = vec![
+            ScheduledWorkload::new(8.0, 0, 2).unwrap(),
+            ScheduledWorkload::new(16.0, 1, 3).unwrap(),
+            ScheduledWorkload::new(32.0, 0, 3).unwrap(),
+            ScheduledWorkload::new(8.0, 2, 3).unwrap(),
+        ];
+        Schedule::new(3600, 3, workloads).unwrap()
+    }
+
+    #[test]
+    fn report_is_thread_invariant_and_serializable() {
+        let s = demo_schedule();
+        let one = sample_schedule(&s, 256, 1, 11);
+        let four = sample_schedule(&s, 256, 4, 11);
+        assert_eq!(one.permutations, four.permutations);
+        assert_eq!(
+            one.max_std_error.to_bits(),
+            four.max_std_error.to_bits(),
+            "estimate must not depend on the thread count"
+        );
+        assert!(!one.trace.points.is_empty());
+        let json = serde_json::to_string(&one).unwrap();
+        assert!(json.contains("\"trace\""));
+        assert!(json.contains("\"coalition_evals\""));
+    }
+}

@@ -39,9 +39,10 @@ use crate::units::Carbon;
 ///     .window(embodied, life, 0.0, month);
 /// assert!(declining.as_kg() > uniform.as_kg());
 /// ```
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
 pub enum Amortization {
     /// Equal share per unit time (the paper's default).
+    #[default]
     Uniform,
     /// Uniform down to `salvage_fraction` of the embodied total, which is
     /// never attributed to workloads (it leaves with the hardware).
@@ -57,12 +58,6 @@ pub enum Amortization {
         /// "double-declining" feel over a 4-year life.
         decline_rate: f64,
     },
-}
-
-impl Default for Amortization {
-    fn default() -> Self {
-        Amortization::Uniform
-    }
 }
 
 impl Amortization {
@@ -206,10 +201,11 @@ mod tests {
         let s = Amortization::DecliningBalance { decline_rate: 1.0 };
         let age = LIFE / 3.0;
         let rate = s.rate_at(embodied(), LIFE, age).as_grams();
-        let window = s
-            .window(embodied(), LIFE, age, age + 1.0)
-            .as_grams();
-        assert!((rate - window).abs() < 1e-3 * window.max(1e-12), "{rate} vs {window}");
+        let window = s.window(embodied(), LIFE, age, age + 1.0).as_grams();
+        assert!(
+            (rate - window).abs() < 1e-3 * window.max(1e-12),
+            "{rate} vs {window}"
+        );
     }
 
     #[test]

@@ -134,6 +134,9 @@ mod tests {
         let m = NodePowerModel::xeon_6240r_node();
         let total = m.at_utilization(0.4).as_watts();
         let share = m.idle.as_watts() / total;
-        assert!((share - GOOGLE_STATIC_ENERGY_SHARE).abs() < 0.01, "share {share}");
+        assert!(
+            (share - GOOGLE_STATIC_ENERGY_SHARE).abs() < 0.01,
+            "share {share}"
+        );
     }
 }

@@ -119,8 +119,7 @@ impl ServerSpec {
         let lifetime_s = self.lifetime_years * SECS_PER_YEAR;
         let by_resource = self.embodied_by_resource();
         EmbodiedRates {
-            cpu_per_core_second: by_resource.cpu
-                / (f64::from(self.physical_cores()) * lifetime_s),
+            cpu_per_core_second: by_resource.cpu / (f64::from(self.physical_cores()) * lifetime_s),
             dram_per_gb_second: by_resource.dram / (self.dram_gb() * lifetime_s),
             ssd_per_gb_second: by_resource.ssd / (self.ssd_gb() * lifetime_s),
             node_per_second: by_resource.total() / lifetime_s,

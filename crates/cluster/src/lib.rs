@@ -33,5 +33,5 @@ pub mod simulator;
 pub mod workload;
 
 pub use policy::PlacementPolicy;
-pub use simulator::{Simulator, SimulationOutcome};
+pub use simulator::{SimulationOutcome, Simulator};
 pub use workload::{Job, JobStream};

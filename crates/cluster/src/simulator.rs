@@ -136,18 +136,25 @@ impl Simulator {
         let mut peak_nodes = 0usize;
         let mut samples: Vec<(f64, usize)> = Vec::new();
 
-        let partner_of = |running: &[RunningJob], residents: &[Vec<usize>], idx: usize| -> Option<WorkloadKind> {
+        let partner_of = |running: &[RunningJob],
+                          residents: &[Vec<usize>],
+                          idx: usize|
+         -> Option<WorkloadKind> {
             let node = running[idx].node;
             residents[node]
                 .iter()
                 .find(|&&r| r != idx)
                 .map(|&r| running[r].kind)
         };
-        let rate_of = |interference: &InterferenceModel, kind: WorkloadKind, partner: Option<WorkloadKind>| match partner {
+        let rate_of = |interference: &InterferenceModel,
+                       kind: WorkloadKind,
+                       partner: Option<WorkloadKind>| match partner {
             Some(p) => 1.0 / interference.slowdown(kind, p),
             None => 1.0,
         };
-        let power_of = |interference: &InterferenceModel, kind: WorkloadKind, partner: Option<WorkloadKind>| match partner {
+        let power_of = |interference: &InterferenceModel,
+                        kind: WorkloadKind,
+                        partner: Option<WorkloadKind>| match partner {
             Some(p) => interference.colocated_power(kind, p),
             None => kind.profile().dynamic_power_w,
         };

@@ -35,7 +35,8 @@ impl JobStream {
     pub fn new(mut jobs: Vec<Job>) -> Self {
         assert!(!jobs.is_empty(), "a job stream needs at least one job");
         assert!(
-            jobs.iter().all(|j| j.arrival_s.is_finite() && j.arrival_s >= 0.0),
+            jobs.iter()
+                .all(|j| j.arrival_s.is_finite() && j.arrival_s >= 0.0),
             "arrivals must be finite and non-negative"
         );
         jobs.sort_by(|a, b| a.arrival_s.total_cmp(&b.arrival_s));

@@ -8,20 +8,18 @@ use fairco2_workloads::ALL_WORKLOADS;
 use proptest::prelude::*;
 
 fn stream_strategy() -> impl Strategy<Value = JobStream> {
-    prop::collection::vec((0usize..ALL_WORKLOADS.len(), 0.0f64..50_000.0), 1..40).prop_map(
-        |raw| {
-            JobStream::new(
-                raw.into_iter()
-                    .enumerate()
-                    .map(|(id, (kind, arrival_s))| Job {
-                        id,
-                        kind: ALL_WORKLOADS[kind],
-                        arrival_s,
-                    })
-                    .collect(),
-            )
-        },
-    )
+    prop::collection::vec((0usize..ALL_WORKLOADS.len(), 0.0f64..50_000.0), 1..40).prop_map(|raw| {
+        JobStream::new(
+            raw.into_iter()
+                .enumerate()
+                .map(|(id, (kind, arrival_s))| Job {
+                    id,
+                    kind: ALL_WORKLOADS[kind],
+                    arrival_s,
+                })
+                .collect(),
+        )
+    })
 }
 
 fn policies() -> Vec<Box<dyn PlacementPolicy>> {

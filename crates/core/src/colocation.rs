@@ -551,10 +551,7 @@ mod tests {
     fn pair_in_order_places_odd_tail_isolated() {
         let s = scenario();
         assert_eq!(s.placements().len(), 3);
-        assert_eq!(
-            s.placements()[2],
-            NodePlacement::Isolated(Pg10)
-        );
+        assert_eq!(s.placements()[2], NodePlacement::Isolated(Pg10));
         let w = s.workloads();
         assert_eq!(w.len(), 5);
         assert_eq!(w[0].partner, Some(Ch));

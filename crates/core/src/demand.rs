@@ -17,7 +17,7 @@ use std::fmt;
 
 use fairco2_shapley::exact::{exact_shapley_fast, ExactError};
 use fairco2_shapley::game::PeakDemandGame;
-use fairco2_shapley::sampled::{sampled_shapley, SampleConfig};
+use fairco2_shapley::sampled::{sampled_shapley, SampleConfig, ShapleyEstimate};
 use fairco2_shapley::temporal::TemporalShapley;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -122,6 +122,17 @@ impl SampledGroundTruth {
             seed,
         )
     }
+
+    /// Runs the estimator on `schedule`'s peak game and returns the full
+    /// instrumented estimate: values, pair-aware standard errors, and
+    /// work counters — the raw material for
+    /// [`SamplingMetrics`](crate::report::SamplingMetrics) provenance on
+    /// carbon statements.
+    pub fn estimate(&self, schedule: &Schedule) -> ShapleyEstimate {
+        let game = PeakDemandGame::new(schedule.demand_matrix());
+        let mut rng = StdRng::seed_from_u64(self.seed);
+        sampled_shapley(&game, &self.config, &mut rng)
+    }
 }
 
 impl DemandAttributor for SampledGroundTruth {
@@ -130,9 +141,7 @@ impl DemandAttributor for SampledGroundTruth {
     }
 
     fn attribute(&self, schedule: &Schedule, total_carbon: f64) -> Result<Vec<f64>, DemandError> {
-        let game = PeakDemandGame::new(schedule.demand_matrix());
-        let mut rng = StdRng::seed_from_u64(self.seed);
-        let estimate = sampled_shapley(&game, &self.config, &mut rng);
+        let estimate = self.estimate(schedule);
         let total: f64 = estimate.values.iter().sum();
         if total <= 0.0 {
             return Err(DemandError::ZeroDemand);
@@ -342,7 +351,12 @@ mod tests {
                 .map(|(a, b)| ((a - b) / b).abs())
                 .sum::<f64>()
         };
-        assert!(dev(&fair) < dev(&rup), "fair {} rup {}", dev(&fair), dev(&rup));
+        assert!(
+            dev(&fair) < dev(&rup),
+            "fair {} rup {}",
+            dev(&fair),
+            dev(&rup)
+        );
     }
 
     #[test]
@@ -401,13 +415,38 @@ mod tests {
     fn sampled_ground_truth_handles_large_schedules() {
         // 60 workloads: far beyond the exact solver's 24-player cap.
         let workloads: Vec<ScheduledWorkload> = (0..60)
-            .map(|i| ScheduledWorkload::new(8.0 + (i % 7) as f64 * 8.0, i % 6, i % 6 + 1 + i % 3).unwrap())
+            .map(|i| {
+                ScheduledWorkload::new(8.0 + (i % 7) as f64 * 8.0, i % 6, i % 6 + 1 + i % 3)
+                    .unwrap()
+            })
             .collect();
         let s = Schedule::new(3600, 9, workloads).unwrap();
         assert!(GroundTruthShapley.attribute(&s, 100.0).is_err());
-        let shares = SampledGroundTruth::with_seed(4).attribute(&s, 100.0).unwrap();
+        let shares = SampledGroundTruth::with_seed(4)
+            .attribute(&s, 100.0)
+            .unwrap();
         assert_eq!(shares.len(), 60);
         assert!((shares.iter().sum::<f64>() - 100.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn sampled_estimate_exposes_work_counters() {
+        let s = demo();
+        let sgt = SampledGroundTruth::with_seed(9);
+        let estimate = sgt.estimate(&s);
+        // Every permutation replays all three players.
+        assert_eq!(
+            estimate.counters.coalition_evals,
+            estimate.permutations as u64 * 3
+        );
+        assert!(estimate.counters.wall_time_secs >= 0.0);
+        assert!(estimate.max_std_error().is_finite());
+        // attribute() is the same run: shares are the normalized values.
+        let shares = sgt.attribute(&s, 1000.0).unwrap();
+        let total: f64 = estimate.values.iter().sum();
+        for (share, v) in shares.iter().zip(&estimate.values) {
+            assert!((share - 1000.0 * v / total).abs() < 1e-9);
+        }
     }
 
     #[test]

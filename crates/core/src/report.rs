@@ -10,7 +10,38 @@
 use serde::{Deserialize, Serialize};
 
 use crate::colocation::{ColocationAttributor, ColocationError, ColocationScenario};
+use fairco2_shapley::sampled::ShapleyEstimate;
+use fairco2_shapley::EvalCounters;
 use fairco2_workloads::NodeAccounting;
+
+/// Provenance of a statement produced by Monte Carlo sampling rather than
+/// an exact solver: how much work the estimator did and how tight its
+/// result is. Attached to a [`CarbonStatement`] via
+/// [`CarbonStatement::with_sampling`].
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SamplingMetrics {
+    /// Permutations drawn (antithetic pairs count two).
+    pub permutations: usize,
+    /// Independent samples backing the error bars (antithetic pairs count
+    /// once — the pair-aware accounting).
+    pub samples: usize,
+    /// Largest per-player pair-aware standard error of the estimate.
+    pub max_std_error: f64,
+    /// Work counters: coalition evaluations, marginal updates, batches,
+    /// and busy time.
+    pub counters: EvalCounters,
+}
+
+impl From<&ShapleyEstimate> for SamplingMetrics {
+    fn from(estimate: &ShapleyEstimate) -> Self {
+        Self {
+            permutations: estimate.permutations,
+            samples: estimate.samples,
+            max_std_error: estimate.max_std_error(),
+            counters: estimate.counters,
+        }
+    }
+}
 
 /// One tenant's line on a statement (all gCO₂e).
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -44,6 +75,9 @@ pub struct CarbonStatement {
     pub grid_ci: f64,
     /// Per-tenant lines.
     pub lines: Vec<StatementLine>,
+    /// Sampling provenance, when the attribution was estimated by Monte
+    /// Carlo rather than solved exactly.
+    pub sampling: Option<SamplingMetrics>,
 }
 
 impl CarbonStatement {
@@ -65,9 +99,7 @@ impl CarbonStatement {
         truth: Option<&dyn ColocationAttributor>,
     ) -> Result<Self, ColocationError> {
         let shares = method.attribute(scenario, ctx)?;
-        let truth_shares = truth
-            .map(|t| t.attribute(scenario, ctx))
-            .transpose()?;
+        let truth_shares = truth.map(|t| t.attribute(scenario, ctx)).transpose()?;
         let pools = scenario.carbon(ctx);
         let total = pools.total();
         let (emb_frac, stat_frac, dyn_frac) = if total > 0.0 {
@@ -100,7 +132,15 @@ impl CarbonStatement {
             method: method.name().to_owned(),
             grid_ci: ctx.grid().as_g_per_kwh(),
             lines,
+            sampling: None,
         })
+    }
+
+    /// Attaches Monte Carlo provenance to the statement.
+    #[must_use]
+    pub fn with_sampling(mut self, metrics: SamplingMetrics) -> Self {
+        self.sampling = Some(metrics);
+        self
     }
 
     /// Statement total across tenants.
@@ -138,6 +178,13 @@ impl CarbonStatement {
             );
         }
         let _ = writeln!(out, "{:<24} {:>42} {:>9.1}g", "TOTAL", "", self.total_g());
+        if let Some(s) = &self.sampling {
+            let _ = writeln!(
+                out,
+                "sampled: {} permutations ({} independent samples), max stderr {:.4}, {} coalition evals",
+                s.permutations, s.samples, s.max_std_error, s.counters.coalition_evals
+            );
+        }
         out
     }
 }
@@ -169,10 +216,7 @@ mod tests {
         let actual = scenario.carbon(&ctx).total();
         assert!((statement.total_g() - actual).abs() < 1e-6 * actual);
         assert_eq!(statement.lines.len(), 5);
-        assert!(statement
-            .lines
-            .iter()
-            .all(|l| l.deviation_pct.is_some()));
+        assert!(statement.lines.iter().all(|l| l.deviation_pct.is_some()));
     }
 
     #[test]
@@ -220,13 +264,40 @@ mod tests {
         let (scenario, ctx) = setup();
         let statement =
             CarbonStatement::for_scenario(&scenario, &ctx, &RupColocation, None).unwrap();
+        assert!(statement.sampling.is_none());
         let json = serde_json::to_string(&statement).unwrap();
         let back: CarbonStatement = serde_json::from_str(&json).unwrap();
         assert_eq!(back.method, statement.method);
         assert_eq!(back.lines.len(), statement.lines.len());
+        assert!(back.sampling.is_none());
         for (a, b) in back.lines.iter().zip(&statement.lines) {
             assert_eq!(a.tenant, b.tenant);
             assert!((a.total_g() - b.total_g()).abs() < 1e-9);
         }
+    }
+
+    #[test]
+    fn sampling_provenance_round_trips_and_renders() {
+        let (scenario, ctx) = setup();
+        let metrics = SamplingMetrics {
+            permutations: 4000,
+            samples: 2000,
+            max_std_error: 0.0125,
+            counters: EvalCounters {
+                coalition_evals: 20_000,
+                marginal_updates: 20_000,
+                batches: 63,
+                wall_time_secs: 0.5,
+            },
+        };
+        let statement = CarbonStatement::for_scenario(&scenario, &ctx, &RupColocation, None)
+            .unwrap()
+            .with_sampling(metrics.clone());
+        let json = serde_json::to_string(&statement).unwrap();
+        let back: CarbonStatement = serde_json::from_str(&json).unwrap();
+        assert_eq!(back.sampling, Some(metrics));
+        let table = statement.to_table();
+        assert!(table.contains("4000 permutations"), "{table}");
+        assert!(table.contains("20000 coalition evals"), "{table}");
     }
 }

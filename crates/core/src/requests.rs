@@ -102,7 +102,9 @@ mod tests {
             }
         })
         .unwrap();
-        TemporalShapley::new(vec![24]).attribute(&series, 1000.0).unwrap()
+        TemporalShapley::new(vec![24])
+            .attribute(&series, 1000.0)
+            .unwrap()
     }
 
     #[test]

@@ -31,7 +31,10 @@ impl fmt::Display for ScheduleError {
         match self {
             ScheduleError::EmptyWindow => write!(f, "workload window is empty"),
             ScheduleError::BeyondHorizon { end, steps } => {
-                write!(f, "workload ends at step {end} beyond the {steps}-step horizon")
+                write!(
+                    f,
+                    "workload ends at step {end} beyond the {steps}-step horizon"
+                )
             }
             ScheduleError::DegenerateGrid => write!(f, "schedule needs ≥1 step of ≥1 second"),
             ScheduleError::NoWorkloads => write!(f, "schedule has no workloads"),
@@ -117,10 +120,7 @@ impl Schedule {
             return Err(ScheduleError::NoWorkloads);
         }
         if let Some(w) = workloads.iter().find(|w| w.end > steps) {
-            return Err(ScheduleError::BeyondHorizon {
-                end: w.end,
-                steps,
-            });
+            return Err(ScheduleError::BeyondHorizon { end: w.end, steps });
         }
         Ok(Self {
             step_seconds,

@@ -114,8 +114,10 @@ impl LiveSignal {
         let forecast = fitted.predict(horizon_samples);
         let mut values = history.values().to_vec();
         values.extend_from_slice(forecast.values());
-        Ok(TimeSeries::from_values(history.start(), history.step(), values)
-            .expect("history is non-empty"))
+        Ok(
+            TimeSeries::from_values(history.start(), history.step(), values)
+                .expect("history is non-empty"),
+        )
     }
 }
 

@@ -40,7 +40,10 @@ use fairco2_trace::series::{SeriesError, TimeSeries};
 /// # Errors
 ///
 /// Returns a [`SeriesError`] if either side would be empty.
-pub fn split_at_day(series: &TimeSeries, day: u32) -> Result<(TimeSeries, TimeSeries), SeriesError> {
+pub fn split_at_day(
+    series: &TimeSeries,
+    day: u32,
+) -> Result<(TimeSeries, TimeSeries), SeriesError> {
     let boundary = series.start() + i64::from(day) * 86_400;
     let train = series.window(series.start(), boundary)?;
     let test = series.window(boundary, series.end())?;

@@ -177,20 +177,17 @@ mod tests {
         for i in 0..n {
             for j in 0..=i {
                 let mut dot = if i == j { 1.0 } else { 0.0 };
-                for k in 0..n {
-                    dot += b_mat[k][i] * b_mat[k][j];
+                for row in &b_mat {
+                    dot += row[i] * row[j];
                 }
                 a.add(i, j, dot);
             }
         }
         let rhs: Vec<f64> = (0..n).map(|i| i as f64 + 1.0).collect();
         let x = a.solve(&rhs).unwrap();
-        for i in 0..n {
-            let mut ax = 0.0;
-            for j in 0..n {
-                ax += a.get(i, j) * x[j];
-            }
-            assert!((ax - rhs[i]).abs() < 1e-9, "row {i}: {ax} vs {}", rhs[i]);
+        for (i, want) in rhs.iter().enumerate() {
+            let ax: f64 = x.iter().enumerate().map(|(j, xj)| a.get(i, j) * xj).sum();
+            assert!((ax - want).abs() < 1e-9, "row {i}: {ax} vs {want}");
         }
     }
 }

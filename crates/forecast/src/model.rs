@@ -193,11 +193,7 @@ impl FittedForecaster {
         let mut row = Vec::with_capacity(self.coefficients.len());
         self.config
             .features(rel, rel / self.train_t_scale, &mut row);
-        let raw: f64 = row
-            .iter()
-            .zip(&self.coefficients)
-            .map(|(x, c)| x * c)
-            .sum();
+        let raw: f64 = row.iter().zip(&self.coefficients).map(|(x, c)| x * c).sum();
         if self.config.multiplicative {
             raw.exp()
         } else {
@@ -260,7 +256,9 @@ mod tests {
                 + 10.0 * (2.0 * std::f64::consts::PI * t as f64 / SECS_PER_DAY).cos()
         })
         .unwrap();
-        let model = SeasonalForecaster::default_daily_weekly().fit(&series).unwrap();
+        let model = SeasonalForecaster::default_daily_weekly()
+            .fit(&series)
+            .unwrap();
         let forecast = model.predict(24 * 2);
         let truth: Vec<f64> = forecast
             .iter()
@@ -279,7 +277,9 @@ mod tests {
         // The paper's protocol: 21 days history, 9 days forecast.
         let trace = AzureLikeTrace::builder().days(30).seed(17).build();
         let (train, test) = crate::split_at_day(trace.series(), 21).unwrap();
-        let model = SeasonalForecaster::default_daily_weekly().fit(&train).unwrap();
+        let model = SeasonalForecaster::default_daily_weekly()
+            .fit(&train)
+            .unwrap();
         let forecast = model.predict(test.len());
         let err = mape(test.values(), forecast.values()).unwrap();
         assert!(err < 8.0, "MAPE {err}%");
@@ -297,10 +297,9 @@ mod tests {
     #[test]
     fn predictions_are_clamped_non_negative() {
         // Steeply falling trend would extrapolate below zero.
-        let series = TimeSeries::from_fn(0, 3600, 24 * 14, |t| {
-            (1000.0 - t as f64 / 1800.0).max(0.0)
-        })
-        .unwrap();
+        let series =
+            TimeSeries::from_fn(0, 3600, 24 * 14, |t| (1000.0 - t as f64 / 1800.0).max(0.0))
+                .unwrap();
         let model = SeasonalForecaster {
             daily_harmonics: 0,
             weekly_harmonics: 0,

@@ -5,8 +5,7 @@ use rand::{Rng, SeedableRng};
 use serde::{Deserialize, Serialize};
 
 use fairco2::colocation::{
-    ColocationAttributor, ColocationScenario, FairCo2Colocation, GroundTruthMatching,
-    RupColocation,
+    ColocationAttributor, ColocationScenario, FairCo2Colocation, GroundTruthMatching, RupColocation,
 };
 use fairco2::metrics::{summarize, DeviationSummary};
 use fairco2_carbon::units::CarbonIntensity;

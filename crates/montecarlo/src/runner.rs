@@ -3,54 +3,40 @@
 //! Trials are embarrassingly parallel and individually seeded, so the
 //! runner simply partitions trial indices across threads and reassembles
 //! results in trial order — output is bit-identical at any thread count.
+//!
+//! The partitioner itself lives in [`fairco2_shapley::parallel`] (the
+//! Shapley engine batches permutations through the same primitive); this
+//! module re-exports it and adds the merge helpers studies use to fold
+//! per-batch sampling moments and work counters into run-level totals.
 
-use crossbeam::thread;
+pub use fairco2_shapley::parallel::{default_threads, run_parallel};
+pub use fairco2_shapley::{EvalCounters, Moments};
 
-/// Runs `trials` independent trials across `threads` worker threads,
-/// returning results in trial order.
-///
-/// `run` must be pure with respect to the trial index (each trial seeds
-/// its own RNG), which every study in this crate guarantees.
-///
-/// # Panics
-///
-/// Panics if `threads == 0` or a worker thread panics.
-pub fn run_parallel<T, F>(trials: usize, threads: usize, run: F) -> Vec<T>
+/// Merges per-batch sampling moments in batch order, returning `None`
+/// for an empty batch set. Order-preserving, so folding the output of
+/// [`run_parallel`] reproduces the serial single-pass statistics.
+pub fn merge_moments<I>(batches: I) -> Option<Moments>
 where
-    T: Send,
-    F: Fn(usize) -> T + Sync,
+    I: IntoIterator<Item = Moments>,
 {
-    assert!(threads > 0, "at least one worker thread is required");
-    if trials == 0 {
-        return Vec::new();
+    let mut iter = batches.into_iter();
+    let mut merged = iter.next()?;
+    for batch in iter {
+        merged.merge(&batch);
     }
-    let threads = threads.min(trials);
-    let mut slots: Vec<Option<T>> = (0..trials).map(|_| None).collect();
-    thread::scope(|scope| {
-        for (worker, chunk) in slots.chunks_mut(trials.div_ceil(threads)).enumerate() {
-            let run = &run;
-            let base = worker * trials.div_ceil(threads);
-            scope.spawn(move |_| {
-                for (offset, slot) in chunk.iter_mut().enumerate() {
-                    *slot = Some(run(base + offset));
-                }
-            });
-        }
-    })
-    .expect("worker thread panicked");
-    slots
-        .into_iter()
-        .map(|s| s.expect("every trial slot is filled"))
-        .collect()
+    Some(merged)
 }
 
-/// A sensible default worker count: the available parallelism, capped so
-/// laptop-scale machines stay responsive.
-pub fn default_threads() -> usize {
-    std::thread::available_parallelism()
-        .map(|n| n.get())
-        .unwrap_or(4)
-        .clamp(1, 32)
+/// Sums per-batch work counters into a run-level total.
+pub fn merge_counters<I>(batches: I) -> EvalCounters
+where
+    I: IntoIterator<Item = EvalCounters>,
+{
+    let mut total = EvalCounters::default();
+    for batch in batches {
+        total.merge(&batch);
+    }
+    total
 }
 
 #[cfg(test)]
@@ -81,5 +67,34 @@ mod tests {
     #[should_panic(expected = "at least one worker")]
     fn zero_threads_panics() {
         let _ = run_parallel(1, 0, |t| t);
+    }
+
+    #[test]
+    fn merge_moments_folds_batches_in_order() {
+        let mut a = Moments::zero(2);
+        a.record_single(&[1.0, 2.0]);
+        let mut b = Moments::zero(2);
+        b.record_single(&[3.0, 4.0]);
+        let merged = merge_moments([a, b]).unwrap();
+        assert_eq!(merged.permutations(), 2);
+        let values = merged.values();
+        assert!((values[0] - 2.0).abs() < 1e-12);
+        assert!((values[1] - 3.0).abs() < 1e-12);
+        assert!(merge_moments(std::iter::empty()).is_none());
+    }
+
+    #[test]
+    fn merge_counters_sums_all_fields() {
+        let batches = (0..3).map(|i| EvalCounters {
+            coalition_evals: i + 1,
+            marginal_updates: 2 * (i + 1),
+            batches: 1,
+            wall_time_secs: 0.25,
+        });
+        let total = merge_counters(batches);
+        assert_eq!(total.coalition_evals, 6);
+        assert_eq!(total.marginal_updates, 12);
+        assert_eq!(total.batches, 3);
+        assert!((total.wall_time_secs - 0.75).abs() < 1e-12);
     }
 }

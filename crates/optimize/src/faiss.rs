@@ -125,7 +125,9 @@ impl FaissModel {
         let b = f64::from(config.batch);
         match config.index {
             IndexKind::Ivf => self.ivf_latency_coeff * b.powf(0.85) / c.powf(0.90),
-            IndexKind::Hnsw => self.hnsw_base_latency_s + self.hnsw_latency_coeff * b / c.powf(0.70),
+            IndexKind::Hnsw => {
+                self.hnsw_base_latency_s + self.hnsw_latency_coeff * b / c.powf(0.70)
+            }
         }
     }
 

@@ -218,10 +218,7 @@ mod tests {
         for kind in [Ddup, Ch, Nbody, Spark] {
             let m = ScalingModel::for_workload(kind);
             let rt = m.runtime_s(48, 96.0);
-            assert!(
-                (rt - kind.profile().runtime_s).abs() < 1e-6,
-                "{kind}: {rt}"
-            );
+            assert!((rt - kind.profile().runtime_s).abs() < 1e-6, "{kind}: {rt}");
         }
     }
 

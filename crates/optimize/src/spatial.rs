@@ -200,8 +200,12 @@ mod tests {
     #[test]
     fn shifts_to_midday_within_a_duck_curve_region() {
         let only_california = vec![regions().remove(0)];
-        let p = best_placement(&only_california, &job(), &ResourcePricing::paper_default(0.0))
-            .unwrap();
+        let p = best_placement(
+            &only_california,
+            &job(),
+            &ResourcePricing::paper_default(0.0),
+        )
+        .unwrap();
         let start_hour = (p.start % 86_400) / 3600;
         assert!(
             (9..=14).contains(&start_hour),

@@ -42,7 +42,10 @@ pub fn check_efficiency<G: Game>(game: &G, phi: &[f64], tol: f64) -> AxiomCheck 
 /// games) and then tests the attribution.
 pub fn check_null_player<G: Game>(game: &G, phi: &[f64], player: usize, tol: f64) -> AxiomCheck {
     let n = game.player_count();
-    assert!(n <= 20, "null-player verification enumerates 2^n coalitions");
+    assert!(
+        n <= 20,
+        "null-player verification enumerates 2^n coalitions"
+    );
     let bit = 1u64 << player;
     for mask in 0u64..1 << n {
         if mask & bit != 0 {
@@ -107,12 +110,7 @@ pub fn check_linearity(
     phi_right: &[f64],
     tol: f64,
 ) -> AxiomCheck {
-    for (i, ((s, l), r)) in phi_sum_game
-        .iter()
-        .zip(phi_left)
-        .zip(phi_right)
-        .enumerate()
-    {
+    for (i, ((s, l), r)) in phi_sum_game.iter().zip(phi_left).zip(phi_right).enumerate() {
         if (s - (l + r)).abs() > tol {
             return AxiomCheck::Violated(format!(
                 "player {i}: φ(v+w) = {s} but φ(v)+φ(w) = {}",

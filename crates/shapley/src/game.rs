@@ -1,5 +1,7 @@
 //! The characteristic-function interface and reference games.
 
+use serde::{Deserialize, Serialize};
+
 use crate::coalition::Coalition;
 
 /// A cooperative game: a set of players and a characteristic function
@@ -31,6 +33,61 @@ pub trait IncrementalGame: Game {
     /// Adds `player` to the growing coalition and returns the value of
     /// the enlarged coalition.
     fn add_player(&self, state: &mut Self::State, player: usize) -> f64;
+}
+
+/// Work counters for Shapley estimation, accumulated at every
+/// [`IncrementalGame`] call site and merged across batches/threads.
+///
+/// Wall time is the *sum* of per-batch busy time, so on a multi-threaded
+/// run it exceeds elapsed time — the ratio is the achieved parallelism.
+#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+pub struct EvalCounters {
+    /// Coalition evaluations: one per [`IncrementalGame::add_player`]
+    /// call (each call prices one enlarged coalition).
+    pub coalition_evals: u64,
+    /// Per-player marginal-contribution updates applied to accumulators.
+    pub marginal_updates: u64,
+    /// Sampling batches executed (1 for the serial estimator).
+    pub batches: u64,
+    /// Total busy time across batches, in seconds.
+    pub wall_time_secs: f64,
+}
+
+impl EvalCounters {
+    /// Folds another counter set into this one.
+    pub fn merge(&mut self, other: &EvalCounters) {
+        self.coalition_evals += other.coalition_evals;
+        self.marginal_updates += other.marginal_updates;
+        self.batches += other.batches;
+        self.wall_time_secs += other.wall_time_secs;
+    }
+}
+
+/// Replays one permutation through an [`IncrementalGame`], writing each
+/// player's marginal contribution into `marginals` (indexed by player)
+/// and charging the work to `counters`.
+///
+/// Marginals telescope, so `marginals` sums to the grand-coalition value
+/// when `order` contains every player exactly once.
+///
+/// # Panics
+///
+/// Panics if `marginals` is shorter than the largest player index.
+pub fn replay_marginals<G: IncrementalGame>(
+    game: &G,
+    order: &[usize],
+    marginals: &mut [f64],
+    counters: &mut EvalCounters,
+) {
+    let mut state = game.initial_state();
+    let mut prev = 0.0f64;
+    for &p in order {
+        let value = game.add_player(&mut state, p);
+        marginals[p] = value - prev;
+        prev = value;
+    }
+    counters.coalition_evals += order.len() as u64;
+    counters.marginal_updates += order.len() as u64;
 }
 
 /// Adapter giving any [`Game`] a (slow) incremental interface by replaying
@@ -212,5 +269,38 @@ mod tests {
     #[should_panic(expected = "2^n entries")]
     fn table_game_validates_size() {
         let _ = TableGame::new(2, vec![0.0, 1.0]);
+    }
+
+    #[test]
+    fn replay_marginals_telescopes_and_counts() {
+        let g = PeakDemandGame::new(vec![vec![4.0, 1.0], vec![1.0, 4.0], vec![2.0, 2.0]]);
+        let mut marginals = vec![0.0; 3];
+        let mut counters = EvalCounters::default();
+        replay_marginals(&g, &[2, 0, 1], &mut marginals, &mut counters);
+        let total: f64 = marginals.iter().sum();
+        assert!((total - g.value(&Coalition::grand(3))).abs() < 1e-12);
+        assert_eq!(counters.coalition_evals, 3);
+        assert_eq!(counters.marginal_updates, 3);
+    }
+
+    #[test]
+    fn counters_merge_by_summing() {
+        let mut a = EvalCounters {
+            coalition_evals: 3,
+            marginal_updates: 3,
+            batches: 1,
+            wall_time_secs: 0.5,
+        };
+        let b = EvalCounters {
+            coalition_evals: 7,
+            marginal_updates: 6,
+            batches: 2,
+            wall_time_secs: 1.5,
+        };
+        a.merge(&b);
+        assert_eq!(a.coalition_evals, 10);
+        assert_eq!(a.marginal_updates, 9);
+        assert_eq!(a.batches, 3);
+        assert!((a.wall_time_secs - 2.0).abs() < 1e-12);
     }
 }

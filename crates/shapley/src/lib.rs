@@ -11,8 +11,12 @@
 //!   practical to ~24 players, exactly the regime the paper evaluates
 //!   (≤ 22 workloads).
 //! * [`sampled`] — permutation-sampling estimator with antithetic
-//!   variance reduction and a standard-error stopping rule, for games too
-//!   large to enumerate.
+//!   variance reduction (pair-aware standard errors) and a standard-error
+//!   stopping rule, for games too large to enumerate.
+//! * [`parallel`] — the deterministic parallel engine: batched
+//!   permutation sampling over scoped worker threads with per-batch
+//!   seeding, moment merging, work counters, and a convergence trace;
+//!   bit-identical results at any thread count.
 //! * [`matching`] — an exact `O(n²)` solver for *pairwise matching games*
 //!   (the structure of the paper's colocation scenarios: isolated costs
 //!   plus pairwise colocation costs under a uniformly random matching).
@@ -44,13 +48,18 @@ pub mod coalition;
 pub mod exact;
 pub mod game;
 pub mod matching;
+pub mod parallel;
 pub mod sampled;
 pub mod temporal;
 pub mod unit_time;
 
 pub use coalition::Coalition;
 pub use exact::exact_shapley;
-pub use game::{Game, IncrementalGame};
+pub use game::{EvalCounters, Game, IncrementalGame};
 pub use matching::{shapley_from_moments, MatchingGame};
-pub use sampled::{sampled_shapley, stratified_shapley, SampleConfig};
+pub use parallel::{
+    default_threads, parallel_sampled_shapley, run_parallel, ConvergenceTrace, ParallelConfig,
+    ParallelEstimate, TracePoint,
+};
+pub use sampled::{sampled_shapley, stratified_shapley, Moments, SampleConfig, ShapleyEstimate};
 pub use temporal::{peak_shapley, TemporalAttribution};

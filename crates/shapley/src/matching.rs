@@ -145,7 +145,10 @@ pub fn shapley_from_moments(isolated: &[f64], mean_pair_cost: &[f64]) -> Vec<f64
     if n == 1 {
         return vec![isolated[0]];
     }
-    let row_sum: Vec<f64> = mean_pair_cost.iter().map(|d| d * (n as f64 - 1.0)).collect();
+    let row_sum: Vec<f64> = mean_pair_cost
+        .iter()
+        .map(|d| d * (n as f64 - 1.0))
+        .collect();
     let w_total: f64 = row_sum.iter().sum::<f64>() / 2.0;
     let a_total: f64 = isolated.iter().sum();
 

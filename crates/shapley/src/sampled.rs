@@ -10,11 +10,20 @@
 //! * **standard-error stopping** — sampling stops once the largest
 //!   per-player standard error of the mean drops below a target (or the
 //!   sample budget is exhausted).
+//!
+//! Variance accounting is *pair-aware*: an antithetic forward/reverse pair
+//! is one correlated draw, not two independent ones, so standard errors
+//! are computed over pair means. Treating the two halves as independent
+//! (dividing by the raw permutation count) misstates the error whenever
+//! the halves correlate — it understates it when reversal leaves the
+//! marginal unchanged, exactly the regime where antithetic sampling buys
+//! nothing. [`Moments`] keeps both accountings so the bias is testable.
 
 use rand::seq::SliceRandom;
 use rand::Rng;
+use std::time::Instant;
 
-use crate::game::IncrementalGame;
+use crate::game::{replay_marginals, EvalCounters, IncrementalGame};
 
 /// Configuration for [`sampled_shapley`].
 #[derive(Debug, Clone, Copy)]
@@ -47,16 +56,183 @@ impl Default for SampleConfig {
 pub struct ShapleyEstimate {
     /// Estimated Shapley value per player.
     pub values: Vec<f64>,
-    /// Standard error of the mean per player.
+    /// Standard error of the mean per player, computed over independent
+    /// samples (antithetic pairs count once).
     pub std_errors: Vec<f64>,
     /// Number of permutations actually evaluated.
     pub permutations: usize,
+    /// Number of *independent* samples behind `std_errors`: antithetic
+    /// pairs count once, unpaired permutations once.
+    pub samples: usize,
+    /// Work performed to produce the estimate.
+    pub counters: EvalCounters,
 }
 
 impl ShapleyEstimate {
     /// Largest per-player standard error.
     pub fn max_std_error(&self) -> f64 {
         self.std_errors.iter().copied().fold(0.0, f64::max)
+    }
+}
+
+/// Streaming first and second moments of per-permutation marginals.
+///
+/// Tracks two parallel accountings per player:
+///
+/// * **raw** — sums over individual permutations, which give the unbiased
+///   mean estimate and the (incorrect under antithetic sampling)
+///   independence-assuming standard error;
+/// * **sample** — sums over *independent samples*, where an antithetic
+///   forward/reverse pair contributes its pair mean once. Standard errors
+///   and the stopping rule use this accounting.
+///
+/// Batches accumulated independently merge by summation
+/// ([`Moments::merge`]), so a partitioned permutation stream yields the
+/// same statistics as a single pass (up to floating-point associativity).
+#[derive(Debug, Clone, PartialEq)]
+pub struct Moments {
+    sum: Vec<f64>,
+    sum_sq: Vec<f64>,
+    sample_sum: Vec<f64>,
+    sample_sum_sq: Vec<f64>,
+    permutations: usize,
+    samples: usize,
+}
+
+impl Moments {
+    /// Empty moments for an `n`-player game.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n == 0`.
+    pub fn zero(n: usize) -> Self {
+        assert!(n > 0, "game must have at least one player");
+        Self {
+            sum: vec![0.0; n],
+            sum_sq: vec![0.0; n],
+            sample_sum: vec![0.0; n],
+            sample_sum_sq: vec![0.0; n],
+            permutations: 0,
+            samples: 0,
+        }
+    }
+
+    /// Number of players tracked.
+    pub fn player_count(&self) -> usize {
+        self.sum.len()
+    }
+
+    /// Permutations recorded so far.
+    pub fn permutations(&self) -> usize {
+        self.permutations
+    }
+
+    /// Independent samples recorded so far (pairs count once).
+    pub fn samples(&self) -> usize {
+        self.samples
+    }
+
+    /// Records one permutation's marginals as an independent sample.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `marginals` has the wrong length.
+    pub fn record_single(&mut self, marginals: &[f64]) {
+        assert_eq!(marginals.len(), self.sum.len(), "player count mismatch");
+        for (p, &m) in marginals.iter().enumerate() {
+            self.sum[p] += m;
+            self.sum_sq[p] += m * m;
+            self.sample_sum[p] += m;
+            self.sample_sum_sq[p] += m * m;
+        }
+        self.permutations += 1;
+        self.samples += 1;
+    }
+
+    /// Records an antithetic forward/reverse pair: both permutations enter
+    /// the raw mean, but the pair contributes a single sample — its pair
+    /// mean — to the variance accounting.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either slice has the wrong length.
+    pub fn record_pair(&mut self, forward: &[f64], reverse: &[f64]) {
+        assert_eq!(forward.len(), self.sum.len(), "player count mismatch");
+        assert_eq!(reverse.len(), self.sum.len(), "player count mismatch");
+        for (p, (&f, &r)) in forward.iter().zip(reverse).enumerate() {
+            self.sum[p] += f + r;
+            self.sum_sq[p] += f * f + r * r;
+            let pair_mean = 0.5 * (f + r);
+            self.sample_sum[p] += pair_mean;
+            self.sample_sum_sq[p] += pair_mean * pair_mean;
+        }
+        self.permutations += 2;
+        self.samples += 1;
+    }
+
+    /// Folds another batch's moments into this one. Merging in batch order
+    /// reproduces the single-pass statistics bit-for-bit for the same
+    /// grouping; regrouping agrees up to floating-point associativity.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the player counts differ.
+    pub fn merge(&mut self, other: &Moments) {
+        assert_eq!(
+            self.sum.len(),
+            other.sum.len(),
+            "cannot merge moments of different games"
+        );
+        for p in 0..self.sum.len() {
+            self.sum[p] += other.sum[p];
+            self.sum_sq[p] += other.sum_sq[p];
+            self.sample_sum[p] += other.sample_sum[p];
+            self.sample_sum_sq[p] += other.sample_sum_sq[p];
+        }
+        self.permutations += other.permutations;
+        self.samples += other.samples;
+    }
+
+    /// Mean marginal per player — the Shapley estimate.
+    pub fn values(&self) -> Vec<f64> {
+        let k = self.permutations as f64;
+        self.sum.iter().map(|s| s / k).collect()
+    }
+
+    /// Pair-aware standard error of the mean per player.
+    pub fn std_errors(&self) -> Vec<f64> {
+        self.sample_sum
+            .iter()
+            .zip(&self.sample_sum_sq)
+            .map(|(&s, &sq)| stderr(s, sq, self.samples))
+            .collect()
+    }
+
+    /// Standard errors under the (incorrect for antithetic pairs)
+    /// assumption that every permutation is an independent sample. Kept
+    /// for regression comparison against the pre-fix accounting.
+    pub fn naive_std_errors(&self) -> Vec<f64> {
+        self.sum
+            .iter()
+            .zip(&self.sum_sq)
+            .map(|(&s, &sq)| stderr(s, sq, self.permutations))
+            .collect()
+    }
+
+    /// Largest pair-aware per-player standard error.
+    pub fn max_std_error(&self) -> f64 {
+        self.std_errors().iter().copied().fold(0.0, f64::max)
+    }
+
+    /// Finalizes into a [`ShapleyEstimate`] carrying `counters`.
+    pub fn into_estimate(self, counters: EvalCounters) -> ShapleyEstimate {
+        ShapleyEstimate {
+            values: self.values(),
+            std_errors: self.std_errors(),
+            permutations: self.permutations,
+            samples: self.samples,
+            counters,
+        }
     }
 }
 
@@ -78,61 +254,48 @@ pub fn sampled_shapley<G: IncrementalGame>(
         "at least one permutation is required"
     );
 
-    let mut sum = vec![0.0f64; n];
-    let mut sum_sq = vec![0.0f64; n];
+    let start = Instant::now();
+    let mut moments = Moments::zero(n);
+    let mut counters = EvalCounters::default();
     let mut order: Vec<usize> = (0..n).collect();
-    let mut permutations = 0usize;
+    let mut forward = vec![0.0f64; n];
+    let mut reverse = vec![0.0f64; n];
 
-    let run = |order: &[usize], sum: &mut [f64], sum_sq: &mut [f64]| {
-        let mut state = game.initial_state();
-        let mut prev = 0.0f64;
-        for &p in order {
-            let value = game.add_player(&mut state, p);
-            let marginal = value - prev;
-            sum[p] += marginal;
-            sum_sq[p] += marginal * marginal;
-            prev = value;
-        }
-    };
-
-    while permutations < config.max_permutations {
+    while moments.permutations() < config.max_permutations {
         order.shuffle(rng);
-        run(&order, &mut sum, &mut sum_sq);
-        permutations += 1;
-        if config.antithetic && permutations < config.max_permutations {
+        replay_marginals(game, &order, &mut forward, &mut counters);
+        if config.antithetic && moments.permutations() + 1 < config.max_permutations {
             order.reverse();
-            run(&order, &mut sum, &mut sum_sq);
-            permutations += 1;
+            replay_marginals(game, &order, &mut reverse, &mut counters);
+            moments.record_pair(&forward, &reverse);
+        } else {
+            moments.record_single(&forward);
         }
-        if config.target_stderr > 0.0 && permutations >= config.min_permutations {
-            let worst = max_stderr(&sum, &sum_sq, permutations);
-            if worst <= config.target_stderr {
-                break;
-            }
+        if config.target_stderr > 0.0
+            && moments.permutations() >= config.min_permutations
+            && moments.max_std_error() <= config.target_stderr
+        {
+            break;
         }
     }
 
-    let k = permutations as f64;
-    let values: Vec<f64> = sum.iter().map(|s| s / k).collect();
-    let std_errors: Vec<f64> = sum
-        .iter()
-        .zip(&sum_sq)
-        .map(|(&s, &sq)| stderr(s, sq, permutations))
-        .collect();
-    ShapleyEstimate {
-        values,
-        std_errors,
-        permutations,
-    }
+    counters.batches = 1;
+    counters.wall_time_secs = start.elapsed().as_secs_f64();
+    moments.into_estimate(counters)
 }
 
-/// Estimates Shapley values by *position-stratified* sampling: for each
-/// stratum (coalition size) `s`, draws `samples_per_stratum` uniformly
-/// random `s`-subsets of the other players and averages the target
-/// player's marginal contribution — the Castro-style stratified estimator.
-/// Unlike [`sampled_shapley`] it allocates the budget evenly across
-/// coalition sizes, which helps games whose marginals vary sharply with
-/// size (e.g. the matching game's odd/even alternation).
+/// Estimates Shapley values by *position-stratified* sampling: each drawn
+/// permutation serves every stratum (coalition size) at once — the prefix
+/// of length `s` ending at a player is a random `s`-subset *conditioned on
+/// the permutation*, and each player lands in exactly one stratum per
+/// pass, so across passes every (player, size) pair is visited with equal
+/// frequency. This is the permutation-prefix form of Castro-style
+/// stratification, **not** independent uniform `s`-subset draws per
+/// stratum: within one pass the prefixes are nested, which trades
+/// per-stratum independence for `n` strata per game evaluation sweep.
+/// Unlike [`sampled_shapley`] it balances the budget across coalition
+/// sizes, which helps games whose marginals vary sharply with size (e.g.
+/// the matching game's odd/even alternation).
 ///
 /// Cost is `O(n² · samples_per_stratum)` coalition evaluations, so it
 /// suits moderate `n` with expensive positional variance rather than
@@ -148,36 +311,26 @@ pub fn stratified_shapley<G: IncrementalGame>(
 ) -> Vec<f64> {
     let n = game.player_count();
     assert!(n > 0, "game must have at least one player");
-    assert!(samples_per_stratum > 0, "need at least one sample per stratum");
-    let mut phi = vec![0.0f64; n];
+    assert!(
+        samples_per_stratum > 0,
+        "need at least one sample per stratum"
+    );
+    let mut moments = Moments::zero(n);
+    let mut counters = EvalCounters::default();
     let mut order: Vec<usize> = (0..n).collect();
+    let mut forward = vec![0.0f64; n];
+    let mut reverse = vec![0.0f64; n];
     for _ in 0..samples_per_stratum {
-        // One permutation serves every stratum: prefix s is a uniform
-        // s-subset, and each player contributes to exactly one stratum
-        // per permutation, giving every (player, size) pair equal weight
-        // across the run.
+        // One permutation covers every stratum; the reversed pass swaps
+        // every player's stratum (position i ↔ n−1−i), halving the
+        // positional imbalance per sample.
         order.shuffle(rng);
-        let mut state = game.initial_state();
-        let mut prev = 0.0;
-        for &p in &order {
-            let value = game.add_player(&mut state, p);
-            phi[p] += value - prev;
-            prev = value;
-        }
-        // A second, reversed pass swaps every player's stratum (position
-        // i ↔ n−1−i), halving the positional imbalance per sample.
+        replay_marginals(game, &order, &mut forward, &mut counters);
         order.reverse();
-        let mut state = game.initial_state();
-        let mut prev = 0.0;
-        for &p in &order {
-            let value = game.add_player(&mut state, p);
-            phi[p] += value - prev;
-            prev = value;
-        }
+        replay_marginals(game, &order, &mut reverse, &mut counters);
+        moments.record_pair(&forward, &reverse);
     }
-    let k = (2 * samples_per_stratum) as f64;
-    phi.iter_mut().for_each(|v| *v /= k);
-    phi
+    moments.values()
 }
 
 fn stderr(sum: f64, sum_sq: f64, k: usize) -> f64 {
@@ -190,18 +343,11 @@ fn stderr(sum: f64, sum_sq: f64, k: usize) -> f64 {
     (var / kf).sqrt()
 }
 
-fn max_stderr(sum: &[f64], sum_sq: &[f64], k: usize) -> f64 {
-    sum.iter()
-        .zip(sum_sq)
-        .map(|(&s, &sq)| stderr(s, sq, k))
-        .fold(0.0, f64::max)
-}
-
 #[cfg(test)]
 mod tests {
     use super::*;
     use crate::exact::exact_shapley;
-    use crate::game::PeakDemandGame;
+    use crate::game::{PeakDemandGame, Replay, TableGame};
     use rand::rngs::StdRng;
     use rand::SeedableRng;
 
@@ -213,6 +359,22 @@ mod tests {
             vec![0.0, 3.0, 1.0],
             vec![2.5, 0.5, 3.5],
         ])
+    }
+
+    /// A 4-player game whose value depends only on coalition *size*, with
+    /// size increments symmetric around the middle (1, 5, 5, 1). A
+    /// player's marginal is then a function of its position alone, and
+    /// reversal maps position i to n−1−i where the increment is
+    /// *identical* — antithetic replays duplicate the sample exactly.
+    fn symmetric_size_game() -> Replay<TableGame> {
+        let increments = [1.0, 5.0, 5.0, 1.0];
+        let values: Vec<f64> = (0u64..16)
+            .map(|mask| {
+                let size = mask.count_ones() as usize;
+                increments[..size].iter().sum()
+            })
+            .collect();
+        Replay(TableGame::new(4, values))
     }
 
     #[test]
@@ -256,6 +418,7 @@ mod tests {
         let total: f64 = est.values.iter().sum();
         assert!((total - grand).abs() < 1e-9);
         assert_eq!(est.permutations, 7);
+        assert_eq!(est.samples, 7);
     }
 
     #[test]
@@ -318,9 +481,136 @@ mod tests {
             )
             .max_std_error()
         };
-        // Average over seeds to avoid a fluke comparison.
+        // Average over seeds to avoid a fluke comparison. With pair-aware
+        // accounting this now compares the *true* estimator errors: the
+        // antithetic run has half the independent samples, so winning
+        // means the pairing genuinely cancels variance.
         let plain: f64 = (0..5).map(|s| run(false, s)).sum();
         let anti: f64 = (0..5).map(|s| run(true, s)).sum();
         assert!(anti < plain, "antithetic {anti} plain {plain}");
+    }
+
+    #[test]
+    fn pair_aware_stderr_corrects_the_naive_understatement() {
+        // Regression for the antithetic variance accounting. In the
+        // symmetric size game a reversed replay reproduces the forward
+        // marginals exactly, so the pair carries the information of ONE
+        // permutation. The old accounting divided by the raw permutation
+        // count (2k), claiming plain-sampling precision from half the
+        // information; the pair-aware stderr must be larger — close to
+        // √2× both the naive value and a plain run of the same budget.
+        let g = symmetric_size_game();
+        let mut moments = Moments::zero(4);
+        let mut counters = EvalCounters::default();
+        let mut rng = StdRng::seed_from_u64(7);
+        let mut order: Vec<usize> = (0..4).collect();
+        let mut forward = vec![0.0; 4];
+        let mut reverse = vec![0.0; 4];
+        for _ in 0..500 {
+            order.shuffle(&mut rng);
+            replay_marginals(&g, &order, &mut forward, &mut counters);
+            order.reverse();
+            replay_marginals(&g, &order, &mut reverse, &mut counters);
+            // Reversal lands every player on the mirrored increment.
+            for (f, r) in forward.iter().zip(&reverse) {
+                assert!((f - r).abs() < 1e-12, "pair should be degenerate");
+            }
+            moments.record_pair(&forward, &reverse);
+        }
+        let corrected = moments.max_std_error();
+        let naive = moments
+            .naive_std_errors()
+            .iter()
+            .copied()
+            .fold(0.0, f64::max);
+        assert!(
+            corrected >= naive,
+            "corrected {corrected} must not understate like naive {naive}"
+        );
+        // Degenerate pairs: with duplicated samples the naive variance
+        // over 2k draws relates to the pair variance over k draws by the
+        // Bessel factors, corrected = naive·√((2k−1)/(k−1)) — which tends
+        // to the familiar √2 understatement as k grows.
+        let k = 500.0f64;
+        let factor = ((2.0 * k - 1.0) / (k - 1.0)).sqrt();
+        assert!(
+            (corrected - naive * factor).abs() < 1e-9,
+            "corrected {corrected} vs {}",
+            naive * factor
+        );
+
+        // And against plain sampling with the same permutation budget:
+        // the old accounting claimed parity; in truth the antithetic run
+        // resolves √2 *worse* here because its pairs are redundant.
+        let mut rng = StdRng::seed_from_u64(7);
+        let plain = sampled_shapley(
+            &g,
+            &SampleConfig {
+                max_permutations: 1000,
+                antithetic: false,
+                ..SampleConfig::default()
+            },
+            &mut rng,
+        );
+        assert!(
+            corrected > plain.max_std_error(),
+            "corrected {corrected} should exceed plain {}",
+            plain.max_std_error()
+        );
+    }
+
+    #[test]
+    fn estimate_reports_work_counters() {
+        let g = demo_game();
+        let mut rng = StdRng::seed_from_u64(3);
+        let est = sampled_shapley(
+            &g,
+            &SampleConfig {
+                max_permutations: 10,
+                antithetic: true,
+                ..SampleConfig::default()
+            },
+            &mut rng,
+        );
+        assert_eq!(est.permutations, 10);
+        assert_eq!(est.samples, 5);
+        // 10 permutations × 5 players, one coalition evaluation each.
+        assert_eq!(est.counters.coalition_evals, 50);
+        assert_eq!(est.counters.marginal_updates, 50);
+        assert_eq!(est.counters.batches, 1);
+        assert!(est.counters.wall_time_secs >= 0.0);
+    }
+
+    #[test]
+    fn moments_merge_matches_single_pass() {
+        let g = demo_game();
+        let mut rng = StdRng::seed_from_u64(21);
+        let mut order: Vec<usize> = (0..5).collect();
+        let mut counters = EvalCounters::default();
+        let mut forward = vec![0.0; 5];
+        let mut single = Moments::zero(5);
+        let mut batches: Vec<Moments> = Vec::new();
+        for chunk in [3usize, 1, 4, 2] {
+            let mut batch = Moments::zero(5);
+            for _ in 0..chunk {
+                order.shuffle(&mut rng);
+                replay_marginals(&g, &order, &mut forward, &mut counters);
+                batch.record_single(&forward);
+                single.record_single(&forward);
+            }
+            batches.push(batch);
+        }
+        let mut merged = Moments::zero(5);
+        for b in &batches {
+            merged.merge(b);
+        }
+        assert_eq!(merged.permutations(), single.permutations());
+        assert_eq!(merged.samples(), single.samples());
+        for (m, s) in merged.values().iter().zip(single.values()) {
+            assert!((m - s).abs() < 1e-12);
+        }
+        for (m, s) in merged.std_errors().iter().zip(single.std_errors()) {
+            assert!((m - s).abs() < 1e-12);
+        }
     }
 }

@@ -80,6 +80,10 @@ pub struct TemporalAttribution {
     /// Carbon intensity at the finest granularity, expressed *per input
     /// sample* of the demand series (gCO₂e per resource-unit-second).
     leaf_intensity: TimeSeries,
+    /// Prefix sums of `intensity · step` over the leaf signal:
+    /// `carbon_prefix[k]` is the carbon one resource unit accrues over the
+    /// first `k` samples, so any window query is one subtraction.
+    carbon_prefix: Vec<f64>,
     /// Intensity signal after each hierarchy level (index 0 = coarsest),
     /// each expanded to the input sampling grid for easy comparison —
     /// the successive refinements of the paper's Figure 4.
@@ -128,14 +132,23 @@ impl TemporalAttribution {
     ///
     /// This is the O(1)-per-workload lookup the paper highlights: once the
     /// intensity signal exists, a workload's share is just
-    /// `∫ allocation · ȳ(t) dt`.
+    /// `∫ allocation · ȳ(t) dt`, answered from the precomputed prefix sums
+    /// of `intensity · step` — two index clamps and one subtraction,
+    /// independent of the series length. A sample at time `t` counts when
+    /// `t ∈ [t0, t1)`, exactly as the original linear scan selected them.
     pub fn workload_carbon(&self, t0: i64, t1: i64, allocation: f64) -> f64 {
-        let step = f64::from(self.leaf_intensity.step());
-        self.leaf_intensity
-            .iter()
-            .filter(|(t, _)| *t >= t0 && *t < t1)
-            .map(|(_, intensity)| intensity * allocation * step)
-            .sum()
+        let start = self.leaf_intensity.start();
+        let step = i64::from(self.leaf_intensity.step());
+        let n = self.leaf_intensity.len() as i64;
+        // First sample index with start + k·step >= t: ceil((t−start)/step).
+        let first_at_or_after =
+            |t: i64| (t - start + step - 1).div_euclid(step).clamp(0, n) as usize;
+        let lo = first_at_or_after(t0);
+        let hi = first_at_or_after(t1);
+        if hi <= lo {
+            return 0.0;
+        }
+        allocation * (self.carbon_prefix[hi] - self.carbon_prefix[lo])
     }
 }
 
@@ -234,8 +247,17 @@ impl TemporalShapley {
             .last()
             .expect("at least the root level exists")
             .clone();
+        let step = f64::from(leaf_intensity.step());
+        let mut carbon_prefix = Vec::with_capacity(leaf_intensity.len() + 1);
+        carbon_prefix.push(0.0);
+        let mut acc = 0.0;
+        for v in leaf_intensity.values() {
+            acc += v * step;
+            carbon_prefix.push(acc);
+        }
         Ok(TemporalAttribution {
             leaf_intensity,
+            carbon_prefix,
             level_intensity,
             stranded_carbon: stranded,
             naive_subset_evaluations: naive,
@@ -386,7 +408,9 @@ mod tests {
         let mut values = vec![1.0; 24];
         values.extend(vec![10.0; 24]); // second half has 10× demand
         let series = TimeSeries::from_values(0, 300, values).unwrap();
-        let att = TemporalShapley::new(vec![2]).attribute(&series, 100.0).unwrap();
+        let att = TemporalShapley::new(vec![2])
+            .attribute(&series, 100.0)
+            .unwrap();
         let low = att.leaf_intensity().value_at(0).unwrap();
         let high = att.leaf_intensity().value_at(24 * 300).unwrap();
         assert!(high > low, "high {high} low {low}");
@@ -412,7 +436,9 @@ mod tests {
         let mut values = vec![0.0; 12];
         values.extend(vec![5.0; 12]);
         let series = TimeSeries::from_values(0, 300, values).unwrap();
-        let att = TemporalShapley::new(vec![2]).attribute(&series, 100.0).unwrap();
+        let att = TemporalShapley::new(vec![2])
+            .attribute(&series, 100.0)
+            .unwrap();
         // The zero-demand half strands nothing at the split level (its φ·q
         // weight is zero, so all carbon goes to the active half).
         assert_eq!(att.stranded_carbon(), 0.0);
@@ -424,7 +450,9 @@ mod tests {
     #[test]
     fn fully_idle_series_strands_everything() {
         let series = TimeSeries::constant(0, 300, 24, 0.0).unwrap();
-        let att = TemporalShapley::new(vec![4]).attribute(&series, 100.0).unwrap();
+        let att = TemporalShapley::new(vec![4])
+            .attribute(&series, 100.0)
+            .unwrap();
         assert!((att.stranded_carbon() - 100.0).abs() < 1e-9);
     }
 
@@ -446,11 +474,50 @@ mod tests {
     }
 
     #[test]
+    fn prefix_sum_window_query_matches_the_linear_scan() {
+        // Pin the O(1) prefix-sum path to the original linear scan, which
+        // kept every sample whose timestamp lies in [t0, t1).
+        let linear_scan = |att: &TemporalAttribution, t0: i64, t1: i64, alloc: f64| -> f64 {
+            let step = f64::from(att.leaf_intensity().step());
+            att.leaf_intensity()
+                .iter()
+                .filter(|(t, _)| *t >= t0 && *t < t1)
+                .map(|(_, intensity)| intensity * alloc * step)
+                .sum()
+        };
+        let series = demo_series(); // starts at 0, step 300, 48 samples
+        let att = TemporalShapley::new(vec![4, 3])
+            .attribute(&series, 1000.0)
+            .unwrap();
+        let end = series.end();
+        let windows = [
+            (0, end),            // whole series
+            (0, end / 2),        // aligned half
+            (150, 4 * 300 + 10), // both ends off the sampling grid
+            (-500, 299),         // starts before the series, ends mid-step
+            (300, 300),          // empty window
+            (700, 600),          // inverted window
+            (end, end + 900),    // entirely past the end
+            (-900, -300),        // entirely before the start
+            (47 * 300, end + 1), // straddles the final sample
+        ];
+        for (t0, t1) in windows {
+            for alloc in [0.0, 1.0, 2.5] {
+                let fast = att.workload_carbon(t0, t1, alloc);
+                let slow = linear_scan(&att, t0, t1, alloc);
+                assert!(
+                    (fast - slow).abs() <= 1e-9 * slow.abs().max(1.0),
+                    "window [{t0}, {t1}) alloc {alloc}: fast {fast} vs scan {slow}"
+                );
+            }
+        }
+    }
+
+    #[test]
     fn op_counters_show_the_scalability_gap() {
-        let series = TimeSeries::from_fn(0, 300, 8640, |t| {
-            100.0 + (t as f64 / 8640.0).sin() * 10.0
-        })
-        .unwrap();
+        let series =
+            TimeSeries::from_fn(0, 300, 8640, |t| 100.0 + (t as f64 / 8640.0).sin() * 10.0)
+                .unwrap();
         let att = TemporalShapley::paper_hierarchy()
             .attribute(&series, 1.0)
             .unwrap();

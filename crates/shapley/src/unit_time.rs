@@ -328,7 +328,10 @@ mod tests {
     #[test]
     fn temporal_attribution_is_efficient() {
         let s = scenario();
-        for conv in [IntensityConvention::Eq5, IntensityConvention::ProportionalToPhi] {
+        for conv in [
+            IntensityConvention::Eq5,
+            IntensityConvention::ProportionalToPhi,
+        ] {
             let a = s.temporal_attribution(conv, 0.0);
             let total = a.short_each * s.short_lived as f64
                 + a.long_each * (s.workloads - s.short_lived) as f64;
@@ -379,8 +382,8 @@ mod tests {
     fn ground_truth_is_efficient() {
         let s = scenario();
         let t = s.ground_truth();
-        let total =
-            t.short_each * s.short_lived as f64 + t.long_each * (s.workloads - s.short_lived) as f64;
+        let total = t.short_each * s.short_lived as f64
+            + t.long_each * (s.workloads - s.short_lived) as f64;
         assert!((total - s.total_carbon).abs() < 1e-6, "total {total}");
     }
 

@@ -77,7 +77,7 @@ impl Default for AzureLikeTraceBuilder {
             trend_per_day: 0.002,
             noise_sigma: 0.015,
             noise_phi: 0.9,
-            seed: 0xFA1C_02,
+            seed: 0x00FA_1C02,
         }
     }
 }
@@ -146,8 +146,8 @@ impl AzureLikeTraceBuilder {
     pub fn build(&self) -> AzureLikeTrace {
         assert!(self.days > 0, "trace must cover at least one day");
         assert!(self.step_seconds > 0, "sampling step must be positive");
-        let len = (u64::from(self.days) * SECS_PER_DAY as u64 / u64::from(self.step_seconds))
-            as usize;
+        let len =
+            (u64::from(self.days) * SECS_PER_DAY as u64 / u64::from(self.step_seconds)) as usize;
         let mut rng = StdRng::seed_from_u64(self.seed);
         let normal = Normal::new(0.0, self.noise_sigma).expect("sigma is finite");
         let mut ar = 0.0f64;
@@ -159,7 +159,11 @@ impl AzureLikeTraceBuilder {
             // Peak in the (UTC) evening: cos centred at 18:00.
             let diurnal = 1.0 + self.diurnal_amplitude * hour_angle.cos();
             let weekday = (t / SECS_PER_DAY) % 7;
-            let weekly = if weekday >= 5 { self.weekend_factor } else { 1.0 };
+            let weekly = if weekday >= 5 {
+                self.weekend_factor
+            } else {
+                1.0
+            };
             let trend = 1.0 + self.trend_per_day * day;
             let eps: f64 = normal.sample(&mut rng);
             ar = self.noise_phi * ar + eps;

@@ -51,7 +51,10 @@ impl GridIntensityTrace {
     /// Panics if `gco2e_per_kwh` is negative, `days == 0`, or
     /// `step_seconds == 0`.
     pub fn constant(gco2e_per_kwh: f64, days: u32, step_seconds: u32) -> Self {
-        assert!(gco2e_per_kwh >= 0.0, "carbon intensity must be non-negative");
+        assert!(
+            gco2e_per_kwh >= 0.0,
+            "carbon intensity must be non-negative"
+        );
         let len = (u64::from(days) * 86_400 / u64::from(step_seconds)) as usize;
         let series = TimeSeries::constant(0, step_seconds, len, gco2e_per_kwh)
             .expect("days and step validated by caller");

@@ -196,7 +196,10 @@ impl TimeSeries {
 
     /// Maximum sample value (the *peak demand* of the paper's Eq. 2).
     pub fn peak(&self) -> f64 {
-        self.values.iter().copied().fold(f64::NEG_INFINITY, f64::max)
+        self.values
+            .iter()
+            .copied()
+            .fold(f64::NEG_INFINITY, f64::max)
     }
 
     /// Minimum sample value.
@@ -295,12 +298,12 @@ impl TimeSeries {
     fn downsample_with(
         &self,
         factor: usize,
-        mut agg: impl FnMut(&[f64]) -> f64,
+        agg: impl FnMut(&[f64]) -> f64,
     ) -> Result<Self, SeriesError> {
         if factor == 0 {
             return Err(SeriesError::ZeroStep);
         }
-        let values: Vec<f64> = self.values.chunks(factor).map(|c| agg(c)).collect();
+        let values: Vec<f64> = self.values.chunks(factor).map(agg).collect();
         Ok(Self {
             start: self.start,
             step: self.step * factor as u32,

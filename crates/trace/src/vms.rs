@@ -115,11 +115,8 @@ impl VmPopulationBuilder {
         assert!(self.horizon_days > 0, "horizon must cover at least a day");
         let horizon_s = i64::from(self.horizon_days) * 86_400;
         let mut rng = StdRng::seed_from_u64(self.seed);
-        let lifetime = LogNormal::new(
-            self.short_lifetime_median_s.ln(),
-            self.short_lifetime_sigma,
-        )
-        .expect("finite lognormal parameters");
+        let lifetime = LogNormal::new(self.short_lifetime_median_s.ln(), self.short_lifetime_sigma)
+            .expect("finite lognormal parameters");
 
         let mut vms = Vec::new();
         // Long-running VMs span the horizon (Hadary's "survive almost
@@ -154,10 +151,7 @@ impl VmPopulationBuilder {
             }
             t += step;
         }
-        VmPopulation {
-            vms,
-            horizon_s,
-        }
+        VmPopulation { vms, horizon_s }
     }
 }
 
@@ -204,7 +198,9 @@ impl VmPopulation {
 
     /// VMs whose lifetime is below `threshold_s`.
     pub fn short_lived(&self, threshold_s: f64) -> impl Iterator<Item = &VmEvent> {
-        self.vms.iter().filter(move |v| v.lifetime_s() < threshold_s)
+        self.vms
+            .iter()
+            .filter(move |v| v.lifetime_s() < threshold_s)
     }
 
     /// Aggregate core demand sampled at `step` seconds — by construction
@@ -262,7 +258,11 @@ mod tests {
             .map(VmEvent::core_seconds)
             .sum();
         let total_cs: f64 = pop.vms().iter().map(VmEvent::core_seconds).sum();
-        assert!(long_cs / total_cs > 0.3, "long share {}", long_cs / total_cs);
+        assert!(
+            long_cs / total_cs > 0.3,
+            "long share {}",
+            long_cs / total_cs
+        );
     }
 
     #[test]
@@ -284,15 +284,15 @@ mod tests {
         let got = series.value_at(t).unwrap();
         // The sweep counts a VM for any bucket it overlaps, so the values
         // agree exactly.
-        assert!((got - expected).abs() < 1e-9, "got {got} expected {expected}");
+        assert!(
+            (got - expected).abs() < 1e-9,
+            "got {got} expected {expected}"
+        );
     }
 
     #[test]
     fn arrival_rate_is_diurnal() {
-        let pop = VmPopulation::builder()
-            .seed(7)
-            .horizon_days(4)
-            .build();
+        let pop = VmPopulation::builder().seed(7).horizon_days(4).build();
         let mut evening = 0usize;
         let mut morning = 0usize;
         for vm in pop.short_lived(6.0 * 3600.0) {

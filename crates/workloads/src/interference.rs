@@ -225,10 +225,7 @@ mod tests {
         let ch = matrix.mean_inflicted(Ch);
         for w in ALL_WORKLOADS {
             if w != Ch {
-                assert!(
-                    ch >= matrix.mean_inflicted(w),
-                    "{w} inflicts more than CH"
-                );
+                assert!(ch >= matrix.mean_inflicted(w), "{w} inflicts more than CH");
             }
         }
     }
@@ -262,13 +259,11 @@ mod tests {
                 if victim == aggressor {
                     continue;
                 }
-                let factor = m.colocated_energy_j(victim, aggressor)
-                    / victim.profile().dynamic_energy_j();
+                let factor =
+                    m.colocated_energy_j(victim, aggressor) / victim.profile().dynamic_energy_j();
                 assert!(factor >= 1.0, "{victim}|{aggressor}: {factor}");
                 assert!(factor < 2.0, "{victim}|{aggressor}: {factor}");
-                assert!(
-                    m.colocated_power(victim, aggressor) <= victim.profile().dynamic_power_w
-                );
+                assert!(m.colocated_power(victim, aggressor) <= victim.profile().dynamic_power_w);
             }
         }
     }

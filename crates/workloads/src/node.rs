@@ -181,7 +181,9 @@ mod tests {
         assert!(c.embodied > 0.0);
         assert!(c.static_operational > 0.0);
         assert!(c.dynamic_operational > 0.0);
-        assert!((c.total() - (c.embodied + c.static_operational + c.dynamic_operational)).abs() < 1e-12);
+        assert!(
+            (c.total() - (c.embodied + c.static_operational + c.dynamic_operational)).abs() < 1e-12
+        );
     }
 
     #[test]

@@ -6,8 +6,7 @@
 //! Run with `cargo run --example colocation_audit`.
 
 use fair_co2::attribution::colocation::{
-    ColocationAttributor, ColocationScenario, FairCo2Colocation, GroundTruthMatching,
-    RupColocation,
+    ColocationAttributor, ColocationScenario, FairCo2Colocation, GroundTruthMatching, RupColocation,
 };
 use fair_co2::attribution::metrics::summarize;
 use fair_co2::carbon::units::CarbonIntensity;

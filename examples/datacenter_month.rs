@@ -67,8 +67,14 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         cores,
     );
     println!("\ntwo 96-core 6-hour tenants, same usage, different timing:");
-    println!("  at the monthly demand peak : {:.1} kgCO2e", at_peak / 1000.0);
-    println!("  at the monthly trough      : {:.1} kgCO2e", at_trough / 1000.0);
+    println!(
+        "  at the monthly demand peak : {:.1} kgCO2e",
+        at_peak / 1000.0
+    );
+    println!(
+        "  at the monthly trough      : {:.1} kgCO2e",
+        at_trough / 1000.0
+    );
     println!("  peak/trough price ratio    : {:.1}x", at_peak / at_trough);
 
     // 4. The live signal: 21 days of history, 9 days of forecast.

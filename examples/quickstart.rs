@@ -5,8 +5,7 @@
 //! Run with `cargo run --example quickstart`.
 
 use fair_co2::attribution::colocation::{
-    ColocationAttributor, ColocationScenario, FairCo2Colocation, GroundTruthMatching,
-    RupColocation,
+    ColocationAttributor, ColocationScenario, FairCo2Colocation, GroundTruthMatching, RupColocation,
 };
 use fair_co2::attribution::demand::{
     DemandAttributor, DemandProportional, GroundTruthShapley, RupBaseline, TemporalFairCo2,

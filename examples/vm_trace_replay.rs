@@ -31,9 +31,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // 2. Amortized embodied carbon for a fleet sized to the peak.
     let server = ServerSpec::xeon_6240r();
     let fleet = (demand.peak() / f64::from(server.physical_cores())).ceil();
-    let window_carbon =
-        server.embodied_per_month().as_grams() * fleet * (3.0 / 30.0); // 3-day slice
-    println!("fleet: {fleet} servers, embodied for the window: {:.1} kgCO2e", window_carbon / 1000.0);
+    let window_carbon = server.embodied_per_month().as_grams() * fleet * (3.0 / 30.0); // 3-day slice
+    println!(
+        "fleet: {fleet} servers, embodied for the window: {:.1} kgCO2e",
+        window_carbon / 1000.0
+    );
 
     // 3. The intensity signal (3 d -> 6 h -> 30 min -> 5 min).
     let att = TemporalShapley::new(vec![12, 12, 6]).attribute(&demand, window_carbon)?;

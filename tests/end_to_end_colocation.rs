@@ -104,11 +104,7 @@ fn ground_truth_is_placement_invariant() {
     let total_b: f64 = shares_b.iter().sum();
     // Match by workload kind (kinds are unique here).
     for (i, w) in a.workloads().iter().enumerate() {
-        let j = b
-            .workloads()
-            .iter()
-            .position(|x| x.kind == w.kind)
-            .unwrap();
+        let j = b.workloads().iter().position(|x| x.kind == w.kind).unwrap();
         let frac_a = shares_a[i] / total_a;
         let frac_b = shares_b[j] / total_b;
         assert!(

@@ -69,7 +69,10 @@ fn fair_co2_beats_both_baselines_in_aggregate() {
         worst[1] += r.demand_proportional.worst_case_pct;
         worst[2] += r.fair_co2.worst_case_pct;
     }
-    assert!(sums[2] < sums[1] && sums[1] < sums[0], "avg ordering {sums:?}");
+    assert!(
+        sums[2] < sums[1] && sums[1] < sums[0],
+        "avg ordering {sums:?}"
+    );
     assert!(
         worst[2] < worst[1] && worst[1] < worst[0],
         "worst ordering {worst:?}"

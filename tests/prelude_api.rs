@@ -16,7 +16,9 @@ fn quickstart_journey_through_the_prelude_only() {
     )
     .unwrap();
     let truth = GroundTruthShapley.attribute(&schedule, 100.0).unwrap();
-    let fair = TemporalFairCo2::per_step().attribute(&schedule, 100.0).unwrap();
+    let fair = TemporalFairCo2::per_step()
+        .attribute(&schedule, 100.0)
+        .unwrap();
     let rup = RupBaseline.attribute(&schedule, 100.0).unwrap();
     let dp = DemandProportional.attribute(&schedule, 100.0).unwrap();
     let fair_dev = summarize(&fair, &truth).unwrap();

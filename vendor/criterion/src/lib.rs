@@ -1,0 +1,327 @@
+//! Offline stand-in for `criterion`: a miniature wall-clock benchmark
+//! harness covering the API subset this workspace uses — `Criterion`,
+//! benchmark groups, `BenchmarkId`, `Bencher::iter`, and the
+//! `criterion_group!` / `criterion_main!` macros.
+//!
+//! Timing model: each benchmark is warmed up briefly, then the target is
+//! invoked in timed batches until the per-sample budget is spent; the
+//! median per-iteration time is printed. There is no statistical
+//! analysis, plotting, or baseline comparison. Passing `--test` (as
+//! `cargo test` does for harness = false benches) runs each benchmark
+//! exactly once as a smoke test.
+
+#![forbid(unsafe_code)]
+
+use std::fmt;
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Identifier for one benchmark within a group, combining an optional
+/// function name with a parameter rendered via `Display`.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// An id with both a function name and a parameter, rendered as
+    /// `function_name/parameter`.
+    pub fn new(function_name: impl Into<String>, parameter: impl fmt::Display) -> Self {
+        Self {
+            id: format!("{}/{}", function_name.into(), parameter),
+        }
+    }
+
+    /// An id carrying only a parameter.
+    pub fn from_parameter(parameter: impl fmt::Display) -> Self {
+        Self {
+            id: parameter.to_string(),
+        }
+    }
+}
+
+impl fmt::Display for BenchmarkId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.id)
+    }
+}
+
+/// Anything usable as a benchmark name: a string or a [`BenchmarkId`].
+pub trait IntoBenchmarkId {
+    /// Renders the name for display.
+    fn into_id(self) -> String;
+}
+
+impl IntoBenchmarkId for BenchmarkId {
+    fn into_id(self) -> String {
+        self.id
+    }
+}
+
+impl IntoBenchmarkId for &str {
+    fn into_id(self) -> String {
+        self.to_string()
+    }
+}
+
+impl IntoBenchmarkId for String {
+    fn into_id(self) -> String {
+        self
+    }
+}
+
+/// Timing loop handle passed to benchmark closures.
+pub struct Bencher<'a> {
+    samples: &'a mut Vec<Duration>,
+    sample_count: usize,
+    smoke_test: bool,
+}
+
+impl Bencher<'_> {
+    /// Times `routine`, recording per-iteration wall-clock samples. The
+    /// closure's return value is passed through [`black_box`] so the
+    /// optimizer cannot delete the measured work.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        if self.smoke_test {
+            black_box(routine());
+            self.samples.push(Duration::ZERO);
+            return;
+        }
+        // Warm-up: run until ~50ms elapse to settle caches and clocks,
+        // and learn roughly how long one iteration takes.
+        let warmup_budget = Duration::from_millis(50);
+        let warmup_start = Instant::now();
+        let mut warmup_iters: u64 = 0;
+        while warmup_start.elapsed() < warmup_budget {
+            black_box(routine());
+            warmup_iters += 1;
+        }
+        let per_iter = warmup_start.elapsed().as_nanos().max(1) / u128::from(warmup_iters);
+        // Size timed batches so each takes ~1ms, bounding clock overhead.
+        let batch = (1_000_000 / per_iter).clamp(1, 1_000_000) as u64;
+        for _ in 0..self.sample_count {
+            let start = Instant::now();
+            for _ in 0..batch {
+                black_box(routine());
+            }
+            let elapsed = start.elapsed();
+            self.samples.push(elapsed / batch as u32);
+        }
+    }
+}
+
+fn median(samples: &mut [Duration]) -> Duration {
+    if samples.is_empty() {
+        return Duration::ZERO;
+    }
+    samples.sort_unstable();
+    samples[samples.len() / 2]
+}
+
+fn run_benchmark(id: &str, sample_count: usize, smoke_test: bool, f: impl FnOnce(&mut Bencher)) {
+    let mut samples = Vec::new();
+    let mut bencher = Bencher {
+        samples: &mut samples,
+        sample_count,
+        smoke_test,
+    };
+    f(&mut bencher);
+    if smoke_test {
+        println!("{id:<50} ... ok (smoke test)");
+    } else {
+        let mid = median(&mut samples);
+        println!("{id:<50} median {mid:>12.3?} ({} samples)", samples.len());
+    }
+}
+
+/// A named collection of related benchmarks sharing settings.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    criterion: &'a Criterion,
+    sample_count: usize,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the number of timed samples collected per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_count = n.max(1);
+        self
+    }
+
+    /// Benchmarks `f` under `id` within this group.
+    pub fn bench_function<F>(&mut self, id: impl IntoBenchmarkId, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let full = format!("{}/{}", self.name, id.into_id());
+        if self.criterion.should_run(&full) {
+            let mut f = f;
+            run_benchmark(&full, self.sample_count, self.criterion.smoke_test, |b| {
+                f(b)
+            });
+        }
+        self
+    }
+
+    /// Benchmarks `f` under `id`, passing `input` through to the closure.
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: impl IntoBenchmarkId,
+        input: &I,
+        f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let full = format!("{}/{}", self.name, id.into_id());
+        if self.criterion.should_run(&full) {
+            let mut f = f;
+            run_benchmark(&full, self.sample_count, self.criterion.smoke_test, |b| {
+                f(b, input)
+            });
+        }
+        self
+    }
+
+    /// Ends the group. Accepted for upstream compatibility; the mini
+    /// harness reports per-benchmark, so this is a no-op.
+    pub fn finish(&mut self) {}
+}
+
+/// Entry point mirroring `criterion::Criterion`.
+pub struct Criterion {
+    filter: Option<String>,
+    smoke_test: bool,
+    default_sample_count: usize,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        // harness = false benches receive the libtest CLI: `--bench` when
+        // run via `cargo bench`, `--test` via `cargo test`. Any other
+        // free argument is a name filter.
+        let mut filter = None;
+        let mut smoke_test = false;
+        for arg in std::env::args().skip(1) {
+            match arg.as_str() {
+                "--bench" => {}
+                "--test" => smoke_test = true,
+                a if a.starts_with("--") => {}
+                a => filter = Some(a.to_string()),
+            }
+        }
+        Self {
+            filter,
+            smoke_test,
+            default_sample_count: 20,
+        }
+    }
+}
+
+impl Criterion {
+    fn should_run(&self, id: &str) -> bool {
+        self.filter.as_deref().is_none_or(|f| id.contains(f))
+    }
+
+    /// Starts a [`BenchmarkGroup`] named `name`.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.into(),
+            criterion: self,
+            sample_count: self.default_sample_count,
+        }
+    }
+
+    /// Benchmarks `f` under `id` at the top level.
+    pub fn bench_function<F>(&mut self, id: impl IntoBenchmarkId, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let full = id.into_id();
+        if self.should_run(&full) {
+            let mut f = f;
+            run_benchmark(&full, self.default_sample_count, self.smoke_test, |b| f(b));
+        }
+        self
+    }
+
+    /// Runs `final_summary` for upstream compatibility; a no-op here.
+    pub fn final_summary(&mut self) {}
+}
+
+/// Bundles benchmark functions into a runnable group, mirroring
+/// `criterion::criterion_group!`.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Emits `main` running the given groups, mirroring
+/// `criterion::criterion_main!`.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_function_collects_samples_and_runs_the_closure() {
+        let mut calls = 0usize;
+        {
+            let mut samples = Vec::new();
+            let mut b = Bencher {
+                samples: &mut samples,
+                sample_count: 3,
+                smoke_test: false,
+            };
+            b.iter(|| calls += 1);
+            assert_eq!(samples.len(), 3);
+        }
+        assert!(calls > 0);
+    }
+
+    #[test]
+    fn smoke_test_mode_runs_exactly_once() {
+        let mut calls = 0usize;
+        let mut samples = Vec::new();
+        let mut b = Bencher {
+            samples: &mut samples,
+            sample_count: 10,
+            smoke_test: true,
+        };
+        b.iter(|| calls += 1);
+        assert_eq!(calls, 1);
+    }
+
+    #[test]
+    fn benchmark_ids_render_like_upstream() {
+        assert_eq!(
+            BenchmarkId::new("first_fit", 200).to_string(),
+            "first_fit/200"
+        );
+        assert_eq!(BenchmarkId::from_parameter(6).to_string(), "6");
+    }
+
+    #[test]
+    fn median_of_samples_is_the_middle_value() {
+        let mut s = vec![
+            Duration::from_nanos(30),
+            Duration::from_nanos(10),
+            Duration::from_nanos(20),
+        ];
+        assert_eq!(median(&mut s), Duration::from_nanos(20));
+    }
+}

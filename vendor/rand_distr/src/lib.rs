@@ -1,0 +1,151 @@
+//! Offline stand-in for `rand_distr`: the [`Distribution`] trait plus the
+//! [`Normal`], [`LogNormal`], and [`Exp`] distributions used by the
+//! workspace's trace and cluster generators. Sampling is deterministic
+//! given the RNG stream (Box–Muller for the normal family, inverse CDF
+//! for the exponential).
+
+#![forbid(unsafe_code)]
+
+use rand::{Rng, RngCore};
+
+/// Types that can draw values of `T` from an RNG.
+pub trait Distribution<T> {
+    /// Draws one value.
+    fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> T;
+}
+
+/// Error constructing a distribution from invalid parameters.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DistrError(&'static str);
+
+impl std::fmt::Display for DistrError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.0)
+    }
+}
+
+impl std::error::Error for DistrError {}
+
+fn standard_normal<R: RngCore + ?Sized>(rng: &mut R) -> f64 {
+    // Box–Muller; clamp u1 away from zero so ln() stays finite.
+    let u1: f64 = rng.gen::<f64>().max(f64::MIN_POSITIVE);
+    let u2: f64 = rng.gen();
+    (-2.0 * u1.ln()).sqrt() * (std::f64::consts::TAU * u2).cos()
+}
+
+/// The normal (Gaussian) distribution `N(mean, std_dev²)`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Normal {
+    mean: f64,
+    std_dev: f64,
+}
+
+impl Normal {
+    /// Creates a normal distribution.
+    ///
+    /// # Errors
+    ///
+    /// Fails if `std_dev` is negative or either parameter is non-finite.
+    pub fn new(mean: f64, std_dev: f64) -> Result<Self, DistrError> {
+        if !mean.is_finite() || !std_dev.is_finite() || std_dev < 0.0 {
+            return Err(DistrError("Normal requires finite mean and std_dev >= 0"));
+        }
+        Ok(Self { mean, std_dev })
+    }
+}
+
+impl Distribution<f64> for Normal {
+    fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> f64 {
+        self.mean + self.std_dev * standard_normal(rng)
+    }
+}
+
+/// The log-normal distribution: `exp(N(mu, sigma²))`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LogNormal {
+    norm: Normal,
+}
+
+impl LogNormal {
+    /// Creates a log-normal distribution with location `mu` and scale
+    /// `sigma` (parameters of the underlying normal).
+    ///
+    /// # Errors
+    ///
+    /// Fails under the same conditions as [`Normal::new`].
+    pub fn new(mu: f64, sigma: f64) -> Result<Self, DistrError> {
+        Ok(Self {
+            norm: Normal::new(mu, sigma)?,
+        })
+    }
+}
+
+impl Distribution<f64> for LogNormal {
+    fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> f64 {
+        self.norm.sample(rng).exp()
+    }
+}
+
+/// The exponential distribution with rate `lambda`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Exp {
+    lambda: f64,
+}
+
+impl Exp {
+    /// Creates an exponential distribution.
+    ///
+    /// # Errors
+    ///
+    /// Fails if `lambda` is not finite and positive.
+    pub fn new(lambda: f64) -> Result<Self, DistrError> {
+        if !lambda.is_finite() || lambda <= 0.0 {
+            return Err(DistrError("Exp requires a positive finite rate"));
+        }
+        Ok(Self { lambda })
+    }
+}
+
+impl Distribution<f64> for Exp {
+    fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> f64 {
+        let u: f64 = rng.gen::<f64>().max(f64::MIN_POSITIVE);
+        -u.ln() / self.lambda
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn normal_moments_are_roughly_right() {
+        let d = Normal::new(5.0, 2.0).unwrap();
+        let mut rng = StdRng::seed_from_u64(1);
+        let n = 20_000;
+        let samples: Vec<f64> = (0..n).map(|_| d.sample(&mut rng)).collect();
+        let mean = samples.iter().sum::<f64>() / n as f64;
+        let var = samples.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / n as f64;
+        assert!((mean - 5.0).abs() < 0.1, "mean {mean}");
+        assert!((var - 4.0).abs() < 0.3, "var {var}");
+    }
+
+    #[test]
+    fn exp_mean_matches_rate() {
+        let d = Exp::new(0.5).unwrap();
+        let mut rng = StdRng::seed_from_u64(2);
+        let n = 20_000;
+        let mean = (0..n).map(|_| d.sample(&mut rng)).sum::<f64>() / n as f64;
+        assert!((mean - 2.0).abs() < 0.1, "mean {mean}");
+        assert!(Exp::new(0.0).is_err());
+    }
+
+    #[test]
+    fn lognormal_is_positive() {
+        let d = LogNormal::new(0.0, 1.0).unwrap();
+        let mut rng = StdRng::seed_from_u64(3);
+        assert!((0..1000).all(|_| d.sample(&mut rng) > 0.0));
+        assert!(Normal::new(0.0, -1.0).is_err());
+    }
+}

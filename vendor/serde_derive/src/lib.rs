@@ -1,0 +1,469 @@
+//! Derive macros for the vendored `serde` stand-in.
+//!
+//! Implemented without `syn`/`quote` (unavailable offline): the item is
+//! parsed directly from the `proc_macro` token stream and the impl is
+//! emitted as source text. Supported shapes — exactly what this
+//! workspace uses:
+//!
+//! * structs with named fields;
+//! * tuple structs (newtypes serialize transparently as their inner
+//!   value, wider tuples as arrays — upstream serde's defaults);
+//! * enums with unit, tuple, and struct variants (externally tagged,
+//!   matching upstream serde's default representation).
+//!
+//! Generics and `#[serde(...)]` attributes are not supported and produce
+//! a compile-time panic with a clear message.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+use std::iter::Peekable;
+
+#[derive(Debug)]
+enum VariantFields {
+    Unit,
+    Tuple(usize),
+    Struct(Vec<String>),
+}
+
+#[derive(Debug)]
+struct Variant {
+    name: String,
+    fields: VariantFields,
+}
+
+#[derive(Debug)]
+enum Item {
+    Struct {
+        name: String,
+        fields: Vec<String>,
+    },
+    TupleStruct {
+        name: String,
+        arity: usize,
+    },
+    Enum {
+        name: String,
+        variants: Vec<Variant>,
+    },
+}
+
+type TokenIter = Peekable<proc_macro::token_stream::IntoIter>;
+
+fn skip_attributes(iter: &mut TokenIter) {
+    loop {
+        match iter.peek() {
+            Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                iter.next();
+                match iter.next() {
+                    Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Bracket => {}
+                    other => panic!("expected attribute contents, found {other:?}"),
+                }
+            }
+            _ => return,
+        }
+    }
+}
+
+fn skip_visibility(iter: &mut TokenIter) {
+    if let Some(TokenTree::Ident(id)) = iter.peek() {
+        if id.to_string() == "pub" {
+            iter.next();
+            if let Some(TokenTree::Group(g)) = iter.peek() {
+                if g.delimiter() == Delimiter::Parenthesis {
+                    iter.next();
+                }
+            }
+        }
+    }
+}
+
+/// Skips a type expression up to a top-level `,` (consumed) or the end of
+/// the stream. Tracks `<...>` nesting; parens/brackets arrive as single
+/// groups and need no tracking.
+fn skip_type(iter: &mut TokenIter) {
+    let mut angle_depth = 0usize;
+    for tok in iter.by_ref() {
+        if let TokenTree::Punct(p) = &tok {
+            match p.as_char() {
+                '<' => angle_depth += 1,
+                '>' => angle_depth = angle_depth.saturating_sub(1),
+                ',' if angle_depth == 0 => return,
+                _ => {}
+            }
+        }
+    }
+}
+
+fn parse_named_fields(stream: TokenStream) -> Vec<String> {
+    let mut iter = stream.into_iter().peekable();
+    let mut fields = Vec::new();
+    loop {
+        skip_attributes(&mut iter);
+        skip_visibility(&mut iter);
+        let name = match iter.next() {
+            None => break,
+            Some(TokenTree::Ident(id)) => id.to_string(),
+            Some(other) => panic!("expected field name, found {other}"),
+        };
+        match iter.next() {
+            Some(TokenTree::Punct(p)) if p.as_char() == ':' => {}
+            other => panic!("expected `:` after field `{name}`, found {other:?}"),
+        }
+        skip_type(&mut iter);
+        fields.push(name);
+    }
+    fields
+}
+
+fn count_tuple_fields(stream: TokenStream) -> usize {
+    let mut iter = stream.into_iter().peekable();
+    let mut count = 0usize;
+    loop {
+        skip_attributes(&mut iter);
+        skip_visibility(&mut iter);
+        if iter.peek().is_none() {
+            break;
+        }
+        skip_type(&mut iter);
+        count += 1;
+    }
+    count
+}
+
+fn parse_variants(stream: TokenStream) -> Vec<Variant> {
+    let mut iter = stream.into_iter().peekable();
+    let mut variants = Vec::new();
+    loop {
+        skip_attributes(&mut iter);
+        let name = match iter.next() {
+            None => break,
+            Some(TokenTree::Ident(id)) => id.to_string(),
+            Some(other) => panic!("expected variant name, found {other}"),
+        };
+        let fields = match iter.peek() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                let inner = g.stream();
+                iter.next();
+                VariantFields::Struct(parse_named_fields(inner))
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                let inner = g.stream();
+                iter.next();
+                VariantFields::Tuple(count_tuple_fields(inner))
+            }
+            _ => VariantFields::Unit,
+        };
+        // Skip an optional `= discriminant` and the trailing comma.
+        let mut angle_depth = 0usize;
+        while let Some(tok) = iter.peek() {
+            match tok {
+                TokenTree::Punct(p) if p.as_char() == ',' && angle_depth == 0 => {
+                    iter.next();
+                    break;
+                }
+                TokenTree::Punct(p) => {
+                    match p.as_char() {
+                        '<' => angle_depth += 1,
+                        '>' => angle_depth = angle_depth.saturating_sub(1),
+                        _ => {}
+                    }
+                    iter.next();
+                }
+                _ => {
+                    iter.next();
+                }
+            }
+        }
+        variants.push(Variant { name, fields });
+    }
+    variants
+}
+
+fn parse_item(input: TokenStream) -> Item {
+    let mut iter = input.into_iter().peekable();
+    skip_attributes(&mut iter);
+    skip_visibility(&mut iter);
+    let kind = match iter.next() {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => panic!("expected `struct` or `enum`, found {other:?}"),
+    };
+    let name = match iter.next() {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => panic!("expected item name, found {other:?}"),
+    };
+    if let Some(TokenTree::Punct(p)) = iter.peek() {
+        if p.as_char() == '<' {
+            panic!("vendored serde_derive does not support generic type `{name}`");
+        }
+    }
+    // Skip a `where` clause if one ever appears (none do today).
+    while let Some(tok) = iter.peek() {
+        if matches!(tok, TokenTree::Group(g) if g.delimiter() == Delimiter::Brace)
+            || matches!(tok, TokenTree::Group(g) if g.delimiter() == Delimiter::Parenthesis)
+            || matches!(tok, TokenTree::Punct(p) if p.as_char() == ';')
+        {
+            break;
+        }
+        iter.next();
+    }
+    match (kind.as_str(), iter.next()) {
+        ("struct", Some(TokenTree::Group(g))) if g.delimiter() == Delimiter::Brace => {
+            Item::Struct {
+                name,
+                fields: parse_named_fields(g.stream()),
+            }
+        }
+        ("struct", Some(TokenTree::Group(g))) if g.delimiter() == Delimiter::Parenthesis => {
+            Item::TupleStruct {
+                name,
+                arity: count_tuple_fields(g.stream()),
+            }
+        }
+        ("enum", Some(TokenTree::Group(g))) if g.delimiter() == Delimiter::Brace => Item::Enum {
+            name,
+            variants: parse_variants(g.stream()),
+        },
+        (k, other) => panic!(
+            "vendored serde_derive supports structs and brace-bodied enums only; \
+             `{name}` is a {k} with body {other:?}"
+        ),
+    }
+}
+
+fn serialize_impl(item: &Item) -> String {
+    match item {
+        Item::Struct { name, fields } => {
+            let pushes: String = fields
+                .iter()
+                .map(|f| {
+                    format!("(\"{f}\".to_string(), ::serde::Serialize::serialize(&self.{f})),")
+                })
+                .collect();
+            format!(
+                "impl ::serde::Serialize for {name} {{\n\
+                     fn serialize(&self) -> ::serde::Value {{\n\
+                         ::serde::Value::Object(vec![{pushes}])\n\
+                     }}\n\
+                 }}"
+            )
+        }
+        Item::TupleStruct { name, arity } => {
+            let body = if *arity == 1 {
+                "::serde::Serialize::serialize(&self.0)".to_string()
+            } else {
+                let items: String = (0..*arity)
+                    .map(|i| format!("::serde::Serialize::serialize(&self.{i}),"))
+                    .collect();
+                format!("::serde::Value::Array(vec![{items}])")
+            };
+            format!(
+                "impl ::serde::Serialize for {name} {{\n\
+                     fn serialize(&self) -> ::serde::Value {{\n\
+                         {body}\n\
+                     }}\n\
+                 }}"
+            )
+        }
+        Item::Enum { name, variants } => {
+            let arms: String = variants
+                .iter()
+                .map(|v| {
+                    let vn = &v.name;
+                    match &v.fields {
+                        VariantFields::Unit => format!(
+                            "{name}::{vn} => ::serde::Value::String(\"{vn}\".to_string()),"
+                        ),
+                        VariantFields::Tuple(n) => {
+                            let binds: Vec<String> = (0..*n).map(|i| format!("x{i}")).collect();
+                            let items: String = binds
+                                .iter()
+                                .map(|b| format!("::serde::Serialize::serialize({b}),"))
+                                .collect();
+                            let payload = if *n == 1 {
+                                "::serde::Serialize::serialize(x0)".to_string()
+                            } else {
+                                format!("::serde::Value::Array(vec![{items}])")
+                            };
+                            format!(
+                                "{name}::{vn}({}) => ::serde::Value::Object(vec![(\"{vn}\".to_string(), {payload})]),",
+                                binds.join(", ")
+                            )
+                        }
+                        VariantFields::Struct(fields) => {
+                            let binds = fields.join(", ");
+                            let pushes: String = fields
+                                .iter()
+                                .map(|f| {
+                                    format!(
+                                        "(\"{f}\".to_string(), ::serde::Serialize::serialize({f})),"
+                                    )
+                                })
+                                .collect();
+                            format!(
+                                "{name}::{vn} {{ {binds} }} => ::serde::Value::Object(vec![(\"{vn}\".to_string(), ::serde::Value::Object(vec![{pushes}]))]),"
+                            )
+                        }
+                    }
+                })
+                .collect();
+            format!(
+                "impl ::serde::Serialize for {name} {{\n\
+                     fn serialize(&self) -> ::serde::Value {{\n\
+                         match self {{ {arms} }}\n\
+                     }}\n\
+                 }}"
+            )
+        }
+    }
+}
+
+fn deserialize_impl(item: &Item) -> String {
+    match item {
+        Item::Struct { name, fields } => {
+            let field_inits: String = fields
+                .iter()
+                .map(|f| {
+                    format!(
+                        "{f}: ::serde::Deserialize::deserialize(value.get(\"{f}\")\
+                         .ok_or_else(|| ::serde::Error::msg(\"missing field `{f}` in {name}\"))?)?,"
+                    )
+                })
+                .collect();
+            format!(
+                "impl ::serde::Deserialize for {name} {{\n\
+                     fn deserialize(value: &::serde::Value) -> ::std::result::Result<Self, ::serde::Error> {{\n\
+                         if value.as_object().is_none() {{\n\
+                             return ::std::result::Result::Err(::serde::Error::msg(\
+                                 format!(\"expected object for {name}, found {{}}\", value.kind())));\n\
+                         }}\n\
+                         ::std::result::Result::Ok({name} {{ {field_inits} }})\n\
+                     }}\n\
+                 }}"
+            )
+        }
+        Item::TupleStruct { name, arity } => {
+            let body = if *arity == 1 {
+                format!(
+                    "::std::result::Result::Ok({name}(::serde::Deserialize::deserialize(value)?))"
+                )
+            } else {
+                let elems: String = (0..*arity)
+                    .map(|i| format!("::serde::Deserialize::deserialize(&items[{i}])?,"))
+                    .collect();
+                format!(
+                    "{{ let items = value.as_array()\
+                       .ok_or_else(|| ::serde::Error::msg(\"expected array for {name}\"))?;\n\
+                       if items.len() != {arity} {{\n\
+                           return ::std::result::Result::Err(::serde::Error::msg(\
+                               \"wrong arity for {name}\"));\n\
+                       }}\n\
+                       ::std::result::Result::Ok({name}({elems})) }}"
+                )
+            };
+            format!(
+                "impl ::serde::Deserialize for {name} {{\n\
+                     fn deserialize(value: &::serde::Value) -> ::std::result::Result<Self, ::serde::Error> {{\n\
+                         {body}\n\
+                     }}\n\
+                 }}"
+            )
+        }
+        Item::Enum { name, variants } => {
+            let unit_arms: String = variants
+                .iter()
+                .filter(|v| matches!(v.fields, VariantFields::Unit))
+                .map(|v| {
+                    let vn = &v.name;
+                    format!("\"{vn}\" => ::std::result::Result::Ok({name}::{vn}),")
+                })
+                .collect();
+            let data_arms: String = variants
+                .iter()
+                .filter_map(|v| {
+                    let vn = &v.name;
+                    match &v.fields {
+                        VariantFields::Unit => None,
+                        VariantFields::Tuple(n) => {
+                            let body = if *n == 1 {
+                                format!(
+                                    "::std::result::Result::Ok({name}::{vn}(::serde::Deserialize::deserialize(inner)?))"
+                                )
+                            } else {
+                                let elems: String = (0..*n)
+                                    .map(|i| {
+                                        format!("::serde::Deserialize::deserialize(&items[{i}])?,")
+                                    })
+                                    .collect();
+                                format!(
+                                    "{{ let items = inner.as_array()\
+                                       .ok_or_else(|| ::serde::Error::msg(\"expected array for {name}::{vn}\"))?;\n\
+                                       if items.len() != {n} {{\n\
+                                           return ::std::result::Result::Err(::serde::Error::msg(\
+                                               \"wrong arity for {name}::{vn}\"));\n\
+                                       }}\n\
+                                       ::std::result::Result::Ok({name}::{vn}({elems})) }}"
+                                )
+                            };
+                            Some(format!("\"{vn}\" => {body},"))
+                        }
+                        VariantFields::Struct(fields) => {
+                            let field_inits: String = fields
+                                .iter()
+                                .map(|f| {
+                                    format!(
+                                        "{f}: ::serde::Deserialize::deserialize(inner.get(\"{f}\")\
+                                         .ok_or_else(|| ::serde::Error::msg(\"missing field `{f}` in {name}::{vn}\"))?)?,"
+                                    )
+                                })
+                                .collect();
+                            Some(format!(
+                                "\"{vn}\" => ::std::result::Result::Ok({name}::{vn} {{ {field_inits} }}),"
+                            ))
+                        }
+                    }
+                })
+                .collect();
+            format!(
+                "impl ::serde::Deserialize for {name} {{\n\
+                     fn deserialize(value: &::serde::Value) -> ::std::result::Result<Self, ::serde::Error> {{\n\
+                         match value {{\n\
+                             ::serde::Value::String(s) => match s.as_str() {{\n\
+                                 {unit_arms}\n\
+                                 other => ::std::result::Result::Err(::serde::Error::msg(\
+                                     format!(\"unknown {name} variant `{{other}}`\"))),\n\
+                             }},\n\
+                             ::serde::Value::Object(fields) if fields.len() == 1 => {{\n\
+                                 let (tag, inner) = &fields[0];\n\
+                                 let _ = inner;\n\
+                                 match tag.as_str() {{\n\
+                                     {data_arms}\n\
+                                     other => ::std::result::Result::Err(::serde::Error::msg(\
+                                         format!(\"unknown {name} variant `{{other}}`\"))),\n\
+                                 }}\n\
+                             }}\n\
+                             other => ::std::result::Result::Err(::serde::Error::msg(\
+                                 format!(\"expected {name}, found {{}}\", other.kind()))),\n\
+                         }}\n\
+                     }}\n\
+                 }}"
+            )
+        }
+    }
+}
+
+/// Derives the vendored `serde::Serialize` trait.
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    serialize_impl(&item)
+        .parse()
+        .expect("generated Serialize impl parses")
+}
+
+/// Derives the vendored `serde::Deserialize` trait.
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    deserialize_impl(&item)
+        .parse()
+        .expect("generated Deserialize impl parses")
+}
