@@ -1,0 +1,122 @@
+//! Cost of producing one attribution, before and after the PR's three
+//! optimizations:
+//!
+//! * `exact_serial` / `exact_parallel` — the `Θ(n·2ⁿ)` ground-truth
+//!   solver, single-threaded versus fanned out over the deterministic
+//!   partitioner (bit-identical results, wall-clock only differs);
+//! * `sampling_uncached` / `sampling_cached` — permutation sampling with
+//!   and without the coalition-value memo table;
+//! * `toggle_scan` / `toggle_tree` — the Gray-code table fill through the
+//!   original dense `O(steps)` re-scan versus the `O(log steps)` segment
+//!   tree.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+use fairco2_shapley::default_threads;
+use fairco2_shapley::exact::{exact_shapley, exact_shapley_fast, parallel_exact_shapley};
+use fairco2_shapley::game::{PeakDemandGame, ScanPeak};
+use fairco2_shapley::sampled::{sampled_shapley, sampled_shapley_cached, SampleConfig};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+fn peak_game(n: usize, steps: usize, seed: u64) -> PeakDemandGame {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let demand = (0..n)
+        .map(|_| (0..steps).map(|_| rng.gen_range(0.0..96.0)).collect())
+        .collect();
+    PeakDemandGame::new(demand)
+}
+
+/// Schedule-shaped demand: each workload occupies a contiguous window of
+/// `steps / 32` slices (like [`ScheduledWorkload`] slice ranges), so rows
+/// are zero almost everywhere. This sparsity is what the segment-tree
+/// toggle exploits: `O(|support| · log steps)` per toggle versus the
+/// scan's unconditional `O(steps)` re-scan. On fully dense demand the
+/// linear scan is competitive — the tree's advantage is the schedule
+/// structure, not a universal constant factor.
+fn windowed_peak_game(n: usize, steps: usize, seed: u64) -> PeakDemandGame {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let window = (steps / 32).max(1);
+    let demand = (0..n)
+        .map(|p| {
+            let start = p * (steps - window) / n.max(2);
+            (0..steps)
+                .map(|t| {
+                    if (start..start + window).contains(&t) {
+                        rng.gen_range(1.0..96.0)
+                    } else {
+                        0.0
+                    }
+                })
+                .collect()
+        })
+        .collect();
+    PeakDemandGame::new(demand)
+}
+
+fn bench_exact_parallelism(c: &mut Criterion) {
+    let mut group = c.benchmark_group("exact_shapley");
+    group.sample_size(10);
+    let threads = default_threads();
+    for n in [12usize, 16, 20] {
+        let game = peak_game(n, 8, n as u64);
+        group.bench_with_input(BenchmarkId::new("serial", n), &game, |b, g| {
+            b.iter(|| exact_shapley(black_box(g)).unwrap())
+        });
+        group.bench_with_input(BenchmarkId::new("parallel", n), &game, |b, g| {
+            b.iter(|| parallel_exact_shapley(black_box(g), threads).unwrap())
+        });
+    }
+    group.finish();
+}
+
+fn bench_sampling_cache(c: &mut Criterion) {
+    let mut group = c.benchmark_group("sampling");
+    group.sample_size(10);
+    let config = SampleConfig {
+        max_permutations: 1024,
+        target_stderr: 0.0,
+        min_permutations: 1,
+        antithetic: true,
+    };
+    for n in [12usize, 16] {
+        let game = peak_game(n, 8, n as u64);
+        group.bench_with_input(BenchmarkId::new("uncached", n), &game, |b, g| {
+            let mut rng = StdRng::seed_from_u64(1);
+            b.iter(|| sampled_shapley(black_box(g), &config, &mut rng))
+        });
+        group.bench_with_input(BenchmarkId::new("cached", n), &game, |b, g| {
+            let mut rng = StdRng::seed_from_u64(1);
+            b.iter(|| sampled_shapley_cached(black_box(g), &config, &mut rng))
+        });
+    }
+    group.finish();
+}
+
+fn bench_toggle_paths(c: &mut Criterion) {
+    let mut group = c.benchmark_group("toggle");
+    group.sample_size(10);
+    // Many time steps with schedule-sparse rows is where the re-scan
+    // hurts: each of the 2ⁿ toggles pays O(steps) in the scan path but
+    // only O(|support| · log steps) in the tree path.
+    for steps in [64usize, 512] {
+        let game = windowed_peak_game(14, steps, steps as u64);
+        let scan = ScanPeak(game.clone());
+        group.bench_with_input(BenchmarkId::new("tree", steps), &game, |b, g| {
+            b.iter(|| exact_shapley_fast(black_box(g)).unwrap())
+        });
+        group.bench_with_input(BenchmarkId::new("scan", steps), &scan, |b, g| {
+            b.iter(|| exact_shapley_fast(black_box(g)).unwrap())
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_exact_parallelism,
+    bench_sampling_cache,
+    bench_toggle_paths
+);
+criterion_main!(benches);

@@ -1,0 +1,237 @@
+//! **Performance report** — machine-readable timings for the three
+//! optimizations of this PR, written to `results/BENCH_shapley.json`:
+//!
+//! * serial versus parallel exact enumeration (`parallel_exact_shapley`)
+//!   across player counts (bit-identity asserted on every trial);
+//! * cached versus uncached permutation sampling
+//!   (`sampled_shapley_cached`), with eval counts and cache hit rate;
+//! * the Gray-code table fill through the segment-tree toggle versus the
+//!   original dense re-scan (`ScanPeak`).
+//!
+//! Tune with `--trials N --threads N --max-n N --permutations N
+//! --seed N`. Each scenario reports the best wall-clock over the trials
+//! (the usual benchmarking floor) plus the work counters of one run, and
+//! the process-wide peak RSS (`VmHWM`) is recorded at the end.
+
+use std::time::Instant;
+
+use fairco2_bench::{write_json, Args};
+use fairco2_shapley::default_threads;
+use fairco2_shapley::exact::{exact_shapley, exact_shapley_fast, parallel_exact_shapley};
+use fairco2_shapley::game::{PeakDemandGame, ScanPeak};
+use fairco2_shapley::sampled::{sampled_shapley, sampled_shapley_cached, SampleConfig};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use serde::Serialize;
+
+#[derive(Serialize)]
+struct PerfReport {
+    threads: usize,
+    trials: usize,
+    exact: Vec<ExactRow>,
+    sampling: Vec<SamplingRow>,
+    toggle: Vec<ToggleRow>,
+    /// Process peak RSS (`VmHWM` from `/proc/self/status`) in KiB, when
+    /// the platform exposes it. Dominated by the largest exact table.
+    peak_rss_kib: Option<u64>,
+}
+
+#[derive(Serialize)]
+struct ExactRow {
+    players: usize,
+    serial_secs: f64,
+    parallel_secs: f64,
+    speedup: f64,
+}
+
+#[derive(Serialize)]
+struct SamplingRow {
+    players: usize,
+    permutations: usize,
+    uncached_secs: f64,
+    cached_secs: f64,
+    uncached_evals: u64,
+    cached_evals: u64,
+    cache_hit_rate: f64,
+}
+
+#[derive(Serialize)]
+struct ToggleRow {
+    players: usize,
+    steps: usize,
+    scan_secs: f64,
+    tree_secs: f64,
+    speedup: f64,
+}
+
+fn peak_game(n: usize, steps: usize, seed: u64) -> PeakDemandGame {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let demand = (0..n)
+        .map(|_| (0..steps).map(|_| rng.gen_range(0.0..96.0)).collect())
+        .collect();
+    PeakDemandGame::new(demand)
+}
+
+/// Schedule-shaped demand: each workload occupies a contiguous window of
+/// `steps / 32` slices, so rows are sparse the way schedule-derived demand
+/// matrices are. The segment-tree toggle's `O(|support| · log steps)`
+/// beats the dense re-scan only under this sparsity; on fully dense rows
+/// the linear scan is competitive.
+fn windowed_peak_game(n: usize, steps: usize, seed: u64) -> PeakDemandGame {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let window = (steps / 32).max(1);
+    let demand = (0..n)
+        .map(|p| {
+            let start = p * (steps - window) / n.max(2);
+            (0..steps)
+                .map(|t| {
+                    if (start..start + window).contains(&t) {
+                        rng.gen_range(1.0..96.0)
+                    } else {
+                        0.0
+                    }
+                })
+                .collect()
+        })
+        .collect();
+    PeakDemandGame::new(demand)
+}
+
+/// Best wall-clock over `trials` runs of `f`.
+fn best_secs<T>(trials: usize, mut f: impl FnMut() -> T) -> f64 {
+    let mut best = f64::INFINITY;
+    for _ in 0..trials {
+        let start = Instant::now();
+        std::hint::black_box(f());
+        best = best.min(start.elapsed().as_secs_f64());
+    }
+    best
+}
+
+/// `VmHWM` (peak resident set) in KiB from `/proc/self/status`.
+fn peak_rss_kib() -> Option<u64> {
+    let status = std::fs::read_to_string("/proc/self/status").ok()?;
+    let line = status.lines().find(|l| l.starts_with("VmHWM:"))?;
+    line.split_whitespace().nth(1)?.parse().ok()
+}
+
+fn main() {
+    let args = Args::parse();
+    let trials = args.usize("trials", 5).max(1);
+    let threads = args.usize("threads", default_threads());
+    let max_n = args.usize("max-n", 20).max(1);
+    let permutations = args.usize("permutations", 4096);
+    let seed = args.u64("seed", 7);
+
+    println!("perf report: {trials} trials, {threads} threads");
+
+    let mut exact = Vec::new();
+    // `24` is `MAX_EXACT_PLAYERS`; pass `--max-n 24` to include it (its
+    // 2²⁴-entry table dominates the reported peak RSS).
+    for n in [12usize, 16, 20, 24] {
+        if n > max_n {
+            continue;
+        }
+        let game = peak_game(n, 8, seed + n as u64);
+        let reference = exact_shapley(&game).unwrap();
+        let serial_secs = best_secs(trials, || exact_shapley(&game).unwrap());
+        let parallel_secs = best_secs(trials, || {
+            let phi = parallel_exact_shapley(&game, threads).unwrap();
+            for (a, b) in phi.iter().zip(&reference) {
+                assert_eq!(
+                    a.to_bits(),
+                    b.to_bits(),
+                    "parallel exact must be bit-identical"
+                );
+            }
+            phi
+        });
+        let row = ExactRow {
+            players: n,
+            serial_secs,
+            parallel_secs,
+            speedup: serial_secs / parallel_secs,
+        };
+        println!(
+            "exact      n={:<2}  serial {:.4}s  parallel {:.4}s  ({:.2}x)",
+            row.players, row.serial_secs, row.parallel_secs, row.speedup
+        );
+        exact.push(row);
+    }
+
+    let config = SampleConfig {
+        max_permutations: permutations,
+        target_stderr: 0.0,
+        min_permutations: 1,
+        antithetic: true,
+    };
+    let mut sampling = Vec::new();
+    for n in [12usize, 16] {
+        if n > max_n {
+            continue;
+        }
+        let game = peak_game(n, 8, seed + 100 + n as u64);
+        let uncached_secs = best_secs(trials, || {
+            sampled_shapley(&game, &config, &mut StdRng::seed_from_u64(seed))
+        });
+        let cached_secs = best_secs(trials, || {
+            sampled_shapley_cached(&game, &config, &mut StdRng::seed_from_u64(seed))
+        });
+        let uncached = sampled_shapley(&game, &config, &mut StdRng::seed_from_u64(seed));
+        let cached = sampled_shapley_cached(&game, &config, &mut StdRng::seed_from_u64(seed));
+        let row = SamplingRow {
+            players: n,
+            permutations,
+            uncached_secs,
+            cached_secs,
+            uncached_evals: uncached.counters.coalition_evals,
+            cached_evals: cached.counters.coalition_evals,
+            cache_hit_rate: cached.counters.cache_hit_rate(),
+        };
+        println!(
+            "sampling   n={:<2}  uncached {:.4}s / {} evals  cached {:.4}s / {} evals  ({:.1}% hits)",
+            row.players,
+            row.uncached_secs,
+            row.uncached_evals,
+            row.cached_secs,
+            row.cached_evals,
+            100.0 * row.cache_hit_rate
+        );
+        sampling.push(row);
+    }
+
+    let mut toggle = Vec::new();
+    for steps in [64usize, 512, 4096] {
+        let n = 14.min(max_n);
+        let game = windowed_peak_game(n, steps, seed + 200 + steps as u64);
+        let scan = ScanPeak(game.clone());
+        let tree_secs = best_secs(trials, || exact_shapley_fast(&game).unwrap());
+        let scan_secs = best_secs(trials, || exact_shapley_fast(&scan).unwrap());
+        let row = ToggleRow {
+            players: n,
+            steps,
+            scan_secs,
+            tree_secs,
+            speedup: scan_secs / tree_secs,
+        };
+        println!(
+            "toggle     steps={:<4} scan {:.4}s  tree {:.4}s  ({:.2}x)",
+            row.steps, row.scan_secs, row.tree_secs, row.speedup
+        );
+        toggle.push(row);
+    }
+
+    let report = PerfReport {
+        threads,
+        trials,
+        exact,
+        sampling,
+        toggle,
+        peak_rss_kib: peak_rss_kib(),
+    };
+    if let Some(kib) = report.peak_rss_kib {
+        println!("peak RSS: {:.1} MiB", kib as f64 / 1024.0);
+    }
+    let path = write_json("BENCH_shapley", &report);
+    println!("wrote {}", path.display());
+}

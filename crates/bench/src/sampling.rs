@@ -28,6 +28,10 @@ pub struct SamplingReport {
     /// Work performed: coalition evaluations, marginal updates, batches,
     /// and summed per-batch busy time.
     pub counters: EvalCounters,
+    /// Fraction of coalition lookups served by the per-batch
+    /// [`CoalitionCache`](fairco2_shapley::CoalitionCache) (0 when the
+    /// cache saw no lookups).
+    pub cache_hit_rate: f64,
     /// Standard error versus permutation count, one point per round.
     pub trace: ConvergenceTrace,
 }
@@ -47,6 +51,9 @@ pub fn sample_schedule(
             ..SampleConfig::default()
         },
         threads,
+        // Schedules cap at 64 workloads well before sampling becomes
+        // attractive, so every figure bin can afford the memo table.
+        coalition_cache: true,
         ..ParallelConfig::default()
     };
     let run = parallel_sampled_shapley(&game, &config, seed);
@@ -55,6 +62,7 @@ pub fn sample_schedule(
         threads,
         permutations: run.estimate.permutations,
         max_std_error: run.estimate.max_std_error(),
+        cache_hit_rate: run.estimate.counters.cache_hit_rate(),
         counters: run.estimate.counters,
         trace: run.trace,
     }
@@ -84,6 +92,14 @@ pub fn print_report(report: &SamplingReport) {
         report.counters.batches,
         report.counters.wall_time_secs
     );
+    if report.counters.cache_hits + report.counters.cache_misses > 0 {
+        println!(
+            "coalition cache: {} hits / {} misses ({:.1}% hit rate)",
+            report.counters.cache_hits,
+            report.counters.cache_misses,
+            100.0 * report.cache_hit_rate
+        );
+    }
 }
 
 #[cfg(test)]
@@ -113,8 +129,14 @@ mod tests {
             "estimate must not depend on the thread count"
         );
         assert!(!one.trace.points.is_empty());
+        // Four workloads → 16 coalitions; 256 permutations must hit the
+        // per-batch memo table heavily, and the hit pattern is part of
+        // the schedule, so it matches across thread counts.
+        assert!(one.cache_hit_rate > 0.5, "{}", one.cache_hit_rate);
+        assert_eq!(one.counters.cache_hits, four.counters.cache_hits);
         let json = serde_json::to_string(&one).unwrap();
         assert!(json.contains("\"trace\""));
         assert!(json.contains("\"coalition_evals\""));
+        assert!(json.contains("\"cache_hit_rate\""));
     }
 }

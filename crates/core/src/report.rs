@@ -184,6 +184,15 @@ impl CarbonStatement {
                 "sampled: {} permutations ({} independent samples), max stderr {:.4}, {} coalition evals",
                 s.permutations, s.samples, s.max_std_error, s.counters.coalition_evals
             );
+            if s.counters.cache_hits + s.counters.cache_misses > 0 {
+                let _ = writeln!(
+                    out,
+                    "coalition cache: {} hits / {} misses ({:.1}% hit rate)",
+                    s.counters.cache_hits,
+                    s.counters.cache_misses,
+                    100.0 * s.counters.cache_hit_rate()
+                );
+            }
         }
         out
     }
@@ -288,6 +297,8 @@ mod tests {
                 marginal_updates: 20_000,
                 batches: 63,
                 wall_time_secs: 0.5,
+                cache_hits: 15_000,
+                cache_misses: 5_000,
             },
         };
         let statement = CarbonStatement::for_scenario(&scenario, &ctx, &RupColocation, None)
@@ -299,5 +310,6 @@ mod tests {
         let table = statement.to_table();
         assert!(table.contains("4000 permutations"), "{table}");
         assert!(table.contains("20000 coalition evals"), "{table}");
+        assert!(table.contains("75.0% hit rate"), "{table}");
     }
 }

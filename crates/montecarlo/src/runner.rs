@@ -64,9 +64,10 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "at least one worker")]
-    fn zero_threads_panics() {
-        let _ = run_parallel(1, 0, |t| t);
+    fn zero_threads_clamps_to_one_worker() {
+        let zero = run_parallel(4, 0, |t| t + 10);
+        assert_eq!(zero, run_parallel(4, 1, |t| t + 10));
+        assert_eq!(zero, vec![10, 11, 12, 13]);
     }
 
     #[test]
@@ -90,11 +91,15 @@ mod tests {
             marginal_updates: 2 * (i + 1),
             batches: 1,
             wall_time_secs: 0.25,
+            cache_hits: 5 * (i + 1),
+            cache_misses: i + 1,
         });
         let total = merge_counters(batches);
         assert_eq!(total.coalition_evals, 6);
         assert_eq!(total.marginal_updates, 12);
         assert_eq!(total.batches, 3);
         assert!((total.wall_time_secs - 0.75).abs() < 1e-12);
+        assert_eq!(total.cache_hits, 30);
+        assert_eq!(total.cache_misses, 6);
     }
 }

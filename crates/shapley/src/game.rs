@@ -3,6 +3,7 @@
 use serde::{Deserialize, Serialize};
 
 use crate::coalition::Coalition;
+use crate::maxtree::MaxTree;
 
 /// A cooperative game: a set of players and a characteristic function
 /// assigning a cost (here: carbon) to every coalition.
@@ -30,9 +31,37 @@ pub trait IncrementalGame: Game {
     /// State of the empty coalition.
     fn initial_state(&self) -> Self::State;
 
+    /// Rewinds an existing state to the empty coalition, reusing its
+    /// allocations. The default rebuilds from scratch; hot-path games
+    /// override it so permutation replay allocates nothing after warm-up.
+    fn reset_state(&self, state: &mut Self::State) {
+        *state = self.initial_state();
+    }
+
     /// Adds `player` to the growing coalition and returns the value of
     /// the enlarged coalition.
     fn add_player(&self, state: &mut Self::State, player: usize) -> f64;
+
+    /// Work performed by this game since construction, for games that
+    /// instrument themselves (memoizing wrappers). `None` — the default —
+    /// means "not tracked": callers then charge one evaluation per
+    /// [`add_player`](IncrementalGame::add_player) call.
+    fn stats(&self) -> Option<GameStats> {
+        None
+    }
+}
+
+/// Cumulative work snapshot reported by a self-instrumenting game (see
+/// [`IncrementalGame::stats`]). Deltas between snapshots are folded into
+/// [`EvalCounters`] by [`replay_marginals_into`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct GameStats {
+    /// Raw characteristic-function evaluations actually performed.
+    pub evals: u64,
+    /// Lookups answered from a coalition cache.
+    pub hits: u64,
+    /// Lookups that fell through to a real evaluation.
+    pub misses: u64,
 }
 
 /// Work counters for Shapley estimation, accumulated at every
@@ -42,8 +71,10 @@ pub trait IncrementalGame: Game {
 /// run it exceeds elapsed time — the ratio is the achieved parallelism.
 #[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
 pub struct EvalCounters {
-    /// Coalition evaluations: one per [`IncrementalGame::add_player`]
-    /// call (each call prices one enlarged coalition).
+    /// Coalition evaluations: one per characteristic-function evaluation
+    /// actually performed. Without a coalition cache this is one per
+    /// [`IncrementalGame::add_player`] call; with one it counts only the
+    /// cache misses' inner evaluations.
     pub coalition_evals: u64,
     /// Per-player marginal-contribution updates applied to accumulators.
     pub marginal_updates: u64,
@@ -51,6 +82,12 @@ pub struct EvalCounters {
     pub batches: u64,
     /// Total busy time across batches, in seconds.
     pub wall_time_secs: f64,
+    /// Coalition-cache lookups answered without evaluating the game
+    /// (zero when no cache is in play).
+    pub cache_hits: u64,
+    /// Coalition-cache lookups that fell through to a real evaluation
+    /// (zero when no cache is in play).
+    pub cache_misses: u64,
 }
 
 impl EvalCounters {
@@ -60,6 +97,19 @@ impl EvalCounters {
         self.marginal_updates += other.marginal_updates;
         self.batches += other.batches;
         self.wall_time_secs += other.wall_time_secs;
+        self.cache_hits += other.cache_hits;
+        self.cache_misses += other.cache_misses;
+    }
+
+    /// Fraction of cache lookups answered from the cache (0 when no
+    /// cache was used).
+    pub fn cache_hit_rate(&self) -> f64 {
+        let total = self.cache_hits + self.cache_misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.cache_hits as f64 / total as f64
+        }
     }
 }
 
@@ -67,8 +117,9 @@ impl EvalCounters {
 /// player's marginal contribution into `marginals` (indexed by player)
 /// and charging the work to `counters`.
 ///
-/// Marginals telescope, so `marginals` sums to the grand-coalition value
-/// when `order` contains every player exactly once.
+/// Allocates a fresh state per call; hot paths should hold a state (or a
+/// [`SampleScratch`](crate::sampled::SampleScratch)) and use
+/// [`replay_marginals_into`] instead.
 ///
 /// # Panics
 ///
@@ -80,14 +131,47 @@ pub fn replay_marginals<G: IncrementalGame>(
     counters: &mut EvalCounters,
 ) {
     let mut state = game.initial_state();
+    replay_marginals_into(game, order, &mut state, marginals, counters);
+}
+
+/// [`replay_marginals`] into a caller-owned state: the state is rewound
+/// via [`IncrementalGame::reset_state`] and reused, so games with
+/// allocation-free resets replay without touching the heap.
+///
+/// Marginals telescope, so `marginals` sums to the grand-coalition value
+/// when `order` contains every player exactly once.
+///
+/// Work accounting: self-instrumenting games ([`IncrementalGame::stats`])
+/// are charged their actual evaluation, hit, and miss deltas; all others
+/// are charged one coalition evaluation per step.
+///
+/// # Panics
+///
+/// Panics if `marginals` is shorter than the largest player index.
+pub fn replay_marginals_into<G: IncrementalGame>(
+    game: &G,
+    order: &[usize],
+    state: &mut G::State,
+    marginals: &mut [f64],
+    counters: &mut EvalCounters,
+) {
+    game.reset_state(state);
+    let before = game.stats();
     let mut prev = 0.0f64;
     for &p in order {
-        let value = game.add_player(&mut state, p);
+        let value = game.add_player(state, p);
         marginals[p] = value - prev;
         prev = value;
     }
-    counters.coalition_evals += order.len() as u64;
     counters.marginal_updates += order.len() as u64;
+    match (before, game.stats()) {
+        (Some(b), Some(a)) => {
+            counters.coalition_evals += a.evals - b.evals;
+            counters.cache_hits += a.hits - b.hits;
+            counters.cache_misses += a.misses - b.misses;
+        }
+        _ => counters.coalition_evals += order.len() as u64,
+    }
 }
 
 /// Adapter giving any [`Game`] a (slow) incremental interface by replaying
@@ -127,6 +211,11 @@ impl<G: Game> IncrementalGame for Replay<G> {
 pub struct PeakDemandGame {
     /// `demand[p][t]`: demand of player `p` at time step `t`.
     demand: Vec<Vec<f64>>,
+    /// `support[p]`: the nonzero entries of player `p`'s row as
+    /// `(t, demand)` pairs — schedule-derived rows are zero outside the
+    /// workload's slice range, so incremental updates only touch the
+    /// steps a player actually occupies.
+    support: Vec<Vec<(u32, f64)>>,
     steps: usize,
 }
 
@@ -136,21 +225,41 @@ impl PeakDemandGame {
     ///
     /// # Panics
     ///
-    /// Panics if players disagree on the number of time steps or if there
-    /// are no players.
+    /// Panics if players disagree on the number of time steps, if there
+    /// are no players, or if there are no time steps.
     pub fn new(demand: Vec<Vec<f64>>) -> Self {
         assert!(!demand.is_empty(), "game needs at least one player");
         let steps = demand[0].len();
+        assert!(steps > 0, "game needs at least one time step");
         assert!(
             demand.iter().all(|d| d.len() == steps),
             "all players must cover the same time steps"
         );
-        Self { demand, steps }
+        let support = demand
+            .iter()
+            .map(|row| {
+                row.iter()
+                    .enumerate()
+                    .filter(|&(_, &d)| d != 0.0)
+                    .map(|(t, &d)| (t as u32, d))
+                    .collect()
+            })
+            .collect();
+        Self {
+            demand,
+            support,
+            steps,
+        }
     }
 
     /// Per-player demand rows.
     pub fn demand(&self) -> &[Vec<f64>] {
         &self.demand
+    }
+
+    /// Nonzero `(t, demand)` entries of player `p`'s row.
+    pub(crate) fn support(&self, player: usize) -> &[(u32, f64)] {
+        &self.support[player]
     }
 
     /// Number of time steps.
@@ -175,16 +284,65 @@ impl Game for PeakDemandGame {
 }
 
 impl IncrementalGame for PeakDemandGame {
-    /// Running per-time-step sums plus the current peak.
+    /// Per-time-step sums held in a segment tree: inserting a player
+    /// costs `O(|support| · log steps)` and the coalition peak is read
+    /// off the root, instead of the former `O(steps)` scan per insertion.
+    type State = MaxTree;
+
+    fn initial_state(&self) -> Self::State {
+        MaxTree::new(self.steps)
+    }
+
+    fn reset_state(&self, state: &mut Self::State) {
+        state.reset();
+    }
+
+    fn add_player(&self, state: &mut Self::State, player: usize) -> f64 {
+        for &(t, d) in self.support(player) {
+            state.add(t as usize, d);
+        }
+        state.max()
+    }
+}
+
+/// The pre-segment-tree reference implementation of the peak-demand
+/// game's incremental and toggle paths: dense per-step sums, a running
+/// peak, and a full `O(steps)` re-scan per toggle.
+///
+/// Kept public so the equality-pinning tests and the
+/// `segment-tree vs scan` Criterion bench can compare [`PeakDemandGame`]'s
+/// [`MaxTree`]-backed paths against the original algorithm; not intended
+/// for production use.
+#[derive(Debug, Clone)]
+pub struct ScanPeak(pub PeakDemandGame);
+
+impl Game for ScanPeak {
+    fn player_count(&self) -> usize {
+        self.0.player_count()
+    }
+
+    fn value(&self, coalition: &Coalition) -> f64 {
+        self.0.value(coalition)
+    }
+}
+
+impl IncrementalGame for ScanPeak {
+    /// Running per-time-step sums plus the current peak (the original
+    /// state layout).
     type State = (Vec<f64>, f64);
 
     fn initial_state(&self) -> Self::State {
-        (vec![0.0; self.steps], 0.0)
+        (vec![0.0; self.0.steps()], 0.0)
+    }
+
+    fn reset_state(&self, state: &mut Self::State) {
+        state.0.fill(0.0);
+        state.1 = 0.0;
     }
 
     fn add_player(&self, state: &mut Self::State, player: usize) -> f64 {
         let (sums, peak) = state;
-        for (s, d) in sums.iter_mut().zip(&self.demand[player]) {
+        for (s, d) in sums.iter_mut().zip(&self.0.demand()[player]) {
             *s += d;
             if *s > *peak {
                 *peak = *s;
@@ -213,6 +371,15 @@ impl TableGame {
         assert_eq!(values.len(), 1usize << n, "table must have 2^n entries");
         assert_eq!(values[0], 0.0, "the empty coalition must have value 0");
         Self { n, values }
+    }
+
+    /// Direct table lookup by membership bitmask.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the mask has bits at or above `n`.
+    pub fn lookup(&self, mask: u64) -> f64 {
+        self.values[mask as usize]
     }
 }
 
@@ -290,17 +457,61 @@ mod tests {
             marginal_updates: 3,
             batches: 1,
             wall_time_secs: 0.5,
+            cache_hits: 2,
+            cache_misses: 1,
         };
         let b = EvalCounters {
             coalition_evals: 7,
             marginal_updates: 6,
             batches: 2,
             wall_time_secs: 1.5,
+            cache_hits: 1,
+            cache_misses: 5,
         };
         a.merge(&b);
         assert_eq!(a.coalition_evals, 10);
         assert_eq!(a.marginal_updates, 9);
         assert_eq!(a.batches, 3);
         assert!((a.wall_time_secs - 2.0).abs() < 1e-12);
+        assert_eq!(a.cache_hits, 3);
+        assert_eq!(a.cache_misses, 6);
+        assert!((a.cache_hit_rate() - 1.0 / 3.0).abs() < 1e-12);
+        assert_eq!(EvalCounters::default().cache_hit_rate(), 0.0);
+    }
+
+    #[test]
+    fn tree_backed_incremental_path_matches_the_scan_reference() {
+        // Equality pin: the MaxTree-backed add_player must reproduce the
+        // original dense-scan algorithm bit-for-bit on nonnegative
+        // demands, across several permutations and a reused state.
+        let demand = vec![
+            vec![4.0, 1.0, 0.0, 2.0],
+            vec![1.0, 4.0, 2.0, 0.0],
+            vec![0.0, 0.0, 5.0, 5.0],
+            vec![2.5, 0.5, 3.5, 0.25],
+        ];
+        let tree_game = PeakDemandGame::new(demand.clone());
+        let scan_game = ScanPeak(PeakDemandGame::new(demand));
+        let mut tree_state = tree_game.initial_state();
+        let mut scan_state = scan_game.initial_state();
+        for order in [[0usize, 1, 2, 3], [3, 2, 1, 0], [1, 3, 0, 2]] {
+            tree_game.reset_state(&mut tree_state);
+            scan_game.reset_state(&mut scan_state);
+            for p in order {
+                let a = tree_game.add_player(&mut tree_state, p);
+                let b = scan_game.add_player(&mut scan_state, p);
+                assert_eq!(a.to_bits(), b.to_bits(), "player {p} in {order:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn reset_state_reuses_allocations() {
+        let g = PeakDemandGame::new(vec![vec![4.0, 1.0], vec![1.0, 4.0]]);
+        let mut state = g.initial_state();
+        let first = g.add_player(&mut state, 0);
+        g.reset_state(&mut state);
+        let second = g.add_player(&mut state, 0);
+        assert_eq!(first.to_bits(), second.to_bits());
     }
 }

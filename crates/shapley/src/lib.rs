@@ -9,10 +9,18 @@
 //!   sampling.
 //! * [`exact`] — ground-truth Shapley by subset enumeration, `O(n·2ⁿ)`;
 //!   practical to ~24 players, exactly the regime the paper evaluates
-//!   (≤ 22 workloads).
+//!   (≤ 22 workloads). Includes a deterministic parallel table-fill
+//!   solver ([`exact::parallel_exact_shapley`]).
 //! * [`sampled`] — permutation-sampling estimator with antithetic
 //!   variance reduction (pair-aware standard errors) and a standard-error
-//!   stopping rule, for games too large to enumerate.
+//!   stopping rule, for games too large to enumerate. Reusable
+//!   [`sampled::SampleScratch`] buffers keep the inner loop free of heap
+//!   allocation.
+//! * [`cache`] — the open-addressing [`cache::CoalitionCache`] memo table
+//!   and the [`cache::CachedGame`] adapter that lets every sampler and
+//!   axiom check skip repeated characteristic-function evaluations.
+//! * [`maxtree`] — the segment tree backing `O(log steps)` peak-demand
+//!   updates in the replay hot path.
 //! * [`parallel`] — the deterministic parallel engine: batched
 //!   permutation sampling over scoped worker threads with per-batch
 //!   seeding, moment merging, work counters, and a convergence trace;
@@ -44,22 +52,30 @@
 #![warn(missing_docs)]
 
 pub mod axioms;
+pub mod cache;
 pub mod coalition;
 pub mod exact;
 pub mod game;
 pub mod matching;
+pub mod maxtree;
 pub mod parallel;
 pub mod sampled;
 pub mod temporal;
 pub mod unit_time;
 
+pub use axioms::{AxiomAudit, AxiomCheck};
+pub use cache::{CachedGame, CoalitionCache};
 pub use coalition::Coalition;
-pub use exact::exact_shapley;
-pub use game::{EvalCounters, Game, IncrementalGame};
+pub use exact::{exact_shapley, parallel_exact_shapley};
+pub use game::{replay_marginals_into, EvalCounters, Game, GameStats, IncrementalGame, ScanPeak};
 pub use matching::{shapley_from_moments, MatchingGame};
+pub use maxtree::MaxTree;
 pub use parallel::{
     default_threads, parallel_sampled_shapley, run_parallel, ConvergenceTrace, ParallelConfig,
     ParallelEstimate, TracePoint,
 };
-pub use sampled::{sampled_shapley, stratified_shapley, Moments, SampleConfig, ShapleyEstimate};
+pub use sampled::{
+    sampled_shapley, sampled_shapley_cached, sampled_shapley_with_scratch, stratified_shapley,
+    Moments, SampleConfig, SampleScratch, ShapleyEstimate,
+};
 pub use temporal::{peak_shapley, TemporalAttribution};

@@ -27,8 +27,9 @@ use rand::SeedableRng;
 use serde::{Deserialize, Serialize};
 use std::time::Instant;
 
-use crate::game::{replay_marginals, EvalCounters, IncrementalGame};
-use crate::sampled::{Moments, SampleConfig, ShapleyEstimate};
+use crate::cache::CachedGame;
+use crate::game::{replay_marginals_into, EvalCounters, IncrementalGame};
+use crate::sampled::{Moments, SampleConfig, SampleScratch, ShapleyEstimate};
 
 /// Runs `trials` independent work items across `threads` worker threads,
 /// returning results in item order.
@@ -36,21 +37,24 @@ use crate::sampled::{Moments, SampleConfig, ShapleyEstimate};
 /// `run` must be pure with respect to the item index (each item seeds its
 /// own RNG), which every caller in this workspace guarantees.
 ///
+/// `threads = 0` is clamped to one worker: a zero thread count always
+/// means "no parallelism", never "no progress", so callers can wire
+/// user-supplied knobs straight through.
+///
 /// # Panics
 ///
-/// Panics if `threads == 0`, or — with a `"worker thread panicked"`
-/// message once every worker has been joined — if any `run` call panics;
-/// a failed worker can never hang or silently truncate the results.
+/// Panics — with a `"worker thread panicked"` message once every worker
+/// has been joined — if any `run` call panics; a failed worker can never
+/// hang or silently truncate the results.
 pub fn run_parallel<T, F>(trials: usize, threads: usize, run: F) -> Vec<T>
 where
     T: Send,
     F: Fn(usize) -> T + Sync,
 {
-    assert!(threads > 0, "at least one worker thread is required");
     if trials == 0 {
         return Vec::new();
     }
-    let threads = threads.min(trials);
+    let threads = threads.clamp(1, trials);
     let chunk_len = trials.div_ceil(threads);
     let mut slots: Vec<Option<T>> = (0..trials).map(|_| None).collect();
     let panicked = std::thread::scope(|scope| {
@@ -102,6 +106,14 @@ pub struct ParallelConfig {
     pub round_batches: usize,
     /// Worker threads.
     pub threads: usize,
+    /// When `true`, each batch replays through a batch-local
+    /// [`CoalitionCache`](crate::cache::CoalitionCache) (sized by
+    /// [`CoalitionCache::for_players`](crate::cache::CoalitionCache::for_players)),
+    /// so repeated permutation prefixes within the batch skip the game.
+    /// Caches are per-batch — never shared across threads — so the
+    /// estimate stays a pure function of the schedule and remains
+    /// bit-identical at any thread count. Requires ≤ 64 players.
+    pub coalition_cache: bool,
 }
 
 impl Default for ParallelConfig {
@@ -111,6 +123,7 @@ impl Default for ParallelConfig {
             batch_permutations: 64,
             round_batches: 16,
             threads: default_threads(),
+            coalition_cache: false,
         }
     }
 }
@@ -161,7 +174,25 @@ fn batch_seed(base_seed: u64, batch: u64) -> u64 {
 }
 
 /// Runs one batch: `count` permutations drawn from the batch's own RNG.
+/// With `coalition_cache` the batch owns a fresh memo table; either way
+/// the batch owns one [`SampleScratch`], so the permutation loop never
+/// allocates after its first iteration.
 fn run_batch<G: IncrementalGame>(
+    game: &G,
+    config: &SampleConfig,
+    seed: u64,
+    count: usize,
+    coalition_cache: bool,
+) -> (Moments, EvalCounters) {
+    if coalition_cache {
+        let cached = CachedGame::new(game);
+        run_batch_uncached(&cached, config, seed, count)
+    } else {
+        run_batch_uncached(game, config, seed, count)
+    }
+}
+
+fn run_batch_uncached<G: IncrementalGame>(
     game: &G,
     config: &SampleConfig,
     seed: u64,
@@ -172,18 +203,28 @@ fn run_batch<G: IncrementalGame>(
     let mut rng = StdRng::seed_from_u64(seed);
     let mut moments = Moments::zero(n);
     let mut counters = EvalCounters::default();
-    let mut order: Vec<usize> = (0..n).collect();
-    let mut forward = vec![0.0f64; n];
-    let mut reverse = vec![0.0f64; n];
+    let mut scratch = SampleScratch::for_game(game);
     while moments.permutations() < count {
-        order.shuffle(&mut rng);
-        replay_marginals(game, &order, &mut forward, &mut counters);
+        scratch.order.shuffle(&mut rng);
+        replay_marginals_into(
+            game,
+            &scratch.order,
+            &mut scratch.state,
+            &mut scratch.forward,
+            &mut counters,
+        );
         if config.antithetic && moments.permutations() + 1 < count {
-            order.reverse();
-            replay_marginals(game, &order, &mut reverse, &mut counters);
-            moments.record_pair(&forward, &reverse);
+            scratch.order.reverse();
+            replay_marginals_into(
+                game,
+                &scratch.order,
+                &mut scratch.state,
+                &mut scratch.reverse,
+                &mut counters,
+            );
+            moments.record_pair(&scratch.forward, &scratch.reverse);
         } else {
-            moments.record_single(&forward);
+            moments.record_single(&scratch.forward);
         }
     }
     counters.batches = 1;
@@ -201,8 +242,10 @@ fn run_batch<G: IncrementalGame>(
 ///
 /// # Panics
 ///
-/// Panics if the game has no players, the permutation budget is zero, or
-/// `batch_permutations`, `round_batches`, or `threads` is zero.
+/// Panics if the game has no players, the permutation budget is zero,
+/// `batch_permutations` or `round_batches` is zero, or `coalition_cache`
+/// is set for a game with more than 64 players. `threads = 0` is clamped
+/// to one worker by [`run_parallel`].
 pub fn parallel_sampled_shapley<G>(
     game: &G,
     config: &ParallelConfig,
@@ -236,7 +279,13 @@ where
             let count = config
                 .batch_permutations
                 .min(max - b * config.batch_permutations);
-            run_batch(game, &config.sample, batch_seed(base_seed, b as u64), count)
+            run_batch(
+                game,
+                &config.sample,
+                batch_seed(base_seed, b as u64),
+                count,
+                config.coalition_cache,
+            )
         });
         for (moments, batch_counters) in &results {
             merged.merge(moments);
@@ -268,7 +317,7 @@ where
 mod tests {
     use super::*;
     use crate::exact::exact_shapley;
-    use crate::game::PeakDemandGame;
+    use crate::game::{replay_marginals, PeakDemandGame};
     use proptest::prelude::*;
 
     fn demo_game() -> PeakDemandGame {
@@ -302,9 +351,41 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "at least one worker")]
-    fn zero_threads_panics() {
-        let _ = run_parallel(1, 0, |t| t);
+    fn zero_threads_clamps_to_one_worker() {
+        // Satellite regression: `threads = 0` must mean "serial", not a
+        // panic or an empty result, so CLI knobs can pass through as-is.
+        let zero = run_parallel(5, 0, |t| t * 3);
+        let one = run_parallel(5, 1, |t| t * 3);
+        assert_eq!(zero, one);
+        assert_eq!(zero, vec![0, 3, 6, 9, 12]);
+    }
+
+    #[test]
+    fn one_thread_handles_every_trial() {
+        let out = run_parallel(9, 1, |t| t + 1);
+        assert_eq!(out, (1..=9).collect::<Vec<usize>>());
+    }
+
+    #[test]
+    fn zero_threads_estimate_matches_one_thread() {
+        let g = demo_game();
+        let base = ParallelConfig {
+            sample: SampleConfig {
+                max_permutations: 256,
+                target_stderr: 0.0,
+                min_permutations: 1,
+                antithetic: true,
+            },
+            batch_permutations: 32,
+            round_batches: 4,
+            threads: 0,
+            coalition_cache: false,
+        };
+        let zero = parallel_sampled_shapley(&g, &base, 7);
+        let one = parallel_sampled_shapley(&g, &ParallelConfig { threads: 1, ..base }, 7);
+        for (a, b) in zero.estimate.values.iter().zip(&one.estimate.values) {
+            assert_eq!(a.to_bits(), b.to_bits());
+        }
     }
 
     #[test]
@@ -335,6 +416,7 @@ mod tests {
             batch_permutations: 32,
             round_batches: 8,
             threads: 1,
+            coalition_cache: false,
         };
         let reference = parallel_sampled_shapley(&g, &base, 0xFA1C0);
         for threads in [2usize, 8] {
@@ -360,6 +442,74 @@ mod tests {
                 assert_eq!(a.max_std_error.to_bits(), b.max_std_error.to_bits());
                 assert_eq!(a.permutations, b.permutations);
             }
+        }
+    }
+
+    /// Integer-valued demands keep every coalition value exact in f64, so
+    /// cached replay is bit-identical to uncached replay (a cache hit
+    /// returns the first-computed value for a mask, which could otherwise
+    /// differ in the last ulp from a different summation order).
+    fn integer_demo_game() -> PeakDemandGame {
+        PeakDemandGame::new(vec![
+            vec![4.0, 1.0, 0.0],
+            vec![1.0, 4.0, 2.0],
+            vec![2.0, 2.0, 5.0],
+            vec![0.0, 3.0, 1.0],
+            vec![2.0, 1.0, 3.0],
+        ])
+    }
+
+    #[test]
+    fn coalition_cache_preserves_bit_identity_and_counts_hits() {
+        let g = integer_demo_game();
+        let base = ParallelConfig {
+            sample: SampleConfig {
+                max_permutations: 1024,
+                target_stderr: 0.0,
+                min_permutations: 1,
+                antithetic: true,
+            },
+            batch_permutations: 64,
+            round_batches: 4,
+            threads: 1,
+            coalition_cache: false,
+        };
+        let uncached = parallel_sampled_shapley(&g, &base, 0xCAFE);
+        let cached_cfg = ParallelConfig {
+            coalition_cache: true,
+            ..base
+        };
+        let cached = parallel_sampled_shapley(&g, &cached_cfg, 0xCAFE);
+        for (a, b) in cached.estimate.values.iter().zip(&uncached.estimate.values) {
+            assert_eq!(a.to_bits(), b.to_bits());
+        }
+        // With 5 players only 32 coalitions exist, so a 64-permutation
+        // batch overwhelmingly hits the cache.
+        let c = &cached.estimate.counters;
+        assert!(c.cache_hits > 0, "expected cache hits, got {c:?}");
+        assert!(
+            c.coalition_evals < uncached.estimate.counters.coalition_evals / 2,
+            "cache should cut evals ≥ 50%: {} vs {}",
+            c.coalition_evals,
+            uncached.estimate.counters.coalition_evals
+        );
+        // The cached schedule is still thread-invariant.
+        for threads in [2usize, 8] {
+            let run = parallel_sampled_shapley(
+                &g,
+                &ParallelConfig {
+                    threads,
+                    ..cached_cfg
+                },
+                0xCAFE,
+            );
+            for (a, b) in run.estimate.values.iter().zip(&cached.estimate.values) {
+                assert_eq!(a.to_bits(), b.to_bits(), "threads = {threads}");
+            }
+            assert_eq!(
+                run.estimate.counters.cache_hits, cached.estimate.counters.cache_hits,
+                "hit counts are part of the schedule, threads = {threads}"
+            );
         }
     }
 
@@ -396,6 +546,7 @@ mod tests {
             batch_permutations: 64,
             round_batches: 4,
             threads: 2,
+            coalition_cache: false,
         };
         let run = parallel_sampled_shapley(&g, &config, 1);
         assert!(run.estimate.permutations < 100_000);
@@ -423,6 +574,7 @@ mod tests {
                 batch_permutations: 64,
                 round_batches: 8,
                 threads: 4,
+                coalition_cache: false,
             },
             5,
         );
@@ -452,6 +604,7 @@ mod tests {
                 batch_permutations: 64,
                 round_batches: 4,
                 threads: 3,
+                coalition_cache: false,
             },
             12,
         );
@@ -505,6 +658,7 @@ mod tests {
                     batch_permutations: total,
                     round_batches: 1,
                     threads: 1,
+                    coalition_cache: false,
                 },
                 seed,
             );
@@ -515,6 +669,7 @@ mod tests {
                     batch_permutations: batch,
                     round_batches: 7,
                     threads: 3,
+                    coalition_cache: false,
                 },
                 seed,
             );
@@ -530,6 +685,7 @@ mod tests {
                     batch_permutations: batch,
                     round_batches: 7,
                     threads: 1,
+                    coalition_cache: false,
                 },
                 seed,
             );

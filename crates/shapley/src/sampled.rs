@@ -23,7 +23,45 @@ use rand::seq::SliceRandom;
 use rand::Rng;
 use std::time::Instant;
 
-use crate::game::{replay_marginals, EvalCounters, IncrementalGame};
+use crate::cache::CachedGame;
+use crate::game::{replay_marginals_into, EvalCounters, IncrementalGame};
+
+/// Reusable per-worker replay buffers: the permutation, the forward and
+/// reverse marginal vectors, and the game's incremental state. Allocated
+/// once per estimator (or per parallel batch) so the inner sampling loop
+/// performs **no heap allocation after warm-up** — shuffling mutates the
+/// permutation in place and the state is rewound via
+/// [`IncrementalGame::reset_state`] instead of rebuilt.
+#[derive(Debug)]
+pub struct SampleScratch<S> {
+    pub(crate) order: Vec<usize>,
+    pub(crate) forward: Vec<f64>,
+    pub(crate) reverse: Vec<f64>,
+    pub(crate) state: S,
+}
+
+impl<S> SampleScratch<S> {
+    /// Scratch sized for `game`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the game has no players.
+    pub fn for_game<G: IncrementalGame<State = S>>(game: &G) -> Self {
+        let n = game.player_count();
+        assert!(n > 0, "game must have at least one player");
+        Self {
+            order: (0..n).collect(),
+            forward: vec![0.0; n],
+            reverse: vec![0.0; n],
+            state: game.initial_state(),
+        }
+    }
+
+    /// Number of players the scratch covers.
+    pub fn player_count(&self) -> usize {
+        self.order.len()
+    }
+}
 
 /// Configuration for [`sampled_shapley`].
 #[derive(Debug, Clone, Copy)]
@@ -247,8 +285,28 @@ pub fn sampled_shapley<G: IncrementalGame>(
     config: &SampleConfig,
     rng: &mut impl Rng,
 ) -> ShapleyEstimate {
+    let mut scratch = SampleScratch::for_game(game);
+    sampled_shapley_with_scratch(game, config, rng, &mut scratch)
+}
+
+/// [`sampled_shapley`] over caller-owned scratch buffers, letting a
+/// worker amortize its allocations across many estimations. The returned
+/// estimate is identical to [`sampled_shapley`]'s for the same RNG
+/// stream.
+///
+/// # Panics
+///
+/// Same conditions as [`sampled_shapley`], plus a scratch sized for a
+/// different player count.
+pub fn sampled_shapley_with_scratch<G: IncrementalGame>(
+    game: &G,
+    config: &SampleConfig,
+    rng: &mut impl Rng,
+    scratch: &mut SampleScratch<G::State>,
+) -> ShapleyEstimate {
     let n = game.player_count();
     assert!(n > 0, "game must have at least one player");
+    assert_eq!(scratch.player_count(), n, "scratch sized for another game");
     assert!(
         config.max_permutations > 0,
         "at least one permutation is required"
@@ -257,19 +315,35 @@ pub fn sampled_shapley<G: IncrementalGame>(
     let start = Instant::now();
     let mut moments = Moments::zero(n);
     let mut counters = EvalCounters::default();
-    let mut order: Vec<usize> = (0..n).collect();
-    let mut forward = vec![0.0f64; n];
-    let mut reverse = vec![0.0f64; n];
+
+    // `shuffle` permutes in place, so the stream depends on the starting
+    // order; rewind a reused scratch to the identity so the estimate is a
+    // function of the RNG alone.
+    for (i, slot) in scratch.order.iter_mut().enumerate() {
+        *slot = i;
+    }
 
     while moments.permutations() < config.max_permutations {
-        order.shuffle(rng);
-        replay_marginals(game, &order, &mut forward, &mut counters);
+        scratch.order.shuffle(rng);
+        replay_marginals_into(
+            game,
+            &scratch.order,
+            &mut scratch.state,
+            &mut scratch.forward,
+            &mut counters,
+        );
         if config.antithetic && moments.permutations() + 1 < config.max_permutations {
-            order.reverse();
-            replay_marginals(game, &order, &mut reverse, &mut counters);
-            moments.record_pair(&forward, &reverse);
+            scratch.order.reverse();
+            replay_marginals_into(
+                game,
+                &scratch.order,
+                &mut scratch.state,
+                &mut scratch.reverse,
+                &mut counters,
+            );
+            moments.record_pair(&scratch.forward, &scratch.reverse);
         } else {
-            moments.record_single(&forward);
+            moments.record_single(&scratch.forward);
         }
         if config.target_stderr > 0.0
             && moments.permutations() >= config.min_permutations
@@ -282,6 +356,27 @@ pub fn sampled_shapley<G: IncrementalGame>(
     counters.batches = 1;
     counters.wall_time_secs = start.elapsed().as_secs_f64();
     moments.into_estimate(counters)
+}
+
+/// [`sampled_shapley`] behind a [`CoalitionCache`](crate::cache::CoalitionCache):
+/// every permutation prefix is memoized by its membership bitmask, so
+/// repeated prefixes skip the characteristic function entirely. The
+/// permutation stream is a function of `rng` alone, so the estimate
+/// matches the uncached run exactly for games whose values are exact in
+/// floating point (and up to the game's own summation associativity
+/// otherwise); `counters.cache_hits` / `cache_misses` report the savings.
+///
+/// # Panics
+///
+/// Same conditions as [`sampled_shapley`], plus games with more than 64
+/// players (coalition bitmasks are one machine word).
+pub fn sampled_shapley_cached<G: IncrementalGame>(
+    game: &G,
+    config: &SampleConfig,
+    rng: &mut impl Rng,
+) -> ShapleyEstimate {
+    let cached = CachedGame::new(game);
+    sampled_shapley(&cached, config, rng)
 }
 
 /// Estimates Shapley values by *position-stratified* sampling: each drawn
@@ -317,18 +412,28 @@ pub fn stratified_shapley<G: IncrementalGame>(
     );
     let mut moments = Moments::zero(n);
     let mut counters = EvalCounters::default();
-    let mut order: Vec<usize> = (0..n).collect();
-    let mut forward = vec![0.0f64; n];
-    let mut reverse = vec![0.0f64; n];
+    let mut scratch = SampleScratch::for_game(game);
     for _ in 0..samples_per_stratum {
         // One permutation covers every stratum; the reversed pass swaps
         // every player's stratum (position i ↔ n−1−i), halving the
         // positional imbalance per sample.
-        order.shuffle(rng);
-        replay_marginals(game, &order, &mut forward, &mut counters);
-        order.reverse();
-        replay_marginals(game, &order, &mut reverse, &mut counters);
-        moments.record_pair(&forward, &reverse);
+        scratch.order.shuffle(rng);
+        replay_marginals_into(
+            game,
+            &scratch.order,
+            &mut scratch.state,
+            &mut scratch.forward,
+            &mut counters,
+        );
+        scratch.order.reverse();
+        replay_marginals_into(
+            game,
+            &scratch.order,
+            &mut scratch.state,
+            &mut scratch.reverse,
+            &mut counters,
+        );
+        moments.record_pair(&scratch.forward, &scratch.reverse);
     }
     moments.values()
 }
@@ -347,7 +452,7 @@ fn stderr(sum: f64, sum_sq: f64, k: usize) -> f64 {
 mod tests {
     use super::*;
     use crate::exact::exact_shapley;
-    use crate::game::{PeakDemandGame, Replay, TableGame};
+    use crate::game::{replay_marginals, PeakDemandGame, Replay, TableGame};
     use rand::rngs::StdRng;
     use rand::SeedableRng;
 
@@ -579,6 +684,90 @@ mod tests {
         assert_eq!(est.counters.marginal_updates, 50);
         assert_eq!(est.counters.batches, 1);
         assert!(est.counters.wall_time_secs >= 0.0);
+    }
+
+    /// Acceptance: on a 12-player integer-demand peak game at 4,096
+    /// permutations, the coalition cache must cut `coalition_evals` by at
+    /// least 50% while leaving the estimate bit-identical. Integer demands
+    /// make every partial sum exact in f64, so a cache hit (the
+    /// first-computed value for a mask) cannot differ from a recomputation
+    /// in any ulp.
+    #[test]
+    fn cache_halves_evals_with_bit_identical_estimates() {
+        let demands: Vec<Vec<f64>> = (0..12)
+            .map(|p: u64| {
+                (0..6)
+                    .map(|t: u64| ((p * 7 + t * 5 + 3) % 9) as f64)
+                    .collect()
+            })
+            .collect();
+        let g = PeakDemandGame::new(demands);
+        let config = SampleConfig {
+            max_permutations: 4096,
+            target_stderr: 0.0,
+            min_permutations: 1,
+            antithetic: true,
+        };
+        let uncached = sampled_shapley(&g, &config, &mut StdRng::seed_from_u64(42));
+        let cached = sampled_shapley_cached(&g, &config, &mut StdRng::seed_from_u64(42));
+        assert_eq!(cached.permutations, uncached.permutations);
+        for (c, u) in cached.values.iter().zip(&uncached.values) {
+            assert_eq!(c.to_bits(), u.to_bits());
+        }
+        for (c, u) in cached.std_errors.iter().zip(&uncached.std_errors) {
+            assert_eq!(c.to_bits(), u.to_bits());
+        }
+        assert_eq!(uncached.counters.coalition_evals, 4096 * 12);
+        assert!(
+            cached.counters.coalition_evals * 2 <= uncached.counters.coalition_evals,
+            "cache must cut coalition evals ≥ 50%: {} vs {}",
+            cached.counters.coalition_evals,
+            uncached.counters.coalition_evals
+        );
+        assert_eq!(
+            cached.counters.cache_hits + cached.counters.cache_misses,
+            4096 * 12,
+            "every prefix lookup is either a hit or a miss"
+        );
+        // A miss replays any cache-served pending players into the lazy
+        // inner state, so true evaluations exceed misses but stay far
+        // below the uncached count.
+        assert!(cached.counters.coalition_evals >= cached.counters.cache_misses);
+        assert!(cached.counters.cache_hit_rate() >= 0.5);
+    }
+
+    #[test]
+    fn scratch_reuse_matches_fresh_scratch() {
+        let g = demo_game();
+        let config = SampleConfig {
+            max_permutations: 64,
+            ..SampleConfig::default()
+        };
+        let mut scratch = SampleScratch::for_game(&g);
+        // First run warms the scratch; the second must be unaffected by
+        // the leftover permutation/state from the first.
+        let _ =
+            sampled_shapley_with_scratch(&g, &config, &mut StdRng::seed_from_u64(9), &mut scratch);
+        let reused =
+            sampled_shapley_with_scratch(&g, &config, &mut StdRng::seed_from_u64(10), &mut scratch);
+        let fresh = sampled_shapley(&g, &config, &mut StdRng::seed_from_u64(10));
+        for (a, b) in reused.values.iter().zip(&fresh.values) {
+            assert_eq!(a.to_bits(), b.to_bits());
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "scratch sized for another game")]
+    fn mismatched_scratch_panics() {
+        let g = demo_game();
+        let small = PeakDemandGame::new(vec![vec![1.0], vec![2.0]]);
+        let mut scratch = SampleScratch::for_game(&small);
+        let _ = sampled_shapley_with_scratch(
+            &g,
+            &SampleConfig::default(),
+            &mut StdRng::seed_from_u64(0),
+            &mut scratch,
+        );
     }
 
     #[test]
