@@ -2,12 +2,16 @@
 //! fairness statistics of Figures 7 and 8 stabilize with trial count, so
 //! reduced-scale runs (`--trials`) can be trusted.
 //!
-//! Writes `results/convergence.json`.
+//! One streaming pass per study: the engine's in-order progress callback
+//! snapshots the running means at each checkpoint, so no per-trial
+//! records are ever materialized. Writes `results/convergence.json`.
 
 use fairco2_bench::{print_report, sample_schedule, write_json, Args, SamplingReport};
 use fairco2_montecarlo::colocations::ColocationStudy;
-use fairco2_montecarlo::runner::{default_threads, run_parallel};
+use fairco2_montecarlo::engine::{stream_colocation_study_observed, stream_demand_study_observed};
+use fairco2_montecarlo::runner::default_threads;
 use fairco2_montecarlo::schedules::DemandStudy;
+use fairco2_montecarlo::EngineConfig;
 use serde::Serialize;
 
 #[derive(Serialize)]
@@ -26,68 +30,75 @@ struct Convergence {
     shapley_sampling: SamplingReport,
 }
 
+/// Batch size of the convergence runs: every checkpoint is a multiple of
+/// 50, so the engine's post-merge progress callback lands on each one
+/// exactly.
+const CHECKPOINT_BATCH: usize = 50;
+
+fn checkpoints(max_trials: usize) -> Vec<usize> {
+    [250usize, 500, 1000, 2000, 4000, 8000]
+        .into_iter()
+        .filter(|&c| c <= max_trials)
+        .collect()
+}
+
+fn print_points(title: &str, points: &[Point]) {
+    println!("\n{title}:");
+    println!("{:>8} {:>10} {:>10}", "trials", "RUP avg", "Fair avg");
+    for p in points {
+        println!(
+            "{:>8} {:>9.2}% {:>9.2}%",
+            p.trials, p.rup_avg_pct, p.fair_avg_pct
+        );
+    }
+}
+
 fn main() {
     let args = Args::parse();
     let max_trials = args.usize("max-trials", 4000);
     let threads = args.usize("threads", default_threads());
-    let checkpoints: Vec<usize> = [250usize, 500, 1000, 2000, 4000, 8000]
-        .into_iter()
-        .filter(|&c| c <= max_trials)
-        .collect();
+    let marks = checkpoints(max_trials);
+    let cfg = EngineConfig {
+        threads,
+        batch_trials: CHECKPOINT_BATCH,
+        collect_trials: false,
+    };
 
-    // Run once at the largest scale; prefixes give every checkpoint
-    // (trials are independent and identically seeded by index).
-    let demand_study = DemandStudy::default();
-    eprintln!("running {max_trials} demand trials…");
-    let demand_trials = run_parallel(max_trials, threads, |t| demand_study.run_trial(t));
-    let colocation_study = ColocationStudy::default();
-    eprintln!("running {max_trials} colocation trials…");
-    let colocation_trials = run_parallel(max_trials, threads, |t| colocation_study.run_trial(t));
+    let demand_study = DemandStudy {
+        trials: max_trials,
+        ..DemandStudy::default()
+    };
+    eprintln!("streaming {max_trials} demand trials…");
+    let mut demand = Vec::new();
+    let (_, _, _) = stream_demand_study_observed(&demand_study, cfg, |done, s| {
+        if marks.contains(&(done as usize)) {
+            demand.push(Point {
+                trials: done as usize,
+                rup_avg_pct: s.all.rup.average.mean(),
+                fair_avg_pct: s.all.fair_co2.average.mean(),
+            });
+        }
+    });
+
+    let colocation_study = ColocationStudy {
+        trials: max_trials,
+        ..ColocationStudy::default()
+    };
+    eprintln!("streaming {max_trials} colocation trials…");
+    let mut colocation = Vec::new();
+    let (_, _, _) = stream_colocation_study_observed(&colocation_study, cfg, |done, s| {
+        if marks.contains(&(done as usize)) {
+            colocation.push(Point {
+                trials: done as usize,
+                rup_avg_pct: s.all.rup.average.mean(),
+                fair_avg_pct: s.all.fair_co2.average.mean(),
+            });
+        }
+    });
 
     println!("Monte Carlo convergence of the headline average deviations");
-    println!("\ndemand study (Figure 7):");
-    println!("{:>8} {:>10} {:>10}", "trials", "RUP avg", "Fair avg");
-    let mut demand = Vec::new();
-    for &c in &checkpoints {
-        let rup: f64 = demand_trials[..c]
-            .iter()
-            .map(|t| t.rup.average_pct)
-            .sum::<f64>()
-            / c as f64;
-        let fair: f64 = demand_trials[..c]
-            .iter()
-            .map(|t| t.fair_co2.average_pct)
-            .sum::<f64>()
-            / c as f64;
-        println!("{c:>8} {rup:>9.2}% {fair:>9.2}%");
-        demand.push(Point {
-            trials: c,
-            rup_avg_pct: rup,
-            fair_avg_pct: fair,
-        });
-    }
-
-    println!("\ncolocation study (Figure 8):");
-    println!("{:>8} {:>10} {:>10}", "trials", "RUP avg", "Fair avg");
-    let mut colocation = Vec::new();
-    for &c in &checkpoints {
-        let rup: f64 = colocation_trials[..c]
-            .iter()
-            .map(|t| t.rup.average_pct)
-            .sum::<f64>()
-            / c as f64;
-        let fair: f64 = colocation_trials[..c]
-            .iter()
-            .map(|t| t.fair_co2.average_pct)
-            .sum::<f64>()
-            / c as f64;
-        println!("{c:>8} {rup:>9.2}% {fair:>9.2}%");
-        colocation.push(Point {
-            trials: c,
-            rup_avg_pct: rup,
-            fair_avg_pct: fair,
-        });
-    }
+    print_points("demand study (Figure 7)", &demand);
+    print_points("colocation study (Figure 8)", &colocation);
 
     let drift = |points: &[Point]| {
         points

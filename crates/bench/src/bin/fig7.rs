@@ -3,23 +3,34 @@
 //! across 10,000 random schedules, overall and broken down by schedule
 //! length and workload count.
 //!
-//! Defaults to the paper's scale; tune with
-//! `--trials N --max-workloads N --min-slices N --max-slices N
-//! --threads N`. Writes `results/fig7.json`.
+//! Trials run through the streaming study engine: per-worker scratch
+//! arenas, constant-memory summary accumulators, and batch merges that
+//! are bit-identical at any thread count. Defaults to the paper's scale;
+//! tune with `--trials N --max-workloads N --min-slices N --max-slices N
+//! --threads N --batch N`. `--dump-trials 1` additionally writes every
+//! per-trial record to `results/fig7_trials.json`. Writes
+//! `results/fig7.json`.
 
 use fairco2_bench::{print_report, sample_schedule, write_json, Args, SamplingReport};
-use fairco2_montecarlo::runner::{default_threads, run_parallel};
-use fairco2_montecarlo::schedules::{DemandStudy, DemandTrial};
-use fairco2_trace::stats::Summary;
+use fairco2_montecarlo::runner::default_threads;
+use fairco2_montecarlo::schedules::DemandStudy;
+use fairco2_montecarlo::streaming::{DemandMethodSet, MethodStream, DEFAULT_BATCH_TRIALS};
+use fairco2_montecarlo::{stream_demand_study, EngineConfig, EngineStats};
 use serde::Serialize;
 
 #[derive(Serialize)]
 struct Fig7 {
     panels: Vec<Panel>,
+    /// Empirical CDFs of the per-trial average deviation over all
+    /// scenarios (the Figure 7e curves), as `(deviation_pct,
+    /// cumulative_fraction)` points.
+    average_cdf: Vec<MethodCdf>,
     /// Convergence trace of the sampled engine on this study's first
     /// schedule — how many permutations the sampling alternative to the
     /// exact ground truth needs.
     shapley_sampling: SamplingReport,
+    /// What the streaming engine did (trials, batches, scratch reuse).
+    engine: EngineStats,
 }
 
 #[derive(Serialize)]
@@ -32,6 +43,12 @@ struct MethodStats {
 }
 
 #[derive(Serialize)]
+struct MethodCdf {
+    method: String,
+    points: Vec<(f64, f64)>,
+}
+
+#[derive(Serialize)]
 struct Panel {
     label: String,
     scenarios: usize,
@@ -39,12 +56,13 @@ struct Panel {
     worst_case: Vec<MethodStats>,
 }
 
-fn stats<F: Fn(&DemandTrial) -> f64>(
-    method: &str,
-    trials: &[&DemandTrial],
-    pick: F,
-) -> MethodStats {
-    let s: Summary = trials.iter().map(|t| pick(t)).collect();
+const METHODS: [&str; 3] = ["rup-baseline", "demand-proportional", "fair-co2"];
+
+fn method_streams(set: &DemandMethodSet) -> [&MethodStream; 3] {
+    [&set.rup, &set.demand_proportional, &set.fair_co2]
+}
+
+fn stats(method: &str, s: &fairco2_montecarlo::StatStream) -> MethodStats {
     MethodStats {
         method: method.to_owned(),
         mean_pct: s.mean(),
@@ -54,24 +72,21 @@ fn stats<F: Fn(&DemandTrial) -> f64>(
     }
 }
 
-fn panel(label: &str, trials: &[&DemandTrial]) -> Panel {
+fn panel(label: &str, set: &DemandMethodSet) -> Panel {
+    let streams = method_streams(set);
     Panel {
         label: label.to_owned(),
-        scenarios: trials.len(),
-        average: vec![
-            stats("rup-baseline", trials, |t| t.rup.average_pct),
-            stats("demand-proportional", trials, |t| {
-                t.demand_proportional.average_pct
-            }),
-            stats("fair-co2", trials, |t| t.fair_co2.average_pct),
-        ],
-        worst_case: vec![
-            stats("rup-baseline", trials, |t| t.rup.worst_case_pct),
-            stats("demand-proportional", trials, |t| {
-                t.demand_proportional.worst_case_pct
-            }),
-            stats("fair-co2", trials, |t| t.fair_co2.worst_case_pct),
-        ],
+        scenarios: set.rup.average.count() as usize,
+        average: METHODS
+            .iter()
+            .zip(streams)
+            .map(|(m, s)| stats(m, &s.average))
+            .collect(),
+        worst_case: METHODS
+            .iter()
+            .zip(streams)
+            .map(|(m, s)| stats(m, &s.worst_case))
+            .collect(),
     }
 }
 
@@ -99,32 +114,33 @@ fn main() {
         base_seed: args.u64("seed", DemandStudy::default().base_seed),
     };
     let threads = args.usize("threads", default_threads());
+    let cfg = EngineConfig {
+        threads,
+        batch_trials: args.usize("batch", DEFAULT_BATCH_TRIALS),
+        collect_trials: args.usize("dump-trials", 0) != 0,
+    };
 
     eprintln!(
-        "running {} schedule trials on {threads} threads (exact ground truth, ≤{} workloads)…",
+        "streaming {} schedule trials on {threads} threads (exact ground truth, ≤{} workloads)…",
         study.trials, study.max_workloads
     );
-    let trials: Vec<DemandTrial> = run_parallel(study.trials, threads, |t| study.run_trial(t));
+    let (summary, dump, engine) = stream_demand_study(&study, cfg);
 
-    let all: Vec<&DemandTrial> = trials.iter().collect();
-    let mut panels = vec![panel("all scenarios (a, e)", &all)];
-
-    for slices in study.min_time_slices..=study.max_time_slices {
-        let subset: Vec<&DemandTrial> = trials.iter().filter(|t| t.time_slices == slices).collect();
-        if !subset.is_empty() {
+    let mut panels = vec![panel("all scenarios (a, e)", &summary.all)];
+    for b in &summary.by_time_slices {
+        if b.methods.rup.average.count() > 0 {
             panels.push(panel(
-                &format!("{slices} time slices (b, c, f, g)"),
-                &subset,
+                &format!("{} time slices (b, c, f, g)", b.lo),
+                &b.methods,
             ));
         }
     }
-    for (lo, hi) in [(1usize, 7usize), (8, 14), (15, 22)] {
-        let subset: Vec<&DemandTrial> = trials
-            .iter()
-            .filter(|t| (lo..=hi).contains(&t.workloads))
-            .collect();
-        if !subset.is_empty() {
-            panels.push(panel(&format!("{lo}-{hi} workloads (d, h)"), &subset));
+    for b in &summary.by_workloads {
+        if b.methods.rup.average.count() > 0 {
+            panels.push(panel(
+                &format!("{}-{} workloads (d, h)", b.lo, b.hi),
+                &b.methods,
+            ));
         }
     }
 
@@ -144,6 +160,19 @@ fn main() {
         overall.worst_case[2].mean_pct,
     );
     println!("paper:    RUP ~80% / ~279%, demand-prop ~31% / ~90%, Fair-CO2 ~19% / ~55%");
+    println!(
+        "engine:   {} trials in {} batches, scratch grows {} / reuses {}",
+        engine.trials, engine.batches, engine.scratch.table_grows, engine.scratch.table_reuses
+    );
+
+    let average_cdf = METHODS
+        .iter()
+        .zip(method_streams(&summary.all))
+        .map(|(m, s)| MethodCdf {
+            method: (*m).to_owned(),
+            points: s.average.hist.cdf_points(),
+        })
+        .collect();
 
     let schedule = study.generate_schedule(0);
     let shapley_sampling = sample_schedule(
@@ -154,11 +183,21 @@ fn main() {
     );
     print_report(&shapley_sampling);
 
+    if let Some(trials) = dump {
+        let path = write_json("fig7_trials", &trials);
+        println!(
+            "wrote {} ({} per-trial records)",
+            path.display(),
+            trials.len()
+        );
+    }
     let path = write_json(
         "fig7",
         &Fig7 {
             panels,
+            average_cdf,
             shapley_sampling,
+            engine,
         },
     );
     println!("\nwrote {}", path.display());

@@ -3,24 +3,33 @@
 //! 10,000 random colocation scenarios — overall, by historical sampling
 //! rate, by workload count, and by grid carbon intensity.
 //!
+//! Trials run through the streaming study engine (per-worker scratch
+//! arenas, constant-memory accumulators, thread-count-invariant merges).
 //! Tune with `--trials N --min-workloads N --max-workloads N
-//! --min-grid-ci X --max-grid-ci X --threads N`.
-//! Writes `results/fig8.json`.
+//! --min-grid-ci X --max-grid-ci X --threads N --batch N`.
+//! `--dump-trials 1` additionally writes every per-trial record to
+//! `results/fig8_trials.json`. Writes `results/fig8.json`.
 
 use fairco2_bench::{print_report, sample_schedule, write_json, Args, SamplingReport};
-use fairco2_montecarlo::colocations::{ColocationStudy, ColocationTrial};
-use fairco2_montecarlo::runner::{default_threads, run_parallel};
+use fairco2_montecarlo::colocations::ColocationStudy;
+use fairco2_montecarlo::runner::default_threads;
 use fairco2_montecarlo::schedules::DemandStudy;
-use fairco2_trace::stats::Summary;
+use fairco2_montecarlo::streaming::{ColocationMethodSet, MethodStream, DEFAULT_BATCH_TRIALS};
+use fairco2_montecarlo::{stream_colocation_study, EngineConfig, EngineStats, StatStream};
 use serde::Serialize;
 
 #[derive(Serialize)]
 struct Fig8 {
     panels: Vec<Panel>,
+    /// Empirical CDFs of the per-trial average deviation over all
+    /// scenarios, as `(deviation_pct, cumulative_fraction)` points.
+    average_cdf: Vec<MethodCdf>,
     /// Convergence trace of the sampled engine on a peak game sized to
     /// this study's workload counts — exact enumeration is intractable at
     /// this scale, so sampling is the only ground-truth path.
     shapley_sampling: SamplingReport,
+    /// What the streaming engine did (trials, batches, scratch reuse).
+    engine: EngineStats,
 }
 
 #[derive(Serialize)]
@@ -32,6 +41,12 @@ struct MethodStats {
 }
 
 #[derive(Serialize)]
+struct MethodCdf {
+    method: String,
+    points: Vec<(f64, f64)>,
+}
+
+#[derive(Serialize)]
 struct Panel {
     label: String,
     scenarios: usize,
@@ -39,12 +54,13 @@ struct Panel {
     worst_case: Vec<MethodStats>,
 }
 
-fn stats<F: Fn(&ColocationTrial) -> f64>(
-    method: &str,
-    trials: &[&ColocationTrial],
-    pick: F,
-) -> MethodStats {
-    let s: Summary = trials.iter().map(|t| pick(t)).collect();
+const METHODS: [&str; 2] = ["rup-baseline", "fair-co2"];
+
+fn method_streams(set: &ColocationMethodSet) -> [&MethodStream; 2] {
+    [&set.rup, &set.fair_co2]
+}
+
+fn stats(method: &str, s: &StatStream) -> MethodStats {
     MethodStats {
         method: method.to_owned(),
         mean_pct: s.mean(),
@@ -53,18 +69,21 @@ fn stats<F: Fn(&ColocationTrial) -> f64>(
     }
 }
 
-fn panel(label: &str, trials: &[&ColocationTrial]) -> Panel {
+fn panel(label: &str, set: &ColocationMethodSet) -> Panel {
+    let streams = method_streams(set);
     Panel {
         label: label.to_owned(),
-        scenarios: trials.len(),
-        average: vec![
-            stats("rup-baseline", trials, |t| t.rup.average_pct),
-            stats("fair-co2", trials, |t| t.fair_co2.average_pct),
-        ],
-        worst_case: vec![
-            stats("rup-baseline", trials, |t| t.rup.worst_case_pct),
-            stats("fair-co2", trials, |t| t.fair_co2.worst_case_pct),
-        ],
+        scenarios: set.rup.average.count() as usize,
+        average: METHODS
+            .iter()
+            .zip(streams)
+            .map(|(m, s)| stats(m, &s.average))
+            .collect(),
+        worst_case: METHODS
+            .iter()
+            .zip(streams)
+            .map(|(m, s)| stats(m, &s.worst_case))
+            .collect(),
     }
 }
 
@@ -91,52 +110,32 @@ fn main() {
         base_seed: args.u64("seed", ColocationStudy::default().base_seed),
     };
     let threads = args.usize("threads", default_threads());
+    let cfg = EngineConfig {
+        threads,
+        batch_trials: args.usize("batch", DEFAULT_BATCH_TRIALS),
+        collect_trials: args.usize("dump-trials", 0) != 0,
+    };
 
     eprintln!(
-        "running {} colocation trials on {threads} threads (exact matching-game ground truth)…",
+        "streaming {} colocation trials on {threads} threads (exact matching-game ground truth)…",
         study.trials
     );
-    let trials: Vec<ColocationTrial> = run_parallel(study.trials, threads, |t| study.run_trial(t));
+    let (summary, dump, engine) = stream_colocation_study(&study, cfg);
 
-    let all: Vec<&ColocationTrial> = trials.iter().collect();
-    let mut panels = vec![panel("all scenarios (a, e)", &all)];
-
-    for (lo, hi) in [(1usize, 3usize), (4, 7), (8, 11), (12, 14)] {
-        let subset: Vec<&ColocationTrial> = trials
-            .iter()
-            .filter(|t| (lo..=hi).contains(&t.samples))
-            .collect();
-        if !subset.is_empty() {
-            panels.push(panel(
-                &format!("sampling {lo}-{hi} of 14 partners (b, f)"),
-                &subset,
-            ));
+    let mut panels = vec![panel("all scenarios (a, e)", &summary.all)];
+    for b in &summary.by_samples {
+        if b.methods.rup.average.count() > 0 {
+            panels.push(panel(&format!("{} (b, f)", b.label), &b.methods));
         }
     }
-    for (lo, hi) in [(4usize, 25usize), (26, 50), (51, 75), (76, 100)] {
-        let subset: Vec<&ColocationTrial> = trials
-            .iter()
-            .filter(|t| (lo..=hi).contains(&t.workloads))
-            .collect();
-        if !subset.is_empty() {
-            panels.push(panel(&format!("{lo}-{hi} workloads (c, g)"), &subset));
+    for b in &summary.by_workloads {
+        if b.methods.rup.average.count() > 0 {
+            panels.push(panel(&format!("{} (c, g)", b.label), &b.methods));
         }
     }
-    for (lo, hi) in [
-        (0.0, 250.0),
-        (250.0, 500.0),
-        (500.0, 750.0),
-        (750.0, 1000.0),
-    ] {
-        let subset: Vec<&ColocationTrial> = trials
-            .iter()
-            .filter(|t| t.grid_ci >= lo && t.grid_ci < hi + 1e-9)
-            .collect();
-        if !subset.is_empty() {
-            panels.push(panel(
-                &format!("grid CI {lo:.0}-{hi:.0} gCO2e/kWh (d, h)"),
-                &subset,
-            ));
+    for b in &summary.by_grid_ci {
+        if b.methods.rup.average.count() > 0 {
+            panels.push(panel(&format!("{} (d, h)", b.label), &b.methods));
         }
     }
 
@@ -154,6 +153,19 @@ fn main() {
         overall.worst_case[1].mean_pct,
     );
     println!("paper:    RUP 9.7% avg / 31.7% worst — Fair-CO2 1.72% avg / 5.0% worst");
+    println!(
+        "engine:   {} trials in {} batches, {} scratch-served solves",
+        engine.trials, engine.batches, engine.scratch.table_reuses
+    );
+
+    let average_cdf = METHODS
+        .iter()
+        .zip(method_streams(&summary.all))
+        .map(|(m, s)| MethodCdf {
+            method: (*m).to_owned(),
+            points: s.average.hist.cdf_points(),
+        })
+        .collect();
 
     let probe = DemandStudy {
         max_workloads: study.max_workloads,
@@ -168,11 +180,21 @@ fn main() {
     );
     print_report(&shapley_sampling);
 
+    if let Some(trials) = dump {
+        let path = write_json("fig8_trials", &trials);
+        println!(
+            "wrote {} ({} per-trial records)",
+            path.display(),
+            trials.len()
+        );
+    }
     let path = write_json(
         "fig8",
         &Fig8 {
             panels,
+            average_cdf,
             shapley_sampling,
+            engine,
         },
     );
     println!("\nwrote {}", path.display());

@@ -3,13 +3,15 @@
 //! for each workload's *partners* (bottom), under the RUP-Baseline (left)
 //! and Fair-CO₂ (right).
 //!
-//! Tune with `--trials N --threads N`. Writes `results/fig9.json`.
+//! The per-kind equity streams come straight from the streaming study
+//! summary — no per-trial materialization. Tune with `--trials N
+//! --threads N --batch N`. Writes `results/fig9.json`.
 
 use fairco2_bench::{write_json, Args};
-use fairco2_montecarlo::colocations::{ColocationStudy, ColocationTrial};
-use fairco2_montecarlo::runner::{default_threads, run_parallel};
-use fairco2_trace::stats::Summary;
-use fairco2_workloads::ALL_WORKLOADS;
+use fairco2_montecarlo::colocations::ColocationStudy;
+use fairco2_montecarlo::runner::default_threads;
+use fairco2_montecarlo::streaming::{KindEquity, DEFAULT_BATCH_TRIALS};
+use fairco2_montecarlo::{stream_colocation_study, EngineConfig, StatStream};
 use serde::Serialize;
 
 #[derive(Serialize)]
@@ -32,11 +34,10 @@ struct Fig9 {
     partner_fair: Vec<Distribution>,
 }
 
-fn distribution(workload: &str, values: &[f64]) -> Distribution {
-    let s: Summary = values.iter().copied().collect();
+fn distribution(workload: &str, s: &StatStream) -> Distribution {
     Distribution {
         workload: workload.to_owned(),
-        samples: s.len(),
+        samples: s.count() as usize,
         mean_pct: s.mean(),
         p5_pct: s.quantile(0.05),
         median_pct: s.quantile(0.5),
@@ -66,50 +67,30 @@ fn main() {
         ..ColocationStudy::default()
     };
     let threads = args.usize("threads", default_threads());
+    let cfg = EngineConfig {
+        threads,
+        batch_trials: args.usize("batch", DEFAULT_BATCH_TRIALS),
+        collect_trials: false,
+    };
 
     eprintln!(
-        "running {} colocation trials on {threads} threads…",
+        "streaming {} colocation trials on {threads} threads…",
         study.trials
     );
-    let trials: Vec<ColocationTrial> = run_parallel(study.trials, threads, |t| study.run_trial(t));
+    let (summary, _, _) = stream_colocation_study(&study, cfg);
 
-    let n = ALL_WORKLOADS.len();
-    let mut own_rup: Vec<Vec<f64>> = vec![Vec::new(); n];
-    let mut own_fair: Vec<Vec<f64>> = vec![Vec::new(); n];
-    let mut partner_rup: Vec<Vec<f64>> = vec![Vec::new(); n];
-    let mut partner_fair: Vec<Vec<f64>> = vec![Vec::new(); n];
-
-    for trial in &trials {
-        // Index per-instance deviations by position so we can find each
-        // record's partner record (pairs are adjacent in scenario order).
-        for w in &trial.per_workload {
-            own_rup[w.kind.index()].push(w.rup_pct);
-            own_fair[w.kind.index()].push(w.fair_pct);
-        }
-        for pair in trial.per_workload.chunks(2) {
-            if let [a, b] = pair {
-                if a.partner.is_some() {
-                    // `b` is `a`'s partner and vice versa.
-                    partner_rup[a.kind.index()].push(b.rup_pct);
-                    partner_fair[a.kind.index()].push(b.fair_pct);
-                    partner_rup[b.kind.index()].push(a.rup_pct);
-                    partner_fair[b.kind.index()].push(a.fair_pct);
-                }
-            }
-        }
-    }
-
-    let build = |data: &[Vec<f64>]| -> Vec<Distribution> {
-        ALL_WORKLOADS
+    let build = |pick: fn(&KindEquity) -> &StatStream| -> Vec<Distribution> {
+        summary
+            .per_kind
             .iter()
-            .map(|w| distribution(w.name(), &data[w.index()]))
+            .map(|k| distribution(&k.workload, pick(k)))
             .collect()
     };
     let out = Fig9 {
-        own_rup: build(&own_rup),
-        own_fair: build(&own_fair),
-        partner_rup: build(&partner_rup),
-        partner_fair: build(&partner_fair),
+        own_rup: build(|k| &k.own_rup),
+        own_fair: build(|k| &k.own_fair),
+        partner_rup: build(|k| &k.partner_rup),
+        partner_fair: build(|k| &k.partner_fair),
     };
 
     println!("Figure 9: per-workload deviation distributions (signed, % of ground truth)");

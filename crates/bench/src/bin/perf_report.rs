@@ -6,20 +6,31 @@
 //! * cached versus uncached permutation sampling
 //!   (`sampled_shapley_cached`), with eval counts and cache hit rate;
 //! * the Gray-code table fill through the segment-tree toggle versus the
-//!   original dense re-scan (`ScanPeak`).
+//!   original dense re-scan (`ScanPeak`);
+//! * a `monte_carlo` section timing the Figure-7 demand study end to end —
+//!   the pre-streaming baseline (fresh per-trial allocations, segment-tree
+//!   fill, per-player marginal accumulation, replicated below from public
+//!   APIs), the collect-then-summarize path, and the streaming engine —
+//!   written separately to `results/BENCH_montecarlo.json`.
 //!
 //! Tune with `--trials N --threads N --max-n N --permutations N
-//! --seed N`. Each scenario reports the best wall-clock over the trials
-//! (the usual benchmarking floor) plus the work counters of one run, and
-//! the process-wide peak RSS (`VmHWM`) is recorded at the end.
+//! --mc-trials N --seed N`. Each scenario reports the best wall-clock over
+//! the trials (the usual benchmarking floor) plus the work counters of one
+//! run, and the process-wide peak RSS (`VmHWM`) is recorded at the end.
 
 use std::time::Instant;
 
+use fairco2::demand::{DemandAttributor, DemandProportional, RupBaseline, TemporalFairCo2};
+use fairco2::metrics::{summarize, DeviationSummary};
 use fairco2_bench::{write_json, Args};
+use fairco2_montecarlo::schedules::DemandStudy;
+use fairco2_montecarlo::streaming::{DemandStudySummary, DEFAULT_BATCH_TRIALS};
+use fairco2_montecarlo::{stream_demand_study, EngineConfig, EngineStats};
 use fairco2_shapley::default_threads;
 use fairco2_shapley::exact::{exact_shapley, exact_shapley_fast, parallel_exact_shapley};
-use fairco2_shapley::game::{PeakDemandGame, ScanPeak};
+use fairco2_shapley::game::{Game, PeakDemandGame, ScanPeak};
 use fairco2_shapley::sampled::{sampled_shapley, sampled_shapley_cached, SampleConfig};
+use fairco2_shapley::MaxTree;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use serde::Serialize;
@@ -64,6 +75,36 @@ struct ToggleRow {
     speedup: f64,
 }
 
+/// End-to-end demand-study throughput, written to
+/// `results/BENCH_montecarlo.json`.
+#[derive(Serialize)]
+struct MonteCarloReport {
+    /// Study trials timed per variant (`--mc-trials`).
+    trials: usize,
+    /// Workload cap of the study (the paper's 22 → up to 2²² coalitions).
+    max_workloads: usize,
+    /// Pre-streaming per-trial path: fresh allocations, segment-tree Gray
+    /// fill, per-player marginal accumulation.
+    baseline_secs: f64,
+    baseline_trials_per_sec: f64,
+    /// Current solver, but trials collected into a `Vec` and summarized
+    /// at the end (the pre-engine driver shape).
+    collect_secs: f64,
+    collect_trials_per_sec: f64,
+    /// Streaming engine on one thread: scratch arenas + constant-memory
+    /// summary accumulators.
+    streaming_secs: f64,
+    streaming_trials_per_sec: f64,
+    /// Streaming vs the pre-streaming baseline (the headline number).
+    speedup_vs_baseline: f64,
+    /// Streaming vs collect-then-summarize within the current build.
+    speedup_vs_collect: f64,
+    /// Engine counters from the streaming run (batches, scratch reuse).
+    engine: EngineStats,
+    /// Process peak RSS (`VmHWM`) in KiB after the study runs.
+    peak_rss_kib: Option<u64>,
+}
+
 fn peak_game(n: usize, steps: usize, seed: u64) -> PeakDemandGame {
     let mut rng = StdRng::seed_from_u64(seed);
     let demand = (0..n)
@@ -95,6 +136,82 @@ fn windowed_peak_game(n: usize, steps: usize, seed: u64) -> PeakDemandGame {
         })
         .collect();
     PeakDemandGame::new(demand)
+}
+
+/// Shapley marginal weights `w[k] = k!(n-1-k)!/n!` for coalitions of size
+/// `k` not containing the player.
+fn marginal_weights(n: usize) -> Vec<f64> {
+    let mut w = vec![0.0; n];
+    w[0] = 1.0 / n as f64;
+    for k in 1..n {
+        w[k] = w[k - 1] * k as f64 / (n - k) as f64;
+    }
+    w
+}
+
+/// The pre-streaming exact solver, replicated from public APIs as the
+/// baseline for the `monte_carlo` section: a fresh 2ⁿ table per call,
+/// filled along the Gray sequence through a [`MaxTree`] toggle, then one
+/// marginal-difference accumulation pass per player. The production path
+/// replaced the tree with a flat re-scan at schedule-sized step counts and
+/// the per-player passes with a single scatter pass over the table.
+fn baseline_exact(game: &PeakDemandGame) -> Vec<f64> {
+    let n = game.player_count();
+    let size = 1u64 << n;
+    let mut table = vec![0.0f64; size as usize];
+    let mut sums = MaxTree::new(game.steps());
+    let mut members = vec![false; n];
+    for g in 1..size {
+        let gray = g ^ (g >> 1);
+        let prev = (g - 1) ^ ((g - 1) >> 1);
+        let player = (gray ^ prev).trailing_zeros() as usize;
+        let sign = if members[player] { -1.0 } else { 1.0 };
+        members[player] = !members[player];
+        for (t, &d) in game.demand()[player].iter().enumerate() {
+            if d != 0.0 {
+                sums.add(t, sign * d);
+            }
+        }
+        table[gray as usize] = sums.max();
+    }
+    let weights = marginal_weights(n);
+    let mut phi = vec![0.0; n];
+    for (p, phi_p) in phi.iter_mut().enumerate() {
+        let bit = 1u64 << p;
+        for mask in 0..size {
+            if mask & bit == 0 {
+                let k = mask.count_ones() as usize;
+                *phi_p += weights[k] * (table[(mask | bit) as usize] - table[mask as usize]);
+            }
+        }
+    }
+    phi
+}
+
+/// One demand-study trial on the pre-streaming path: fresh generation
+/// buffers, [`baseline_exact`] ground truth, allocating attributors.
+/// Mirrors `DemandStudy::run_trial` with the optimized solver swapped out.
+fn baseline_demand_trial(study: &DemandStudy, trial: usize) -> [DeviationSummary; 3] {
+    let schedule = study.generate_schedule(trial);
+    let pool = 1000.0;
+    let game = PeakDemandGame::new(schedule.demand_matrix());
+    let mut truth = baseline_exact(&game);
+    let total: f64 = truth.iter().sum();
+    assert!(total > 0.0, "generated schedules have positive peak");
+    for v in &mut truth {
+        *v = pool * *v / total;
+    }
+    let dev = |method: &dyn DemandAttributor| {
+        let shares = method
+            .attribute(&schedule, pool)
+            .expect("generated schedules are attributable");
+        summarize(&shares, &truth).expect("ground truth has non-zero shares")
+    };
+    [
+        dev(&RupBaseline),
+        dev(&DemandProportional),
+        dev(&TemporalFairCo2::per_step()),
+    ]
 }
 
 /// Best wall-clock over `trials` runs of `f`.
@@ -201,7 +318,10 @@ fn main() {
     }
 
     let mut toggle = Vec::new();
-    for steps in [64usize, 512, 4096] {
+    // Steps start above `SCAN_FILL_MAX_STEPS` (64): at or below it the
+    // hybrid fill routes `PeakDemandGame` to the flat re-scan itself, so
+    // the tree-vs-scan comparison would measure two scans.
+    for steps in [128usize, 512, 4096] {
         let n = 14.min(max_n);
         let game = windowed_peak_game(n, steps, seed + 200 + steps as u64);
         let scan = ScanPeak(game.clone());
@@ -233,5 +353,98 @@ fn main() {
         println!("peak RSS: {:.1} MiB", kib as f64 / 1024.0);
     }
     let path = write_json("BENCH_shapley", &report);
+    println!("wrote {}", path.display());
+
+    // --- monte_carlo: demand-study throughput, end to end ---
+    let mc_trials = args.usize("mc-trials", 1000).max(1);
+    let study = DemandStudy {
+        trials: mc_trials,
+        ..DemandStudy::default()
+    };
+    println!(
+        "monte carlo: {} demand trials, ≤{} workloads, 1 thread",
+        mc_trials, study.max_workloads
+    );
+
+    // The replica must agree with the production trial before its timing
+    // means anything: same deviations, up to accumulation-order rounding.
+    for t in 0..3.min(mc_trials) {
+        let replica = baseline_demand_trial(&study, t);
+        let reference = study.run_trial(t);
+        for (a, b) in replica.iter().zip([
+            &reference.rup,
+            &reference.demand_proportional,
+            &reference.fair_co2,
+        ]) {
+            let close = |x: f64, y: f64| (x - y).abs() < 1e-6 * y.abs().max(1.0);
+            assert!(
+                close(a.average_pct, b.average_pct) && close(a.worst_case_pct, b.worst_case_pct),
+                "baseline replica diverged on trial {t}: {a:?} vs {b:?}"
+            );
+        }
+    }
+
+    // Best of two passes per variant, like the solver sections — a study
+    // run is long enough that scheduler noise otherwise dominates the
+    // collect-vs-streaming margin.
+    const MC_REPS: usize = 2;
+    let baseline_secs = best_secs(MC_REPS, || {
+        for t in 0..mc_trials {
+            std::hint::black_box(baseline_demand_trial(&study, t));
+        }
+    });
+
+    let collect_secs = best_secs(MC_REPS, || {
+        let collected: Vec<_> = (0..mc_trials).map(|t| study.run_trial(t)).collect();
+        DemandStudySummary::from_trials(&study, &collected, DEFAULT_BATCH_TRIALS)
+    });
+    let collected: Vec<_> = (0..mc_trials).map(|t| study.run_trial(t)).collect();
+    let collect_summary = DemandStudySummary::from_trials(&study, &collected, DEFAULT_BATCH_TRIALS);
+
+    let cfg = EngineConfig {
+        threads: 1,
+        batch_trials: DEFAULT_BATCH_TRIALS,
+        collect_trials: false,
+    };
+    let streaming_secs = best_secs(MC_REPS, || stream_demand_study(&study, cfg));
+    let (summary, _, engine) = stream_demand_study(&study, cfg);
+    assert_eq!(
+        summary.all.rup.average.mean().to_bits(),
+        collect_summary.all.rup.average.mean().to_bits(),
+        "streaming summary must be bit-identical to collect-then-summarize"
+    );
+
+    let per_sec = |secs: f64| mc_trials as f64 / secs;
+    let mc = MonteCarloReport {
+        trials: mc_trials,
+        max_workloads: study.max_workloads,
+        baseline_secs,
+        baseline_trials_per_sec: per_sec(baseline_secs),
+        collect_secs,
+        collect_trials_per_sec: per_sec(collect_secs),
+        streaming_secs,
+        streaming_trials_per_sec: per_sec(streaming_secs),
+        speedup_vs_baseline: baseline_secs / streaming_secs,
+        speedup_vs_collect: collect_secs / streaming_secs,
+        engine,
+        peak_rss_kib: peak_rss_kib(),
+    };
+    println!(
+        "monte carlo  baseline {:.3}s ({:.1}/s)  collect {:.3}s ({:.1}/s)  streaming {:.3}s ({:.1}/s)",
+        mc.baseline_secs,
+        mc.baseline_trials_per_sec,
+        mc.collect_secs,
+        mc.collect_trials_per_sec,
+        mc.streaming_secs,
+        mc.streaming_trials_per_sec
+    );
+    println!(
+        "monte carlo  {:.2}x vs pre-streaming baseline, {:.2}x vs collect; scratch grows {} / reuses {}",
+        mc.speedup_vs_baseline, mc.speedup_vs_collect, mc.engine.scratch.table_grows, mc.engine.scratch.table_reuses
+    );
+    if let Some(kib) = mc.peak_rss_kib {
+        println!("monte carlo  peak RSS {:.1} MiB", kib as f64 / 1024.0);
+    }
+    let path = write_json("BENCH_montecarlo", &mc);
     println!("wrote {}", path.display());
 }

@@ -215,6 +215,28 @@ pub trait ColocationAttributor {
         scenario: &ColocationScenario,
         ctx: &NodeAccounting,
     ) -> Result<Vec<f64>, ColocationError>;
+
+    /// [`attribute`](Self::attribute) writing into a caller-owned,
+    /// reusable share vector (cleared first), so trial loops can amortize
+    /// the output allocation. Bit-identical to
+    /// [`attribute`](Self::attribute).
+    ///
+    /// On error `out` is left cleared or partially written — callers must
+    /// not read it.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`attribute`](Self::attribute).
+    fn attribute_into(
+        &self,
+        scenario: &ColocationScenario,
+        ctx: &NodeAccounting,
+        out: &mut Vec<f64>,
+    ) -> Result<(), ColocationError> {
+        out.clear();
+        out.extend(self.attribute(scenario, ctx)?);
+        Ok(())
+    }
 }
 
 /// The ground truth: exact Shapley of the matching game, normalized to the
@@ -232,6 +254,17 @@ impl ColocationAttributor for GroundTruthMatching {
         scenario: &ColocationScenario,
         ctx: &NodeAccounting,
     ) -> Result<Vec<f64>, ColocationError> {
+        let mut out = Vec::new();
+        self.attribute_into(scenario, ctx, &mut out)?;
+        Ok(out)
+    }
+
+    fn attribute_into(
+        &self,
+        scenario: &ColocationScenario,
+        ctx: &NodeAccounting,
+        out: &mut Vec<f64>,
+    ) -> Result<(), ColocationError> {
         let workloads = scenario.workloads();
         let kinds: Vec<WorkloadKind> = workloads.iter().map(|w| w.kind).collect();
         let isolated: Vec<f64> = kinds.iter().map(|&k| ctx.isolated(k).total()).collect();
@@ -247,7 +280,9 @@ impl ColocationAttributor for GroundTruthMatching {
         let phi = MatchingGame::new(isolated, pair).shapley();
         let phi_total: f64 = phi.iter().sum();
         let actual = scenario.carbon(ctx).total();
-        Ok(phi.iter().map(|p| actual * p / phi_total).collect())
+        out.clear();
+        out.extend(phi.iter().map(|p| actual * p / phi_total));
+        Ok(())
     }
 }
 
@@ -266,6 +301,17 @@ impl ColocationAttributor for RupColocation {
         scenario: &ColocationScenario,
         ctx: &NodeAccounting,
     ) -> Result<Vec<f64>, ColocationError> {
+        let mut out = Vec::new();
+        self.attribute_into(scenario, ctx, &mut out)?;
+        Ok(out)
+    }
+
+    fn attribute_into(
+        &self,
+        scenario: &ColocationScenario,
+        ctx: &NodeAccounting,
+        out: &mut Vec<f64>,
+    ) -> Result<(), ColocationError> {
         let workloads = scenario.workloads();
         let pools = scenario.carbon(ctx);
         // All workloads have the same half-node allocation, so the
@@ -284,7 +330,8 @@ impl ColocationAttributor for RupColocation {
                 util * ctx.runtime(w.kind, w.partner)
             })
             .collect();
-        Ok(split_pools(&pools, &fixed_w, &dyn_w))
+        split_pools_into(&pools, &fixed_w, &dyn_w, out);
+        Ok(())
     }
 }
 
@@ -346,6 +393,62 @@ impl FairCo2Colocation {
         self.kind = kind;
         self
     }
+
+    /// Attributes with *borrowed* per-instance profiles, writing into a
+    /// reusable share vector. This is the hot-loop entry point for Monte
+    /// Carlo studies: the caller keeps one profile buffer and one share
+    /// buffer per worker and never clones either. Bit-identical to
+    /// constructing the attributor via
+    /// [`with_profiles`](Self::with_profiles) and calling
+    /// [`attribute`](ColocationAttributor::attribute).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ColocationError::ProfileMismatch`] when `profiles` does
+    /// not match the scenario's workload count.
+    pub fn attribute_profiles_into(
+        &self,
+        scenario: &ColocationScenario,
+        ctx: &NodeAccounting,
+        profiles: &[InterferenceProfile],
+        out: &mut Vec<f64>,
+    ) -> Result<(), ColocationError> {
+        let workloads = scenario.workloads();
+        if profiles.len() != workloads.len() {
+            return Err(ColocationError::ProfileMismatch {
+                profiles: profiles.len(),
+                workloads: workloads.len(),
+            });
+        }
+        attribute_with_profiles(self.kind, scenario, &workloads, profiles, ctx, out);
+        Ok(())
+    }
+}
+
+/// Shared core of the Fair-CO₂ paths: all inputs validated, profiles
+/// borrowed.
+fn attribute_with_profiles(
+    kind: AdjustmentKind,
+    scenario: &ColocationScenario,
+    workloads: &[PlacedWorkload],
+    profiles: &[InterferenceProfile],
+    ctx: &NodeAccounting,
+    out: &mut Vec<f64>,
+) {
+    let pools = scenario.carbon(ctx);
+    match kind {
+        AdjustmentKind::Marginal => {
+            let phi = moment_shapley(workloads, profiles, ctx);
+            let total: f64 = phi.iter().sum();
+            let actual = pools.total();
+            out.clear();
+            out.extend(phi.iter().map(|p| actual * p / total));
+        }
+        AdjustmentKind::RatioForm => {
+            let (fixed_w, dyn_w) = ratio_weights(workloads, profiles);
+            split_pools_into(&pools, &fixed_w, &dyn_w, out);
+        }
+    }
 }
 
 impl ColocationAttributor for FairCo2Colocation {
@@ -358,8 +461,19 @@ impl ColocationAttributor for FairCo2Colocation {
         scenario: &ColocationScenario,
         ctx: &NodeAccounting,
     ) -> Result<Vec<f64>, ColocationError> {
+        let mut out = Vec::new();
+        self.attribute_into(scenario, ctx, &mut out)?;
+        Ok(out)
+    }
+
+    fn attribute_into(
+        &self,
+        scenario: &ColocationScenario,
+        ctx: &NodeAccounting,
+        out: &mut Vec<f64>,
+    ) -> Result<(), ColocationError> {
         let workloads = scenario.workloads();
-        let profiles: Vec<InterferenceProfile> = match &self.profiles {
+        match &self.profiles {
             Some(p) => {
                 if p.len() != workloads.len() {
                     return Err(ColocationError::ProfileMismatch {
@@ -367,26 +481,17 @@ impl ColocationAttributor for FairCo2Colocation {
                         workloads: workloads.len(),
                     });
                 }
-                p.clone()
+                attribute_with_profiles(self.kind, scenario, &workloads, p, ctx, out);
             }
-            None => workloads
-                .iter()
-                .map(|w| full_profile(ctx.interference(), w.kind))
-                .collect(),
-        };
-        let pools = scenario.carbon(ctx);
-        match self.kind {
-            AdjustmentKind::Marginal => {
-                let phi = moment_shapley(&workloads, &profiles, ctx);
-                let total: f64 = phi.iter().sum();
-                let actual = pools.total();
-                Ok(phi.iter().map(|p| actual * p / total).collect())
-            }
-            AdjustmentKind::RatioForm => {
-                let (fixed_w, dyn_w) = ratio_weights(&workloads, &profiles);
-                Ok(split_pools(&pools, &fixed_w, &dyn_w))
+            None => {
+                let profiles: Vec<InterferenceProfile> = workloads
+                    .iter()
+                    .map(|w| full_profile(ctx.interference(), w.kind))
+                    .collect();
+                attribute_with_profiles(self.kind, scenario, &workloads, &profiles, ctx, out);
             }
         }
+        Ok(())
     }
 }
 
@@ -501,28 +606,26 @@ fn ratio_weights(
 }
 
 /// Splits the fixed pools (embodied + static) by `fixed_w` and the
-/// dynamic pool by `dyn_w`.
-fn split_pools(pools: &ScenarioCarbon, fixed_w: &[f64], dyn_w: &[f64]) -> Vec<f64> {
+/// dynamic pool by `dyn_w`, writing one share per workload into `out`
+/// (cleared first).
+fn split_pools_into(pools: &ScenarioCarbon, fixed_w: &[f64], dyn_w: &[f64], out: &mut Vec<f64>) {
     let fixed_pool = pools.embodied + pools.static_operational;
     let fixed_total: f64 = fixed_w.iter().sum();
     let dyn_total: f64 = dyn_w.iter().sum();
-    fixed_w
-        .iter()
-        .zip(dyn_w)
-        .map(|(&fw, &dw)| {
-            let fixed = if fixed_total > 0.0 {
-                fixed_pool * fw / fixed_total
-            } else {
-                0.0
-            };
-            let dynamic = if dyn_total > 0.0 {
-                pools.dynamic_operational * dw / dyn_total
-            } else {
-                0.0
-            };
-            fixed + dynamic
-        })
-        .collect()
+    out.clear();
+    out.extend(fixed_w.iter().zip(dyn_w).map(|(&fw, &dw)| {
+        let fixed = if fixed_total > 0.0 {
+            fixed_pool * fw / fixed_total
+        } else {
+            0.0
+        };
+        let dynamic = if dyn_total > 0.0 {
+            pools.dynamic_operational * dw / dyn_total
+        } else {
+            0.0
+        };
+        fixed + dynamic
+    }));
 }
 
 #[cfg(test)]
@@ -630,6 +733,61 @@ mod tests {
             assert_eq!(shares.len(), 1);
             assert!((shares[0] - actual).abs() < 1e-9, "{}", m.name());
         }
+    }
+
+    #[test]
+    fn attribute_into_is_bit_identical_to_attribute() {
+        let s = scenario();
+        let ctx = ctx();
+        let mut out = vec![f64::NAN; 32]; // stale contents must be cleared
+        for m in methods() {
+            let fresh = m.attribute(&s, &ctx).unwrap();
+            m.attribute_into(&s, &ctx, &mut out).unwrap();
+            assert_eq!(out.len(), fresh.len(), "{}", m.name());
+            for (a, b) in out.iter().zip(&fresh) {
+                assert_eq!(a.to_bits(), b.to_bits(), "{}", m.name());
+            }
+        }
+        // The ratio-form ablation goes through split_pools_into too.
+        let ratio = FairCo2Colocation::with_full_history().adjustment(AdjustmentKind::RatioForm);
+        let fresh = ratio.attribute(&s, &ctx).unwrap();
+        ratio.attribute_into(&s, &ctx, &mut out).unwrap();
+        assert_eq!(out, fresh);
+    }
+
+    #[test]
+    fn borrowed_profiles_path_is_bit_identical_to_owned() {
+        let s = scenario();
+        let ctx = ctx();
+        let profiles: Vec<InterferenceProfile> = s
+            .workloads()
+            .iter()
+            .map(|w| full_profile(ctx.interference(), w.kind))
+            .collect();
+        let owned = FairCo2Colocation::with_profiles(profiles.clone())
+            .attribute(&s, &ctx)
+            .unwrap();
+        let mut out = Vec::new();
+        FairCo2Colocation::with_full_history()
+            .attribute_profiles_into(&s, &ctx, &profiles, &mut out)
+            .unwrap();
+        for (a, b) in out.iter().zip(&owned) {
+            assert_eq!(a.to_bits(), b.to_bits());
+        }
+        // Mismatched profile count is rejected, matching with_profiles.
+        let err = FairCo2Colocation::with_full_history().attribute_profiles_into(
+            &s,
+            &ctx,
+            &profiles[..2],
+            &mut out,
+        );
+        assert_eq!(
+            err,
+            Err(ColocationError::ProfileMismatch {
+                profiles: 2,
+                workloads: 5
+            })
+        );
     }
 
     #[test]

@@ -15,7 +15,7 @@
 
 use std::fmt;
 
-use fairco2_shapley::exact::{exact_shapley_fast, ExactError};
+use fairco2_shapley::exact::{exact_shapley_fast_with_scratch, ExactError, ExactScratch};
 use fairco2_shapley::game::PeakDemandGame;
 use fairco2_shapley::sampled::{sampled_shapley, SampleConfig, ShapleyEstimate};
 use fairco2_shapley::temporal::TemporalShapley;
@@ -69,6 +69,44 @@ pub trait DemandAttributor {
     /// Returns a [`DemandError`] if the method cannot handle the schedule
     /// (see each implementation).
     fn attribute(&self, schedule: &Schedule, total_carbon: f64) -> Result<Vec<f64>, DemandError>;
+
+    /// [`attribute`](Self::attribute) writing into a caller-owned,
+    /// reusable share vector (cleared first), so trial loops can amortize
+    /// the output allocation. Implementations override this to skip the
+    /// intermediate `Vec` entirely; results are bit-identical to
+    /// [`attribute`](Self::attribute) either way.
+    ///
+    /// On error `out` is left cleared or partially written — callers must
+    /// not read it.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`attribute`](Self::attribute).
+    fn attribute_into(
+        &self,
+        schedule: &Schedule,
+        total_carbon: f64,
+        out: &mut Vec<f64>,
+    ) -> Result<(), DemandError> {
+        out.clear();
+        out.extend(self.attribute(schedule, total_carbon)?);
+        Ok(())
+    }
+}
+
+/// Scales the weights accumulated in `out` so they sum to `total_carbon`,
+/// rejecting non-positive weight totals — the shared tail of every
+/// proportional method, kept in one place so `attribute` and
+/// `attribute_into` stay bit-identical.
+fn normalize_shares(out: &mut [f64], total_carbon: f64) -> Result<(), DemandError> {
+    let total: f64 = out.iter().sum();
+    if total <= 0.0 {
+        return Err(DemandError::ZeroDemand);
+    }
+    for w in out {
+        *w = total_carbon * *w / total;
+    }
+    Ok(())
 }
 
 /// Ground truth: each workload is a player in the peak-demand game
@@ -77,19 +115,47 @@ pub trait DemandAttributor {
 #[derive(Debug, Clone, Copy, Default)]
 pub struct GroundTruthShapley;
 
+impl GroundTruthShapley {
+    /// [`attribute`](DemandAttributor::attribute) through a reusable
+    /// [`ExactScratch`] and share vector — the per-worker arena path of
+    /// the Monte Carlo engine. Bit-identical to the allocating path.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`attribute`](DemandAttributor::attribute).
+    pub fn attribute_with_scratch(
+        &self,
+        schedule: &Schedule,
+        total_carbon: f64,
+        scratch: &mut ExactScratch,
+        out: &mut Vec<f64>,
+    ) -> Result<(), DemandError> {
+        let game = PeakDemandGame::new(schedule.demand_matrix());
+        let phi = exact_shapley_fast_with_scratch(&game, scratch)?;
+        out.clear();
+        out.extend_from_slice(phi);
+        normalize_shares(out, total_carbon)
+    }
+}
+
 impl DemandAttributor for GroundTruthShapley {
     fn name(&self) -> &'static str {
         "ground-truth-shapley"
     }
 
     fn attribute(&self, schedule: &Schedule, total_carbon: f64) -> Result<Vec<f64>, DemandError> {
-        let game = PeakDemandGame::new(schedule.demand_matrix());
-        let phi = exact_shapley_fast(&game)?;
-        let total: f64 = phi.iter().sum();
-        if total <= 0.0 {
-            return Err(DemandError::ZeroDemand);
-        }
-        Ok(phi.iter().map(|p| total_carbon * p / total).collect())
+        let mut out = Vec::new();
+        self.attribute_into(schedule, total_carbon, &mut out)?;
+        Ok(out)
+    }
+
+    fn attribute_into(
+        &self,
+        schedule: &Schedule,
+        total_carbon: f64,
+        out: &mut Vec<f64>,
+    ) -> Result<(), DemandError> {
+        self.attribute_with_scratch(schedule, total_carbon, &mut ExactScratch::new(), out)
     }
 }
 
@@ -165,16 +231,25 @@ impl DemandAttributor for RupBaseline {
     }
 
     fn attribute(&self, schedule: &Schedule, total_carbon: f64) -> Result<Vec<f64>, DemandError> {
-        let weights: Vec<f64> = schedule
-            .workloads()
-            .iter()
-            .map(|w| w.cores() * w.duration_steps() as f64)
-            .collect();
-        let total: f64 = weights.iter().sum();
-        if total <= 0.0 {
-            return Err(DemandError::ZeroDemand);
-        }
-        Ok(weights.iter().map(|w| total_carbon * w / total).collect())
+        let mut out = Vec::new();
+        self.attribute_into(schedule, total_carbon, &mut out)?;
+        Ok(out)
+    }
+
+    fn attribute_into(
+        &self,
+        schedule: &Schedule,
+        total_carbon: f64,
+        out: &mut Vec<f64>,
+    ) -> Result<(), DemandError> {
+        out.clear();
+        out.extend(
+            schedule
+                .workloads()
+                .iter()
+                .map(|w| w.cores() * w.duration_steps() as f64),
+        );
+        normalize_shares(out, total_carbon)
     }
 }
 
@@ -190,19 +265,27 @@ impl DemandAttributor for DemandProportional {
     }
 
     fn attribute(&self, schedule: &Schedule, total_carbon: f64) -> Result<Vec<f64>, DemandError> {
+        let mut out = Vec::new();
+        self.attribute_into(schedule, total_carbon, &mut out)?;
+        Ok(out)
+    }
+
+    fn attribute_into(
+        &self,
+        schedule: &Schedule,
+        total_carbon: f64,
+        out: &mut Vec<f64>,
+    ) -> Result<(), DemandError> {
         let demand: Vec<f64> = (0..schedule.steps())
             .map(|t| schedule.demand_at(t))
             .collect();
-        let weights: Vec<f64> = schedule
-            .workloads()
-            .iter()
-            .map(|w| (w.start()..w.end()).map(|t| w.cores() * demand[t]).sum())
-            .collect();
-        let total: f64 = weights.iter().sum();
-        if total <= 0.0 {
-            return Err(DemandError::ZeroDemand);
-        }
-        Ok(weights.iter().map(|w| total_carbon * w / total).collect())
+        out.clear();
+        out.extend(schedule.workloads().iter().map(|w| {
+            (w.start()..w.end())
+                .map(|t| w.cores() * demand[t])
+                .sum::<f64>()
+        }));
+        normalize_shares(out, total_carbon)
     }
 }
 
@@ -245,6 +328,17 @@ impl DemandAttributor for TemporalFairCo2 {
     }
 
     fn attribute(&self, schedule: &Schedule, total_carbon: f64) -> Result<Vec<f64>, DemandError> {
+        let mut out = Vec::new();
+        self.attribute_into(schedule, total_carbon, &mut out)?;
+        Ok(out)
+    }
+
+    fn attribute_into(
+        &self,
+        schedule: &Schedule,
+        total_carbon: f64,
+        out: &mut Vec<f64>,
+    ) -> Result<(), DemandError> {
         let series = schedule.demand_series();
         if series.integral() <= 0.0 {
             return Err(DemandError::ZeroDemand);
@@ -253,7 +347,7 @@ impl DemandAttributor for TemporalFairCo2 {
             Hierarchy::PerStep => {
                 if schedule.steps() < 2 {
                     // One period: intensity is flat, equal to RUP.
-                    return RupBaseline.attribute(schedule, total_carbon);
+                    return RupBaseline.attribute_into(schedule, total_carbon, out);
                 }
                 vec![schedule.steps()]
             }
@@ -263,25 +357,14 @@ impl DemandAttributor for TemporalFairCo2 {
             .attribute(&series, total_carbon)
             .map_err(|e| DemandError::Hierarchy(e.to_string()))?;
         let step = i64::from(schedule.step_seconds());
-        let shares: Vec<f64> = schedule
-            .workloads()
-            .iter()
-            .map(|w| {
-                attribution.workload_carbon(
-                    w.start() as i64 * step,
-                    w.end() as i64 * step,
-                    w.cores(),
-                )
-            })
-            .collect();
+        out.clear();
+        out.extend(schedule.workloads().iter().map(|w| {
+            attribution.workload_carbon(w.start() as i64 * step, w.end() as i64 * step, w.cores())
+        }));
         // Stranded carbon (zero-demand leaf periods) cannot occur here
         // because every workload window has positive demand, but guard by
         // renormalizing to keep efficiency exact.
-        let total: f64 = shares.iter().sum();
-        if total <= 0.0 {
-            return Err(DemandError::ZeroDemand);
-        }
-        Ok(shares.iter().map(|s| total_carbon * s / total).collect())
+        normalize_shares(out, total_carbon)
     }
 }
 
@@ -447,6 +530,37 @@ mod tests {
         for (share, v) in shares.iter().zip(&estimate.values) {
             assert!((share - 1000.0 * v / total).abs() < 1e-9);
         }
+    }
+
+    #[test]
+    fn attribute_into_is_bit_identical_to_attribute() {
+        let s = demo();
+        let mut out = vec![999.0; 7]; // stale contents must be cleared
+        for method in methods() {
+            let fresh = method.attribute(&s, 500.0).unwrap();
+            method.attribute_into(&s, 500.0, &mut out).unwrap();
+            assert_eq!(out.len(), fresh.len(), "{}", method.name());
+            for (a, b) in fresh.iter().zip(&out) {
+                assert_eq!(a.to_bits(), b.to_bits(), "{}", method.name());
+            }
+        }
+    }
+
+    #[test]
+    fn ground_truth_scratch_path_is_bit_identical() {
+        let s = demo();
+        let fresh = GroundTruthShapley.attribute(&s, 1000.0).unwrap();
+        let mut scratch = ExactScratch::for_players(8);
+        let mut out = Vec::new();
+        for _ in 0..3 {
+            GroundTruthShapley
+                .attribute_with_scratch(&s, 1000.0, &mut scratch, &mut out)
+                .unwrap();
+            for (a, b) in fresh.iter().zip(&out) {
+                assert_eq!(a.to_bits(), b.to_bits());
+            }
+        }
+        assert_eq!(scratch.reuses(), 3);
     }
 
     #[test]

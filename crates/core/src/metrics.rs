@@ -41,15 +41,33 @@ pub fn deviations_pct(method: &[f64], truth: &[f64]) -> Vec<f64> {
 /// Summarizes a scenario's deviations into the paper's two statistics.
 ///
 /// Returns `None` when no workload had a non-zero ground-truth share.
+///
+/// Single pass, no allocation: accumulates the sum and running max in the
+/// same left-to-right order as folding over [`deviations_pct`], so results
+/// are bit-identical to the collect-then-reduce formulation.
 pub fn summarize(method: &[f64], truth: &[f64]) -> Option<DeviationSummary> {
-    let devs = deviations_pct(method, truth);
-    if devs.is_empty() {
+    assert_eq!(
+        method.len(),
+        truth.len(),
+        "method and truth must cover the same workloads"
+    );
+    let mut count = 0usize;
+    let mut sum = 0.0f64;
+    let mut worst_case_pct = 0.0f64;
+    for (&m, &t) in method.iter().zip(truth) {
+        if t == 0.0 {
+            continue;
+        }
+        let dev = 100.0 * ((m - t) / t).abs();
+        count += 1;
+        sum += dev;
+        worst_case_pct = worst_case_pct.max(dev);
+    }
+    if count == 0 {
         return None;
     }
-    let average_pct = devs.iter().sum::<f64>() / devs.len() as f64;
-    let worst_case_pct = devs.iter().copied().fold(0.0, f64::max);
     Some(DeviationSummary {
-        average_pct,
+        average_pct: sum / count as f64,
         worst_case_pct,
     })
 }
@@ -89,5 +107,22 @@ mod tests {
     #[should_panic(expected = "same workloads")]
     fn length_mismatch_panics() {
         let _ = deviations_pct(&[1.0], &[1.0, 2.0]);
+    }
+
+    #[test]
+    fn single_pass_summary_matches_collected_deviations_bitwise() {
+        // Irrational-ish shares so any reassociation would show up.
+        let truth: Vec<f64> = (1..=9).map(|i| (i as f64).sqrt() * 10.0).collect();
+        let method: Vec<f64> = truth
+            .iter()
+            .enumerate()
+            .map(|(i, t)| t * (1.0 + 0.01 * (i as f64 + 0.3).sin()))
+            .collect();
+        let devs = deviations_pct(&method, &truth);
+        let avg = devs.iter().sum::<f64>() / devs.len() as f64;
+        let worst = devs.iter().copied().fold(0.0, f64::max);
+        let s = summarize(&method, &truth).unwrap();
+        assert_eq!(s.average_pct.to_bits(), avg.to_bits());
+        assert_eq!(s.worst_case_pct.to_bits(), worst.to_bits());
     }
 }

@@ -1,0 +1,71 @@
+//! Measurement probe behind the solver-level numbers in DESIGN.md §8:
+//! one exact solve at fixed `n = 22`, fresh-alloc vs warm scratch arena,
+//! plus fill-free (`TableGame`) and dense-rescan (`ScanPeak`) bounds and
+//! the workload-count histogram of the default demand study.
+use std::time::Instant;
+
+use fairco2_montecarlo::DemandStudy;
+use fairco2_shapley::exact::{exact_shapley_fast, exact_shapley_fast_with_scratch, ExactScratch};
+use fairco2_shapley::game::PeakDemandGame;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+fn main() {
+    let n = 22usize;
+    let mut rng = StdRng::seed_from_u64(7);
+    let demand: Vec<Vec<f64>> = (0..n)
+        .map(|_| (0..8).map(|_| rng.gen_range(0.0..96.0)).collect())
+        .collect();
+    let game = PeakDemandGame::new(demand);
+    let reps = 5;
+    let _ = exact_shapley_fast(&game).unwrap();
+    let t0 = Instant::now();
+    for _ in 0..reps {
+        std::hint::black_box(exact_shapley_fast(&game).unwrap());
+    }
+    let fresh = t0.elapsed().as_secs_f64() / reps as f64;
+    let mut scratch = ExactScratch::for_players(n);
+    let _ = exact_shapley_fast_with_scratch(&game, &mut scratch).unwrap();
+    let t0 = Instant::now();
+    for _ in 0..reps {
+        std::hint::black_box(exact_shapley_fast_with_scratch(&game, &mut scratch).unwrap());
+    }
+    let reused = t0.elapsed().as_secs_f64() / reps as f64;
+    println!(
+        "n={n}: fresh {fresh:.4}s  scratch {reused:.4}s  speedup {:.2}x",
+        fresh / reused
+    );
+
+    // TableGame toggle is ~free, so this isolates the accumulation cost;
+    // the peak-demand gap above it is the Gray-code fill.
+    let values: Vec<f64> = (0..1usize << n).map(|m| (m % 97) as f64).collect();
+    let tg = fairco2_shapley::game::TableGame::new(n, values);
+    let _ = exact_shapley_fast_with_scratch(&tg, &mut scratch).unwrap();
+    let t0 = Instant::now();
+    for _ in 0..reps {
+        std::hint::black_box(exact_shapley_fast_with_scratch(&tg, &mut scratch).unwrap());
+    }
+    let acc = t0.elapsed().as_secs_f64() / reps as f64;
+    println!("n={n}: table-game scratch {acc:.4}s (≈ fill-free accumulation bound)");
+
+    let scan = fairco2_shapley::game::ScanPeak(game);
+    let _ = exact_shapley_fast_with_scratch(&scan, &mut scratch).unwrap();
+    let t0 = Instant::now();
+    for _ in 0..reps {
+        std::hint::black_box(exact_shapley_fast_with_scratch(&scan, &mut scratch).unwrap());
+    }
+    let flat = t0.elapsed().as_secs_f64() / reps as f64;
+    println!("n={n}: scan-peak scratch {flat:.4}s (flat rescan fill)");
+
+    // Workload-count histogram of the default study's first 1000 trials.
+    let study = DemandStudy::default();
+    let mut hist = [0usize; 23];
+    for t in 0..1000 {
+        hist[study.generate_schedule(t).workloads().len()] += 1;
+    }
+    for (n, c) in hist.iter().enumerate() {
+        if *c > 0 {
+            println!("n={n:>2}: {c}");
+        }
+    }
+}

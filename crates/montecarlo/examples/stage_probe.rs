@@ -1,0 +1,65 @@
+//! Per-trial stage breakdown of the demand study: how much of a trial is
+//! schedule generation, game construction, the exact ground-truth solve,
+//! and the attribution methods. Guides where engine optimization pays.
+
+use std::time::Instant;
+
+use fairco2::demand::GroundTruthShapley;
+use fairco2_montecarlo::schedules::DemandStudy;
+use fairco2_montecarlo::TrialScratch;
+use fairco2_shapley::game::PeakDemandGame;
+
+fn main() {
+    let trials = 1000usize;
+    let study = DemandStudy {
+        trials,
+        ..DemandStudy::default()
+    };
+    let mut scratch = TrialScratch::new();
+
+    let start = Instant::now();
+    for t in 0..trials {
+        std::hint::black_box(study.generate_schedule_with(t, &mut scratch));
+    }
+    let gen = start.elapsed().as_secs_f64();
+
+    let start = Instant::now();
+    for t in 0..trials {
+        let s = study.generate_schedule_with(t, &mut scratch);
+        std::hint::black_box(PeakDemandGame::new(s.demand_matrix()));
+    }
+    let game = start.elapsed().as_secs_f64();
+
+    let mut exact = fairco2_shapley::exact::ExactScratch::new();
+    let mut out = Vec::new();
+    let start = Instant::now();
+    for t in 0..trials {
+        let s = study.generate_schedule_with(t, &mut scratch);
+        GroundTruthShapley
+            .attribute_with_scratch(&s, 1000.0, &mut exact, &mut out)
+            .unwrap();
+        std::hint::black_box(&out);
+    }
+    let truth = start.elapsed().as_secs_f64();
+
+    let start = Instant::now();
+    for t in 0..trials {
+        std::hint::black_box(study.run_trial_with_scratch(t, &mut scratch));
+    }
+    let full = start.elapsed().as_secs_f64();
+
+    println!("stage breakdown over {trials} trials (cumulative):");
+    println!("  generate            {gen:.3}s");
+    println!(
+        "  + game build        {game:.3}s  (build {:.3}s)",
+        game - gen
+    );
+    println!(
+        "  + ground truth      {truth:.3}s  (solve {:.3}s)",
+        truth - game
+    );
+    println!(
+        "  + methods/summaries {full:.3}s  (methods {:.3}s)",
+        full - truth
+    );
+}

@@ -1,0 +1,38 @@
+//! Quick study-level throughput probe: the collect-based trial loop
+//! (`run_trial`, fresh allocations) vs the scratch-arena loop
+//! (`run_trial_with_scratch`); `perf_report --mc-trials N` is the
+//! committed, baseline-calibrated version of this measurement.
+use std::time::Instant;
+
+use fairco2_montecarlo::{DemandStudy, TrialScratch};
+
+fn main() {
+    let trials: usize = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(12);
+    let study = DemandStudy {
+        trials,
+        max_workloads: 22,
+        ..Default::default()
+    };
+    let _ = study.run_trial(0); // warm up
+    let t0 = Instant::now();
+    for t in 0..study.trials {
+        std::hint::black_box(study.run_trial(t));
+    }
+    let collect = t0.elapsed().as_secs_f64();
+    let mut scratch = TrialScratch::for_demand(&study);
+    let t0 = Instant::now();
+    for t in 0..study.trials {
+        std::hint::black_box(study.run_trial_with_scratch(t, &mut scratch));
+    }
+    let reuse = t0.elapsed().as_secs_f64();
+    println!(
+        "trials {}  collect {collect:.3}s ({:.1}/s)  scratch {reuse:.3}s ({:.1}/s)  speedup {:.2}x",
+        study.trials,
+        study.trials as f64 / collect,
+        study.trials as f64 / reuse,
+        collect / reuse
+    );
+}

@@ -12,6 +12,8 @@ use fairco2_carbon::units::CarbonIntensity;
 use fairco2_workloads::history::sampled_profile_from_population;
 use fairco2_workloads::{NodeAccounting, WorkloadKind, ALL_WORKLOADS};
 
+use crate::scratch::TrialScratch;
+
 /// Configuration of the colocation Monte Carlo study.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
 pub struct ColocationStudy {
@@ -86,17 +88,30 @@ pub struct PerWorkloadDeviation {
 impl ColocationStudy {
     /// Generates the trial's random scenario and context parameters.
     pub fn generate(&self, trial: usize) -> (ColocationScenario, f64, usize) {
+        self.generate_with(trial, &mut TrialScratch::new())
+    }
+
+    /// [`generate`](Self::generate) using the scratch's kind buffer. The
+    /// RNG draw order is unchanged, so the scenario is identical; the
+    /// drawn kinds remain in `scratch` (in scenario-workload order) for
+    /// the profile-sampling stage.
+    pub fn generate_with(
+        &self,
+        trial: usize,
+        scratch: &mut TrialScratch,
+    ) -> (ColocationScenario, f64, usize) {
         let mut rng = StdRng::seed_from_u64(self.base_seed.wrapping_add(trial as u64));
         let n = rng.gen_range(self.min_workloads..=self.max_workloads);
-        let kinds: Vec<WorkloadKind> = (0..n)
-            .map(|_| ALL_WORKLOADS[rng.gen_range(0..ALL_WORKLOADS.len())])
-            .collect();
+        scratch.kinds.clear();
+        scratch
+            .kinds
+            .extend((0..n).map(|_| ALL_WORKLOADS[rng.gen_range(0..ALL_WORKLOADS.len())]));
         let grid_ci = rng.gen_range(self.min_grid_ci..=self.max_grid_ci);
         let samples = rng
             .gen_range(self.min_samples..=self.max_samples)
             .min(ALL_WORKLOADS.len() - 1);
         (
-            ColocationScenario::pair_in_order(&kinds).expect("n ≥ min_workloads ≥ 1"),
+            ColocationScenario::pair_in_order(&scratch.kinds).expect("n ≥ min_workloads ≥ 1"),
             grid_ci,
             samples,
         )
@@ -109,45 +124,66 @@ impl ColocationStudy {
     /// Panics if an attribution method fails on a generated scenario,
     /// which would indicate a harness bug.
     pub fn run_trial(&self, trial: usize) -> ColocationTrial {
-        let (scenario, grid_ci, samples) = self.generate(trial);
+        self.run_trial_with_scratch(trial, &mut TrialScratch::new())
+    }
+
+    /// [`run_trial`](Self::run_trial) through a per-worker arena: share
+    /// vectors, the profile buffer, and the per-draw sampling pool are all
+    /// reused across calls. Bit-identical to
+    /// [`run_trial`](Self::run_trial).
+    ///
+    /// # Panics
+    ///
+    /// Same conditions as [`run_trial`](Self::run_trial).
+    pub fn run_trial_with_scratch(
+        &self,
+        trial: usize,
+        scratch: &mut TrialScratch,
+    ) -> ColocationTrial {
+        let (scenario, grid_ci, samples) = self.generate_with(trial, scratch);
         let ctx = NodeAccounting::paper_default(CarbonIntensity::from_g_per_kwh(grid_ci));
-        let truth = GroundTruthMatching
-            .attribute(&scenario, &ctx)
+        GroundTruthMatching
+            .attribute_into(&scenario, &ctx, &mut scratch.truth)
             .expect("scenario is non-empty");
-        let rup_shares = RupColocation
-            .attribute(&scenario, &ctx)
+        RupColocation
+            .attribute_into(&scenario, &ctx, &mut scratch.shares)
             .expect("scenario is non-empty");
 
         // Sparse historical profiles: each workload instance samples its
         // own historical partners from the cluster's tenant population
         // (the scenario's other members), seeded per trial for
-        // reproducibility.
+        // reproducibility. `scratch.kinds` still holds the drawn kinds in
+        // scenario-workload order ([`ColocationScenario::pair_in_order`]
+        // flattens back to list order); the per-draw population is built
+        // in the reusable pool buffer instead of cloning the kind list.
         let mut profile_rng =
             StdRng::seed_from_u64(self.base_seed.wrapping_add(trial as u64) ^ 0x5A5A_5A5A);
         let placed = scenario.workloads();
-        let kinds: Vec<WorkloadKind> = placed.iter().map(|w| w.kind).collect();
-        let profiles = placed
-            .iter()
-            .enumerate()
-            .map(|(i, w)| {
-                let mut pool = kinds.clone();
-                pool.swap_remove(i);
-                sampled_profile_from_population(
-                    ctx.interference(),
-                    w.kind,
-                    &pool,
-                    samples,
-                    &mut profile_rng,
-                )
-            })
-            .collect();
-        let fair_shares = FairCo2Colocation::with_profiles(profiles)
-            .attribute(&scenario, &ctx)
+        scratch.profiles.clear();
+        for (i, w) in placed.iter().enumerate() {
+            scratch.pool.clear();
+            scratch.pool.extend_from_slice(&scratch.kinds);
+            scratch.pool.swap_remove(i);
+            scratch.profiles.push(sampled_profile_from_population(
+                ctx.interference(),
+                w.kind,
+                &scratch.pool,
+                samples,
+                &mut profile_rng,
+            ));
+        }
+        FairCo2Colocation::with_full_history()
+            .attribute_profiles_into(&scenario, &ctx, &scratch.profiles, &mut scratch.fair)
             .expect("profiles are aligned");
 
         let per_workload = placed
             .iter()
-            .zip(truth.iter().zip(rup_shares.iter().zip(&fair_shares)))
+            .zip(
+                scratch
+                    .truth
+                    .iter()
+                    .zip(scratch.shares.iter().zip(&scratch.fair)),
+            )
             .map(|(w, (&t, (&r, &f)))| PerWorkloadDeviation {
                 kind: w.kind,
                 partner: w.partner,
@@ -156,13 +192,14 @@ impl ColocationStudy {
             })
             .collect();
 
+        scratch.trials += 1;
         ColocationTrial {
             trial,
             workloads: placed.len(),
             grid_ci,
             samples,
-            rup: summarize(&rup_shares, &truth).expect("non-zero truth shares"),
-            fair_co2: summarize(&fair_shares, &truth).expect("non-zero truth shares"),
+            rup: summarize(&scratch.shares, &scratch.truth).expect("non-zero truth shares"),
+            fair_co2: summarize(&scratch.fair, &scratch.truth).expect("non-zero truth shares"),
             per_workload,
         }
     }

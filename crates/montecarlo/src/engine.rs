@@ -1,0 +1,360 @@
+//! The streaming Monte Carlo study engine.
+//!
+//! Work is split into fixed-size trial batches (boundaries depend only on
+//! the batch size — never on the thread count). Worker threads pull batch
+//! indices from an atomic counter, run each batch's trials through their
+//! own [`TrialScratch`] arena, and send the batch's summary accumulator
+//! down a channel. The caller's thread reorders arrivals by batch index
+//! and merges them strictly in order, so the merged summary is
+//! bit-identical to the serial
+//! [`DemandStudySummary::from_trials`] fold at any thread count.
+//!
+//! Memory stays `O(threads)`: one scratch arena per worker (the 32 MiB
+//! exact-solver table dominates), plus a reorder buffer that holds only
+//! the batch accumulators that arrived ahead of order.
+
+use std::collections::BTreeMap;
+use std::ops::Range;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::mpsc;
+
+use serde::{Deserialize, Serialize};
+
+use crate::colocations::{ColocationStudy, ColocationTrial};
+use crate::schedules::{DemandStudy, DemandTrial};
+use crate::scratch::{ScratchStats, TrialScratch};
+use crate::streaming::{ColocationStudySummary, DemandStudySummary, DEFAULT_BATCH_TRIALS};
+
+/// Engine knobs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct EngineConfig {
+    /// Worker threads (0 clamps to 1).
+    pub threads: usize,
+    /// Trials per batch. Determinism contract: the same batch size always
+    /// produces the same summary bits, at any thread count.
+    pub batch_trials: usize,
+    /// Also return every per-trial record (the `--dump-trials` path).
+    /// Costs `O(trials)` memory; summaries are unaffected.
+    pub collect_trials: bool,
+}
+
+impl EngineConfig {
+    /// The default configuration at a given thread count.
+    pub fn new(threads: usize) -> Self {
+        Self {
+            threads,
+            batch_trials: DEFAULT_BATCH_TRIALS,
+            collect_trials: false,
+        }
+    }
+}
+
+/// What a study run did, for perf reporting.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct EngineStats {
+    /// Trials executed.
+    pub trials: u64,
+    /// Batches executed.
+    pub batches: u64,
+    /// Worker threads used.
+    pub threads: u64,
+    /// Aggregated scratch-reuse counters across workers.
+    pub scratch: ScratchStats,
+    /// Deepest the reorder buffer got (batch accumulators held while
+    /// waiting for an earlier batch).
+    pub max_reorder_depth: u64,
+}
+
+/// Runs `trials` trials through per-worker scratch arenas, streaming
+/// batch accumulators to `merge` strictly in batch-index order.
+///
+/// `make_scratch` is called once per worker; `run_batch` folds one batch
+/// of trial indices through the worker's scratch; `merge` receives
+/// `(batch_index, accumulator)` with indices in ascending order, on the
+/// calling thread.
+///
+/// # Panics
+///
+/// Propagates panics from worker threads.
+pub fn stream_batches<A, S, F, M>(
+    trials: usize,
+    threads: usize,
+    batch_trials: usize,
+    make_scratch: S,
+    run_batch: F,
+    mut merge: M,
+) -> EngineStats
+where
+    A: Send,
+    S: Fn() -> TrialScratch + Sync,
+    F: Fn(Range<usize>, &mut TrialScratch) -> A + Sync,
+    M: FnMut(usize, A),
+{
+    let threads = threads.max(1);
+    let batch_trials = batch_trials.max(1);
+    let n_batches = trials.div_ceil(batch_trials);
+    let next = AtomicUsize::new(0);
+    let (tx, rx) = mpsc::channel::<(usize, A)>();
+
+    let (scratch, max_reorder_depth) = std::thread::scope(|scope| {
+        let workers: Vec<_> = (0..threads)
+            .map(|_| {
+                let tx = tx.clone();
+                let next = &next;
+                let make_scratch = &make_scratch;
+                let run_batch = &run_batch;
+                scope.spawn(move || {
+                    let mut scratch = make_scratch();
+                    loop {
+                        let b = next.fetch_add(1, Ordering::Relaxed);
+                        if b >= n_batches {
+                            break;
+                        }
+                        let start = b * batch_trials;
+                        let end = (start + batch_trials).min(trials);
+                        let acc = run_batch(start..end, &mut scratch);
+                        if tx.send((b, acc)).is_err() {
+                            break;
+                        }
+                    }
+                    scratch.stats()
+                })
+            })
+            .collect();
+        drop(tx);
+
+        // Reorder arrivals so merges happen strictly in batch order —
+        // this is what makes the summary thread-count invariant.
+        let mut pending: BTreeMap<usize, A> = BTreeMap::new();
+        let mut next_merge = 0usize;
+        let mut max_depth = 0usize;
+        for (idx, acc) in rx {
+            pending.insert(idx, acc);
+            max_depth = max_depth.max(pending.len());
+            while let Some(acc) = pending.remove(&next_merge) {
+                merge(next_merge, acc);
+                next_merge += 1;
+            }
+        }
+
+        let mut total = ScratchStats::default();
+        for w in workers {
+            total.merge(&w.join().expect("study worker panicked"));
+        }
+        assert!(
+            pending.is_empty() && next_merge == n_batches,
+            "batch stream ended with unmerged batches"
+        );
+        (total, max_depth)
+    });
+
+    EngineStats {
+        trials: trials as u64,
+        batches: n_batches as u64,
+        threads: threads as u64,
+        scratch,
+        max_reorder_depth: max_reorder_depth as u64,
+    }
+}
+
+/// Streams the demand study: per-worker arenas, in-order batch merges,
+/// `on_progress(trials_so_far, &summary)` after every merge (for
+/// convergence checkpoints and progress display).
+///
+/// Returns the summary, the per-trial dump when
+/// [`EngineConfig::collect_trials`] is set, and the engine stats. The
+/// summary is bit-identical to
+/// [`DemandStudySummary::from_trials`] over the serially collected trials
+/// at the same batch size, at any thread count.
+pub fn stream_demand_study_observed(
+    study: &DemandStudy,
+    cfg: EngineConfig,
+    mut on_progress: impl FnMut(u64, &DemandStudySummary),
+) -> (DemandStudySummary, Option<Vec<DemandTrial>>, EngineStats) {
+    let mut master = DemandStudySummary::empty(study);
+    let mut dump: Option<Vec<DemandTrial>> = cfg.collect_trials.then(Vec::new);
+    let stats = stream_batches(
+        study.trials,
+        cfg.threads,
+        cfg.batch_trials,
+        || TrialScratch::for_demand(study),
+        |range, scratch| {
+            let mut acc = DemandStudySummary::empty(study);
+            let mut kept = cfg.collect_trials.then(|| Vec::with_capacity(range.len()));
+            for t in range {
+                let trial = study.run_trial_with_scratch(t, scratch);
+                acc.record(&trial);
+                if let Some(k) = &mut kept {
+                    k.push(trial);
+                }
+            }
+            (acc, kept)
+        },
+        |_idx, (acc, kept): (DemandStudySummary, Option<Vec<DemandTrial>>)| {
+            master.merge(&acc);
+            if let (Some(d), Some(k)) = (&mut dump, kept) {
+                d.extend(k);
+            }
+            on_progress(master.trials, &master);
+        },
+    );
+    (master, dump, stats)
+}
+
+/// [`stream_demand_study_observed`] without a progress callback.
+pub fn stream_demand_study(
+    study: &DemandStudy,
+    cfg: EngineConfig,
+) -> (DemandStudySummary, Option<Vec<DemandTrial>>, EngineStats) {
+    stream_demand_study_observed(study, cfg, |_, _| {})
+}
+
+/// Streams the colocation study; the colocation counterpart of
+/// [`stream_demand_study_observed`].
+pub fn stream_colocation_study_observed(
+    study: &ColocationStudy,
+    cfg: EngineConfig,
+    mut on_progress: impl FnMut(u64, &ColocationStudySummary),
+) -> (
+    ColocationStudySummary,
+    Option<Vec<ColocationTrial>>,
+    EngineStats,
+) {
+    let mut master = ColocationStudySummary::empty(study);
+    let mut dump: Option<Vec<ColocationTrial>> = cfg.collect_trials.then(Vec::new);
+    let stats = stream_batches(
+        study.trials,
+        cfg.threads,
+        cfg.batch_trials,
+        TrialScratch::new,
+        |range, scratch| {
+            let mut acc = ColocationStudySummary::empty(study);
+            let mut kept = cfg.collect_trials.then(|| Vec::with_capacity(range.len()));
+            for t in range {
+                let trial = study.run_trial_with_scratch(t, scratch);
+                acc.record(&trial);
+                if let Some(k) = &mut kept {
+                    k.push(trial);
+                }
+            }
+            (acc, kept)
+        },
+        |_idx, (acc, kept): (ColocationStudySummary, Option<Vec<ColocationTrial>>)| {
+            master.merge(&acc);
+            if let (Some(d), Some(k)) = (&mut dump, kept) {
+                d.extend(k);
+            }
+            on_progress(master.trials, &master);
+        },
+    );
+    (master, dump, stats)
+}
+
+/// [`stream_colocation_study_observed`] without a progress callback.
+pub fn stream_colocation_study(
+    study: &ColocationStudy,
+    cfg: EngineConfig,
+) -> (
+    ColocationStudySummary,
+    Option<Vec<ColocationTrial>>,
+    EngineStats,
+) {
+    stream_colocation_study_observed(study, cfg, |_, _| {})
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small_demand() -> DemandStudy {
+        DemandStudy {
+            trials: 37,
+            max_workloads: 8,
+            ..DemandStudy::default()
+        }
+    }
+
+    #[test]
+    fn demand_stream_matches_serial_fold_bitwise() {
+        let study = small_demand();
+        let trials: Vec<DemandTrial> = (0..study.trials).map(|t| study.run_trial(t)).collect();
+        let serial = DemandStudySummary::from_trials(&study, &trials, 8);
+        let cfg = EngineConfig {
+            threads: 3,
+            batch_trials: 8,
+            collect_trials: true,
+        };
+        let (streamed, dump, stats) = stream_demand_study(&study, cfg);
+        assert_eq!(streamed, serial);
+        assert_eq!(stats.trials, 37);
+        assert_eq!(stats.batches, 5);
+        assert_eq!(stats.scratch.trials, 37);
+        // The dump is the full trial stream, in trial order.
+        let dump = dump.unwrap();
+        assert_eq!(dump.len(), trials.len());
+        for (a, b) in dump.iter().zip(&trials) {
+            assert_eq!(a.trial, b.trial);
+            assert_eq!(a.rup.average_pct.to_bits(), b.rup.average_pct.to_bits());
+        }
+    }
+
+    #[test]
+    fn progress_fires_after_every_in_order_merge() {
+        let study = small_demand();
+        let mut seen = Vec::new();
+        let cfg = EngineConfig {
+            threads: 2,
+            batch_trials: 10,
+            collect_trials: false,
+        };
+        let (summary, dump, _) =
+            stream_demand_study_observed(&study, cfg, |n, s| seen.push((n, s.trials)));
+        assert!(dump.is_none());
+        assert_eq!(seen, vec![(10, 10), (20, 20), (30, 30), (37, 37)]);
+        assert_eq!(summary.trials, 37);
+    }
+
+    #[test]
+    fn scratch_arena_is_reused_across_a_worker_run() {
+        let study = small_demand();
+        let cfg = EngineConfig {
+            threads: 1,
+            batch_trials: 64,
+            collect_trials: false,
+        };
+        let (_, _, stats) = stream_demand_study(&study, cfg);
+        // One pre-grown table, every solve served from it.
+        assert_eq!(stats.scratch.table_grows, 1);
+        assert_eq!(stats.scratch.table_reuses, 37);
+    }
+
+    #[test]
+    fn zero_trials_produce_an_empty_summary() {
+        let study = DemandStudy {
+            trials: 0,
+            ..small_demand()
+        };
+        let (summary, _, stats) = stream_demand_study(&study, EngineConfig::new(4));
+        assert_eq!(summary.trials, 0);
+        assert_eq!(stats.batches, 0);
+    }
+
+    #[test]
+    fn colocation_stream_matches_serial_fold_bitwise() {
+        let study = ColocationStudy {
+            trials: 21,
+            max_workloads: 16,
+            ..ColocationStudy::default()
+        };
+        let trials: Vec<ColocationTrial> = (0..study.trials).map(|t| study.run_trial(t)).collect();
+        let serial = ColocationStudySummary::from_trials(&study, &trials, 5);
+        let cfg = EngineConfig {
+            threads: 4,
+            batch_trials: 5,
+            collect_trials: false,
+        };
+        let (streamed, _, stats) = stream_colocation_study(&study, cfg);
+        assert_eq!(streamed, serial);
+        assert_eq!(stats.scratch.trials, 21);
+    }
+}

@@ -19,13 +19,33 @@
 //! [`runner`] executes trials across threads deterministically: trial `k`
 //! always uses seed `base_seed + k`, so results are reproducible at any
 //! parallelism.
+//!
+//! Full-scale runs go through the streaming study engine instead of
+//! collecting trials:
+//!
+//! * [`scratch`] — per-worker [`TrialScratch`] arenas (exact-solver
+//!   coalition table, share vectors, generation buffers), so a
+//!   10,000-trial run performs `O(threads)` large allocations rather than
+//!   `O(trials)`;
+//! * [`streaming`] — constant-memory summary accumulators (Welford
+//!   moments, worst-case maxima, deviation histograms for the CDF
+//!   figures) merged batch-by-batch in a fixed order;
+//! * [`engine`] — drives both: batches fan out across workers, are merged
+//!   in batch order, and the resulting summaries are bit-identical to the
+//!   collect-then-summarize path at any thread count.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod colocations;
+pub mod engine;
 pub mod runner;
 pub mod schedules;
+pub mod scratch;
+pub mod streaming;
 
 pub use colocations::{ColocationStudy, ColocationTrial};
+pub use engine::{stream_colocation_study, stream_demand_study, EngineConfig, EngineStats};
 pub use schedules::{DemandStudy, DemandTrial};
+pub use scratch::{ScratchStats, TrialScratch};
+pub use streaming::{ColocationStudySummary, DemandStudySummary, Histogram, StatStream, Welford};

@@ -10,6 +10,8 @@ use fairco2::demand::{
 use fairco2::metrics::{summarize, DeviationSummary};
 use fairco2::schedule::{Schedule, ScheduledWorkload};
 
+use crate::scratch::TrialScratch;
+
 /// Core allocations the paper's generator draws from.
 pub const CORE_CHOICES: [f64; 7] = [8.0, 16.0, 32.0, 48.0, 64.0, 80.0, 96.0];
 
@@ -61,12 +63,20 @@ pub struct DemandTrial {
 impl DemandStudy {
     /// Generates the trial's random schedule (deterministic per trial).
     pub fn generate_schedule(&self, trial: usize) -> Schedule {
+        self.generate_schedule_with(trial, &mut TrialScratch::new())
+    }
+
+    /// [`generate_schedule`](Self::generate_schedule) using the scratch's
+    /// generation buffers. Draw-for-draw identical RNG stream, so the
+    /// generated schedule is exactly the same.
+    pub fn generate_schedule_with(&self, trial: usize, scratch: &mut TrialScratch) -> Schedule {
         let mut rng = StdRng::seed_from_u64(self.base_seed.wrapping_add(trial as u64));
-        random_schedule(
+        random_schedule_with(
             &mut rng,
             self.min_time_slices,
             self.max_time_slices,
             self.max_workloads,
+            scratch,
         )
     }
 
@@ -79,25 +89,41 @@ impl DemandStudy {
     /// the generator guarantees non-zero demand, so a failure indicates a
     /// bug rather than a recoverable input condition.
     pub fn run_trial(&self, trial: usize) -> DemandTrial {
-        let schedule = self.generate_schedule(trial);
+        self.run_trial_with_scratch(trial, &mut TrialScratch::new())
+    }
+
+    /// [`run_trial`](Self::run_trial) through a per-worker arena: the
+    /// exact-solver coalition table, the share vectors, and the generation
+    /// buffers all live in `scratch` and are reused across calls.
+    /// Bit-identical to [`run_trial`](Self::run_trial).
+    ///
+    /// # Panics
+    ///
+    /// Same conditions as [`run_trial`](Self::run_trial).
+    pub fn run_trial_with_scratch(&self, trial: usize, scratch: &mut TrialScratch) -> DemandTrial {
+        let schedule = self.generate_schedule_with(trial, scratch);
         // The pool size cancels in percentage deviations; use 1 kg.
         let pool = 1000.0;
-        let truth = GroundTruthShapley
-            .attribute(&schedule, pool)
+        GroundTruthShapley
+            .attribute_with_scratch(&schedule, pool, &mut scratch.exact, &mut scratch.truth)
             .expect("generated schedules are solvable");
-        let summary = |method: &dyn DemandAttributor| {
-            let shares = method
-                .attribute(&schedule, pool)
+        let mut summary = |method: &dyn DemandAttributor| {
+            method
+                .attribute_into(&schedule, pool, &mut scratch.shares)
                 .expect("generated schedules are attributable");
-            summarize(&shares, &truth).expect("ground truth has non-zero shares")
+            summarize(&scratch.shares, &scratch.truth).expect("ground truth has non-zero shares")
         };
+        let rup = summary(&RupBaseline);
+        let demand_proportional = summary(&DemandProportional);
+        let fair_co2 = summary(&TemporalFairCo2::per_step());
+        scratch.trials += 1;
         DemandTrial {
             trial,
             time_slices: schedule.steps(),
             workloads: schedule.workloads().len(),
-            rup: summary(&RupBaseline),
-            demand_proportional: summary(&DemandProportional),
-            fair_co2: summary(&TemporalFairCo2::per_step()),
+            rup,
+            demand_proportional,
+            fair_co2,
         }
     }
 }
@@ -113,11 +139,37 @@ pub fn random_schedule(
     max_slices: usize,
     max_workloads: usize,
 ) -> Schedule {
+    random_schedule_with(
+        rng,
+        min_slices,
+        max_slices,
+        max_workloads,
+        &mut TrialScratch::new(),
+    )
+}
+
+/// [`random_schedule`] with the per-slice target and concurrency buffers
+/// hoisted into the caller's [`TrialScratch`], so a trial loop allocates
+/// them once instead of per call. The RNG draw order is unchanged, so the
+/// schedule is identical to [`random_schedule`]'s.
+pub fn random_schedule_with(
+    rng: &mut impl Rng,
+    min_slices: usize,
+    max_slices: usize,
+    max_workloads: usize,
+    scratch: &mut TrialScratch,
+) -> Schedule {
     assert!(min_slices >= 1 && min_slices <= max_slices);
     assert!(max_workloads >= 1);
     let slices = rng.gen_range(min_slices..=max_slices);
-    let targets: Vec<usize> = (0..slices).map(|_| rng.gen_range(1..=5)).collect();
-    let mut concurrency = vec![0usize; slices];
+    scratch.targets.clear();
+    scratch
+        .targets
+        .extend((0..slices).map(|_| rng.gen_range(1..=5)));
+    let targets = &scratch.targets;
+    scratch.concurrency.clear();
+    scratch.concurrency.resize(slices, 0);
+    let concurrency = &mut scratch.concurrency;
     let mut workloads: Vec<ScheduledWorkload> = Vec::new();
     for t in 0..slices {
         while concurrency[t] < targets[t] && workloads.len() < max_workloads {

@@ -1,0 +1,815 @@
+//! Streaming study summaries.
+//!
+//! The figure bins used to materialize every `DemandTrial` /
+//! `ColocationTrial` (10,000 structs with per-workload payloads) and then
+//! summarize. The types here replace that with constant-memory streaming
+//! accumulators: Welford moments for means/variances, a running max for
+//! worst cases, and fixed-range histograms for the medians, percentile
+//! bands, and CDF curves the figures plot.
+//!
+//! # Determinism contract
+//!
+//! Welford *merges* are not floating-point associative, so a summary's
+//! bits depend on how trials are grouped. Every producer in this crate
+//! therefore uses the same canonical grouping: trials are folded
+//! sequentially into fixed-size batch accumulators (batch boundaries
+//! depend only on the batch size, never on the thread count), and batch
+//! accumulators are merged in batch-index order.
+//! [`DemandStudySummary::from_trials`] /
+//! [`ColocationStudySummary::from_trials`] implement that fold serially;
+//! the parallel engine ([`crate::engine`]) reproduces it bit-for-bit at
+//! any thread count by reordering batch results before merging.
+
+use serde::{Deserialize, Serialize};
+
+use fairco2::metrics::DeviationSummary;
+use fairco2_workloads::ALL_WORKLOADS;
+
+use crate::colocations::{ColocationStudy, ColocationTrial};
+use crate::schedules::{DemandStudy, DemandTrial};
+
+/// Canonical trials-per-batch of the streaming fold. Small enough that a
+/// reduced 50-trial CI run still exercises multiple merges, large enough
+/// that accumulator merging is negligible against the exact solves.
+pub const DEFAULT_BATCH_TRIALS: usize = 64;
+
+/// Histogram range for absolute percentage deviations, `[0, 1000)` at
+/// 0.5 % resolution. Larger deviations land in the overflow bucket and
+/// pin quantiles at the range edge; means are exact regardless (Welford).
+const DEV_HIST_LO: f64 = 0.0;
+const DEV_HIST_HI: f64 = 1000.0;
+const DEV_HIST_BINS: usize = 2000;
+
+/// Histogram range for *signed* percentage deviations (the per-workload
+/// equity analysis), `[-500, 500)` at 0.5 % resolution.
+const SIGNED_HIST_LO: f64 = -500.0;
+const SIGNED_HIST_HI: f64 = 500.0;
+const SIGNED_HIST_BINS: usize = 2000;
+
+/// Welford running moments (count, mean, M2), mergeable via the Chan
+/// et al. parallel update.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Serialize, Deserialize)]
+pub struct Welford {
+    /// Observations recorded.
+    pub count: u64,
+    /// Running mean.
+    pub mean: f64,
+    /// Sum of squared deviations from the mean.
+    pub m2: f64,
+}
+
+impl Welford {
+    /// An empty accumulator.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records one observation.
+    pub fn push(&mut self, x: f64) {
+        self.count += 1;
+        let delta = x - self.mean;
+        self.mean += delta / self.count as f64;
+        self.m2 += delta * (x - self.mean);
+    }
+
+    /// Merges another accumulator into this one (order-sensitive in the
+    /// last bits — callers must merge in a fixed order).
+    pub fn merge(&mut self, other: &Welford) {
+        if other.count == 0 {
+            return;
+        }
+        if self.count == 0 {
+            *self = *other;
+            return;
+        }
+        let na = self.count as f64;
+        let nb = other.count as f64;
+        let n = na + nb;
+        let delta = other.mean - self.mean;
+        self.mean += delta * nb / n;
+        self.m2 += other.m2 + delta * delta * na * nb / n;
+        self.count += other.count;
+    }
+
+    /// Population variance (0 for fewer than two observations).
+    pub fn variance(&self) -> f64 {
+        if self.count < 2 {
+            0.0
+        } else {
+            self.m2 / self.count as f64
+        }
+    }
+
+    /// Population standard deviation.
+    pub fn std_dev(&self) -> f64 {
+        self.variance().sqrt()
+    }
+}
+
+/// A fixed-range histogram with underflow/overflow buckets. Counts are
+/// integers, so merges are order-independent; quantiles are linearly
+/// interpolated within bins.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Histogram {
+    lo: f64,
+    hi: f64,
+    counts: Vec<u64>,
+    underflow: u64,
+    overflow: u64,
+}
+
+impl Histogram {
+    /// A zeroed histogram over `[lo, hi)` with `bins` equal-width bins.
+    ///
+    /// # Panics
+    ///
+    /// Panics on an empty range or zero bins.
+    pub fn new(lo: f64, hi: f64, bins: usize) -> Self {
+        assert!(hi > lo && bins >= 1, "degenerate histogram range");
+        Self {
+            lo,
+            hi,
+            counts: vec![0; bins],
+            underflow: 0,
+            overflow: 0,
+        }
+    }
+
+    /// Records one observation.
+    pub fn push(&mut self, x: f64) {
+        if x < self.lo {
+            self.underflow += 1;
+        } else if x >= self.hi {
+            self.overflow += 1;
+        } else {
+            let frac = (x - self.lo) / (self.hi - self.lo);
+            let i = ((frac * self.counts.len() as f64) as usize).min(self.counts.len() - 1);
+            self.counts[i] += 1;
+        }
+    }
+
+    /// Merges another histogram with the same configuration.
+    ///
+    /// # Panics
+    ///
+    /// Panics on mismatched range or bin count.
+    pub fn merge(&mut self, other: &Histogram) {
+        assert!(
+            self.lo == other.lo && self.hi == other.hi && self.counts.len() == other.counts.len(),
+            "histogram configurations differ"
+        );
+        for (a, b) in self.counts.iter_mut().zip(&other.counts) {
+            *a += b;
+        }
+        self.underflow += other.underflow;
+        self.overflow += other.overflow;
+    }
+
+    /// Total observations recorded.
+    pub fn total(&self) -> u64 {
+        self.underflow + self.overflow + self.counts.iter().sum::<u64>()
+    }
+
+    /// The interpolated `q`-quantile (`q` in `[0, 1]`). Underflowed mass
+    /// reports the range floor, overflowed mass the range ceiling; an
+    /// empty histogram reports the floor.
+    pub fn quantile(&self, q: f64) -> f64 {
+        let total = self.total();
+        if total == 0 {
+            return self.lo;
+        }
+        let target = q.clamp(0.0, 1.0) * total as f64;
+        let mut cum = self.underflow as f64;
+        if cum >= target && self.underflow > 0 {
+            return self.lo;
+        }
+        let bin_width = (self.hi - self.lo) / self.counts.len() as f64;
+        for (i, &c) in self.counts.iter().enumerate() {
+            if c == 0 {
+                continue;
+            }
+            let next = cum + c as f64;
+            if next >= target {
+                let frac = ((target - cum) / c as f64).clamp(0.0, 1.0);
+                return self.lo + bin_width * (i as f64 + frac);
+            }
+            cum = next;
+        }
+        self.hi
+    }
+
+    /// `(upper_edge, cumulative_fraction)` points over the non-empty bins
+    /// — the empirical CDF curve the figures plot. Includes a final point
+    /// at the range ceiling when mass overflowed.
+    pub fn cdf_points(&self) -> Vec<(f64, f64)> {
+        let total = self.total();
+        if total == 0 {
+            return Vec::new();
+        }
+        let bin_width = (self.hi - self.lo) / self.counts.len() as f64;
+        let mut out = Vec::new();
+        let mut cum = self.underflow;
+        if self.underflow > 0 {
+            out.push((self.lo, cum as f64 / total as f64));
+        }
+        for (i, &c) in self.counts.iter().enumerate() {
+            if c == 0 {
+                continue;
+            }
+            cum += c;
+            out.push((
+                self.lo + bin_width * (i + 1) as f64,
+                cum as f64 / total as f64,
+            ));
+        }
+        if self.overflow > 0 {
+            out.push((self.hi, 1.0));
+        }
+        out
+    }
+}
+
+/// Streaming statistics of one scalar per trial: exact moments, exact
+/// running max, and a histogram for quantiles/CDFs.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct StatStream {
+    /// Exact running moments.
+    pub moments: Welford,
+    /// Largest observation (0 when empty; deviations are non-negative,
+    /// and for signed streams the histogram carries the distribution).
+    pub max: f64,
+    /// Distribution for medians, percentile bands, and CDF curves.
+    pub hist: Histogram,
+}
+
+impl StatStream {
+    /// A stream for absolute percentage deviations.
+    pub fn deviations() -> Self {
+        Self {
+            moments: Welford::new(),
+            max: 0.0,
+            hist: Histogram::new(DEV_HIST_LO, DEV_HIST_HI, DEV_HIST_BINS),
+        }
+    }
+
+    /// A stream for signed percentage deviations.
+    pub fn signed_deviations() -> Self {
+        Self {
+            moments: Welford::new(),
+            max: 0.0,
+            hist: Histogram::new(SIGNED_HIST_LO, SIGNED_HIST_HI, SIGNED_HIST_BINS),
+        }
+    }
+
+    /// Records one observation.
+    pub fn push(&mut self, x: f64) {
+        self.moments.push(x);
+        self.max = self.max.max(x);
+        self.hist.push(x);
+    }
+
+    /// Merges another stream (same histogram configuration; merge in a
+    /// fixed order for bit-stable moments).
+    pub fn merge(&mut self, other: &StatStream) {
+        self.moments.merge(&other.moments);
+        self.max = self.max.max(other.max);
+        self.hist.merge(&other.hist);
+    }
+
+    /// Observations recorded.
+    pub fn count(&self) -> u64 {
+        self.moments.count
+    }
+
+    /// Exact mean (0 when empty).
+    pub fn mean(&self) -> f64 {
+        self.moments.mean
+    }
+
+    /// Interpolated quantile from the histogram.
+    pub fn quantile(&self, q: f64) -> f64 {
+        self.hist.quantile(q)
+    }
+}
+
+/// One attribution method's average and worst-case deviation streams.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct MethodStream {
+    /// Per-trial mean absolute deviation.
+    pub average: StatStream,
+    /// Per-trial worst single-workload deviation.
+    pub worst_case: StatStream,
+}
+
+impl MethodStream {
+    fn new() -> Self {
+        Self {
+            average: StatStream::deviations(),
+            worst_case: StatStream::deviations(),
+        }
+    }
+
+    /// Records one trial's deviation summary.
+    pub fn push(&mut self, d: &DeviationSummary) {
+        self.average.push(d.average_pct);
+        self.worst_case.push(d.worst_case_pct);
+    }
+
+    /// Merges another stream pair.
+    pub fn merge(&mut self, other: &MethodStream) {
+        self.average.merge(&other.average);
+        self.worst_case.merge(&other.worst_case);
+    }
+}
+
+/// The three demand methods' streams.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct DemandMethodSet {
+    /// RUP-Baseline deviations.
+    pub rup: MethodStream,
+    /// Demand-proportional deviations.
+    pub demand_proportional: MethodStream,
+    /// Fair-CO₂ (Temporal Shapley) deviations.
+    pub fair_co2: MethodStream,
+}
+
+impl DemandMethodSet {
+    fn new() -> Self {
+        Self {
+            rup: MethodStream::new(),
+            demand_proportional: MethodStream::new(),
+            fair_co2: MethodStream::new(),
+        }
+    }
+
+    fn push(&mut self, t: &DemandTrial) {
+        self.rup.push(&t.rup);
+        self.demand_proportional.push(&t.demand_proportional);
+        self.fair_co2.push(&t.fair_co2);
+    }
+
+    fn merge(&mut self, other: &DemandMethodSet) {
+        self.rup.merge(&other.rup);
+        self.demand_proportional.merge(&other.demand_proportional);
+        self.fair_co2.merge(&other.fair_co2);
+    }
+}
+
+/// A breakdown bucket over an integer trial property (time slices or
+/// workload count), inclusive on both ends.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct DemandBucket {
+    /// Human-readable bucket label.
+    pub label: String,
+    /// Inclusive lower bound.
+    pub lo: usize,
+    /// Inclusive upper bound.
+    pub hi: usize,
+    /// The bucket's method streams.
+    pub methods: DemandMethodSet,
+}
+
+/// Streaming summary of the dynamic-demand study (Figure 7).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct DemandStudySummary {
+    /// Trials recorded.
+    pub trials: u64,
+    /// All scenarios pooled.
+    pub all: DemandMethodSet,
+    /// Per-schedule-length panels (one bucket per slice count).
+    pub by_time_slices: Vec<DemandBucket>,
+    /// Workload-count panels: thirds of `1..=max_workloads` (the paper's
+    /// 1–7 / 8–14 / 15–22 split at the default 22).
+    pub by_workloads: Vec<DemandBucket>,
+}
+
+impl DemandStudySummary {
+    /// An empty summary with bucket boundaries derived from the study
+    /// parameters.
+    pub fn empty(study: &DemandStudy) -> Self {
+        let by_time_slices = (study.min_time_slices..=study.max_time_slices)
+            .map(|s| DemandBucket {
+                label: format!("{s} time slices"),
+                lo: s,
+                hi: s,
+                methods: DemandMethodSet::new(),
+            })
+            .collect();
+        let third = (study.max_workloads / 3).max(1);
+        let by_workloads = [
+            (1, third),
+            (third + 1, 2 * third),
+            (2 * third + 1, study.max_workloads),
+        ]
+        .into_iter()
+        .filter(|&(lo, hi)| lo <= hi && lo <= study.max_workloads)
+        .map(|(lo, hi)| DemandBucket {
+            label: format!("{lo}-{hi} workloads"),
+            lo,
+            hi,
+            methods: DemandMethodSet::new(),
+        })
+        .collect();
+        Self {
+            trials: 0,
+            all: DemandMethodSet::new(),
+            by_time_slices,
+            by_workloads,
+        }
+    }
+
+    /// Records one trial.
+    pub fn record(&mut self, t: &DemandTrial) {
+        self.trials += 1;
+        self.all.push(t);
+        for b in &mut self.by_time_slices {
+            if (b.lo..=b.hi).contains(&t.time_slices) {
+                b.methods.push(t);
+            }
+        }
+        for b in &mut self.by_workloads {
+            if (b.lo..=b.hi).contains(&t.workloads) {
+                b.methods.push(t);
+            }
+        }
+    }
+
+    /// Merges another summary built from the same study parameters. Call
+    /// in batch-index order for bit-stable results.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the bucket structures differ.
+    pub fn merge(&mut self, other: &DemandStudySummary) {
+        assert_eq!(
+            self.by_time_slices.len(),
+            other.by_time_slices.len(),
+            "summaries from different studies"
+        );
+        assert_eq!(self.by_workloads.len(), other.by_workloads.len());
+        self.trials += other.trials;
+        self.all.merge(&other.all);
+        for (a, b) in self.by_time_slices.iter_mut().zip(&other.by_time_slices) {
+            a.methods.merge(&b.methods);
+        }
+        for (a, b) in self.by_workloads.iter_mut().zip(&other.by_workloads) {
+            a.methods.merge(&b.methods);
+        }
+    }
+
+    /// The canonical serial fold: trials grouped into `batch`-sized
+    /// accumulators merged in order. The streaming engine is bit-identical
+    /// to this at any thread count.
+    pub fn from_trials(study: &DemandStudy, trials: &[DemandTrial], batch: usize) -> Self {
+        let mut master = Self::empty(study);
+        for chunk in trials.chunks(batch.max(1)) {
+            let mut acc = Self::empty(study);
+            for t in chunk {
+                acc.record(t);
+            }
+            master.merge(&acc);
+        }
+        master
+    }
+}
+
+/// The two colocation methods' streams.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ColocationMethodSet {
+    /// RUP-Baseline deviations.
+    pub rup: MethodStream,
+    /// Fair-CO₂ deviations.
+    pub fair_co2: MethodStream,
+}
+
+impl ColocationMethodSet {
+    fn new() -> Self {
+        Self {
+            rup: MethodStream::new(),
+            fair_co2: MethodStream::new(),
+        }
+    }
+
+    fn push(&mut self, t: &ColocationTrial) {
+        self.rup.push(&t.rup);
+        self.fair_co2.push(&t.fair_co2);
+    }
+
+    fn merge(&mut self, other: &ColocationMethodSet) {
+        self.rup.merge(&other.rup);
+        self.fair_co2.merge(&other.fair_co2);
+    }
+}
+
+/// An integer-property breakdown bucket (sampling rate or workload
+/// count), inclusive on both ends.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ColocationBucket {
+    /// Human-readable bucket label.
+    pub label: String,
+    /// Inclusive lower bound.
+    pub lo: usize,
+    /// Inclusive upper bound.
+    pub hi: usize,
+    /// The bucket's method streams.
+    pub methods: ColocationMethodSet,
+}
+
+/// A grid-carbon-intensity breakdown bucket: `ci ∈ [lo, hi + ε)`.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct GridCiBucket {
+    /// Human-readable bucket label.
+    pub label: String,
+    /// Lower bound (inclusive), gCO₂e/kWh.
+    pub lo: f64,
+    /// Upper bound (exclusive up to ε), gCO₂e/kWh.
+    pub hi: f64,
+    /// The bucket's method streams.
+    pub methods: ColocationMethodSet,
+}
+
+/// Per-workload-kind signed equity streams (Figure 9): the distribution
+/// of each workload's own deviation and of its partners' deviations.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct KindEquity {
+    /// Workload name.
+    pub workload: String,
+    /// Signed deviation of the workload's own attribution, RUP.
+    pub own_rup: StatStream,
+    /// Signed deviation of the workload's own attribution, Fair-CO₂.
+    pub own_fair: StatStream,
+    /// Signed deviation of the workload's partners' attributions, RUP.
+    pub partner_rup: StatStream,
+    /// Signed deviation of the workload's partners' attributions,
+    /// Fair-CO₂.
+    pub partner_fair: StatStream,
+}
+
+/// Streaming summary of the colocation study (Figures 8 and 9).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ColocationStudySummary {
+    /// Trials recorded.
+    pub trials: u64,
+    /// All scenarios pooled.
+    pub all: ColocationMethodSet,
+    /// Breakdown by historical sampling rate (of the 14 distinct
+    /// partners).
+    pub by_samples: Vec<ColocationBucket>,
+    /// Breakdown by scenario workload count.
+    pub by_workloads: Vec<ColocationBucket>,
+    /// Breakdown by grid carbon intensity (quarters of the study range).
+    pub by_grid_ci: Vec<GridCiBucket>,
+    /// Per-workload-kind signed equity streams, indexed by
+    /// [`fairco2_workloads::WorkloadKind::index`].
+    pub per_kind: Vec<KindEquity>,
+}
+
+impl ColocationStudySummary {
+    /// An empty summary with the paper's breakdown buckets (sampling-rate
+    /// and workload-count splits are Figure 8's; grid-CI buckets are
+    /// quarters of the study's range).
+    pub fn empty(study: &ColocationStudy) -> Self {
+        let bucket = |label: String, lo: usize, hi: usize| ColocationBucket {
+            label,
+            lo,
+            hi,
+            methods: ColocationMethodSet::new(),
+        };
+        let by_samples = [(1usize, 3usize), (4, 7), (8, 11), (12, 14)]
+            .into_iter()
+            .map(|(lo, hi)| bucket(format!("sampling {lo}-{hi} of 14 partners"), lo, hi))
+            .collect();
+        let by_workloads = [(4usize, 25usize), (26, 50), (51, 75), (76, 100)]
+            .into_iter()
+            .map(|(lo, hi)| bucket(format!("{lo}-{hi} workloads"), lo, hi))
+            .collect();
+        let quarter = (study.max_grid_ci - study.min_grid_ci) / 4.0;
+        let by_grid_ci = (0..4)
+            .map(|k| {
+                let lo = study.min_grid_ci + quarter * k as f64;
+                let hi = study.min_grid_ci + quarter * (k + 1) as f64;
+                GridCiBucket {
+                    label: format!("grid CI {lo:.0}-{hi:.0} gCO2e/kWh"),
+                    lo,
+                    hi,
+                    methods: ColocationMethodSet::new(),
+                }
+            })
+            .collect();
+        let per_kind = ALL_WORKLOADS
+            .iter()
+            .map(|w| KindEquity {
+                workload: w.name().to_owned(),
+                own_rup: StatStream::signed_deviations(),
+                own_fair: StatStream::signed_deviations(),
+                partner_rup: StatStream::signed_deviations(),
+                partner_fair: StatStream::signed_deviations(),
+            })
+            .collect();
+        Self {
+            trials: 0,
+            all: ColocationMethodSet::new(),
+            by_samples,
+            by_workloads,
+            by_grid_ci,
+            per_kind,
+        }
+    }
+
+    /// Records one trial, including its per-workload equity records.
+    pub fn record(&mut self, t: &ColocationTrial) {
+        self.trials += 1;
+        self.all.push(t);
+        for b in &mut self.by_samples {
+            if (b.lo..=b.hi).contains(&t.samples) {
+                b.methods.push(t);
+            }
+        }
+        for b in &mut self.by_workloads {
+            if (b.lo..=b.hi).contains(&t.workloads) {
+                b.methods.push(t);
+            }
+        }
+        for b in &mut self.by_grid_ci {
+            if t.grid_ci >= b.lo && t.grid_ci < b.hi + 1e-9 {
+                b.methods.push(t);
+            }
+        }
+        for w in &t.per_workload {
+            let k = &mut self.per_kind[w.kind.index()];
+            k.own_rup.push(w.rup_pct);
+            k.own_fair.push(w.fair_pct);
+        }
+        // Pairs are adjacent in scenario order: `b` is `a`'s partner and
+        // vice versa (an isolated straggler has no partner record).
+        for pair in t.per_workload.chunks(2) {
+            if let [a, b] = pair {
+                if a.partner.is_some() {
+                    self.per_kind[a.kind.index()].partner_rup.push(b.rup_pct);
+                    self.per_kind[a.kind.index()].partner_fair.push(b.fair_pct);
+                    self.per_kind[b.kind.index()].partner_rup.push(a.rup_pct);
+                    self.per_kind[b.kind.index()].partner_fair.push(a.fair_pct);
+                }
+            }
+        }
+    }
+
+    /// Merges another summary built from the same study parameters. Call
+    /// in batch-index order for bit-stable results.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the bucket structures differ.
+    pub fn merge(&mut self, other: &ColocationStudySummary) {
+        assert_eq!(
+            self.by_samples.len(),
+            other.by_samples.len(),
+            "summaries from different studies"
+        );
+        assert_eq!(self.by_workloads.len(), other.by_workloads.len());
+        assert_eq!(self.by_grid_ci.len(), other.by_grid_ci.len());
+        assert_eq!(self.per_kind.len(), other.per_kind.len());
+        self.trials += other.trials;
+        self.all.merge(&other.all);
+        for (a, b) in self.by_samples.iter_mut().zip(&other.by_samples) {
+            a.methods.merge(&b.methods);
+        }
+        for (a, b) in self.by_workloads.iter_mut().zip(&other.by_workloads) {
+            a.methods.merge(&b.methods);
+        }
+        for (a, b) in self.by_grid_ci.iter_mut().zip(&other.by_grid_ci) {
+            a.methods.merge(&b.methods);
+        }
+        for (a, b) in self.per_kind.iter_mut().zip(&other.per_kind) {
+            a.own_rup.merge(&b.own_rup);
+            a.own_fair.merge(&b.own_fair);
+            a.partner_rup.merge(&b.partner_rup);
+            a.partner_fair.merge(&b.partner_fair);
+        }
+    }
+
+    /// The canonical serial fold: trials grouped into `batch`-sized
+    /// accumulators merged in order. The streaming engine is bit-identical
+    /// to this at any thread count.
+    pub fn from_trials(study: &ColocationStudy, trials: &[ColocationTrial], batch: usize) -> Self {
+        let mut master = Self::empty(study);
+        for chunk in trials.chunks(batch.max(1)) {
+            let mut acc = Self::empty(study);
+            for t in chunk {
+                acc.record(t);
+            }
+            master.merge(&acc);
+        }
+        master
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn welford_matches_naive_moments() {
+        let xs = [3.0, 1.0, 4.0, 1.5, 9.2, 2.6];
+        let mut w = Welford::new();
+        for &x in &xs {
+            w.push(x);
+        }
+        let mean = xs.iter().sum::<f64>() / xs.len() as f64;
+        let var = xs.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / xs.len() as f64;
+        assert!((w.mean - mean).abs() < 1e-12);
+        assert!((w.variance() - var).abs() < 1e-12);
+    }
+
+    #[test]
+    fn welford_merge_equals_sequential_counts_and_close_moments() {
+        let xs: Vec<f64> = (0..100).map(|i| (i as f64 * 0.7).sin() * 10.0).collect();
+        let mut seq = Welford::new();
+        for &x in &xs {
+            seq.push(x);
+        }
+        let mut a = Welford::new();
+        let mut b = Welford::new();
+        for &x in &xs[..37] {
+            a.push(x);
+        }
+        for &x in &xs[37..] {
+            b.push(x);
+        }
+        a.merge(&b);
+        assert_eq!(a.count, seq.count);
+        assert!((a.mean - seq.mean).abs() < 1e-10);
+        assert!((a.m2 - seq.m2).abs() < 1e-8);
+    }
+
+    #[test]
+    fn histogram_quantiles_interpolate() {
+        let mut h = Histogram::new(0.0, 100.0, 100);
+        for i in 0..100 {
+            h.push(i as f64 + 0.5);
+        }
+        assert_eq!(h.total(), 100);
+        assert!((h.quantile(0.5) - 50.0).abs() < 1.0);
+        assert!((h.quantile(0.95) - 95.0).abs() < 1.0);
+        assert!(h.quantile(0.0) <= h.quantile(1.0));
+    }
+
+    #[test]
+    fn histogram_handles_out_of_range_mass() {
+        let mut h = Histogram::new(0.0, 10.0, 10);
+        h.push(-5.0);
+        h.push(15.0);
+        h.push(5.0);
+        assert_eq!(h.total(), 3);
+        assert_eq!(h.quantile(1.0), 10.0); // overflow pins the ceiling
+        let cdf = h.cdf_points();
+        assert_eq!(cdf.first().unwrap().0, 0.0);
+        assert_eq!(cdf.last().unwrap(), &(10.0, 1.0));
+    }
+
+    #[test]
+    fn histogram_merge_is_exact() {
+        let mut a = Histogram::new(0.0, 10.0, 10);
+        let mut b = Histogram::new(0.0, 10.0, 10);
+        let mut both = Histogram::new(0.0, 10.0, 10);
+        for i in 0..20 {
+            let x = i as f64 / 2.0;
+            if i % 2 == 0 {
+                a.push(x);
+            } else {
+                b.push(x);
+            }
+            both.push(x);
+        }
+        a.merge(&b);
+        assert_eq!(a, both);
+    }
+
+    #[test]
+    fn demand_summary_buckets_match_the_paper_split() {
+        let s = DemandStudySummary::empty(&DemandStudy::default());
+        let bounds: Vec<(usize, usize)> = s.by_workloads.iter().map(|b| (b.lo, b.hi)).collect();
+        assert_eq!(bounds, vec![(1, 7), (8, 14), (15, 22)]);
+        assert_eq!(s.by_time_slices.len(), 6); // 4..=9
+    }
+
+    #[test]
+    fn from_trials_batching_is_the_canonical_grouping() {
+        let study = DemandStudy {
+            trials: 10,
+            max_workloads: 8,
+            ..DemandStudy::default()
+        };
+        let trials: Vec<DemandTrial> = (0..study.trials).map(|t| study.run_trial(t)).collect();
+        let a = DemandStudySummary::from_trials(&study, &trials, 4);
+        let b = DemandStudySummary::from_trials(&study, &trials, 4);
+        assert_eq!(a, b);
+        assert_eq!(a.trials, 10);
+        assert_eq!(a.all.rup.average.count(), 10);
+        // A different batch size regroups the Welford merges; the counts
+        // and histograms still agree exactly.
+        let c = DemandStudySummary::from_trials(&study, &trials, 3);
+        assert_eq!(c.all.rup.average.hist, a.all.rup.average.hist);
+        assert!((c.all.rup.average.mean() - a.all.rup.average.mean()).abs() < 1e-9);
+    }
+}

@@ -26,10 +26,11 @@ use crate::parallel::run_parallel;
 /// `perf_report --max-n 24`, which records the same counter.
 pub const MAX_EXACT_PLAYERS: usize = 24;
 
-/// Masks per block when streaming the value table. `2¹⁶` masks = 512 KiB
-/// of table per block, sized to sit in L2 while all `n` players' partial
-/// sums stream over it, instead of each player re-reading the whole
-/// 128 MiB table from DRAM.
+/// Masks per block when streaming the value table. Blocks are the unit
+/// of both cache blocking (`2¹⁶` masks = 512 KiB of table, so a block's
+/// φ scatter stays in L2) and of the parallel accumulation fan-out; the
+/// per-block partials are merged in ascending block order, which is what
+/// keeps [`parallel_exact_shapley`] bit-identical to the serial solver.
 const TABLE_BLOCK_MASKS: u64 = 1 << 16;
 
 /// Error from the exact solver.
@@ -159,9 +160,112 @@ where
 ///
 /// Same conditions as [`exact_shapley`].
 pub fn exact_shapley_fast<G: DeltaGame>(game: &G) -> Result<Vec<f64>, ExactError> {
+    let mut scratch = ExactScratch::new();
+    exact_shapley_fast_with_scratch(game, &mut scratch).map(<[f64]>::to_vec)
+}
+
+/// Reusable buffers for the Gray-code exact solver: the `2ⁿ` value table
+/// plus the φ and weight vectors.
+///
+/// A Monte Carlo study calling the exact solver once per trial spends a
+/// large share of its time allocating, page-faulting, and freeing a fresh
+/// table (32 MiB at the paper's 22-workload cap) every trial. A scratch
+/// grown once to the study's player cap
+/// ([`reserve_players`](Self::reserve_players)) turns that into O(workers)
+/// large allocations per study: the Gray-code walk rewrites every entry it
+/// reads, so reuse needs no clearing beyond re-seeding the empty-coalition
+/// slot.
+#[derive(Debug, Default)]
+pub struct ExactScratch {
+    table: Vec<f64>,
+    phi: Vec<f64>,
+    weights: Vec<f64>,
+    grows: u64,
+    reuses: u64,
+}
+
+impl ExactScratch {
+    /// An empty scratch; buffers grow on first use.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// A scratch pre-grown for games of up to `players` players.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `players` exceeds [`MAX_EXACT_PLAYERS`].
+    pub fn for_players(players: usize) -> Self {
+        let mut scratch = Self::default();
+        scratch.reserve_players(players);
+        scratch
+    }
+
+    /// Grows the buffers to hold a `players`-player solve, counting one
+    /// growth if any buffer actually grew. Never shrinks.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `players` exceeds [`MAX_EXACT_PLAYERS`].
+    pub fn reserve_players(&mut self, players: usize) {
+        assert!(
+            players <= MAX_EXACT_PLAYERS,
+            "{players} players exceed the exact-enumeration cap of {MAX_EXACT_PLAYERS}"
+        );
+        let size = 1usize << players;
+        if self.table.len() < size || self.phi.len() < players {
+            self.grows += 1;
+        }
+        if self.table.len() < size {
+            self.table.resize(size, 0.0);
+        }
+        if self.phi.len() < players {
+            self.phi.resize(players, 0.0);
+            self.weights.resize(players, 0.0);
+        }
+    }
+
+    /// Number of solver calls (or explicit reservations) that had to grow
+    /// a buffer.
+    pub fn grows(&self) -> u64 {
+        self.grows
+    }
+
+    /// Number of solver calls served entirely from existing capacity.
+    pub fn reuses(&self) -> u64 {
+        self.reuses
+    }
+
+    /// Bytes currently held by the coalition value table.
+    pub fn table_bytes(&self) -> usize {
+        self.table.len() * std::mem::size_of::<f64>()
+    }
+}
+
+/// [`exact_shapley_fast`] writing through a reusable [`ExactScratch`]:
+/// bit-identical results, but the value table, φ, and weight buffers are
+/// reused across calls instead of reallocated. Returns the φ values as a
+/// slice into the scratch (valid until the next call).
+///
+/// # Errors
+///
+/// Same conditions as [`exact_shapley`].
+pub fn exact_shapley_fast_with_scratch<'a, G: DeltaGame>(
+    game: &G,
+    scratch: &'a mut ExactScratch,
+) -> Result<&'a [f64], ExactError> {
     let n = check_size(game)?;
     let size = 1usize << n;
-    let mut table = vec![0.0f64; size];
+    if scratch.table.len() >= size && scratch.phi.len() >= n {
+        scratch.reuses += 1;
+    } else {
+        scratch.reserve_players(n);
+    }
+    let table = &mut scratch.table[..size];
+    // Every entry except the empty coalition is rewritten by the Gray
+    // walk below; slot 0 must be re-seeded because a previous (larger)
+    // solve may have left a stale value there.
+    table[0] = 0.0;
     let mut state = game.initial_state();
     // Walk coalitions in Gray-code order: consecutive codes differ in
     // exactly one bit, so one toggle per step fills the whole table.
@@ -173,7 +277,8 @@ pub fn exact_shapley_fast<G: DeltaGame>(game: &G) -> Result<Vec<f64>, ExactError
         table[gray as usize] = v;
         prev_gray = gray;
     }
-    Ok(shapley_from_table(n, &table))
+    shapley_from_table_into(n, table, &mut scratch.weights[..n], &mut scratch.phi[..n]);
+    Ok(&scratch.phi[..n])
 }
 
 fn check_size<G: Game>(game: &G) -> Result<usize, ExactError> {
@@ -190,24 +295,89 @@ fn check_size<G: Game>(game: &G) -> Result<usize, ExactError> {
     Ok(n)
 }
 
+/// Step-count threshold below which the peak-demand toggle state keeps a
+/// flat per-step sum array re-scanned in full, instead of a [`MaxTree`].
+/// At the paper's 4–9 time slices a branch-free scan over ≤ 64 contiguous
+/// `f64`s beats the tree's pointer-arithmetic update path by ~4× on the
+/// `2ⁿ`-toggle fill; the tree still wins asymptotically, so long horizons
+/// keep it.
+const SCAN_FILL_MAX_STEPS: usize = 64;
+
+/// Toggle state of [`PeakDemandGame`](crate::game::PeakDemandGame):
+/// per-time-step coalition sums, kept flat or in a [`MaxTree`] depending
+/// on the horizon (see [`SCAN_FILL_MAX_STEPS`]). Both variants apply the
+/// same per-step additions and report the same maximum over the same
+/// sums — `max` selects an existing value and never rounds — so the
+/// choice never changes a value bit.
+#[derive(Debug)]
+pub enum PeakFill {
+    /// Flat sums plus the running peak, maintained incrementally: a
+    /// toggle compares the touched slots against the stored peak and only
+    /// re-scans the array when it lowered a slot that held the peak.
+    Scan {
+        /// Per-time-step coalition sums.
+        sums: Vec<f64>,
+        /// `max(0, sums)` of the current coalition.
+        peak: f64,
+    },
+    /// Segment-tree sums, peak read off the root.
+    Tree(MaxTree),
+}
+
 impl DeltaGame for crate::game::PeakDemandGame {
-    /// Per-time-step sums in a [`MaxTree`] plus explicit membership
-    /// flags: a toggle costs `O(|support| · log steps)` and the peak is
-    /// read off the root, replacing the former full `O(steps)` re-scan
-    /// (`sums.iter().fold(0.0, f64::max)`) per toggle.
-    type State = (MaxTree, Vec<bool>);
+    /// Per-time-step sums (flat or tree, per [`PeakFill`]) plus explicit
+    /// membership flags; a toggle applies the player's sparse support and
+    /// returns the updated peak.
+    type State = (PeakFill, Vec<bool>);
 
     fn initial_state(&self) -> Self::State {
-        (MaxTree::new(self.steps()), vec![false; self.player_count()])
+        let sums = if self.steps() <= SCAN_FILL_MAX_STEPS {
+            PeakFill::Scan {
+                sums: vec![0.0; self.steps()],
+                peak: 0.0,
+            }
+        } else {
+            PeakFill::Tree(MaxTree::new(self.steps()))
+        };
+        (sums, vec![false; self.player_count()])
     }
 
-    fn toggle(&self, (sums, members): &mut Self::State, player: usize) -> f64 {
+    fn toggle(&self, (fill, members): &mut Self::State, player: usize) -> f64 {
         let sign = if members[player] { -1.0 } else { 1.0 };
         members[player] = !members[player];
-        for &(t, d) in self.support(player) {
-            sums.add(t as usize, sign * d);
+        match fill {
+            PeakFill::Scan { sums, peak } => {
+                let mut before = f64::NEG_INFINITY;
+                let mut after = f64::NEG_INFINITY;
+                for &(t, d) in self.support(player) {
+                    let s = &mut sums[t as usize];
+                    before = before.max(*s);
+                    *s += sign * d;
+                    after = after.max(*s);
+                }
+                // Exact case split on where the old peak lived:
+                // * `before < peak` — the peak is at an untouched slot, so
+                //   it still caps them and only `after` can beat it;
+                // * `after >= peak` — a touched slot now holds (at least)
+                //   the old peak, which already capped every other slot;
+                // * otherwise a slot holding the peak was lowered below
+                //   it, and only a full scan knows the new peak.
+                *peak = if before < *peak {
+                    peak.max(after)
+                } else if after >= *peak {
+                    after
+                } else {
+                    sums.iter().copied().fold(0.0, f64::max)
+                };
+                *peak
+            }
+            PeakFill::Tree(sums) => {
+                for &(t, d) in self.support(player) {
+                    sums.add(t as usize, sign * d);
+                }
+                sums.max()
+            }
         }
-        sums.max()
     }
 }
 
@@ -249,35 +419,76 @@ impl DeltaGame for crate::game::TableGame {
 /// Shapley accumulation over a complete value table (`table[mask]` =
 /// value of coalition `mask`).
 ///
-/// The table is streamed in blocks of [`TABLE_BLOCK_MASKS`] masks with
-/// all `n` players visiting each block before the next is touched, so at
-/// [`MAX_EXACT_PLAYERS`] the 128 MiB table crosses the cache hierarchy
-/// once per block instead of `n` full passes. Within each player the
-/// masks are still visited in ascending order, so the result is
-/// bit-identical to the naive player-major double loop.
+/// Rather than the textbook per-player marginal loop (`n·2ⁿ` iterations,
+/// each loading two table entries — one of them a `2ⁱ`-stride partner),
+/// the accumulation uses the regrouped identity
+///
+/// ```text
+/// φᵢ = Σ_{T∋i} (w[|T|−1] + w[|T|])·v(T)  −  Σ_T w[|T|]·v(T)
+/// ```
+///
+/// with `w[n] ≔ 0`: one ascending pass over the table, each value loaded
+/// exactly once and scattered to the φ slots of the coalition's members
+/// (`popcount` adds per mask, `n·2ⁿ⁻¹` total — half the marginal loop's
+/// work), and the player-independent correction `Σ w[|T|]·v(T)`
+/// subtracted once at the end. The pass is split into
+/// [`TABLE_BLOCK_MASKS`]-sized blocks whose partial φ vectors are merged
+/// in ascending block order; the parallel accumulation distributes the
+/// same blocks and merges identically, so both are bit-identical at any
+/// thread count.
 fn shapley_from_table(n: usize, table: &[f64]) -> Vec<f64> {
     let mut phi = vec![0.0f64; n];
-    let weights = subset_weights(n);
-    for block in mask_blocks(n) {
-        accumulate_block(table, &weights, &block, &mut phi, 0..n);
-    }
+    let mut weights = vec![0.0f64; n];
+    shapley_from_table_into(n, table, &mut weights, &mut phi);
     phi
 }
 
-/// [`shapley_from_table`] with the per-player accumulation fanned out
-/// across worker threads. Each worker owns a disjoint set of players and
-/// performs exactly the serial per-player computation (same weights, same
-/// ascending block order), so the result is bit-identical to the serial
-/// accumulation at any thread count.
+/// [`shapley_from_table`] writing into caller-owned `weights` and `phi`
+/// buffers (both of length `n`) — the allocation-free core shared with
+/// [`exact_shapley_fast_with_scratch`].
+fn shapley_from_table_into(n: usize, table: &[f64], weights: &mut [f64], phi: &mut [f64]) {
+    subset_weights_into(n, weights);
+    let (wc, coeff) = scatter_coefficients(n, weights);
+    phi.fill(0.0);
+    let mut correction = 0.0;
+    let mut block_phi = [0.0f64; MAX_EXACT_PLAYERS];
+    for block in mask_blocks(n) {
+        correction += scatter_block(table, &wc, &coeff, &block, &mut block_phi[..n]);
+        for (p, b) in phi.iter_mut().zip(&block_phi[..n]) {
+            *p += *b;
+        }
+    }
+    for p in phi.iter_mut() {
+        *p -= correction;
+    }
+}
+
+/// [`shapley_from_table`] with the per-block scatters fanned out across
+/// worker threads. Each block's partial φ vector and correction term are
+/// computed exactly as in the serial pass and merged in ascending block
+/// order, so the result is bit-identical to the serial accumulation at
+/// any thread count.
 fn parallel_shapley_from_table(n: usize, table: &[f64], threads: usize) -> Vec<f64> {
     let weights = subset_weights(n);
-    run_parallel(n, threads, |i| {
-        let mut phi_i = [0.0f64];
-        for block in mask_blocks(n) {
-            accumulate_block(table, &weights, &block, &mut phi_i, i..i + 1);
+    let (wc, coeff) = scatter_coefficients(n, &weights);
+    let blocks: Vec<_> = mask_blocks(n).collect();
+    let partials = run_parallel(blocks.len(), threads, |b| {
+        let mut block_phi = [0.0f64; MAX_EXACT_PLAYERS];
+        let c = scatter_block(table, &wc, &coeff, &blocks[b], &mut block_phi[..n]);
+        (block_phi, c)
+    });
+    let mut phi = vec![0.0f64; n];
+    let mut correction = 0.0;
+    for (block_phi, c) in &partials {
+        for (p, b) in phi.iter_mut().zip(&block_phi[..n]) {
+            *p += *b;
         }
-        phi_i[0]
-    })
+        correction += *c;
+    }
+    for p in phi.iter_mut() {
+        *p -= correction;
+    }
+    phi
 }
 
 /// `w[s] = s!·(n−1−s)!/n!`, built by the recurrence
@@ -285,11 +496,16 @@ fn parallel_shapley_from_table(n: usize, table: &[f64], threads: usize) -> Vec<f
 /// support.
 fn subset_weights(n: usize) -> Vec<f64> {
     let mut weights = vec![0.0f64; n];
+    subset_weights_into(n, &mut weights);
+    weights
+}
+
+/// [`subset_weights`] into a caller-owned buffer of length `n`.
+fn subset_weights_into(n: usize, weights: &mut [f64]) {
     weights[0] = 1.0 / n as f64;
     for s in 1..n {
         weights[s] = weights[s - 1] * s as f64 / (n - s) as f64;
     }
-    weights
 }
 
 /// Ascending, non-overlapping mask ranges covering `0..2ⁿ` in blocks of
@@ -302,25 +518,50 @@ fn mask_blocks(n: usize) -> impl Iterator<Item = std::ops::Range<u64>> {
     })
 }
 
-/// Adds each listed player's marginal contributions over one mask block
-/// into `phi` (`phi[0]` corresponds to the first player of `players`).
-fn accumulate_block(
-    table: &[f64],
+/// Per-coalition-size coefficients for the scatter accumulation:
+/// `wc[k]` weights a size-`k` coalition in the player-independent
+/// correction (`w[k]` for proper coalitions, 0 for the grand coalition,
+/// where `w[n]` does not exist), and `coeff[k] = w[k−1] + wc[k]` is the
+/// factor applied to `v(T)` for every member of a size-`k` coalition.
+/// Fixed-size stack arrays keep the scratch solver allocation-free.
+fn scatter_coefficients(
+    n: usize,
     weights: &[f64],
+) -> ([f64; MAX_EXACT_PLAYERS + 1], [f64; MAX_EXACT_PLAYERS + 1]) {
+    let mut wc = [0.0f64; MAX_EXACT_PLAYERS + 1];
+    let mut coeff = [0.0f64; MAX_EXACT_PLAYERS + 1];
+    wc[..n].copy_from_slice(&weights[..n]);
+    for k in 1..=n {
+        coeff[k] = weights[k - 1] + wc[k];
+    }
+    (wc, coeff)
+}
+
+/// Scatters one mask block's values into a zeroed per-block φ vector and
+/// returns the block's correction-term contribution. Each table entry is
+/// loaded once; its weighted value is added to the φ slot of every member
+/// of the coalition (set bit of the mask).
+fn scatter_block(
+    table: &[f64],
+    wc: &[f64],
+    coeff: &[f64],
     block: &std::ops::Range<u64>,
-    phi: &mut [f64],
-    players: std::ops::Range<usize>,
-) {
-    for (slot, i) in players.enumerate() {
-        let bit = 1u64 << i;
-        let phi_i = &mut phi[slot];
-        for mask in block.clone() {
-            if mask & bit == 0 {
-                let s = mask.count_ones() as usize;
-                *phi_i += weights[s] * (table[(mask | bit) as usize] - table[mask as usize]);
-            }
+    block_phi: &mut [f64],
+) -> f64 {
+    block_phi.fill(0.0);
+    let mut correction = 0.0;
+    for mask in block.clone() {
+        let v = table[mask as usize];
+        let k = mask.count_ones() as usize;
+        correction += wc[k] * v;
+        let cv = coeff[k] * v;
+        let mut members = mask;
+        while members != 0 {
+            block_phi[members.trailing_zeros() as usize] += cv;
+            members &= members - 1;
         }
     }
+    correction
 }
 
 #[cfg(test)]
@@ -383,6 +624,55 @@ mod tests {
             exact_shapley(&g),
             Err(ExactError::TooManyPlayers { n: 25, max: 24 })
         );
+    }
+
+    #[test]
+    fn scratch_reuse_is_bit_identical_even_across_game_sizes() {
+        // Solve a 5-player game, then a 3-player game through the SAME
+        // scratch: the stale tail of the larger table must not leak into
+        // the smaller solve.
+        let big = PeakDemandGame::new(vec![
+            vec![4.0, 1.0, 0.0],
+            vec![1.0, 4.0, 2.0],
+            vec![2.0, 2.0, 5.0],
+            vec![0.0, 3.0, 1.0],
+            vec![2.5, 0.5, 3.5],
+        ]);
+        let small = PeakDemandGame::new(vec![
+            vec![4.0, 1.0, 0.0],
+            vec![1.0, 4.0, 2.0],
+            vec![2.0, 2.0, 5.0],
+        ]);
+        let mut scratch = ExactScratch::for_players(5);
+        for game in [&big, &small, &big, &small] {
+            let fresh = exact_shapley_fast(game).unwrap();
+            let reused = exact_shapley_fast_with_scratch(game, &mut scratch).unwrap();
+            assert_eq!(fresh.len(), reused.len());
+            for (a, b) in fresh.iter().zip(reused) {
+                assert_eq!(a.to_bits(), b.to_bits());
+            }
+        }
+        assert_eq!(scratch.grows(), 1, "pre-grown scratch never regrows");
+        assert_eq!(scratch.reuses(), 4);
+    }
+
+    #[test]
+    fn scratch_grows_lazily_and_reports_table_bytes() {
+        let g = PeakDemandGame::new(vec![vec![3.0, 1.0], vec![0.0, 2.0]]);
+        let mut scratch = ExactScratch::new();
+        assert_eq!(scratch.table_bytes(), 0);
+        exact_shapley_fast_with_scratch(&g, &mut scratch).unwrap();
+        assert_eq!(scratch.grows(), 1);
+        assert_eq!(scratch.reuses(), 0);
+        assert_eq!(scratch.table_bytes(), 4 * 8);
+        exact_shapley_fast_with_scratch(&g, &mut scratch).unwrap();
+        assert_eq!(scratch.reuses(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "exceed the exact-enumeration cap")]
+    fn scratch_rejects_oversized_reservations() {
+        let _ = ExactScratch::for_players(MAX_EXACT_PLAYERS + 1);
     }
 
     #[test]

@@ -66,7 +66,9 @@ pub mod unit_time;
 pub use axioms::{AxiomAudit, AxiomCheck};
 pub use cache::{CachedGame, CoalitionCache};
 pub use coalition::Coalition;
-pub use exact::{exact_shapley, parallel_exact_shapley};
+pub use exact::{
+    exact_shapley, exact_shapley_fast_with_scratch, parallel_exact_shapley, ExactScratch,
+};
 pub use game::{replay_marginals_into, EvalCounters, Game, GameStats, IncrementalGame, ScanPeak};
 pub use matching::{shapley_from_moments, MatchingGame};
 pub use maxtree::MaxTree;
