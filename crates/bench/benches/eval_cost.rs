@@ -8,15 +8,25 @@
 //!   and without the coalition-value memo table;
 //! * `toggle_scan` / `toggle_tree` — the Gray-code table fill through the
 //!   original dense `O(steps)` re-scan versus the `O(log steps)` segment
-//!   tree.
+//!   tree;
+//! * `cascade_per_period` / `cascade_flat` / `cascade_scratch` — the
+//!   hierarchical Temporal Shapley pipeline through the old owned
+//!   per-period path versus the flat zero-copy engine (fresh and with a
+//!   reused [`CascadeScratch`]);
+//! * `billing_per_call` / `billing_batch` — workload billing-window
+//!   queries one `workload_carbon` call at a time versus the batched
+//!   prefix-table entry point.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use std::hint::black_box;
 
+use fairco2_shapley::cascade::{BillingQuery, CascadeScratch};
 use fairco2_shapley::default_threads;
 use fairco2_shapley::exact::{exact_shapley, exact_shapley_fast, parallel_exact_shapley};
 use fairco2_shapley::game::{PeakDemandGame, ScanPeak};
 use fairco2_shapley::sampled::{sampled_shapley, sampled_shapley_cached, SampleConfig};
+use fairco2_shapley::temporal::TemporalShapley;
+use fairco2_trace::TimeSeries;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
@@ -113,10 +123,90 @@ fn bench_toggle_paths(c: &mut Criterion) {
     group.finish();
 }
 
+/// A diurnal+weekly demand trace on the 5-minute grid, like the
+/// `perf_report` temporal section uses (shrunk to keep Criterion's
+/// warm-up affordable).
+fn diurnal_demand(samples: usize) -> TimeSeries {
+    TimeSeries::from_fn(0, 300, samples, |t| {
+        let day = t as f64 / 86_400.0;
+        let base = 40.0
+            + 25.0 * (day * std::f64::consts::TAU).sin().abs()
+            + 10.0 * (day / 7.0 * std::f64::consts::TAU).cos();
+        if (t / 300) % 97 == 0 {
+            0.0
+        } else {
+            base
+        }
+    })
+    .expect("non-empty series")
+}
+
+fn bench_cascade_paths(c: &mut Criterion) {
+    let mut group = c.benchmark_group("cascade");
+    group.sample_size(10);
+    let hierarchy = TemporalShapley::paper_hierarchy();
+    // 30 days of 5-minute samples: one paper-hierarchy root period.
+    for samples in [8_640usize, 34_560] {
+        let demand = diurnal_demand(samples);
+        group.bench_with_input(BenchmarkId::new("per_period", samples), &demand, |b, d| {
+            b.iter(|| hierarchy.attribute_per_period(black_box(d), 1.0e6).unwrap())
+        });
+        group.bench_with_input(BenchmarkId::new("flat", samples), &demand, |b, d| {
+            b.iter(|| hierarchy.attribute(black_box(d), 1.0e6).unwrap())
+        });
+        group.bench_with_input(BenchmarkId::new("scratch", samples), &demand, |b, d| {
+            let mut scratch = CascadeScratch::new();
+            hierarchy
+                .attribute_with_scratch(d, 1.0e6, 1, &mut scratch)
+                .unwrap();
+            b.iter(|| {
+                hierarchy
+                    .attribute_with_scratch(black_box(d), 1.0e6, 1, &mut scratch)
+                    .unwrap()
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_billing_queries(c: &mut Criterion) {
+    let mut group = c.benchmark_group("billing");
+    group.sample_size(10);
+    let hierarchy = TemporalShapley::paper_hierarchy();
+    let demand = diurnal_demand(8_640);
+    let attribution = hierarchy.attribute(&demand, 1.0e6).unwrap();
+    let horizon = 8_640i64 * 300;
+    let mut rng = StdRng::seed_from_u64(7);
+    let queries: Vec<BillingQuery> = (0..100_000)
+        .map(|_| {
+            let t0 = rng.gen_range(-3_600..horizon);
+            (t0, t0 + rng.gen_range(0..86_400), rng.gen_range(0.0..64.0))
+        })
+        .collect();
+    group.bench_function("per_call", |b| {
+        b.iter(|| {
+            queries
+                .iter()
+                .map(|&(t0, t1, alloc)| attribution.workload_carbon(t0, t1, alloc))
+                .sum::<f64>()
+        })
+    });
+    group.bench_function("batch", |b| {
+        let mut out = Vec::new();
+        b.iter(|| {
+            attribution.workload_carbon_batch_into(black_box(&queries), &mut out);
+            out.iter().sum::<f64>()
+        })
+    });
+    group.finish();
+}
+
 criterion_group!(
     benches,
     bench_exact_parallelism,
     bench_sampling_cache,
-    bench_toggle_paths
+    bench_toggle_paths,
+    bench_cascade_paths,
+    bench_billing_queries
 );
 criterion_main!(benches);

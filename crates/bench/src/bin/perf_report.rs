@@ -11,12 +11,18 @@
 //!   the pre-streaming baseline (fresh per-trial allocations, segment-tree
 //!   fill, per-player marginal accumulation, replicated below from public
 //!   APIs), the collect-then-summarize path, and the streaming engine —
-//!   written separately to `results/BENCH_montecarlo.json`.
+//!   written separately to `results/BENCH_montecarlo.json`;
+//! * a `temporal` section timing the flat Temporal Shapley cascade against
+//!   the retained per-period path on a year-long 5-minute trace under the
+//!   paper hierarchy (bit-identity asserted), plus batched
+//!   `workload_carbon_batch` billing-query throughput — written to
+//!   `results/BENCH_temporal.json`.
 //!
 //! Tune with `--trials N --threads N --max-n N --permutations N
-//! --mc-trials N --seed N`. Each scenario reports the best wall-clock over
-//! the trials (the usual benchmarking floor) plus the work counters of one
-//! run, and the process-wide peak RSS (`VmHWM`) is recorded at the end.
+//! --mc-trials N --temporal-samples N --temporal-queries N --seed N`. Each
+//! scenario reports the best wall-clock over the trials (the usual
+//! benchmarking floor) plus the work counters of one run, and the
+//! process-wide peak RSS (`VmHWM`) is recorded at the end.
 
 use std::time::Instant;
 
@@ -26,11 +32,14 @@ use fairco2_bench::{write_json, Args};
 use fairco2_montecarlo::schedules::DemandStudy;
 use fairco2_montecarlo::streaming::{DemandStudySummary, DEFAULT_BATCH_TRIALS};
 use fairco2_montecarlo::{stream_demand_study, EngineConfig, EngineStats};
+use fairco2_shapley::cascade::{BillingQuery, CascadeScratch};
 use fairco2_shapley::default_threads;
 use fairco2_shapley::exact::{exact_shapley, exact_shapley_fast, parallel_exact_shapley};
 use fairco2_shapley::game::{Game, PeakDemandGame, ScanPeak};
 use fairco2_shapley::sampled::{sampled_shapley, sampled_shapley_cached, SampleConfig};
+use fairco2_shapley::temporal::{TemporalAttribution, TemporalShapley};
 use fairco2_shapley::MaxTree;
+use fairco2_trace::TimeSeries;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use serde::Serialize;
@@ -103,6 +112,63 @@ struct MonteCarloReport {
     engine: EngineStats,
     /// Process peak RSS (`VmHWM`) in KiB after the study runs.
     peak_rss_kib: Option<u64>,
+}
+
+/// Flat-cascade throughput on the fleet-scale trace, written to
+/// `results/BENCH_temporal.json`.
+#[derive(Serialize)]
+struct TemporalReport {
+    /// Demand samples in the trace (default: one year at 5 minutes).
+    samples: usize,
+    /// Sampling step (s).
+    step: u32,
+    /// Hierarchy split ratios (the paper's Figure 4 cascade).
+    splits: Vec<usize>,
+    /// Leaf periods of the hierarchy.
+    leaf_periods: usize,
+    /// Owned per-period `TimeSeries` the old path materializes per call
+    /// (1 root clone + every split product) — all avoided by the flat
+    /// engine, which also reuses its scratch across calls.
+    old_series_clones: usize,
+    /// Retained per-period reference path, fresh call.
+    per_period_secs: f64,
+    /// Flat cascade, fresh call (new scratch every time).
+    flat_fresh_secs: f64,
+    /// Flat cascade through a reused `CascadeScratch` (allocation-free
+    /// steady state).
+    flat_scratch_secs: f64,
+    /// Flat cascade with per-level parallel splits at `--threads`.
+    flat_parallel_secs: f64,
+    /// Fresh flat call vs the per-period reference (the ≥5× target).
+    speedup_fresh: f64,
+    /// Scratch-reuse flat call vs the per-period reference.
+    speedup_scratch: f64,
+    /// Billing queries answered per `workload_carbon_batch` timing run.
+    queries: usize,
+    /// Batched query wall time (one thread, reused output buffer).
+    batch_secs: f64,
+    /// Batched queries per second (the ≥10⁶/s target).
+    queries_per_sec: f64,
+    /// Process peak RSS (`VmHWM`) in KiB after the temporal runs.
+    peak_rss_kib: Option<u64>,
+}
+
+/// Asserts two attributions agree bit-for-bit in every observable.
+fn assert_attributions_identical(label: &str, a: &TemporalAttribution, b: &TemporalAttribution) {
+    assert_eq!(a.level_intensity().len(), b.level_intensity().len());
+    for (la, lb) in a.level_intensity().iter().zip(b.level_intensity()) {
+        for (va, vb) in la.values().iter().zip(lb.values()) {
+            assert_eq!(va.to_bits(), vb.to_bits(), "{label}: level intensity");
+        }
+    }
+    for (va, vb) in a.carbon_prefix().iter().zip(b.carbon_prefix()) {
+        assert_eq!(va.to_bits(), vb.to_bits(), "{label}: carbon prefix");
+    }
+    assert_eq!(
+        a.stranded_carbon().to_bits(),
+        b.stranded_carbon().to_bits(),
+        "{label}: stranded carbon"
+    );
 }
 
 fn peak_game(n: usize, steps: usize, seed: u64) -> PeakDemandGame {
@@ -446,5 +512,140 @@ fn main() {
         println!("monte carlo  peak RSS {:.1} MiB", kib as f64 / 1024.0);
     }
     let path = write_json("BENCH_montecarlo", &mc);
+    println!("wrote {}", path.display());
+
+    // --- temporal: flat cascade + batched billing queries ---
+    let samples = args.usize("temporal-samples", 105_120).max(8_640); // 365 d × 288
+    let queries = args.usize("temporal-queries", 1_000_000).max(1);
+    let step = 300u32;
+    let hierarchy = TemporalShapley::paper_hierarchy();
+    println!(
+        "temporal: {samples} samples × splits {:?}, {queries} queries",
+        hierarchy.splits()
+    );
+
+    // A year of 5-minute demand with diurnal + weekly structure and
+    // occasional idle spells (so the stranding path runs at scale too).
+    let demand = TimeSeries::from_fn(0, step, samples, |t| {
+        let day = t as f64 / 86_400.0;
+        let base = 40.0
+            + 25.0 * (day * std::f64::consts::TAU).sin().abs()
+            + 10.0 * (day / 7.0 * std::f64::consts::TAU).cos();
+        if (t / step as i64) % 97 == 96 {
+            0.0
+        } else {
+            base.max(0.0)
+        }
+    })
+    .expect("year-long trace is non-empty");
+    let total_carbon = 1.0e6;
+
+    let reference = hierarchy
+        .attribute_per_period(&demand, total_carbon)
+        .expect("paper hierarchy divides the trace");
+    let flat = hierarchy.attribute(&demand, total_carbon).unwrap();
+    assert_attributions_identical("flat vs per-period", &reference, &flat);
+    let parallel = hierarchy
+        .attribute_parallel(&demand, total_carbon, threads)
+        .unwrap();
+    assert_attributions_identical("parallel vs per-period", &reference, &parallel);
+
+    let per_period_secs = best_secs(trials, || {
+        hierarchy
+            .attribute_per_period(&demand, total_carbon)
+            .unwrap()
+    });
+    let flat_fresh_secs = best_secs(trials, || {
+        hierarchy.attribute(&demand, total_carbon).unwrap()
+    });
+    let mut scratch = CascadeScratch::new();
+    hierarchy
+        .attribute_with_scratch(&demand, total_carbon, 1, &mut scratch)
+        .unwrap();
+    let flat_scratch_secs = best_secs(trials, || {
+        hierarchy
+            .attribute_with_scratch(&demand, total_carbon, 1, &mut scratch)
+            .unwrap()
+    });
+    let flat_parallel_secs = best_secs(trials, || {
+        hierarchy
+            .attribute_parallel(&demand, total_carbon, threads)
+            .unwrap()
+    });
+
+    // Query load: random windows over 13 months (some out of range) with
+    // varying allocations, answered through the batched index.
+    let mut rng = StdRng::seed_from_u64(seed + 999);
+    let horizon = demand.end();
+    let batch: Vec<BillingQuery> = (0..queries)
+        .map(|_| {
+            let t0 = rng.gen_range(-86_400..horizon + 86_400);
+            let t1 = t0 + rng.gen_range(0..2_592_000);
+            (t0, t1, rng.gen_range(0.0..64.0))
+        })
+        .collect();
+    let mut answers = Vec::new();
+    flat.workload_carbon_batch_into(&batch, &mut answers);
+    for (answer, &(t0, t1, alloc)) in answers
+        .iter()
+        .step_by(1 + queries / 512)
+        .zip(batch.iter().step_by(1 + queries / 512))
+    {
+        assert_eq!(
+            answer.to_bits(),
+            flat.workload_carbon(t0, t1, alloc).to_bits(),
+            "batched answers must match per-call lookups"
+        );
+    }
+    let batch_secs = best_secs(trials, || {
+        flat.workload_carbon_batch_into(&batch, &mut answers);
+        answers.last().copied()
+    });
+
+    // Owned series the per-period path materializes per call: the root
+    // clone plus one series per period of every split level.
+    let mut old_series_clones = 1usize;
+    let mut periods = 1usize;
+    for &m in hierarchy.splits() {
+        periods *= m;
+        old_series_clones += periods;
+    }
+    let temporal = TemporalReport {
+        samples,
+        step,
+        splits: hierarchy.splits().to_vec(),
+        leaf_periods: periods,
+        old_series_clones,
+        per_period_secs,
+        flat_fresh_secs,
+        flat_scratch_secs,
+        flat_parallel_secs,
+        speedup_fresh: per_period_secs / flat_fresh_secs,
+        speedup_scratch: per_period_secs / flat_scratch_secs,
+        queries,
+        batch_secs,
+        queries_per_sec: queries as f64 / batch_secs,
+        peak_rss_kib: peak_rss_kib(),
+    };
+    println!(
+        "temporal   per-period {:.4}s  flat {:.4}s ({:.2}x)  scratch {:.4}s ({:.2}x)  parallel {:.4}s",
+        temporal.per_period_secs,
+        temporal.flat_fresh_secs,
+        temporal.speedup_fresh,
+        temporal.flat_scratch_secs,
+        temporal.speedup_scratch,
+        temporal.flat_parallel_secs
+    );
+    println!(
+        "temporal   {} queries in {:.4}s = {:.2}M queries/s; {} series clones avoided per call",
+        temporal.queries,
+        temporal.batch_secs,
+        temporal.queries_per_sec / 1.0e6,
+        temporal.old_series_clones
+    );
+    if let Some(kib) = temporal.peak_rss_kib {
+        println!("temporal   peak RSS {:.1} MiB", kib as f64 / 1024.0);
+    }
+    let path = write_json("BENCH_temporal", &temporal);
     println!("wrote {}", path.display());
 }

@@ -3,6 +3,9 @@
 //! interference model, with rates recomputed whenever a partner arrives
 //! or departs.
 
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
 use serde::{Deserialize, Serialize};
 
 use fairco2_trace::series::TimeSeries;
@@ -129,6 +132,15 @@ impl Simulator {
         let interference = self.accounting.interference();
         let mut running: Vec<RunningJob> = Vec::new();
         let mut node_residents: Vec<Vec<usize>> = Vec::new(); // node -> running indices
+                                                              // Empty node ids, min-first: popping yields the lowest-index
+                                                              // empty node, matching the linear `position(Vec::is_empty)` scan
+                                                              // this list replaces. A node enters when its last resident
+                                                              // leaves and exits when the fresh-placement path reuses it, so
+                                                              // entries are unique.
+        let mut free_nodes: BinaryHeap<Reverse<usize>> = BinaryHeap::new();
+        // Live count of nodes with ≥ 1 resident, updated on 0→1 and 1→0
+        // transitions instead of rescanning every node per event.
+        let mut occupied = 0usize;
         let mut records: Vec<Option<JobRecord>> = vec![None; stream.len()];
         let mut next_arrival = 0usize;
         let mut now = 0.0f64;
@@ -183,7 +195,6 @@ impl Simulator {
             // Advance time: burn work and energy at current rates.
             let dt = event_t - now;
             if dt > 0.0 {
-                let occupied = node_residents.iter().filter(|r| !r.is_empty()).count();
                 node_seconds += occupied as f64 * dt;
                 peak_nodes = peak_nodes.max(occupied);
                 samples.push((now, occupied));
@@ -206,6 +217,10 @@ impl Simulator {
                 let job = running.swap_remove(idx);
                 // swap_remove moved the last element into `idx`.
                 node_residents[job.node].retain(|&r| r != idx);
+                if node_residents[job.node].is_empty() {
+                    free_nodes.push(Reverse(job.node));
+                    occupied -= 1;
+                }
                 let moved = running.len();
                 for residents in node_residents.iter_mut() {
                     for r in residents.iter_mut() {
@@ -240,9 +255,10 @@ impl Simulator {
                 let node = match policy.place(job.kind, &open, interference) {
                     Some(n) if node_residents.get(n).is_some_and(|r| r.len() == 1) => n,
                     _ => {
-                        // Fresh node (reuse an empty one if available).
-                        match node_residents.iter().position(Vec::is_empty) {
-                            Some(n) => n,
+                        // Fresh node (reuse the lowest-index empty one
+                        // if available).
+                        match free_nodes.pop() {
+                            Some(Reverse(n)) => n,
                             None => {
                                 node_residents.push(Vec::new());
                                 node_residents.len() - 1
@@ -250,6 +266,9 @@ impl Simulator {
                         }
                     }
                 };
+                if node_residents[node].is_empty() {
+                    occupied += 1;
+                }
                 node_residents[node].push(running.len());
                 running.push(RunningJob {
                     id: job.id,
@@ -307,6 +326,188 @@ mod tests {
     use crate::policy::{FirstFit, LeastInterference, RandomFit};
     use crate::workload::Job;
     use WorkloadKind::*;
+
+    /// The pre-free-list event loop, retained verbatim as the reference:
+    /// per-event `position(Vec::is_empty)` / `filter(!is_empty).count()`
+    /// scans instead of the heap and live counter. Used only to pin that
+    /// the optimized [`Simulator::run`] leaves [`SimulationOutcome`]
+    /// unchanged.
+    fn run_reference(
+        sim: &Simulator,
+        stream: &JobStream,
+        policy: &mut dyn PlacementPolicy,
+    ) -> SimulationOutcome {
+        let interference = sim.accounting.interference();
+        let mut running: Vec<RunningJob> = Vec::new();
+        let mut node_residents: Vec<Vec<usize>> = Vec::new();
+        let mut records: Vec<Option<JobRecord>> = vec![None; stream.len()];
+        let mut next_arrival = 0usize;
+        let mut now = 0.0f64;
+        let mut node_seconds = 0.0f64;
+        let mut peak_nodes = 0usize;
+        let mut samples: Vec<(f64, usize)> = Vec::new();
+
+        let partner_of = |running: &[RunningJob],
+                          residents: &[Vec<usize>],
+                          idx: usize|
+         -> Option<WorkloadKind> {
+            let node = running[idx].node;
+            residents[node]
+                .iter()
+                .find(|&&r| r != idx)
+                .map(|&r| running[r].kind)
+        };
+        let rate_of = |interference: &InterferenceModel,
+                       kind: WorkloadKind,
+                       partner: Option<WorkloadKind>| match partner {
+            Some(p) => 1.0 / interference.slowdown(kind, p),
+            None => 1.0,
+        };
+        let power_of = |interference: &InterferenceModel,
+                        kind: WorkloadKind,
+                        partner: Option<WorkloadKind>| match partner {
+            Some(p) => interference.colocated_power(kind, p),
+            None => kind.profile().dynamic_power_w,
+        };
+
+        loop {
+            let arrival_t = stream.jobs().get(next_arrival).map(|j| j.arrival_s);
+            let completion = running
+                .iter()
+                .enumerate()
+                .map(|(i, job)| {
+                    let partner = partner_of(&running, &node_residents, i);
+                    let rate = rate_of(interference, job.kind, partner);
+                    (i, now + job.remaining_work / rate)
+                })
+                .min_by(|a, b| a.1.total_cmp(&b.1));
+
+            let (event_t, completing) = match (arrival_t, &completion) {
+                (Some(a), Some((i, c))) if *c <= a => (*c, Some(*i)),
+                (Some(a), _) => (a, None),
+                (None, Some((i, c))) => (*c, Some(*i)),
+                (None, None) => break,
+            };
+
+            let dt = event_t - now;
+            if dt > 0.0 {
+                let occupied = node_residents.iter().filter(|r| !r.is_empty()).count();
+                node_seconds += occupied as f64 * dt;
+                peak_nodes = peak_nodes.max(occupied);
+                samples.push((now, occupied));
+                for i in 0..running.len() {
+                    let partner = partner_of(&running, &node_residents, i);
+                    let rate = rate_of(interference, running[i].kind, partner);
+                    let power = power_of(interference, running[i].kind, partner);
+                    running[i].remaining_work -= dt * rate;
+                    running[i].energy_j += power * dt;
+                    if partner.is_some() {
+                        running[i].colocated_s += dt;
+                    }
+                }
+            }
+            now = event_t;
+
+            if let Some(idx) = completing {
+                running[idx].remaining_work = 0.0;
+                let job = running.swap_remove(idx);
+                node_residents[job.node].retain(|&r| r != idx);
+                let moved = running.len();
+                for residents in node_residents.iter_mut() {
+                    for r in residents.iter_mut() {
+                        if *r == moved {
+                            *r = idx;
+                        }
+                    }
+                }
+                records[job.id] = Some(JobRecord {
+                    id: job.id,
+                    kind: job.kind,
+                    arrival_s: job.start_s,
+                    start_s: job.start_s,
+                    finish_s: now,
+                    energy_j: job.energy_j,
+                    node: job.node,
+                    colocated_s: job.colocated_s,
+                });
+            } else {
+                let job = stream.jobs()[next_arrival];
+                next_arrival += 1;
+                let open: Vec<NodeView> = node_residents
+                    .iter()
+                    .enumerate()
+                    .filter(|(_, r)| r.len() == 1)
+                    .map(|(node, r)| NodeView {
+                        node,
+                        resident: running[r[0]].kind,
+                    })
+                    .collect();
+                let node = match policy.place(job.kind, &open, interference) {
+                    Some(n) if node_residents.get(n).is_some_and(|r| r.len() == 1) => n,
+                    _ => match node_residents.iter().position(Vec::is_empty) {
+                        Some(n) => n,
+                        None => {
+                            node_residents.push(Vec::new());
+                            node_residents.len() - 1
+                        }
+                    },
+                };
+                node_residents[node].push(running.len());
+                running.push(RunningJob {
+                    id: job.id,
+                    kind: job.kind,
+                    remaining_work: job.kind.profile().runtime_s,
+                    node,
+                    start_s: now,
+                    energy_j: 0.0,
+                    colocated_s: 0.0,
+                });
+            }
+        }
+
+        let jobs: Vec<JobRecord> = records
+            .into_iter()
+            .map(|r| r.expect("every job completes"))
+            .collect();
+        let makespan_s = jobs.iter().map(|j| j.finish_s).fold(0.0, f64::max);
+        let node_demand = build_demand(&samples, makespan_s);
+        SimulationOutcome {
+            jobs,
+            node_seconds,
+            peak_nodes,
+            makespan_s,
+            node_demand,
+        }
+    }
+
+    #[test]
+    fn free_list_leaves_the_outcome_unchanged() {
+        // The heap-backed free list and the live occupied counter must
+        // reproduce the scan-based loop exactly — node assignments
+        // included — on paper-default streams under every policy.
+        let sim = Simulator::paper_default();
+        let streams = [
+            JobStream::poisson(200, 60.0, 42),
+            JobStream::poisson(120, 30.0, 7),
+        ];
+        for stream in &streams {
+            assert_eq!(
+                sim.run(stream, &mut FirstFit),
+                run_reference(&sim, stream, &mut FirstFit),
+                "FirstFit"
+            );
+            assert_eq!(
+                sim.run(stream, &mut LeastInterference::default()),
+                run_reference(&sim, stream, &mut LeastInterference::default()),
+                "LeastInterference"
+            );
+            assert_eq!(
+                sim.run(stream, &mut RandomFit::seeded(11)),
+                run_reference(&sim, stream, &mut RandomFit::seeded(11)),
+                "RandomFit"
+            );
+        }
+    }
 
     #[test]
     fn isolated_job_finishes_at_its_profile_runtime() {

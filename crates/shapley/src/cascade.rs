@@ -1,0 +1,955 @@
+//! The flat, zero-copy Temporal Shapley cascade.
+//!
+//! [`TemporalShapley::attribute`](crate::temporal::TemporalShapley::attribute)
+//! originally materialized every hierarchy period as an owned
+//! [`TimeSeries`](fairco2_trace::TimeSeries): each level cloned the whole
+//! demand buffer into per-period series, rescanned every period for its
+//! peak and its integral, and allocated a fresh per-sample intensity
+//! vector — `O(samples · levels)` copies and ~`Σ periods` heap
+//! allocations per call. This module replaces that pipeline with a flat
+//! engine in which a *period is an index range* over the one shared
+//! demand slice:
+//!
+//! * **Period bounds** are plain `usize` offsets, derived level by level
+//!   with the same remainder rule as
+//!   [`TimeSeries::split`](fairco2_trace::TimeSeries::split) — no sample
+//!   is ever copied.
+//! * **Peaks** come from a MaxTree: the fused sweep computes every
+//!   *leaf* period's peak, and — because hierarchy bounds are nested,
+//!   so every period at every level is an exact union of its children —
+//!   one bottom-up pass folds child peaks into parent peaks,
+//!   `O(periods)` maxes total instead of a rescan of the samples per
+//!   level. `f64::max` over finite samples is associative and selects
+//!   one of its operands bit-for-bit, so folding peaks of contiguous
+//!   child groups equals the old left-to-right
+//!   `fold(NEG_INFINITY, f64::max)` scan over the raw samples exactly
+//!   (the one exception — a tie between `+0.0` and `-0.0` — cannot
+//!   arise for non-negative demand). A [`RangeMax`] sparse table over
+//!   the leaf peaks is exported alongside for `O(1)` *arbitrary*-window
+//!   peak queries.
+//! * **Integrals** come from one fused sweep over the demand slice that
+//!   accumulates every level's per-period sums simultaneously. Each
+//!   period's sum is still a left-to-right fold over exactly its own
+//!   samples starting from `0.0` — deliberately *not* a
+//!   prefix-sum subtraction, which would reassociate floating-point
+//!   addition and break the bit-identity pin against the per-period
+//!   reference path.
+//! * **Scratch reuse**: all bounds, sums, carbon, intensity, and solver
+//!   buffers live in a [`CascadeScratch`]; a repeated
+//!   [`attribute_with_scratch`](crate::temporal::TemporalShapley::attribute_with_scratch)
+//!   call on same-shaped inputs performs no heap allocation.
+//! * **Parallel levels**: with `threads > 1` each level fans its parent
+//!   periods out over [`run_parallel`](crate::parallel::run_parallel)
+//!   and merges the per-parent child shares in strict parent order, so
+//!   the result is bit-identical to the serial path — and to the old
+//!   per-period path — at any thread count.
+//!
+//! The billing-query side lives here too: [`IntensityIndex`] wraps the
+//! leaf carbon prefix sums and answers `(t0, t1, allocation)` queries in
+//! a handful of integer operations, and
+//! [`IntensityIndex::carbon_batch_into`] streams millions of queries per
+//! second into a reusable output buffer.
+
+use fairco2_trace::series::{SeriesError, TimeSeries};
+
+use crate::parallel::run_parallel;
+use crate::temporal::peak_shapley_into;
+
+/// A sparse table answering `max(values[lo..hi])` in `O(1)` after an
+/// `O(n log n)` build.
+///
+/// Internal nodes combine with [`f64::max`], the operator the original
+/// per-period peak scan used; since `max` over finite floats is
+/// associative and always returns one of its operands, every query is
+/// bit-identical to a left-to-right fold over the same range. The table
+/// owns its buffers and [`RangeMax::build`] reuses them, so rebuilding
+/// over a same-length slice allocates nothing.
+#[derive(Debug, Clone, Default)]
+pub struct RangeMax {
+    len: usize,
+    /// `levels[k][i] = max(values[i .. i + 2^k])`; `levels[0]` mirrors
+    /// the input.
+    levels: Vec<Vec<f64>>,
+}
+
+impl RangeMax {
+    /// An empty table; call [`RangeMax::build`] before querying.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// (Re)builds the table over `values`, reusing prior allocations.
+    pub fn build(&mut self, values: &[f64]) {
+        let n = values.len();
+        self.len = n;
+        let height = if n <= 1 { 1 } else { n.ilog2() as usize + 1 };
+        self.levels.truncate(height);
+        while self.levels.len() < height {
+            self.levels.push(Vec::new());
+        }
+        self.levels[0].clear();
+        self.levels[0].extend_from_slice(values);
+        for k in 1..height {
+            let half = 1usize << (k - 1);
+            let entries = n - (1usize << k) + 1;
+            let (below, level) = {
+                let (a, b) = self.levels.split_at_mut(k);
+                (&a[k - 1], &mut b[0])
+            };
+            level.clear();
+            level.extend((0..entries).map(|i| f64::max(below[i], below[i + half])));
+        }
+    }
+
+    /// Number of values the table was built over.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Whether the table is empty (never built, or built over nothing).
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// The values the table was built over (row 0, unchanged).
+    pub fn leaves(&self) -> &[f64] {
+        self.levels.first().map_or(&[], Vec::as_slice)
+    }
+
+    /// `max(values[lo..hi])`, bit-identical to folding that range
+    /// left-to-right with `f64::max` from `NEG_INFINITY`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lo >= hi` or `hi > len` — a peak over an empty range
+    /// is undefined.
+    #[inline]
+    pub fn query(&self, lo: usize, hi: usize) -> f64 {
+        assert!(
+            lo < hi && hi <= self.len,
+            "range [{lo}, {hi}) out of bounds"
+        );
+        let k = (hi - lo).ilog2() as usize;
+        let level = &self.levels[k];
+        f64::max(level[lo], level[hi - (1usize << k)])
+    }
+}
+
+/// Reusable state for the flat cascade: period bounds, per-period sums
+/// and carbon, per-level intensity buffers, the MaxTree of per-level
+/// period peaks, the leaf carbon prefix, and the small per-parent
+/// solver buffers.
+///
+/// A scratch is built by
+/// [`TemporalShapley::attribute_with_scratch`](crate::temporal::TemporalShapley::attribute_with_scratch)
+/// and can be read directly (for allocation-free pipelines) or
+/// materialized into a
+/// [`TemporalAttribution`](crate::temporal::TemporalAttribution) with
+/// [`CascadeScratch::to_attribution`]. Buffers grow to the largest
+/// `(series length, hierarchy)` seen and are then reused; a repeated
+/// serial attribution performs no heap allocation.
+#[derive(Debug, Clone, Default)]
+pub struct CascadeScratch {
+    /// Grid of the last attributed series.
+    start: i64,
+    step: u32,
+    samples: usize,
+    /// Splits of the last *successful* bounds derivation; together with
+    /// `samples` this keys the cached `bounds`, which only depend on
+    /// the shape, not the demand values.
+    splits_cache: Vec<usize>,
+    /// `bounds[l]` holds `periods(l) + 1` sample offsets; period `p` of
+    /// level `l` covers `bounds[l][p] .. bounds[l][p + 1]`.
+    bounds: Vec<Vec<usize>>,
+    /// `q[l][p]`: integral (`Σ value · step`) of period `p` at level `l`.
+    q: Vec<Vec<f64>>,
+    /// `carbon[l][p]`: carbon assigned to period `p` at level `l`.
+    carbon: Vec<Vec<f64>>,
+    /// Per-level per-sample intensity signals on the input grid.
+    intensity: Vec<Vec<f64>>,
+    /// Leaf `intensity · step` prefix sums (`samples + 1` entries).
+    prefix: Vec<f64>,
+    /// Per-leaf-period peaks, filled by the fused sweep.
+    leaf_peaks: Vec<f64>,
+    /// MaxTree: `level_peaks[l][p]` is the peak of period `p` at the
+    /// intermediate level `l` (`1 <= l < levels - 1`), folded bottom-up
+    /// from the leaf peaks; the leaf level reads `leaf_peaks` directly
+    /// and the root's peak is never consulted, so those slots stay
+    /// empty.
+    level_peaks: Vec<Vec<f64>>,
+    /// Per-parent φ / weight buffers (≤ max split ratio).
+    phi: Vec<f64>,
+    order: Vec<usize>,
+    weights: Vec<f64>,
+    /// Per-level running accumulators of the fused integral sweep.
+    level_acc: Vec<f64>,
+    level_next: Vec<usize>,
+    stranded: f64,
+    naive: f64,
+    ops: u64,
+}
+
+/// Per-parent output of a parallel level step: the children's carbon
+/// shares, in child order. Sums are recomputed identically on merge, so
+/// only the shares cross the thread boundary.
+type ParentShares = Vec<f64>;
+
+impl CascadeScratch {
+    /// An empty scratch; buffers are sized on first use.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Number of hierarchy levels of the last attribution, including the
+    /// root (so `splits.len() + 1`).
+    pub fn levels(&self) -> usize {
+        self.intensity.len()
+    }
+
+    /// Per-sample intensity at `level` (0 = coarsest) on the input grid.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `level >= self.levels()`.
+    pub fn level_intensity(&self, level: usize) -> &[f64] {
+        &self.intensity[level]
+    }
+
+    /// The finest-granularity intensity signal.
+    ///
+    /// # Panics
+    ///
+    /// Panics if no attribution has been run yet.
+    pub fn leaf_intensity(&self) -> &[f64] {
+        self.intensity.last().expect("attribution has been run")
+    }
+
+    /// Carbon stranded on zero-demand leaf periods.
+    pub fn stranded_carbon(&self) -> f64 {
+        self.stranded
+    }
+
+    /// Leaf `intensity · step` prefix sums (`samples + 1` entries).
+    pub fn carbon_prefix(&self) -> &[f64] {
+        &self.prefix
+    }
+
+    /// Materializes the scratch into an owned
+    /// [`TemporalAttribution`](crate::temporal::TemporalAttribution)
+    /// (this clones the per-level signals; keep reading the scratch
+    /// directly when allocation-freedom matters).
+    ///
+    /// # Panics
+    ///
+    /// Panics if no attribution has been run yet.
+    pub fn to_attribution(&self) -> crate::temporal::TemporalAttribution {
+        assert!(!self.intensity.is_empty(), "attribution has been run");
+        let level_intensity: Vec<TimeSeries> = self
+            .intensity
+            .iter()
+            .map(|values| {
+                TimeSeries::from_values(self.start, self.step, values.clone())
+                    .expect("cascade levels cover a non-empty series")
+            })
+            .collect();
+        crate::temporal::TemporalAttribution::from_parts(
+            level_intensity,
+            self.prefix.clone(),
+            self.stranded,
+            self.naive,
+            self.ops,
+        )
+    }
+
+    /// Consumes the scratch into an owned
+    /// [`TemporalAttribution`](crate::temporal::TemporalAttribution),
+    /// moving every level buffer and the carbon prefix instead of
+    /// cloning them. This is the fresh-attribution fast path used by
+    /// [`TemporalShapley::attribute`](crate::temporal::TemporalShapley::attribute);
+    /// callers that keep the scratch for reuse want
+    /// [`CascadeScratch::to_attribution`] instead.
+    ///
+    /// # Panics
+    ///
+    /// Panics if no attribution has been run yet.
+    pub fn into_attribution(mut self) -> crate::temporal::TemporalAttribution {
+        assert!(!self.intensity.is_empty(), "attribution has been run");
+        let level_intensity: Vec<TimeSeries> = self
+            .intensity
+            .drain(..)
+            .map(|values| {
+                TimeSeries::from_values(self.start, self.step, values)
+                    .expect("cascade levels cover a non-empty series")
+            })
+            .collect();
+        crate::temporal::TemporalAttribution::from_parts(
+            level_intensity,
+            std::mem::take(&mut self.prefix),
+            self.stranded,
+            self.naive,
+            self.ops,
+        )
+    }
+}
+
+/// Resizes `buffers` to `levels` entries without dropping capacity of
+/// the retained ones.
+fn ensure_levels<T: Default>(buffers: &mut Vec<T>, levels: usize) {
+    buffers.truncate(levels);
+    while buffers.len() < levels {
+        buffers.push(T::default());
+    }
+}
+
+/// Derives every level's period bounds from the split ratios, honouring
+/// the same "earlier chunks get the remainder" rule as
+/// [`TimeSeries::split`].
+///
+/// # Errors
+///
+/// Returns [`SeriesError::OutOfRange`] if any period would be split into
+/// more parts than it has samples — the same error the per-period path
+/// reports from `TimeSeries::split`.
+fn fill_bounds(
+    bounds: &mut Vec<Vec<usize>>,
+    samples: usize,
+    splits: &[usize],
+) -> Result<(), SeriesError> {
+    ensure_levels(bounds, splits.len() + 1);
+    bounds[0].clear();
+    bounds[0].extend([0, samples]);
+    for (level, &m) in splits.iter().enumerate() {
+        let (parents, children) = {
+            let (a, b) = bounds.split_at_mut(level + 1);
+            (&a[level], &mut b[0])
+        };
+        children.clear();
+        children.push(0);
+        for parent in parents.windows(2) {
+            let len = parent[1] - parent[0];
+            if m == 0 || m > len {
+                return Err(SeriesError::OutOfRange);
+            }
+            let base = len / m;
+            let extra = len % m;
+            let mut idx = parent[0];
+            for k in 0..m {
+                idx += base + usize::from(k < extra);
+                children.push(idx);
+            }
+        }
+    }
+    Ok(())
+}
+
+/// One fused sweep over the demand samples filling every level's
+/// per-period integrals plus the leaf-period peaks. Each period's sum is
+/// accumulated left-to-right over exactly its own samples from `0.0` —
+/// bit-identical to [`TimeSeries::integral`] on the period's series —
+/// then scaled by the step, and each leaf peak is the left-to-right
+/// `fold(NEG_INFINITY, f64::max)` of [`TimeSeries::peak`], so one
+/// `O(samples · levels)` pass replaces the old per-level rescans without
+/// touching a single bit of the result. Upper-level period boundaries
+/// are a subset of the leaf boundaries (hierarchy bounds are nested), so
+/// boundary bookkeeping runs per leaf, not per sample.
+fn fill_level_sums(
+    values: &[f64],
+    step: f64,
+    bounds: &[Vec<usize>],
+    q: &mut Vec<Vec<f64>>,
+    acc: &mut Vec<f64>,
+    next: &mut Vec<usize>,
+    leaf_peaks: &mut Vec<f64>,
+) {
+    ensure_levels(q, bounds.len());
+    let levels = bounds.len();
+    acc.clear();
+    acc.resize(levels, 0.0);
+    next.clear();
+    next.resize(levels, 1); // index into bounds[l] of the next boundary
+    for sums in q.iter_mut() {
+        sums.clear();
+    }
+    leaf_peaks.clear();
+    match levels {
+        // Monomorphize the hot depths: a fixed-width register file of
+        // accumulators lets the compiler unroll the per-sample adds
+        // into independent instructions with no bounds checks. Each
+        // slot receives exactly the same adds in the same order as the
+        // generic loop, so the sums are bit-identical.
+        1 => fused_sweep::<1>(values, step, bounds, q, next, leaf_peaks),
+        2 => fused_sweep::<2>(values, step, bounds, q, next, leaf_peaks),
+        3 => fused_sweep::<3>(values, step, bounds, q, next, leaf_peaks),
+        4 => fused_sweep::<4>(values, step, bounds, q, next, leaf_peaks),
+        5 => fused_sweep::<5>(values, step, bounds, q, next, leaf_peaks),
+        6 => fused_sweep::<6>(values, step, bounds, q, next, leaf_peaks),
+        7 => fused_sweep::<7>(values, step, bounds, q, next, leaf_peaks),
+        8 => fused_sweep::<8>(values, step, bounds, q, next, leaf_peaks),
+        _ => {
+            let leaf_bounds = bounds.last().expect("at least the root level");
+            for w in leaf_bounds.windows(2) {
+                let mut peak = f64::NEG_INFINITY;
+                for &v in &values[w[0]..w[1]] {
+                    for a in acc.iter_mut() {
+                        *a += v;
+                    }
+                    peak = f64::max(peak, v);
+                }
+                leaf_peaks.push(peak);
+                for level in 0..levels {
+                    if bounds[level][next[level]] == w[1] {
+                        q[level].push(acc[level] * step);
+                        acc[level] = 0.0;
+                        next[level] += 1;
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// The fused sweep monomorphized for an `L`-level hierarchy; see
+/// [`fill_level_sums`].
+fn fused_sweep<const L: usize>(
+    values: &[f64],
+    step: f64,
+    bounds: &[Vec<usize>],
+    q: &mut [Vec<f64>],
+    next: &mut [usize],
+    leaf_peaks: &mut Vec<f64>,
+) {
+    debug_assert_eq!(bounds.len(), L);
+    let mut file = [0.0f64; L];
+    let leaf_bounds = bounds.last().expect("at least the root level");
+    for w in leaf_bounds.windows(2) {
+        let mut peak = f64::NEG_INFINITY;
+        for &v in &values[w[0]..w[1]] {
+            for slot in file.iter_mut() {
+                *slot += v;
+            }
+            peak = f64::max(peak, v);
+        }
+        leaf_peaks.push(peak);
+        for level in 0..L {
+            if bounds[level][next[level]] == w[1] {
+                q[level].push(file[level] * step);
+                file[level] = 0.0;
+                next[level] += 1;
+            }
+        }
+    }
+}
+
+/// Splits one parent period's carbon across its `m` children, exactly
+/// as the per-period reference does: the precomputed child peaks (one
+/// MaxTree slice), the closed-form φ, and the φ·q → q → duration weight
+/// cascade. The `m` child carbon shares are **appended** to `shares`
+/// (so a serial level loop can accumulate straight into the level
+/// buffer); the caller supplies every buffer, so this is
+/// allocation-free.
+///
+/// # Panics
+///
+/// Panics — with the same message as
+/// [`peak_shapley`](crate::temporal::peak_shapley) — if a child peak is
+/// negative or non-finite.
+#[allow(clippy::too_many_arguments)]
+fn split_parent(
+    child_bounds: &[usize],
+    child_q: &[f64],
+    child_peaks: &[f64],
+    parent_carbon: f64,
+    step: f64,
+    phi: &mut Vec<f64>,
+    order: &mut Vec<usize>,
+    weights: &mut Vec<f64>,
+    shares: &mut Vec<f64>,
+) {
+    let m = child_bounds.len() - 1;
+    debug_assert_eq!(child_peaks.len(), m);
+    peak_shapley_into(child_peaks, order, phi);
+    // φ·q-proportional weights (Eq. 5), with the reference path's exact
+    // fallbacks: q-proportional when every φ·q vanishes,
+    // duration-proportional when even total demand is zero.
+    weights.clear();
+    weights.extend(phi.iter().zip(child_q).map(|(&p, &qi)| p * qi));
+    let denom: f64 = weights.iter().sum();
+    if denom > 0.0 {
+        for w in weights.iter_mut() {
+            *w /= denom;
+        }
+    } else {
+        let q_total: f64 = child_q.iter().sum();
+        if q_total > 0.0 {
+            weights.clear();
+            weights.extend(child_q.iter().map(|v| v / q_total));
+        } else {
+            let d_total: f64 = child_bounds
+                .windows(2)
+                .map(|w| (w[1] - w[0]) as f64 * step)
+                .sum();
+            weights.clear();
+            weights.extend(
+                child_bounds
+                    .windows(2)
+                    .map(|w| (w[1] - w[0]) as f64 * step / d_total),
+            );
+        }
+    }
+    debug_assert_eq!(weights.len(), m);
+    shares.extend(weights.iter().map(|w| parent_carbon * w));
+}
+
+/// Expands one level's per-period carbon into the per-sample intensity
+/// buffer, accumulating carbon of zero-demand periods into `stranded` —
+/// the flat equivalent of the reference `intensity_signal`.
+fn fill_intensity(
+    bounds: &[usize],
+    q: &[f64],
+    carbon: &[f64],
+    intensity: &mut Vec<f64>,
+    samples: usize,
+    stranded: &mut f64,
+) {
+    // No clear-to-zero first: periods tile `[0, samples)`, so every
+    // element is written exactly once below (zero-demand periods write
+    // the reference's implicit 0.0 explicitly). This halves the write
+    // traffic of the hottest buffers.
+    intensity.resize(samples, 0.0);
+    for ((w, &qp), &cp) in bounds.windows(2).zip(q).zip(carbon) {
+        if qp <= 0.0 {
+            *stranded += cp;
+            intensity[w[0]..w[1]].fill(0.0);
+            continue;
+        }
+        intensity[w[0]..w[1]].fill(cp / qp);
+    }
+}
+
+/// The leaf-level [`fill_intensity`], fused with the carbon-prefix
+/// accumulation: the prefix needs one `acc += value · step` per sample
+/// in sample order, and the leaf fill already visits every sample in
+/// that order, so one pass writes both buffers instead of re-reading
+/// the finished leaf signal. The accumulation sequence is exactly the
+/// reference's, so the prefix is bit-identical.
+#[allow(clippy::too_many_arguments)]
+fn fill_leaf_intensity_and_prefix(
+    bounds: &[usize],
+    q: &[f64],
+    carbon: &[f64],
+    intensity: &mut Vec<f64>,
+    prefix: &mut Vec<f64>,
+    samples: usize,
+    step: f64,
+    stranded: &mut f64,
+) {
+    intensity.resize(samples, 0.0);
+    prefix.resize(samples + 1, 0.0);
+    prefix[0] = 0.0;
+    let mut acc = 0.0;
+    for ((w, &qp), &cp) in bounds.windows(2).zip(q).zip(carbon) {
+        let value = if qp <= 0.0 {
+            *stranded += cp;
+            0.0
+        } else {
+            cp / qp
+        };
+        intensity[w[0]..w[1]].fill(value);
+        for slot in &mut prefix[w[0] + 1..w[1] + 1] {
+            acc += value * step;
+            *slot = acc;
+        }
+    }
+}
+
+/// Runs the flat cascade for `splits` over `demand`, filling `scratch`.
+/// `threads > 1` fans each level's parents out over [`run_parallel`]
+/// with an in-order merge; the result is bit-identical at any thread
+/// count, and bit-identical to the per-period reference path.
+///
+/// # Errors
+///
+/// Returns [`SeriesError::OutOfRange`] if the hierarchy splits the
+/// series below one sample per period.
+pub(crate) fn run_cascade(
+    splits: &[usize],
+    demand: &TimeSeries,
+    total_carbon: f64,
+    threads: usize,
+    scratch: &mut CascadeScratch,
+) -> Result<(), SeriesError> {
+    let samples = demand.len();
+    let values = demand.values();
+    let step = f64::from(demand.step());
+    let same_shape =
+        scratch.samples == samples && scratch.splits_cache == splits && !scratch.bounds.is_empty();
+    scratch.start = demand.start();
+    scratch.step = demand.step();
+    scratch.samples = samples;
+    scratch.stranded = 0.0;
+    scratch.naive = 0.0;
+    scratch.ops = 0;
+
+    if !same_shape {
+        scratch.splits_cache.clear();
+        fill_bounds(&mut scratch.bounds, samples, splits)?;
+        scratch.splits_cache.extend_from_slice(splits);
+    }
+    fill_level_sums(
+        values,
+        step,
+        &scratch.bounds,
+        &mut scratch.q,
+        &mut scratch.level_acc,
+        &mut scratch.level_next,
+        &mut scratch.leaf_peaks,
+    );
+    let levels = splits.len() + 1;
+    ensure_levels(&mut scratch.carbon, levels);
+    ensure_levels(&mut scratch.intensity, levels);
+
+    // MaxTree: fold the leaf peaks bottom-up into intermediate-level
+    // period peaks (the leaf level reads `leaf_peaks` directly, the
+    // root's peak is never consulted). Each period's peak is a
+    // left-to-right `f64::max` fold of its children's peaks, which is
+    // bit-identical to folding its raw samples because `max` over
+    // finite floats is associative and always returns an operand.
+    ensure_levels(&mut scratch.level_peaks, levels);
+    for peaks in scratch.level_peaks.iter_mut() {
+        peaks.clear();
+    }
+    for level in (1..levels.saturating_sub(1)).rev() {
+        let m = splits[level];
+        let (upper, lower) = scratch.level_peaks.split_at_mut(level + 1);
+        let child: &[f64] = if level + 2 == levels {
+            &scratch.leaf_peaks
+        } else {
+            &lower[0]
+        };
+        upper[level].extend(
+            child
+                .chunks_exact(m)
+                .map(|c| c.iter().fold(f64::NEG_INFINITY, |a, &b| f64::max(a, b))),
+        );
+    }
+
+    // Root level: all carbon on the single whole-series period. With no
+    // splits the root is the leaf, so the prefix rides along.
+    scratch.carbon[0].clear();
+    scratch.carbon[0].push(total_carbon);
+    if levels == 1 {
+        fill_leaf_intensity_and_prefix(
+            &scratch.bounds[0],
+            &scratch.q[0],
+            &scratch.carbon[0],
+            &mut scratch.intensity[0],
+            &mut scratch.prefix,
+            samples,
+            step,
+            &mut scratch.stranded,
+        );
+    } else {
+        fill_intensity(
+            &scratch.bounds[0],
+            &scratch.q[0],
+            &scratch.carbon[0],
+            &mut scratch.intensity[0],
+            samples,
+            &mut scratch.stranded,
+        );
+    }
+
+    for (level, &m) in splits.iter().enumerate() {
+        let parents = scratch.bounds[level].len() - 1;
+        // The per-parent op counters of the closed form, accumulated in
+        // parent order exactly like the reference loop.
+        for _ in 0..parents {
+            scratch.ops += (m * m.ilog2().max(1) as usize) as u64;
+            scratch.naive += (m as f64) * 2f64.powi(m as i32);
+        }
+
+        let (parent_carbon, child_carbon) = {
+            let (a, b) = scratch.carbon.split_at_mut(level + 1);
+            (&a[level], &mut b[0])
+        };
+        child_carbon.clear();
+        let child_bounds = &scratch.bounds[level + 1];
+        let child_q = &scratch.q[level + 1];
+        let child_peaks: &[f64] = if level + 2 == levels {
+            &scratch.leaf_peaks
+        } else {
+            &scratch.level_peaks[level + 1]
+        };
+        if threads > 1 && parents > 1 {
+            // Parents are independent; fan them out and merge the child
+            // shares in strict parent order. Each worker computes with
+            // the same per-parent arithmetic as the serial loop, so the
+            // merge is bit-identical at any thread count.
+            let shares: Vec<ParentShares> = run_parallel(parents, threads, |p| {
+                let mut phi = Vec::with_capacity(m);
+                let mut order = Vec::with_capacity(m);
+                let mut weights = Vec::with_capacity(m);
+                let mut out = Vec::with_capacity(m);
+                split_parent(
+                    &child_bounds[p * m..(p + 1) * m + 1],
+                    &child_q[p * m..(p + 1) * m],
+                    &child_peaks[p * m..(p + 1) * m],
+                    parent_carbon[p],
+                    step,
+                    &mut phi,
+                    &mut order,
+                    &mut weights,
+                    &mut out,
+                );
+                out
+            });
+            for parent_shares in &shares {
+                child_carbon.extend_from_slice(parent_shares);
+            }
+        } else {
+            for p in 0..parents {
+                split_parent(
+                    &child_bounds[p * m..(p + 1) * m + 1],
+                    &child_q[p * m..(p + 1) * m],
+                    &child_peaks[p * m..(p + 1) * m],
+                    parent_carbon[p],
+                    step,
+                    &mut scratch.phi,
+                    &mut scratch.order,
+                    &mut scratch.weights,
+                    child_carbon,
+                );
+            }
+        }
+
+        let mut level_stranded = 0.0;
+        if level + 2 == levels {
+            // Finest level: fuse the O(1)-billing-query prefix into the
+            // same pass.
+            fill_leaf_intensity_and_prefix(
+                &scratch.bounds[level + 1],
+                child_q,
+                child_carbon,
+                &mut scratch.intensity[level + 1],
+                &mut scratch.prefix,
+                samples,
+                step,
+                &mut level_stranded,
+            );
+        } else {
+            fill_intensity(
+                &scratch.bounds[level + 1],
+                child_q,
+                child_carbon,
+                &mut scratch.intensity[level + 1],
+                samples,
+                &mut level_stranded,
+            );
+        }
+        scratch.stranded = level_stranded;
+    }
+    Ok(())
+}
+
+/// A billing query: attribute carbon for `allocation` resource units
+/// held over `[t0, t1)` (UNIX seconds).
+pub type BillingQuery = (i64, i64, f64);
+
+/// An O(1)-per-query index over a leaf carbon-prefix signal — the
+/// paper's "once the signal exists, a workload's share is one lookup"
+/// claim turned into a batched query engine.
+///
+/// Borrow one from
+/// [`TemporalAttribution::intensity_index`](crate::temporal::TemporalAttribution::intensity_index)
+/// and answer millions of `(t0, t1, allocation)` queries per second:
+/// each query is two index clamps and one fused multiply-subtract,
+/// independent of the series length.
+#[derive(Debug, Clone, Copy)]
+pub struct IntensityIndex<'a> {
+    start: i64,
+    step: i64,
+    /// `prefix[k]` = carbon one resource unit accrues over the first `k`
+    /// samples; `prefix.len() - 1` samples exist.
+    prefix: &'a [f64],
+}
+
+impl<'a> IntensityIndex<'a> {
+    /// Wraps a carbon prefix (`samples + 1` entries) on the grid
+    /// `(start, step)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `prefix` is empty or `step == 0`.
+    pub fn new(start: i64, step: u32, prefix: &'a [f64]) -> Self {
+        assert!(!prefix.is_empty(), "prefix must hold at least one entry");
+        assert!(step > 0, "sampling step must be positive");
+        Self {
+            start,
+            step: i64::from(step),
+            prefix,
+        }
+    }
+
+    /// Index of the first sample at or after `t`, clamped to the series.
+    #[inline]
+    fn first_at_or_after(&self, t: i64) -> usize {
+        let n = (self.prefix.len() - 1) as i64;
+        (t - self.start + self.step - 1)
+            .div_euclid(self.step)
+            .clamp(0, n) as usize
+    }
+
+    /// Carbon attributed to `allocation` resource units over `[t0, t1)`
+    /// (gCO₂e). A sample at time `t` counts when `t ∈ [t0, t1)`, exactly
+    /// as the original linear scan selected them; empty, inverted, and
+    /// out-of-range windows yield `0.0`.
+    #[inline]
+    pub fn carbon(&self, t0: i64, t1: i64, allocation: f64) -> f64 {
+        let lo = self.first_at_or_after(t0);
+        let hi = self.first_at_or_after(t1);
+        if hi <= lo {
+            return 0.0;
+        }
+        allocation * (self.prefix[hi] - self.prefix[lo])
+    }
+
+    /// Answers a batch of billing queries into `out` (cleared first).
+    /// Each answer is bit-identical to the corresponding
+    /// [`IntensityIndex::carbon`] call; the output buffer is reusable,
+    /// so a steady-state query loop performs no allocation.
+    pub fn carbon_batch_into(&self, queries: &[BillingQuery], out: &mut Vec<f64>) {
+        out.clear();
+        out.reserve(queries.len());
+        out.extend(
+            queries
+                .iter()
+                .map(|&(t0, t1, allocation)| self.carbon(t0, t1, allocation)),
+        );
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn range_max_matches_fold_on_every_window() {
+        let values: Vec<f64> = (0..37)
+            .map(|i| ((i * 7919 + 13) % 97) as f64 / 3.0)
+            .collect();
+        let mut table = RangeMax::new();
+        table.build(&values);
+        assert_eq!(table.len(), 37);
+        for lo in 0..values.len() {
+            for hi in lo + 1..=values.len() {
+                let fold = values[lo..hi]
+                    .iter()
+                    .copied()
+                    .fold(f64::NEG_INFINITY, f64::max);
+                assert_eq!(table.query(lo, hi).to_bits(), fold.to_bits());
+            }
+        }
+    }
+
+    #[test]
+    fn range_max_rebuild_reuses_buffers() {
+        let mut table = RangeMax::new();
+        table.build(&[1.0, 5.0, 2.0, 4.0]);
+        assert_eq!(table.query(0, 4), 5.0);
+        table.build(&[3.0, 1.0, 7.0, 0.0]);
+        assert_eq!(table.query(0, 4), 7.0);
+        assert_eq!(table.query(3, 4), 0.0);
+        table.build(&[2.0]);
+        assert_eq!(table.len(), 1);
+        assert_eq!(table.query(0, 1), 2.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of bounds")]
+    fn range_max_rejects_empty_ranges() {
+        let mut table = RangeMax::new();
+        table.build(&[1.0, 2.0]);
+        let _ = table.query(1, 1);
+    }
+
+    #[test]
+    fn bounds_follow_the_split_remainder_rule() {
+        let mut bounds = Vec::new();
+        fill_bounds(&mut bounds, 7, &[3]).unwrap();
+        // TimeSeries::split(3) on 7 samples → lengths [3, 2, 2].
+        assert_eq!(bounds[1], vec![0, 3, 5, 7]);
+        assert!(fill_bounds(&mut bounds, 2, &[3]).is_err());
+    }
+
+    #[test]
+    fn fused_sums_match_per_period_integrals() {
+        let values: Vec<f64> = (0..23).map(|i| 0.1 + i as f64 * 0.37).collect();
+        let series = TimeSeries::from_values(0, 300, values.clone()).unwrap();
+        let mut bounds = Vec::new();
+        fill_bounds(&mut bounds, 23, &[2, 3]).unwrap();
+        let mut q = Vec::new();
+        let (mut acc, mut next) = (Vec::new(), Vec::new());
+        let mut leaf_peaks = Vec::new();
+        fill_level_sums(
+            &values,
+            300.0,
+            &bounds,
+            &mut q,
+            &mut acc,
+            &mut next,
+            &mut leaf_peaks,
+        );
+        assert_eq!(q[0][0].to_bits(), series.integral().to_bits());
+        for (level, level_bounds) in bounds.iter().enumerate() {
+            for (p, w) in level_bounds.windows(2).enumerate() {
+                let part = TimeSeries::from_values(0, 300, values[w[0]..w[1]].to_vec()).unwrap();
+                assert_eq!(
+                    q[level][p].to_bits(),
+                    part.integral().to_bits(),
+                    "level {level} period {p}"
+                );
+            }
+        }
+        // Leaf peaks equal the per-leaf TimeSeries::peak fold, and a
+        // range-max over them reproduces any upper period's peak.
+        let leaf_bounds = bounds.last().unwrap();
+        assert_eq!(leaf_peaks.len(), leaf_bounds.len() - 1);
+        for (p, w) in leaf_bounds.windows(2).enumerate() {
+            let part = TimeSeries::from_values(0, 300, values[w[0]..w[1]].to_vec()).unwrap();
+            assert_eq!(leaf_peaks[p].to_bits(), part.peak().to_bits(), "leaf {p}");
+        }
+        let mut table = RangeMax::new();
+        table.build(&leaf_peaks);
+        // Level-1 period 0 spans leaves 0..3 (leaf_span = 3).
+        let level1 =
+            TimeSeries::from_values(0, 300, values[bounds[1][0]..bounds[1][1]].to_vec()).unwrap();
+        assert_eq!(table.query(0, 3).to_bits(), level1.peak().to_bits());
+    }
+
+    #[test]
+    fn intensity_index_answers_degenerate_windows() {
+        let prefix = [0.0, 1.0, 3.0, 6.0];
+        let idx = IntensityIndex::new(0, 300, &prefix);
+        assert_eq!(idx.carbon(0, 900, 1.0), 6.0);
+        assert_eq!(idx.carbon(300, 300, 1.0), 0.0); // empty
+        assert_eq!(idx.carbon(600, 300, 1.0), 0.0); // inverted
+        assert_eq!(idx.carbon(-900, -300, 1.0), 0.0); // before the series
+        assert_eq!(idx.carbon(900, 1800, 1.0), 0.0); // past the end
+        assert_eq!(idx.carbon(0, 900, 2.0), 12.0);
+    }
+
+    #[test]
+    fn batched_queries_match_per_call_answers() {
+        let prefix: Vec<f64> = (0..=48).map(|k| (k * k) as f64 * 0.25).collect();
+        let idx = IntensityIndex::new(-600, 300, &prefix);
+        let queries: Vec<BillingQuery> = (-5..60)
+            .map(|i| (i * 250 - 600, i * 410 - 100, 0.5 + i as f64 * 0.1))
+            .collect();
+        let mut out = Vec::new();
+        idx.carbon_batch_into(&queries, &mut out);
+        assert_eq!(out.len(), queries.len());
+        for (answer, &(t0, t1, alloc)) in out.iter().zip(&queries) {
+            assert_eq!(answer.to_bits(), idx.carbon(t0, t1, alloc).to_bits());
+        }
+    }
+}

@@ -32,6 +32,11 @@
 //!   peak-demand game (equivalent to the paper's Eq. 7, derived via the
 //!   level decomposition of `max`), hierarchical splitting, and the
 //!   dynamic embodied-carbon-intensity signal (Eq. 5).
+//! * [`cascade`] — the flat, zero-copy engine behind the temporal
+//!   hierarchy: index-range periods over one shared demand buffer,
+//!   sparse-table range-max peaks, a reusable
+//!   [`cascade::CascadeScratch`] for allocation-free repeats, and the
+//!   [`cascade::IntensityIndex`] answering batched billing queries.
 //! * [`axioms`] — executable checks of the four fairness axioms (null
 //!   player, symmetry, efficiency, linearity).
 //!
@@ -53,6 +58,7 @@
 
 pub mod axioms;
 pub mod cache;
+pub mod cascade;
 pub mod coalition;
 pub mod exact;
 pub mod game;
@@ -65,6 +71,7 @@ pub mod unit_time;
 
 pub use axioms::{AxiomAudit, AxiomCheck};
 pub use cache::{CachedGame, CoalitionCache};
+pub use cascade::{BillingQuery, CascadeScratch, IntensityIndex, RangeMax};
 pub use coalition::Coalition;
 pub use exact::{
     exact_shapley, exact_shapley_fast_with_scratch, parallel_exact_shapley, ExactScratch,
@@ -80,4 +87,4 @@ pub use sampled::{
     sampled_shapley, sampled_shapley_cached, sampled_shapley_with_scratch, stratified_shapley,
     Moments, SampleConfig, SampleScratch, ShapleyEstimate,
 };
-pub use temporal::{peak_shapley, TemporalAttribution};
+pub use temporal::{peak_shapley, peak_shapley_into, TemporalAttribution};

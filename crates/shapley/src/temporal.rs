@@ -28,11 +28,24 @@
 //!
 //! — exact, `O(n log n)`, and identical to enumerating Eq. 1 (property
 //! tests in this module verify that).
+//!
+//! # The flat cascade
+//!
+//! [`TemporalShapley::attribute`] runs the hierarchy through the
+//! zero-copy engine in [`crate::cascade`]: periods are index ranges over
+//! the one shared demand buffer, peaks come from a sparse-table range
+//! max, integrals from a fused per-level sweep, and every buffer lives
+//! in a reusable [`CascadeScratch`]. The original per-period pipeline is
+//! retained verbatim as [`TemporalShapley::attribute_per_period`]; the
+//! flat engine is pinned **bit-for-bit** against it (and against itself
+//! across thread counts) by property tests in
+//! `tests/temporal_cascade.rs`.
 
 use serde::{Deserialize, Serialize};
 
 use fairco2_trace::series::{SeriesError, TimeSeries};
 
+use crate::cascade::{run_cascade, BillingQuery, CascadeScratch, IntensityIndex};
 use crate::exact::exact_shapley;
 use crate::game::PeakDemandGame;
 
@@ -47,16 +60,34 @@ use crate::game::PeakDemandGame;
 /// Panics if `peaks` is empty or contains a negative or non-finite value —
 /// peak resource demand is a non-negative physical quantity.
 pub fn peak_shapley(peaks: &[f64]) -> Vec<f64> {
+    let mut order = Vec::with_capacity(peaks.len());
+    let mut phi = Vec::with_capacity(peaks.len());
+    peak_shapley_into(peaks, &mut order, &mut phi);
+    phi
+}
+
+/// Allocation-free form of [`peak_shapley`]: writes the Shapley values
+/// into `phi` (cleared first) using `order` as the sort buffer. The flat
+/// cascade calls this once per parent period with reused buffers.
+///
+/// # Panics
+///
+/// Same conditions as [`peak_shapley`].
+pub fn peak_shapley_into(peaks: &[f64], order: &mut Vec<usize>, phi: &mut Vec<f64>) {
     assert!(!peaks.is_empty(), "at least one period is required");
     assert!(
         peaks.iter().all(|p| p.is_finite() && *p >= 0.0),
         "peaks must be finite and non-negative"
     );
     let n = peaks.len();
-    let mut order: Vec<usize> = (0..n).collect();
+    order.clear();
+    order.extend(0..n);
+    // Stable sort: equal peaks keep their period order, exactly like the
+    // original owned-Vec implementation.
     order.sort_by(|&a, &b| peaks[b].total_cmp(&peaks[a]));
 
-    let mut phi = vec![0.0f64; n];
+    phi.clear();
+    phi.resize(n, 0.0);
     // Suffix-accumulate (P_k − P_{k+1})/k from the smallest peak upward.
     let mut suffix = 0.0f64;
     for k in (0..n).rev() {
@@ -64,7 +95,6 @@ pub fn peak_shapley(peaks: &[f64]) -> Vec<f64> {
         suffix += (peaks[order[k]] - next) / (k + 1) as f64;
         phi[order[k]] = suffix;
     }
-    phi
 }
 
 /// Configuration of the hierarchical attribution: how many children each
@@ -77,9 +107,6 @@ pub struct TemporalShapley {
 /// Result of a hierarchical Temporal Shapley attribution.
 #[derive(Debug, Clone)]
 pub struct TemporalAttribution {
-    /// Carbon intensity at the finest granularity, expressed *per input
-    /// sample* of the demand series (gCO₂e per resource-unit-second).
-    leaf_intensity: TimeSeries,
     /// Prefix sums of `intensity · step` over the leaf signal:
     /// `carbon_prefix[k]` is the carbon one resource unit accrues over the
     /// first `k` samples, so any window query is one subtraction.
@@ -100,9 +127,12 @@ pub struct TemporalAttribution {
 
 impl TemporalAttribution {
     /// The finest-granularity carbon-intensity signal (gCO₂e per
-    /// resource-unit-second), on the demand series' sampling grid.
+    /// resource-unit-second), on the demand series' sampling grid —
+    /// the last hierarchy level (stored once, not duplicated).
     pub fn leaf_intensity(&self) -> &TimeSeries {
-        &self.leaf_intensity
+        self.level_intensity
+            .last()
+            .expect("at least the root level exists")
     }
 
     /// Per-level intensity signals, coarsest first; the last entry equals
@@ -127,6 +157,43 @@ impl TemporalAttribution {
         self.closed_form_operations
     }
 
+    /// Prefix sums of `intensity · step` over the leaf signal
+    /// (`len() + 1` entries): the raw table behind
+    /// [`TemporalAttribution::workload_carbon`].
+    pub fn carbon_prefix(&self) -> &[f64] {
+        &self.carbon_prefix
+    }
+
+    /// Assembles an attribution from cascade parts (the leaf signal is
+    /// the last level).
+    pub(crate) fn from_parts(
+        level_intensity: Vec<TimeSeries>,
+        carbon_prefix: Vec<f64>,
+        stranded_carbon: f64,
+        naive_subset_evaluations: f64,
+        closed_form_operations: u64,
+    ) -> Self {
+        assert!(
+            !level_intensity.is_empty(),
+            "at least the root level exists"
+        );
+        Self {
+            carbon_prefix,
+            level_intensity,
+            stranded_carbon,
+            naive_subset_evaluations,
+            closed_form_operations,
+        }
+    }
+
+    /// Borrows the O(1) billing-query index over the leaf carbon prefix.
+    /// Hoist this out of query loops: the borrow skips the per-call grid
+    /// setup and feeds the batched entry points.
+    pub fn intensity_index(&self) -> IntensityIndex<'_> {
+        let leaf = self.leaf_intensity();
+        IntensityIndex::new(leaf.start(), leaf.step(), &self.carbon_prefix)
+    }
+
     /// Total carbon attributed to `[t0, t1)` given a workload that holds
     /// `allocation` resource units over that window (gCO₂e).
     ///
@@ -137,18 +204,26 @@ impl TemporalAttribution {
     /// independent of the series length. A sample at time `t` counts when
     /// `t ∈ [t0, t1)`, exactly as the original linear scan selected them.
     pub fn workload_carbon(&self, t0: i64, t1: i64, allocation: f64) -> f64 {
-        let start = self.leaf_intensity.start();
-        let step = i64::from(self.leaf_intensity.step());
-        let n = self.leaf_intensity.len() as i64;
-        // First sample index with start + k·step >= t: ceil((t−start)/step).
-        let first_at_or_after =
-            |t: i64| (t - start + step - 1).div_euclid(step).clamp(0, n) as usize;
-        let lo = first_at_or_after(t0);
-        let hi = first_at_or_after(t1);
-        if hi <= lo {
-            return 0.0;
-        }
-        allocation * (self.carbon_prefix[hi] - self.carbon_prefix[lo])
+        self.intensity_index().carbon(t0, t1, allocation)
+    }
+
+    /// Answers a batch of `(t0, t1, allocation)` billing queries, one
+    /// output per query, each bit-identical to the corresponding
+    /// [`TemporalAttribution::workload_carbon`] call. This is the
+    /// fleet-scale entry point: the grid parameters are resolved once
+    /// for the whole batch and each query costs a few integer ops, so a
+    /// single thread sustains millions of queries per second.
+    pub fn workload_carbon_batch(&self, queries: &[BillingQuery]) -> Vec<f64> {
+        let mut out = Vec::new();
+        self.workload_carbon_batch_into(queries, &mut out);
+        out
+    }
+
+    /// [`TemporalAttribution::workload_carbon_batch`] into a reusable
+    /// output buffer (cleared first) — allocation-free once the buffer
+    /// has grown to the batch size.
+    pub fn workload_carbon_batch_into(&self, queries: &[BillingQuery], out: &mut Vec<f64>) {
+        self.intensity_index().carbon_batch_into(queries, out);
     }
 }
 
@@ -210,6 +285,70 @@ impl TemporalShapley {
         demand: &TimeSeries,
         total_carbon: f64,
     ) -> Result<TemporalAttribution, SeriesError> {
+        let mut scratch = CascadeScratch::new();
+        run_cascade(&self.splits, demand, total_carbon, 1, &mut scratch)?;
+        Ok(scratch.into_attribution())
+    }
+
+    /// [`TemporalShapley::attribute`] with the per-level Shapley splits
+    /// fanned out over `threads` workers (parents within a level are
+    /// independent). The in-order merge makes the result **bit-identical**
+    /// to the serial path at any thread count; `threads == 0` clamps to 1.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`TemporalShapley::attribute`].
+    pub fn attribute_parallel(
+        &self,
+        demand: &TimeSeries,
+        total_carbon: f64,
+        threads: usize,
+    ) -> Result<TemporalAttribution, SeriesError> {
+        let mut scratch = CascadeScratch::new();
+        run_cascade(&self.splits, demand, total_carbon, threads, &mut scratch)?;
+        Ok(scratch.into_attribution())
+    }
+
+    /// Runs the flat cascade into a caller-owned [`CascadeScratch`],
+    /// reusing every buffer from the previous run — a repeated call on
+    /// same-shaped inputs performs **no heap allocation** (with
+    /// `threads <= 1`; the parallel path allocates small per-parent
+    /// buffers). Read the results through the scratch accessors
+    /// ([`CascadeScratch::leaf_intensity`],
+    /// [`CascadeScratch::carbon_prefix`], …) or materialize a
+    /// [`TemporalAttribution`] via [`CascadeScratch::to_attribution`].
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`TemporalShapley::attribute`]; the scratch
+    /// contents are unspecified after an error.
+    pub fn attribute_with_scratch(
+        &self,
+        demand: &TimeSeries,
+        total_carbon: f64,
+        threads: usize,
+        scratch: &mut CascadeScratch,
+    ) -> Result<(), SeriesError> {
+        run_cascade(&self.splits, demand, total_carbon, threads, scratch)
+    }
+
+    /// The original per-period pipeline, retained verbatim as the
+    /// reference implementation: it clones the demand into owned
+    /// [`TimeSeries`] at every level and rescans each period for its peak
+    /// and integral. The flat cascade in [`TemporalShapley::attribute`]
+    /// is equality-pinned bit-for-bit against this path by the property
+    /// tests in `tests/temporal_cascade.rs` and by `perf_report`; keep
+    /// using [`TemporalShapley::attribute`] everywhere else.
+    ///
+    /// # Errors
+    ///
+    /// Returns the underlying [`SeriesError`] if the hierarchy splits the
+    /// series below one sample per period.
+    pub fn attribute_per_period(
+        &self,
+        demand: &TimeSeries,
+        total_carbon: f64,
+    ) -> Result<TemporalAttribution, SeriesError> {
         // Per-sample carbon assignment, refined level by level.
         let mut carbon_per_period: Vec<(TimeSeries, f64)> = vec![(demand.clone(), total_carbon)];
         let mut level_intensity = Vec::with_capacity(self.splits.len() + 1);
@@ -243,20 +382,21 @@ impl TemporalShapley {
             stranded = level_stranded;
         }
 
-        let leaf_intensity = level_intensity
-            .last()
-            .expect("at least the root level exists")
-            .clone();
-        let step = f64::from(leaf_intensity.step());
-        let mut carbon_prefix = Vec::with_capacity(leaf_intensity.len() + 1);
-        carbon_prefix.push(0.0);
-        let mut acc = 0.0;
-        for v in leaf_intensity.values() {
-            acc += v * step;
-            carbon_prefix.push(acc);
-        }
+        let carbon_prefix = {
+            let leaf = level_intensity
+                .last()
+                .expect("at least the root level exists");
+            let step = f64::from(leaf.step());
+            let mut carbon_prefix = Vec::with_capacity(leaf.len() + 1);
+            carbon_prefix.push(0.0);
+            let mut acc = 0.0;
+            for v in leaf.values() {
+                acc += v * step;
+                carbon_prefix.push(acc);
+            }
+            carbon_prefix
+        };
         Ok(TemporalAttribution {
-            leaf_intensity,
             carbon_prefix,
             level_intensity,
             stranded_carbon: stranded,

@@ -207,6 +207,13 @@ impl VmPopulation {
     /// the exact sum of live reservations in each bucket (sampled at the
     /// bucket start).
     ///
+    /// Runs as an `O(V + T)` difference-array event sweep: each VM
+    /// contributes `+cores` at its first bucket and `−cores` past its
+    /// last, and one prefix pass recovers the per-bucket level. Core
+    /// counts are small powers of two, so the sweep's sums are exact and
+    /// agree bit-for-bit with a naive `O(V · lifetime)` per-VM
+    /// bucket-overlap accumulation (pinned in this module's tests).
+    ///
     /// # Panics
     ///
     /// Panics if `step == 0`.
@@ -263,6 +270,42 @@ mod tests {
             "long share {}",
             long_cs / total_cs
         );
+    }
+
+    /// The pre-sweep reference: walk every VM and add its cores to every
+    /// bucket it overlaps — `O(V · lifetime)`. Retained test-only to pin
+    /// the `O(V + T)` difference-array sweep.
+    fn naive_demand_series(pop: &VmPopulation, step: u32) -> TimeSeries {
+        let len = (pop.horizon_s() / i64::from(step)) as usize;
+        let mut values = vec![0.0f64; len];
+        for vm in pop.vms() {
+            let first = (vm.start / i64::from(step)) as usize;
+            let last = ((vm.end + i64::from(step) - 1) / i64::from(step)) as usize;
+            for bucket in values.iter_mut().take(last.min(len)).skip(first.min(len)) {
+                *bucket += vm.cores;
+            }
+        }
+        TimeSeries::from_values(0, step, values).expect("horizon ≥ one bucket")
+    }
+
+    #[test]
+    fn sweep_matches_naive_bucket_overlap_on_default_population() {
+        // Core counts are powers of two, so both accumulation orders are
+        // exact integer arithmetic: the pin is bit-for-bit over every
+        // bucket of the seeded default population.
+        let pop = population();
+        for step in [300u32, 3_600] {
+            let sweep = pop.demand_series(step);
+            let naive = naive_demand_series(&pop, step);
+            assert_eq!(sweep.len(), naive.len());
+            for (k, (a, b)) in sweep.values().iter().zip(naive.values()).enumerate() {
+                assert_eq!(
+                    a.to_bits(),
+                    b.to_bits(),
+                    "step {step} bucket {k}: {a} vs {b}"
+                );
+            }
+        }
     }
 
     #[test]
