@@ -1,0 +1,39 @@
+#!/usr/bin/env python3
+"""Print a figure JSON with wall-clock-dependent fields removed.
+
+The kill/resume CI smoke compares a resumed `fig7` run against an
+uninterrupted reference. The study outputs are bit-identical, but the
+report embeds timings (any key ending in `_secs`) and the engine
+counters (`engine` — a resumed run executes fewer batches locally even
+though the merged totals agree, and scratch reuse differs by design).
+Everything else is kept verbatim, so any numerical drift still fails
+the diff.
+"""
+
+import json
+import sys
+
+
+def scrub(value):
+    if isinstance(value, dict):
+        return {
+            key: scrub(item)
+            for key, item in value.items()
+            if key != "engine" and not key.endswith("_secs")
+        }
+    if isinstance(value, list):
+        return [scrub(item) for item in value]
+    return value
+
+
+def main():
+    if len(sys.argv) != 2:
+        sys.exit(f"usage: {sys.argv[0]} <figure.json>")
+    with open(sys.argv[1]) as handle:
+        data = json.load(handle)
+    json.dump(scrub(data), sys.stdout, sort_keys=True, indent=1)
+    print()
+
+
+if __name__ == "__main__":
+    main()

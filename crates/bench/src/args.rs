@@ -24,18 +24,28 @@ impl Args {
 
     /// Parses an explicit argument list (used by tests).
     ///
+    /// A flag followed by another flag (or by the end of the list) is a
+    /// bare boolean switch and stores `"true"` — `--resume` reads the
+    /// same as `--resume true`.
+    ///
     /// # Panics
     ///
     /// Panics on malformed arguments.
     pub fn parse_from(args: impl IntoIterator<Item = String>) -> Self {
         let mut flags = HashMap::new();
-        let mut iter = args.into_iter();
+        let mut iter = args.into_iter().peekable();
         while let Some(key) = iter.next() {
             let Some(name) = key.strip_prefix("--") else {
                 panic!("unexpected argument {key:?}; flags look like --name value");
             };
-            let Some(value) = iter.next() else {
-                panic!("flag --{name} is missing its value");
+            let bare = match iter.peek() {
+                Some(next) => next.starts_with("--"),
+                None => true,
+            };
+            let value = if bare {
+                "true".to_owned()
+            } else {
+                iter.next().expect("peeked value")
             };
             flags.insert(name.to_owned(), value);
         }
@@ -72,6 +82,28 @@ impl Args {
             .unwrap_or(default)
     }
 
+    /// A boolean flag with a default. Accepts `true`/`false`/`1`/`0`;
+    /// a bare `--name` (no value) reads as `true`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the value is present but none of the accepted forms.
+    pub fn bool(&self, name: &str, default: bool) -> bool {
+        self.flags
+            .get(name)
+            .map(|v| match v.as_str() {
+                "true" | "1" => true,
+                "false" | "0" => false,
+                other => panic!("--{name} expects true/false, got {other:?}"),
+            })
+            .unwrap_or(default)
+    }
+
+    /// A string flag, `None` when absent.
+    pub fn str(&self, name: &str) -> Option<&str> {
+        self.flags.get(name).map(String::as_str)
+    }
+
     /// A `u64` flag with a default.
     ///
     /// # Panics
@@ -106,9 +138,34 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "missing its value")]
-    fn dangling_flag_panics() {
-        let _ = args(&["--trials"]);
+    fn bare_flags_read_as_boolean_switches() {
+        let a = args(&["--resume", "--trials", "5", "--verbose", "0"]);
+        assert!(a.bool("resume", false));
+        assert!(!a.bool("verbose", true));
+        assert!(a.bool("absent", true));
+        assert_eq!(a.usize("trials", 1), 5);
+    }
+
+    #[test]
+    fn string_flags_pass_through() {
+        let a = args(&["--checkpoint", "/tmp/run.ckpt", "--resume"]);
+        assert_eq!(a.str("checkpoint"), Some("/tmp/run.ckpt"));
+        assert_eq!(a.str("absent"), None);
+    }
+
+    #[test]
+    #[should_panic(expected = "expects true/false")]
+    fn bad_boolean_panics() {
+        let a = args(&["--resume", "maybe"]);
+        let _ = a.bool("resume", false);
+    }
+
+    #[test]
+    #[should_panic(expected = "expects an integer")]
+    fn dangling_numeric_flag_panics() {
+        // A bare flag stores "true"; numeric getters still refuse it.
+        let a = args(&["--trials"]);
+        let _ = a.usize("trials", 1);
     }
 
     #[test]

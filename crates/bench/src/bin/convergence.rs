@@ -4,11 +4,19 @@
 //!
 //! One streaming pass per study: the engine's in-order progress callback
 //! snapshots the running means at each checkpoint, so no per-trial
-//! records are ever materialized. Writes `results/convergence.json`.
+//! records are ever materialized. `--checkpoint <path>` snapshots both
+//! studies (to `<path>.demand` / `<path>.colocation`) for `--resume`;
+//! note a resumed run only reports convergence marks past the restored
+//! frontier. Writes `results/convergence.json`.
 
-use fairco2_bench::{print_report, sample_schedule, write_json, Args, SamplingReport};
+use fairco2_bench::{
+    exit_on_engine_error, print_report, sample_schedule, study_options, write_json, Args,
+    SamplingReport,
+};
 use fairco2_montecarlo::colocations::ColocationStudy;
-use fairco2_montecarlo::engine::{stream_colocation_study_observed, stream_demand_study_observed};
+use fairco2_montecarlo::engine::{
+    stream_colocation_study_resumable, stream_demand_study_resumable,
+};
 use fairco2_montecarlo::runner::default_threads;
 use fairco2_montecarlo::schedules::DemandStudy;
 use fairco2_montecarlo::EngineConfig;
@@ -70,15 +78,20 @@ fn main() {
     };
     eprintln!("streaming {max_trials} demand trials…");
     let mut demand = Vec::new();
-    let (_, _, _) = stream_demand_study_observed(&demand_study, cfg, |done, s| {
-        if marks.contains(&(done as usize)) {
-            demand.push(Point {
-                trials: done as usize,
-                rup_avg_pct: s.all.rup.average.mean(),
-                fair_avg_pct: s.all.fair_co2.average.mean(),
-            });
-        }
-    });
+    exit_on_engine_error(stream_demand_study_resumable(
+        &demand_study,
+        cfg,
+        &study_options(&args, "demand"),
+        |done, s| {
+            if marks.contains(&(done as usize)) {
+                demand.push(Point {
+                    trials: done as usize,
+                    rup_avg_pct: s.all.rup.average.mean(),
+                    fair_avg_pct: s.all.fair_co2.average.mean(),
+                });
+            }
+        },
+    ));
 
     let colocation_study = ColocationStudy {
         trials: max_trials,
@@ -86,15 +99,20 @@ fn main() {
     };
     eprintln!("streaming {max_trials} colocation trials…");
     let mut colocation = Vec::new();
-    let (_, _, _) = stream_colocation_study_observed(&colocation_study, cfg, |done, s| {
-        if marks.contains(&(done as usize)) {
-            colocation.push(Point {
-                trials: done as usize,
-                rup_avg_pct: s.all.rup.average.mean(),
-                fair_avg_pct: s.all.fair_co2.average.mean(),
-            });
-        }
-    });
+    exit_on_engine_error(stream_colocation_study_resumable(
+        &colocation_study,
+        cfg,
+        &study_options(&args, "colocation"),
+        |done, s| {
+            if marks.contains(&(done as usize)) {
+                colocation.push(Point {
+                    trials: done as usize,
+                    rup_avg_pct: s.all.rup.average.mean(),
+                    fair_avg_pct: s.all.fair_co2.average.mean(),
+                });
+            }
+        },
+    ));
 
     println!("Monte Carlo convergence of the headline average deviations");
     print_points("demand study (Figure 7)", &demand);

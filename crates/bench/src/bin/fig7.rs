@@ -8,14 +8,20 @@
 //! are bit-identical at any thread count. Defaults to the paper's scale;
 //! tune with `--trials N --max-workloads N --min-slices N --max-slices N
 //! --threads N --batch N`. `--dump-trials 1` additionally writes every
-//! per-trial record to `results/fig7_trials.json`. Writes
-//! `results/fig7.json`.
+//! per-trial record to `results/fig7_trials.json`. Long runs can
+//! snapshot with `--checkpoint <path> --checkpoint-every <batches>` and
+//! pick up after a kill with `--resume` (bit-identical to an
+//! uninterrupted run); `--retries N` sets the per-batch fault budget.
+//! Writes `results/fig7.json`.
 
-use fairco2_bench::{print_report, sample_schedule, write_json, Args, SamplingReport};
+use fairco2_bench::{
+    exit_on_engine_error, print_report, sample_schedule, study_options, write_json, Args,
+    SamplingReport,
+};
 use fairco2_montecarlo::runner::default_threads;
 use fairco2_montecarlo::schedules::DemandStudy;
 use fairco2_montecarlo::streaming::{DemandMethodSet, MethodStream, DEFAULT_BATCH_TRIALS};
-use fairco2_montecarlo::{stream_demand_study, EngineConfig, EngineStats};
+use fairco2_montecarlo::{stream_demand_study_resumable, EngineConfig, EngineStats};
 use serde::Serialize;
 
 #[derive(Serialize)]
@@ -120,11 +126,13 @@ fn main() {
         collect_trials: args.usize("dump-trials", 0) != 0,
     };
 
+    let opts = study_options(&args, "");
     eprintln!(
         "streaming {} schedule trials on {threads} threads (exact ground truth, ≤{} workloads)…",
         study.trials, study.max_workloads
     );
-    let (summary, dump, engine) = stream_demand_study(&study, cfg);
+    let (summary, dump, engine) =
+        exit_on_engine_error(stream_demand_study_resumable(&study, cfg, &opts, |_, _| {}));
 
     let mut panels = vec![panel("all scenarios (a, e)", &summary.all)];
     for b in &summary.by_time_slices {

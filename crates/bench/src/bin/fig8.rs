@@ -8,14 +8,22 @@
 //! Tune with `--trials N --min-workloads N --max-workloads N
 //! --min-grid-ci X --max-grid-ci X --threads N --batch N`.
 //! `--dump-trials 1` additionally writes every per-trial record to
-//! `results/fig8_trials.json`. Writes `results/fig8.json`.
+//! `results/fig8_trials.json`. Long runs can snapshot with
+//! `--checkpoint <path> --checkpoint-every <batches>` and pick up after
+//! a kill with `--resume`; `--retries N` sets the per-batch fault
+//! budget. Writes `results/fig8.json`.
 
-use fairco2_bench::{print_report, sample_schedule, write_json, Args, SamplingReport};
+use fairco2_bench::{
+    exit_on_engine_error, print_report, sample_schedule, study_options, write_json, Args,
+    SamplingReport,
+};
 use fairco2_montecarlo::colocations::ColocationStudy;
 use fairco2_montecarlo::runner::default_threads;
 use fairco2_montecarlo::schedules::DemandStudy;
 use fairco2_montecarlo::streaming::{ColocationMethodSet, MethodStream, DEFAULT_BATCH_TRIALS};
-use fairco2_montecarlo::{stream_colocation_study, EngineConfig, EngineStats, StatStream};
+use fairco2_montecarlo::{
+    stream_colocation_study_resumable, EngineConfig, EngineStats, StatStream,
+};
 use serde::Serialize;
 
 #[derive(Serialize)]
@@ -116,11 +124,17 @@ fn main() {
         collect_trials: args.usize("dump-trials", 0) != 0,
     };
 
+    let opts = study_options(&args, "");
     eprintln!(
         "streaming {} colocation trials on {threads} threads (exact matching-game ground truth)…",
         study.trials
     );
-    let (summary, dump, engine) = stream_colocation_study(&study, cfg);
+    let (summary, dump, engine) = exit_on_engine_error(stream_colocation_study_resumable(
+        &study,
+        cfg,
+        &opts,
+        |_, _| {},
+    ));
 
     let mut panels = vec![panel("all scenarios (a, e)", &summary.all)];
     for b in &summary.by_samples {

@@ -5,13 +5,15 @@
 //!
 //! The per-kind equity streams come straight from the streaming study
 //! summary — no per-trial materialization. Tune with `--trials N
-//! --threads N --batch N`. Writes `results/fig9.json`.
+//! --threads N --batch N`; checkpoint/resume via `--checkpoint <path>
+//! --checkpoint-every <batches> --resume --retries N`. Writes
+//! `results/fig9.json`.
 
-use fairco2_bench::{write_json, Args};
+use fairco2_bench::{exit_on_engine_error, study_options, write_json, Args};
 use fairco2_montecarlo::colocations::ColocationStudy;
 use fairco2_montecarlo::runner::default_threads;
 use fairco2_montecarlo::streaming::{KindEquity, DEFAULT_BATCH_TRIALS};
-use fairco2_montecarlo::{stream_colocation_study, EngineConfig, StatStream};
+use fairco2_montecarlo::{stream_colocation_study_resumable, EngineConfig, StatStream};
 use serde::Serialize;
 
 #[derive(Serialize)]
@@ -73,11 +75,17 @@ fn main() {
         collect_trials: false,
     };
 
+    let opts = study_options(&args, "");
     eprintln!(
         "streaming {} colocation trials on {threads} threads…",
         study.trials
     );
-    let (summary, _, _) = stream_colocation_study(&study, cfg);
+    let (summary, _, _) = exit_on_engine_error(stream_colocation_study_resumable(
+        &study,
+        cfg,
+        &opts,
+        |_, _| {},
+    ));
 
     let build = |pick: fn(&KindEquity) -> &StatStream| -> Vec<Distribution> {
         summary

@@ -10,8 +10,10 @@
 //! * a `monte_carlo` section timing the Figure-7 demand study end to end —
 //!   the pre-streaming baseline (fresh per-trial allocations, segment-tree
 //!   fill, per-player marginal accumulation, replicated below from public
-//!   APIs), the collect-then-summarize path, and the streaming engine —
-//!   written separately to `results/BENCH_montecarlo.json`;
+//!   APIs), the collect-then-summarize path, and the streaming engine,
+//!   plus the checkpoint layer's costs (snapshot write/restore wall time
+//!   and bytes, with a kill-and-resume bit-identity check on a capped
+//!   sub-study) — written separately to `results/BENCH_montecarlo.json`;
 //! * a `temporal` section timing the flat Temporal Shapley cascade against
 //!   the retained per-period path on a year-long 5-minute trace under the
 //!   paper hierarchy (bit-identity asserted), plus batched
@@ -29,9 +31,13 @@ use std::time::Instant;
 use fairco2::demand::{DemandAttributor, DemandProportional, RupBaseline, TemporalFairCo2};
 use fairco2::metrics::{summarize, DeviationSummary};
 use fairco2_bench::{write_json, Args};
+use fairco2_montecarlo::checkpoint::demand_fingerprint;
 use fairco2_montecarlo::schedules::DemandStudy;
 use fairco2_montecarlo::streaming::{DemandStudySummary, DEFAULT_BATCH_TRIALS};
-use fairco2_montecarlo::{stream_demand_study, EngineConfig, EngineStats};
+use fairco2_montecarlo::{
+    stream_demand_study, stream_demand_study_resumable, CheckpointSpec, DemandSnapshot,
+    EngineConfig, EngineError, EngineStats, FaultPlan, StudyOptions,
+};
 use fairco2_shapley::cascade::{BillingQuery, CascadeScratch};
 use fairco2_shapley::default_threads;
 use fairco2_shapley::exact::{exact_shapley, exact_shapley_fast, parallel_exact_shapley};
@@ -110,6 +116,18 @@ struct MonteCarloReport {
     speedup_vs_collect: f64,
     /// Engine counters from the streaming run (batches, scratch reuse).
     engine: EngineStats,
+    /// Trials of the capped kill/resume sub-study below.
+    checkpoint_trials: usize,
+    /// Snapshot file size on disk after the mid-run kill (bytes).
+    checkpoint_bytes: u64,
+    /// Best wall time of one atomic snapshot write (tmp + fsync + rename).
+    checkpoint_write_secs: f64,
+    /// Best wall time to load one snapshot back, including version,
+    /// digest, and config-fingerprint validation.
+    checkpoint_restore_secs: f64,
+    /// The killed-then-resumed summary serialized to the same bytes as
+    /// the uninterrupted run (asserted; recorded for the report).
+    checkpoint_resume_bit_identical: bool,
     /// Process peak RSS (`VmHWM`) in KiB after the study runs.
     peak_rss_kib: Option<u64>,
 }
@@ -480,6 +498,68 @@ fn main() {
         "streaming summary must be bit-identical to collect-then-summarize"
     );
 
+    // Checkpoint/resume cost on a capped sub-study: kill mid-run via the
+    // deterministic fault plan, resume, and demand bit-identity with the
+    // uninterrupted reference; then time the snapshot write and restore
+    // paths in isolation.
+    let ck_trials = mc_trials.min(200);
+    let ck_study = DemandStudy {
+        trials: ck_trials,
+        ..DemandStudy::default()
+    };
+    let ck_path = std::env::temp_dir().join(format!("fairco2-perf-{}.ckpt", std::process::id()));
+    let _ = std::fs::remove_file(&ck_path);
+    let ck_batches = ck_trials.div_ceil(DEFAULT_BATCH_TRIALS);
+    let (ck_reference, _, _) =
+        stream_demand_study_resumable(&ck_study, cfg, &StudyOptions::default(), |_, _| {})
+            .expect("fault-free sub-study");
+    let killed = stream_demand_study_resumable(
+        &ck_study,
+        cfg,
+        &StudyOptions {
+            checkpoint: Some(CheckpointSpec::new(&ck_path, 1)),
+            faults: FaultPlan {
+                kill_after_writes: Some((ck_batches / 2).max(1)),
+                ..FaultPlan::default()
+            },
+            ..StudyOptions::default()
+        },
+        |_, _| {},
+    );
+    assert!(
+        matches!(killed, Err(EngineError::Killed { .. })),
+        "kill plan must interrupt the sub-study: {killed:?}"
+    );
+    let checkpoint_bytes = std::fs::metadata(&ck_path)
+        .expect("kill leaves a snapshot behind")
+        .len();
+    let (resumed, _, _) = stream_demand_study_resumable(
+        &ck_study,
+        cfg,
+        &StudyOptions {
+            checkpoint: Some(CheckpointSpec::new(&ck_path, 1)),
+            resume: true,
+            ..StudyOptions::default()
+        },
+        |_, _| {},
+    )
+    .expect("resume completes the sub-study");
+    let bits = |s: &DemandStudySummary| serde_json::to_string(s).expect("summaries serialize");
+    assert_eq!(
+        bits(&resumed),
+        bits(&ck_reference),
+        "resumed sub-study must be bit-identical to the uninterrupted run"
+    );
+    let fingerprint = demand_fingerprint(&ck_study, DEFAULT_BATCH_TRIALS);
+    let snapshot = DemandSnapshot::load(&ck_path, &fingerprint).expect("snapshot validates");
+    let checkpoint_restore_secs = best_secs(trials, || {
+        DemandSnapshot::load(&ck_path, &fingerprint).expect("snapshot validates")
+    });
+    let checkpoint_write_secs = best_secs(trials, || {
+        snapshot.save(&ck_path, false).expect("snapshot writes")
+    });
+    let _ = std::fs::remove_file(&ck_path);
+
     let per_sec = |secs: f64| mc_trials as f64 / secs;
     let mc = MonteCarloReport {
         trials: mc_trials,
@@ -493,6 +573,11 @@ fn main() {
         speedup_vs_baseline: baseline_secs / streaming_secs,
         speedup_vs_collect: collect_secs / streaming_secs,
         engine,
+        checkpoint_trials: ck_trials,
+        checkpoint_bytes,
+        checkpoint_write_secs,
+        checkpoint_restore_secs,
+        checkpoint_resume_bit_identical: true,
         peak_rss_kib: peak_rss_kib(),
     };
     println!(
@@ -507,6 +592,13 @@ fn main() {
     println!(
         "monte carlo  {:.2}x vs pre-streaming baseline, {:.2}x vs collect; scratch grows {} / reuses {}",
         mc.speedup_vs_baseline, mc.speedup_vs_collect, mc.engine.scratch.table_grows, mc.engine.scratch.table_reuses
+    );
+    println!(
+        "monte carlo  checkpoint {} B: write {:.1} µs, restore {:.1} µs; kill/resume bit-identical over {} trials",
+        mc.checkpoint_bytes,
+        mc.checkpoint_write_secs * 1.0e6,
+        mc.checkpoint_restore_secs * 1.0e6,
+        mc.checkpoint_trials
     );
     if let Some(kib) = mc.peak_rss_kib {
         println!("monte carlo  peak RSS {:.1} MiB", kib as f64 / 1024.0);

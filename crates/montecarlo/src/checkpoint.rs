@@ -1,0 +1,385 @@
+//! Versioned, digest-guarded study checkpoints.
+//!
+//! A checkpoint captures everything the streaming engine needs to
+//! continue a study from its merged-prefix **frontier**: the study-config
+//! fingerprint, the in-order-merged summary, any reorder-buffer batches
+//! that finished ahead of the frontier, and the engine stats accumulated
+//! so far. Because every trial is a pure function of `(study config,
+//! trial index)` and merges happen strictly in batch order, "resume" is
+//! literally "keep merging from the frontier" — the resumed summary is
+//! bit-identical to an uninterrupted run.
+//!
+//! # On-disk format
+//!
+//! A single JSON object:
+//!
+//! ```json
+//! { "version": 1, "digest": "<fnv1a-64 hex of payload text>", "payload": { … } }
+//! ```
+//!
+//! The digest is computed over the compact serialization of `payload`.
+//! The vendored serde_json writer is byte-stable under parse → re-emit
+//! (floats always carry a float marker and round-trip bit-for-bit), so
+//! the digest check re-serializes the parsed payload and compares.
+//!
+//! Writes are atomic: the full envelope is written to a `.tmp` sibling,
+//! flushed, then renamed over the target. A failure mid-write removes
+//! the temporary and leaves any previous checkpoint untouched — there is
+//! no observable torn state.
+
+use std::fmt;
+use std::fs;
+use std::io::Write as _;
+use std::path::{Path, PathBuf};
+
+use serde::{Deserialize, Serialize, Value};
+
+use crate::colocations::ColocationStudy;
+use crate::engine::EngineStats;
+use crate::schedules::DemandStudy;
+use crate::streaming::{ColocationStudySummary, DemandStudySummary};
+
+/// Current checkpoint format version. Bump on any payload shape change.
+pub const CHECKPOINT_VERSION: u64 = 1;
+
+/// Where and how often to checkpoint a streaming study.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CheckpointSpec {
+    /// Checkpoint file path (a `.tmp` sibling is used during writes).
+    pub path: PathBuf,
+    /// Write a snapshot every this many merged batches (clamped to ≥ 1).
+    pub every_batches: usize,
+}
+
+impl CheckpointSpec {
+    /// A spec writing to `path` every `every_batches` merged batches.
+    pub fn new(path: impl Into<PathBuf>, every_batches: usize) -> Self {
+        Self {
+            path: path.into(),
+            every_batches,
+        }
+    }
+}
+
+/// Why a checkpoint could not be written or restored.
+///
+/// Load failures are all-or-nothing: a rejected checkpoint applies no
+/// state whatsoever to the engine.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CheckpointError {
+    /// Filesystem error reading or writing the checkpoint.
+    Io(String),
+    /// The file is not a well-formed checkpoint envelope.
+    Malformed(String),
+    /// The file was written by an incompatible format version.
+    VersionMismatch {
+        /// Version found in the file.
+        found: u64,
+        /// Version this build understands.
+        expected: u64,
+    },
+    /// The payload digest does not match — the file is corrupt.
+    DigestMismatch {
+        /// Digest recorded in the envelope.
+        recorded: String,
+        /// Digest recomputed from the payload.
+        computed: String,
+    },
+    /// The checkpoint belongs to a different study configuration.
+    ConfigMismatch {
+        /// Fingerprint of the study being resumed.
+        expected: String,
+        /// Fingerprint recorded in the checkpoint.
+        found: String,
+    },
+    /// A write attempt failed; the previous checkpoint (if any) is
+    /// intact and no temporary file remains.
+    WriteFailed(String),
+}
+
+impl fmt::Display for CheckpointError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Self::Io(m) => write!(f, "checkpoint i/o error: {m}"),
+            Self::Malformed(m) => write!(f, "malformed checkpoint: {m}"),
+            Self::VersionMismatch { found, expected } => write!(
+                f,
+                "checkpoint version {found} is not the supported version {expected}"
+            ),
+            Self::DigestMismatch { recorded, computed } => write!(
+                f,
+                "checkpoint digest mismatch: envelope says {recorded}, payload hashes to {computed}"
+            ),
+            Self::ConfigMismatch { expected, found } => write!(
+                f,
+                "checkpoint was taken for a different study: fingerprint {found}, expected {expected}"
+            ),
+            Self::WriteFailed(m) => write!(f, "checkpoint write failed: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for CheckpointError {}
+
+/// FNV-1a 64-bit over `bytes`, as a fixed-width lowercase hex string.
+pub fn fnv1a_hex(bytes: &[u8]) -> String {
+    const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+    const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+    let mut h = FNV_OFFSET;
+    for &b in bytes {
+        h ^= b as u64;
+        h = h.wrapping_mul(FNV_PRIME);
+    }
+    format!("{h:016x}")
+}
+
+/// Fingerprint of a demand study at a given batch size. Any change to
+/// the study parameters or batch boundaries produces a different
+/// fingerprint, and checkpoints refuse to resume across it.
+pub fn demand_fingerprint(study: &DemandStudy, batch_trials: usize) -> String {
+    let cfg = serde_json::to_string(study).expect("study configs serialize");
+    fnv1a_hex(format!("demand|v{CHECKPOINT_VERSION}|{cfg}|batch={batch_trials}").as_bytes())
+}
+
+/// Fingerprint of a colocation study at a given batch size; the
+/// colocation counterpart of [`demand_fingerprint`].
+pub fn colocation_fingerprint(study: &ColocationStudy, batch_trials: usize) -> String {
+    let cfg = serde_json::to_string(study).expect("study configs serialize");
+    fnv1a_hex(format!("colocation|v{CHECKPOINT_VERSION}|{cfg}|batch={batch_trials}").as_bytes())
+}
+
+/// A batch summary that finished ahead of the merge frontier (reorder
+/// buffer contents) for the demand study.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct PendingDemandBatch {
+    /// Batch index (strictly greater than the frontier).
+    pub batch: u64,
+    /// The batch's summary accumulator, ready to merge in order.
+    pub summary: DemandStudySummary,
+}
+
+/// Reorder-buffer entry for the colocation study.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct PendingColocationBatch {
+    /// Batch index (strictly greater than the frontier).
+    pub batch: u64,
+    /// The batch's summary accumulator, ready to merge in order.
+    pub summary: ColocationStudySummary,
+}
+
+/// Resumable state of a demand study run.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct DemandSnapshot {
+    /// [`demand_fingerprint`] of the study this snapshot belongs to.
+    pub fingerprint: String,
+    /// Batches merged so far; resume continues from this batch index.
+    pub frontier: u64,
+    /// The in-order-merged summary over batches `0..frontier`.
+    pub summary: DemandStudySummary,
+    /// Completed batches still waiting in the reorder buffer.
+    pub pending: Vec<PendingDemandBatch>,
+    /// Engine stats accumulated through the frontier. Scratch counters
+    /// cover fully completed runs only (worker-local counters are not
+    /// observable mid-run).
+    pub stats: EngineStats,
+}
+
+/// Resumable state of a colocation study run.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ColocationSnapshot {
+    /// [`colocation_fingerprint`] of the study this snapshot belongs to.
+    pub fingerprint: String,
+    /// Batches merged so far; resume continues from this batch index.
+    pub frontier: u64,
+    /// The in-order-merged summary over batches `0..frontier`.
+    pub summary: ColocationStudySummary,
+    /// Completed batches still waiting in the reorder buffer.
+    pub pending: Vec<PendingColocationBatch>,
+    /// Engine stats accumulated through the frontier.
+    pub stats: EngineStats,
+}
+
+impl DemandSnapshot {
+    /// Atomically writes the snapshot to `path`.
+    ///
+    /// # Errors
+    ///
+    /// [`CheckpointError::Io`] on filesystem failures;
+    /// [`CheckpointError::WriteFailed`] when `inject_failure` simulates a
+    /// mid-write crash (the target file is left untouched).
+    pub fn save(&self, path: &Path, inject_failure: bool) -> Result<(), CheckpointError> {
+        let payload = serde_json::to_string(self).expect("snapshots serialize");
+        write_envelope_atomic(path, &payload, inject_failure)
+    }
+
+    /// Loads and fully validates a snapshot.
+    ///
+    /// # Errors
+    ///
+    /// Every [`CheckpointError`] variant except `WriteFailed`; on any
+    /// error no state has been applied.
+    pub fn load(path: &Path, expected_fingerprint: &str) -> Result<Self, CheckpointError> {
+        let payload = read_envelope(path)?;
+        let snap = Self::deserialize(&payload)
+            .map_err(|e| CheckpointError::Malformed(format!("payload: {}", e.0)))?;
+        check_fingerprint(&snap.fingerprint, expected_fingerprint)?;
+        Ok(snap)
+    }
+}
+
+impl ColocationSnapshot {
+    /// Atomically writes the snapshot to `path`; see
+    /// [`DemandSnapshot::save`].
+    ///
+    /// # Errors
+    ///
+    /// Same contract as [`DemandSnapshot::save`].
+    pub fn save(&self, path: &Path, inject_failure: bool) -> Result<(), CheckpointError> {
+        let payload = serde_json::to_string(self).expect("snapshots serialize");
+        write_envelope_atomic(path, &payload, inject_failure)
+    }
+
+    /// Loads and fully validates a snapshot; see
+    /// [`DemandSnapshot::load`].
+    ///
+    /// # Errors
+    ///
+    /// Same contract as [`DemandSnapshot::load`].
+    pub fn load(path: &Path, expected_fingerprint: &str) -> Result<Self, CheckpointError> {
+        let payload = read_envelope(path)?;
+        let snap = Self::deserialize(&payload)
+            .map_err(|e| CheckpointError::Malformed(format!("payload: {}", e.0)))?;
+        check_fingerprint(&snap.fingerprint, expected_fingerprint)?;
+        Ok(snap)
+    }
+}
+
+fn check_fingerprint(found: &str, expected: &str) -> Result<(), CheckpointError> {
+    if found == expected {
+        Ok(())
+    } else {
+        Err(CheckpointError::ConfigMismatch {
+            expected: expected.to_owned(),
+            found: found.to_owned(),
+        })
+    }
+}
+
+/// Wraps `payload` (compact JSON text) in the versioned envelope and
+/// writes it atomically: full write to `<path>.tmp`, fsync, rename.
+fn write_envelope_atomic(
+    path: &Path,
+    payload: &str,
+    inject_failure: bool,
+) -> Result<(), CheckpointError> {
+    let digest = fnv1a_hex(payload.as_bytes());
+    let text = format!(
+        "{{\"version\":{CHECKPOINT_VERSION},\"digest\":\"{digest}\",\"payload\":{payload}}}"
+    );
+    let tmp = tmp_path(path);
+    let result = write_tmp(&tmp, &text, inject_failure);
+    if result.is_err() {
+        // Leave no torn file behind: the target was never touched and
+        // the partial temporary is removed.
+        let _ = fs::remove_file(&tmp);
+        return result;
+    }
+    fs::rename(&tmp, path).map_err(|e| {
+        let _ = fs::remove_file(&tmp);
+        CheckpointError::Io(format!(
+            "rename {} -> {}: {e}",
+            tmp.display(),
+            path.display()
+        ))
+    })
+}
+
+fn tmp_path(path: &Path) -> PathBuf {
+    let mut name = path.file_name().map(|n| n.to_owned()).unwrap_or_default();
+    name.push(".tmp");
+    path.with_file_name(name)
+}
+
+fn write_tmp(tmp: &Path, text: &str, inject_failure: bool) -> Result<(), CheckpointError> {
+    let mut file = fs::File::create(tmp)
+        .map_err(|e| CheckpointError::Io(format!("{}: {e}", tmp.display())))?;
+    if inject_failure {
+        // Simulate a crash mid-write: flush only a prefix, then fail.
+        let half = text.len() / 2;
+        let _ = file.write_all(&text.as_bytes()[..half]);
+        let _ = file.sync_all();
+        return Err(CheckpointError::WriteFailed(
+            "injected checkpoint write failure".to_owned(),
+        ));
+    }
+    file.write_all(text.as_bytes())
+        .map_err(|e| CheckpointError::Io(format!("{}: {e}", tmp.display())))?;
+    file.sync_all()
+        .map_err(|e| CheckpointError::Io(format!("{}: {e}", tmp.display())))?;
+    Ok(())
+}
+
+/// Reads the envelope at `path`, validating version and digest, and
+/// returns the payload value.
+fn read_envelope(path: &Path) -> Result<Value, CheckpointError> {
+    let text = fs::read_to_string(path)
+        .map_err(|e| CheckpointError::Io(format!("{}: {e}", path.display())))?;
+    let envelope: Value =
+        serde_json::from_str(&text).map_err(|e| CheckpointError::Malformed(e.0))?;
+    let version = envelope
+        .get("version")
+        .and_then(|v| match v {
+            Value::Number(n) => n.as_u64(),
+            _ => None,
+        })
+        .ok_or_else(|| CheckpointError::Malformed("missing `version`".to_owned()))?;
+    if version != CHECKPOINT_VERSION {
+        return Err(CheckpointError::VersionMismatch {
+            found: version,
+            expected: CHECKPOINT_VERSION,
+        });
+    }
+    let recorded = envelope
+        .get("digest")
+        .and_then(Value::as_str)
+        .ok_or_else(|| CheckpointError::Malformed("missing `digest`".to_owned()))?
+        .to_owned();
+    let payload = envelope
+        .get("payload")
+        .ok_or_else(|| CheckpointError::Malformed("missing `payload`".to_owned()))?;
+    // The writer is byte-stable under parse → re-emit, so recomputing
+    // the digest from the re-serialized payload detects any corruption.
+    let payload_text = serde_json::to_string(payload).expect("values serialize");
+    let computed = fnv1a_hex(payload_text.as_bytes());
+    if computed != recorded {
+        return Err(CheckpointError::DigestMismatch { recorded, computed });
+    }
+    Ok(payload.clone())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fingerprints_separate_studies_and_batch_sizes() {
+        let a = DemandStudy::default();
+        let b = DemandStudy {
+            trials: 99,
+            ..DemandStudy::default()
+        };
+        assert_ne!(demand_fingerprint(&a, 64), demand_fingerprint(&b, 64));
+        assert_ne!(demand_fingerprint(&a, 64), demand_fingerprint(&a, 32));
+        assert_eq!(demand_fingerprint(&a, 64), demand_fingerprint(&a, 64));
+        // Demand and colocation fingerprints never collide by prefix.
+        let c = ColocationStudy::default();
+        assert_ne!(demand_fingerprint(&a, 64), colocation_fingerprint(&c, 64));
+    }
+
+    #[test]
+    fn fnv_matches_the_reference_vector() {
+        // Standard FNV-1a 64 test vectors.
+        assert_eq!(fnv1a_hex(b""), "cbf29ce484222325");
+        assert_eq!(fnv1a_hex(b"a"), "af63dc4c8601ec8c");
+    }
+}

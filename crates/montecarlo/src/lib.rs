@@ -37,15 +37,25 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod checkpoint;
 pub mod colocations;
 pub mod engine;
+pub mod faults;
 pub mod runner;
 pub mod schedules;
 pub mod scratch;
 pub mod streaming;
 
+pub use checkpoint::{
+    CheckpointError, CheckpointSpec, ColocationSnapshot, DemandSnapshot, CHECKPOINT_VERSION,
+};
 pub use colocations::{ColocationStudy, ColocationTrial};
-pub use engine::{stream_colocation_study, stream_demand_study, EngineConfig, EngineStats};
+pub use engine::{
+    stream_colocation_study, stream_colocation_study_resumable, stream_demand_study,
+    stream_demand_study_resumable, BatchFailure, EngineConfig, EngineError, EngineStats,
+    StudyOptions,
+};
+pub use faults::{BatchFault, FaultKind, FaultPlan, TrialFault};
 pub use schedules::{DemandStudy, DemandTrial};
 pub use scratch::{ScratchStats, TrialScratch};
 pub use streaming::{ColocationStudySummary, DemandStudySummary, Histogram, StatStream, Welford};

@@ -80,8 +80,8 @@ pub use game::{replay_marginals_into, EvalCounters, Game, GameStats, Incremental
 pub use matching::{shapley_from_moments, MatchingGame};
 pub use maxtree::MaxTree;
 pub use parallel::{
-    default_threads, parallel_sampled_shapley, run_parallel, ConvergenceTrace, ParallelConfig,
-    ParallelEstimate, TracePoint,
+    default_threads, panic_message, parallel_sampled_shapley, run_parallel, run_parallel_retrying,
+    ConvergenceTrace, ItemAbandoned, ParallelConfig, ParallelEstimate, RetryCounters, TracePoint,
 };
 pub use sampled::{
     sampled_shapley, sampled_shapley_cached, sampled_shapley_with_scratch, stratified_shapley,

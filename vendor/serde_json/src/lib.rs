@@ -63,7 +63,20 @@ fn write_number(out: &mut String, n: Number) {
     match n {
         Number::PosInt(v) => out.push_str(&v.to_string()),
         Number::NegInt(v) => out.push_str(&v.to_string()),
-        Number::Float(v) if v.is_finite() => out.push_str(&format!("{v}")),
+        Number::Float(v) if v.is_finite() => {
+            // `{}` on f64 is the shortest string that round-trips, but it
+            // drops the float marker for integral values ("1", "-0"),
+            // which would re-parse as integers — losing the sign of -0.0
+            // and the Float kind. Keep a `.0` suffix so every finite f64
+            // re-parses as a bit-identical `Number::Float`, making
+            // serialize → parse → serialize byte-stable (checkpoint
+            // digests depend on this).
+            let s = format!("{v}");
+            out.push_str(&s);
+            if !s.contains(['.', 'e', 'E']) {
+                out.push_str(".0");
+            }
+        }
         // JSON has no Inf/NaN; mirror serde_json's lossy `null`.
         Number::Float(_) => out.push_str("null"),
     }
@@ -418,6 +431,84 @@ mod tests {
                 Value::Number(Number::Float(1000.0)),
             ])
         );
+    }
+
+    #[test]
+    fn negative_zero_keeps_its_sign() {
+        // `{}` formats -0.0 as "-0"; without the float marker the parser
+        // used to classify it as an integer and fold it to +0 — a silent
+        // sign flip inside Welford means serialized through checkpoints.
+        let text = to_string(&Value::Number(Number::Float(-0.0))).unwrap();
+        assert_eq!(text, "-0.0");
+        let back: Value = from_str(&text).unwrap();
+        match back {
+            Value::Number(Number::Float(v)) => {
+                assert_eq!(v.to_bits(), (-0.0f64).to_bits());
+            }
+            other => panic!("-0.0 reparsed as {other:?}"),
+        }
+    }
+
+    #[test]
+    fn integral_floats_stay_floats() {
+        let text = to_string(&Value::Number(Number::Float(1.0))).unwrap();
+        assert_eq!(text, "1.0");
+        let back: Value = from_str(&text).unwrap();
+        assert_eq!(back, Value::Number(Number::Float(1.0)));
+    }
+
+    /// Edge-of-representable values a checkpoint payload can contain:
+    /// signed zeros, the smallest subnormal, extremes, and max-precision
+    /// Welford moments. All must survive serialize → parse with their
+    /// exact bit pattern.
+    fn hard_floats() -> Vec<f64> {
+        let mut vals = vec![
+            0.0,
+            5e-324,            // smallest positive subnormal
+            f64::MIN_POSITIVE, // smallest normal
+            f64::EPSILON,
+            0.1 + 0.2, // classic shortest-representation stress
+            1.0 / 3.0,
+            123_456_789.987_654_32, // max-precision mean-like value
+            2.225_073_858_507_201e-308,
+            1e300, // huge integral value (positional notation)
+            f64::MAX,
+        ];
+        for i in 0..vals.len() {
+            vals.push(-vals[i]);
+        }
+        vals
+    }
+
+    #[test]
+    fn extreme_floats_round_trip_bit_for_bit() {
+        for v in hard_floats() {
+            let text = to_string(&Value::Number(Number::Float(v))).unwrap();
+            let back: Value = from_str(&text).unwrap();
+            match back {
+                Value::Number(Number::Float(r)) => {
+                    assert_eq!(r.to_bits(), v.to_bits(), "value {v:e} via {text}");
+                }
+                other => panic!("{v:e} reparsed as {other:?} via {text}"),
+            }
+        }
+    }
+
+    #[test]
+    fn float_serialization_is_reparse_stable() {
+        // serialize(parse(serialize(x))) == serialize(x): checkpoint
+        // digests recompute the payload text after a parse, so
+        // self-produced JSON must be byte-stable under a round trip.
+        let v = Value::Array(
+            hard_floats()
+                .into_iter()
+                .map(|f| Value::Number(Number::Float(f)))
+                .collect(),
+        );
+        let first = to_string(&v).unwrap();
+        let back: Value = from_str(&first).unwrap();
+        let second = to_string(&back).unwrap();
+        assert_eq!(first, second);
     }
 
     #[test]
