@@ -1,6 +1,11 @@
 //! A tiny `--flag value` argument parser for the experiment binaries
 //! (kept dependency-free on purpose; the binaries take at most a handful
 //! of numeric knobs).
+//!
+//! Every binary declares its flag set up front and parsing **aborts** on
+//! an unknown or duplicated flag with a readable message — a typo like
+//! `--chekpoint-every 5` must not silently run the whole study with
+//! checkpointing disabled.
 
 use std::collections::HashMap;
 
@@ -11,18 +16,22 @@ pub struct Args {
 }
 
 impl Args {
-    /// Parses the process arguments. Flags must look like
+    /// Parses the process arguments against the binary's declared flag
+    /// set (names without the leading `--`). Flags must look like
     /// `--name value`; anything else aborts with a usage hint.
     ///
     /// # Panics
     ///
-    /// Panics (with a readable message) on malformed arguments — these
-    /// binaries are experiment drivers, not servers.
-    pub fn parse() -> Self {
-        Self::parse_from(std::env::args().skip(1))
+    /// Panics (with a readable message) on malformed arguments, on a
+    /// flag not in `known`, and on a repeated flag — these binaries are
+    /// experiment drivers, not servers, and a silently ignored typo
+    /// changes what the experiment measures.
+    pub fn parse(known: &[&str]) -> Self {
+        Self::parse_from(known, std::env::args().skip(1))
     }
 
-    /// Parses an explicit argument list (used by tests).
+    /// Parses an explicit argument list (used by tests); see
+    /// [`Args::parse`] for the strictness contract.
     ///
     /// A flag followed by another flag (or by the end of the list) is a
     /// bare boolean switch and stores `"true"` — `--resume` reads the
@@ -30,14 +39,17 @@ impl Args {
     ///
     /// # Panics
     ///
-    /// Panics on malformed arguments.
-    pub fn parse_from(args: impl IntoIterator<Item = String>) -> Self {
+    /// Panics on malformed arguments and on unknown or duplicate flags.
+    pub fn parse_from(known: &[&str], args: impl IntoIterator<Item = String>) -> Self {
         let mut flags = HashMap::new();
         let mut iter = args.into_iter().peekable();
         while let Some(key) = iter.next() {
             let Some(name) = key.strip_prefix("--") else {
                 panic!("unexpected argument {key:?}; flags look like --name value");
             };
+            if !known.contains(&name) {
+                panic!("unknown flag --{name}{}", unknown_flag_help(name, known));
+            }
             let bare = match iter.peek() {
                 Some(next) => next.starts_with("--"),
                 None => true,
@@ -47,7 +59,9 @@ impl Args {
             } else {
                 iter.next().expect("peeked value")
             };
-            flags.insert(name.to_owned(), value);
+            if flags.insert(name.to_owned(), value).is_some() {
+                panic!("duplicate flag --{name}; each flag may be given once");
+            }
         }
         Self { flags }
     }
@@ -120,12 +134,65 @@ impl Args {
     }
 }
 
+/// The abort message tail for an unknown flag: a "did you mean"
+/// suggestion when a declared flag is close, plus the full declared set.
+fn unknown_flag_help(name: &str, known: &[&str]) -> String {
+    let mut help = String::new();
+    if let Some(best) = known
+        .iter()
+        .map(|k| (edit_distance(name, k), *k))
+        .filter(|&(d, k)| d <= (k.len() / 3).max(1))
+        .min_by_key(|&(d, _)| d)
+    {
+        help.push_str(&format!(" (did you mean --{}?)", best.1));
+    }
+    let mut list: Vec<&str> = known.to_vec();
+    list.sort_unstable();
+    help.push_str("; this binary accepts: ");
+    help.push_str(
+        &list
+            .iter()
+            .map(|k| format!("--{k}"))
+            .collect::<Vec<_>>()
+            .join(", "),
+    );
+    help
+}
+
+/// Levenshtein distance, small inputs only (flag names).
+fn edit_distance(a: &str, b: &str) -> usize {
+    let a: Vec<char> = a.chars().collect();
+    let b: Vec<char> = b.chars().collect();
+    let mut prev: Vec<usize> = (0..=b.len()).collect();
+    let mut cur = vec![0; b.len() + 1];
+    for (i, &ca) in a.iter().enumerate() {
+        cur[0] = i + 1;
+        for (j, &cb) in b.iter().enumerate() {
+            let sub = prev[j] + usize::from(ca != cb);
+            cur[j + 1] = sub.min(prev[j + 1] + 1).min(cur[j] + 1);
+        }
+        std::mem::swap(&mut prev, &mut cur);
+    }
+    prev[b.len()]
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
 
+    const KNOWN: &[&str] = &[
+        "trials",
+        "grid-ci",
+        "threads",
+        "seed",
+        "resume",
+        "verbose",
+        "checkpoint",
+        "checkpoint-every",
+    ];
+
     fn args(s: &[&str]) -> Args {
-        Args::parse_from(s.iter().map(|s| s.to_string()))
+        Args::parse_from(KNOWN, s.iter().map(|s| s.to_string()))
     }
 
     #[test]
@@ -179,5 +246,38 @@ mod tests {
     #[should_panic(expected = "flags look like")]
     fn positional_argument_panics() {
         let _ = args(&["trials"]);
+    }
+
+    #[test]
+    #[should_panic(expected = "unknown flag --chekpoint-every (did you mean --checkpoint-every?)")]
+    fn unknown_flag_aborts_with_a_suggestion() {
+        // The motivating regression: this typo used to silently run the
+        // whole study with checkpointing disabled.
+        let _ = args(&["--chekpoint-every", "5"]);
+    }
+
+    #[test]
+    #[should_panic(expected = "unknown flag --banana")]
+    fn unknown_flag_aborts_without_a_far_fetched_suggestion() {
+        let _ = args(&["--banana", "1"]);
+    }
+
+    #[test]
+    fn unknown_flag_message_lists_the_declared_set() {
+        let caught = std::panic::catch_unwind(|| args(&["--bogus"])).unwrap_err();
+        let message = caught
+            .downcast_ref::<String>()
+            .cloned()
+            .expect("panic carries a message");
+        assert!(
+            message.contains("--checkpoint-every") && message.contains("--trials"),
+            "{message}"
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "duplicate flag --trials")]
+    fn duplicate_flag_aborts() {
+        let _ = args(&["--trials", "5", "--trials", "6"]);
     }
 }

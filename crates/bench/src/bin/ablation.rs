@@ -105,8 +105,11 @@ fn run_rup(trials: usize, occupancy: OccupancyModel) -> (f64, f64, f64) {
     (avg.mean(), avg.quantile(0.95), worst.mean())
 }
 
+/// Command-line flags this binary accepts.
+const FLAGS: &[&str] = &["trials"];
+
 fn main() {
-    let args = Args::parse();
+    let args = Args::parse(FLAGS);
     let trials = args.usize("trials", 500);
 
     println!("Ablation: Fair-CO2 colocation design choices ({trials} trials each)");

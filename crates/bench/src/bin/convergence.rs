@@ -11,7 +11,7 @@
 
 use fairco2_bench::{
     exit_on_engine_error, print_report, sample_schedule, study_options, write_json, Args,
-    SamplingReport,
+    SamplingReport, CHECKPOINT_FLAGS,
 };
 use fairco2_montecarlo::colocations::ColocationStudy;
 use fairco2_montecarlo::engine::{
@@ -61,8 +61,11 @@ fn print_points(title: &str, points: &[Point]) {
     }
 }
 
+/// Command-line flags this binary accepts.
+const FLAGS: &[&str] = &["max-trials", "threads", "permutations"];
+
 fn main() {
-    let args = Args::parse();
+    let args = Args::parse(&[FLAGS, CHECKPOINT_FLAGS].concat());
     let max_trials = args.usize("max-trials", 4000);
     let threads = args.usize("threads", default_threads());
     let marks = checkpoints(max_trials);

@@ -17,8 +17,11 @@ struct Curve {
     mean: f64,
 }
 
+/// Command-line flags this binary accepts.
+const FLAGS: &[&str] = &["seed", "steps", "peak"];
+
 fn main() {
-    let args = Args::parse();
+    let args = Args::parse(FLAGS);
     let seed = args.u64("seed", 1);
     let steps = args.usize("steps", 12);
     let peak = args.f64("peak", 96.0);

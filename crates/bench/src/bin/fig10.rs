@@ -29,8 +29,11 @@ struct WorkloadPanel {
     max_saving: f64,
 }
 
+/// Command-line flags this binary accepts.
+const FLAGS: &[&str] = &["max-grid-ci", "ci-steps"];
+
 fn main() {
-    let args = Args::parse();
+    let args = Args::parse(FLAGS);
     let max_ci = args.f64("max-grid-ci", 700.0);
     let steps = args.usize("ci-steps", 15);
 

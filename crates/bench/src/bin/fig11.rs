@@ -22,8 +22,11 @@ struct Fig11 {
     error_hourly_pct: Vec<f64>,
 }
 
+/// Command-line flags this binary accepts.
+const FLAGS: &[&str] = &["seed", "noise-sigma"];
+
 fn main() {
-    let args = Args::parse();
+    let args = Args::parse(FLAGS);
     let seed = args.u64("seed", 7);
     let noise = args.f64("noise-sigma", 0.008);
 

@@ -27,8 +27,11 @@ struct Fig12 {
     latency_target_s: f64,
 }
 
+/// Command-line flags this binary accepts.
+const FLAGS: &[&str] = &["california-ci", "sweden-ci", "latency-target"];
+
 fn main() {
-    let args = Args::parse();
+    let args = Args::parse(FLAGS);
     let california_ci = args.f64("california-ci", 250.0);
     let sweden_ci = args.f64("sweden-ci", 25.0);
     let target = args.f64("latency-target", 2.0);

@@ -36,8 +36,11 @@ struct Fig13 {
     hours: Vec<HourRow>,
 }
 
+/// Command-line flags this binary accepts.
+const FLAGS: &[&str] = &["seed", "days"];
+
 fn main() {
-    let args = Args::parse();
+    let args = Args::parse(FLAGS);
     let seed = args.u64("seed", 13);
     let days = args.usize("days", 7) as u32;
 

@@ -26,8 +26,11 @@ struct Fig4 {
     ground_truth_log2_coalitions: f64,
 }
 
+/// Command-line flags this binary accepts.
+const FLAGS: &[&str] = &["seed"];
+
 fn main() {
-    let args = Args::parse();
+    let args = Args::parse(FLAGS);
     let seed = args.u64("seed", 7);
 
     let trace = AzureLikeTrace::builder().days(30).seed(seed).build();

@@ -20,8 +20,11 @@ struct Fig5 {
     demand_worst_ape_pct: f64,
 }
 
+/// Command-line flags this binary accepts.
+const FLAGS: &[&str] = &["seed", "train-days", "days"];
+
 fn main() {
-    let args = Args::parse();
+    let args = Args::parse(FLAGS);
     let seed = args.u64("seed", 7);
     let train_days = args.usize("train-days", 21) as u32;
     let total_days = args.usize("days", 30) as u32;

@@ -24,8 +24,11 @@ struct Row {
     fair_dev_pct: f64,
 }
 
+/// Command-line flags this binary accepts.
+const FLAGS: &[&str] = &["grid-ci"];
+
 fn main() {
-    let args = Args::parse();
+    let args = Args::parse(FLAGS);
     let grid_ci = args.f64("grid-ci", 250.0);
 
     use WorkloadKind::*;

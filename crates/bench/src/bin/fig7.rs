@@ -16,7 +16,7 @@
 
 use fairco2_bench::{
     exit_on_engine_error, print_report, sample_schedule, study_options, write_json, Args,
-    SamplingReport,
+    SamplingReport, CHECKPOINT_FLAGS,
 };
 use fairco2_montecarlo::runner::default_threads;
 use fairco2_montecarlo::schedules::DemandStudy;
@@ -110,8 +110,21 @@ fn print_panel(p: &Panel) {
     }
 }
 
+/// Command-line flags this binary accepts.
+const FLAGS: &[&str] = &[
+    "trials",
+    "max-workloads",
+    "min-slices",
+    "max-slices",
+    "seed",
+    "threads",
+    "batch",
+    "dump-trials",
+    "permutations",
+];
+
 fn main() {
-    let args = Args::parse();
+    let args = Args::parse(&[FLAGS, CHECKPOINT_FLAGS].concat());
     let study = DemandStudy {
         trials: args.usize("trials", 10_000),
         max_workloads: args.usize("max-workloads", 22),

@@ -15,7 +15,7 @@
 
 use fairco2_bench::{
     exit_on_engine_error, print_report, sample_schedule, study_options, write_json, Args,
-    SamplingReport,
+    SamplingReport, CHECKPOINT_FLAGS,
 };
 use fairco2_montecarlo::colocations::ColocationStudy;
 use fairco2_montecarlo::runner::default_threads;
@@ -105,8 +105,24 @@ fn print_panel(p: &Panel) {
     }
 }
 
+/// Command-line flags this binary accepts.
+const FLAGS: &[&str] = &[
+    "trials",
+    "min-workloads",
+    "max-workloads",
+    "min-grid-ci",
+    "max-grid-ci",
+    "min-samples",
+    "max-samples",
+    "seed",
+    "threads",
+    "batch",
+    "dump-trials",
+    "permutations",
+];
+
 fn main() {
-    let args = Args::parse();
+    let args = Args::parse(&[FLAGS, CHECKPOINT_FLAGS].concat());
     let study = ColocationStudy {
         trials: args.usize("trials", 10_000),
         min_workloads: args.usize("min-workloads", 4),

@@ -9,7 +9,7 @@
 //! --checkpoint-every <batches> --resume --retries N`. Writes
 //! `results/fig9.json`.
 
-use fairco2_bench::{exit_on_engine_error, study_options, write_json, Args};
+use fairco2_bench::{exit_on_engine_error, study_options, write_json, Args, CHECKPOINT_FLAGS};
 use fairco2_montecarlo::colocations::ColocationStudy;
 use fairco2_montecarlo::runner::default_threads;
 use fairco2_montecarlo::streaming::{KindEquity, DEFAULT_BATCH_TRIALS};
@@ -61,8 +61,11 @@ fn print_block(title: &str, rows: &[Distribution]) {
     }
 }
 
+/// Command-line flags this binary accepts.
+const FLAGS: &[&str] = &["trials", "seed", "threads", "batch"];
+
 fn main() {
-    let args = Args::parse();
+    let args = Args::parse(&[FLAGS, CHECKPOINT_FLAGS].concat());
     let study = ColocationStudy {
         trials: args.usize("trials", 2_000),
         base_seed: args.u64("seed", 0xF19_0009),

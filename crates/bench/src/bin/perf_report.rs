@@ -18,13 +18,21 @@
 //!   the retained per-period path on a year-long 5-minute trace under the
 //!   paper hierarchy (bit-identity asserted), plus batched
 //!   `workload_carbon_batch` billing-query throughput — written to
-//!   `results/BENCH_temporal.json`.
+//!   `results/BENCH_temporal.json`;
+//! * a `service` section driving the always-on attribution service
+//!   (`fairco2-serve`) under concurrent ingest + query load: sustained
+//!   queries per second and p99 batch latency while epochs publish, a
+//!   bit-identity gate against a from-scratch rebuild, and sharded batch
+//!   throughput — written to `results/BENCH_service.json`.
 //!
-//! Tune with `--trials N --threads N --max-n N --permutations N
-//! --mc-trials N --temporal-samples N --temporal-queries N --seed N`. Each
-//! scenario reports the best wall-clock over the trials (the usual
-//! benchmarking floor) plus the work counters of one run, and the
-//! process-wide peak RSS (`VmHWM`) is recorded at the end.
+//! `--section all|shapley|monte-carlo|temporal|service` picks one section
+//! (default `all`). Tune with `--trials N --threads N --max-n N
+//! --permutations N --mc-trials N --temporal-samples N
+//! --temporal-queries N --service-ms N --service-tenants N
+//! --service-batch N --seed N`. Each scenario reports the best wall-clock
+//! over the trials (the usual benchmarking floor) plus the work counters
+//! of one run, and the process-wide peak RSS (`VmHWM`) is recorded at the
+//! end of each section.
 
 use std::time::Instant;
 
@@ -36,8 +44,9 @@ use fairco2_montecarlo::schedules::DemandStudy;
 use fairco2_montecarlo::streaming::{DemandStudySummary, DEFAULT_BATCH_TRIALS};
 use fairco2_montecarlo::{
     stream_demand_study, stream_demand_study_resumable, CheckpointSpec, DemandSnapshot,
-    EngineConfig, EngineError, EngineStats, FaultPlan, StudyOptions,
+    EngineConfig, EngineError, EngineStats, FaultPlan, StudyOptions, WriteFault,
 };
+use fairco2_serve::{demand_sample, run_load, AttributionService, LoadOptions, ServiceConfig};
 use fairco2_shapley::cascade::{BillingQuery, CascadeScratch};
 use fairco2_shapley::default_threads;
 use fairco2_shapley::exact::{exact_shapley, exact_shapley_fast, parallel_exact_shapley};
@@ -316,80 +325,108 @@ fn peak_rss_kib() -> Option<u64> {
     line.split_whitespace().nth(1)?.parse().ok()
 }
 
+/// Command-line flags this binary accepts.
+const FLAGS: &[&str] = &[
+    "trials",
+    "threads",
+    "max-n",
+    "permutations",
+    "seed",
+    "mc-trials",
+    "temporal-samples",
+    "temporal-queries",
+    "section",
+    "service-ms",
+    "service-tenants",
+    "service-batch",
+    "service-windows",
+    "service-leaf-samples",
+];
+
+/// Sections `--section` can pick.
+const SECTIONS: &[&str] = &["all", "shapley", "monte-carlo", "temporal", "service"];
+
 fn main() {
-    let args = Args::parse();
+    let args = Args::parse(FLAGS);
     let trials = args.usize("trials", 5).max(1);
     let threads = args.usize("threads", default_threads());
     let max_n = args.usize("max-n", 20).max(1);
     let permutations = args.usize("permutations", 4096);
     let seed = args.u64("seed", 7);
+    let section = args.str("section").unwrap_or("all").to_owned();
+    assert!(
+        SECTIONS.contains(&section.as_str()),
+        "unknown --section {section}; expected one of {SECTIONS:?}"
+    );
+    let run = |name: &str| section == "all" || section == name;
 
-    println!("perf report: {trials} trials, {threads} threads");
+    println!("perf report: {trials} trials, {threads} threads, section {section}");
 
-    let mut exact = Vec::new();
-    // `24` is `MAX_EXACT_PLAYERS`; pass `--max-n 24` to include it (its
-    // 2²⁴-entry table dominates the reported peak RSS).
-    for n in [12usize, 16, 20, 24] {
-        if n > max_n {
-            continue;
-        }
-        let game = peak_game(n, 8, seed + n as u64);
-        let reference = exact_shapley(&game).unwrap();
-        let serial_secs = best_secs(trials, || exact_shapley(&game).unwrap());
-        let parallel_secs = best_secs(trials, || {
-            let phi = parallel_exact_shapley(&game, threads).unwrap();
-            for (a, b) in phi.iter().zip(&reference) {
-                assert_eq!(
-                    a.to_bits(),
-                    b.to_bits(),
-                    "parallel exact must be bit-identical"
-                );
+    if run("shapley") {
+        let mut exact = Vec::new();
+        // `24` is `MAX_EXACT_PLAYERS`; pass `--max-n 24` to include it (its
+        // 2²⁴-entry table dominates the reported peak RSS).
+        for n in [12usize, 16, 20, 24] {
+            if n > max_n {
+                continue;
             }
-            phi
-        });
-        let row = ExactRow {
-            players: n,
-            serial_secs,
-            parallel_secs,
-            speedup: serial_secs / parallel_secs,
-        };
-        println!(
-            "exact      n={:<2}  serial {:.4}s  parallel {:.4}s  ({:.2}x)",
-            row.players, row.serial_secs, row.parallel_secs, row.speedup
-        );
-        exact.push(row);
-    }
-
-    let config = SampleConfig {
-        max_permutations: permutations,
-        target_stderr: 0.0,
-        min_permutations: 1,
-        antithetic: true,
-    };
-    let mut sampling = Vec::new();
-    for n in [12usize, 16] {
-        if n > max_n {
-            continue;
+            let game = peak_game(n, 8, seed + n as u64);
+            let reference = exact_shapley(&game).unwrap();
+            let serial_secs = best_secs(trials, || exact_shapley(&game).unwrap());
+            let parallel_secs = best_secs(trials, || {
+                let phi = parallel_exact_shapley(&game, threads).unwrap();
+                for (a, b) in phi.iter().zip(&reference) {
+                    assert_eq!(
+                        a.to_bits(),
+                        b.to_bits(),
+                        "parallel exact must be bit-identical"
+                    );
+                }
+                phi
+            });
+            let row = ExactRow {
+                players: n,
+                serial_secs,
+                parallel_secs,
+                speedup: serial_secs / parallel_secs,
+            };
+            println!(
+                "exact      n={:<2}  serial {:.4}s  parallel {:.4}s  ({:.2}x)",
+                row.players, row.serial_secs, row.parallel_secs, row.speedup
+            );
+            exact.push(row);
         }
-        let game = peak_game(n, 8, seed + 100 + n as u64);
-        let uncached_secs = best_secs(trials, || {
-            sampled_shapley(&game, &config, &mut StdRng::seed_from_u64(seed))
-        });
-        let cached_secs = best_secs(trials, || {
-            sampled_shapley_cached(&game, &config, &mut StdRng::seed_from_u64(seed))
-        });
-        let uncached = sampled_shapley(&game, &config, &mut StdRng::seed_from_u64(seed));
-        let cached = sampled_shapley_cached(&game, &config, &mut StdRng::seed_from_u64(seed));
-        let row = SamplingRow {
-            players: n,
-            permutations,
-            uncached_secs,
-            cached_secs,
-            uncached_evals: uncached.counters.coalition_evals,
-            cached_evals: cached.counters.coalition_evals,
-            cache_hit_rate: cached.counters.cache_hit_rate(),
+
+        let config = SampleConfig {
+            max_permutations: permutations,
+            target_stderr: 0.0,
+            min_permutations: 1,
+            antithetic: true,
         };
-        println!(
+        let mut sampling = Vec::new();
+        for n in [12usize, 16] {
+            if n > max_n {
+                continue;
+            }
+            let game = peak_game(n, 8, seed + 100 + n as u64);
+            let uncached_secs = best_secs(trials, || {
+                sampled_shapley(&game, &config, &mut StdRng::seed_from_u64(seed))
+            });
+            let cached_secs = best_secs(trials, || {
+                sampled_shapley_cached(&game, &config, &mut StdRng::seed_from_u64(seed))
+            });
+            let uncached = sampled_shapley(&game, &config, &mut StdRng::seed_from_u64(seed));
+            let cached = sampled_shapley_cached(&game, &config, &mut StdRng::seed_from_u64(seed));
+            let row = SamplingRow {
+                players: n,
+                permutations,
+                uncached_secs,
+                cached_secs,
+                uncached_evals: uncached.counters.coalition_evals,
+                cached_evals: cached.counters.coalition_evals,
+                cache_hit_rate: cached.counters.cache_hit_rate(),
+            };
+            println!(
             "sampling   n={:<2}  uncached {:.4}s / {} evals  cached {:.4}s / {} evals  ({:.1}% hits)",
             row.players,
             row.uncached_secs,
@@ -398,189 +435,196 @@ fn main() {
             row.cached_evals,
             100.0 * row.cache_hit_rate
         );
-        sampling.push(row);
-    }
+            sampling.push(row);
+        }
 
-    let mut toggle = Vec::new();
-    // Steps start above `SCAN_FILL_MAX_STEPS` (64): at or below it the
-    // hybrid fill routes `PeakDemandGame` to the flat re-scan itself, so
-    // the tree-vs-scan comparison would measure two scans.
-    for steps in [128usize, 512, 4096] {
-        let n = 14.min(max_n);
-        let game = windowed_peak_game(n, steps, seed + 200 + steps as u64);
-        let scan = ScanPeak(game.clone());
-        let tree_secs = best_secs(trials, || exact_shapley_fast(&game).unwrap());
-        let scan_secs = best_secs(trials, || exact_shapley_fast(&scan).unwrap());
-        let row = ToggleRow {
-            players: n,
-            steps,
-            scan_secs,
-            tree_secs,
-            speedup: scan_secs / tree_secs,
+        let mut toggle = Vec::new();
+        // Steps start above `SCAN_FILL_MAX_STEPS` (64): at or below it the
+        // hybrid fill routes `PeakDemandGame` to the flat re-scan itself, so
+        // the tree-vs-scan comparison would measure two scans.
+        for steps in [128usize, 512, 4096] {
+            let n = 14.min(max_n);
+            let game = windowed_peak_game(n, steps, seed + 200 + steps as u64);
+            let scan = ScanPeak(game.clone());
+            let tree_secs = best_secs(trials, || exact_shapley_fast(&game).unwrap());
+            let scan_secs = best_secs(trials, || exact_shapley_fast(&scan).unwrap());
+            let row = ToggleRow {
+                players: n,
+                steps,
+                scan_secs,
+                tree_secs,
+                speedup: scan_secs / tree_secs,
+            };
+            println!(
+                "toggle     steps={:<4} scan {:.4}s  tree {:.4}s  ({:.2}x)",
+                row.steps, row.scan_secs, row.tree_secs, row.speedup
+            );
+            toggle.push(row);
+        }
+
+        let report = PerfReport {
+            threads,
+            trials,
+            exact,
+            sampling,
+            toggle,
+            peak_rss_kib: peak_rss_kib(),
         };
-        println!(
-            "toggle     steps={:<4} scan {:.4}s  tree {:.4}s  ({:.2}x)",
-            row.steps, row.scan_secs, row.tree_secs, row.speedup
-        );
-        toggle.push(row);
+        if let Some(kib) = report.peak_rss_kib {
+            println!("peak RSS: {:.1} MiB", kib as f64 / 1024.0);
+        }
+        let path = write_json("BENCH_shapley", &report);
+        println!("wrote {}", path.display());
     }
-
-    let report = PerfReport {
-        threads,
-        trials,
-        exact,
-        sampling,
-        toggle,
-        peak_rss_kib: peak_rss_kib(),
-    };
-    if let Some(kib) = report.peak_rss_kib {
-        println!("peak RSS: {:.1} MiB", kib as f64 / 1024.0);
-    }
-    let path = write_json("BENCH_shapley", &report);
-    println!("wrote {}", path.display());
 
     // --- monte_carlo: demand-study throughput, end to end ---
-    let mc_trials = args.usize("mc-trials", 1000).max(1);
-    let study = DemandStudy {
-        trials: mc_trials,
-        ..DemandStudy::default()
-    };
-    println!(
-        "monte carlo: {} demand trials, ≤{} workloads, 1 thread",
-        mc_trials, study.max_workloads
-    );
+    if run("monte-carlo") {
+        let mc_trials = args.usize("mc-trials", 1000).max(1);
+        let study = DemandStudy {
+            trials: mc_trials,
+            ..DemandStudy::default()
+        };
+        println!(
+            "monte carlo: {} demand trials, ≤{} workloads, 1 thread",
+            mc_trials, study.max_workloads
+        );
 
-    // The replica must agree with the production trial before its timing
-    // means anything: same deviations, up to accumulation-order rounding.
-    for t in 0..3.min(mc_trials) {
-        let replica = baseline_demand_trial(&study, t);
-        let reference = study.run_trial(t);
-        for (a, b) in replica.iter().zip([
-            &reference.rup,
-            &reference.demand_proportional,
-            &reference.fair_co2,
-        ]) {
-            let close = |x: f64, y: f64| (x - y).abs() < 1e-6 * y.abs().max(1.0);
-            assert!(
-                close(a.average_pct, b.average_pct) && close(a.worst_case_pct, b.worst_case_pct),
-                "baseline replica diverged on trial {t}: {a:?} vs {b:?}"
-            );
+        // The replica must agree with the production trial before its timing
+        // means anything: same deviations, up to accumulation-order rounding.
+        for t in 0..3.min(mc_trials) {
+            let replica = baseline_demand_trial(&study, t);
+            let reference = study.run_trial(t);
+            for (a, b) in replica.iter().zip([
+                &reference.rup,
+                &reference.demand_proportional,
+                &reference.fair_co2,
+            ]) {
+                let close = |x: f64, y: f64| (x - y).abs() < 1e-6 * y.abs().max(1.0);
+                assert!(
+                    close(a.average_pct, b.average_pct)
+                        && close(a.worst_case_pct, b.worst_case_pct),
+                    "baseline replica diverged on trial {t}: {a:?} vs {b:?}"
+                );
+            }
         }
-    }
 
-    // Best of two passes per variant, like the solver sections — a study
-    // run is long enough that scheduler noise otherwise dominates the
-    // collect-vs-streaming margin.
-    const MC_REPS: usize = 2;
-    let baseline_secs = best_secs(MC_REPS, || {
-        for t in 0..mc_trials {
-            std::hint::black_box(baseline_demand_trial(&study, t));
-        }
-    });
+        // Best of two passes per variant, like the solver sections — a study
+        // run is long enough that scheduler noise otherwise dominates the
+        // collect-vs-streaming margin.
+        const MC_REPS: usize = 2;
+        let baseline_secs = best_secs(MC_REPS, || {
+            for t in 0..mc_trials {
+                std::hint::black_box(baseline_demand_trial(&study, t));
+            }
+        });
 
-    let collect_secs = best_secs(MC_REPS, || {
+        let collect_secs = best_secs(MC_REPS, || {
+            let collected: Vec<_> = (0..mc_trials).map(|t| study.run_trial(t)).collect();
+            DemandStudySummary::from_trials(&study, &collected, DEFAULT_BATCH_TRIALS)
+        });
         let collected: Vec<_> = (0..mc_trials).map(|t| study.run_trial(t)).collect();
-        DemandStudySummary::from_trials(&study, &collected, DEFAULT_BATCH_TRIALS)
-    });
-    let collected: Vec<_> = (0..mc_trials).map(|t| study.run_trial(t)).collect();
-    let collect_summary = DemandStudySummary::from_trials(&study, &collected, DEFAULT_BATCH_TRIALS);
+        let collect_summary =
+            DemandStudySummary::from_trials(&study, &collected, DEFAULT_BATCH_TRIALS);
 
-    let cfg = EngineConfig {
-        threads: 1,
-        batch_trials: DEFAULT_BATCH_TRIALS,
-        collect_trials: false,
-    };
-    let streaming_secs = best_secs(MC_REPS, || stream_demand_study(&study, cfg));
-    let (summary, _, engine) = stream_demand_study(&study, cfg);
-    assert_eq!(
-        summary.all.rup.average.mean().to_bits(),
-        collect_summary.all.rup.average.mean().to_bits(),
-        "streaming summary must be bit-identical to collect-then-summarize"
-    );
+        let cfg = EngineConfig {
+            threads: 1,
+            batch_trials: DEFAULT_BATCH_TRIALS,
+            collect_trials: false,
+        };
+        let streaming_secs = best_secs(MC_REPS, || stream_demand_study(&study, cfg));
+        let (summary, _, engine) = stream_demand_study(&study, cfg);
+        assert_eq!(
+            summary.all.rup.average.mean().to_bits(),
+            collect_summary.all.rup.average.mean().to_bits(),
+            "streaming summary must be bit-identical to collect-then-summarize"
+        );
 
-    // Checkpoint/resume cost on a capped sub-study: kill mid-run via the
-    // deterministic fault plan, resume, and demand bit-identity with the
-    // uninterrupted reference; then time the snapshot write and restore
-    // paths in isolation.
-    let ck_trials = mc_trials.min(200);
-    let ck_study = DemandStudy {
-        trials: ck_trials,
-        ..DemandStudy::default()
-    };
-    let ck_path = std::env::temp_dir().join(format!("fairco2-perf-{}.ckpt", std::process::id()));
-    let _ = std::fs::remove_file(&ck_path);
-    let ck_batches = ck_trials.div_ceil(DEFAULT_BATCH_TRIALS);
-    let (ck_reference, _, _) =
-        stream_demand_study_resumable(&ck_study, cfg, &StudyOptions::default(), |_, _| {})
-            .expect("fault-free sub-study");
-    let killed = stream_demand_study_resumable(
-        &ck_study,
-        cfg,
-        &StudyOptions {
-            checkpoint: Some(CheckpointSpec::new(&ck_path, 1)),
-            faults: FaultPlan {
-                kill_after_writes: Some((ck_batches / 2).max(1)),
-                ..FaultPlan::default()
+        // Checkpoint/resume cost on a capped sub-study: kill mid-run via the
+        // deterministic fault plan, resume, and demand bit-identity with the
+        // uninterrupted reference; then time the snapshot write and restore
+        // paths in isolation.
+        let ck_trials = mc_trials.min(200);
+        let ck_study = DemandStudy {
+            trials: ck_trials,
+            ..DemandStudy::default()
+        };
+        let ck_path =
+            std::env::temp_dir().join(format!("fairco2-perf-{}.ckpt", std::process::id()));
+        let _ = std::fs::remove_file(&ck_path);
+        let ck_batches = ck_trials.div_ceil(DEFAULT_BATCH_TRIALS);
+        let (ck_reference, _, _) =
+            stream_demand_study_resumable(&ck_study, cfg, &StudyOptions::default(), |_, _| {})
+                .expect("fault-free sub-study");
+        let killed = stream_demand_study_resumable(
+            &ck_study,
+            cfg,
+            &StudyOptions {
+                checkpoint: Some(CheckpointSpec::new(&ck_path, 1)),
+                faults: FaultPlan {
+                    kill_after_writes: Some((ck_batches / 2).max(1)),
+                    ..FaultPlan::default()
+                },
+                ..StudyOptions::default()
             },
-            ..StudyOptions::default()
-        },
-        |_, _| {},
-    );
-    assert!(
-        matches!(killed, Err(EngineError::Killed { .. })),
-        "kill plan must interrupt the sub-study: {killed:?}"
-    );
-    let checkpoint_bytes = std::fs::metadata(&ck_path)
-        .expect("kill leaves a snapshot behind")
-        .len();
-    let (resumed, _, _) = stream_demand_study_resumable(
-        &ck_study,
-        cfg,
-        &StudyOptions {
-            checkpoint: Some(CheckpointSpec::new(&ck_path, 1)),
-            resume: true,
-            ..StudyOptions::default()
-        },
-        |_, _| {},
-    )
-    .expect("resume completes the sub-study");
-    let bits = |s: &DemandStudySummary| serde_json::to_string(s).expect("summaries serialize");
-    assert_eq!(
-        bits(&resumed),
-        bits(&ck_reference),
-        "resumed sub-study must be bit-identical to the uninterrupted run"
-    );
-    let fingerprint = demand_fingerprint(&ck_study, DEFAULT_BATCH_TRIALS);
-    let snapshot = DemandSnapshot::load(&ck_path, &fingerprint).expect("snapshot validates");
-    let checkpoint_restore_secs = best_secs(trials, || {
-        DemandSnapshot::load(&ck_path, &fingerprint).expect("snapshot validates")
-    });
-    let checkpoint_write_secs = best_secs(trials, || {
-        snapshot.save(&ck_path, false).expect("snapshot writes")
-    });
-    let _ = std::fs::remove_file(&ck_path);
+            |_, _| {},
+        );
+        assert!(
+            matches!(killed, Err(EngineError::Killed { .. })),
+            "kill plan must interrupt the sub-study: {killed:?}"
+        );
+        let checkpoint_bytes = std::fs::metadata(&ck_path)
+            .expect("kill leaves a snapshot behind")
+            .len();
+        let (resumed, _, _) = stream_demand_study_resumable(
+            &ck_study,
+            cfg,
+            &StudyOptions {
+                checkpoint: Some(CheckpointSpec::new(&ck_path, 1)),
+                resume: true,
+                ..StudyOptions::default()
+            },
+            |_, _| {},
+        )
+        .expect("resume completes the sub-study");
+        let bits = |s: &DemandStudySummary| serde_json::to_string(s).expect("summaries serialize");
+        assert_eq!(
+            bits(&resumed),
+            bits(&ck_reference),
+            "resumed sub-study must be bit-identical to the uninterrupted run"
+        );
+        let fingerprint = demand_fingerprint(&ck_study, DEFAULT_BATCH_TRIALS);
+        let snapshot = DemandSnapshot::load(&ck_path, &fingerprint).expect("snapshot validates");
+        let checkpoint_restore_secs = best_secs(trials, || {
+            DemandSnapshot::load(&ck_path, &fingerprint).expect("snapshot validates")
+        });
+        let checkpoint_write_secs = best_secs(trials, || {
+            snapshot
+                .save(&ck_path, WriteFault::None)
+                .expect("snapshot writes")
+        });
+        let _ = std::fs::remove_file(&ck_path);
 
-    let per_sec = |secs: f64| mc_trials as f64 / secs;
-    let mc = MonteCarloReport {
-        trials: mc_trials,
-        max_workloads: study.max_workloads,
-        baseline_secs,
-        baseline_trials_per_sec: per_sec(baseline_secs),
-        collect_secs,
-        collect_trials_per_sec: per_sec(collect_secs),
-        streaming_secs,
-        streaming_trials_per_sec: per_sec(streaming_secs),
-        speedup_vs_baseline: baseline_secs / streaming_secs,
-        speedup_vs_collect: collect_secs / streaming_secs,
-        engine,
-        checkpoint_trials: ck_trials,
-        checkpoint_bytes,
-        checkpoint_write_secs,
-        checkpoint_restore_secs,
-        checkpoint_resume_bit_identical: true,
-        peak_rss_kib: peak_rss_kib(),
-    };
-    println!(
+        let per_sec = |secs: f64| mc_trials as f64 / secs;
+        let mc = MonteCarloReport {
+            trials: mc_trials,
+            max_workloads: study.max_workloads,
+            baseline_secs,
+            baseline_trials_per_sec: per_sec(baseline_secs),
+            collect_secs,
+            collect_trials_per_sec: per_sec(collect_secs),
+            streaming_secs,
+            streaming_trials_per_sec: per_sec(streaming_secs),
+            speedup_vs_baseline: baseline_secs / streaming_secs,
+            speedup_vs_collect: collect_secs / streaming_secs,
+            engine,
+            checkpoint_trials: ck_trials,
+            checkpoint_bytes,
+            checkpoint_write_secs,
+            checkpoint_restore_secs,
+            checkpoint_resume_bit_identical: true,
+            peak_rss_kib: peak_rss_kib(),
+        };
+        println!(
         "monte carlo  baseline {:.3}s ({:.1}/s)  collect {:.3}s ({:.1}/s)  streaming {:.3}s ({:.1}/s)",
         mc.baseline_secs,
         mc.baseline_trials_per_sec,
@@ -589,137 +633,139 @@ fn main() {
         mc.streaming_secs,
         mc.streaming_trials_per_sec
     );
-    println!(
+        println!(
         "monte carlo  {:.2}x vs pre-streaming baseline, {:.2}x vs collect; scratch grows {} / reuses {}",
         mc.speedup_vs_baseline, mc.speedup_vs_collect, mc.engine.scratch.table_grows, mc.engine.scratch.table_reuses
     );
-    println!(
+        println!(
         "monte carlo  checkpoint {} B: write {:.1} µs, restore {:.1} µs; kill/resume bit-identical over {} trials",
         mc.checkpoint_bytes,
         mc.checkpoint_write_secs * 1.0e6,
         mc.checkpoint_restore_secs * 1.0e6,
         mc.checkpoint_trials
     );
-    if let Some(kib) = mc.peak_rss_kib {
-        println!("monte carlo  peak RSS {:.1} MiB", kib as f64 / 1024.0);
+        if let Some(kib) = mc.peak_rss_kib {
+            println!("monte carlo  peak RSS {:.1} MiB", kib as f64 / 1024.0);
+        }
+        let path = write_json("BENCH_montecarlo", &mc);
+        println!("wrote {}", path.display());
     }
-    let path = write_json("BENCH_montecarlo", &mc);
-    println!("wrote {}", path.display());
 
     // --- temporal: flat cascade + batched billing queries ---
-    let samples = args.usize("temporal-samples", 105_120).max(8_640); // 365 d × 288
-    let queries = args.usize("temporal-queries", 1_000_000).max(1);
-    let step = 300u32;
-    let hierarchy = TemporalShapley::paper_hierarchy();
-    println!(
-        "temporal: {samples} samples × splits {:?}, {queries} queries",
-        hierarchy.splits()
-    );
+    if run("temporal") {
+        let samples = args.usize("temporal-samples", 105_120).max(8_640); // 365 d × 288
+        let queries = args.usize("temporal-queries", 1_000_000).max(1);
+        let step = 300u32;
+        let hierarchy = TemporalShapley::paper_hierarchy();
+        println!(
+            "temporal: {samples} samples × splits {:?}, {queries} queries",
+            hierarchy.splits()
+        );
 
-    // A year of 5-minute demand with diurnal + weekly structure and
-    // occasional idle spells (so the stranding path runs at scale too).
-    let demand = TimeSeries::from_fn(0, step, samples, |t| {
-        let day = t as f64 / 86_400.0;
-        let base = 40.0
-            + 25.0 * (day * std::f64::consts::TAU).sin().abs()
-            + 10.0 * (day / 7.0 * std::f64::consts::TAU).cos();
-        if (t / step as i64) % 97 == 96 {
-            0.0
-        } else {
-            base.max(0.0)
-        }
-    })
-    .expect("year-long trace is non-empty");
-    let total_carbon = 1.0e6;
+        // A year of 5-minute demand with diurnal + weekly structure and
+        // occasional idle spells (so the stranding path runs at scale too).
+        let demand = TimeSeries::from_fn(0, step, samples, |t| {
+            let day = t as f64 / 86_400.0;
+            let base = 40.0
+                + 25.0 * (day * std::f64::consts::TAU).sin().abs()
+                + 10.0 * (day / 7.0 * std::f64::consts::TAU).cos();
+            if (t / step as i64) % 97 == 96 {
+                0.0
+            } else {
+                base.max(0.0)
+            }
+        })
+        .expect("year-long trace is non-empty");
+        let total_carbon = 1.0e6;
 
-    let reference = hierarchy
-        .attribute_per_period(&demand, total_carbon)
-        .expect("paper hierarchy divides the trace");
-    let flat = hierarchy.attribute(&demand, total_carbon).unwrap();
-    assert_attributions_identical("flat vs per-period", &reference, &flat);
-    let parallel = hierarchy
-        .attribute_parallel(&demand, total_carbon, threads)
-        .unwrap();
-    assert_attributions_identical("parallel vs per-period", &reference, &parallel);
-
-    let per_period_secs = best_secs(trials, || {
-        hierarchy
+        let reference = hierarchy
             .attribute_per_period(&demand, total_carbon)
-            .unwrap()
-    });
-    let flat_fresh_secs = best_secs(trials, || {
-        hierarchy.attribute(&demand, total_carbon).unwrap()
-    });
-    let mut scratch = CascadeScratch::new();
-    hierarchy
-        .attribute_with_scratch(&demand, total_carbon, 1, &mut scratch)
-        .unwrap();
-    let flat_scratch_secs = best_secs(trials, || {
+            .expect("paper hierarchy divides the trace");
+        let flat = hierarchy.attribute(&demand, total_carbon).unwrap();
+        assert_attributions_identical("flat vs per-period", &reference, &flat);
+        let parallel = hierarchy
+            .attribute_parallel(&demand, total_carbon, threads)
+            .unwrap();
+        assert_attributions_identical("parallel vs per-period", &reference, &parallel);
+
+        let per_period_secs = best_secs(trials, || {
+            hierarchy
+                .attribute_per_period(&demand, total_carbon)
+                .unwrap()
+        });
+        let flat_fresh_secs = best_secs(trials, || {
+            hierarchy.attribute(&demand, total_carbon).unwrap()
+        });
+        let mut scratch = CascadeScratch::new();
         hierarchy
             .attribute_with_scratch(&demand, total_carbon, 1, &mut scratch)
-            .unwrap()
-    });
-    let flat_parallel_secs = best_secs(trials, || {
-        hierarchy
-            .attribute_parallel(&demand, total_carbon, threads)
-            .unwrap()
-    });
+            .unwrap();
+        let flat_scratch_secs = best_secs(trials, || {
+            hierarchy
+                .attribute_with_scratch(&demand, total_carbon, 1, &mut scratch)
+                .unwrap()
+        });
+        let flat_parallel_secs = best_secs(trials, || {
+            hierarchy
+                .attribute_parallel(&demand, total_carbon, threads)
+                .unwrap()
+        });
 
-    // Query load: random windows over 13 months (some out of range) with
-    // varying allocations, answered through the batched index.
-    let mut rng = StdRng::seed_from_u64(seed + 999);
-    let horizon = demand.end();
-    let batch: Vec<BillingQuery> = (0..queries)
-        .map(|_| {
-            let t0 = rng.gen_range(-86_400..horizon + 86_400);
-            let t1 = t0 + rng.gen_range(0..2_592_000);
-            (t0, t1, rng.gen_range(0.0..64.0))
-        })
-        .collect();
-    let mut answers = Vec::new();
-    flat.workload_carbon_batch_into(&batch, &mut answers);
-    for (answer, &(t0, t1, alloc)) in answers
-        .iter()
-        .step_by(1 + queries / 512)
-        .zip(batch.iter().step_by(1 + queries / 512))
-    {
-        assert_eq!(
-            answer.to_bits(),
-            flat.workload_carbon(t0, t1, alloc).to_bits(),
-            "batched answers must match per-call lookups"
-        );
-    }
-    let batch_secs = best_secs(trials, || {
+        // Query load: random windows over 13 months (some out of range) with
+        // varying allocations, answered through the batched index.
+        let mut rng = StdRng::seed_from_u64(seed + 999);
+        let horizon = demand.end();
+        let batch: Vec<BillingQuery> = (0..queries)
+            .map(|_| {
+                let t0 = rng.gen_range(-86_400..horizon + 86_400);
+                let t1 = t0 + rng.gen_range(0..2_592_000);
+                (t0, t1, rng.gen_range(0.0..64.0))
+            })
+            .collect();
+        let mut answers = Vec::new();
         flat.workload_carbon_batch_into(&batch, &mut answers);
-        answers.last().copied()
-    });
+        for (answer, &(t0, t1, alloc)) in answers
+            .iter()
+            .step_by(1 + queries / 512)
+            .zip(batch.iter().step_by(1 + queries / 512))
+        {
+            assert_eq!(
+                answer.to_bits(),
+                flat.workload_carbon(t0, t1, alloc).to_bits(),
+                "batched answers must match per-call lookups"
+            );
+        }
+        let batch_secs = best_secs(trials, || {
+            flat.workload_carbon_batch_into(&batch, &mut answers);
+            answers.last().copied()
+        });
 
-    // Owned series the per-period path materializes per call: the root
-    // clone plus one series per period of every split level.
-    let mut old_series_clones = 1usize;
-    let mut periods = 1usize;
-    for &m in hierarchy.splits() {
-        periods *= m;
-        old_series_clones += periods;
-    }
-    let temporal = TemporalReport {
-        samples,
-        step,
-        splits: hierarchy.splits().to_vec(),
-        leaf_periods: periods,
-        old_series_clones,
-        per_period_secs,
-        flat_fresh_secs,
-        flat_scratch_secs,
-        flat_parallel_secs,
-        speedup_fresh: per_period_secs / flat_fresh_secs,
-        speedup_scratch: per_period_secs / flat_scratch_secs,
-        queries,
-        batch_secs,
-        queries_per_sec: queries as f64 / batch_secs,
-        peak_rss_kib: peak_rss_kib(),
-    };
-    println!(
+        // Owned series the per-period path materializes per call: the root
+        // clone plus one series per period of every split level.
+        let mut old_series_clones = 1usize;
+        let mut periods = 1usize;
+        for &m in hierarchy.splits() {
+            periods *= m;
+            old_series_clones += periods;
+        }
+        let temporal = TemporalReport {
+            samples,
+            step,
+            splits: hierarchy.splits().to_vec(),
+            leaf_periods: periods,
+            old_series_clones,
+            per_period_secs,
+            flat_fresh_secs,
+            flat_scratch_secs,
+            flat_parallel_secs,
+            speedup_fresh: per_period_secs / flat_fresh_secs,
+            speedup_scratch: per_period_secs / flat_scratch_secs,
+            queries,
+            batch_secs,
+            queries_per_sec: queries as f64 / batch_secs,
+            peak_rss_kib: peak_rss_kib(),
+        };
+        println!(
         "temporal   per-period {:.4}s  flat {:.4}s ({:.2}x)  scratch {:.4}s ({:.2}x)  parallel {:.4}s",
         temporal.per_period_secs,
         temporal.flat_fresh_secs,
@@ -728,16 +774,202 @@ fn main() {
         temporal.speedup_scratch,
         temporal.flat_parallel_secs
     );
-    println!(
-        "temporal   {} queries in {:.4}s = {:.2}M queries/s; {} series clones avoided per call",
-        temporal.queries,
-        temporal.batch_secs,
-        temporal.queries_per_sec / 1.0e6,
-        temporal.old_series_clones
-    );
-    if let Some(kib) = temporal.peak_rss_kib {
-        println!("temporal   peak RSS {:.1} MiB", kib as f64 / 1024.0);
+        println!(
+            "temporal   {} queries in {:.4}s = {:.2}M queries/s; {} series clones avoided per call",
+            temporal.queries,
+            temporal.batch_secs,
+            temporal.queries_per_sec / 1.0e6,
+            temporal.old_series_clones
+        );
+        if let Some(kib) = temporal.peak_rss_kib {
+            println!("temporal   peak RSS {:.1} MiB", kib as f64 / 1024.0);
+        }
+        let path = write_json("BENCH_temporal", &temporal);
+        println!("wrote {}", path.display());
     }
-    let path = write_json("BENCH_temporal", &temporal);
-    println!("wrote {}", path.display());
+
+    // --- service: the always-on attribution service under load ---
+    if run("service") {
+        let opts = LoadOptions {
+            duration_ms: args.u64("service-ms", 2_000).max(100),
+            tenants: args.usize("service-tenants", 2).max(1),
+            batch: args.usize("service-batch", 256).max(1),
+            max_windows: args.u64("service-windows", 256).max(1),
+            seed,
+        };
+        let config = ServiceConfig {
+            start: 0,
+            step: 300,
+            splits: vec![4, 3],
+            leaf_samples: args.usize("service-leaf-samples", 4).max(1),
+            carbon_per_window: 1000.0,
+            persist_dir: None,
+        };
+        println!(
+            "service: {} ms load, {} tenants × {}-query batches, {}-sample windows",
+            opts.duration_ms,
+            opts.tenants,
+            opts.batch,
+            config.window_samples()
+        );
+
+        // Correctness gate before any throughput number means anything: a
+        // small deterministic stream's final epoch must reproduce the
+        // from-scratch rebuild (per-window frozen cascade + the canonical
+        // segmented prefix) bit for bit.
+        let rebuild_bit_identical = {
+            let check = ServiceConfig {
+                leaf_samples: 2,
+                ..config.clone()
+            };
+            let w = check.window_samples();
+            let windows = 3usize;
+            let mut service = AttributionService::start(check.clone()).expect("service starts");
+            for i in 0..(windows * w) as u64 {
+                service.ingest(demand_sample(i, opts.seed)).expect("ingest");
+            }
+            let handle = service.handle();
+            let snapshot = handle.epoch();
+            assert_eq!(snapshot.epoch, windows as u64);
+            let frozen = TemporalShapley::new(check.splits.clone());
+            let mut cum = 0.0;
+            for k in 0..windows {
+                let values: Vec<f64> = (0..w)
+                    .map(|i| demand_sample((k * w + i) as u64, opts.seed))
+                    .collect();
+                let series = TimeSeries::from_values(
+                    check.start + (k * w) as i64 * i64::from(check.step),
+                    check.step,
+                    values,
+                )
+                .unwrap();
+                let attribution = frozen.attribute(&series, check.carbon_per_window).unwrap();
+                for (i, v) in attribution.carbon_prefix().iter().enumerate() {
+                    if i == 0 && k > 0 {
+                        continue; // boundary index belongs to this window's cum
+                    }
+                    assert_eq!(
+                        snapshot.prefix_at(k * w + i).to_bits(),
+                        (cum + v).to_bits(),
+                        "service prefix diverged from rebuild at window {k} sample {i}"
+                    );
+                }
+                cum += attribution.carbon_prefix()[w];
+            }
+            true
+        };
+
+        let report = run_load(config.clone(), &opts).expect("load run completes");
+        assert!(
+            report.queries_answered > 0 && report.windows_closed > 0,
+            "load run must both ingest and answer: {report:?}"
+        );
+
+        // Sharded batch throughput on the final state: one big batch split
+        // over `--threads` run_parallel workers with an in-order merge.
+        let sharded_queries = 100_000usize;
+        let mut service = AttributionService::start(config.clone()).expect("service starts");
+        let w = config.window_samples() as u64;
+        for i in 0..opts.max_windows.min(64) * w {
+            service.ingest(demand_sample(i, opts.seed)).expect("ingest");
+        }
+        let handle = service.handle();
+        let epoch = handle.epoch();
+        let span = (epoch.samples() as u64 + 1) * u64::from(config.step);
+        let batch: Vec<BillingQuery> = (0..sharded_queries as u64)
+            .map(|i| {
+                let a = demand_sample(2 * i, 3).to_bits() % span;
+                let b = demand_sample(2 * i + 1, 3).to_bits() % span;
+                (
+                    config.start + a.min(b) as i64,
+                    config.start + a.max(b) as i64,
+                    1.0 + (i % 7) as f64,
+                )
+            })
+            .collect();
+        let sequential = epoch.carbon_batch_sharded(&batch, 1);
+        let sharded = epoch.carbon_batch_sharded(&batch, threads);
+        for (a, b) in sequential.iter().zip(&sharded) {
+            assert_eq!(a.to_bits(), b.to_bits(), "sharding changed an answer");
+        }
+        let sharded_secs = best_secs(trials, || epoch.carbon_batch_sharded(&batch, threads));
+
+        let service_report = ServiceReport {
+            duration_ms: opts.duration_ms,
+            tenants: opts.tenants,
+            batch: opts.batch,
+            window_samples: config.window_samples(),
+            splits: config.splits.clone(),
+            ingested_samples: report.ingested_samples,
+            windows_closed: report.windows_closed,
+            queries_answered: report.queries_answered,
+            queries_per_sec: report.queries_per_sec,
+            p99_batch_latency_us: report.p99_batch_latency_us,
+            ops_per_sample: report.ops_per_sample,
+            rebuild_bit_identical,
+            sharded_threads: threads,
+            sharded_queries,
+            sharded_secs,
+            sharded_queries_per_sec: sharded_queries as f64 / sharded_secs,
+            peak_rss_kib: peak_rss_kib(),
+        };
+        println!(
+        "service    ingested {} samples / {} windows; {:.0} queries/s sustained, p99 batch {:.1} µs",
+        service_report.ingested_samples,
+        service_report.windows_closed,
+        service_report.queries_per_sec,
+        service_report.p99_batch_latency_us
+    );
+        println!(
+        "service    {:.2} engine ops/sample (amortized O(log n) gauge); sharded {:.2}M queries/s at {} threads; rebuild bit-identical: {}",
+        service_report.ops_per_sample,
+        service_report.sharded_queries_per_sec / 1.0e6,
+        service_report.sharded_threads,
+        service_report.rebuild_bit_identical
+    );
+        let path = write_json("BENCH_service", &service_report);
+        println!("wrote {}", path.display());
+    }
+}
+
+/// Always-on service throughput under concurrent ingest + query,
+/// written to `results/BENCH_service.json`.
+#[derive(Serialize)]
+struct ServiceReport {
+    /// Load-run length (ms).
+    duration_ms: u64,
+    /// Concurrent tenant query threads.
+    tenants: usize,
+    /// Queries per tenant batch.
+    batch: usize,
+    /// Samples per attribution window.
+    window_samples: usize,
+    /// Hierarchy split ratios.
+    splits: Vec<usize>,
+    /// Samples ingested during the load run.
+    ingested_samples: u64,
+    /// Windows closed (== epochs published).
+    windows_closed: u64,
+    /// Billing queries answered across all tenants.
+    queries_answered: u64,
+    /// Sustained queries per second under concurrent ingestion.
+    queries_per_sec: f64,
+    /// 99th-percentile per-batch latency (µs).
+    p99_batch_latency_us: f64,
+    /// Engine primitive operations per ingested sample — machine-speed
+    /// independent; constant in stream length (the O(log n) gauge).
+    ops_per_sample: f64,
+    /// Final epoch reproduced the from-scratch rebuild bit for bit
+    /// (asserted; recorded for the report).
+    rebuild_bit_identical: bool,
+    /// Threads the sharded batch ran on.
+    sharded_threads: usize,
+    /// Queries in the sharded batch.
+    sharded_queries: usize,
+    /// Best wall time of one sharded batch.
+    sharded_secs: f64,
+    /// Sharded queries per second.
+    sharded_queries_per_sec: f64,
+    /// Process peak RSS (`VmHWM`) in KiB.
+    peak_rss_kib: Option<u64>,
 }

@@ -39,8 +39,11 @@ struct StudyResult {
     fair_share_spread_max_pct: f64,
 }
 
+/// Command-line flags this binary accepts.
+const FLAGS: &[&str] = &["jobs", "mean-interarrival", "grid-ci", "seed"];
+
 fn main() {
-    let args = Args::parse();
+    let args = Args::parse(FLAGS);
     let jobs = args.usize("jobs", 300);
     let mean_ia = args.f64("mean-interarrival", 60.0);
     let grid_ci = args.f64("grid-ci", 250.0);

@@ -35,8 +35,11 @@ fn embodied_signal(days: u32, seed: u64) -> fairco2_trace::TimeSeries {
         .clone()
 }
 
+/// Command-line flags this binary accepts.
+const FLAGS: &[&str] = &["days", "jobs-per-day", "slack-hours"];
+
 fn main() {
-    let args = Args::parse();
+    let args = Args::parse(FLAGS);
     let days = args.usize("days", 7) as u32;
     let jobs_per_day = args.usize("jobs-per-day", 4);
     let slack_h = args.usize("slack-hours", 12) as i64;

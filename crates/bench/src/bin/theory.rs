@@ -21,8 +21,11 @@ struct Row {
     equalizing_discount: f64,
 }
 
+/// Command-line flags this binary accepts.
+const FLAGS: &[&str] = &["workloads", "intervals", "long-peak", "carbon"];
+
 fn main() {
-    let args = Args::parse();
+    let args = Args::parse(FLAGS);
     let n = args.usize("workloads", 100);
     let m = args.usize("intervals", 12);
     let p = args.f64("long-peak", 0.2);

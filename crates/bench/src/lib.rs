@@ -18,5 +18,5 @@ pub mod sampling;
 
 pub use args::Args;
 pub use output::{results_dir, write_json};
-pub use resume::{exit_on_engine_error, study_options, DEFAULT_CHECKPOINT_EVERY};
+pub use resume::{exit_on_engine_error, study_options, CHECKPOINT_FLAGS, DEFAULT_CHECKPOINT_EVERY};
 pub use sampling::{print_report, sample_schedule, SamplingReport};

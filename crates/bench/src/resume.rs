@@ -20,6 +20,12 @@ use crate::Args;
 /// Default snapshot cadence in merged batches.
 pub const DEFAULT_CHECKPOINT_EVERY: usize = 8;
 
+/// The flags every checkpoint-aware study binary accepts; append these
+/// to the binary's own flag set when declaring [`Args::parse`]'s known
+/// set so a typo like `--chekpoint-every` aborts instead of silently
+/// disabling checkpointing.
+pub const CHECKPOINT_FLAGS: &[&str] = &["checkpoint", "checkpoint-every", "resume", "retries"];
+
 /// Builds the engine's [`StudyOptions`] from the standard command-line
 /// flags. `suffix` distinguishes checkpoint files when one binary runs
 /// several studies (the convergence driver runs both): a non-empty
@@ -65,7 +71,7 @@ mod tests {
     use super::*;
 
     fn args(s: &[&str]) -> Args {
-        Args::parse_from(s.iter().map(|s| s.to_string()))
+        Args::parse_from(CHECKPOINT_FLAGS, s.iter().map(|s| s.to_string()))
     }
 
     #[test]

@@ -22,10 +22,14 @@
 //! (floats always carry a float marker and round-trip bit-for-bit), so
 //! the digest check re-serializes the parsed payload and compares.
 //!
-//! Writes are atomic: the full envelope is written to a `.tmp` sibling,
-//! flushed, then renamed over the target. A failure mid-write removes
-//! the temporary and leaves any previous checkpoint untouched — there is
-//! no observable torn state.
+//! Writes are atomic **and durable**: the full envelope is written to a
+//! `.tmp` sibling, flushed, renamed over the target, and then the parent
+//! directory is fsynced — POSIX only guarantees the renamed entry
+//! survives a crash once the directory itself has been synced. A failure
+//! mid-write removes the temporary and leaves any previous checkpoint
+//! untouched — there is no observable torn state. The same
+//! [`write_durable_atomic`] helper backs the attribution service's epoch
+//! persistence in `fairco2-serve`.
 
 use std::fmt;
 use std::fs;
@@ -121,6 +125,24 @@ impl fmt::Display for CheckpointError {
 
 impl std::error::Error for CheckpointError {}
 
+/// Scripted failure points for the durable atomic write path, used by
+/// the injected-failure tests to cover every step of the
+/// write-tmp → fsync → rename → fsync-directory sequence.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum WriteFault {
+    /// No injected failure: the real production path.
+    #[default]
+    None,
+    /// Crash mid-write of the temporary file: only a prefix is flushed,
+    /// then the write fails. The target file is never touched and no
+    /// temporary is left behind.
+    TornTmp,
+    /// Fail the parent-directory fsync *after* the rename. The target
+    /// file already holds the new contents, but their survival across a
+    /// crash is not guaranteed, so the write is reported as failed.
+    DirSync,
+}
+
 /// FNV-1a 64-bit over `bytes`, as a fixed-width lowercase hex string.
 pub fn fnv1a_hex(bytes: &[u8]) -> String {
     const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
@@ -200,16 +222,16 @@ pub struct ColocationSnapshot {
 }
 
 impl DemandSnapshot {
-    /// Atomically writes the snapshot to `path`.
+    /// Atomically and durably writes the snapshot to `path`.
     ///
     /// # Errors
     ///
     /// [`CheckpointError::Io`] on filesystem failures;
-    /// [`CheckpointError::WriteFailed`] when `inject_failure` simulates a
-    /// mid-write crash (the target file is left untouched).
-    pub fn save(&self, path: &Path, inject_failure: bool) -> Result<(), CheckpointError> {
+    /// [`CheckpointError::WriteFailed`] when `fault` injects a failure
+    /// (see [`WriteFault`] for which on-disk state each variant leaves).
+    pub fn save(&self, path: &Path, fault: WriteFault) -> Result<(), CheckpointError> {
         let payload = serde_json::to_string(self).expect("snapshots serialize");
-        write_envelope_atomic(path, &payload, inject_failure)
+        write_envelope_atomic(path, &payload, fault)
     }
 
     /// Loads and fully validates a snapshot.
@@ -228,15 +250,15 @@ impl DemandSnapshot {
 }
 
 impl ColocationSnapshot {
-    /// Atomically writes the snapshot to `path`; see
+    /// Atomically and durably writes the snapshot to `path`; see
     /// [`DemandSnapshot::save`].
     ///
     /// # Errors
     ///
     /// Same contract as [`DemandSnapshot::save`].
-    pub fn save(&self, path: &Path, inject_failure: bool) -> Result<(), CheckpointError> {
+    pub fn save(&self, path: &Path, fault: WriteFault) -> Result<(), CheckpointError> {
         let payload = serde_json::to_string(self).expect("snapshots serialize");
-        write_envelope_atomic(path, &payload, inject_failure)
+        write_envelope_atomic(path, &payload, fault)
     }
 
     /// Loads and fully validates a snapshot; see
@@ -266,18 +288,40 @@ fn check_fingerprint(found: &str, expected: &str) -> Result<(), CheckpointError>
 }
 
 /// Wraps `payload` (compact JSON text) in the versioned envelope and
-/// writes it atomically: full write to `<path>.tmp`, fsync, rename.
+/// writes it via [`write_durable_atomic`].
 fn write_envelope_atomic(
     path: &Path,
     payload: &str,
-    inject_failure: bool,
+    fault: WriteFault,
 ) -> Result<(), CheckpointError> {
     let digest = fnv1a_hex(payload.as_bytes());
     let text = format!(
         "{{\"version\":{CHECKPOINT_VERSION},\"digest\":\"{digest}\",\"payload\":{payload}}}"
     );
+    write_durable_atomic(path, &text, fault)
+}
+
+/// Atomically and durably replaces the file at `path` with `text`: full
+/// write to a `.tmp` sibling, fsync, rename over the target, then fsync
+/// of the parent directory (without which the renamed entry itself may
+/// not survive a crash). Shared by study checkpoints and the
+/// `fairco2-serve` epoch persistence.
+///
+/// # Errors
+///
+/// [`CheckpointError::Io`] on filesystem failures;
+/// [`CheckpointError::WriteFailed`] when `fault` injects a failure. On a
+/// pre-rename failure the target is untouched and no temporary remains;
+/// on a directory-fsync failure the target already holds `text` but its
+/// durability is not guaranteed, so callers must treat the write as
+/// failed (e.g. retry it) rather than record it as persisted.
+pub fn write_durable_atomic(
+    path: &Path,
+    text: &str,
+    fault: WriteFault,
+) -> Result<(), CheckpointError> {
     let tmp = tmp_path(path);
-    let result = write_tmp(&tmp, &text, inject_failure);
+    let result = write_tmp(&tmp, text, fault == WriteFault::TornTmp);
     if result.is_err() {
         // Leave no torn file behind: the target was never touched and
         // the partial temporary is removed.
@@ -291,7 +335,26 @@ fn write_envelope_atomic(
             tmp.display(),
             path.display()
         ))
-    })
+    })?;
+    sync_parent_dir(path, fault == WriteFault::DirSync)
+}
+
+/// Fsyncs the directory containing `path`, making a just-renamed entry
+/// durable; a relative bare filename syncs the current directory.
+fn sync_parent_dir(path: &Path, inject_failure: bool) -> Result<(), CheckpointError> {
+    let parent = match path.parent() {
+        Some(p) if !p.as_os_str().is_empty() => p,
+        _ => Path::new("."),
+    };
+    let dir = fs::File::open(parent)
+        .map_err(|e| CheckpointError::Io(format!("open dir {}: {e}", parent.display())))?;
+    if inject_failure {
+        return Err(CheckpointError::WriteFailed(
+            "injected directory fsync failure after rename".to_owned(),
+        ));
+    }
+    dir.sync_all()
+        .map_err(|e| CheckpointError::Io(format!("fsync dir {}: {e}", parent.display())))
 }
 
 fn tmp_path(path: &Path) -> PathBuf {

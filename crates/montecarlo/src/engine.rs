@@ -39,7 +39,7 @@ use serde::{Deserialize, Serialize};
 
 use crate::checkpoint::{
     colocation_fingerprint, demand_fingerprint, CheckpointError, CheckpointSpec,
-    ColocationSnapshot, DemandSnapshot, PendingColocationBatch, PendingDemandBatch,
+    ColocationSnapshot, DemandSnapshot, PendingColocationBatch, PendingDemandBatch, WriteFault,
 };
 use crate::colocations::{ColocationStudy, ColocationTrial};
 use crate::faults::FaultPlan;
@@ -614,9 +614,13 @@ pub fn stream_demand_study_resumable(
                             .collect(),
                         stats: checkpoint_stats(&carried, &ctx, master.trials, cfg.threads),
                     };
-                    let inject = faults.fail_checkpoint_write(write_attempts);
+                    let fault = if faults.fail_checkpoint_write(write_attempts) {
+                        WriteFault::TornTmp
+                    } else {
+                        WriteFault::None
+                    };
                     write_attempts += 1;
-                    snap.save(&spec.path, inject)?;
+                    snap.save(&spec.path, fault)?;
                     writes += 1;
                     if faults.should_kill(writes) {
                         return Err(EngineError::Killed { writes });
@@ -729,9 +733,13 @@ pub fn stream_colocation_study_resumable(
                             .collect(),
                         stats: checkpoint_stats(&carried, &ctx, master.trials, cfg.threads),
                     };
-                    let inject = faults.fail_checkpoint_write(write_attempts);
+                    let fault = if faults.fail_checkpoint_write(write_attempts) {
+                        WriteFault::TornTmp
+                    } else {
+                        WriteFault::None
+                    };
                     write_attempts += 1;
-                    snap.save(&spec.path, inject)?;
+                    snap.save(&spec.path, fault)?;
                     writes += 1;
                     if faults.should_kill(writes) {
                         return Err(EngineError::Killed { writes });

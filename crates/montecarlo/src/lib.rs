@@ -47,7 +47,8 @@ pub mod scratch;
 pub mod streaming;
 
 pub use checkpoint::{
-    CheckpointError, CheckpointSpec, ColocationSnapshot, DemandSnapshot, CHECKPOINT_VERSION,
+    write_durable_atomic, CheckpointError, CheckpointSpec, ColocationSnapshot, DemandSnapshot,
+    WriteFault, CHECKPOINT_VERSION,
 };
 pub use colocations::{ColocationStudy, ColocationTrial};
 pub use engine::{

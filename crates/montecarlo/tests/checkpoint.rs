@@ -16,7 +16,7 @@ use fairco2_montecarlo::streaming::{ColocationStudySummary, DemandStudySummary};
 use fairco2_montecarlo::{
     stream_colocation_study_resumable, stream_demand_study_resumable, CheckpointError,
     CheckpointSpec, ColocationStudy, DemandSnapshot, DemandStudy, EngineConfig, EngineError,
-    EngineStats, FaultPlan, StudyOptions,
+    EngineStats, FaultPlan, StudyOptions, WriteFault,
 };
 use proptest::prelude::*;
 
@@ -221,7 +221,7 @@ fn resume_consumes_reorder_buffer_batches_without_reexecution() {
         },
     };
     let path = tmp("demand-reorder-buffer");
-    snap.save(&path, false).expect("save");
+    snap.save(&path, WriteFault::None).expect("save");
 
     for threads in THREAD_CHOICES {
         let (resumed, _, stats) = stream_demand_study_resumable(
@@ -239,7 +239,7 @@ fn resume_consumes_reorder_buffer_batches_without_reexecution() {
         assert_eq!(stats.trials, study.trials as u64);
         // Re-save for the next thread count (the resumed run overwrote
         // the checkpoint as it progressed).
-        snap.save(&path, false).expect("save");
+        snap.save(&path, WriteFault::None).expect("save");
     }
     let _ = std::fs::remove_file(&path);
 }
@@ -282,7 +282,7 @@ fn saved_snapshot(name: &str) -> (PathBuf, DemandStudy) {
         },
     };
     let path = tmp(name);
-    snap.save(&path, false).expect("save");
+    snap.save(&path, WriteFault::None).expect("save");
     (path, study)
 }
 
@@ -412,7 +412,7 @@ fn failed_write_leaves_no_torn_file() {
         frontier: 4,
         ..before.clone()
     };
-    let err = newer.save(&path, true).unwrap_err();
+    let err = newer.save(&path, WriteFault::TornTmp).unwrap_err();
     assert!(matches!(err, CheckpointError::WriteFailed(_)), "{err:?}");
     let mut tmp_name = path.file_name().unwrap().to_owned();
     tmp_name.push(".tmp");
@@ -423,6 +423,47 @@ fn failed_write_leaves_no_torn_file() {
     let after = DemandSnapshot::load(&path, &fingerprint).expect("still intact");
     assert_eq!(after, before);
     assert_eq!(after.frontier, 2);
+    let _ = std::fs::remove_file(&path);
+}
+
+/// The durability step after the rename: an injected parent-directory
+/// fsync failure surfaces as `WriteFailed` even though the rename
+/// already happened — the file holds the new snapshot (and still parses
+/// cleanly), but the caller must not record the write as persisted.
+#[test]
+fn failed_directory_sync_surfaces_after_rename() {
+    let (path, study) = saved_snapshot("dir-sync-failure");
+    let fingerprint = demand_fingerprint(&study, BATCH);
+    let before = DemandSnapshot::load(&path, &fingerprint).expect("intact");
+
+    let newer = DemandSnapshot {
+        frontier: 4,
+        ..before.clone()
+    };
+    let err = newer.save(&path, WriteFault::DirSync).unwrap_err();
+    assert!(matches!(err, CheckpointError::WriteFailed(_)), "{err:?}");
+    assert!(
+        err.to_string().contains("directory fsync"),
+        "error names the failed step: {err}"
+    );
+    let mut tmp_name = path.file_name().unwrap().to_owned();
+    tmp_name.push(".tmp");
+    assert!(
+        !path.with_file_name(tmp_name).exists(),
+        "temporary left behind"
+    );
+    // The rename preceded the failed fsync, so the file content is the
+    // *new* snapshot — intact, just not guaranteed durable.
+    let after = DemandSnapshot::load(&path, &fingerprint).expect("well-formed");
+    assert_eq!(after.frontier, 4);
+    // A retried save with no fault succeeds and is then durable.
+    newer.save(&path, WriteFault::None).expect("retry");
+    assert_eq!(
+        DemandSnapshot::load(&path, &fingerprint)
+            .expect("durable")
+            .frontier,
+        4
+    );
     let _ = std::fs::remove_file(&path);
 }
 

@@ -1,0 +1,132 @@
+//! Immutable epoch snapshots: the read side of the service.
+//!
+//! Every closed attribution window advances the service by one *epoch*.
+//! An [`EpochSnapshot`] is a frozen view of all windows closed so far —
+//! readers query it without any lock, and its answers never change: the
+//! same query against the same epoch returns the same bits forever,
+//! which is what makes concurrent answers auditable after the fact.
+//!
+//! The per-window attributions are shared via [`Arc`] (publishing epoch
+//! `k + 1` clones `k` pointers, not `k` prefix arrays), and the
+//! cross-window carbon prefix is *segmented*: each window keeps its own
+//! prefix exactly as the frozen cascade produced it, plus a
+//! `cum_before` offset fixed at close time by one left-to-right fold
+//! over window totals. Queries therefore decompose into per-window
+//! charges combined by a deterministic rule — bit-identical to a
+//! from-scratch rebuild of the same windows, at any thread count.
+
+use std::sync::Arc;
+
+use fairco2_shapley::cascade::first_sample_at_or_after;
+use fairco2_shapley::incremental::WindowAttribution;
+use fairco2_shapley::{run_parallel, BillingQuery};
+
+/// One closed window inside an epoch: the frozen attribution plus the
+/// segmented-prefix offset of everything before it.
+#[derive(Debug, Clone)]
+pub struct WindowSegment {
+    /// The window's finalized attribution, shared across every epoch
+    /// that includes it.
+    pub attribution: Arc<WindowAttribution>,
+    /// Value of the service-wide carbon prefix at this window's first
+    /// sample: the sum of all earlier windows' full-window charges,
+    /// folded left to right in window order.
+    pub cum_before: f64,
+}
+
+/// An immutable, lock-free view of every window the service had closed
+/// when this epoch was published.
+#[derive(Debug)]
+pub struct EpochSnapshot {
+    /// Epoch number: how many windows this snapshot contains.
+    pub epoch: u64,
+    /// Unix timestamp (seconds) of the service's first sample.
+    pub start: i64,
+    /// Sampling step in seconds.
+    pub step: u32,
+    /// Samples per window.
+    pub window_samples: usize,
+    /// The closed windows, oldest first.
+    pub windows: Vec<WindowSegment>,
+}
+
+impl EpochSnapshot {
+    /// Attributed samples covered by this epoch
+    /// (`windows · window_samples`).
+    pub fn samples(&self) -> usize {
+        self.windows.len() * self.window_samples
+    }
+
+    /// The service-wide carbon prefix at sample index `i`
+    /// (`0 ..= samples()`): the segment's `cum_before` plus its own
+    /// frozen prefix — the canonical segmented-prefix rule every
+    /// rebuild must reproduce bit for bit.
+    pub fn prefix_at(&self, i: usize) -> f64 {
+        if self.windows.is_empty() {
+            return 0.0;
+        }
+        let w = (i / self.window_samples).min(self.windows.len() - 1);
+        let seg = &self.windows[w];
+        seg.cum_before + seg.attribution.carbon_prefix[i - w * self.window_samples]
+    }
+
+    /// Carbon attributed to a tenant holding `alloc` resource units over
+    /// `[t0, t1)` — zero for empty, inverted, or out-of-range windows;
+    /// endpoints anywhere in `i64` are clamped, never wrapped.
+    pub fn carbon(&self, query: BillingQuery) -> f64 {
+        let (t0, t1, alloc) = query;
+        let n = self.samples();
+        let lo = first_sample_at_or_after(self.start, i64::from(self.step), n, t0);
+        let hi = first_sample_at_or_after(self.start, i64::from(self.step), n, t1);
+        if hi <= lo {
+            return 0.0;
+        }
+        alloc * (self.prefix_at(hi) - self.prefix_at(lo))
+    }
+
+    /// Answers a batch in order, appending to `out`.
+    pub fn carbon_batch_into(&self, queries: &[BillingQuery], out: &mut Vec<f64>) {
+        out.extend(queries.iter().map(|&q| self.carbon(q)));
+    }
+
+    /// Answers a batch sharded over `threads` worker threads with an
+    /// in-order merge. Each query is independent, so the answers are
+    /// bit-identical to [`EpochSnapshot::carbon_batch_into`] at any
+    /// thread count.
+    pub fn carbon_batch_sharded(&self, queries: &[BillingQuery], threads: usize) -> Vec<f64> {
+        if queries.is_empty() {
+            return Vec::new();
+        }
+        let threads = threads.clamp(1, queries.len());
+        let chunk_len = queries.len().div_ceil(threads);
+        let chunks: Vec<&[BillingQuery]> = queries.chunks(chunk_len).collect();
+        let per_chunk = run_parallel(chunks.len(), threads, |c| {
+            let mut out = Vec::with_capacity(chunks[c].len());
+            self.carbon_batch_into(chunks[c], &mut out);
+            out
+        });
+        per_chunk.into_iter().flatten().collect()
+    }
+}
+
+/// Builds the next epoch from the previous one plus a freshly closed
+/// window: shares every existing segment's attribution by pointer and
+/// extends the segmented prefix by one left-to-right fold step.
+pub(crate) fn extend_epoch(prev: &EpochSnapshot, window: WindowAttribution) -> EpochSnapshot {
+    let mut windows = prev.windows.clone();
+    let cum_before = match windows.last() {
+        Some(seg) => seg.cum_before + seg.attribution.carbon_prefix[prev.window_samples],
+        None => 0.0,
+    };
+    windows.push(WindowSegment {
+        attribution: Arc::new(window),
+        cum_before,
+    });
+    EpochSnapshot {
+        epoch: prev.epoch + 1,
+        start: prev.start,
+        step: prev.step,
+        window_samples: prev.window_samples,
+        windows,
+    }
+}

@@ -1,0 +1,333 @@
+//! Service contracts: every published epoch answers billing queries
+//! bit-identical to a from-scratch rebuild of the same sample prefix,
+//! at any thread count, even while ingestion races the queries; and
+//! persisted windows survive a round trip bit for bit.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Mutex;
+
+use fairco2_serve::{
+    demand_sample, read_persisted_window, AttributionService, EpochSnapshot, ServiceConfig,
+};
+use fairco2_shapley::cascade::first_sample_at_or_after;
+use fairco2_shapley::temporal::TemporalShapley;
+use fairco2_shapley::BillingQuery;
+use fairco2_trace::series::TimeSeries;
+
+fn test_config(splits: Vec<usize>, leaf_samples: usize) -> ServiceConfig {
+    ServiceConfig {
+        start: 1_700_000_000,
+        step: 300,
+        splits,
+        leaf_samples,
+        carbon_per_window: 750.0,
+        persist_dir: None,
+    }
+}
+
+/// The independent oracle: rebuilds the full service state for the
+/// first `windows` windows from nothing but the raw sample stream —
+/// per-window frozen cascade runs composed by the canonical segmented
+/// prefix (one left-to-right fold over window totals).
+struct Rebuild {
+    start: i64,
+    step: u32,
+    window_samples: usize,
+    prefixes: Vec<Vec<f64>>,
+    cum_before: Vec<f64>,
+}
+
+impl Rebuild {
+    fn new(config: &ServiceConfig, windows: u64, seed: u64) -> Self {
+        let frozen = TemporalShapley::new(config.splits.clone());
+        let w = config.window_samples();
+        let mut prefixes = Vec::new();
+        let mut cum_before = Vec::new();
+        let mut cum = 0.0;
+        for k in 0..windows {
+            let values: Vec<f64> = (0..w)
+                .map(|i| demand_sample(k * w as u64 + i as u64, seed))
+                .collect();
+            let series = TimeSeries::from_values(
+                config.start + k as i64 * w as i64 * i64::from(config.step),
+                config.step,
+                values,
+            )
+            .unwrap();
+            let attribution = frozen.attribute(&series, config.carbon_per_window).unwrap();
+            cum_before.push(cum);
+            cum += attribution.carbon_prefix()[w];
+            prefixes.push(attribution.carbon_prefix().to_vec());
+        }
+        Self {
+            start: config.start,
+            step: config.step,
+            window_samples: w,
+            prefixes,
+            cum_before,
+        }
+    }
+
+    fn prefix_at(&self, i: usize) -> f64 {
+        if self.prefixes.is_empty() {
+            return 0.0;
+        }
+        let w = (i / self.window_samples).min(self.prefixes.len() - 1);
+        self.cum_before[w] + self.prefixes[w][i - w * self.window_samples]
+    }
+
+    fn carbon(&self, (t0, t1, alloc): BillingQuery) -> f64 {
+        let n = self.prefixes.len() * self.window_samples;
+        let lo = first_sample_at_or_after(self.start, i64::from(self.step), n, t0);
+        let hi = first_sample_at_or_after(self.start, i64::from(self.step), n, t1);
+        if hi <= lo {
+            return 0.0;
+        }
+        alloc * (self.prefix_at(hi) - self.prefix_at(lo))
+    }
+}
+
+/// Deterministic query mix over (roughly) the covered range, including
+/// degenerate and far-out-of-range windows.
+fn query_mix(config: &ServiceConfig, windows: u64, salt: u64) -> Vec<BillingQuery> {
+    let w = config.window_samples() as i64;
+    let step = i64::from(config.step);
+    let span = windows as i64 * w * step;
+    let mut queries = vec![
+        (config.start, config.start + span, 1.0),
+        (config.start - 10 * step, config.start + 2 * span, 0.5),
+        (config.start + span, config.start, 2.0), // inverted
+        (config.start + 7, config.start + 7, 1.0), // empty
+        (i64::MIN, i64::MAX, 1.5),                // extreme clamp
+        (i64::MAX - 3, i64::MAX, 1.0),
+    ];
+    let mut state = salt.wrapping_mul(0x9E37_79B9_7F4A_7C15) | 1;
+    for _ in 0..64 {
+        state ^= state << 13;
+        state ^= state >> 7;
+        state ^= state << 17;
+        let a = config.start + (state % (2 * span.max(1) as u64)) as i64 - span / 4;
+        state ^= state << 13;
+        state ^= state >> 7;
+        state ^= state << 17;
+        let b = config.start + (state % (2 * span.max(1) as u64)) as i64 - span / 4;
+        queries.push((a.min(b), a.max(b), ((state % 8) + 1) as f64 / 2.0));
+    }
+    queries
+}
+
+#[test]
+fn every_epoch_matches_a_from_scratch_rebuild_bit_for_bit() {
+    let config = test_config(vec![3, 2], 2);
+    let w = config.window_samples() as u64;
+    let seed = 17;
+    let mut service = AttributionService::start(config.clone()).unwrap();
+    let handle = service.handle();
+
+    let total_windows = 5u64;
+    for i in 0..total_windows * w {
+        let published = service.ingest(demand_sample(i, seed)).unwrap();
+        if let Some(epoch) = published {
+            let snapshot = handle.epoch();
+            assert_eq!(snapshot.epoch, epoch);
+            let rebuild = Rebuild::new(&config, epoch, seed);
+            // The whole prefix table agrees…
+            for i in 0..=snapshot.samples() {
+                assert_eq!(
+                    snapshot.prefix_at(i).to_bits(),
+                    rebuild.prefix_at(i).to_bits(),
+                    "prefix_at({i}) diverged at epoch {epoch}"
+                );
+            }
+            // …and so does every query in the mix.
+            for q in query_mix(&config, epoch, epoch) {
+                assert_eq!(
+                    snapshot.carbon(q).to_bits(),
+                    rebuild.carbon(q).to_bits(),
+                    "query {q:?} diverged at epoch {epoch}"
+                );
+            }
+        }
+    }
+    assert_eq!(handle.epoch().epoch, total_windows);
+}
+
+#[test]
+fn sharded_batches_are_bit_identical_at_any_thread_count() {
+    let config = test_config(vec![4, 3], 2);
+    let w = config.window_samples() as u64;
+    let seed = 23;
+    let mut service = AttributionService::start(config.clone()).unwrap();
+    for i in 0..4 * w {
+        service.ingest(demand_sample(i, seed)).unwrap();
+    }
+    let handle = service.handle();
+    let epoch = handle.epoch();
+    let queries = query_mix(&config, 4, 99);
+
+    let mut sequential = Vec::new();
+    epoch.carbon_batch_into(&queries, &mut sequential);
+    for threads in [1, 2, 3, 8, 64] {
+        let sharded = epoch.carbon_batch_sharded(&queries, threads);
+        assert_eq!(sharded.len(), sequential.len());
+        for (i, (s, r)) in sharded.iter().zip(&sequential).enumerate() {
+            assert_eq!(
+                s.to_bits(),
+                r.to_bits(),
+                "query {i} diverged at {threads} threads"
+            );
+        }
+    }
+    assert!(epoch.carbon_batch_sharded(&[], 4).is_empty());
+}
+
+/// The concurrency pin: tenants query *while* the writer ingests, every
+/// answer is recorded with the epoch that produced it, and afterwards
+/// each recorded `(epoch, query, answer)` triple is re-derived from a
+/// frozen-trace rebuild of exactly that epoch's prefix. If a reader
+/// ever saw a half-published epoch, some triple would fail to
+/// reproduce.
+#[test]
+fn concurrent_queries_always_match_their_epochs_rebuild() {
+    let config = test_config(vec![2, 2], 2);
+    let w = config.window_samples() as u64;
+    let seed = 41;
+    let total_windows = 24u64;
+    let mut service = AttributionService::start(config.clone()).unwrap();
+    let handle = service.handle();
+
+    let stop = AtomicBool::new(false);
+    let answered = std::sync::atomic::AtomicU64::new(0);
+    let observed: Mutex<Vec<(u64, BillingQuery, u64)>> = Mutex::new(Vec::new());
+
+    std::thread::scope(|scope| {
+        for tenant in 0..3u64 {
+            let handle = handle.clone();
+            let stop = &stop;
+            let answered = &answered;
+            let observed = &observed;
+            let config = &config;
+            scope.spawn(move || {
+                let mut salt = tenant;
+                let mut local = Vec::new();
+                while !stop.load(Ordering::Relaxed) {
+                    let epoch = handle.epoch();
+                    let windows = epoch.epoch;
+                    salt += 1;
+                    for q in query_mix(config, windows.max(1), salt) {
+                        local.push((windows, q, epoch.carbon(q).to_bits()));
+                    }
+                    answered.fetch_add(1, Ordering::Relaxed);
+                }
+                observed.lock().unwrap().extend(local);
+            });
+        }
+        // Interleave: a short pause per window lets tenants observe many
+        // different epochs even on one CPU.
+        for k in 0..total_windows {
+            for i in 0..w {
+                service.ingest(demand_sample(k * w + i, seed)).unwrap();
+            }
+            std::thread::sleep(std::time::Duration::from_micros(500));
+        }
+        // Keep serving until every tenant has answered a few rounds (a
+        // 5 s ceiling stops a pathological scheduler from hanging CI).
+        let waited = std::time::Instant::now();
+        while answered.load(Ordering::Relaxed) < 24
+            && waited.elapsed() < std::time::Duration::from_secs(5)
+        {
+            std::thread::sleep(std::time::Duration::from_millis(1));
+        }
+        stop.store(true, Ordering::Relaxed);
+    });
+
+    let observed = observed.lock().unwrap();
+    assert!(
+        !observed.is_empty(),
+        "tenants answered no queries during ingestion"
+    );
+    // Post-hoc audit: rebuild each observed epoch once, re-derive every
+    // recorded answer.
+    let max_epoch = observed.iter().map(|(e, _, _)| *e).max().unwrap();
+    let rebuilds: Vec<Rebuild> = (0..=max_epoch)
+        .map(|e| Rebuild::new(&config, e, seed))
+        .collect();
+    for (epoch, query, answer) in observed.iter() {
+        assert_eq!(
+            *answer,
+            rebuilds[*epoch as usize].carbon(*query).to_bits(),
+            "epoch {epoch} query {query:?} did not reproduce"
+        );
+    }
+}
+
+#[test]
+fn persisted_windows_round_trip_bit_for_bit() {
+    let dir = std::env::temp_dir().join(format!("fairco2-serve-persist-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    let config = ServiceConfig {
+        persist_dir: Some(dir.clone()),
+        ..test_config(vec![2], 3)
+    };
+    let w = config.window_samples() as u64;
+    let seed = 7;
+    let mut service = AttributionService::start(config.clone()).unwrap();
+    for i in 0..3 * w {
+        service.ingest(demand_sample(i, seed)).unwrap();
+    }
+    let handle = service.handle();
+    let epoch = handle.epoch();
+    assert_eq!(epoch.epoch, 3);
+    for (k, segment) in epoch.windows.iter().enumerate() {
+        let path = dir.join(format!("window-{k:08}.json"));
+        let restored =
+            read_persisted_window(&path).unwrap_or_else(|e| panic!("window {k} unreadable: {e}"));
+        assert_eq!(
+            restored.total_carbon.to_bits(),
+            segment.attribution.total_carbon.to_bits()
+        );
+        assert_eq!(
+            restored.stranded_carbon.to_bits(),
+            segment.attribution.stranded_carbon.to_bits()
+        );
+        assert_eq!(
+            restored.carbon_prefix.len(),
+            segment.attribution.carbon_prefix.len()
+        );
+        for (a, b) in restored
+            .carbon_prefix
+            .iter()
+            .zip(&segment.attribution.carbon_prefix)
+        {
+            assert_eq!(a.to_bits(), b.to_bits());
+        }
+        for (a, b) in restored
+            .leaf_intensity
+            .iter()
+            .zip(&segment.attribution.leaf_intensity)
+        {
+            assert_eq!(a.to_bits(), b.to_bits());
+        }
+    }
+    // No torn temporaries left behind.
+    let leftovers: Vec<_> = std::fs::read_dir(&dir)
+        .unwrap()
+        .map(|e| e.unwrap().file_name().into_string().unwrap())
+        .filter(|n| !n.ends_with(".json"))
+        .collect();
+    assert!(leftovers.is_empty(), "stray files: {leftovers:?}");
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn empty_epoch_answers_zero_everywhere() {
+    let config = test_config(vec![2], 2);
+    let service = AttributionService::start(config.clone()).unwrap();
+    let handle = service.handle();
+    let epoch: &EpochSnapshot = handle.epoch();
+    assert_eq!(epoch.epoch, 0);
+    assert_eq!(epoch.samples(), 0);
+    for q in query_mix(&config, 1, 5) {
+        assert_eq!(epoch.carbon(q), 0.0);
+    }
+}

@@ -310,7 +310,7 @@ fn ensure_levels<T: Default>(buffers: &mut Vec<T>, levels: usize) {
 /// Returns [`SeriesError::OutOfRange`] if any period would be split into
 /// more parts than it has samples — the same error the per-period path
 /// reports from `TimeSeries::split`.
-fn fill_bounds(
+pub(crate) fn fill_bounds(
     bounds: &mut Vec<Vec<usize>>,
     samples: usize,
     splits: &[usize],
@@ -446,7 +446,9 @@ fn fused_sweep<const L: usize>(
 /// cascade. The `m` child carbon shares are **appended** to `shares`
 /// (so a serial level loop can accumulate straight into the level
 /// buffer); the caller supplies every buffer, so this is
-/// allocation-free.
+/// allocation-free. Shared with the streaming engine in
+/// [`crate::incremental`], which must split carbon with bit-identical
+/// arithmetic.
 ///
 /// # Panics
 ///
@@ -454,7 +456,7 @@ fn fused_sweep<const L: usize>(
 /// [`peak_shapley`](crate::temporal::peak_shapley) — if a child peak is
 /// negative or non-finite.
 #[allow(clippy::too_many_arguments)]
-fn split_parent(
+pub(crate) fn split_parent(
     child_bounds: &[usize],
     child_q: &[f64],
     child_peaks: &[f64],
@@ -531,9 +533,10 @@ fn fill_intensity(
 /// in sample order, and the leaf fill already visits every sample in
 /// that order, so one pass writes both buffers instead of re-reading
 /// the finished leaf signal. The accumulation sequence is exactly the
-/// reference's, so the prefix is bit-identical.
+/// reference's, so the prefix is bit-identical. Shared with the
+/// streaming engine in [`crate::incremental`].
 #[allow(clippy::too_many_arguments)]
-fn fill_leaf_intensity_and_prefix(
+pub(crate) fn fill_leaf_intensity_and_prefix(
     bounds: &[usize],
     q: &[f64],
     carbon: &[f64],
@@ -755,6 +758,34 @@ pub(crate) fn run_cascade(
 /// held over `[t0, t1)` (UNIX seconds).
 pub type BillingQuery = (i64, i64, f64);
 
+/// Index of the first sample at or after `t` on the grid `(start, step)`
+/// holding `samples` samples, clamped to `[0, samples]` — the shared
+/// window-to-index conversion of every billing path
+/// ([`IntensityIndex`] and the `fairco2-serve` epoch snapshots).
+///
+/// Uses saturating arithmetic so hostile endpoints near `i64::MIN` /
+/// `i64::MAX` clamp instead of wrapping (the wrap panicked in debug
+/// builds and returned a wrong charge in release). Saturation is exact
+/// here: it only fires when the true ceiling numerator overflows `i64`,
+/// and then the saturated quotient still lands on the same side of the
+/// clamp — `i64::MAX / step ≥ samples` because a grid whose span
+/// exceeded `i64::MAX` seconds could not have a representable end time,
+/// and `i64::MIN + (step - 1) < 0` clamps to `0` just like the true
+/// (even more negative) value.
+///
+/// # Panics
+///
+/// Panics if `step <= 0`.
+#[inline]
+pub fn first_sample_at_or_after(start: i64, step: i64, samples: usize, t: i64) -> usize {
+    assert!(step > 0, "sampling step must be positive");
+    let n = samples as i64;
+    t.saturating_sub(start)
+        .saturating_add(step - 1)
+        .div_euclid(step)
+        .clamp(0, n) as usize
+}
+
 /// An O(1)-per-query index over a leaf carbon-prefix signal — the
 /// paper's "once the signal exists, a workload's share is one lookup"
 /// claim turned into a batched query engine.
@@ -790,13 +821,11 @@ impl<'a> IntensityIndex<'a> {
         }
     }
 
-    /// Index of the first sample at or after `t`, clamped to the series.
+    /// Index of the first sample at or after `t`, clamped to the series;
+    /// see [`first_sample_at_or_after`] for the overflow contract.
     #[inline]
     fn first_at_or_after(&self, t: i64) -> usize {
-        let n = (self.prefix.len() - 1) as i64;
-        (t - self.start + self.step - 1)
-            .div_euclid(self.step)
-            .clamp(0, n) as usize
+        first_sample_at_or_after(self.start, self.step, self.prefix.len() - 1, t)
     }
 
     /// Carbon attributed to `allocation` resource units over `[t0, t1)`
@@ -936,6 +965,58 @@ mod tests {
         assert_eq!(idx.carbon(-900, -300, 1.0), 0.0); // before the series
         assert_eq!(idx.carbon(900, 1800, 1.0), 0.0); // past the end
         assert_eq!(idx.carbon(0, 900, 2.0), 12.0);
+    }
+
+    #[test]
+    fn extreme_endpoints_clamp_instead_of_wrapping() {
+        // Regression: the old `t - start + step - 1` wrapped (panicking
+        // in debug builds) for endpoints near the i64 extremes and
+        // charged garbage in release builds. Every window that cannot
+        // overlap the series must charge exactly 0.0; windows that
+        // cover it must charge the full prefix.
+        let prefix = [0.0, 1.0, 3.0, 6.0];
+        let idx = IntensityIndex::new(0, 300, &prefix);
+        assert_eq!(idx.carbon(i64::MIN, i64::MIN + 1, 1.0), 0.0);
+        assert_eq!(idx.carbon(i64::MAX - 1, i64::MAX, 1.0), 0.0);
+        assert_eq!(idx.carbon(i64::MIN, -1, 1.0), 0.0);
+        assert_eq!(idx.carbon(900, i64::MAX, 1.0), 0.0);
+        assert_eq!(idx.carbon(i64::MIN, i64::MAX, 1.0), 6.0);
+        assert_eq!(idx.carbon(i64::MIN, 301, 1.0), 3.0);
+        assert_eq!(idx.carbon(300, i64::MAX, 1.0), 5.0);
+
+        // A grid ending exactly at i64::MAX: the sample at MAX is
+        // excluded by a [.., MAX) window and included by no larger one.
+        let late = IntensityIndex::new(i64::MAX - 600, 300, &prefix);
+        assert_eq!(late.carbon(i64::MIN, i64::MAX, 1.0), 3.0);
+        assert_eq!(late.carbon(i64::MAX - 600, i64::MAX, 1.0), 3.0);
+        assert_eq!(late.carbon(i64::MIN, i64::MIN + 4096, 1.0), 0.0);
+
+        // A grid starting at i64::MIN clamps from below.
+        let early = IntensityIndex::new(i64::MIN, 300, &prefix);
+        assert_eq!(early.carbon(i64::MIN, i64::MAX, 1.0), 6.0);
+        assert_eq!(early.carbon(i64::MAX - 4096, i64::MAX, 1.0), 0.0);
+    }
+
+    #[test]
+    fn batched_queries_survive_extreme_endpoints() {
+        let prefix = [0.0, 2.0, 2.5, 7.0];
+        let idx = IntensityIndex::new(-300, 300, &prefix);
+        let queries: Vec<BillingQuery> = vec![
+            (i64::MIN, i64::MAX, 1.0),
+            (i64::MIN, i64::MIN + 7, 3.0),
+            (i64::MAX - 7, i64::MAX, 3.0),
+            (i64::MAX, i64::MIN, 1.0), // inverted across the full span
+            (i64::MIN, 0, 2.0),
+            (0, i64::MAX, 2.0),
+        ];
+        let mut out = Vec::new();
+        idx.carbon_batch_into(&queries, &mut out);
+        let expected = [7.0, 0.0, 0.0, 0.0, 2.0 * 2.0, 2.0 * 5.0];
+        assert_eq!(out.len(), expected.len());
+        for ((answer, want), &(t0, t1, alloc)) in out.iter().zip(expected).zip(&queries) {
+            assert_eq!(*answer, want, "({t0}, {t1}, {alloc})");
+            assert_eq!(answer.to_bits(), idx.carbon(t0, t1, alloc).to_bits());
+        }
     }
 
     #[test]

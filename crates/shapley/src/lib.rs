@@ -37,6 +37,10 @@
 //!   sparse-table range-max peaks, a reusable
 //!   [`cascade::CascadeScratch`] for allocation-free repeats, and the
 //!   [`cascade::IntensityIndex`] answering batched billing queries.
+//! * [`incremental`] — the streaming engine behind the always-on
+//!   attribution service: fixed windows ingested one sample at a time
+//!   at amortized `O(levels)` per sample, each closed window
+//!   bit-identical to the frozen cascade on the same slice.
 //! * [`axioms`] — executable checks of the four fairness axioms (null
 //!   player, symmetry, efficiency, linearity).
 //!
@@ -62,6 +66,7 @@ pub mod cascade;
 pub mod coalition;
 pub mod exact;
 pub mod game;
+pub mod incremental;
 pub mod matching;
 pub mod maxtree;
 pub mod parallel;
@@ -77,6 +82,7 @@ pub use exact::{
     exact_shapley, exact_shapley_fast_with_scratch, parallel_exact_shapley, ExactScratch,
 };
 pub use game::{replay_marginals_into, EvalCounters, Game, GameStats, IncrementalGame, ScanPeak};
+pub use incremental::{IncrementalCascade, WindowAttribution};
 pub use matching::{shapley_from_moments, MatchingGame};
 pub use maxtree::MaxTree;
 pub use parallel::{

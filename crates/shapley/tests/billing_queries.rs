@@ -1,0 +1,113 @@
+//! Property tests for the billing-query path: `IntensityIndex::carbon`
+//! against a naive linear scan over the sample grid, across random
+//! grids and windows — including inverted, empty, and extreme-endpoint
+//! windows (the `i64` overflow regression of the release billing path).
+
+use fairco2_shapley::cascade::first_sample_at_or_after;
+use fairco2_shapley::{BillingQuery, IntensityIndex};
+use proptest::prelude::*;
+
+/// Expands an endpoint "class" drawn by the strategy into a concrete
+/// query endpoint: most windows land near the grid, but every case also
+/// exercises the hostile extremes where the old arithmetic wrapped.
+fn endpoint(class: u8, offset: i64) -> i64 {
+    match class % 4 {
+        0 => offset,                                // near the grid
+        1 => i64::MIN.saturating_add(offset.abs()), // hostile low extreme
+        2 => i64::MAX.saturating_sub(offset.abs()), // hostile high extreme
+        _ => offset.saturating_mul(1 << 40),        // far out of range
+    }
+}
+
+/// The reference: a linear scan over the sample grid, charging every
+/// sample whose timestamp falls in `[t0, t1)`.
+fn naive_carbon(start: i64, step: u32, intensity: &[f64], q: BillingQuery) -> f64 {
+    let (t0, t1, alloc) = q;
+    let stepf = f64::from(step);
+    let mut total = 0.0;
+    for (k, v) in intensity.iter().enumerate() {
+        // `start + k·step` cannot overflow: the strategy bounds the
+        // grid so the whole span stays far from the i64 extremes.
+        let t = start + k as i64 * i64::from(step);
+        if t >= t0 && t < t1 {
+            total += v * stepf;
+        }
+    }
+    alloc * total
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(192))]
+
+    #[test]
+    fn carbon_matches_naive_linear_scan(
+        start in -1_000_000_000i64..1_000_000_000,
+        step in 1u32..100_000,
+        intensity in prop::collection::vec(0.0f64..50.0, 1..48),
+        windows in prop::collection::vec(
+            (0u8..4, -2_000_000_000i64..2_000_000_000, 0u8..4, -2_000_000_000i64..2_000_000_000, 0.0f64..8.0),
+            1..24,
+        ),
+    ) {
+        let stepf = f64::from(step);
+        let mut prefix = Vec::with_capacity(intensity.len() + 1);
+        prefix.push(0.0);
+        let mut acc = 0.0;
+        for v in &intensity {
+            acc += v * stepf;
+            prefix.push(acc);
+        }
+        let idx = IntensityIndex::new(start, step, &prefix);
+        let queries: Vec<BillingQuery> = windows
+            .iter()
+            .map(|&(c0, o0, c1, o1, alloc)| (endpoint(c0, o0), endpoint(c1, o1), alloc))
+            .collect();
+        let mut batched = Vec::new();
+        idx.carbon_batch_into(&queries, &mut batched);
+        for (&query, &fast) in queries.iter().zip(&batched) {
+            let slow = naive_carbon(start, step, &intensity, query);
+            // The index subtracts prefix sums while the scan adds term
+            // by term, so compare up to accumulation roundoff.
+            let tol = 1e-9 * slow.abs().max(1.0);
+            prop_assert!(
+                (fast - slow).abs() <= tol,
+                "query {query:?}: index {fast} vs scan {slow}"
+            );
+            prop_assert_eq!(fast.to_bits(), idx.carbon(query.0, query.1, query.2).to_bits());
+        }
+    }
+
+    #[test]
+    fn empty_and_inverted_windows_charge_nothing(
+        start in -1_000_000i64..1_000_000,
+        step in 1u32..10_000,
+        intensity in prop::collection::vec(0.0f64..50.0, 1..32),
+        pivot in -2_000_000i64..2_000_000,
+        span in 0i64..1_000_000,
+    ) {
+        let stepf = f64::from(step);
+        let mut prefix = vec![0.0];
+        let mut acc = 0.0;
+        for v in &intensity {
+            acc += v * stepf;
+            prefix.push(acc);
+        }
+        let idx = IntensityIndex::new(start, step, &prefix);
+        prop_assert_eq!(idx.carbon(pivot, pivot, 3.0), 0.0);
+        prop_assert_eq!(idx.carbon(pivot + span, pivot, 3.0), 0.0);
+        prop_assert_eq!(idx.carbon(i64::MAX, i64::MIN, 3.0), 0.0);
+    }
+}
+
+#[test]
+fn shared_index_conversion_is_clamped_at_the_extremes() {
+    // The helper behind both `IntensityIndex` and the serve epoch
+    // snapshots: extremes land on the clamp bounds, never wrap.
+    assert_eq!(first_sample_at_or_after(0, 300, 10, i64::MIN), 0);
+    assert_eq!(first_sample_at_or_after(0, 300, 10, i64::MAX), 10);
+    assert_eq!(first_sample_at_or_after(i64::MIN, 300, 10, i64::MIN), 0);
+    assert_eq!(first_sample_at_or_after(i64::MAX - 10, 1, 10, i64::MAX), 10);
+    assert_eq!(first_sample_at_or_after(0, 300, 10, 1), 1);
+    assert_eq!(first_sample_at_or_after(0, 300, 10, 300), 1);
+    assert_eq!(first_sample_at_or_after(0, 300, 10, 301), 2);
+}
