@@ -15,15 +15,26 @@
 //!   reused [`CascadeScratch`]);
 //! * `billing_per_call` / `billing_batch` — workload billing-window
 //!   queries one `workload_carbon` call at a time versus the batched
-//!   prefix-table entry point.
+//!   prefix-table entry point;
+//! * `kernel_sweep` / `kernel_prefix` / `kernel_scatter` — the retained
+//!   scalar inner loops versus the canonical lane-parallel kernels
+//!   (multi-accumulator sweep, blocked prefix, quad-unrolled table
+//!   scatter).
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use std::hint::black_box;
 
 use fairco2_shapley::cascade::{BillingQuery, CascadeScratch};
 use fairco2_shapley::default_threads;
-use fairco2_shapley::exact::{exact_shapley, exact_shapley_fast, parallel_exact_shapley};
+use fairco2_shapley::exact::{
+    exact_shapley, exact_shapley_fast, parallel_exact_shapley, shapley_from_table,
+    shapley_from_table_scalar,
+};
 use fairco2_shapley::game::{PeakDemandGame, ScanPeak};
+use fairco2_shapley::kernels::{
+    hierarchy_bounds, level_sums_lanes, level_sums_scalar, prefix_blocked, prefix_scalar,
+    CANONICAL_LANES, PREFIX_BLOCK,
+};
 use fairco2_shapley::sampled::{sampled_shapley, sampled_shapley_cached, SampleConfig};
 use fairco2_shapley::temporal::TemporalShapley;
 use fairco2_trace::TimeSeries;
@@ -201,12 +212,92 @@ fn bench_billing_queries(c: &mut Criterion) {
     group.finish();
 }
 
+fn bench_kernel_sweep(c: &mut Criterion) {
+    let mut group = c.benchmark_group("kernel_sweep");
+    group.sample_size(10);
+    for samples in [8_640usize, 34_560] {
+        let demand = diurnal_demand(samples);
+        let values = demand.values().to_vec();
+        let bounds = hierarchy_bounds(samples, &[10, 9, 8, 12]).expect("paper splits");
+        let mut q = Vec::new();
+        let mut peaks = Vec::new();
+        group.bench_with_input(BenchmarkId::new("scalar", samples), &values, |b, v| {
+            b.iter(|| {
+                level_sums_scalar(black_box(v), 300.0, &bounds, &mut q, &mut peaks);
+                q.last().map(Vec::len)
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("lane", samples), &values, |b, v| {
+            b.iter(|| {
+                level_sums_lanes::<CANONICAL_LANES>(
+                    black_box(v),
+                    300.0,
+                    &bounds,
+                    &mut q,
+                    &mut peaks,
+                );
+                q.last().map(Vec::len)
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_kernel_prefix(c: &mut Criterion) {
+    let mut group = c.benchmark_group("kernel_prefix");
+    group.sample_size(10);
+    for samples in [8_640usize, 34_560] {
+        let demand = diurnal_demand(samples);
+        let values = demand.values().to_vec();
+        let mut prefix = Vec::new();
+        group.bench_with_input(BenchmarkId::new("scalar", samples), &values, |b, v| {
+            b.iter(|| {
+                prefix_scalar(black_box(v), 300.0, &mut prefix);
+                prefix[v.len()]
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("lane", samples), &values, |b, v| {
+            b.iter(|| {
+                prefix_blocked::<PREFIX_BLOCK>(black_box(v), 300.0, &mut prefix);
+                prefix[v.len()]
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_kernel_scatter(c: &mut Criterion) {
+    let mut group = c.benchmark_group("kernel_scatter");
+    group.sample_size(10);
+    for n in [14usize, 18] {
+        // A synthetic non-negative characteristic table, like a peak-demand
+        // game's toggle fill would produce.
+        let table: Vec<f64> = (0..1u64 << n)
+            .map(|m| {
+                let mut x = m.wrapping_mul(0x9e37_79b9_7f4a_7c15).wrapping_add(7);
+                x ^= x >> 33;
+                ((x >> 40) % 8_001) as f64 / 100.0
+            })
+            .collect();
+        group.bench_with_input(BenchmarkId::new("scalar", n), &table, |b, t| {
+            b.iter(|| shapley_from_table_scalar(n, black_box(t)))
+        });
+        group.bench_with_input(BenchmarkId::new("lane", n), &table, |b, t| {
+            b.iter(|| shapley_from_table(n, black_box(t)))
+        });
+    }
+    group.finish();
+}
+
 criterion_group!(
     benches,
     bench_exact_parallelism,
     bench_sampling_cache,
     bench_toggle_paths,
     bench_cascade_paths,
-    bench_billing_queries
+    bench_billing_queries,
+    bench_kernel_sweep,
+    bench_kernel_prefix,
+    bench_kernel_scatter
 );
 criterion_main!(benches);

@@ -5,6 +5,10 @@
 use std::time::Instant;
 
 use fairco2_shapley::cascade::CascadeScratch;
+use fairco2_shapley::kernels::{
+    hierarchy_bounds, level_sums_lanes, level_sums_scalar, prefix_blocked, prefix_scalar,
+    CANONICAL_LANES, PREFIX_BLOCK,
+};
 use fairco2_shapley::temporal::TemporalShapley;
 use fairco2_trace::TimeSeries;
 
@@ -95,17 +99,53 @@ fn main() {
         out[samples]
     });
 
+    // The actual retained kernels, scalar vs lane canonical, so the
+    // floors above can be compared with what the cascade really runs.
+    let bounds = hierarchy_bounds(samples, &[10, 9, 8, 12]).unwrap();
+    let mut q = Vec::new();
+    let mut peaks = Vec::new();
+    let sweep_scalar = best(reps, || {
+        level_sums_scalar(&values, 300.0, &bounds, &mut q, &mut peaks);
+        q[bounds.len() - 1].len()
+    });
+    let sweep_lane = best(reps, || {
+        level_sums_lanes::<CANONICAL_LANES>(&values, 300.0, &bounds, &mut q, &mut peaks);
+        q[bounds.len() - 1].len()
+    });
+    let mut prefix = Vec::new();
+    let kernel_prefix_scalar = best(reps, || {
+        prefix_scalar(&values, 300.0, &mut prefix);
+        prefix[samples]
+    });
+    let kernel_prefix_lane = best(reps, || {
+        prefix_blocked::<PREFIX_BLOCK>(&values, 300.0, &mut prefix);
+        prefix[samples]
+    });
+
     println!("samples            {samples}");
     println!("per-period         {:>9.1} µs", per_period * 1e6);
     println!("flat fresh         {:>9.1} µs", fresh * 1e6);
     println!("flat scratch       {:>9.1} µs", reuse * 1e6);
     println!("to_attribution     {:>9.1} µs", materialize * 1e6);
     for (splits, t) in &partial {
-        println!("scratch {:<13?} {:>9.1} µs", splits, t * 1e6);
+        println!("scratch {:<13} {:>9.1} µs", format!("{splits:?}"), t * 1e6);
     }
     println!("-- floors --");
     println!("one sum pass       {:>9.1} µs", sum_pass * 1e6);
     println!("one fill pass      {:>9.1} µs", fill_pass * 1e6);
     println!("fused sweep        {:>9.1} µs", sweep_pass * 1e6);
     println!("prefix chain       {:>9.1} µs", prefix_pass * 1e6);
+    println!("-- kernels (scalar vs lane canonical) --");
+    println!(
+        "level sums         {:>9.1} µs  vs  {:>9.1} µs  ({:.2}x, {CANONICAL_LANES} lanes)",
+        sweep_scalar * 1e6,
+        sweep_lane * 1e6,
+        sweep_scalar / sweep_lane
+    );
+    println!(
+        "leaf prefix        {:>9.1} µs  vs  {:>9.1} µs  ({:.2}x, B={PREFIX_BLOCK})",
+        kernel_prefix_scalar * 1e6,
+        kernel_prefix_lane * 1e6,
+        kernel_prefix_scalar / kernel_prefix_lane
+    );
 }

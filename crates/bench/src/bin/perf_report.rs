@@ -23,9 +23,17 @@
 //!   (`fairco2-serve`) under concurrent ingest + query load: sustained
 //!   queries per second and p99 batch latency while epochs publish, a
 //!   bit-identity gate against a from-scratch rebuild, and sharded batch
-//!   throughput — written to `results/BENCH_service.json`.
+//!   throughput — written to `results/BENCH_service.json`;
+//! * a `kernels` section timing each lane-parallel inner-loop kernel
+//!   against its retained scalar path on the year-long trace — the fused
+//!   per-period sweep, the leaf carbon prefix, the exact-table scatter,
+//!   and the paired antithetic replay — reporting GB/s and elements/ns
+//!   per kernel with the equality/closeness gates asserted in the same
+//!   run, plus a thread-scaling curve (1/2/4/… up to `--threads`) for
+//!   the `run_parallel`-backed paths — written to
+//!   `results/BENCH_kernels.json`.
 //!
-//! `--section all|shapley|monte-carlo|temporal|service` picks one section
+//! `--section all|shapley|monte-carlo|temporal|service|kernels` picks one section
 //! (default `all`). Tune with `--trials N --threads N --max-n N
 //! --permutations N --mc-trials N --temporal-samples N
 //! --temporal-queries N --service-ms N --service-tenants N
@@ -49,8 +57,18 @@ use fairco2_montecarlo::{
 use fairco2_serve::{demand_sample, run_load, AttributionService, LoadOptions, ServiceConfig};
 use fairco2_shapley::cascade::{BillingQuery, CascadeScratch};
 use fairco2_shapley::default_threads;
-use fairco2_shapley::exact::{exact_shapley, exact_shapley_fast, parallel_exact_shapley};
-use fairco2_shapley::game::{Game, PeakDemandGame, ScanPeak};
+use fairco2_shapley::exact::{
+    exact_shapley, exact_shapley_fast, parallel_exact_shapley, shapley_from_table,
+    shapley_from_table_scalar,
+};
+use fairco2_shapley::game::{
+    replay_marginals_into, replay_marginals_paired_into, EvalCounters, Game, IncrementalGame,
+    PeakDemandGame, ScanPeak,
+};
+use fairco2_shapley::kernels::{
+    hierarchy_bounds, level_sums_lanes, level_sums_scalar, prefix_blocked, prefix_scalar,
+    CANONICAL_LANES, PREFIX_BLOCK,
+};
 use fairco2_shapley::sampled::{sampled_shapley, sampled_shapley_cached, SampleConfig};
 use fairco2_shapley::temporal::{TemporalAttribution, TemporalShapley};
 use fairco2_shapley::MaxTree;
@@ -178,6 +196,126 @@ struct TemporalReport {
     queries_per_sec: f64,
     /// Process peak RSS (`VmHWM`) in KiB after the temporal runs.
     peak_rss_kib: Option<u64>,
+}
+
+/// Per-kernel scalar-versus-lane timings on the year-long trace, written
+/// to `results/BENCH_kernels.json`.
+#[derive(Serialize)]
+struct KernelsReport {
+    /// Demand samples in the trace (default: one year at 5 minutes).
+    samples: usize,
+    /// Sampling step (s).
+    step: u32,
+    /// Hierarchy split ratios driving the sweep kernel.
+    splits: Vec<usize>,
+    /// Accumulator lanes of the canonical reduction.
+    lanes: usize,
+    /// Block length of the two-level prefix.
+    prefix_block: usize,
+    /// Players of the synthetic exact table the scatter kernel runs over
+    /// (`2ⁿ` masks).
+    scatter_players: usize,
+    /// Players and steps of the replay game, and permutations per timing
+    /// pass.
+    replay_players: usize,
+    replay_steps: usize,
+    replay_permutations: usize,
+    /// One row per kernel: fused sweep, leaf prefix, table scatter,
+    /// antithetic replay.
+    kernels: Vec<KernelRow>,
+    /// Every equality/closeness gate between the scalar and lane paths
+    /// held before any timing ran (asserted; recorded for the report).
+    gates_passed: bool,
+    /// Cores the OS reports — speedup curves below are flat when this
+    /// is 1 (single-CPU runners time slice the worker threads).
+    available_cores: usize,
+    /// `run_parallel`-backed paths at 1/2/4/… threads up to `--threads`.
+    thread_scaling: Vec<ScalingRow>,
+    /// Process peak RSS (`VmHWM`) in KiB.
+    peak_rss_kib: Option<u64>,
+}
+
+/// One lane-parallel kernel against its retained scalar path.
+#[derive(Serialize)]
+struct KernelRow {
+    kernel: &'static str,
+    /// Work units per timing pass (samples, table masks, or profile
+    /// samples touched by the replay).
+    elems: usize,
+    /// Memory traffic per pass the rates below are computed from.
+    bytes: u64,
+    scalar_secs: f64,
+    lane_secs: f64,
+    /// Scalar over lane wall time (the ≥1.5× targets are the sweep and
+    /// prefix rows).
+    speedup: f64,
+    scalar_gb_per_sec: f64,
+    lane_gb_per_sec: f64,
+    scalar_elems_per_ns: f64,
+    lane_elems_per_ns: f64,
+}
+
+impl KernelRow {
+    fn new(
+        kernel: &'static str,
+        elems: usize,
+        bytes: u64,
+        scalar_secs: f64,
+        lane_secs: f64,
+    ) -> Self {
+        let gb = bytes as f64 / 1.0e9;
+        KernelRow {
+            kernel,
+            elems,
+            bytes,
+            scalar_secs,
+            lane_secs,
+            speedup: scalar_secs / lane_secs,
+            scalar_gb_per_sec: gb / scalar_secs,
+            lane_gb_per_sec: gb / lane_secs,
+            scalar_elems_per_ns: elems as f64 / (scalar_secs * 1.0e9),
+            lane_elems_per_ns: elems as f64 / (lane_secs * 1.0e9),
+        }
+    }
+}
+
+/// One point of the thread-scaling curve (results asserted bit-identical
+/// to one-thread runs before timing).
+#[derive(Serialize)]
+struct ScalingRow {
+    threads: usize,
+    /// `TemporalShapley::attribute_parallel` on the year trace.
+    attribute_secs: f64,
+    /// `parallel_exact_shapley` on the scaling game.
+    exact_secs: f64,
+    /// Wall-time ratios versus the 1-thread row.
+    attribute_speedup: f64,
+    exact_speedup: f64,
+}
+
+/// Asserts two attributions agree within `tol` relative error in every
+/// observable — the lane canonical reassociates sums, so lane-vs-scalar
+/// comparisons are closeness pins, not bit pins.
+fn assert_attributions_close(
+    label: &str,
+    a: &TemporalAttribution,
+    b: &TemporalAttribution,
+    tol: f64,
+) {
+    let close = |x: f64, y: f64| (x - y).abs() <= tol * x.abs().max(y.abs()).max(f64::MIN_POSITIVE);
+    assert_eq!(a.level_intensity().len(), b.level_intensity().len());
+    for (la, lb) in a.level_intensity().iter().zip(b.level_intensity()) {
+        for (va, vb) in la.values().iter().zip(lb.values()) {
+            assert!(close(*va, *vb), "{label}: level intensity {va} vs {vb}");
+        }
+    }
+    for (va, vb) in a.carbon_prefix().iter().zip(b.carbon_prefix()) {
+        assert!(close(*va, *vb), "{label}: carbon prefix {va} vs {vb}");
+    }
+    assert!(
+        close(a.stranded_carbon(), b.stranded_carbon()),
+        "{label}: stranded carbon"
+    );
 }
 
 /// Asserts two attributions agree bit-for-bit in every observable.
@@ -318,6 +456,31 @@ fn best_secs<T>(trials: usize, mut f: impl FnMut() -> T) -> f64 {
     best
 }
 
+/// Best wall-clock for each of two kernels, with the trials
+/// *interleaved* (`a`, `b`, `a`, `b`, …) rather than phased. On a
+/// shared machine a load spike that spans one phase would skew a
+/// phased A-then-B comparison in whichever direction it landed;
+/// alternating the pair means any quiet window donates a best trial to
+/// both sides, so the reported ratio reflects the kernels, not the
+/// neighbors.
+fn best_secs_pair<T, U>(
+    trials: usize,
+    mut a: impl FnMut() -> T,
+    mut b: impl FnMut() -> U,
+) -> (f64, f64) {
+    let mut best_a = f64::INFINITY;
+    let mut best_b = f64::INFINITY;
+    for _ in 0..trials {
+        let start = Instant::now();
+        std::hint::black_box(a());
+        best_a = best_a.min(start.elapsed().as_secs_f64());
+        let start = Instant::now();
+        std::hint::black_box(b());
+        best_b = best_b.min(start.elapsed().as_secs_f64());
+    }
+    (best_a, best_b)
+}
+
 /// `VmHWM` (peak resident set) in KiB from `/proc/self/status`.
 fn peak_rss_kib() -> Option<u64> {
     let status = std::fs::read_to_string("/proc/self/status").ok()?;
@@ -344,7 +507,14 @@ const FLAGS: &[&str] = &[
 ];
 
 /// Sections `--section` can pick.
-const SECTIONS: &[&str] = &["all", "shapley", "monte-carlo", "temporal", "service"];
+const SECTIONS: &[&str] = &[
+    "all",
+    "shapley",
+    "monte-carlo",
+    "temporal",
+    "service",
+    "kernels",
+];
 
 fn main() {
     let args = Args::parse(FLAGS);
@@ -681,12 +851,18 @@ fn main() {
         let reference = hierarchy
             .attribute_per_period(&demand, total_carbon)
             .expect("paper hierarchy divides the trace");
+        // The retained scalar kernels reproduce the per-period reference
+        // bit for bit; the default lane canonical reassociates sums, so
+        // it is closeness-pinned against the scalar path, and parallel
+        // fan-out must reproduce the serial lane bits exactly.
+        let scalar = hierarchy.attribute_scalar(&demand, total_carbon).unwrap();
+        assert_attributions_identical("scalar flat vs per-period", &reference, &scalar);
         let flat = hierarchy.attribute(&demand, total_carbon).unwrap();
-        assert_attributions_identical("flat vs per-period", &reference, &flat);
+        assert_attributions_close("lane flat vs scalar flat", &scalar, &flat, 1e-9);
         let parallel = hierarchy
             .attribute_parallel(&demand, total_carbon, threads)
             .unwrap();
-        assert_attributions_identical("parallel vs per-period", &reference, &parallel);
+        assert_attributions_identical("parallel vs serial lane", &flat, &parallel);
 
         let per_period_secs = best_secs(trials, || {
             hierarchy
@@ -785,6 +961,342 @@ fn main() {
             println!("temporal   peak RSS {:.1} MiB", kib as f64 / 1024.0);
         }
         let path = write_json("BENCH_temporal", &temporal);
+        println!("wrote {}", path.display());
+    }
+
+    // --- kernels: lane-parallel inner loops vs retained scalar paths ---
+    if run("kernels") {
+        let samples = args.usize("temporal-samples", 105_120).max(8_640);
+        let step = 300u32;
+        let hierarchy = TemporalShapley::paper_hierarchy();
+        let scatter_players = 20.min(max_n);
+        let replay_players = 16.min(max_n).max(2);
+        let replay_steps = 96usize;
+        let replay_perms = 256usize;
+        println!(
+            "kernels: {samples} samples, {CANONICAL_LANES} lanes, {PREFIX_BLOCK}-sample prefix blocks"
+        );
+
+        // Same year-long diurnal + weekly trace as the temporal section.
+        let demand = TimeSeries::from_fn(0, step, samples, |t| {
+            let day = t as f64 / 86_400.0;
+            let base = 40.0
+                + 25.0 * (day * std::f64::consts::TAU).sin().abs()
+                + 10.0 * (day / 7.0 * std::f64::consts::TAU).cos();
+            if (t / step as i64) % 97 == 96 {
+                0.0
+            } else {
+                base.max(0.0)
+            }
+        })
+        .expect("year-long trace is non-empty");
+        let values = demand.values();
+        let close = |label: &str, a: f64, b: f64, tol: f64| {
+            let scale = a.abs().max(b.abs()).max(f64::MIN_POSITIVE);
+            assert!(
+                (a - b).abs() <= tol * scale,
+                "{label}: scalar {a} vs lane {b}"
+            );
+        };
+
+        // Fused sweep over the paper hierarchy. Gates: leaf peaks
+        // bit-identical (`max` is associative and operand-selecting),
+        // per-period sums within the documented reassociation bound.
+        let bounds = hierarchy_bounds(samples, hierarchy.splits())
+            .expect("paper hierarchy divides the trace");
+        let (mut q_s, mut q_l) = (Vec::new(), Vec::new());
+        let (mut peaks_s, mut peaks_l) = (Vec::new(), Vec::new());
+        level_sums_scalar(values, f64::from(step), &bounds, &mut q_s, &mut peaks_s);
+        level_sums_lanes::<CANONICAL_LANES>(
+            values,
+            f64::from(step),
+            &bounds,
+            &mut q_l,
+            &mut peaks_l,
+        );
+        for (level, (qs, ql)) in q_s.iter().zip(&q_l).enumerate() {
+            for (i, (a, b)) in qs.iter().zip(ql).enumerate() {
+                close(&format!("sweep q[{level}][{i}]"), *a, *b, 1e-11);
+            }
+        }
+        for (i, (a, b)) in peaks_s.iter().zip(&peaks_l).enumerate() {
+            assert_eq!(
+                a.to_bits(),
+                b.to_bits(),
+                "sweep peak[{i}] must be bit-identical"
+            );
+        }
+        let (sweep_scalar_secs, sweep_lane_secs) = best_secs_pair(
+            trials,
+            || {
+                level_sums_scalar(values, f64::from(step), &bounds, &mut q_s, &mut peaks_s);
+                peaks_s.last().copied()
+            },
+            || {
+                level_sums_lanes::<CANONICAL_LANES>(
+                    values,
+                    f64::from(step),
+                    &bounds,
+                    &mut q_l,
+                    &mut peaks_l,
+                );
+                peaks_l.last().copied()
+            },
+        );
+
+        // Leaf carbon prefix. Gates: bit-identical inside the first block
+        // (no carry), within one `local + carry` reassociation beyond it.
+        let (mut prefix_s, mut prefix_l) = (Vec::new(), Vec::new());
+        prefix_scalar(values, f64::from(step), &mut prefix_s);
+        prefix_blocked::<PREFIX_BLOCK>(values, f64::from(step), &mut prefix_l);
+        assert_eq!(prefix_s.len(), prefix_l.len());
+        for (i, (a, b)) in prefix_s
+            .iter()
+            .zip(&prefix_l)
+            .take(PREFIX_BLOCK + 1)
+            .enumerate()
+        {
+            assert_eq!(
+                a.to_bits(),
+                b.to_bits(),
+                "prefix[{i}] in block 0 must be bit-identical"
+            );
+        }
+        for (i, (a, b)) in prefix_s.iter().zip(&prefix_l).enumerate() {
+            close(&format!("prefix[{i}]"), *a, *b, 1e-11);
+        }
+        let (prefix_scalar_secs, prefix_blocked_secs) = best_secs_pair(
+            trials,
+            || {
+                prefix_scalar(values, f64::from(step), &mut prefix_s);
+                prefix_s.last().copied()
+            },
+            || {
+                prefix_blocked::<PREFIX_BLOCK>(values, f64::from(step), &mut prefix_l);
+                prefix_l.last().copied()
+            },
+        );
+
+        // Table scatter over a synthetic hash-valued 2ⁿ table, so the
+        // kernel is measured apart from the table fill. Non-negative
+        // values keep the scalar-vs-lane gate free of cancellation (the
+        // tolerance still covers the ~n·ε worst case at 2²⁰ terms).
+        let table: Vec<f64> = (0..1u64 << scatter_players)
+            .map(|mask| {
+                let mut x = mask.wrapping_mul(0x9e37_79b9_7f4a_7c15).wrapping_add(seed);
+                x ^= x >> 33;
+                x = x.wrapping_mul(0xff51_afd7_ed55_8ccd);
+                ((x >> 40) % 8_001) as f64 / 100.0
+            })
+            .collect();
+        let phi_scalar = shapley_from_table_scalar(scatter_players, &table);
+        let phi_lane = shapley_from_table(scatter_players, &table);
+        for (p, (a, b)) in phi_scalar.iter().zip(&phi_lane).enumerate() {
+            close(&format!("scatter phi[{p}]"), *a, *b, 1e-9);
+        }
+        let (scatter_scalar_secs, scatter_lane_secs) = best_secs_pair(
+            trials,
+            || shapley_from_table_scalar(scatter_players, &table),
+            || shapley_from_table(scatter_players, &table),
+        );
+
+        // Paired antithetic replay. Gate: the interleaved pair reproduces
+        // two sequential replays bit for bit with equal counter charges.
+        let replay_game = peak_game(replay_players, replay_steps, seed + 500);
+        let mut rng = StdRng::seed_from_u64(seed + 501);
+        let orders: Vec<Vec<usize>> = (0..replay_perms)
+            .map(|_| {
+                let mut order: Vec<usize> = (0..replay_players).collect();
+                for i in (1..replay_players).rev() {
+                    order.swap(i, rng.gen_range(0..=i));
+                }
+                order
+            })
+            .collect();
+        let reversed: Vec<Vec<usize>> = orders
+            .iter()
+            .map(|o| o.iter().rev().copied().collect())
+            .collect();
+        let mut state_a = replay_game.initial_state();
+        let mut state_b = replay_game.initial_state();
+        let (mut fwd_s, mut rev_s) = (vec![0.0; replay_players], vec![0.0; replay_players]);
+        let (mut fwd_p, mut rev_p) = (vec![0.0; replay_players], vec![0.0; replay_players]);
+        for (order, rev) in orders.iter().zip(&reversed) {
+            let mut seq = EvalCounters::default();
+            replay_marginals_into(&replay_game, order, &mut state_a, &mut fwd_s, &mut seq);
+            replay_marginals_into(&replay_game, rev, &mut state_a, &mut rev_s, &mut seq);
+            let mut pair = EvalCounters::default();
+            replay_marginals_paired_into(
+                &replay_game,
+                order,
+                &mut state_a,
+                &mut state_b,
+                &mut fwd_p,
+                &mut rev_p,
+                &mut pair,
+            );
+            for p in 0..replay_players {
+                assert_eq!(
+                    fwd_s[p].to_bits(),
+                    fwd_p[p].to_bits(),
+                    "paired forward marginal"
+                );
+                assert_eq!(
+                    rev_s[p].to_bits(),
+                    rev_p[p].to_bits(),
+                    "paired reverse marginal"
+                );
+            }
+            assert_eq!(seq.coalition_evals, pair.coalition_evals);
+            assert_eq!(seq.marginal_updates, pair.marginal_updates);
+        }
+        let mut state_c = replay_game.initial_state();
+        let (replay_seq_secs, replay_paired_secs) = best_secs_pair(
+            trials,
+            || {
+                let mut c = EvalCounters::default();
+                for (order, rev) in orders.iter().zip(&reversed) {
+                    replay_marginals_into(&replay_game, order, &mut state_a, &mut fwd_s, &mut c);
+                    replay_marginals_into(&replay_game, rev, &mut state_a, &mut rev_s, &mut c);
+                }
+                c.marginal_updates
+            },
+            || {
+                let mut c = EvalCounters::default();
+                for order in &orders {
+                    replay_marginals_paired_into(
+                        &replay_game,
+                        order,
+                        &mut state_c,
+                        &mut state_b,
+                        &mut fwd_p,
+                        &mut rev_p,
+                        &mut c,
+                    );
+                }
+                c.marginal_updates
+            },
+        );
+
+        // Thread-scaling curve for the run_parallel-backed paths, every
+        // point asserted bit-identical to the serial result first.
+        let available_cores = std::thread::available_parallelism().map_or(1, |n| n.get());
+        let scaling_game = peak_game(replay_players, 8, seed + 600);
+        let attr_reference = hierarchy.attribute(&demand, 1.0e6).unwrap();
+        let exact_reference = exact_shapley(&scaling_game).unwrap();
+        let mut scaling_raw = Vec::new();
+        let mut t = 1usize;
+        loop {
+            let attribution = hierarchy.attribute_parallel(&demand, 1.0e6, t).unwrap();
+            assert_attributions_identical("thread scaling", &attr_reference, &attribution);
+            let phi = parallel_exact_shapley(&scaling_game, t).unwrap();
+            for (a, b) in phi.iter().zip(&exact_reference) {
+                assert_eq!(a.to_bits(), b.to_bits(), "thread scaling: exact table");
+            }
+            let attribute_secs = best_secs(trials, || {
+                hierarchy.attribute_parallel(&demand, 1.0e6, t).unwrap()
+            });
+            let exact_secs =
+                best_secs(trials, || parallel_exact_shapley(&scaling_game, t).unwrap());
+            scaling_raw.push((t, attribute_secs, exact_secs));
+            if t >= threads {
+                break;
+            }
+            t = (t * 2).min(threads);
+        }
+        let (_, attr_base, exact_base) = scaling_raw[0];
+        let thread_scaling: Vec<ScalingRow> = scaling_raw
+            .iter()
+            .map(|&(threads, attribute_secs, exact_secs)| ScalingRow {
+                threads,
+                attribute_secs,
+                exact_secs,
+                attribute_speedup: attr_base / attribute_secs,
+                exact_speedup: exact_base / exact_secs,
+            })
+            .collect();
+
+        let replay_touched = replay_perms * 2 * replay_players * replay_steps;
+        let kernels = vec![
+            KernelRow::new(
+                "fused_sweep",
+                samples,
+                8 * samples as u64,
+                sweep_scalar_secs,
+                sweep_lane_secs,
+            ),
+            // Prefix traffic: one read per sample plus one write per slot.
+            KernelRow::new(
+                "leaf_prefix",
+                samples,
+                8 * (2 * samples + 1) as u64,
+                prefix_scalar_secs,
+                prefix_blocked_secs,
+            ),
+            KernelRow::new(
+                "table_scatter",
+                1 << scatter_players,
+                8u64 << scatter_players,
+                scatter_scalar_secs,
+                scatter_lane_secs,
+            ),
+            // Replay traffic: each marginal reads one demand row and
+            // updates the profile in place.
+            KernelRow::new(
+                "antithetic_replay",
+                replay_touched,
+                16 * replay_touched as u64,
+                replay_seq_secs,
+                replay_paired_secs,
+            ),
+        ];
+        for row in &kernels {
+            println!(
+                "kernels    {:<17} scalar {:>9.2} µs ({:>6.2} GB/s)  lane {:>9.2} µs ({:>6.2} GB/s)  ({:.2}x)",
+                row.kernel,
+                row.scalar_secs * 1.0e6,
+                row.scalar_gb_per_sec,
+                row.lane_secs * 1.0e6,
+                row.lane_gb_per_sec,
+                row.speedup
+            );
+        }
+        for row in &thread_scaling {
+            println!(
+                "kernels    threads={:<2} attribute {:>9.2} µs ({:.2}x)  exact n={} {:>9.2} µs ({:.2}x)",
+                row.threads,
+                row.attribute_secs * 1.0e6,
+                row.attribute_speedup,
+                replay_players,
+                row.exact_secs * 1.0e6,
+                row.exact_speedup
+            );
+        }
+        let report = KernelsReport {
+            samples,
+            step,
+            splits: hierarchy.splits().to_vec(),
+            lanes: CANONICAL_LANES,
+            prefix_block: PREFIX_BLOCK,
+            scatter_players,
+            replay_players,
+            replay_steps,
+            replay_permutations: replay_perms,
+            kernels,
+            gates_passed: true,
+            available_cores,
+            thread_scaling,
+            peak_rss_kib: peak_rss_kib(),
+        };
+        if available_cores == 1 {
+            println!(
+                "kernels    note: 1 available core — thread-scaling points time-slice one CPU"
+            );
+        }
+        if let Some(kib) = report.peak_rss_kib {
+            println!("kernels    peak RSS {:.1} MiB", kib as f64 / 1024.0);
+        }
+        let path = write_json("BENCH_kernels", &report);
         println!("wrote {}", path.display());
     }
 

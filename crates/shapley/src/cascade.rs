@@ -28,12 +28,27 @@
 //!   the leaf peaks is exported alongside for `O(1)` *arbitrary*-window
 //!   peak queries.
 //! * **Integrals** come from one fused sweep over the demand slice that
-//!   accumulates every level's per-period sums simultaneously. Each
-//!   period's sum is still a left-to-right fold over exactly its own
-//!   samples starting from `0.0` — deliberately *not* a
-//!   prefix-sum subtraction, which would reassociate floating-point
-//!   addition and break the bit-identity pin against the per-period
-//!   reference path.
+//!   accumulates every level's per-period sums simultaneously. Two
+//!   kernels implement the sweep, selected by [`KernelMode`]:
+//!   - [`KernelMode::Scalar`] keeps the original left-to-right fold
+//!     over exactly each period's samples from `0.0` — bit-identical
+//!     to [`TimeSeries::integral`] on the period's series, retained as
+//!     the equality/closeness pin for the lane path.
+//!   - [`KernelMode::Lane`] (the default) uses the documented
+//!     *canonical lane reduction*: within every leaf period, lane
+//!     `j ∈ 0..CANONICAL_LANES` sums the samples at within-leaf offsets
+//!     `≡ j (mod CANONICAL_LANES)`; each leaf's lane vector collapses
+//!     to one leaf sum through the fixed adjacent-pair tree of
+//!     [`combine_lanes`], and every level's period sum is the
+//!     left-to-right sum of its leaves' sums. The lane count, the
+//!     combine order, and the leaf-sum order are all constants of the
+//!     hierarchy shape — independent of the demand values — so the
+//!     reduction is deterministic and reproducible by the streaming
+//!     engine ([`crate::incremental`]) bit-for-bit. It *reassociates*
+//!     addition relative to the scalar fold, so lane sums match the
+//!     scalar ones only to a documented ulp bound (see DESIGN.md §8).
+//!     Peaks are unaffected: `f64::max` is associative and
+//!     operand-selecting, so lane-split peaks stay bit-identical.
 //! * **Scratch reuse**: all bounds, sums, carbon, intensity, and solver
 //!   buffers live in a [`CascadeScratch`]; a repeated
 //!   [`attribute_with_scratch`](crate::temporal::TemporalShapley::attribute_with_scratch)
@@ -301,6 +316,105 @@ fn ensure_levels<T: Default>(buffers: &mut Vec<T>, levels: usize) {
     }
 }
 
+/// Lane count of the canonical lane reduction used by
+/// [`KernelMode::Lane`] and [`crate::incremental::IncrementalCascade`].
+///
+/// This is a *semantic* constant, not a tuning knob: changing it
+/// changes which reassociated sum the lane kernels produce, so every
+/// pinned lane result (frozen-vs-streaming bit-identity, BENCH
+/// artifacts) would shift. Four lanes break the FP add latency chain
+/// (4-cycle latency, ≥1/cycle throughput on every x86-64 core we
+/// target) while keeping the per-leaf state small enough to live in
+/// registers.
+pub const CANONICAL_LANES: usize = 4;
+
+/// Block length of the blocked two-level prefix
+/// ([`fill_prefix_blocked`]). Part of the canonical reduction: the
+/// serial `acc += intensity · step` chain restarts at every multiple of
+/// this constant, and the inter-block carry is itself a serial sum of
+/// block totals. For signals no longer than one block the result is
+/// bit-identical to the scalar chain.
+///
+/// Like [`CANONICAL_LANES`], this is a *semantic* constant. Blocks are
+/// deliberately short: the whole local chain of one block fits inside
+/// the out-of-order window, so consecutive blocks' chains (which are
+/// independent by construction) overlap in the pipeline and the kernel
+/// runs at FP throughput instead of the serial chain's add latency.
+/// Wide blocks would not — each block's chain would be as long as the
+/// machine's reorder capacity, serializing the kernel back to chain
+/// latency.
+pub const PREFIX_BLOCK: usize = 8;
+
+/// Which inner-loop implementation [`run_cascade`] uses.
+///
+/// Both modes run the same algorithm; they differ only in floating-point
+/// summation order (and therefore in ulp-level rounding) as documented
+/// on the module and in DESIGN.md §8.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum KernelMode {
+    /// The original serial loops: per-period left-to-right folds and a
+    /// single `acc += value · step` prefix chain. Bit-identical to the
+    /// per-period reference path; retained as the pin for `Lane`.
+    Scalar,
+    /// The lane-parallel canonical reduction: [`CANONICAL_LANES`]
+    /// accumulator lanes per sum, combined with [`combine_lanes`], and
+    /// the [`PREFIX_BLOCK`]-blocked two-level prefix.
+    #[default]
+    Lane,
+}
+
+/// Folds a lane vector into one sum with the fixed adjacent-pair tree:
+/// `((l0 + l1) + (l2 + l3))` for `K = 4`, recursively for larger `K`.
+/// This combine order is *the* canonical — it never depends on how many
+/// samples each lane received, so any two code paths that partition the
+/// same samples into the same lanes produce bit-identical sums.
+///
+/// Unfilled lanes must hold `0.0`, the additive identity.
+///
+/// # Panics
+///
+/// Panics if `K` is not a power of two (the pair tree would silently
+/// drop lanes).
+#[inline]
+pub fn combine_lanes<const K: usize>(lanes: [f64; K]) -> f64 {
+    assert!(K.is_power_of_two(), "lane count must be a power of two");
+    let mut tmp = lanes;
+    let mut width = K;
+    while width > 1 {
+        width /= 2;
+        for j in 0..width {
+            tmp[j] = tmp[2 * j] + tmp[2 * j + 1];
+        }
+    }
+    tmp[0]
+}
+
+/// [`combine_lanes`] for peaks: the fixed adjacent-pair `f64::max`
+/// tree. Because `max` over finite floats is associative and always
+/// returns one of its operands, this is bit-identical to the serial
+/// left-to-right fold over the same samples — lane-splitting peaks is
+/// *not* a reassociation hazard (the lone exception, a `+0.0` / `-0.0`
+/// tie, cannot arise for non-negative demand).
+///
+/// Unfilled lanes must hold `f64::NEG_INFINITY`, the `max` identity.
+///
+/// # Panics
+///
+/// Panics if `K` is not a power of two.
+#[inline]
+pub fn combine_lanes_max<const K: usize>(lanes: [f64; K]) -> f64 {
+    assert!(K.is_power_of_two(), "lane count must be a power of two");
+    let mut tmp = lanes;
+    let mut width = K;
+    while width > 1 {
+        width /= 2;
+        for j in 0..width {
+            tmp[j] = f64::max(tmp[2 * j], tmp[2 * j + 1]);
+        }
+    }
+    tmp[0]
+}
+
 /// Derives every level's period bounds from the split ratios, honouring
 /// the same "earlier chunks get the remainder" rule as
 /// [`TimeSeries::split`].
@@ -352,7 +466,10 @@ pub(crate) fn fill_bounds(
 /// touching a single bit of the result. Upper-level period boundaries
 /// are a subset of the leaf boundaries (hierarchy bounds are nested), so
 /// boundary bookkeeping runs per leaf, not per sample.
-fn fill_level_sums(
+///
+/// This is the retained scalar kernel ([`KernelMode::Scalar`]); the
+/// default lane-parallel kernel is [`fill_level_sums_lanes`].
+pub(crate) fn fill_level_sums_scalar(
     values: &[f64],
     step: f64,
     bounds: &[Vec<usize>],
@@ -377,14 +494,14 @@ fn fill_level_sums(
         // into independent instructions with no bounds checks. Each
         // slot receives exactly the same adds in the same order as the
         // generic loop, so the sums are bit-identical.
-        1 => fused_sweep::<1>(values, step, bounds, q, next, leaf_peaks),
-        2 => fused_sweep::<2>(values, step, bounds, q, next, leaf_peaks),
-        3 => fused_sweep::<3>(values, step, bounds, q, next, leaf_peaks),
-        4 => fused_sweep::<4>(values, step, bounds, q, next, leaf_peaks),
-        5 => fused_sweep::<5>(values, step, bounds, q, next, leaf_peaks),
-        6 => fused_sweep::<6>(values, step, bounds, q, next, leaf_peaks),
-        7 => fused_sweep::<7>(values, step, bounds, q, next, leaf_peaks),
-        8 => fused_sweep::<8>(values, step, bounds, q, next, leaf_peaks),
+        1 => fused_sweep_scalar::<1>(values, step, bounds, q, next, leaf_peaks),
+        2 => fused_sweep_scalar::<2>(values, step, bounds, q, next, leaf_peaks),
+        3 => fused_sweep_scalar::<3>(values, step, bounds, q, next, leaf_peaks),
+        4 => fused_sweep_scalar::<4>(values, step, bounds, q, next, leaf_peaks),
+        5 => fused_sweep_scalar::<5>(values, step, bounds, q, next, leaf_peaks),
+        6 => fused_sweep_scalar::<6>(values, step, bounds, q, next, leaf_peaks),
+        7 => fused_sweep_scalar::<7>(values, step, bounds, q, next, leaf_peaks),
+        8 => fused_sweep_scalar::<8>(values, step, bounds, q, next, leaf_peaks),
         _ => {
             let leaf_bounds = bounds.last().expect("at least the root level");
             for w in leaf_bounds.windows(2) {
@@ -408,9 +525,9 @@ fn fill_level_sums(
     }
 }
 
-/// The fused sweep monomorphized for an `L`-level hierarchy; see
-/// [`fill_level_sums`].
-fn fused_sweep<const L: usize>(
+/// The scalar fused sweep monomorphized for an `L`-level hierarchy; see
+/// [`fill_level_sums_scalar`].
+fn fused_sweep_scalar<const L: usize>(
     values: &[f64],
     step: f64,
     bounds: &[Vec<usize>],
@@ -435,6 +552,112 @@ fn fused_sweep<const L: usize>(
                 q[level].push(file[level] * step);
                 file[level] = 0.0;
                 next[level] += 1;
+            }
+        }
+    }
+}
+
+/// The lane-parallel sweep ([`KernelMode::Lane`]): fills the same
+/// per-level integrals and leaf peaks as [`fill_level_sums_scalar`],
+/// but under the canonical lane reduction with `K = CANONICAL_LANES`.
+/// Buffer roles match the scalar kernel's.
+pub(crate) fn fill_level_sums_lanes(
+    values: &[f64],
+    step: f64,
+    bounds: &[Vec<usize>],
+    q: &mut Vec<Vec<f64>>,
+    acc: &mut Vec<f64>,
+    next: &mut Vec<usize>,
+    leaf_peaks: &mut Vec<f64>,
+) {
+    ensure_levels(q, bounds.len());
+    let levels = bounds.len();
+    acc.clear();
+    acc.resize(levels, 0.0);
+    next.clear();
+    next.resize(levels, 1);
+    for sums in q.iter_mut() {
+        sums.clear();
+    }
+    leaf_peaks.clear();
+    lane_sweep::<CANONICAL_LANES>(values, step, bounds, q, acc, next, leaf_peaks);
+}
+
+/// The generic-`K` lane sweep behind [`fill_level_sums_lanes`] (the
+/// cascade always runs it at `K = CANONICAL_LANES`; tests and benches
+/// exercise other powers of two through [`crate::kernels`]).
+///
+/// The canonical reduction, per leaf period:
+///
+/// 1. Lane `j` sums (and maxes) the leaf's samples at within-leaf
+///    offsets `≡ j (mod K)` — a `chunks_exact(K)` loop of `K`
+///    independent adds per chunk, which is what breaks the serial FP
+///    dependency chain of the scalar kernel (the hot per-sample work
+///    drops from `levels` dependent adds to one add on a 4-way
+///    independent chain).
+/// 2. The leaf's lane vector collapses to one *leaf sum* through the
+///    fixed adjacent-pair tree of [`combine_lanes`].
+/// 3. Every level accumulates whole leaf sums left-to-right
+///    (`levels` adds per **leaf**, not per sample), and a period
+///    closing at this leaf boundary emits `acc · step`.
+///
+/// The lane assignment (within-leaf offset mod `K`), the combine tree,
+/// and the leaf-sum accumulation order all depend only on the hierarchy
+/// shape — never on the demand values or on how the samples arrived —
+/// so the streaming engine ([`crate::incremental`]) reproduces these
+/// sums bit-for-bit by maintaining the same lanes sample-by-sample.
+/// Leaf peaks use the identical partition with `f64::max`
+/// ([`combine_lanes_max`]), which keeps them bit-identical to the
+/// scalar kernel's.
+pub(crate) fn lane_sweep<const K: usize>(
+    values: &[f64],
+    step: f64,
+    bounds: &[Vec<usize>],
+    q: &mut [Vec<f64>],
+    acc: &mut [f64],
+    next: &mut [usize],
+    leaf_peaks: &mut Vec<f64>,
+) {
+    let levels = bounds.len();
+    let leaf_bounds = bounds.last().expect("at least the root level");
+    // The leaf level closes at every leaf boundary, so its period sum is
+    // just the leaf sum (`0.0 + leaf_sum` in the generic loop — the
+    // chain never produces `-0.0`, so pushing `leaf_sum · step` directly
+    // is bit-identical). Upper levels have nested bounds: every upper
+    // boundary is also a boundary of the deepest upper level, so one
+    // compare per leaf gates all the upper bookkeeping.
+    let (upper_q, leaf_q) = q.split_at_mut(levels - 1);
+    let leaf_q = &mut leaf_q[0];
+    let uppers = levels - 1;
+    for w in leaf_bounds.windows(2) {
+        let leaf = &values[w[0]..w[1]];
+        let mut lane = [0.0f64; K];
+        let mut peak_lane = [f64::NEG_INFINITY; K];
+        let chunks = leaf.chunks_exact(K);
+        let tail = chunks.remainder();
+        for chunk in chunks {
+            for j in 0..K {
+                lane[j] += chunk[j];
+                peak_lane[j] = f64::max(peak_lane[j], chunk[j]);
+            }
+        }
+        for (j, &v) in tail.iter().enumerate() {
+            lane[j] += v;
+            peak_lane[j] = f64::max(peak_lane[j], v);
+        }
+        let leaf_sum = combine_lanes(lane);
+        leaf_peaks.push(combine_lanes_max(peak_lane));
+        leaf_q.push(leaf_sum * step);
+        for a in acc[..uppers].iter_mut() {
+            *a += leaf_sum;
+        }
+        if uppers > 0 && bounds[uppers - 1][next[uppers - 1]] == w[1] {
+            for level in 0..uppers {
+                if bounds[level][next[level]] == w[1] {
+                    upper_q[level].push(acc[level] * step);
+                    acc[level] = 0.0;
+                    next[level] += 1;
+                }
             }
         }
     }
@@ -505,7 +728,7 @@ pub(crate) fn split_parent(
 /// Expands one level's per-period carbon into the per-sample intensity
 /// buffer, accumulating carbon of zero-demand periods into `stranded` —
 /// the flat equivalent of the reference `intensity_signal`.
-fn fill_intensity(
+pub(crate) fn fill_intensity(
     bounds: &[usize],
     q: &[f64],
     carbon: &[f64],
@@ -565,10 +788,89 @@ pub(crate) fn fill_leaf_intensity_and_prefix(
     }
 }
 
+/// The blocked prefix ([`KernelMode::Lane`]'s replacement for the
+/// serial chain of [`fill_leaf_intensity_and_prefix`]):
+/// `prefix[k] = Σ_{i<k} intensity[i] · step` under the canonical
+/// blocked reduction with `B = PREFIX_BLOCK`.
+pub(crate) fn fill_prefix_blocked(intensity: &[f64], step: f64, prefix: &mut Vec<f64>) {
+    fill_prefix_blocked_sized::<PREFIX_BLOCK>(intensity, step, prefix);
+}
+
+/// The generic-`B` blocked prefix behind [`fill_prefix_blocked`] (the
+/// cascade always runs it at `B = PREFIX_BLOCK`; tests and benches
+/// exercise other block lengths through [`crate::kernels`]).
+///
+/// The canonical reduction:
+///
+/// 1. **Local prefixes.** The signal is cut into blocks of exactly `B`
+///    samples (plus a final partial block). Within each block the
+///    original serial chain runs unchanged — `acc += intensity[i] ·
+///    step` in index order from `0.0` — into a block-local buffer.
+///    Each block's chain is independent of every other block's, so with
+///    short blocks the machine overlaps consecutive chains and the
+///    kernel runs at FP throughput, not chain latency.
+/// 2. **Carry.** Block totals accumulate left-to-right into a running
+///    carry (`carry_b = ((T_0 + T_1) + T_2) + …`, where `T_b` is block
+///    `b`'s local chain end), and every element of block `b` stores
+///    `local + carry_b` — the carry is fused into the store, so the
+///    output is written exactly once.
+///
+/// Block boundaries sit at fixed multiples of `B`, never at
+/// data-dependent positions, so the reduction is deterministic and the
+/// streaming engine reproduces it bit-for-bit. For `n <= B` there is a
+/// single block whose carry is `0.0`: the local chain never produces a
+/// `-0.0` (it starts at `+0.0`), so `local + 0.0` is bit-identical to
+/// the scalar chain. For `n > B` each element differs from the scalar
+/// prefix only by the one reassociation `local + carry`, giving the
+/// ≤ 1-ulp-per-element relative bound documented in DESIGN.md §8.
+pub(crate) fn fill_prefix_blocked_sized<const B: usize>(
+    intensity: &[f64],
+    step: f64,
+    prefix: &mut Vec<f64>,
+) {
+    assert!(B > 0, "prefix blocks must be non-empty");
+    let n = intensity.len();
+    // Every slot below is stored exactly once, so skip the memset when
+    // the buffer is already the right length (the scratch-reuse path).
+    if prefix.len() != n + 1 {
+        prefix.clear();
+        prefix.resize(n + 1, 0.0);
+    }
+    prefix[0] = 0.0;
+    let out = &mut prefix[1..];
+    let mut carry = 0.0f64;
+    let chunks = intensity.chunks_exact(B);
+    let tail = chunks.remainder();
+    for (ic, oc) in chunks.zip(out.chunks_exact_mut(B)) {
+        let mut local = [0.0f64; B];
+        let mut a = 0.0f64;
+        // Indexed over the constant bound `B` so the chain and the
+        // carry-store fully unroll (`chunks_exact` pins both slice
+        // lengths, so the bounds checks fold away).
+        for j in 0..B {
+            a += ic[j] * step;
+            local[j] = a;
+        }
+        for j in 0..B {
+            oc[j] = local[j] + carry;
+        }
+        carry += a;
+    }
+    let done = n - tail.len();
+    let mut a = 0.0f64;
+    for (o, &v) in out[done..].iter_mut().zip(tail) {
+        a += v * step;
+        *o = a + carry;
+    }
+}
+
 /// Runs the flat cascade for `splits` over `demand`, filling `scratch`.
 /// `threads > 1` fans each level's parents out over [`run_parallel`]
 /// with an in-order merge; the result is bit-identical at any thread
-/// count, and bit-identical to the per-period reference path.
+/// count. `mode` selects the sweep/prefix kernels:
+/// [`KernelMode::Scalar`] is bit-identical to the per-period reference
+/// path, [`KernelMode::Lane`] to the streaming engine's canonical lane
+/// reduction.
 ///
 /// # Errors
 ///
@@ -579,6 +881,7 @@ pub(crate) fn run_cascade(
     demand: &TimeSeries,
     total_carbon: f64,
     threads: usize,
+    mode: KernelMode,
     scratch: &mut CascadeScratch,
 ) -> Result<(), SeriesError> {
     let samples = demand.len();
@@ -598,15 +901,26 @@ pub(crate) fn run_cascade(
         fill_bounds(&mut scratch.bounds, samples, splits)?;
         scratch.splits_cache.extend_from_slice(splits);
     }
-    fill_level_sums(
-        values,
-        step,
-        &scratch.bounds,
-        &mut scratch.q,
-        &mut scratch.level_acc,
-        &mut scratch.level_next,
-        &mut scratch.leaf_peaks,
-    );
+    match mode {
+        KernelMode::Scalar => fill_level_sums_scalar(
+            values,
+            step,
+            &scratch.bounds,
+            &mut scratch.q,
+            &mut scratch.level_acc,
+            &mut scratch.level_next,
+            &mut scratch.leaf_peaks,
+        ),
+        KernelMode::Lane => fill_level_sums_lanes(
+            values,
+            step,
+            &scratch.bounds,
+            &mut scratch.q,
+            &mut scratch.level_acc,
+            &mut scratch.level_next,
+            &mut scratch.leaf_peaks,
+        ),
+    }
     let levels = splits.len() + 1;
     ensure_levels(&mut scratch.carbon, levels);
     ensure_levels(&mut scratch.intensity, levels);
@@ -641,16 +955,29 @@ pub(crate) fn run_cascade(
     scratch.carbon[0].clear();
     scratch.carbon[0].push(total_carbon);
     if levels == 1 {
-        fill_leaf_intensity_and_prefix(
-            &scratch.bounds[0],
-            &scratch.q[0],
-            &scratch.carbon[0],
-            &mut scratch.intensity[0],
-            &mut scratch.prefix,
-            samples,
-            step,
-            &mut scratch.stranded,
-        );
+        match mode {
+            KernelMode::Scalar => fill_leaf_intensity_and_prefix(
+                &scratch.bounds[0],
+                &scratch.q[0],
+                &scratch.carbon[0],
+                &mut scratch.intensity[0],
+                &mut scratch.prefix,
+                samples,
+                step,
+                &mut scratch.stranded,
+            ),
+            KernelMode::Lane => {
+                fill_intensity(
+                    &scratch.bounds[0],
+                    &scratch.q[0],
+                    &scratch.carbon[0],
+                    &mut scratch.intensity[0],
+                    samples,
+                    &mut scratch.stranded,
+                );
+                fill_prefix_blocked(&scratch.intensity[0], step, &mut scratch.prefix);
+            }
+        }
     } else {
         fill_intensity(
             &scratch.bounds[0],
@@ -727,18 +1054,35 @@ pub(crate) fn run_cascade(
 
         let mut level_stranded = 0.0;
         if level + 2 == levels {
-            // Finest level: fuse the O(1)-billing-query prefix into the
-            // same pass.
-            fill_leaf_intensity_and_prefix(
-                &scratch.bounds[level + 1],
-                child_q,
-                child_carbon,
-                &mut scratch.intensity[level + 1],
-                &mut scratch.prefix,
-                samples,
-                step,
-                &mut level_stranded,
-            );
+            match mode {
+                // Finest level, scalar: fuse the O(1)-billing-query
+                // prefix into the same pass.
+                KernelMode::Scalar => fill_leaf_intensity_and_prefix(
+                    &scratch.bounds[level + 1],
+                    child_q,
+                    child_carbon,
+                    &mut scratch.intensity[level + 1],
+                    &mut scratch.prefix,
+                    samples,
+                    step,
+                    &mut level_stranded,
+                ),
+                // Finest level, lane: fill the leaf signal, then run
+                // the blocked prefix over it (the second read is hot in
+                // cache, and the blocked chain is ~3× faster than the
+                // fused serial one).
+                KernelMode::Lane => {
+                    fill_intensity(
+                        &scratch.bounds[level + 1],
+                        child_q,
+                        child_carbon,
+                        &mut scratch.intensity[level + 1],
+                        samples,
+                        &mut level_stranded,
+                    );
+                    fill_prefix_blocked(&scratch.intensity[level + 1], step, &mut scratch.prefix);
+                }
+            }
         } else {
             fill_intensity(
                 &scratch.bounds[level + 1],
@@ -919,7 +1263,7 @@ mod tests {
         let mut q = Vec::new();
         let (mut acc, mut next) = (Vec::new(), Vec::new());
         let mut leaf_peaks = Vec::new();
-        fill_level_sums(
+        fill_level_sums_scalar(
             &values,
             300.0,
             &bounds,
@@ -953,6 +1297,105 @@ mod tests {
         let level1 =
             TimeSeries::from_values(0, 300, values[bounds[1][0]..bounds[1][1]].to_vec()).unwrap();
         assert_eq!(table.query(0, 3).to_bits(), level1.peak().to_bits());
+    }
+
+    #[test]
+    fn combine_lanes_is_the_fixed_pair_tree() {
+        let s = combine_lanes([1e16, 3.0, -1e16, 7.0]);
+        // ((1e16 + 3) + (-1e16 + 7)) — NOT the serial ((1e16+3)-1e16)+7.
+        assert_eq!(s.to_bits(), ((1e16f64 + 3.0) + (-1e16f64 + 7.0)).to_bits());
+        assert_eq!(combine_lanes([2.5]), 2.5);
+        assert_eq!(combine_lanes([0.0; 8]), 0.0);
+        assert_eq!(
+            combine_lanes_max([f64::NEG_INFINITY, 4.0, f64::NEG_INFINITY, 1.0]),
+            4.0
+        );
+    }
+
+    #[test]
+    fn lane_sweep_peaks_and_small_sums_match_the_scalar_kernel() {
+        // Peaks are bit-identical under the lane partition; sums are
+        // bit-identical whenever every leaf is shorter than two lanes'
+        // worth of samples *and* each level closes per leaf — here the
+        // 23-sample [2, 3] hierarchy has 4-sample leaves, so only
+        // closeness holds for sums while peaks must match exactly.
+        let values: Vec<f64> = (0..23)
+            .map(|i| 0.1 + ((i * 31) % 17) as f64 * 0.37)
+            .collect();
+        let mut bounds = Vec::new();
+        fill_bounds(&mut bounds, 23, &[2, 3]).unwrap();
+        let (mut q_s, mut q_l) = (Vec::new(), Vec::new());
+        let (mut acc, mut next) = (Vec::new(), Vec::new());
+        let (mut peaks_s, mut peaks_l) = (Vec::new(), Vec::new());
+        fill_level_sums_scalar(
+            &values,
+            300.0,
+            &bounds,
+            &mut q_s,
+            &mut acc,
+            &mut next,
+            &mut peaks_s,
+        );
+        fill_level_sums_lanes(
+            &values,
+            300.0,
+            &bounds,
+            &mut q_l,
+            &mut acc,
+            &mut next,
+            &mut peaks_l,
+        );
+        assert_eq!(peaks_s.len(), peaks_l.len());
+        for (a, b) in peaks_s.iter().zip(&peaks_l) {
+            assert_eq!(a.to_bits(), b.to_bits());
+        }
+        for (level, (qs, ql)) in q_s.iter().zip(&q_l).enumerate() {
+            assert_eq!(qs.len(), ql.len(), "level {level}");
+            for (a, b) in qs.iter().zip(ql) {
+                assert!(
+                    (a - b).abs() <= 1e-12 * a.abs().max(1.0),
+                    "level {level}: {a} vs {b}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn blocked_prefix_is_bit_identical_within_one_block() {
+        let intensity: Vec<f64> = (0..1000).map(|i| ((i * 13) % 29) as f64 * 0.125).collect();
+        let mut scalar = vec![0.0; intensity.len() + 1];
+        let mut acc = 0.0;
+        for (i, &v) in intensity.iter().enumerate() {
+            acc += v * 300.0;
+            scalar[i + 1] = acc;
+        }
+        let mut blocked = Vec::new();
+        fill_prefix_blocked(&intensity, 300.0, &mut blocked); // 1000 <= PREFIX_BLOCK
+        assert_eq!(blocked.len(), scalar.len());
+        for (a, b) in blocked.iter().zip(&scalar) {
+            assert_eq!(a.to_bits(), b.to_bits());
+        }
+    }
+
+    #[test]
+    fn blocked_prefix_crosses_blocks_with_one_carry_reassociation() {
+        // Small B exercises the lockstep quad, the serial tail, and the
+        // partial final block; values are dyadic so every sum is exact
+        // and the carry reassociation is *also* exact — the blocked
+        // result must then equal the scalar chain bit-for-bit.
+        let intensity: Vec<f64> = (0..59).map(|i| ((i * 7) % 9) as f64 * 0.25).collect();
+        let mut scalar = vec![0.0; intensity.len() + 1];
+        let mut acc = 0.0;
+        for (i, &v) in intensity.iter().enumerate() {
+            acc += v * 2.0;
+            scalar[i + 1] = acc;
+        }
+        let mut blocked = Vec::new();
+        fill_prefix_blocked_sized::<4>(&intensity, 2.0, &mut blocked);
+        assert_eq!(blocked.len(), scalar.len());
+        for (i, (a, b)) in blocked.iter().zip(&scalar).enumerate() {
+            assert_eq!(a.to_bits(), b.to_bits(), "index {i}");
+        }
     }
 
     #[test]

@@ -15,21 +15,45 @@
 //! Because the window length is an exact multiple of every split ratio,
 //! the cascade's remainder rule degenerates to equal division and all
 //! period bounds are known up front. That makes every per-sample update
-//! O(levels):
+//! O(1) with an O(levels) burst at each leaf boundary:
 //!
-//! * **Integrals** — one running accumulator per level receives the same
-//!   left-to-right adds, in the same level order, as the frozen fused
-//!   sweep, so the per-period sums match bit for bit.
-//! * **Peaks** — a running leaf peak folds each sample with [`f64::max`];
-//!   when a leaf period closes, its peak is folded up the open parent
-//!   periods (the *MaxTree tail repair*): the closed peak of level
-//!   `l + 1` is the next operand of level `l`'s fold, reproducing the
-//!   frozen engine's bottom-up chunk folds operand for operand.
+//! * **Integrals** — the engine maintains the frozen engine's *canonical
+//!   lane reduction* ([`crate::cascade::KernelMode::Lane`]): each sample
+//!   lands in lane `in_leaf mod CANONICAL_LANES` of the open leaf's lane
+//!   vector (one add); when the leaf closes, the lanes collapse through
+//!   the fixed pair tree of [`combine_lanes`] and every level
+//!   accumulates the whole leaf sum. Lane assignment, combine order, and
+//!   leaf-sum order are all functions of the hierarchy shape alone, so
+//!   the per-period sums match the frozen lane sweep bit for bit.
+//! * **Peaks** — a lane-partitioned running peak folds each sample with
+//!   [`f64::max`] and collapses through [`combine_lanes_max`] at leaf
+//!   close (bit-identical to any fold order — `max` is associative and
+//!   operand-selecting); the closed leaf peak is then folded up the open
+//!   parent periods (the *MaxTree tail repair*) exactly as before.
 //! * **Window close** — the top-down carbon split reuses
-//!   [`split_parent`](crate::cascade) and
-//!   [`fill_leaf_intensity_and_prefix`](crate::cascade), the frozen
-//!   engine's own kernels, over the maintained sums and peaks; no sample
-//!   is rescanned.
+//!   [`split_parent`](crate::cascade), and the leaf signal and billing
+//!   prefix come from [`fill_intensity`](crate::cascade) plus the
+//!   blocked two-level prefix
+//!   ([`fill_prefix_blocked`](crate::cascade)) — the frozen lane
+//!   engine's own kernels, over the maintained sums and peaks; no
+//!   sample is rescanned.
+//!
+//! # Re-derivation of the streaming bit-identity (lane canonical)
+//!
+//! The original engine replayed the scalar fused sweep's adds literally
+//! (`levels` adds per sample). Under the lane overhaul the frozen
+//! cascade no longer performs those adds; its canonical is: *leaf lane
+//! sums by within-leaf offset mod `CANONICAL_LANES`, pair-tree combine,
+//! then per-level left-to-right leaf-sum accumulation*. Every term in
+//! that reduction is keyed by (leaf index, within-leaf offset) — both
+//! known exactly to the streaming engine from `filled` alone — so
+//! maintaining the same lanes sample-by-sample reproduces the identical
+//! float operations in the identical order, and the
+//! frozen-vs-streaming proptests in `tests/incremental.rs` still pin
+//! the outputs bit for bit. The per-push cost changes shape: a plain
+//! push is 2 ops (one lane add, one lane max) instead of
+//! `levels + 1`, and each leaf boundary pays the `O(levels + K)`
+//! collapse burst; the ops-counter tests re-pin those constants.
 //!
 //! The [`IncrementalCascade::ops`] counter pins the complexity: every
 //! primitive float operation (add, max, divide) is counted, and the
@@ -40,7 +64,10 @@
 use fairco2_trace::series::SeriesError;
 use serde::{Deserialize, Serialize};
 
-use crate::cascade::{fill_bounds, fill_leaf_intensity_and_prefix, split_parent};
+use crate::cascade::{
+    combine_lanes, combine_lanes_max, fill_bounds, fill_intensity, fill_prefix_blocked,
+    split_parent, CANONICAL_LANES,
+};
 
 /// One closed attribution window's finalized outputs: everything a
 /// billing query needs, detached from the engine so snapshots can share
@@ -92,16 +119,22 @@ pub struct IncrementalCascade {
     bounds: Vec<Vec<usize>>,
     /// Samples ingested into the open window.
     filled: usize,
-    /// Per-level running integral accumulators (same add order as the
-    /// frozen fused sweep).
+    /// Within-leaf offset of the next sample (selects its lane).
+    in_leaf: usize,
+    /// Lane sums of the open leaf period: lane `j` accumulates the
+    /// samples at within-leaf offsets `≡ j (mod CANONICAL_LANES)` —
+    /// exactly the frozen lane sweep's partition.
+    open_lane: [f64; CANONICAL_LANES],
+    /// Lane peaks of the open leaf period (same partition, `f64::max`).
+    open_peak_lane: [f64; CANONICAL_LANES],
+    /// Per-level running integral accumulators; each receives whole leaf
+    /// sums in leaf order, the frozen lane sweep's accumulation order.
     acc: Vec<f64>,
     /// Per-level index of the next period boundary in `bounds[l]`.
     next: Vec<usize>,
     /// Like `next`, tracked separately for the peak tail repair (which
     /// runs before the integral close at the same boundary).
     next_peak: Vec<usize>,
-    /// Running peak of the open leaf period.
-    open_leaf_peak: f64,
     /// Closed leaf-period peaks of the open window.
     leaf_peaks: Vec<f64>,
     /// `open_peaks[l]`: running peak of the open period at intermediate
@@ -158,10 +191,12 @@ impl IncrementalCascade {
             leaf_samples,
             bounds,
             filled: 0,
+            in_leaf: 0,
+            open_lane: [0.0; CANONICAL_LANES],
+            open_peak_lane: [f64::NEG_INFINITY; CANONICAL_LANES],
             acc: vec![0.0; levels],
             next: vec![1; levels],
             next_peak: vec![1; levels],
-            open_leaf_peak: f64::NEG_INFINITY,
             leaf_peaks: Vec::new(),
             open_peaks: vec![f64::NEG_INFINITY; levels],
             level_peaks: vec![Vec::new(); levels],
@@ -233,23 +268,30 @@ impl IncrementalCascade {
             value.is_finite() && value >= 0.0,
             "demand samples must be non-negative and finite, got {value}"
         );
-        // Same adds, same level order, as the frozen fused sweep.
-        for a in self.acc.iter_mut() {
-            *a += value;
-        }
-        self.open_leaf_peak = f64::max(self.open_leaf_peak, value);
+        // Same lane, same add, as the frozen lane sweep: one add and one
+        // max per sample regardless of the hierarchy depth.
+        let lane = self.in_leaf % CANONICAL_LANES;
+        self.open_lane[lane] += value;
+        self.open_peak_lane[lane] = f64::max(self.open_peak_lane[lane], value);
+        self.in_leaf += 1;
         self.filled += 1;
-        self.ops += self.acc.len() as u64 + 1;
+        self.ops += 2;
 
         let levels = self.bounds.len();
         if self.bounds[levels - 1][self.next[levels - 1]] == self.filled {
-            // The open leaf period closes: record its peak and repair
-            // the MaxTree tail — fold the closed peak into the open
-            // parent periods, closing each parent whose boundary this
-            // also is. Stops at the first level that stays open (bounds
-            // are nested, so no coarser level can close either).
-            let leaf_peak = self.open_leaf_peak;
-            self.open_leaf_peak = f64::NEG_INFINITY;
+            // The open leaf period closes: collapse the lanes through
+            // the canonical pair trees (the frozen sweep's exact combine
+            // order), then repair the MaxTree tail — fold the closed
+            // peak into the open parent periods, closing each parent
+            // whose boundary this also is. Stops at the first level that
+            // stays open (bounds are nested, so no coarser level can
+            // close either).
+            let leaf_sum = combine_lanes(self.open_lane);
+            let leaf_peak = combine_lanes_max(self.open_peak_lane);
+            self.open_lane = [0.0; CANONICAL_LANES];
+            self.open_peak_lane = [f64::NEG_INFINITY; CANONICAL_LANES];
+            self.in_leaf = 0;
+            self.ops += 2 * (CANONICAL_LANES as u64 - 1);
             self.leaf_peaks.push(leaf_peak);
             let mut child = leaf_peak;
             for l in (1..levels.saturating_sub(1)).rev() {
@@ -264,8 +306,13 @@ impl IncrementalCascade {
                     break;
                 }
             }
-            // Close the integral of every level whose boundary this is,
-            // in the frozen sweep's level order.
+            // Every level accumulates the whole leaf sum, then closes
+            // its integral if this is its boundary — the frozen lane
+            // sweep's leaf-fold and level order.
+            for a in self.acc.iter_mut() {
+                *a += leaf_sum;
+            }
+            self.ops += self.acc.len() as u64;
             for l in 0..levels {
                 if self.bounds[l][self.next[l]] == self.filled {
                     self.q[l].push(self.acc[l] * self.stepf);
@@ -330,23 +377,27 @@ impl IncrementalCascade {
         let mut leaf_intensity = Vec::new();
         let mut carbon_prefix = Vec::new();
         let mut stranded = 0.0;
-        fill_leaf_intensity_and_prefix(
+        fill_intensity(
             self.bounds.last().expect("at least the root level"),
             self.q.last().expect("at least the root level"),
             self.carbon.last().expect("at least the root level"),
             &mut leaf_intensity,
-            &mut carbon_prefix,
             self.window_samples,
-            step,
             &mut stranded,
         );
-        self.ops += self.window_samples as u64 + 1;
+        fill_prefix_blocked(&leaf_intensity, step, &mut carbon_prefix);
+        // Leaf fill ≈ one divide per leaf period amortized over its
+        // samples, blocked prefix ≈ one multiply + one add per sample
+        // plus the carry pass: count 3 ops per sample.
+        self.ops += 3 * self.window_samples as u64 + 1;
 
         self.filled = 0;
+        self.in_leaf = 0;
+        self.open_lane = [0.0; CANONICAL_LANES];
+        self.open_peak_lane = [f64::NEG_INFINITY; CANONICAL_LANES];
         self.acc.fill(0.0);
         self.next.fill(1);
         self.next_peak.fill(1);
-        self.open_leaf_peak = f64::NEG_INFINITY;
         self.leaf_peaks.clear();
         self.open_peaks.fill(f64::NEG_INFINITY);
         for peaks in &mut self.level_peaks {

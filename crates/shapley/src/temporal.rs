@@ -37,15 +37,17 @@
 //! max, integrals from a fused per-level sweep, and every buffer lives
 //! in a reusable [`CascadeScratch`]. The original per-period pipeline is
 //! retained verbatim as [`TemporalShapley::attribute_per_period`]; the
-//! flat engine is pinned **bit-for-bit** against it (and against itself
-//! across thread counts) by property tests in
-//! `tests/temporal_cascade.rs`.
+//! flat engine's scalar kernels ([`TemporalShapley::attribute_scalar`])
+//! are pinned **bit-for-bit** against it, and the default lane-parallel
+//! kernels ([`crate::cascade::KernelMode::Lane`]) closeness-pinned
+//! against the scalar ones (and bit-pinned against themselves across
+//! thread counts) by property tests in `tests/temporal_cascade.rs`.
 
 use serde::{Deserialize, Serialize};
 
 use fairco2_trace::series::{SeriesError, TimeSeries};
 
-use crate::cascade::{run_cascade, BillingQuery, CascadeScratch, IntensityIndex};
+use crate::cascade::{run_cascade, BillingQuery, CascadeScratch, IntensityIndex, KernelMode};
 use crate::exact::exact_shapley;
 use crate::game::PeakDemandGame;
 
@@ -286,7 +288,41 @@ impl TemporalShapley {
         total_carbon: f64,
     ) -> Result<TemporalAttribution, SeriesError> {
         let mut scratch = CascadeScratch::new();
-        run_cascade(&self.splits, demand, total_carbon, 1, &mut scratch)?;
+        run_cascade(
+            &self.splits,
+            demand,
+            total_carbon,
+            1,
+            KernelMode::Lane,
+            &mut scratch,
+        )?;
+        Ok(scratch.into_attribution())
+    }
+
+    /// [`TemporalShapley::attribute`] through the retained scalar
+    /// kernels ([`KernelMode::Scalar`]): per-period left-to-right sums
+    /// and the serial prefix chain, bit-identical to
+    /// [`TemporalShapley::attribute_per_period`]. This is the
+    /// equality/closeness pin for the default lane-parallel path — use
+    /// [`TemporalShapley::attribute`] everywhere else.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`TemporalShapley::attribute`].
+    pub fn attribute_scalar(
+        &self,
+        demand: &TimeSeries,
+        total_carbon: f64,
+    ) -> Result<TemporalAttribution, SeriesError> {
+        let mut scratch = CascadeScratch::new();
+        run_cascade(
+            &self.splits,
+            demand,
+            total_carbon,
+            1,
+            KernelMode::Scalar,
+            &mut scratch,
+        )?;
         Ok(scratch.into_attribution())
     }
 
@@ -305,7 +341,14 @@ impl TemporalShapley {
         threads: usize,
     ) -> Result<TemporalAttribution, SeriesError> {
         let mut scratch = CascadeScratch::new();
-        run_cascade(&self.splits, demand, total_carbon, threads, &mut scratch)?;
+        run_cascade(
+            &self.splits,
+            demand,
+            total_carbon,
+            threads,
+            KernelMode::Lane,
+            &mut scratch,
+        )?;
         Ok(scratch.into_attribution())
     }
 
@@ -329,16 +372,48 @@ impl TemporalShapley {
         threads: usize,
         scratch: &mut CascadeScratch,
     ) -> Result<(), SeriesError> {
-        run_cascade(&self.splits, demand, total_carbon, threads, scratch)
+        run_cascade(
+            &self.splits,
+            demand,
+            total_carbon,
+            threads,
+            KernelMode::Lane,
+            scratch,
+        )
+    }
+
+    /// [`TemporalShapley::attribute_with_scratch`] through the retained
+    /// scalar kernels; see [`TemporalShapley::attribute_scalar`].
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`TemporalShapley::attribute_with_scratch`].
+    pub fn attribute_scalar_with_scratch(
+        &self,
+        demand: &TimeSeries,
+        total_carbon: f64,
+        threads: usize,
+        scratch: &mut CascadeScratch,
+    ) -> Result<(), SeriesError> {
+        run_cascade(
+            &self.splits,
+            demand,
+            total_carbon,
+            threads,
+            KernelMode::Scalar,
+            scratch,
+        )
     }
 
     /// The original per-period pipeline, retained verbatim as the
     /// reference implementation: it clones the demand into owned
     /// [`TimeSeries`] at every level and rescans each period for its peak
-    /// and integral. The flat cascade in [`TemporalShapley::attribute`]
-    /// is equality-pinned bit-for-bit against this path by the property
-    /// tests in `tests/temporal_cascade.rs` and by `perf_report`; keep
-    /// using [`TemporalShapley::attribute`] everywhere else.
+    /// and integral. The scalar flat cascade
+    /// ([`TemporalShapley::attribute_scalar`]) is equality-pinned
+    /// bit-for-bit against this path by the property tests in
+    /// `tests/temporal_cascade.rs` and by `perf_report`, and the default
+    /// lane path closeness-pinned against *that*; keep using
+    /// [`TemporalShapley::attribute`] everywhere else.
     ///
     /// # Errors
     ///

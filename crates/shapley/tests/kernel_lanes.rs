@@ -1,0 +1,260 @@
+//! Property pins for the lane-parallel kernels against their retained
+//! scalar counterparts, at several lane counts / block lengths and at
+//! the awkward data lengths (0, 1, K−1, K, K+1, non-multiples of K).
+//!
+//! Two kinds of pin, matching the kernels' documented contracts:
+//!
+//! * **exact-bit** where the lane split preserves operand selection or
+//!   operand order — leaf peaks (`max` is associative and returns one of
+//!   its operands), the blocked prefix within one block, and the paired
+//!   permutation replay (interleaving two chains never reorders either
+//!   chain's arithmetic);
+//! * **≤ O(n·ε) relative closeness** where the split reassociates a sum
+//!   — per-period lane sums versus the serial chain, and the blocked
+//!   prefix across block boundaries (one `local + carry` reassociation
+//!   per element). The asserted tolerance of `1e-11` relative is ~two
+//!   orders looser than the worst `n·ε ≈ 2e-13` bound at the lengths
+//!   generated here, so the tests stay deterministic without masking a
+//!   wrong-partition bug (any mis-assigned sample shifts a sum by a
+//!   *relative* amount far above 1e-11 for the value ranges drawn).
+
+use fairco2_shapley::game::{
+    replay_marginals_into, replay_marginals_paired_into, EvalCounters, IncrementalGame,
+    PeakDemandGame,
+};
+use fairco2_shapley::kernels::{
+    hierarchy_bounds, level_sums_lanes, level_sums_scalar, prefix_blocked, prefix_scalar,
+};
+use proptest::prelude::*;
+
+/// Demand values with mixed magnitudes and signs-of-error exposure:
+/// dyadic quanta scaled across several decades so reassociation shows up
+/// in the last ulps but any partition bug shows up at full magnitude.
+fn demand_vec(len: usize) -> impl Strategy<Value = Vec<f64>> {
+    prop::collection::vec(
+        (0u32..4000u32, 0u32..3u32).prop_map(|(q, scale)| {
+            let base = q as f64 / 8.0;
+            base * [1.0, 1e3, 1e-3][scale as usize]
+        }),
+        len..=len,
+    )
+}
+
+/// Awkward lengths around a lane count / block length `k`, plus
+/// non-multiples.
+fn awkward_lengths(k: usize) -> Vec<usize> {
+    let mut lens = vec![0, 1, k.saturating_sub(1), k, k + 1, 2 * k + 3, 7 * k + 5];
+    lens.dedup();
+    lens
+}
+
+fn assert_close(label: &str, a: f64, b: f64) {
+    let scale = a.abs().max(b.abs()).max(f64::MIN_POSITIVE);
+    assert!(
+        (a - b).abs() <= 1e-11 * scale,
+        "{label}: scalar {a} vs lane {b}"
+    );
+}
+
+/// Runs both sweeps on one flat (root-only) leaf of every awkward length
+/// and checks the pins. Exercised at K ∈ {2, 4, 8} below.
+fn check_sweep_flat<const K: usize>(values: &[f64]) {
+    let bounds = hierarchy_bounds(values.len(), &[]).unwrap();
+    let step = 300.0;
+    let (mut q_s, mut q_l) = (Vec::new(), Vec::new());
+    let (mut peaks_s, mut peaks_l) = (Vec::new(), Vec::new());
+    level_sums_scalar(values, step, &bounds, &mut q_s, &mut peaks_s);
+    level_sums_lanes::<K>(values, step, &bounds, &mut q_l, &mut peaks_l);
+    assert_eq!(q_s[0].len(), q_l[0].len());
+    for (i, (s, l)) in q_s[0].iter().zip(&q_l[0]).enumerate() {
+        assert_close(&format!("K={K} n={} q[{i}]", values.len()), *s, *l);
+    }
+    assert_eq!(peaks_s.len(), peaks_l.len());
+    for (i, (s, l)) in peaks_s.iter().zip(&peaks_l).enumerate() {
+        assert_eq!(
+            s.to_bits(),
+            l.to_bits(),
+            "K={K} n={} peak[{i}]: {s} vs {l}",
+            values.len()
+        );
+    }
+}
+
+/// Same pins on a two-level hierarchy whose uneven split puts leaves at
+/// lengths both above and below `K` (the remainder rule gives earlier
+/// leaves the extra samples).
+fn check_sweep_split<const K: usize>(values: &[f64], parts: usize) {
+    if values.len() < parts || parts == 0 {
+        return;
+    }
+    let bounds = hierarchy_bounds(values.len(), &[parts]).unwrap();
+    let step = 300.0;
+    let (mut q_s, mut q_l) = (Vec::new(), Vec::new());
+    let (mut peaks_s, mut peaks_l) = (Vec::new(), Vec::new());
+    level_sums_scalar(values, step, &bounds, &mut q_s, &mut peaks_s);
+    level_sums_lanes::<K>(values, step, &bounds, &mut q_l, &mut peaks_l);
+    for level in 0..2 {
+        for (i, (s, l)) in q_s[level].iter().zip(&q_l[level]).enumerate() {
+            assert_close(&format!("K={K} split={parts} q[{level}][{i}]"), *s, *l);
+        }
+    }
+    for (i, (s, l)) in peaks_s.iter().zip(&peaks_l).enumerate() {
+        assert_eq!(s.to_bits(), l.to_bits(), "K={K} split={parts} peak[{i}]");
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(40))]
+
+    #[test]
+    fn lane_sweep_matches_scalar_at_awkward_lengths(seed_len in 0usize..64) {
+        for k in [2usize, 4, 8] {
+            for n in awkward_lengths(k) {
+                let n = n + seed_len % 3; // jitter off the exact boundary too
+                let values: Vec<f64> = (0..n)
+                    .map(|i| ((i * 37 + seed_len * 101) % 4001) as f64 / 8.0)
+                    .collect();
+                match k {
+                    2 => check_sweep_flat::<2>(&values),
+                    4 => check_sweep_flat::<4>(&values),
+                    _ => check_sweep_flat::<8>(&values),
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn lane_sweep_matches_scalar_on_random_hierarchies(
+        values in demand_vec(97),
+        parts in 1usize..12,
+    ) {
+        check_sweep_split::<2>(&values, parts);
+        check_sweep_split::<4>(&values, parts);
+        check_sweep_split::<8>(&values, parts);
+    }
+
+    #[test]
+    fn blocked_prefix_is_bit_identical_within_one_block(
+        values in demand_vec(16),
+    ) {
+        // n = 16 ≤ B for every B tried: a single block, no carry, and
+        // the local chain IS the scalar chain.
+        let step = 300.0;
+        let (mut scalar, mut blocked) = (Vec::new(), Vec::new());
+        prefix_scalar(&values, step, &mut scalar);
+        for b in [16usize, 1024] {
+            match b {
+                16 => prefix_blocked::<16>(&values, step, &mut blocked),
+                _ => prefix_blocked::<1024>(&values, step, &mut blocked),
+            }
+            prop_assert_eq!(scalar.len(), blocked.len());
+            for (i, (s, l)) in scalar.iter().zip(&blocked).enumerate() {
+                prop_assert_eq!(s.to_bits(), l.to_bits(), "B={} prefix[{}]", b, i);
+            }
+        }
+    }
+
+    #[test]
+    fn blocked_prefix_stays_close_across_blocks(seed in 0u64..1000) {
+        let step = 300.0;
+        for b in [4usize, 16] {
+            for n in awkward_lengths(b).into_iter().chain([3 * b + 7]) {
+                let values: Vec<f64> = (0..n)
+                    .map(|i| ((i as u64 * 31 + seed * 7) % 4001) as f64 / 8.0)
+                    .collect();
+                let (mut scalar, mut blocked) = (Vec::new(), Vec::new());
+                prefix_scalar(&values, step, &mut scalar);
+                match b {
+                    4 => prefix_blocked::<4>(&values, step, &mut blocked),
+                    _ => prefix_blocked::<16>(&values, step, &mut blocked),
+                }
+                prop_assert_eq!(scalar.len(), blocked.len());
+                for (i, (s, l)) in scalar.iter().zip(&blocked).enumerate() {
+                    let scale = s.abs().max(l.abs()).max(f64::MIN_POSITIVE);
+                    prop_assert!(
+                        (s - l).abs() <= 1e-11 * scale,
+                        "B={} n={} prefix[{}]: {} vs {}", b, n, i, s, l
+                    );
+                    // Zero stays exactly zero: an all-zero prefix head
+                    // must not pick up carry noise.
+                    if *s == 0.0 {
+                        prop_assert_eq!(l.to_bits(), 0.0f64.to_bits());
+                    }
+                }
+            }
+        }
+    }
+
+    /// The paired antithetic replay must be bit-identical to two
+    /// sequential replays for any demand matrix and permutation — same
+    /// marginals, same counter charges.
+    #[test]
+    fn paired_replay_is_exact_for_random_games(
+        rows in prop::collection::vec(
+            prop::collection::vec(0u32..32u32, 4..=4).prop_map(
+                |r| r.into_iter().map(|v| v as f64 / 4.0).collect::<Vec<f64>>()
+            ),
+            2..7,
+        ),
+        perm_seed in 0u64..10_000,
+    ) {
+        let n = rows.len();
+        let game = PeakDemandGame::new(rows);
+        // A deterministic permutation from the seed (Fisher-Yates with a
+        // tiny LCG keeps the test free of rand plumbing).
+        let mut order: Vec<usize> = (0..n).collect();
+        let mut s = perm_seed.wrapping_mul(6364136223846793005).wrapping_add(1);
+        for i in (1..n).rev() {
+            s = s.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            order.swap(i, (s >> 33) as usize % (i + 1));
+        }
+
+        let mut state_a = game.initial_state();
+        let mut state_b = game.initial_state();
+        let (mut fwd_seq, mut rev_seq) = (vec![0.0; n], vec![0.0; n]);
+        let (mut fwd_pair, mut rev_pair) = (vec![0.0; n], vec![0.0; n]);
+
+        let mut seq = EvalCounters::default();
+        replay_marginals_into(&game, &order, &mut state_a, &mut fwd_seq, &mut seq);
+        let reversed: Vec<usize> = order.iter().rev().copied().collect();
+        replay_marginals_into(&game, &reversed, &mut state_a, &mut rev_seq, &mut seq);
+
+        let mut pair = EvalCounters::default();
+        replay_marginals_paired_into(
+            &game, &order, &mut state_a, &mut state_b,
+            &mut fwd_pair, &mut rev_pair, &mut pair,
+        );
+        for p in 0..n {
+            prop_assert_eq!(fwd_seq[p].to_bits(), fwd_pair[p].to_bits(), "forward[{}]", p);
+            prop_assert_eq!(rev_seq[p].to_bits(), rev_pair[p].to_bits(), "reverse[{}]", p);
+        }
+        prop_assert_eq!(seq.coalition_evals, pair.coalition_evals);
+        prop_assert_eq!(seq.marginal_updates, pair.marginal_updates);
+    }
+}
+
+/// Non-proptest edge pins: the empty signal and the single sample, at
+/// every kernel parameter, with exact expectations.
+#[test]
+fn empty_and_singleton_signals_are_exact() {
+    let step = 300.0;
+    for values in [vec![], vec![2.5f64]] {
+        let bounds = hierarchy_bounds(values.len(), &[]).unwrap();
+        let (mut q_s, mut q_l) = (Vec::new(), Vec::new());
+        let (mut peaks_s, mut peaks_l) = (Vec::new(), Vec::new());
+        level_sums_scalar(&values, step, &bounds, &mut q_s, &mut peaks_s);
+        level_sums_lanes::<4>(&values, step, &bounds, &mut q_l, &mut peaks_l);
+        // One root period either way; empty → sum 0, peak −∞ on both.
+        assert_eq!(q_s[0].len(), 1);
+        assert_eq!(q_s[0][0].to_bits(), q_l[0][0].to_bits());
+        assert_eq!(peaks_s[0].to_bits(), peaks_l[0].to_bits());
+
+        let (mut p_s, mut p_l) = (Vec::new(), Vec::new());
+        prefix_scalar(&values, step, &mut p_s);
+        prefix_blocked::<4>(&values, step, &mut p_l);
+        assert_eq!(p_s.len(), values.len() + 1);
+        for (a, b) in p_s.iter().zip(&p_l) {
+            assert_eq!(a.to_bits(), b.to_bits());
+        }
+    }
+}

@@ -1,12 +1,17 @@
 //! Equality pins for the flat Temporal Shapley cascade:
 //!
-//! * the flat engine ([`TemporalShapley::attribute`]) is **bit-identical**
-//!   to the retained per-period reference
+//! * the scalar flat engine ([`TemporalShapley::attribute_scalar`]) is
+//!   **bit-identical** to the retained per-period reference
 //!   ([`TemporalShapley::attribute_per_period`]) on random series and
 //!   hierarchies — including zero-demand stranding and the
 //!   φ·q → q → duration weight fallbacks;
+//! * the default lane-parallel engine ([`TemporalShapley::attribute`])
+//!   matches the scalar one to a documented ulp-accumulation bound
+//!   (its sums are *reassociated*, not reordered per element; zero/sign
+//!   decisions — stranding, weight fallbacks — and the work counters
+//!   stay exact);
 //! * [`TemporalShapley::attribute_parallel`] is bit-identical to the
-//!   serial path at 1, 2, and 8 threads;
+//!   serial lane path at 1, 2, and 8 threads;
 //! * a reused [`CascadeScratch`] reproduces fresh results exactly;
 //! * [`TemporalAttribution::workload_carbon_batch`] matches per-call
 //!   [`TemporalAttribution::workload_carbon`] bit-for-bit.
@@ -62,6 +67,60 @@ fn assert_bits_eq(label: &str, a: &TemporalAttribution, b: &TemporalAttribution)
     );
 }
 
+/// Asserts two attributions agree to a relative tolerance per element,
+/// with the *discrete* observables (shapes, counters, and exact-zero
+/// stranding decisions) still exact. Used to pin the lane engine
+/// against the scalar one: each lane sum differs from the scalar fold
+/// only by reassociation, so the per-element error is bounded by
+/// `O(n · ε)` relative — `n ≤ 8641` samples and `ε = 2⁻⁵²` put the true
+/// bound near `2e-12`; `1e-9` leaves three orders of slack without
+/// masking real bugs.
+fn assert_close(label: &str, a: &TemporalAttribution, b: &TemporalAttribution, tol: f64) {
+    let close = |x: f64, y: f64| (x - y).abs() <= tol * x.abs().max(y.abs()).max(f64::MIN_POSITIVE);
+    assert_eq!(
+        a.level_intensity().len(),
+        b.level_intensity().len(),
+        "{label}: level count"
+    );
+    for (level, (la, lb)) in a
+        .level_intensity()
+        .iter()
+        .zip(b.level_intensity())
+        .enumerate()
+    {
+        assert_eq!(la.len(), lb.len(), "{label}: level {level} len");
+        for (k, (va, vb)) in la.values().iter().zip(lb.values()).enumerate() {
+            assert!(
+                close(*va, *vb),
+                "{label}: level {level} sample {k}: {va} vs {vb}"
+            );
+            // Zero-demand decisions are exact in both kernels: a period
+            // sum is zero iff every sample is zero, regardless of
+            // association order over non-negative demand.
+            assert_eq!(*va == 0.0, *vb == 0.0, "{label}: level {level} zero {k}");
+        }
+    }
+    for (k, (va, vb)) in a.carbon_prefix().iter().zip(b.carbon_prefix()).enumerate() {
+        assert!(close(*va, *vb), "{label}: prefix entry {k}: {va} vs {vb}");
+    }
+    assert!(
+        close(a.stranded_carbon(), b.stranded_carbon()),
+        "{label}: stranded {} vs {}",
+        a.stranded_carbon(),
+        b.stranded_carbon()
+    );
+    assert_eq!(
+        a.naive_subset_evaluations().to_bits(),
+        b.naive_subset_evaluations().to_bits(),
+        "{label}: naive counter"
+    );
+    assert_eq!(
+        a.closed_form_operations(),
+        b.closed_form_operations(),
+        "{label}: ops counter"
+    );
+}
+
 /// Builds a demand series from raw values and a zero mask (mask value 0
 /// forces the sample to zero so stranding paths get exercised).
 fn masked_series(values: &[f64], mask: &[u8], start: i64, step: u32) -> TimeSeries {
@@ -94,11 +153,13 @@ proptest! {
         let series = masked_series(&raw[..len], &mask[..len], start, 300);
         let h = TemporalShapley::new(splits);
         let reference = h.attribute_per_period(&series, carbon).unwrap();
-        let flat = h.attribute(&series, carbon).unwrap();
-        assert_bits_eq("flat vs reference", &reference, &flat);
+        let scalar = h.attribute_scalar(&series, carbon).unwrap();
+        assert_bits_eq("scalar flat vs reference", &reference, &scalar);
+        let lane = h.attribute(&series, carbon).unwrap();
+        assert_close("lane vs scalar", &scalar, &lane, 1e-9);
         for threads in [2usize, 8] {
             let parallel = h.attribute_parallel(&series, carbon, threads).unwrap();
-            assert_bits_eq("parallel vs reference", &reference, &parallel);
+            assert_bits_eq("parallel vs serial lane", &lane, &parallel);
         }
     }
 
@@ -187,8 +248,9 @@ fn duration_fallback_is_bit_identical_on_idle_series() {
 }
 
 /// Uneven splits (remainder-bearing periods) on the paper hierarchy:
-/// 1/2/8-thread runs agree with the serial flat path and the reference,
-/// bit for bit.
+/// the scalar flat path matches the reference bit for bit, the lane
+/// path matches the scalar one to the ulp bound, and 1/2/8-thread lane
+/// runs agree with the serial lane path bit for bit.
 #[test]
 fn paper_hierarchy_is_thread_invariant() {
     let series = TimeSeries::from_fn(0, 300, 8641, |t| {
@@ -198,9 +260,13 @@ fn paper_hierarchy_is_thread_invariant() {
     .unwrap();
     let h = TemporalShapley::paper_hierarchy();
     let reference = h.attribute_per_period(&series, 12_000.0).unwrap();
+    let scalar = h.attribute_scalar(&series, 12_000.0).unwrap();
+    assert_bits_eq("paper hierarchy scalar", &reference, &scalar);
+    let lane = h.attribute(&series, 12_000.0).unwrap();
+    assert_close("paper hierarchy lane", &scalar, &lane, 1e-9);
     for threads in [1usize, 2, 8] {
         let parallel = h.attribute_parallel(&series, 12_000.0, threads).unwrap();
-        assert_bits_eq("paper hierarchy", &reference, &parallel);
+        assert_bits_eq("paper hierarchy threads", &lane, &parallel);
     }
 }
 
