@@ -29,9 +29,11 @@
 #![warn(missing_docs)]
 
 pub mod policy;
+pub mod sharded;
 pub mod simulator;
 pub mod workload;
 
 pub use policy::PlacementPolicy;
+pub use sharded::run_sharded;
 pub use simulator::{SimulationOutcome, Simulator};
 pub use workload::{Job, JobStream};

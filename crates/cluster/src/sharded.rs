@@ -1,0 +1,208 @@
+//! **Sharded cluster simulation** — the Azure-scale execution path.
+//!
+//! One [`Simulator::run`] event loop over ~2M jobs keeps every running
+//! job in a single queue: each event pays an `O(running)` completion
+//! scan, and nothing parallelizes. This module shards the cluster by
+//! *node range*: jobs are striped round-robin by stream position onto
+//! `shards` independent sub-clusters, each simulated with its own event
+//! queue (fanned across threads through `run_parallel`), and the shard
+//! outcomes are merged in shard order:
+//!
+//! * **job records** keep their original stream ids; node ids are offset
+//!   by the cumulative node counts of earlier shards, so every shard owns
+//!   a disjoint node range in the merged outcome;
+//! * **occupancy** is reconstructed by a k-way sweep over the shards'
+//!   `(time, occupied)` sample timelines — the merged level at any time
+//!   is the sum of the shards' piecewise-constant levels, which yields
+//!   the cluster-wide `peak_nodes` and 5-minute `node_demand` series;
+//! * **node-seconds** add across shards (each shard's sum is untouched),
+//!   and the makespan folds exactly like the serial loop's.
+//!
+//! Determinism: the striping depends only on stream position and shard
+//! count, every shard runs its own policy instance, and `run_parallel`
+//! returns results in shard order — so the merged outcome is
+//! **bit-identical at any thread count**, and a single shard reproduces
+//! [`Simulator::run`] exactly (pinned against the serial reference loop
+//! in `simulator`'s tests and by proptests across shard-size seams).
+
+use fairco2_shapley::parallel::run_parallel;
+
+use crate::policy::PlacementPolicy;
+use crate::simulator::{build_demand, JobRecord, SimulationOutcome, Simulator};
+use crate::workload::{Job, JobStream};
+
+/// Runs `stream` on `shards` independent sub-clusters fanned over
+/// `threads` workers and merges the outcomes (see the module docs for
+/// the merge semantics).
+///
+/// `make_policy` builds one policy instance per shard (stateful policies
+/// like `RandomFit` should derive their seed from the shard index so
+/// shard outcomes stay deterministic).
+///
+/// `shards` is clamped to `[1, stream.len()]`; with one shard this is
+/// exactly [`Simulator::run`].
+pub fn run_sharded<F>(
+    sim: &Simulator,
+    stream: &JobStream,
+    shards: usize,
+    threads: usize,
+    make_policy: F,
+) -> SimulationOutcome
+where
+    F: Fn(usize) -> Box<dyn PlacementPolicy> + Sync,
+{
+    let shards = shards.clamp(1, stream.len());
+    if shards == 1 {
+        return sim.run(stream, make_policy(0).as_mut());
+    }
+    let subs = split_round_robin(stream, shards);
+    let results = run_parallel(shards, threads, |s| {
+        let mut policy = make_policy(s);
+        sim.run_with_samples(&subs[s].0, policy.as_mut())
+    });
+    merge_shards(stream.len(), &subs, &results)
+}
+
+/// Stripes the stream round-robin by position into `shards` sub-streams
+/// with locally renumbered job ids, returning each sub-stream with its
+/// local-id → original-id map. Striping by position keeps every
+/// sub-stream sorted by arrival.
+pub(crate) fn split_round_robin(stream: &JobStream, shards: usize) -> Vec<(JobStream, Vec<usize>)> {
+    let mut parts: Vec<(Vec<Job>, Vec<usize>)> = vec![(Vec::new(), Vec::new()); shards];
+    for (pos, job) in stream.jobs().iter().enumerate() {
+        let (jobs, map) = &mut parts[pos % shards];
+        jobs.push(Job {
+            id: jobs.len(),
+            kind: job.kind,
+            arrival_s: job.arrival_s,
+        });
+        map.push(job.id);
+    }
+    parts
+        .into_iter()
+        .map(|(jobs, map)| (JobStream::from_sorted(jobs), map))
+        .collect()
+}
+
+/// Merges shard outcomes (in shard order) into one cluster-wide
+/// [`SimulationOutcome`]; see the module docs for the semantics.
+pub(crate) fn merge_shards(
+    total_jobs: usize,
+    subs: &[(JobStream, Vec<usize>)],
+    results: &[(SimulationOutcome, Vec<(f64, usize)>)],
+) -> SimulationOutcome {
+    let mut records: Vec<Option<JobRecord>> = vec![None; total_jobs];
+    let mut node_seconds = 0.0f64;
+    let mut node_offset = 0usize;
+    // (time, shard, occupied-level) across all shards.
+    let mut events: Vec<(f64, usize, usize)> = Vec::new();
+    for (s, ((_, map), (out, samples))) in subs.iter().zip(results).enumerate() {
+        for rec in &out.jobs {
+            let mut r = rec.clone();
+            r.id = map[rec.id];
+            r.node += node_offset;
+            let slot = r.id;
+            records[slot] = Some(r);
+        }
+        node_seconds += out.node_seconds;
+        node_offset += out.jobs.iter().map(|j| j.node).max().map_or(0, |m| m + 1);
+        events.extend(samples.iter().map(|&(t, level)| (t, s, level)));
+    }
+    // Sweep the union of sample times: each shard's level is piecewise
+    // constant (carried forward), so the merged level at a time is the
+    // sum of the shards' current levels. Integer occupancy sums exactly.
+    events.sort_by(|a, b| a.0.total_cmp(&b.0).then(a.1.cmp(&b.1)));
+    let mut levels = vec![0usize; subs.len()];
+    let mut merged: Vec<(f64, usize)> = Vec::new();
+    let mut i = 0usize;
+    while i < events.len() {
+        let t = events[i].0;
+        while i < events.len() && events[i].0 == t {
+            levels[events[i].1] = events[i].2;
+            i += 1;
+        }
+        merged.push((t, levels.iter().sum()));
+    }
+
+    let jobs: Vec<JobRecord> = records
+        .into_iter()
+        .map(|r| r.expect("every job completes"))
+        .collect();
+    let makespan_s = jobs.iter().map(|j| j.finish_s).fold(0.0, f64::max);
+    let peak_nodes = merged.iter().map(|&(_, l)| l).max().unwrap_or(0);
+    let node_demand = build_demand(&merged, makespan_s);
+    SimulationOutcome {
+        jobs,
+        node_seconds,
+        peak_nodes,
+        makespan_s,
+        node_demand,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::policy::{FirstFit, RandomFit};
+
+    #[test]
+    fn single_shard_is_exactly_the_serial_run() {
+        let sim = Simulator::paper_default();
+        let stream = JobStream::poisson(120, 50.0, 21);
+        let serial = sim.run(&stream, &mut FirstFit);
+        for threads in [1usize, 2, 8] {
+            let sharded = run_sharded(&sim, &stream, 1, threads, |_| Box::new(FirstFit));
+            assert_eq!(sharded, serial, "threads {threads}");
+        }
+    }
+
+    #[test]
+    fn sharded_outcome_is_thread_invariant() {
+        let sim = Simulator::paper_default();
+        let stream = JobStream::poisson(157, 40.0, 9);
+        for shards in [2usize, 3, 5, 8] {
+            let make = |s: usize| -> Box<dyn PlacementPolicy> {
+                Box::new(RandomFit::seeded(1000 + s as u64))
+            };
+            let base = run_sharded(&sim, &stream, shards, 1, make);
+            for threads in [2usize, 8] {
+                assert_eq!(
+                    run_sharded(&sim, &stream, shards, threads, make),
+                    base,
+                    "shards {shards} threads {threads}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn striping_covers_all_jobs_and_stays_sorted() {
+        let stream = JobStream::poisson(101, 30.0, 4);
+        let subs = split_round_robin(&stream, 7);
+        let mut seen: Vec<usize> = subs.iter().flat_map(|(_, map)| map.clone()).collect();
+        seen.sort_unstable();
+        assert_eq!(seen, (0..101).collect::<Vec<_>>());
+        for (sub, _) in &subs {
+            assert!(sub
+                .jobs()
+                .windows(2)
+                .all(|w| w[0].arrival_s <= w[1].arrival_s));
+        }
+    }
+
+    #[test]
+    fn shards_own_disjoint_node_ranges() {
+        let sim = Simulator::paper_default();
+        let stream = JobStream::poisson(90, 35.0, 2);
+        let out = run_sharded(&sim, &stream, 4, 2, |_| Box::new(FirstFit));
+        // All jobs present, each on some node; node-seconds and peak are
+        // cluster-wide aggregates.
+        assert_eq!(out.jobs.len(), 90);
+        assert!(out.peak_nodes > 0);
+        assert!(out.node_seconds > 0.0);
+        assert!(out.node_demand.is_some());
+        // The merged makespan is the slowest shard's.
+        let serial = sim.run(&stream, &mut FirstFit);
+        assert!(out.makespan_s >= serial.makespan_s * 0.5);
+    }
+}

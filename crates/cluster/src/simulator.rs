@@ -4,7 +4,7 @@
 //! or departs.
 
 use std::cmp::Reverse;
-use std::collections::BinaryHeap;
+use std::collections::{BTreeSet, BinaryHeap};
 
 use serde::{Deserialize, Serialize};
 
@@ -129,6 +129,18 @@ impl Simulator {
     /// isolated power. Rates change instantaneously when partners arrive
     /// or depart.
     pub fn run(&self, stream: &JobStream, policy: &mut dyn PlacementPolicy) -> SimulationOutcome {
+        self.run_with_samples(stream, policy).0
+    }
+
+    /// [`Simulator::run`], additionally returning the raw
+    /// `(time, occupied)` samples the demand series is built from — the
+    /// sharded runner merges these across shards to reconstruct the
+    /// cluster-wide occupancy timeline.
+    pub(crate) fn run_with_samples(
+        &self,
+        stream: &JobStream,
+        policy: &mut dyn PlacementPolicy,
+    ) -> (SimulationOutcome, Vec<(f64, usize)>) {
         let interference = self.accounting.interference();
         let mut running: Vec<RunningJob> = Vec::new();
         let mut node_residents: Vec<Vec<usize>> = Vec::new(); // node -> running indices
@@ -138,6 +150,11 @@ impl Simulator {
                                                               // leaves and exits when the fresh-placement path reuses it, so
                                                               // entries are unique.
         let mut free_nodes: BinaryHeap<Reverse<usize>> = BinaryHeap::new();
+        // Nodes with exactly one resident, ascending: iterating this set
+        // reproduces the `enumerate().filter(len == 1)` scan it replaces
+        // (same nodes, same order) at O(open) instead of O(all nodes)
+        // per arrival. Maintained on every 0↔1↔2 resident transition.
+        let mut half_open: BTreeSet<usize> = BTreeSet::new();
         // Live count of nodes with ≥ 1 resident, updated on 0→1 and 1→0
         // transitions instead of rescanning every node per event.
         let mut occupied = 0usize;
@@ -215,15 +232,27 @@ impl Simulator {
                 // Numerical slack: the completing job's work is done.
                 running[idx].remaining_work = 0.0;
                 let job = running.swap_remove(idx);
-                // swap_remove moved the last element into `idx`.
                 node_residents[job.node].retain(|&r| r != idx);
-                if node_residents[job.node].is_empty() {
-                    free_nodes.push(Reverse(job.node));
-                    occupied -= 1;
+                match node_residents[job.node].len() {
+                    0 => {
+                        half_open.remove(&job.node);
+                        free_nodes.push(Reverse(job.node));
+                        occupied -= 1;
+                    }
+                    _ => {
+                        // 2 → 1 residents: the slot reopens. (Half-node
+                        // slots cap residents at two.)
+                        half_open.insert(job.node);
+                    }
                 }
+                // swap_remove moved the previous last element into `idx`;
+                // only that job's own node can hold a reference to its old
+                // index, so the fixup is a single resident-list scan
+                // instead of a walk over every node.
                 let moved = running.len();
-                for residents in node_residents.iter_mut() {
-                    for r in residents.iter_mut() {
+                if idx < moved {
+                    let moved_node = running[idx].node;
+                    for r in node_residents[moved_node].iter_mut() {
                         if *r == moved {
                             *r = idx;
                         }
@@ -243,13 +272,13 @@ impl Simulator {
                 // Arrival: offer open slots to the policy.
                 let job = stream.jobs()[next_arrival];
                 next_arrival += 1;
-                let open: Vec<NodeView> = node_residents
+                // `half_open` iterates ascending, matching the node order
+                // of the full `enumerate().filter()` scan it replaces.
+                let open: Vec<NodeView> = half_open
                     .iter()
-                    .enumerate()
-                    .filter(|(_, r)| r.len() == 1)
-                    .map(|(node, r)| NodeView {
+                    .map(|&node| NodeView {
                         node,
-                        resident: running[r[0]].kind,
+                        resident: running[node_residents[node][0]].kind,
                     })
                     .collect();
                 let node = match policy.place(job.kind, &open, interference) {
@@ -268,6 +297,10 @@ impl Simulator {
                 };
                 if node_residents[node].is_empty() {
                     occupied += 1;
+                    half_open.insert(node);
+                } else {
+                    // Second resident: the slot closes.
+                    half_open.remove(&node);
                 }
                 node_residents[node].push(running.len());
                 running.push(RunningJob {
@@ -288,18 +321,21 @@ impl Simulator {
             .collect();
         let makespan_s = jobs.iter().map(|j| j.finish_s).fold(0.0, f64::max);
         let node_demand = build_demand(&samples, makespan_s);
-        SimulationOutcome {
-            jobs,
-            node_seconds,
-            peak_nodes,
-            makespan_s,
-            node_demand,
-        }
+        (
+            SimulationOutcome {
+                jobs,
+                node_seconds,
+                peak_nodes,
+                makespan_s,
+                node_demand,
+            },
+            samples,
+        )
     }
 }
 
 /// Active-node samples → a 5-minute step series.
-fn build_demand(samples: &[(f64, usize)], makespan_s: f64) -> Option<TimeSeries> {
+pub(crate) fn build_demand(samples: &[(f64, usize)], makespan_s: f64) -> Option<TimeSeries> {
     let step = 300u32;
     let len = (makespan_s / f64::from(step)).ceil() as usize;
     if len == 0 || samples.is_empty() {
@@ -329,14 +365,16 @@ mod tests {
 
     /// The pre-free-list event loop, retained verbatim as the reference:
     /// per-event `position(Vec::is_empty)` / `filter(!is_empty).count()`
-    /// scans instead of the heap and live counter. Used only to pin that
-    /// the optimized [`Simulator::run`] leaves [`SimulationOutcome`]
-    /// unchanged.
+    /// scans instead of the heap, live counter, and half-open set, and a
+    /// whole-cluster moved-index fixup after every `swap_remove`. Used
+    /// only to pin that the optimized [`Simulator::run`] leaves
+    /// [`SimulationOutcome`] unchanged — and, via its raw samples, that
+    /// the sharded runner's merge reproduces it per shard.
     fn run_reference(
         sim: &Simulator,
         stream: &JobStream,
         policy: &mut dyn PlacementPolicy,
-    ) -> SimulationOutcome {
+    ) -> (SimulationOutcome, Vec<(f64, usize)>) {
         let interference = sim.accounting.interference();
         let mut running: Vec<RunningJob> = Vec::new();
         let mut node_residents: Vec<Vec<usize>> = Vec::new();
@@ -471,13 +509,16 @@ mod tests {
             .collect();
         let makespan_s = jobs.iter().map(|j| j.finish_s).fold(0.0, f64::max);
         let node_demand = build_demand(&samples, makespan_s);
-        SimulationOutcome {
-            jobs,
-            node_seconds,
-            peak_nodes,
-            makespan_s,
-            node_demand,
-        }
+        (
+            SimulationOutcome {
+                jobs,
+                node_seconds,
+                peak_nodes,
+                makespan_s,
+                node_demand,
+            },
+            samples,
+        )
     }
 
     #[test]
@@ -493,19 +534,48 @@ mod tests {
         for stream in &streams {
             assert_eq!(
                 sim.run(stream, &mut FirstFit),
-                run_reference(&sim, stream, &mut FirstFit),
+                run_reference(&sim, stream, &mut FirstFit).0,
                 "FirstFit"
             );
             assert_eq!(
                 sim.run(stream, &mut LeastInterference::default()),
-                run_reference(&sim, stream, &mut LeastInterference::default()),
+                run_reference(&sim, stream, &mut LeastInterference::default()).0,
                 "LeastInterference"
             );
             assert_eq!(
                 sim.run(stream, &mut RandomFit::seeded(11)),
-                run_reference(&sim, stream, &mut RandomFit::seeded(11)),
+                run_reference(&sim, stream, &mut RandomFit::seeded(11)).0,
                 "RandomFit"
             );
+        }
+    }
+
+    /// The sharded runner at 1/2/8 threads must reproduce, bit for bit,
+    /// the merge of the *reference* event loop run serially over each
+    /// shard's sub-stream — the strongest form of the sharding
+    /// bit-identity discipline (job counts straddle shard seams).
+    #[test]
+    fn sharded_runner_matches_reference_per_shard_merge() {
+        let sim = Simulator::paper_default();
+        for count in [96usize, 97, 101] {
+            let stream = JobStream::poisson(count, 40.0, 31);
+            for shards in [2usize, 3, 5] {
+                let subs = crate::sharded::split_round_robin(&stream, shards);
+                let results: Vec<(SimulationOutcome, Vec<(f64, usize)>)> = subs
+                    .iter()
+                    .map(|(sub, _)| run_reference(&sim, sub, &mut FirstFit))
+                    .collect();
+                let expected = crate::sharded::merge_shards(stream.len(), &subs, &results);
+                for threads in [1usize, 2, 8] {
+                    let got = crate::sharded::run_sharded(&sim, &stream, shards, threads, |_| {
+                        Box::new(FirstFit)
+                    });
+                    assert_eq!(
+                        got, expected,
+                        "count {count} shards {shards} threads {threads}"
+                    );
+                }
+            }
         }
     }
 

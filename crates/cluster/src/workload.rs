@@ -43,6 +43,28 @@ impl JobStream {
         Self { jobs }
     }
 
+    /// Builds a stream from jobs already sorted by arrival, skipping the
+    /// `O(n log n)` re-sort — the Azure-scale path emits millions of jobs
+    /// in arrival order by construction.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `jobs` is empty, any arrival is negative/non-finite, or
+    /// the arrivals are not non-decreasing.
+    pub fn from_sorted(jobs: Vec<Job>) -> Self {
+        assert!(!jobs.is_empty(), "a job stream needs at least one job");
+        assert!(
+            jobs.iter()
+                .all(|j| j.arrival_s.is_finite() && j.arrival_s >= 0.0),
+            "arrivals must be finite and non-negative"
+        );
+        assert!(
+            jobs.windows(2).all(|w| w[0].arrival_s <= w[1].arrival_s),
+            "jobs must be sorted by arrival"
+        );
+        Self { jobs }
+    }
+
     /// A Poisson arrival stream: `count` jobs with exponential
     /// inter-arrival times of mean `mean_interarrival_s`, kinds drawn
     /// uniformly from the suite. Deterministic per seed.

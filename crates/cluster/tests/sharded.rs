@@ -1,0 +1,78 @@
+//! Property tests: the sharded runner is bit-identical to the serial
+//! path — one shard reproduces `Simulator::run` exactly, and any shard
+//! count yields the same merged outcome at 1, 2, and 8 threads, with job
+//! counts deliberately straddling shard-size seams.
+
+use fairco2_cluster::policy::{FirstFit, LeastInterference, PlacementPolicy, RandomFit};
+use fairco2_cluster::sharded::run_sharded;
+use fairco2_cluster::workload::Job;
+use fairco2_cluster::{JobStream, Simulator};
+use fairco2_workloads::ALL_WORKLOADS;
+use proptest::prelude::*;
+
+fn stream_strategy() -> impl Strategy<Value = JobStream> {
+    prop::collection::vec((0usize..ALL_WORKLOADS.len(), 0.0f64..50_000.0), 1..64).prop_map(|raw| {
+        JobStream::new(
+            raw.into_iter()
+                .enumerate()
+                .map(|(id, (kind, arrival_s))| Job {
+                    id,
+                    kind: ALL_WORKLOADS[kind],
+                    arrival_s,
+                })
+                .collect(),
+        )
+    })
+}
+
+fn make_policy(which: u8) -> impl Fn(usize) -> Box<dyn PlacementPolicy> + Sync {
+    move |shard: usize| -> Box<dyn PlacementPolicy> {
+        match which {
+            0 => Box::new(FirstFit),
+            1 => Box::new(LeastInterference::default()),
+            _ => Box::new(RandomFit::seeded(31 + shard as u64)),
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn one_shard_reproduces_the_serial_run(
+        stream in stream_strategy(),
+        which in 0u8..3,
+    ) {
+        let sim = Simulator::paper_default();
+        let make = make_policy(which);
+        let serial = sim.run(&stream, make(0).as_mut());
+        for threads in [1usize, 2, 8] {
+            prop_assert_eq!(
+                &run_sharded(&sim, &stream, 1, threads, &make),
+                &serial,
+                "threads {}", threads
+            );
+        }
+    }
+
+    #[test]
+    fn sharded_outcome_is_thread_and_seam_invariant(
+        stream in stream_strategy(),
+        shards in 1usize..9,
+        which in 0u8..3,
+    ) {
+        // `shards` ranges past the job count (it is clamped inside), so
+        // cases cover under-, exactly-, and over-sharded seams.
+        let sim = Simulator::paper_default();
+        let make = make_policy(which);
+        let base = run_sharded(&sim, &stream, shards, 1, &make);
+        prop_assert_eq!(base.jobs.len(), stream.len());
+        for threads in [2usize, 8] {
+            prop_assert_eq!(
+                &run_sharded(&sim, &stream, shards, threads, &make),
+                &base,
+                "shards {} threads {}", shards, threads
+            );
+        }
+    }
+}

@@ -289,7 +289,15 @@ fn check_fingerprint(found: &str, expected: &str) -> Result<(), CheckpointError>
 
 /// Wraps `payload` (compact JSON text) in the versioned envelope and
 /// writes it via [`write_durable_atomic`].
-fn write_envelope_atomic(
+///
+/// Public so external snapshot types (the Azure-scale study's, in
+/// `fairco2-bench`) share the exact digest-guarded envelope format of
+/// the built-in snapshots.
+///
+/// # Errors
+///
+/// Propagates [`write_durable_atomic`]'s I/O errors.
+pub fn write_envelope_atomic(
     path: &Path,
     payload: &str,
     fault: WriteFault,
@@ -384,7 +392,14 @@ fn write_tmp(tmp: &Path, text: &str, inject_failure: bool) -> Result<(), Checkpo
 
 /// Reads the envelope at `path`, validating version and digest, and
 /// returns the payload value.
-fn read_envelope(path: &Path) -> Result<Value, CheckpointError> {
+///
+/// # Errors
+///
+/// [`CheckpointError::Io`] / [`CheckpointError::Malformed`] on unreadable
+/// or unparseable files, [`CheckpointError::VersionMismatch`] and
+/// [`CheckpointError::DigestMismatch`] when the envelope fails
+/// validation.
+pub fn read_envelope(path: &Path) -> Result<Value, CheckpointError> {
     let text = fs::read_to_string(path)
         .map_err(|e| CheckpointError::Io(format!("{}: {e}", path.display())))?;
     let envelope: Value =

@@ -44,7 +44,7 @@ use crate::checkpoint::{
 use crate::colocations::{ColocationStudy, ColocationTrial};
 use crate::faults::FaultPlan;
 use crate::schedules::{DemandStudy, DemandTrial};
-use crate::scratch::{ScratchStats, TrialScratch};
+use crate::scratch::{EngineScratch, ScratchStats, TrialScratch};
 use crate::streaming::{ColocationStudySummary, DemandStudySummary, DEFAULT_BATCH_TRIALS};
 
 /// Engine knobs.
@@ -225,7 +225,7 @@ pub struct MergeCtx<'a, A> {
 /// Panics if a resume state is inconsistent with the batch count (a
 /// checkpoint for a different study passed validation — a caller bug).
 #[allow(clippy::too_many_arguments)]
-pub fn stream_batches_resumable<A, S, F, M>(
+pub fn stream_batches_resumable<A, C, S, F, M>(
     trials: usize,
     threads: usize,
     batch_trials: usize,
@@ -237,8 +237,9 @@ pub fn stream_batches_resumable<A, S, F, M>(
 ) -> Result<EngineStats, EngineError>
 where
     A: Send,
-    S: Fn() -> TrialScratch + Sync,
-    F: Fn(Range<usize>, &mut TrialScratch, u32) -> Result<A, BatchFailure> + Sync,
+    C: EngineScratch,
+    S: Fn() -> C + Sync,
+    F: Fn(Range<usize>, &mut C, u32) -> Result<A, BatchFailure> + Sync,
     M: FnMut(MergeCtx<'_, A>, A) -> Result<(), EngineError>,
 {
     let threads = threads.max(1);
@@ -451,7 +452,7 @@ fn prefer_error(cur: EngineError, new: EngineError) -> EngineError {
 ///
 /// Propagates panics from worker threads (message contains
 /// `"study worker panicked"`).
-pub fn stream_batches<A, S, F, M>(
+pub fn stream_batches<A, C, S, F, M>(
     trials: usize,
     threads: usize,
     batch_trials: usize,
@@ -461,8 +462,9 @@ pub fn stream_batches<A, S, F, M>(
 ) -> EngineStats
 where
     A: Send,
-    S: Fn() -> TrialScratch + Sync,
-    F: Fn(Range<usize>, &mut TrialScratch) -> A + Sync,
+    C: EngineScratch,
+    S: Fn() -> C + Sync,
+    F: Fn(Range<usize>, &mut C) -> A + Sync,
     M: FnMut(usize, A),
 {
     let result = stream_batches_resumable(

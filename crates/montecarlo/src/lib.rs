@@ -47,8 +47,8 @@ pub mod scratch;
 pub mod streaming;
 
 pub use checkpoint::{
-    write_durable_atomic, CheckpointError, CheckpointSpec, ColocationSnapshot, DemandSnapshot,
-    WriteFault, CHECKPOINT_VERSION,
+    read_envelope, write_durable_atomic, write_envelope_atomic, CheckpointError, CheckpointSpec,
+    ColocationSnapshot, DemandSnapshot, WriteFault, CHECKPOINT_VERSION,
 };
 pub use colocations::{ColocationStudy, ColocationTrial};
 pub use engine::{
@@ -58,5 +58,5 @@ pub use engine::{
 };
 pub use faults::{BatchFault, FaultKind, FaultPlan, TrialFault};
 pub use schedules::{DemandStudy, DemandTrial};
-pub use scratch::{ScratchStats, TrialScratch};
+pub use scratch::{EngineScratch, NoScratch, ScratchStats, TrialScratch};
 pub use streaming::{ColocationStudySummary, DemandStudySummary, Histogram, StatStream, Welford};

@@ -78,6 +78,37 @@ impl TrialScratch {
     }
 }
 
+/// A per-worker scratch arena the streaming engine can run batches
+/// through.
+///
+/// The engine only needs two things from a scratch type: construction
+/// (the `make_scratch` closure) and retirement counters when a worker
+/// finishes or an arena is discarded after a failed batch. Implementing
+/// this trait lets any study — the built-in demand/colocation studies
+/// with [`TrialScratch`], or external ones like the Azure-scale
+/// co-simulation in `fairco2-bench` — stream through
+/// [`crate::engine::stream_batches_resumable`] with its own reusable
+/// buffers.
+pub trait EngineScratch {
+    /// Reuse/allocation counters retired with this arena; the default is
+    /// all-zero for scratch types that don't track any.
+    fn stats(&self) -> ScratchStats {
+        ScratchStats::default()
+    }
+}
+
+impl EngineScratch for TrialScratch {
+    fn stats(&self) -> ScratchStats {
+        TrialScratch::stats(self)
+    }
+}
+
+/// A no-op scratch for studies whose batches need no reusable arena.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct NoScratch;
+
+impl EngineScratch for NoScratch {}
+
 /// Scratch-reuse counters, aggregated across workers by the engine and
 /// emitted in `results/BENCH_montecarlo.json`.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]

@@ -154,6 +154,238 @@ pub fn best_placement(
     best
 }
 
+/// Carbon cost of moving a job's input data out of its home region.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct MigrationCost {
+    /// Data that must cross regions (GB).
+    pub data_gb: f64,
+    /// Transfer footprint per GB moved (gCO₂e/GB) — network energy and
+    /// switching gear amortization.
+    pub g_per_gb: f64,
+}
+
+impl MigrationCost {
+    /// Total transfer carbon (gCO₂e).
+    pub fn carbon_g(&self) -> f64 {
+        self.data_gb * self.g_per_gb
+    }
+}
+
+/// Precomputed per-region carbon prefix sums over each region's grid
+/// buckets, making every `(region, start)` window integral an O(1)
+/// query (the `IntensityIndex` idea applied to placement search).
+///
+/// [`job_carbon`] walks the run window bucket by bucket for *every*
+/// candidate start, so [`best_placement`] over R regions × J jobs costs
+/// `O(R · J · K · W)` bucket reads (K candidate starts, W window
+/// buckets). The index folds the window walk into two prefix lookups, so
+/// the same search is `O(R · J · K)` O(1) queries after an `O(R · T)`
+/// build shared across all jobs.
+///
+/// **Bit-identity:** prefix sums reassociate the additions, so the fast
+/// scan is used only to *rank* candidates; every candidate within a
+/// `1e-9` relative band of the scanned minimum (reassociation error is
+/// orders of magnitude below that) is re-evaluated with the exact
+/// [`job_carbon`] loop, and the winner is chosen by the same
+/// first-strict-minimum rule over the same iteration order. The returned
+/// [`Placement`] is therefore bit-identical to [`best_placement`]
+/// (pinned in tests). Candidate starts that don't fall on a region's
+/// bucket lattice fall back to the exact scan for that region.
+#[derive(Debug, Clone)]
+pub struct PlacementIndex<'a> {
+    regions: &'a [Region],
+    per_region: Vec<RegionIndex>,
+}
+
+/// Prefix sums for one region, on its grid's bucket lattice.
+#[derive(Debug, Clone)]
+struct RegionIndex {
+    /// Grid CI per bucket (gCO₂e/kWh).
+    ci: Vec<f64>,
+    /// Prefix sums of `ci` (`len + 1` entries).
+    ci_prefix: Vec<f64>,
+    /// Embodied scale (signal / mean) sampled at each bucket start.
+    scale: Vec<f64>,
+    /// Prefix sums of `scale` (`len + 1` entries).
+    scale_prefix: Vec<f64>,
+}
+
+impl<'a> PlacementIndex<'a> {
+    /// Builds the index: one pass over each region's traces.
+    pub fn new(regions: &'a [Region]) -> Self {
+        let per_region = regions
+            .iter()
+            .map(|region| {
+                let grid = region.grid.series();
+                let mean = region.embodied_signal.mean();
+                let step = i64::from(grid.step());
+                let ci: Vec<f64> = grid.values().to_vec();
+                let scale: Vec<f64> = (0..ci.len())
+                    .map(|k| {
+                        let t = grid.start() + k as i64 * step;
+                        region.embodied_signal.value_at(t).unwrap_or(mean) / mean
+                    })
+                    .collect();
+                let prefix = |v: &[f64]| {
+                    let mut p = Vec::with_capacity(v.len() + 1);
+                    let mut acc = 0.0f64;
+                    p.push(0.0);
+                    for &x in v {
+                        acc += x;
+                        p.push(acc);
+                    }
+                    p
+                };
+                RegionIndex {
+                    ci_prefix: prefix(&ci),
+                    scale_prefix: prefix(&scale),
+                    ci,
+                    scale,
+                }
+            })
+            .collect();
+        Self {
+            regions,
+            per_region,
+        }
+    }
+
+    /// The regions the index was built over.
+    pub fn regions(&self) -> &'a [Region] {
+        self.regions
+    }
+
+    /// O(1) approximate carbon of `(region ri, start)` — same quadrature
+    /// as [`job_carbon`], evaluated through the prefix sums. `None`
+    /// mirrors [`job_carbon`]'s feasibility checks.
+    fn approx_carbon(
+        &self,
+        ri: usize,
+        job: &BatchJob,
+        start: i64,
+        pricing: &ResourcePricing,
+    ) -> Option<f64> {
+        let region = &self.regions[ri];
+        let idx = &self.per_region[ri];
+        let grid = region.grid.series();
+        let step = i64::from(grid.step());
+        let end = start + job.runtime_s as i64;
+        if start < job.earliest || end > job.deadline || start < grid.start() || end > grid.end() {
+            return None;
+        }
+        let b0 = ((start - grid.start()) / step) as usize;
+        let run = end - start;
+        let full = (run / step) as usize;
+        let rem = (run % step) as f64;
+        let mut ci_sum = f64::from(grid.step()) * (idx.ci_prefix[b0 + full] - idx.ci_prefix[b0]);
+        let mut sc_sum =
+            f64::from(grid.step()) * (idx.scale_prefix[b0 + full] - idx.scale_prefix[b0]);
+        if rem > 0.0 {
+            ci_sum += rem * idx.ci[b0 + full];
+            sc_sum += rem * idx.scale[b0 + full];
+        }
+        let power_w = job.dynamic_power_w + pricing.static_power_w;
+        let operational = power_w / 3.6e6 * ci_sum;
+        let embodied = sc_sum
+            * (job.cores * pricing.embodied_per_core_s + job.memory_gb * pricing.embodied_per_gb_s);
+        Some(operational + embodied)
+    }
+
+    /// The best placement inside one region, bit-identical to scanning
+    /// that region with [`job_carbon`].
+    fn best_in_region(
+        &self,
+        ri: usize,
+        job: &BatchJob,
+        pricing: &ResourcePricing,
+    ) -> Option<Placement> {
+        let region = &self.regions[ri];
+        let grid = region.grid.series();
+        let step = i64::from(grid.step());
+        let first = job.earliest.max(grid.start());
+        if (first - grid.start()) % step != 0 {
+            // Off-lattice candidates: the prefix arrays don't apply;
+            // fall back to the exact scan.
+            return best_placement(&self.regions[ri..=ri], job, pricing);
+        }
+        // Pass 1: rank candidates through the O(1) prefix queries.
+        let mut best_approx = f64::INFINITY;
+        let mut start = first;
+        while start + job.runtime_s as i64 <= job.deadline.min(grid.end()) {
+            if let Some(c) = self.approx_carbon(ri, job, start, pricing) {
+                if c < best_approx {
+                    best_approx = c;
+                }
+            }
+            start += step;
+        }
+        if best_approx.is_infinite() {
+            return None;
+        }
+        // Pass 2: exact re-evaluation of every candidate within the
+        // reassociation band, first-strict-minimum in scan order — the
+        // same rule and order the exact scan applies globally.
+        let band = best_approx + best_approx.abs() * 1e-9;
+        let mut best: Option<Placement> = None;
+        let mut start = first;
+        while start + job.runtime_s as i64 <= job.deadline.min(grid.end()) {
+            if self
+                .approx_carbon(ri, job, start, pricing)
+                .is_some_and(|c| c <= band)
+            {
+                if let Some(p) = job_carbon(region, job, start, pricing) {
+                    if best.as_ref().is_none_or(|b| p.carbon_g < b.carbon_g) {
+                        best = Some(p);
+                    }
+                }
+            }
+            start += step;
+        }
+        best
+    }
+
+    /// Index-accelerated [`best_placement`]: same argument order, same
+    /// result, O(1) per candidate.
+    pub fn best_placement(&self, job: &BatchJob, pricing: &ResourcePricing) -> Option<Placement> {
+        let mut best: Option<Placement> = None;
+        for ri in 0..self.regions.len() {
+            if let Some(p) = self.best_in_region(ri, job, pricing) {
+                if best.as_ref().is_none_or(|b| p.carbon_g < b.carbon_g) {
+                    best = Some(p);
+                }
+            }
+        }
+        best
+    }
+
+    /// Migration-cost-aware placement: candidates outside `home` carry
+    /// the transfer carbon of `migration` (folded into the returned
+    /// placement's `operational_g` and `carbon_g`), so a cleaner grid
+    /// must beat the cost of moving the data before the job leaves home.
+    pub fn best_placement_migrating(
+        &self,
+        job: &BatchJob,
+        home: usize,
+        migration: MigrationCost,
+        pricing: &ResourcePricing,
+    ) -> Option<Placement> {
+        let mut best: Option<Placement> = None;
+        for ri in 0..self.regions.len() {
+            if let Some(mut p) = self.best_in_region(ri, job, pricing) {
+                if ri != home {
+                    let penalty = migration.carbon_g();
+                    p.operational_g += penalty;
+                    p.carbon_g += penalty;
+                }
+                if best.as_ref().is_none_or(|b| p.carbon_g < b.carbon_g) {
+                    best = Some(p);
+                }
+            }
+        }
+        best
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -251,6 +483,104 @@ mod tests {
         // Impossible window → no placement.
         j.deadline = j.earliest + 100;
         assert!(best_placement(&regions(), &j, &ResourcePricing::paper_default(100.0)).is_none());
+    }
+
+    /// The index-accelerated search must return the *bit-identical*
+    /// placement of the exact scan across aligned and off-lattice
+    /// windows, odd runtimes (partial last buckets), and tight or
+    /// infeasible deadlines.
+    #[test]
+    fn indexed_placement_matches_the_exact_scan_bitwise() {
+        let regions = regions();
+        let index = PlacementIndex::new(&regions);
+        for pricing_ci in [0.0, 100.0, 250.0] {
+            let pricing = ResourcePricing::paper_default(pricing_ci);
+            for earliest in [0i64, 3_600, 5_000 /* off-lattice */, 86_400] {
+                for runtime in [1_800.0f64, 3_600.0, 2.5 * 3_600.0, 7_777.0] {
+                    for slack in [0i64, 4, 12, 30] {
+                        let job = BatchJob {
+                            runtime_s: runtime,
+                            dynamic_power_w: 200.0,
+                            cores: 48.0,
+                            memory_gb: 96.0,
+                            earliest,
+                            deadline: earliest + runtime as i64 + slack * 3_600,
+                        };
+                        let exact = best_placement(&regions, &job, &pricing);
+                        let fast = index.best_placement(&job, &pricing);
+                        match (&exact, &fast) {
+                            (None, None) => {}
+                            (Some(a), Some(b)) => {
+                                assert_eq!(a.region, b.region, "job {job:?}");
+                                assert_eq!(a.start, b.start, "job {job:?}");
+                                assert_eq!(
+                                    a.carbon_g.to_bits(),
+                                    b.carbon_g.to_bits(),
+                                    "job {job:?}"
+                                );
+                                assert_eq!(a.operational_g.to_bits(), b.operational_g.to_bits());
+                                assert_eq!(a.embodied_g.to_bits(), b.embodied_g.to_bits());
+                            }
+                            _ => panic!("feasibility disagrees for {job:?}: {exact:?} vs {fast:?}"),
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn migration_cost_keeps_marginal_moves_at_home() {
+        let regions = regions();
+        let index = PlacementIndex::new(&regions);
+        let pricing = ResourcePricing::paper_default(0.0);
+        let home = 0usize; // california
+        let j = job();
+        let free_move = index
+            .best_placement_migrating(
+                &j,
+                home,
+                MigrationCost {
+                    data_gb: 0.0,
+                    g_per_gb: 52.0,
+                },
+                &pricing,
+            )
+            .unwrap();
+        assert_eq!(
+            free_move.region, "sweden",
+            "free migration chases the clean grid"
+        );
+        let costly = index
+            .best_placement_migrating(
+                &j,
+                home,
+                MigrationCost {
+                    data_gb: 100_000.0,
+                    g_per_gb: 52.0,
+                },
+                &pricing,
+            )
+            .unwrap();
+        assert_eq!(
+            costly.region, "california",
+            "prohibitive migration stays home"
+        );
+        // The penalty is folded into the totals.
+        let sweden_best = index.best_placement(&j, &pricing).unwrap();
+        let small = index
+            .best_placement_migrating(
+                &j,
+                home,
+                MigrationCost {
+                    data_gb: 10.0,
+                    g_per_gb: 1.0,
+                },
+                &pricing,
+            )
+            .unwrap();
+        assert!((small.carbon_g - (sweden_best.carbon_g + 10.0)).abs() < 1e-9);
+        assert!((small.operational_g + small.embodied_g - small.carbon_g).abs() < 1e-9);
     }
 
     #[test]

@@ -109,6 +109,53 @@ impl GridIntensityTrace {
         Self { series }
     }
 
+    /// A coal-heavy trace: high and nearly flat (thermal baseload) around
+    /// 650 gCO₂e/kWh, with a mild demand-following evening bulge.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `days == 0` or `step_seconds == 0`.
+    pub fn coal_like(days: u32, step_seconds: u32, seed: u64) -> Self {
+        assert!(days > 0 && step_seconds > 0, "trace must be non-empty");
+        let len = (u64::from(days) * 86_400 / u64::from(step_seconds)) as usize;
+        let mut rng = StdRng::seed_from_u64(seed);
+        let noise = Normal::new(0.0, 8.0).expect("finite sigma");
+        let series = TimeSeries::from_fn(0, step_seconds, len, |t| {
+            let hour = (t % 86_400) as f64 / 3600.0;
+            let evening = gaussian_bump(hour, 19.0, 3.0);
+            (630.0 + 40.0 * evening + noise.sample(&mut rng)).max(400.0)
+        })
+        .expect("len > 0 by assertion");
+        Self { series }
+    }
+
+    /// A wind-heavy trace: low mean (~120 gCO₂e/kWh) with large
+    /// multi-hour swings as wind output comes and goes — clean troughs
+    /// near 30 and calm-spell peaks near 300, uncorrelated with the hour
+    /// of day (unlike the solar duck curve).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `days == 0` or `step_seconds == 0`.
+    pub fn wind_heavy(days: u32, step_seconds: u32, seed: u64) -> Self {
+        assert!(days > 0 && step_seconds > 0, "trace must be non-empty");
+        let len = (u64::from(days) * 86_400 / u64::from(step_seconds)) as usize;
+        let mut rng = StdRng::seed_from_u64(seed);
+        let noise = Normal::new(0.0, 10.0).expect("finite sigma");
+        let series = TimeSeries::from_fn(0, step_seconds, len, |t| {
+            // Wind fronts: a slow pseudo-random oscillation built from
+            // incommensurate sinusoids (period ~31 h and ~9 h), phase-
+            // shifted by the seed so regions decorrelate.
+            let h = t as f64 / 3600.0 + (seed % 97) as f64;
+            let front = 0.6 * (h / 31.0 * std::f64::consts::TAU).sin()
+                + 0.4 * (h / 9.0 * std::f64::consts::TAU).sin();
+            let base = 150.0 - 120.0 * front;
+            (base + noise.sample(&mut rng)).max(15.0)
+        })
+        .expect("len > 0 by assertion");
+        Self { series }
+    }
+
     /// The underlying series (gCO₂e/kWh).
     pub fn series(&self) -> &TimeSeries {
         &self.series
@@ -168,6 +215,19 @@ mod tests {
         assert!(g.mean() < 40.0);
         let spread = g.series().peak() - g.series().min();
         assert!(spread < 15.0, "spread {spread}");
+    }
+
+    #[test]
+    fn coal_is_high_and_flat_wind_is_low_and_swingy() {
+        let coal = GridIntensityTrace::coal_like(7, 3600, 2);
+        assert!(coal.mean() > 550.0, "coal mean {}", coal.mean());
+        let wind = GridIntensityTrace::wind_heavy(7, 3600, 3);
+        assert!(wind.mean() < 250.0, "wind mean {}", wind.mean());
+        let swing = wind.series().peak() - wind.series().min();
+        assert!(swing > 150.0, "wind swing {swing}");
+        // Different seeds decorrelate the wind fronts.
+        let other = GridIntensityTrace::wind_heavy(7, 3600, 11);
+        assert_ne!(wind.series().values(), other.series().values());
     }
 
     #[test]

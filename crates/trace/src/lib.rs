@@ -34,6 +34,7 @@
 pub mod csv;
 pub mod demand;
 pub mod grid;
+pub mod scale;
 pub mod series;
 pub mod stats;
 pub mod vms;

@@ -118,7 +118,18 @@ impl VmPopulationBuilder {
         let lifetime = LogNormal::new(self.short_lifetime_median_s.ln(), self.short_lifetime_sigma)
             .expect("finite lognormal parameters");
 
-        let mut vms = Vec::new();
+        // The diurnal rate repeats every day and the arrival buckets are
+        // minutes, so there are only 1440 distinct per-bucket rates —
+        // hoisted out of the sweep (they cost a cosine each) instead of
+        // recomputed for every bucket of every day. Pure arithmetic, no
+        // RNG: the draw sequence is identical to the unhoisted loop.
+        let rate_table = diurnal_rate_table(self.short_vms_per_hour, self.diurnal_amplitude);
+        // One up-front reservation sized at the expected population (the
+        // diurnal cosine integrates to zero over a day) keeps 2M-event
+        // builds from paying repeated growth copies.
+        let expected_short =
+            (self.short_vms_per_hour * 24.0 * f64::from(self.horizon_days)).ceil() as usize;
+        let mut vms = Vec::with_capacity(self.long_vm_count + expected_short + expected_short / 8);
         // Long-running VMs span the horizon (Hadary's "survive almost
         // indefinitely" tail).
         for _ in 0..self.long_vm_count {
@@ -134,11 +145,8 @@ impl VmPopulationBuilder {
         let step = 60i64; // one-minute arrival buckets
         let mut t = 0i64;
         while t < horizon_s {
-            let hour = (t % 86_400) as f64 / 3600.0;
-            let phase = (hour - 18.0) / 24.0 * std::f64::consts::TAU;
-            let rate_per_min =
-                self.short_vms_per_hour / 60.0 * (1.0 + self.diurnal_amplitude * phase.cos());
-            let arrivals = poisson_knuth(&mut rng, rate_per_min.max(0.0));
+            let rate_per_min = rate_table[((t % 86_400) / step) as usize];
+            let arrivals = poisson_knuth(&mut rng, rate_per_min);
             for _ in 0..arrivals {
                 let start = t + rng.gen_range(0..step);
                 let life = lifetime.sample(&mut rng).clamp(60.0, 6.0 * 3600.0);
@@ -155,9 +163,24 @@ impl VmPopulationBuilder {
     }
 }
 
+/// Per-minute arrival rates over one day: the evening-peaking cosine the
+/// builder (and the streaming generator in [`crate::scale`]) modulates
+/// arrivals with, evaluated once per distinct minute-of-day.
+pub(crate) fn diurnal_rate_table(vms_per_hour: f64, amplitude: f64) -> Vec<f64> {
+    (0..1440)
+        .map(|minute| {
+            let hour = (minute * 60) as f64 / 3600.0;
+            let phase = (hour - 18.0) / 24.0 * std::f64::consts::TAU;
+            (vms_per_hour / 60.0 * (1.0 + amplitude * phase.cos())).max(0.0)
+        })
+        .collect()
+}
+
 /// Small-mean Poisson sampler (Knuth's product method) — arrival rates
-/// per bucket are ≪ 30, where this is both exact and fast.
-fn poisson_knuth(rng: &mut impl Rng, mean: f64) -> u32 {
+/// per bucket are ≪ 30, where this is both exact and fast. (The streaming
+/// generator in [`crate::scale`] thins larger rates into sub-buckets so
+/// every draw stays in that regime.)
+pub(crate) fn poisson_knuth(rng: &mut impl Rng, mean: f64) -> u32 {
     let l = (-mean).exp();
     let mut k = 0u32;
     let mut p = 1.0;
@@ -184,6 +207,33 @@ impl VmPopulation {
     /// Starts building a population.
     pub fn builder() -> VmPopulationBuilder {
         VmPopulationBuilder::default()
+    }
+
+    /// Wraps externally generated events (e.g. the chunked streaming
+    /// generator in [`crate::scale`]) as a population.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the horizon is not positive.
+    pub fn from_events(vms: Vec<VmEvent>, horizon_s: i64) -> Self {
+        assert!(horizon_s > 0, "horizon must be positive");
+        Self { vms, horizon_s }
+    }
+
+    /// Sorts the events by start time (then end, then cores) and returns
+    /// the population.
+    ///
+    /// The comparator works on the precomputed integer start times stored
+    /// in each event — no per-comparison key derivation — and uses
+    /// `sort_unstable_by` (events are `Copy`; stability is irrelevant once
+    /// the full key breaks ties deterministically).
+    pub fn sorted_by_start(mut self) -> Self {
+        self.vms.sort_unstable_by(|a, b| {
+            (a.start, a.end, a.cores)
+                .partial_cmp(&(b.start, b.end, b.cores))
+                .expect("core counts are finite")
+        });
+        self
     }
 
     /// The individual VMs.
@@ -351,6 +401,78 @@ mod tests {
             evening as f64 > 1.3 * morning as f64,
             "evening {evening} morning {morning}"
         );
+    }
+
+    /// The pre-hoist `build` body, retained verbatim: per-bucket cosine
+    /// rate evaluation and an unreserved output vector. Pins that the
+    /// rate-table hoist and capacity reservation leave the generated
+    /// population bit-identical (the RNG draw sequence is untouched).
+    fn reference_build(b: &VmPopulationBuilder) -> VmPopulation {
+        assert!(b.horizon_days > 0, "horizon must cover at least a day");
+        let horizon_s = i64::from(b.horizon_days) * 86_400;
+        let mut rng = StdRng::seed_from_u64(b.seed);
+        let lifetime = LogNormal::new(b.short_lifetime_median_s.ln(), b.short_lifetime_sigma)
+            .expect("finite lognormal parameters");
+
+        let mut vms = Vec::new();
+        for _ in 0..b.long_vm_count {
+            let cores = b.core_choices[rng.gen_range(0..b.core_choices.len())];
+            vms.push(VmEvent {
+                start: 0,
+                end: horizon_s,
+                cores,
+            });
+        }
+        let step = 60i64;
+        let mut t = 0i64;
+        while t < horizon_s {
+            let hour = (t % 86_400) as f64 / 3600.0;
+            let phase = (hour - 18.0) / 24.0 * std::f64::consts::TAU;
+            let rate_per_min =
+                b.short_vms_per_hour / 60.0 * (1.0 + b.diurnal_amplitude * phase.cos());
+            let arrivals = poisson_knuth(&mut rng, rate_per_min.max(0.0));
+            for _ in 0..arrivals {
+                let start = t + rng.gen_range(0..step);
+                let life = lifetime.sample(&mut rng).clamp(60.0, 6.0 * 3600.0);
+                let cores = b.core_choices[rng.gen_range(0..b.core_choices.len())];
+                vms.push(VmEvent {
+                    start,
+                    end: (start + life as i64).min(horizon_s),
+                    cores,
+                });
+            }
+            t += step;
+        }
+        VmPopulation { vms, horizon_s }
+    }
+
+    #[test]
+    fn hoisted_build_matches_the_reference_path() {
+        for seed in [0u64, 1, 0x5EED, 99] {
+            let mut builder = VmPopulation::builder();
+            builder.seed(seed).horizon_days(2);
+            assert_eq!(builder.build(), reference_build(&builder), "seed {seed}");
+        }
+        // Off-default rate/amplitude exercise the whole rate table.
+        let mut builder = VmPopulation::builder();
+        builder
+            .seed(11)
+            .short_vms_per_hour(37.5)
+            .diurnal_amplitude(0.9);
+        assert_eq!(builder.build(), reference_build(&builder));
+    }
+
+    #[test]
+    fn sorted_by_start_orders_events_and_keeps_the_multiset() {
+        let pop = population();
+        let sorted = pop.clone().sorted_by_start();
+        assert!(sorted.vms().windows(2).all(|w| w[0].start <= w[1].start));
+        let mut a = pop.vms().to_vec();
+        let mut b = sorted.vms().to_vec();
+        let key = |v: &VmEvent| (v.start, v.end, v.cores.to_bits());
+        a.sort_unstable_by_key(key);
+        b.sort_unstable_by_key(key);
+        assert_eq!(a, b);
     }
 
     #[test]
