@@ -7,21 +7,26 @@
 //! arenas, constant-memory summary accumulators, and batch merges that
 //! are bit-identical at any thread count. Defaults to the paper's scale;
 //! tune with `--trials N --max-workloads N --min-slices N --max-slices N
-//! --threads N --batch N`. `--dump-trials 1` additionally writes every
-//! per-trial record to `results/fig7_trials.json`. Long runs can
-//! snapshot with `--checkpoint <path> --checkpoint-every <batches>` and
-//! pick up after a kill with `--resume` (bit-identical to an
-//! uninterrupted run); `--retries N` sets the per-batch fault budget.
-//! Writes `results/fig7.json`.
+//! --threads N --batch N`. `--dump-trials all` (or `N` for the first N)
+//! additionally streams every per-trial record as JSONL to
+//! `results/fig7_trials.jsonl` (override with `--dump-path`) without
+//! collecting trials in memory; the stream is in trial order and
+//! byte-identical at any thread count. Long runs can snapshot with
+//! `--checkpoint <path> --checkpoint-every <batches>` and pick up after
+//! a kill with `--resume` (bit-identical to an uninterrupted run);
+//! `--retries N` sets the per-batch fault budget. Writes
+//! `results/fig7.json`.
 
 use fairco2_bench::{
     exit_on_engine_error, print_report, sample_schedule, study_options, write_json, Args,
-    SamplingReport, CHECKPOINT_FLAGS,
+    SamplingReport, TrialDump, CHECKPOINT_FLAGS,
 };
 use fairco2_montecarlo::runner::default_threads;
 use fairco2_montecarlo::schedules::DemandStudy;
 use fairco2_montecarlo::streaming::{DemandMethodSet, MethodStream, DEFAULT_BATCH_TRIALS};
-use fairco2_montecarlo::{stream_demand_study_resumable, EngineConfig, EngineStats};
+use fairco2_montecarlo::{
+    stream_demand_study_resumable, stream_demand_study_with_sink, EngineConfig, EngineStats,
+};
 use serde::Serialize;
 
 #[derive(Serialize)]
@@ -120,6 +125,7 @@ const FLAGS: &[&str] = &[
     "threads",
     "batch",
     "dump-trials",
+    "dump-path",
     "permutations",
 ];
 
@@ -136,16 +142,28 @@ fn main() {
     let cfg = EngineConfig {
         threads,
         batch_trials: args.usize("batch", DEFAULT_BATCH_TRIALS),
-        collect_trials: args.usize("dump-trials", 0) != 0,
+        collect_trials: false,
     };
 
     let opts = study_options(&args, "");
+    let mut dump = TrialDump::from_args(&args, "fig7");
     eprintln!(
         "streaming {} schedule trials on {threads} threads (exact ground truth, ≤{} workloads)…",
         study.trials, study.max_workloads
     );
-    let (summary, dump, engine) =
-        exit_on_engine_error(stream_demand_study_resumable(&study, cfg, &opts, |_, _| {}));
+    let (summary, engine) = if let Some(d) = dump.as_mut() {
+        exit_on_engine_error(stream_demand_study_with_sink(
+            &study,
+            cfg,
+            &opts,
+            |_, _| {},
+            |trial| d.observe(trial),
+        ))
+    } else {
+        let (summary, _, engine) =
+            exit_on_engine_error(stream_demand_study_resumable(&study, cfg, &opts, |_, _| {}));
+        (summary, engine)
+    };
 
     let mut panels = vec![panel("all scenarios (a, e)", &summary.all)];
     for b in &summary.by_time_slices {
@@ -204,13 +222,9 @@ fn main() {
     );
     print_report(&shapley_sampling);
 
-    if let Some(trials) = dump {
-        let path = write_json("fig7_trials", &trials);
-        println!(
-            "wrote {} ({} per-trial records)",
-            path.display(),
-            trials.len()
-        );
+    if let Some(d) = dump {
+        let (path, lines) = d.finish();
+        println!("wrote {} ({lines} per-trial JSONL records)", path.display());
     }
     let path = write_json(
         "fig7",

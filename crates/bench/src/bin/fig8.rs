@@ -7,22 +7,25 @@
 //! arenas, constant-memory accumulators, thread-count-invariant merges).
 //! Tune with `--trials N --min-workloads N --max-workloads N
 //! --min-grid-ci X --max-grid-ci X --threads N --batch N`.
-//! `--dump-trials 1` additionally writes every per-trial record to
-//! `results/fig8_trials.json`. Long runs can snapshot with
-//! `--checkpoint <path> --checkpoint-every <batches>` and pick up after
-//! a kill with `--resume`; `--retries N` sets the per-batch fault
-//! budget. Writes `results/fig8.json`.
+//! `--dump-trials all` (or `N` for the first N) additionally streams
+//! every per-trial record as JSONL to `results/fig8_trials.jsonl`
+//! (override with `--dump-path`) without collecting trials in memory;
+//! the stream is in trial order and byte-identical at any thread count.
+//! Long runs can snapshot with `--checkpoint <path> --checkpoint-every
+//! <batches>` and pick up after a kill with `--resume`; `--retries N`
+//! sets the per-batch fault budget. Writes `results/fig8.json`.
 
 use fairco2_bench::{
     exit_on_engine_error, print_report, sample_schedule, study_options, write_json, Args,
-    SamplingReport, CHECKPOINT_FLAGS,
+    SamplingReport, TrialDump, CHECKPOINT_FLAGS,
 };
 use fairco2_montecarlo::colocations::ColocationStudy;
 use fairco2_montecarlo::runner::default_threads;
 use fairco2_montecarlo::schedules::DemandStudy;
 use fairco2_montecarlo::streaming::{ColocationMethodSet, MethodStream, DEFAULT_BATCH_TRIALS};
 use fairco2_montecarlo::{
-    stream_colocation_study_resumable, EngineConfig, EngineStats, StatStream,
+    stream_colocation_study_resumable, stream_colocation_study_with_sink, EngineConfig,
+    EngineStats, StatStream,
 };
 use serde::Serialize;
 
@@ -118,6 +121,7 @@ const FLAGS: &[&str] = &[
     "threads",
     "batch",
     "dump-trials",
+    "dump-path",
     "permutations",
 ];
 
@@ -137,20 +141,32 @@ fn main() {
     let cfg = EngineConfig {
         threads,
         batch_trials: args.usize("batch", DEFAULT_BATCH_TRIALS),
-        collect_trials: args.usize("dump-trials", 0) != 0,
+        collect_trials: false,
     };
 
     let opts = study_options(&args, "");
+    let mut dump = TrialDump::from_args(&args, "fig8");
     eprintln!(
         "streaming {} colocation trials on {threads} threads (exact matching-game ground truth)…",
         study.trials
     );
-    let (summary, dump, engine) = exit_on_engine_error(stream_colocation_study_resumable(
-        &study,
-        cfg,
-        &opts,
-        |_, _| {},
-    ));
+    let (summary, engine) = if let Some(d) = dump.as_mut() {
+        exit_on_engine_error(stream_colocation_study_with_sink(
+            &study,
+            cfg,
+            &opts,
+            |_, _| {},
+            |trial| d.observe(trial),
+        ))
+    } else {
+        let (summary, _, engine) = exit_on_engine_error(stream_colocation_study_resumable(
+            &study,
+            cfg,
+            &opts,
+            |_, _| {},
+        ));
+        (summary, engine)
+    };
 
     let mut panels = vec![panel("all scenarios (a, e)", &summary.all)];
     for b in &summary.by_samples {
@@ -210,13 +226,9 @@ fn main() {
     );
     print_report(&shapley_sampling);
 
-    if let Some(trials) = dump {
-        let path = write_json("fig8_trials", &trials);
-        println!(
-            "wrote {} ({} per-trial records)",
-            path.display(),
-            trials.len()
-        );
+    if let Some(d) = dump {
+        let (path, lines) = d.finish();
+        println!("wrote {} ({lines} per-trial JSONL records)", path.display());
     }
     let path = write_json(
         "fig8",

@@ -31,13 +31,20 @@
 //!   per kernel with the equality/closeness gates asserted in the same
 //!   run, plus a thread-scaling curve (1/2/4/… up to `--threads`) for
 //!   the `run_parallel`-backed paths — written to
-//!   `results/BENCH_kernels.json`.
+//!   `results/BENCH_kernels.json`;
+//! * a `surrogate` section running the surrogate-accelerated attribution
+//!   benchmark (harvest → cross-fitted ridge fit → error-bounded serving
+//!   vs the streaming engine) with its determinism and accuracy gates
+//!   asserted in-binary before timing — written to
+//!   `results/BENCH_surrogate.json` (the dedicated `surrogate` binary
+//!   runs the same pipeline at the full 10,000-trial scale).
 //!
-//! `--section all|shapley|monte-carlo|temporal|service|kernels` picks one section
-//! (default `all`). Tune with `--trials N --threads N --max-n N
-//! --permutations N --mc-trials N --temporal-samples N
+//! `--section all|shapley|monte-carlo|temporal|service|kernels|surrogate`
+//! picks one section (default `all`). Tune with `--trials N --threads N
+//! --max-n N --permutations N --mc-trials N --temporal-samples N
 //! --temporal-queries N --service-ms N --service-tenants N
-//! --service-batch N --seed N`. Each scenario reports the best wall-clock
+//! --service-batch N --surrogate-trials N --surrogate-train N
+//! --surrogate-audit N --tolerance X --budget X --seed N`. Each scenario reports the best wall-clock
 //! over the trials (the usual benchmarking floor) plus the work counters
 //! of one run, and the process-wide peak RSS (`VmHWM`) is recorded at the
 //! end of each section.
@@ -46,7 +53,8 @@ use std::time::Instant;
 
 use fairco2::demand::{DemandAttributor, DemandProportional, RupBaseline, TemporalFairCo2};
 use fairco2::metrics::{summarize, DeviationSummary};
-use fairco2_bench::{write_json, Args};
+use fairco2_bench::surrogate::print_surrogate;
+use fairco2_bench::{run_surrogate, write_json, Args, SurrogateStudy};
 use fairco2_cluster::policy::FirstFit;
 use fairco2_cluster::{run_sharded, Job, JobStream, Simulator};
 use fairco2_montecarlo::checkpoint::demand_fingerprint;
@@ -527,6 +535,11 @@ const FLAGS: &[&str] = &[
     "scale-vms",
     "scale-days",
     "shards",
+    "surrogate-trials",
+    "surrogate-train",
+    "surrogate-audit",
+    "tolerance",
+    "budget",
 ];
 
 /// Sections `--section` can pick. `scale` is opt-in only: its full-size
@@ -538,6 +551,7 @@ const SECTIONS: &[&str] = &[
     "temporal",
     "service",
     "kernels",
+    "surrogate",
     "scale",
 ];
 
@@ -1465,6 +1479,33 @@ fn main() {
         service_report.rebuild_bit_identical
     );
         let path = write_json("BENCH_service", &service_report);
+        println!("wrote {}", path.display());
+    }
+
+    if run("surrogate") {
+        let defaults = SurrogateStudy::default();
+        let surrogate_study = SurrogateStudy {
+            trials: args.usize("surrogate-trials", 2000),
+            train_trials: args.usize("surrogate-train", defaults.train_trials),
+            audit_trials: args.usize("surrogate-audit", 200),
+            threads,
+            tolerance: args.f64("tolerance", defaults.tolerance),
+            accuracy_budget: args.f64("budget", defaults.accuracy_budget),
+            seed: args.u64("seed", defaults.seed),
+            reps: trials.min(3),
+            ..defaults
+        };
+        println!(
+            "surrogate  {} eval trials, {} train, {} audited (tol {}, budget {})",
+            surrogate_study.trials,
+            surrogate_study.train_trials,
+            surrogate_study.audit_trials,
+            surrogate_study.tolerance,
+            surrogate_study.accuracy_budget
+        );
+        let surrogate_report = run_surrogate(&surrogate_study);
+        print_surrogate(&surrogate_report);
+        let path = write_json("BENCH_surrogate", &surrogate_report);
         println!("wrote {}", path.display());
     }
 

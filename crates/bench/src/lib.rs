@@ -12,13 +12,17 @@
 #![warn(missing_docs)]
 
 pub mod args;
+pub mod dump;
 pub mod output;
 pub mod resume;
 pub mod sampling;
 pub mod scale;
+pub mod surrogate;
 
 pub use args::Args;
+pub use dump::{DumpSpec, TrialDump};
 pub use output::{results_dir, write_json};
 pub use resume::{exit_on_engine_error, study_options, CHECKPOINT_FLAGS, DEFAULT_CHECKPOINT_EVERY};
 pub use sampling::{print_report, sample_schedule, SamplingReport};
 pub use scale::{run_azure_scale, AzureScaleReport, AzureScaleStudy, ScaleSnapshot};
+pub use surrogate::{run_surrogate, SurrogateReport, SurrogateStudy, Tolerancepoint};

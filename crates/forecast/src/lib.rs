@@ -29,8 +29,10 @@
 
 pub mod linalg;
 pub mod model;
+pub mod ridge;
 
-pub use model::{FittedForecaster, ForecastError, SeasonalForecaster};
+pub use model::{FittedForecaster, ForecastError, PredictScratch, SeasonalForecaster};
+pub use ridge::{MultiRidge, RidgeTrainer};
 
 use fairco2_trace::series::{SeriesError, TimeSeries};
 

@@ -1,10 +1,20 @@
 //! Minimal dense linear algebra: symmetric positive-definite solves via
 //! Cholesky factorization, enough for ridge-regression normal equations.
+//!
+//! The factorization is split from the substitution so callers solving
+//! many right-hand sides against one Gram matrix (multi-target ridge)
+//! factor once and reuse the triangle: [`SymMatrix::cholesky`] produces a
+//! [`CholeskyFactor`] whose [`CholeskyFactor::solve_into`] is
+//! allocation-free. Near-singular Gram matrices (rank-deficient feature
+//! sets) are handled by [`SymMatrix::cholesky_ridged`], which escalates a
+//! diagonal jitter geometrically and returns a typed
+//! [`LinalgError::SingularDespiteJitter`] instead of panicking or
+//! producing NaN when even the largest jitter fails.
 
 use std::fmt;
 
 /// Error from a linear solve.
-#[derive(Debug, Clone, PartialEq, Eq)]
+#[derive(Debug, Clone, PartialEq)]
 pub enum LinalgError {
     /// The matrix was not positive definite (or numerically singular).
     NotPositiveDefinite {
@@ -13,6 +23,17 @@ pub enum LinalgError {
     },
     /// Dimensions of the inputs disagree.
     DimensionMismatch,
+    /// The matrix stayed numerically singular through every jitter
+    /// escalation attempt (see [`SymMatrix::cholesky_ridged`]).
+    SingularDespiteJitter {
+        /// Pivot index where the final attempt failed.
+        pivot: usize,
+        /// Number of factorization attempts made (including the
+        /// unjittered one).
+        attempts: usize,
+        /// Largest diagonal jitter tried.
+        max_jitter: f64,
+    },
 }
 
 impl fmt::Display for LinalgError {
@@ -22,11 +43,24 @@ impl fmt::Display for LinalgError {
                 write!(f, "matrix is not positive definite (pivot {pivot})")
             }
             LinalgError::DimensionMismatch => write!(f, "dimension mismatch"),
+            LinalgError::SingularDespiteJitter {
+                pivot,
+                attempts,
+                max_jitter,
+            } => write!(
+                f,
+                "matrix stayed singular after {attempts} jitter attempts \
+                 (pivot {pivot}, max jitter {max_jitter:e})"
+            ),
         }
     }
 }
 
 impl std::error::Error for LinalgError {}
+
+/// Number of geometric jitter escalations tried by
+/// [`SymMatrix::cholesky_ridged`] after the unjittered attempt.
+pub const JITTER_ATTEMPTS: usize = 8;
 
 /// A dense symmetric matrix stored as the lower triangle, row-major.
 #[derive(Debug, Clone, PartialEq)]
@@ -67,23 +101,30 @@ impl SymMatrix {
         self.data[k] += v;
     }
 
-    /// Solves `A·x = b` in place via Cholesky (`A = L·Lᵀ`).
-    ///
-    /// # Errors
-    ///
-    /// Returns [`LinalgError::NotPositiveDefinite`] if a pivot is not
-    /// strictly positive, or [`LinalgError::DimensionMismatch`] if `b` has
-    /// the wrong length.
-    pub fn solve(&self, b: &[f64]) -> Result<Vec<f64>, LinalgError> {
-        if b.len() != self.n {
-            return Err(LinalgError::DimensionMismatch);
+    /// Mean of the diagonal; the natural scale for diagonal jitter.
+    fn diagonal_mean(&self) -> f64 {
+        if self.n == 0 {
+            return 0.0;
         }
+        let mut sum = 0.0;
+        for i in 0..self.n {
+            sum += self.data[self.idx(i, i)];
+        }
+        sum / self.n as f64
+    }
+
+    /// Cholesky factorization `A = L·Lᵀ` with an extra `jitter` added to
+    /// each diagonal entry during factorization (the matrix itself is not
+    /// modified).
+    fn cholesky_with_jitter(&self, jitter: f64) -> Result<CholeskyFactor, LinalgError> {
         let n = self.n;
-        // Factor into L (lower triangle).
         let mut l = vec![0.0f64; self.data.len()];
         for i in 0..n {
             for j in 0..=i {
                 let mut sum = self.get(i, j);
+                if i == j {
+                    sum += jitter;
+                }
                 for k in 0..j {
                     sum -= l[i * (i + 1) / 2 + k] * l[j * (j + 1) / 2 + k];
                 }
@@ -97,25 +138,156 @@ impl SymMatrix {
                 }
             }
         }
-        // Forward substitution: L·y = b.
-        let mut y = vec![0.0f64; n];
+        Ok(CholeskyFactor { n, l, jitter })
+    }
+
+    /// Cholesky factorization `A = L·Lᵀ`.
+    ///
+    /// Factor once, then solve any number of right-hand sides with
+    /// [`CholeskyFactor::solve_into`] — the factorization is `O(n³)`, each
+    /// solve `O(n²)` and allocation-free.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LinalgError::NotPositiveDefinite`] if a pivot is not
+    /// strictly positive.
+    pub fn cholesky(&self) -> Result<CholeskyFactor, LinalgError> {
+        self.cholesky_with_jitter(0.0)
+    }
+
+    /// Cholesky factorization hardened for near-singular Gram matrices.
+    ///
+    /// Tries the plain factorization first; on failure, retries with a
+    /// diagonal jitter starting at `diag_mean · 1e-12` and escalating
+    /// ×100 per attempt ([`JITTER_ATTEMPTS`] escalations, up to
+    /// `diag_mean · 10⁴`). Rank-deficient feature sets (duplicated or
+    /// constant-zero columns) factor on an early attempt with a jitter far
+    /// below the data scale; a matrix that survives every escalation is
+    /// reported as [`LinalgError::SingularDespiteJitter`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LinalgError::SingularDespiteJitter`] when every attempt
+    /// fails.
+    pub fn cholesky_ridged(&self) -> Result<CholeskyFactor, LinalgError> {
+        match self.cholesky_with_jitter(0.0) {
+            Ok(f) => return Ok(f),
+            Err(LinalgError::NotPositiveDefinite { .. }) => {}
+            Err(e) => return Err(e),
+        }
+        // Scale jitter to the matrix: a Gram matrix built from k rows of
+        // O(1) features has O(k) diagonal entries, so an absolute epsilon
+        // would be meaningless.
+        let scale = self.diagonal_mean().abs().max(f64::MIN_POSITIVE);
+        let mut jitter = scale * 1e-12;
+        let mut last_pivot = 0;
+        for attempt in 0..JITTER_ATTEMPTS {
+            match self.cholesky_with_jitter(jitter) {
+                Ok(f) => return Ok(f),
+                Err(LinalgError::NotPositiveDefinite { pivot }) => last_pivot = pivot,
+                Err(e) => return Err(e),
+            }
+            if attempt + 1 < JITTER_ATTEMPTS {
+                jitter *= 100.0;
+            }
+        }
+        Err(LinalgError::SingularDespiteJitter {
+            pivot: last_pivot,
+            attempts: 1 + JITTER_ATTEMPTS,
+            max_jitter: jitter,
+        })
+    }
+
+    /// Solves `A·x = b` via Cholesky (`A = L·Lᵀ`).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LinalgError::NotPositiveDefinite`] if a pivot is not
+    /// strictly positive, or [`LinalgError::DimensionMismatch`] if `b` has
+    /// the wrong length.
+    pub fn solve(&self, b: &[f64]) -> Result<Vec<f64>, LinalgError> {
+        if b.len() != self.n {
+            return Err(LinalgError::DimensionMismatch);
+        }
+        let factor = self.cholesky()?;
+        let mut x = vec![0.0f64; self.n];
+        factor.solve_into(b, &mut x)?;
+        Ok(x)
+    }
+
+    /// [`SymMatrix::solve`] hardened via [`SymMatrix::cholesky_ridged`]:
+    /// never panics and never returns NaN on rank-deficient inputs —
+    /// either a finite solution of the (minimally jittered) system or a
+    /// typed error.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LinalgError::SingularDespiteJitter`] when the matrix
+    /// stays singular through every jitter escalation, or
+    /// [`LinalgError::DimensionMismatch`] if `b` has the wrong length.
+    pub fn solve_ridged(&self, b: &[f64]) -> Result<Vec<f64>, LinalgError> {
+        if b.len() != self.n {
+            return Err(LinalgError::DimensionMismatch);
+        }
+        let factor = self.cholesky_ridged()?;
+        let mut x = vec![0.0f64; self.n];
+        factor.solve_into(b, &mut x)?;
+        Ok(x)
+    }
+}
+
+/// A Cholesky factor `L` of a symmetric positive-definite matrix,
+/// produced by [`SymMatrix::cholesky`] / [`SymMatrix::cholesky_ridged`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct CholeskyFactor {
+    n: usize,
+    l: Vec<f64>, // lower triangle, same layout as SymMatrix
+    jitter: f64,
+}
+
+impl CholeskyFactor {
+    /// Dimension of the factored matrix.
+    pub fn dim(&self) -> usize {
+        self.n
+    }
+
+    /// Diagonal jitter that was added to make the factorization succeed
+    /// (0.0 for a plain [`SymMatrix::cholesky`]).
+    pub fn jitter(&self) -> f64 {
+        self.jitter
+    }
+
+    /// Solves `L·Lᵀ·x = b` into `out` without allocating; the forward
+    /// substitution reuses `out` as its scratch, so no intermediate
+    /// buffer is needed.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LinalgError::DimensionMismatch`] if `b` or `out` has the
+    /// wrong length.
+    pub fn solve_into(&self, b: &[f64], out: &mut [f64]) -> Result<(), LinalgError> {
+        if b.len() != self.n || out.len() != self.n {
+            return Err(LinalgError::DimensionMismatch);
+        }
+        let n = self.n;
+        let l = &self.l;
+        // Forward substitution: L·y = b, y written into `out`.
         for i in 0..n {
             let mut sum = b[i];
             for k in 0..i {
-                sum -= l[i * (i + 1) / 2 + k] * y[k];
+                sum -= l[i * (i + 1) / 2 + k] * out[k];
             }
-            y[i] = sum / l[i * (i + 1) / 2 + i];
+            out[i] = sum / l[i * (i + 1) / 2 + i];
         }
-        // Back substitution: Lᵀ·x = y.
-        let mut x = vec![0.0f64; n];
+        // Back substitution in place: Lᵀ·x = y.
         for i in (0..n).rev() {
-            let mut sum = y[i];
+            let mut sum = out[i];
             for k in (i + 1)..n {
-                sum -= l[k * (k + 1) / 2 + i] * x[k];
+                sum -= l[k * (k + 1) / 2 + i] * out[k];
             }
-            x[i] = sum / l[i * (i + 1) / 2 + i];
+            out[i] = sum / l[i * (i + 1) / 2 + i];
         }
-        Ok(x)
+        Ok(())
     }
 }
 
@@ -188,6 +360,77 @@ mod tests {
         for (i, want) in rhs.iter().enumerate() {
             let ax: f64 = x.iter().enumerate().map(|(j, xj)| a.get(i, j) * xj).sum();
             assert!((ax - want).abs() < 1e-9, "row {i}: {ax} vs {want}");
+        }
+    }
+
+    #[test]
+    fn factor_once_solve_many_matches_solve() {
+        let mut a = SymMatrix::zeros(3);
+        a.add(0, 0, 4.0);
+        a.add(1, 0, 1.0);
+        a.add(1, 1, 5.0);
+        a.add(2, 0, 0.5);
+        a.add(2, 1, 2.0);
+        a.add(2, 2, 6.0);
+        let factor = a.cholesky().unwrap();
+        let mut out = vec![0.0; 3];
+        for rhs in [[1.0, 2.0, 3.0], [0.0, -4.0, 9.0], [7.0, 7.0, 7.0]] {
+            factor.solve_into(&rhs, &mut out).unwrap();
+            let direct = a.solve(&rhs).unwrap();
+            for (x, y) in out.iter().zip(&direct) {
+                assert_eq!(x.to_bits(), y.to_bits(), "factored vs direct solve");
+            }
+        }
+    }
+
+    #[test]
+    fn rank_deficient_gram_is_rescued_by_jitter() {
+        // Gram of a design whose second feature duplicates the intercept
+        // column: the pivot cancels exactly, so the plain factorization
+        // must fail and the ridged one must rescue it.
+        // Four rows make the cancellation exact in floating point:
+        // the leading pivot is sqrt(4) = 2, so 4 − (4/2)² = 0 exactly.
+        let rows = [
+            [1.0, 1.0, 2.0],
+            [1.0, 1.0, 3.0],
+            [1.0, 1.0, 5.0],
+            [1.0, 1.0, 6.0],
+        ];
+        let mut a = SymMatrix::zeros(3);
+        for row in &rows {
+            for i in 0..3 {
+                for j in 0..=i {
+                    a.add(i, j, row[i] * row[j]);
+                }
+            }
+        }
+        assert!(matches!(
+            a.cholesky(),
+            Err(LinalgError::NotPositiveDefinite { .. })
+        ));
+        let factor = a.cholesky_ridged().unwrap();
+        assert!(factor.jitter() > 0.0);
+        let x = a.solve_ridged(&[1.0, 2.0, 3.0]).unwrap();
+        assert!(x.iter().all(|v| v.is_finite()));
+    }
+
+    #[test]
+    fn hopeless_matrix_reports_singular_despite_jitter() {
+        // Off-diagonal dominance far beyond the diagonal scale: making
+        // this positive definite would need a jitter ~1e6, but the
+        // escalation is capped relative to the (tiny) mean diagonal.
+        let mut a = SymMatrix::zeros(2);
+        a.add(0, 0, 1.0);
+        a.add(1, 0, 1e6);
+        a.add(1, 1, 1.0);
+        match a.cholesky_ridged() {
+            Err(LinalgError::SingularDespiteJitter {
+                pivot, attempts, ..
+            }) => {
+                assert_eq!(pivot, 1);
+                assert_eq!(attempts, 1 + JITTER_ATTEMPTS);
+            }
+            other => panic!("expected SingularDespiteJitter, got {other:?}"),
         }
     }
 }

@@ -6,7 +6,8 @@ use serde::{Deserialize, Serialize};
 
 use fairco2_trace::series::TimeSeries;
 
-use crate::linalg::{LinalgError, SymMatrix};
+use crate::linalg::LinalgError;
+use crate::ridge::RidgeTrainer;
 
 const SECS_PER_DAY: f64 = 86_400.0;
 const SECS_PER_WEEK: f64 = 7.0 * 86_400.0;
@@ -138,27 +139,18 @@ impl SeasonalForecaster {
                 y
             }
         };
-        let mut xtx = SymMatrix::zeros(p);
-        let mut xty = vec![0.0f64; p];
+        let mut trainer = RidgeTrainer::new(p, 1);
         let mut row = Vec::with_capacity(p);
         for (t, y) in series.iter() {
             let rel = (t - series.start()) as f64;
             self.features(rel, rel / t_scale, &mut row);
-            let y = target(y);
-            for i in 0..p {
-                xty[i] += row[i] * y;
-                for j in 0..=i {
-                    xtx.add(i, j, row[i] * row[j]);
-                }
-            }
+            trainer.record(&row, &[target(y)]);
         }
-        // Ridge on everything but the intercept.
-        for i in 1..p {
-            xtx.add(i, i, self.ridge_lambda * series.len() as f64);
-        }
-        // Tiny jitter on the intercept keeps pathological inputs solvable.
-        xtx.add(0, 0, 1e-12);
-        let coefficients = xtx.solve(&xty)?;
+        // Ridge on everything but the intercept; the trainer's jitter
+        // escalation keeps pathological inputs (e.g. zero-variance
+        // series at λ = 0) solvable without an ad-hoc intercept epsilon.
+        let model = trainer.fit(self.ridge_lambda, false)?;
+        let coefficients = model.coefficients(0).to_vec();
         Ok(FittedForecaster {
             config: *self,
             coefficients,
@@ -181,6 +173,21 @@ pub struct FittedForecaster {
     train_end: i64,
 }
 
+/// Reusable feature-row scratch for [`FittedForecaster::predict_at_with`]
+/// and the batched [`FittedForecaster::predict_into`]: one allocation
+/// serves an entire forecast instead of one per predicted sample.
+#[derive(Debug, Default, Clone)]
+pub struct PredictScratch {
+    row: Vec<f64>,
+}
+
+impl PredictScratch {
+    /// Empty scratch; buffers grow on first use.
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
 impl FittedForecaster {
     /// The fitted regression coefficients (intercept first).
     pub fn coefficients(&self) -> &[f64] {
@@ -189,15 +196,40 @@ impl FittedForecaster {
 
     /// Model prediction at an arbitrary timestamp.
     pub fn predict_at(&self, t: i64) -> f64 {
+        let mut scratch = PredictScratch::new();
+        self.predict_at_with(t, &mut scratch)
+    }
+
+    /// [`FittedForecaster::predict_at`] with a caller-owned scratch:
+    /// bit-identical output, no per-call allocation once the scratch has
+    /// warmed up.
+    pub fn predict_at_with(&self, t: i64, scratch: &mut PredictScratch) -> f64 {
         let rel = (t - self.train_start) as f64;
-        let mut row = Vec::with_capacity(self.coefficients.len());
         self.config
-            .features(rel, rel / self.train_t_scale, &mut row);
-        let raw: f64 = row.iter().zip(&self.coefficients).map(|(x, c)| x * c).sum();
+            .features(rel, rel / self.train_t_scale, &mut scratch.row);
+        let raw: f64 = scratch
+            .row
+            .iter()
+            .zip(&self.coefficients)
+            .map(|(x, c)| x * c)
+            .sum();
         if self.config.multiplicative {
             raw.exp()
         } else {
             raw.max(0.0) // demand cannot go negative
+        }
+    }
+
+    /// Batched prediction on the training grid: `count` samples starting
+    /// at timestamp `start`, appended to `out` (which is cleared first).
+    /// Feature computation reuses one scratch row across the whole batch.
+    pub fn predict_into(&self, start: i64, count: usize, out: &mut Vec<f64>) {
+        let mut scratch = PredictScratch::new();
+        out.clear();
+        out.reserve(count);
+        for k in 0..count {
+            let t = start + k as i64 * i64::from(self.step);
+            out.push(self.predict_at_with(t, &mut scratch));
         }
     }
 
@@ -209,15 +241,21 @@ impl FittedForecaster {
     /// Panics if `horizon == 0` — there is nothing to forecast.
     pub fn predict(&self, horizon: usize) -> TimeSeries {
         assert!(horizon > 0, "forecast horizon must be positive");
-        TimeSeries::from_fn(self.train_end, self.step, horizon, |t| self.predict_at(t))
-            .expect("horizon > 0")
+        let mut scratch = PredictScratch::new();
+        TimeSeries::from_fn(self.train_end, self.step, horizon, |t| {
+            self.predict_at_with(t, &mut scratch)
+        })
+        .expect("horizon > 0")
     }
 
     /// In-sample fitted values over the training window.
     pub fn fitted(&self) -> TimeSeries {
         let len = ((self.train_end - self.train_start) / i64::from(self.step)) as usize;
-        TimeSeries::from_fn(self.train_start, self.step, len, |t| self.predict_at(t))
-            .expect("training window is non-empty")
+        let mut scratch = PredictScratch::new();
+        TimeSeries::from_fn(self.train_start, self.step, len, |t| {
+            self.predict_at_with(t, &mut scratch)
+        })
+        .expect("training window is non-empty")
     }
 }
 

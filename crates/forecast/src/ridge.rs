@@ -1,0 +1,289 @@
+//! General-purpose multi-target ridge regression on arbitrary feature
+//! vectors.
+//!
+//! This generalizes the normal-equations machinery the seasonal
+//! forecaster uses for time-series features: a [`RidgeTrainer`]
+//! accumulates the Gram matrix `XᵀX` and one right-hand side `Xᵀy` per
+//! target as rows stream in, then [`RidgeTrainer::fit`] factors the
+//! (shared, ridge-shifted) Gram **once** via Cholesky and back-solves all
+//! targets against the same factor. Prediction through
+//! [`MultiRidge::predict_into`] is a plain dot product per target with no
+//! per-call allocation.
+//!
+//! Rank-deficient feature sets (duplicated or constant-zero columns) are
+//! handled by the jitter escalation in
+//! [`SymMatrix::cholesky_ridged`](crate::linalg::SymMatrix::cholesky_ridged):
+//! fitting either succeeds with a minimally jittered Gram or fails with a
+//! typed [`LinalgError`] — never a panic or NaN coefficients.
+
+use serde::{Deserialize, Serialize};
+
+use crate::linalg::{LinalgError, SymMatrix};
+
+/// Streaming accumulator for multi-target ridge regression.
+///
+/// Feature index 0 is treated as the intercept when
+/// [`RidgeTrainer::fit`] is called with `penalize_intercept = false`
+/// (the usual case: callers push `1.0` as the first feature).
+#[derive(Debug, Clone)]
+pub struct RidgeTrainer {
+    features: usize,
+    targets: usize,
+    xtx: SymMatrix,
+    /// `targets × features`, row-major: `xty[t * features + i]`.
+    xty: Vec<f64>,
+    rows: usize,
+}
+
+impl RidgeTrainer {
+    /// Empty accumulator for `features` inputs and `targets` outputs.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either count is zero.
+    pub fn new(features: usize, targets: usize) -> Self {
+        assert!(features > 0, "at least one feature");
+        assert!(targets > 0, "at least one target");
+        Self {
+            features,
+            targets,
+            xtx: SymMatrix::zeros(features),
+            xty: vec![0.0; targets * features],
+            rows: 0,
+        }
+    }
+
+    /// Number of feature columns.
+    pub fn feature_count(&self) -> usize {
+        self.features
+    }
+
+    /// Number of targets fitted jointly.
+    pub fn target_count(&self) -> usize {
+        self.targets
+    }
+
+    /// Rows recorded so far.
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Accumulates one training row.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `features` or `targets` have the wrong length.
+    pub fn record(&mut self, features: &[f64], targets: &[f64]) {
+        assert_eq!(features.len(), self.features, "feature row length");
+        assert_eq!(targets.len(), self.targets, "target row length");
+        for i in 0..self.features {
+            for (t, &y) in targets.iter().enumerate() {
+                self.xty[t * self.features + i] += features[i] * y;
+            }
+            for j in 0..=i {
+                self.xtx.add(i, j, features[i] * features[j]);
+            }
+        }
+        self.rows += 1;
+    }
+
+    /// Solves the accumulated normal equations with ridge penalty
+    /// `lambda` (scaled by the row count, matching the seasonal
+    /// forecaster's convention), sharing one Cholesky factor across all
+    /// targets.
+    ///
+    /// When `penalize_intercept` is false, feature 0 is exempt from the
+    /// ridge shift.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LinalgError::SingularDespiteJitter`] when the Gram
+    /// matrix stays singular through every jitter escalation (e.g. more
+    /// features than rows with `lambda = 0`).
+    pub fn fit(&self, lambda: f64, penalize_intercept: bool) -> Result<MultiRidge, LinalgError> {
+        let p = self.features;
+        let mut gram = self.xtx.clone();
+        let start = usize::from(!penalize_intercept);
+        for i in start..p {
+            gram.add(i, i, lambda * self.rows as f64);
+        }
+        let factor = gram.cholesky_ridged()?;
+        let mut coef = vec![0.0; self.targets * p];
+        for t in 0..self.targets {
+            factor.solve_into(&self.xty[t * p..(t + 1) * p], &mut coef[t * p..(t + 1) * p])?;
+        }
+        Ok(MultiRidge {
+            features: p,
+            targets: self.targets,
+            coef,
+            jitter: factor.jitter(),
+            rows: self.rows,
+        })
+    }
+}
+
+/// A fitted multi-target ridge model: one coefficient vector per target
+/// over a shared feature basis.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct MultiRidge {
+    features: usize,
+    targets: usize,
+    /// `targets × features`, row-major.
+    coef: Vec<f64>,
+    jitter: f64,
+    rows: usize,
+}
+
+impl MultiRidge {
+    /// Number of feature columns.
+    pub fn feature_count(&self) -> usize {
+        self.features
+    }
+
+    /// Number of targets.
+    pub fn target_count(&self) -> usize {
+        self.targets
+    }
+
+    /// Rows the model was fitted on.
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Diagonal jitter the fit needed (0.0 for a well-conditioned Gram).
+    pub fn jitter(&self) -> f64 {
+        self.jitter
+    }
+
+    /// Coefficient vector for one target.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `target` is out of range.
+    pub fn coefficients(&self, target: usize) -> &[f64] {
+        assert!(target < self.targets, "target index");
+        &self.coef[target * self.features..(target + 1) * self.features]
+    }
+
+    /// Predicts all targets for one feature row into `out`, without
+    /// allocating.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `features` or `out` have the wrong length.
+    pub fn predict_into(&self, features: &[f64], out: &mut [f64]) {
+        assert_eq!(features.len(), self.features, "feature row length");
+        assert_eq!(out.len(), self.targets, "output length");
+        for (t, slot) in out.iter_mut().enumerate() {
+            let coef = &self.coef[t * self.features..(t + 1) * self.features];
+            let mut acc = 0.0;
+            for (x, c) in features.iter().zip(coef) {
+                acc += x * c;
+            }
+            *slot = acc;
+        }
+    }
+
+    /// Predicts a single target for one feature row.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `features` has the wrong length or `target` is out of
+    /// range.
+    pub fn predict_one(&self, features: &[f64], target: usize) -> f64 {
+        assert_eq!(features.len(), self.features, "feature row length");
+        let coef = self.coefficients(target);
+        features.iter().zip(coef).map(|(x, c)| x * c).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn feature_row(i: usize) -> [f64; 3] {
+        let x = i as f64 / 7.0;
+        [1.0, x, (x * 1.7 - 0.3).sin()]
+    }
+
+    #[test]
+    fn recovers_known_linear_maps_per_target() {
+        // Two targets, each an exact linear function of the features.
+        let mut trainer = RidgeTrainer::new(3, 2);
+        for i in 0..40 {
+            let f = feature_row(i);
+            let y0 = 2.0 * f[0] - 1.0 * f[1] + 0.5 * f[2];
+            let y1 = -3.0 * f[0] + 4.0 * f[1] + 0.0 * f[2];
+            trainer.record(&f, &[y0, y1]);
+        }
+        let model = trainer.fit(0.0, false).unwrap();
+        let want = [[2.0, -1.0, 0.5], [-3.0, 4.0, 0.0]];
+        for (t, row) in want.iter().enumerate() {
+            for (c, w) in model.coefficients(t).iter().zip(row) {
+                assert!((c - w).abs() < 1e-8, "target {t}: {c} vs {w}");
+            }
+        }
+        let mut out = [0.0; 2];
+        let probe = feature_row(100);
+        model.predict_into(&probe, &mut out);
+        assert!((out[0] - (2.0 * probe[0] - probe[1] + 0.5 * probe[2])).abs() < 1e-8);
+        assert_eq!(out[1], model.predict_one(&probe, 1));
+    }
+
+    #[test]
+    fn multi_target_fit_matches_independent_single_target_fits() {
+        let mut joint = RidgeTrainer::new(3, 2);
+        let mut solo0 = RidgeTrainer::new(3, 1);
+        let mut solo1 = RidgeTrainer::new(3, 1);
+        for i in 0..25 {
+            let f = feature_row(i);
+            let y = [f[1] * 3.0 + 1.0, f[2] * f[2]];
+            joint.record(&f, &y);
+            solo0.record(&f, &y[..1]);
+            solo1.record(&f, &y[1..]);
+        }
+        let joint = joint.fit(1e-4, false).unwrap();
+        let solo0 = solo0.fit(1e-4, false).unwrap();
+        let solo1 = solo1.fit(1e-4, false).unwrap();
+        for (a, b) in joint.coefficients(0).iter().zip(solo0.coefficients(0)) {
+            assert_eq!(a.to_bits(), b.to_bits(), "target 0 shared-Gram solve");
+        }
+        for (a, b) in joint.coefficients(1).iter().zip(solo1.coefficients(0)) {
+            assert_eq!(a.to_bits(), b.to_bits(), "target 1 shared-Gram solve");
+        }
+    }
+
+    #[test]
+    fn duplicated_column_is_rescued_or_typed_error() {
+        // Feature 2 duplicates feature 1 → Gram is exactly singular at
+        // lambda = 0; the ridged factorization must rescue it (or report
+        // a typed error), never panic or emit NaN.
+        let mut trainer = RidgeTrainer::new(3, 1);
+        for i in 0..20 {
+            let x = i as f64;
+            trainer.record(&[1.0, x, x], &[2.0 * x + 1.0]);
+        }
+        match trainer.fit(0.0, false) {
+            Ok(model) => {
+                assert!(model.jitter() > 0.0, "singular Gram must need jitter");
+                assert!(model.coefficients(0).iter().all(|c| c.is_finite()));
+                // The duplicated columns must still jointly predict y.
+                let got = model.predict_one(&[1.0, 5.0, 5.0], 0);
+                assert!((got - 11.0).abs() < 1e-3, "prediction {got}");
+            }
+            Err(e) => assert!(matches!(e, LinalgError::SingularDespiteJitter { .. })),
+        }
+    }
+
+    #[test]
+    fn intercept_exemption_changes_only_the_intercept_penalty() {
+        let mut trainer = RidgeTrainer::new(2, 1);
+        for i in 0..10 {
+            trainer.record(&[1.0, i as f64], &[100.0 + i as f64]);
+        }
+        let free = trainer.fit(10.0, false).unwrap();
+        let penalized = trainer.fit(10.0, true).unwrap();
+        // A penalized intercept shrinks toward zero.
+        assert!(penalized.coefficients(0)[0].abs() < free.coefficients(0)[0].abs());
+    }
+}

@@ -1,0 +1,84 @@
+//! Property tests for the generalized ridge machinery: rank-deficient
+//! feature sets must never panic or produce NaN, and the scratch/batched
+//! prediction paths must be bit-identical to the per-call path.
+
+use proptest::prelude::*;
+
+use fairco2_forecast::linalg::LinalgError;
+use fairco2_forecast::{PredictScratch, RidgeTrainer, SeasonalForecaster};
+use fairco2_trace::series::TimeSeries;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Rank-deficient designs (a duplicated column, plus optionally a
+    /// constant-zero column) fit to finite coefficients via jitter
+    /// escalation or fail with the typed singularity error — no panics,
+    /// no NaN.
+    #[test]
+    fn rank_deficient_fits_are_finite_or_typed(
+        rows in prop::collection::vec(
+            prop::collection::vec(-10.0f64..10.0, 3),
+            1..40,
+        ),
+        lambda in (0usize..3).prop_map(|i| [0.0, 1e-8, 1e-3][i]),
+        zero_col in (0usize..2).prop_map(|b| b == 1),
+    ) {
+        // 5 features: intercept, x0, x1, duplicate of x0, and either x2
+        // or a constant-zero column.
+        let mut trainer = RidgeTrainer::new(5, 2);
+        for r in &rows {
+            let last = if zero_col { 0.0 } else { r[2] };
+            let feats = [1.0, r[0], r[1], r[0], last];
+            let y = [r[0] + 0.5 * r[1], r[1] * r[1]];
+            trainer.record(&feats, &y);
+        }
+        match trainer.fit(lambda, false) {
+            Ok(model) => {
+                for t in 0..2 {
+                    prop_assert!(
+                        model.coefficients(t).iter().all(|c| c.is_finite()),
+                        "non-finite coefficients for target {}", t
+                    );
+                }
+                let mut out = [0.0f64; 2];
+                model.predict_into(&[1.0, 1.0, 2.0, 1.0, 3.0], &mut out);
+                prop_assert!(out.iter().all(|v| v.is_finite()));
+            }
+            Err(e) => prop_assert!(
+                matches!(e, LinalgError::SingularDespiteJitter { .. }),
+                "unexpected error {:?}", e
+            ),
+        }
+    }
+
+    /// The reusable-scratch and batched prediction paths are bit-identical
+    /// to the allocating per-call path.
+    #[test]
+    fn scratch_and_batched_predictions_match_per_call(
+        seed_offsets in prop::collection::vec(0i64..86_400 * 40, 1..12),
+        horizon in 1usize..50,
+    ) {
+        let series = TimeSeries::from_fn(0, 3600, 24 * 21, |t| {
+            80.0 + 15.0 * (2.0 * std::f64::consts::PI * t as f64 / 86_400.0).sin()
+        })
+        .unwrap();
+        let model = SeasonalForecaster::default_daily_weekly()
+            .fit(&series)
+            .unwrap();
+        let mut scratch = PredictScratch::new();
+        for &t in &seed_offsets {
+            let per_call = model.predict_at(t);
+            let with_scratch = model.predict_at_with(t, &mut scratch);
+            prop_assert_eq!(per_call.to_bits(), with_scratch.to_bits());
+        }
+        let start = seed_offsets[0];
+        let mut batched = Vec::new();
+        model.predict_into(start, horizon, &mut batched);
+        prop_assert_eq!(batched.len(), horizon);
+        for (k, v) in batched.iter().enumerate() {
+            let t = start + k as i64 * 3600;
+            prop_assert_eq!(v.to_bits(), model.predict_at(t).to_bits());
+        }
+    }
+}

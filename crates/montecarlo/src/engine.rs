@@ -535,8 +535,46 @@ pub fn stream_demand_study_resumable(
     study: &DemandStudy,
     cfg: EngineConfig,
     opts: &StudyOptions,
-    mut on_progress: impl FnMut(u64, &DemandStudySummary),
+    on_progress: impl FnMut(u64, &DemandStudySummary),
 ) -> Result<(DemandStudySummary, Option<Vec<DemandTrial>>, EngineStats), EngineError> {
+    demand_study_impl(study, cfg, opts, on_progress, None)
+}
+
+/// [`stream_demand_study_resumable`] with a **streaming per-trial sink**:
+/// `on_trial` observes every trial exactly once, in ascending trial
+/// order, on the merge thread — at any thread count the observed stream
+/// is identical, because batches are merged strictly in batch-index order
+/// and trials are generated in index order within each batch. Memory
+/// stays `O(threads · batch)`: trials are dropped after the sink sees
+/// them instead of being collected (this is what backs `--dump-trials`
+/// JSONL harvests of full 10,000-trial studies).
+///
+/// On resumed runs the sink observes only trials executed after the
+/// restore point, mirroring the collect path's contract.
+///
+/// # Errors
+///
+/// Same contract as [`stream_demand_study_resumable`].
+pub fn stream_demand_study_with_sink(
+    study: &DemandStudy,
+    cfg: EngineConfig,
+    opts: &StudyOptions,
+    on_progress: impl FnMut(u64, &DemandStudySummary),
+    mut on_trial: impl FnMut(&DemandTrial),
+) -> Result<(DemandStudySummary, EngineStats), EngineError> {
+    let (summary, _, stats) =
+        demand_study_impl(study, cfg, opts, on_progress, Some(&mut on_trial))?;
+    Ok((summary, stats))
+}
+
+fn demand_study_impl(
+    study: &DemandStudy,
+    cfg: EngineConfig,
+    opts: &StudyOptions,
+    mut on_progress: impl FnMut(u64, &DemandStudySummary),
+    mut sink: Option<&mut dyn FnMut(&DemandTrial)>,
+) -> Result<(DemandStudySummary, Option<Vec<DemandTrial>>, EngineStats), EngineError> {
+    let keep_trials = cfg.collect_trials || sink.is_some();
     let batch_trials = cfg.batch_trials.max(1);
     let n_batches = study.trials.div_ceil(batch_trials);
     let fingerprint = demand_fingerprint(study, batch_trials);
@@ -579,7 +617,7 @@ pub fn stream_demand_study_resumable(
                 FaultPlan::fire(kind, &format!("batch {batch}"))?;
             }
             let mut acc = DemandStudySummary::empty(study);
-            let mut kept = cfg.collect_trials.then(|| Vec::with_capacity(range.len()));
+            let mut kept = keep_trials.then(|| Vec::with_capacity(range.len()));
             for t in range {
                 if let Some(kind) = faults.trial_fault(t, attempt) {
                     FaultPlan::fire(kind, &format!("trial {t}"))?;
@@ -594,8 +632,15 @@ pub fn stream_demand_study_resumable(
         },
         |ctx, (acc, kept): DemandAcc| {
             master.merge(&acc);
-            if let (Some(d), Some(k)) = (&mut dump, kept) {
-                d.extend(k);
+            if let Some(k) = kept {
+                if let Some(observe) = sink.as_deref_mut() {
+                    for trial in &k {
+                        observe(trial);
+                    }
+                }
+                if let Some(d) = &mut dump {
+                    d.extend(k);
+                }
             }
             on_progress(master.trials, &master);
             if let Some(spec) = &opts.checkpoint {
@@ -647,7 +692,7 @@ pub fn stream_colocation_study_resumable(
     study: &ColocationStudy,
     cfg: EngineConfig,
     opts: &StudyOptions,
-    mut on_progress: impl FnMut(u64, &ColocationStudySummary),
+    on_progress: impl FnMut(u64, &ColocationStudySummary),
 ) -> Result<
     (
         ColocationStudySummary,
@@ -656,6 +701,43 @@ pub fn stream_colocation_study_resumable(
     ),
     EngineError,
 > {
+    colocation_study_impl(study, cfg, opts, on_progress, None)
+}
+
+/// [`stream_colocation_study_resumable`] with a streaming per-trial sink;
+/// the colocation counterpart of [`stream_demand_study_with_sink`], with
+/// the same in-trial-order, thread-invariant observation contract.
+///
+/// # Errors
+///
+/// Same contract as [`stream_colocation_study_resumable`].
+pub fn stream_colocation_study_with_sink(
+    study: &ColocationStudy,
+    cfg: EngineConfig,
+    opts: &StudyOptions,
+    on_progress: impl FnMut(u64, &ColocationStudySummary),
+    mut on_trial: impl FnMut(&ColocationTrial),
+) -> Result<(ColocationStudySummary, EngineStats), EngineError> {
+    let (summary, _, stats) =
+        colocation_study_impl(study, cfg, opts, on_progress, Some(&mut on_trial))?;
+    Ok((summary, stats))
+}
+
+fn colocation_study_impl(
+    study: &ColocationStudy,
+    cfg: EngineConfig,
+    opts: &StudyOptions,
+    mut on_progress: impl FnMut(u64, &ColocationStudySummary),
+    mut sink: Option<&mut dyn FnMut(&ColocationTrial)>,
+) -> Result<
+    (
+        ColocationStudySummary,
+        Option<Vec<ColocationTrial>>,
+        EngineStats,
+    ),
+    EngineError,
+> {
+    let keep_trials = cfg.collect_trials || sink.is_some();
     let batch_trials = cfg.batch_trials.max(1);
     let n_batches = study.trials.div_ceil(batch_trials);
     let fingerprint = colocation_fingerprint(study, batch_trials);
@@ -698,7 +780,7 @@ pub fn stream_colocation_study_resumable(
                 FaultPlan::fire(kind, &format!("batch {batch}"))?;
             }
             let mut acc = ColocationStudySummary::empty(study);
-            let mut kept = cfg.collect_trials.then(|| Vec::with_capacity(range.len()));
+            let mut kept = keep_trials.then(|| Vec::with_capacity(range.len()));
             for t in range {
                 if let Some(kind) = faults.trial_fault(t, attempt) {
                     FaultPlan::fire(kind, &format!("trial {t}"))?;
@@ -713,8 +795,15 @@ pub fn stream_colocation_study_resumable(
         },
         |ctx, (acc, kept): ColocationAcc| {
             master.merge(&acc);
-            if let (Some(d), Some(k)) = (&mut dump, kept) {
-                d.extend(k);
+            if let Some(k) = kept {
+                if let Some(observe) = sink.as_deref_mut() {
+                    for trial in &k {
+                        observe(trial);
+                    }
+                }
+                if let Some(d) = &mut dump {
+                    d.extend(k);
+                }
             }
             on_progress(master.trials, &master);
             if let Some(spec) = &opts.checkpoint {

@@ -32,7 +32,12 @@
 //!   figures) merged batch-by-batch in a fixed order;
 //! * [`engine`] — drives both: batches fan out across workers, are merged
 //!   in batch order, and the resulting summaries are bit-identical to the
-//!   collect-then-summarize path at any thread count.
+//!   collect-then-summarize path at any thread count. Studies can also
+//!   attach a streaming per-trial sink (the `--dump-trials` JSONL path)
+//!   that observes every trial in trial order without `O(trials)` memory;
+//! * [`harvest`] — the surrogate training-set pipeline: replays each
+//!   trial's schedule into `(workload features, exact Shapley share)`
+//!   rows and streams them to JSONL, byte-identical at any thread count.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -41,6 +46,7 @@ pub mod checkpoint;
 pub mod colocations;
 pub mod engine;
 pub mod faults;
+pub mod harvest;
 pub mod runner;
 pub mod schedules;
 pub mod scratch;
@@ -52,11 +58,15 @@ pub use checkpoint::{
 };
 pub use colocations::{ColocationStudy, ColocationTrial};
 pub use engine::{
-    stream_colocation_study, stream_colocation_study_resumable, stream_demand_study,
-    stream_demand_study_resumable, BatchFailure, EngineConfig, EngineError, EngineStats,
-    StudyOptions,
+    stream_colocation_study, stream_colocation_study_resumable, stream_colocation_study_with_sink,
+    stream_demand_study, stream_demand_study_resumable, stream_demand_study_with_sink,
+    BatchFailure, EngineConfig, EngineError, EngineStats, StudyOptions,
 };
 pub use faults::{BatchFault, FaultKind, FaultPlan, TrialFault};
+pub use harvest::{
+    fit_surrogate, harvest_demand_study_jsonl, harvest_demand_study_with, harvest_demand_trial,
+    read_harvest_jsonl, HarvestRecord, HarvestScratch, HarvestStats,
+};
 pub use schedules::{DemandStudy, DemandTrial};
 pub use scratch::{EngineScratch, NoScratch, ScratchStats, TrialScratch};
 pub use streaming::{ColocationStudySummary, DemandStudySummary, Histogram, StatStream, Welford};

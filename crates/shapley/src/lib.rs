@@ -41,6 +41,10 @@
 //!   attribution service: fixed windows ingested one sample at a time
 //!   at amortized `O(levels)` per sample, each closed window
 //!   bit-identical to the frozen cascade on the same slice.
+//! * [`surrogate`] — learned ridge surrogate serving peak-demand
+//!   attributions in `O(features)` per workload, with an efficiency-gap
+//!   residual bound and a deterministic error-bounded fallback to
+//!   [`sampled::sampled_shapley_cached`].
 //! * [`axioms`] — executable checks of the four fairness axioms (null
 //!   player, symmetry, efficiency, linearity).
 //!
@@ -72,6 +76,7 @@ pub mod matching;
 pub mod maxtree;
 pub mod parallel;
 pub mod sampled;
+pub mod surrogate;
 pub mod temporal;
 pub mod unit_time;
 
@@ -97,5 +102,9 @@ pub use parallel::{
 pub use sampled::{
     sampled_shapley, sampled_shapley_cached, sampled_shapley_with_scratch, stratified_shapley,
     Moments, SampleConfig, SampleScratch, ShapleyEstimate,
+};
+pub use surrogate::{
+    player_features_into, SurrogateAttributor, SurrogateModel, SurrogateOutcome, SurrogateScratch,
+    SurrogateTrainer, SURROGATE_FEATURES, SURROGATE_TARGETS,
 };
 pub use temporal::{peak_shapley, peak_shapley_into, TemporalAttribution};
