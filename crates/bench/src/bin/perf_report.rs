@@ -37,14 +37,21 @@
 //!   vs the streaming engine) with its determinism and accuracy gates
 //!   asserted in-binary before timing — written to
 //!   `results/BENCH_surrogate.json` (the dedicated `surrogate` binary
-//!   runs the same pipeline at the full 10,000-trial scale).
+//!   runs the same pipeline at the full 10,000-trial scale);
+//! * a `network` section running the LP-valued network attribution game
+//!   on the vendored revised simplex: full-lattice duality-gap
+//!   certificates, warm-vs-cold bit-identity, and 1/2/8-thread
+//!   bit-invariance asserted before timing the lattice fills and exact
+//!   Shapley solves, with the warm-start iteration-savings ratio as the
+//!   headline — written to `results/BENCH_network.json`.
 //!
-//! `--section all|shapley|monte-carlo|temporal|service|kernels|surrogate`
+//! `--section all|shapley|monte-carlo|temporal|service|kernels|surrogate|network`
 //! picks one section (default `all`). Tune with `--trials N --threads N
 //! --max-n N --permutations N --mc-trials N --temporal-samples N
 //! --temporal-queries N --service-ms N --service-tenants N
 //! --service-batch N --surrogate-trials N --surrogate-train N
-//! --surrogate-audit N --tolerance X --budget X --seed N`. Each scenario reports the best wall-clock
+//! --surrogate-audit N --tolerance X --budget X --net-tenants N
+//! --seed N`. Each scenario reports the best wall-clock
 //! over the trials (the usual benchmarking floor) plus the work counters
 //! of one run, and the process-wide peak RSS (`VmHWM`) is recorded at the
 //! end of each section.
@@ -54,7 +61,9 @@ use std::time::Instant;
 use fairco2::demand::{DemandAttributor, DemandProportional, RupBaseline, TemporalFairCo2};
 use fairco2::metrics::{summarize, DeviationSummary};
 use fairco2_bench::surrogate::print_surrogate;
-use fairco2_bench::{run_surrogate, write_json, Args, SurrogateStudy};
+use fairco2_bench::{
+    print_network, run_network, run_surrogate, write_json, Args, NetworkStudy, SurrogateStudy,
+};
 use fairco2_cluster::policy::FirstFit;
 use fairco2_cluster::{run_sharded, Job, JobStream, Simulator};
 use fairco2_montecarlo::checkpoint::demand_fingerprint;
@@ -540,6 +549,7 @@ const FLAGS: &[&str] = &[
     "surrogate-audit",
     "tolerance",
     "budget",
+    "net-tenants",
 ];
 
 /// Sections `--section` can pick. `scale` is opt-in only: its full-size
@@ -552,6 +562,7 @@ const SECTIONS: &[&str] = &[
     "service",
     "kernels",
     "surrogate",
+    "network",
     "scale",
 ];
 
@@ -1506,6 +1517,24 @@ fn main() {
         let surrogate_report = run_surrogate(&surrogate_study);
         print_surrogate(&surrogate_report);
         let path = write_json("BENCH_surrogate", &surrogate_report);
+        println!("wrote {}", path.display());
+    }
+
+    if run("network") {
+        let network_study = NetworkStudy {
+            tenants: args.usize("net-tenants", 12),
+            threads,
+            reps: trials.min(3),
+            ..NetworkStudy::default()
+        };
+        println!(
+            "network    {} tenants ({} coalitions), gates before timing",
+            network_study.tenants,
+            1u64 << network_study.tenants
+        );
+        let network_report = run_network(&network_study);
+        print_network(&network_report);
+        let path = write_json("BENCH_network", &network_report);
         println!("wrote {}", path.display());
     }
 

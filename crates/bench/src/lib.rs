@@ -13,6 +13,7 @@
 
 pub mod args;
 pub mod dump;
+pub mod netbench;
 pub mod output;
 pub mod resume;
 pub mod sampling;
@@ -21,6 +22,7 @@ pub mod surrogate;
 
 pub use args::Args;
 pub use dump::{DumpSpec, TrialDump};
+pub use netbench::{print_network, run_network, NetworkReport, NetworkStudy};
 pub use output::{results_dir, write_json};
 pub use resume::{exit_on_engine_error, study_options, CHECKPOINT_FLAGS, DEFAULT_CHECKPOINT_EVERY};
 pub use sampling::{print_report, sample_schedule, SamplingReport};

@@ -14,6 +14,9 @@
 //!   per-resource embodied rates.
 //! * [`operational`] — the static/dynamic power split (≈60/40 per Google's
 //!   characterization) and energy→carbon conversion.
+//! * [`network`] — per-link carbon prices (gear energy × grid intensity
+//!   plus an embodied share) quantized onto a dyadic grid, the exact link
+//!   costs consumed by the LP-valued network attribution games.
 //!
 //! # Example
 //!
@@ -33,6 +36,7 @@
 
 pub mod amortization;
 pub mod embodied;
+pub mod network;
 pub mod operational;
 pub mod server;
 pub mod units;

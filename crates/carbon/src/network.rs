@@ -1,0 +1,134 @@
+//! Per-link carbon-intensity signals for network attribution.
+//!
+//! The LP-valued coalition games route tenant traffic over datacenter
+//! links at a carbon price per unit of traffic. This module derives that
+//! price from physical ingredients — network-gear energy per gigabyte
+//! times grid intensity, plus an amortized embodied share — and
+//! **quantizes it onto a dyadic grid** so the prices are exactly
+//! representable in binary floating point. On integer-capacity instances
+//! with dyadic link prices the simplex arithmetic is exact end to end,
+//! which is what lets the attribution layer pin warm-started coalition
+//! solves bit-identical to cold ones (see `fairco2-solver`'s crate docs).
+
+use crate::units::{Carbon, CarbonIntensity, Energy};
+
+/// Default number of fractional bits for [`quantize_dyadic`]: 2⁻²⁰ grams
+/// per GB resolution (≈ microgram), far below any physical signal while
+/// keeping products with realistic traffic volumes exact.
+pub const DYADIC_FRAC_BITS: u32 = 20;
+
+/// Snaps `value` to the nearest multiple of `2^-frac_bits`.
+///
+/// The result is a dyadic rational, exactly representable in `f64` (for
+/// any value whose magnitude fits 2⁵³⁻ᶠʳᵃᶜ⁻ᵇⁱᵗˢ), so sums and
+/// integer-scalar products of quantized values are computed without
+/// rounding — the property the bit-determinism pins of the network games
+/// rely on.
+///
+/// # Panics
+///
+/// Panics if `value` is not finite or `frac_bits > 52`.
+pub fn quantize_dyadic(value: f64, frac_bits: u32) -> f64 {
+    assert!(value.is_finite(), "cannot quantize a non-finite value");
+    assert!(
+        frac_bits <= 52,
+        "more than 52 fractional bits is meaningless for f64"
+    );
+    let scale = (1u64 << frac_bits) as f64;
+    (value * scale).round() / scale
+}
+
+/// Carbon price model for one class of network link.
+///
+/// Ingredients follow the operational/embodied split used everywhere else
+/// in this crate: moving a gigabyte costs `energy_per_gb × grid
+/// intensity` in operational carbon, plus an embodied share amortized
+/// over the link's lifetime traffic.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LinkCarbonModel {
+    energy_per_gb: Energy,
+    intensity: CarbonIntensity,
+    embodied_per_gb: Carbon,
+}
+
+impl LinkCarbonModel {
+    /// Builds a model from its physical ingredients.
+    pub fn new(energy_per_gb: Energy, intensity: CarbonIntensity, embodied_per_gb: Carbon) -> Self {
+        Self {
+            energy_per_gb,
+            intensity,
+            embodied_per_gb,
+        }
+    }
+
+    /// A representative in-datacenter link class: ≈ 0.06 kWh per GB of
+    /// switching/transport energy (aggregate of NIC, ToR and aggregation
+    /// hops) and a small embodied share.
+    pub fn datacenter_default(intensity: CarbonIntensity) -> Self {
+        Self::new(Energy::from_kwh(0.06), intensity, Carbon::from_grams(0.4))
+    }
+
+    /// Total carbon per gigabyte: operational plus embodied.
+    pub fn carbon_per_gb(&self) -> Carbon {
+        let operational = self.energy_per_gb * self.intensity;
+        Carbon::from_grams(operational.as_grams() + self.embodied_per_gb.as_grams())
+    }
+
+    /// [`carbon_per_gb`](Self::carbon_per_gb) in grams, snapped to the
+    /// dyadic grid of [`DYADIC_FRAC_BITS`] — the form the network games
+    /// consume as an exact link price.
+    pub fn dyadic_grams_per_gb(&self) -> f64 {
+        quantize_dyadic(self.carbon_per_gb().as_grams(), DYADIC_FRAC_BITS)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quantization_lands_on_the_dyadic_grid() {
+        let q = quantize_dyadic(0.1, 20);
+        // q must be an exact multiple of 2^-20.
+        let scaled = q * (1u64 << 20) as f64;
+        assert_eq!(scaled, scaled.round());
+        assert!((q - 0.1).abs() < 1e-6);
+    }
+
+    #[test]
+    fn quantized_values_sum_exactly() {
+        let a = quantize_dyadic(0.3, 20);
+        let b = quantize_dyadic(0.7, 20);
+        // Dyadic + dyadic at the same scale is exact: re-quantizing the
+        // sum changes nothing.
+        assert_eq!(a + b, quantize_dyadic(a + b, 20));
+    }
+
+    #[test]
+    fn link_model_combines_operational_and_embodied() {
+        let model = LinkCarbonModel::new(
+            Energy::from_kwh(0.05),
+            CarbonIntensity::from_g_per_kwh(400.0),
+            Carbon::from_grams(1.0),
+        );
+        // 0.05 kWh/GB × 400 g/kWh = 20 g/GB operational + 1 g embodied.
+        assert!((model.carbon_per_gb().as_grams() - 21.0).abs() < 1e-9);
+        let dyadic = model.dyadic_grams_per_gb();
+        assert!((dyadic - 21.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn datacenter_default_is_positive_and_dyadic() {
+        let model = LinkCarbonModel::datacenter_default(CarbonIntensity::from_g_per_kwh(300.0));
+        let price = model.dyadic_grams_per_gb();
+        assert!(price > 0.0);
+        let scaled = price * (1u64 << DYADIC_FRAC_BITS) as f64;
+        assert_eq!(scaled, scaled.round());
+    }
+
+    #[test]
+    #[should_panic(expected = "non-finite")]
+    fn non_finite_quantization_panics() {
+        let _ = quantize_dyadic(f64::NAN, 20);
+    }
+}

@@ -25,6 +25,10 @@
 //!   permutation sampling over scoped worker threads with per-batch
 //!   seeding, moment merging, work counters, and a convergence trace;
 //!   bit-identical results at any thread count.
+//! * [`netgame`] — LP-valued coalition games: network carbon attribution
+//!   where `v(S)` is the objective of a min-carbon routing LP over the
+//!   vendored `fairco2-solver` simplex, with warm-started coalition
+//!   solves pinned bit-identical to cold ones on exact instances.
 //! * [`matching`] — an exact `O(n²)` solver for *pairwise matching games*
 //!   (the structure of the paper's colocation scenarios: isolated costs
 //!   plus pairwise colocation costs under a uniformly random matching).
@@ -74,6 +78,7 @@ pub mod incremental;
 pub mod kernels;
 pub mod matching;
 pub mod maxtree;
+pub mod netgame;
 pub mod parallel;
 pub mod sampled;
 pub mod surrogate;
@@ -95,6 +100,7 @@ pub use game::{
 pub use incremental::{IncrementalCascade, WindowAttribution};
 pub use matching::{shapley_from_moments, MatchingGame};
 pub use maxtree::MaxTree;
+pub use netgame::{CoalitionValue, LatticeStats, Link, Network, NetworkCarbonGame};
 pub use parallel::{
     default_threads, panic_message, parallel_sampled_shapley, run_parallel, run_parallel_retrying,
     ConvergenceTrace, ItemAbandoned, ParallelConfig, ParallelEstimate, RetryCounters, TracePoint,

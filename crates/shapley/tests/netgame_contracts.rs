@@ -1,0 +1,148 @@
+//! Game-theoretic contracts of [`NetworkCarbonGame`], property-tested
+//! over random small networks with integer capacities/demands and integer
+//! link prices (the exact-arithmetic regime):
+//!
+//! * **Monotonicity**: growing a coalition never lowers `v` — including
+//!   across the feasibility boundary, where the default penalty rate
+//!   (sum of link prices) dominates any routable cost.
+//! * **Efficiency**: exact Shapley shares sum to `v(N)` within 1e-9.
+//! * **Null player**: a tenant with zero traffic gets a zero share.
+
+use fairco2_shapley::coalition::Coalition;
+use fairco2_shapley::exact::exact_shapley;
+use fairco2_shapley::game::Game;
+use fairco2_shapley::netgame::{Link, Network, NetworkCarbonGame};
+use proptest::prelude::*;
+
+/// Builds a layered network: nodes `0..nodes-1` inject, the last node is
+/// the egress; every non-egress node gets a direct link to the egress and
+/// a forward chain link, with capacities and prices drawn from pools.
+fn build_network(nodes: usize, caps: &[u8], prices: &[u8]) -> Network {
+    let egress = nodes - 1;
+    let mut links = Vec::new();
+    let mut k = 0usize;
+    for v in 0..egress {
+        links.push(Link {
+            from: v,
+            to: egress,
+            capacity: caps[k % caps.len()] as f64,
+            carbon_per_unit: prices[k % prices.len()] as f64,
+        });
+        k += 1;
+        if v + 1 < egress {
+            links.push(Link {
+                from: v,
+                to: v + 1,
+                capacity: caps[k % caps.len()] as f64,
+                carbon_per_unit: prices[k % prices.len()] as f64,
+            });
+            k += 1;
+        }
+    }
+    Network::new(nodes, egress, links)
+}
+
+fn build_demands(players: usize, nodes: usize, pool: &[u8]) -> Vec<Vec<f64>> {
+    (0..players)
+        .map(|t| {
+            (0..nodes)
+                .map(|v| {
+                    if v == nodes - 1 {
+                        0.0
+                    } else {
+                        pool[(t * nodes + v) % pool.len()] as f64
+                    }
+                })
+                .collect()
+        })
+        .collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn v_is_monotone_under_coalition_growth(
+        nodes in 3usize..=5,
+        players in 1usize..=5,
+        caps in prop::collection::vec(0u8..=8, 4..16),
+        prices in prop::collection::vec(0u8..=4, 4..16),
+        demand_pool in prop::collection::vec(0u8..=3, 4..16),
+    ) {
+        let game = NetworkCarbonGame::new(
+            build_network(nodes, &caps, &prices),
+            build_demands(players, nodes, &demand_pool),
+        );
+        let (values, _) = game.fill_lattice_cold();
+        for mask in 0..(1usize << players) {
+            for b in 0..players {
+                if mask & (1 << b) != 0 {
+                    continue;
+                }
+                let grown = mask | (1 << b);
+                prop_assert!(
+                    values[grown] + 1e-9 >= values[mask],
+                    "v({grown:#b}) = {} < v({mask:#b}) = {}",
+                    values[grown],
+                    values[mask]
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn exact_shapley_is_efficient_to_1e9(
+        nodes in 3usize..=5,
+        players in 1usize..=5,
+        caps in prop::collection::vec(1u8..=8, 4..16),
+        prices in prop::collection::vec(0u8..=4, 4..16),
+        demand_pool in prop::collection::vec(0u8..=3, 4..16),
+    ) {
+        let game = NetworkCarbonGame::new(
+            build_network(nodes, &caps, &prices),
+            build_demands(players, nodes, &demand_pool),
+        );
+        let phi = exact_shapley(&game).unwrap();
+        let total: f64 = phi.iter().sum();
+        let grand = game.value(&Coalition::grand(players));
+        prop_assert!(
+            (total - grand).abs() <= 1e-9,
+            "Σφ = {total} vs v(N) = {grand}"
+        );
+    }
+
+    #[test]
+    fn zero_traffic_tenant_has_zero_share(
+        nodes in 3usize..=5,
+        players in 1usize..=4,
+        caps in prop::collection::vec(1u8..=8, 4..16),
+        prices in prop::collection::vec(0u8..=4, 4..16),
+        demand_pool in prop::collection::vec(0u8..=3, 4..16),
+    ) {
+        let mut demands = build_demands(players, nodes, &demand_pool);
+        demands.push(vec![0.0; nodes]); // the null player
+        let game = NetworkCarbonGame::new(build_network(nodes, &caps, &prices), demands);
+        let total = players + 1;
+        // Game-level exactness: adding zero demand leaves every rhs —
+        // hence every solve — bit-identical, so each marginal is exactly
+        // zero at the bit level.
+        for mask in 0..(1u64 << players) {
+            let without = Coalition::from_mask(total, mask);
+            let with = Coalition::from_mask(total, mask | (1 << players));
+            prop_assert_eq!(
+                game.value(&without).to_bits(),
+                game.value(&with).to_bits()
+            );
+        }
+        // Solver-level share: the table scatter accumulates ±w·v(S) terms
+        // separately, so the zero arrives by cancellation — exact up to
+        // accumulation epsilon, not bitwise.
+        let phi = exact_shapley(&game).unwrap();
+        let scale = 1.0 + game.value(&Coalition::grand(total)).abs();
+        prop_assert!(
+            phi[players].abs() <= 1e-12 * scale,
+            "null player got {}",
+            phi[players]
+        );
+    }
+}

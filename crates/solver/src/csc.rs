@@ -1,0 +1,178 @@
+//! Compressed-sparse-column matrices.
+//!
+//! The constraint matrices of coalition LPs are tall-and-sparse (flow
+//! conservation touches two rows per column, capacity rows one), and the
+//! revised simplex only ever needs *column* access: pricing dots a column
+//! against the dual vector, FTRAN pulls one column into the factors. CSC
+//! is the natural layout; rows are never traversed.
+//!
+//! Construction goes through [`Csc::from_triplets`], which sorts by
+//! `(column, row)` and sums duplicates, so the stored form — and
+//! therefore every downstream dot product's accumulation order — is a
+//! canonical function of the triplet *set*, not of the order the caller
+//! produced it in.
+
+/// A sparse matrix in compressed-sparse-column form.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Csc {
+    rows: usize,
+    cols: usize,
+    col_ptr: Vec<usize>,
+    row_idx: Vec<usize>,
+    values: Vec<f64>,
+}
+
+impl Csc {
+    /// Builds a `rows × cols` matrix from `(row, col, value)` triplets.
+    ///
+    /// Triplets are sorted by `(col, row)` and duplicates are summed in
+    /// that canonical order; exact zeros produced by cancellation are
+    /// kept (dropping them would make the stored pattern depend on
+    /// floating-point cancellation).
+    ///
+    /// # Panics
+    ///
+    /// Panics if any triplet indexes outside the matrix.
+    pub fn from_triplets(rows: usize, cols: usize, triplets: &[(usize, usize, f64)]) -> Self {
+        let mut sorted: Vec<(usize, usize, f64)> = triplets.to_vec();
+        for &(r, c, _) in &sorted {
+            assert!(r < rows && c < cols, "triplet ({r}, {c}) out of bounds");
+        }
+        sorted.sort_by_key(|&(r, c, _)| (c, r));
+        let mut merged: Vec<(usize, usize, f64)> = Vec::with_capacity(sorted.len());
+        for &(r, c, v) in &sorted {
+            match merged.last_mut() {
+                Some(last) if last.0 == r && last.1 == c => last.2 += v,
+                _ => merged.push((r, c, v)),
+            }
+        }
+        let mut col_ptr = vec![0usize; cols + 1];
+        let mut row_idx = Vec::with_capacity(merged.len());
+        let mut values = Vec::with_capacity(merged.len());
+        for &(r, c, v) in &merged {
+            row_idx.push(r);
+            values.push(v);
+            col_ptr[c + 1] += 1;
+        }
+        for c in 0..cols {
+            col_ptr[c + 1] += col_ptr[c];
+        }
+        Self {
+            rows,
+            cols,
+            col_ptr,
+            row_idx,
+            values,
+        }
+    }
+
+    /// Number of rows.
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns.
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// Number of stored entries.
+    pub fn nnz(&self) -> usize {
+        self.values.len()
+    }
+
+    /// The stored entries of column `j` as parallel `(rows, values)`
+    /// slices, sorted by row.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `j` is out of bounds.
+    pub fn col(&self, j: usize) -> (&[usize], &[f64]) {
+        let range = self.col_ptr[j]..self.col_ptr[j + 1];
+        (&self.row_idx[range.clone()], &self.values[range])
+    }
+
+    /// The dot product of column `j` with a dense vector, accumulated in
+    /// ascending-row order (the canonical order for determinism pins).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `j` is out of bounds or `y` is shorter than the rows.
+    pub fn dot_col(&self, j: usize, y: &[f64]) -> f64 {
+        let (rows, vals) = self.col(j);
+        let mut acc = 0.0;
+        for (&r, &v) in rows.iter().zip(vals) {
+            acc += v * y[r];
+        }
+        acc
+    }
+
+    /// Accumulates `scale ×` column `j` into the dense vector `out`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `j` is out of bounds or `out` is shorter than the rows.
+    pub fn scatter_col(&self, j: usize, scale: f64, out: &mut [f64]) {
+        let (rows, vals) = self.col(j);
+        for (&r, &v) in rows.iter().zip(vals) {
+            out[r] += scale * v;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn triplets_are_sorted_and_deduplicated() {
+        let m = Csc::from_triplets(
+            3,
+            2,
+            &[
+                (2, 1, 5.0),
+                (0, 0, 1.0),
+                (2, 1, 2.0),
+                (1, 0, 3.0),
+                (0, 1, 4.0),
+            ],
+        );
+        assert_eq!(m.rows(), 3);
+        assert_eq!(m.cols(), 2);
+        assert_eq!(m.nnz(), 4);
+        assert_eq!(m.col(0), (&[0usize, 1][..], &[1.0, 3.0][..]));
+        assert_eq!(m.col(1), (&[0usize, 2][..], &[4.0, 7.0][..]));
+    }
+
+    #[test]
+    fn construction_is_order_invariant() {
+        let t = [(0usize, 0usize, 1.0), (1, 0, 2.0), (1, 1, 3.0), (1, 0, 0.5)];
+        let mut rev = t;
+        rev.reverse();
+        assert_eq!(Csc::from_triplets(2, 2, &t), Csc::from_triplets(2, 2, &rev));
+    }
+
+    #[test]
+    fn dot_and_scatter_agree() {
+        let m = Csc::from_triplets(3, 1, &[(0, 0, 2.0), (2, 0, -1.0)]);
+        let y = [3.0, 10.0, 4.0];
+        assert_eq!(m.dot_col(0, &y), 2.0 * 3.0 - 4.0);
+        let mut out = [0.0; 3];
+        m.scatter_col(0, 2.0, &mut out);
+        assert_eq!(out, [4.0, 0.0, -2.0]);
+    }
+
+    #[test]
+    fn empty_columns_are_representable() {
+        let m = Csc::from_triplets(2, 3, &[(1, 2, 1.0)]);
+        assert_eq!(m.col(0).0.len(), 0);
+        assert_eq!(m.col(1).0.len(), 0);
+        assert_eq!(m.col(2), (&[1usize][..], &[1.0][..]));
+    }
+
+    #[test]
+    #[should_panic(expected = "out of bounds")]
+    fn out_of_bounds_triplets_panic() {
+        let _ = Csc::from_triplets(2, 2, &[(2, 0, 1.0)]);
+    }
+}

@@ -8,6 +8,7 @@
 //! | [`carbon`] | `fairco2-carbon` | operational/embodied carbon models, units, the reference server |
 //! | [`trace`] | `fairco2-trace` | time series, synthetic Azure-like demand, grid-CI traces |
 //! | [`shapley`] | `fairco2-shapley` | exact / sampled / matching-game / Temporal Shapley solvers |
+//! | [`solver`] | `fairco2-solver` | vendored sparse LP substrate: CSC, Markowitz LU, deterministic revised simplex |
 //! | [`workloads`] | `fairco2-workloads` | the 15-workload suite, interference model, node accounting |
 //! | [`attribution`] | `fairco2` | the attribution engine (RUP, demand-proportional, Fair-CO₂, ground truth) |
 //! | [`forecast`] | `fairco2-forecast` | the Prophet-substitute demand forecaster |
@@ -64,5 +65,6 @@ pub use fairco2_forecast as forecast;
 pub use fairco2_montecarlo as montecarlo;
 pub use fairco2_optimize as optimize;
 pub use fairco2_shapley as shapley;
+pub use fairco2_solver as solver;
 pub use fairco2_trace as trace;
 pub use fairco2_workloads as workloads;
